@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses: common policy searches
+ * per system family and a paper-vs-measured table convention. Each
+ * bench binary prints the same rows/series its paper counterpart
+ * reports; absolute values differ (simulated substrate) but the
+ * shape — ordering, crossovers, scaling — is the claim under test
+ * (see EXPERIMENTS.md).
+ */
+
+#ifndef MOELIGHT_BENCH_BENCH_UTIL_HH
+#define MOELIGHT_BENCH_BENCH_UTIL_HH
+
+#include <optional>
+#include <string>
+
+#include "policy/optimizer.hh"
+#include "sched/schedules.hh"
+
+namespace moelight {
+namespace bench {
+
+/** Fast-but-representative optimizer grid for the harnesses. */
+inline SearchConfig
+benchGrid()
+{
+    SearchConfig cfg;
+    cfg.microBatches = {8, 16, 24, 32, 48, 64, 96, 128};
+    cfg.numUbs = {1, 2, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128};
+    cfg.weightRatioSteps = 10;
+    cfg.kvRatioSteps = 2;
+    return cfg;
+}
+
+/**
+ * Pick the policy each system family would deploy on @p pm, mirroring
+ * the paper's baselines: MoE-Lightning uses the HRM search; FlexGen
+ * uses its conservative heuristic; DeepSpeed streams layers with KV
+ * on GPU.
+ */
+inline std::optional<PolicyChoice>
+systemPolicy(SystemKind sys, const PerfModel &pm)
+{
+    switch (sys) {
+      case SystemKind::MoeLightning:
+      case SystemKind::MoeLightningPadded:
+      case SystemKind::FastDecode:
+        return searchPolicy(pm, sys, benchGrid());
+      case SystemKind::FlexGen:
+        return flexGenPolicy(pm, /*cpuAttention=*/false);
+      case SystemKind::FlexGenC:
+        return flexGenPolicy(pm, /*cpuAttention=*/true);
+      case SystemKind::DeepSpeed:
+        return deepSpeedPolicy(pm);
+    }
+    return std::nullopt;
+}
+
+/**
+ * End-to-end simulated generation throughput for @p sys on @p pm
+ * using that system's own policy. Returns 0 when no feasible policy
+ * exists.
+ */
+inline double
+simulatedSystemThroughput(SystemKind sys, const PerfModel &pm,
+                          std::optional<PolicyChoice> *chosen = nullptr)
+{
+    auto pc = systemPolicy(sys, pm);
+    if (chosen)
+        *chosen = pc;
+    if (!pc)
+        return 0.0;
+    return simulateThroughput(sys, pm, pc->policy).tokensPerSec;
+}
+
+/** Relative-to-paper annotation, e.g. "x1.8-vs-FlexGen". */
+inline std::string
+speedup(double ours, double theirs)
+{
+    if (theirs <= 0.0)
+        return "-";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2fx", ours / theirs);
+    return buf;
+}
+
+} // namespace bench
+} // namespace moelight
+
+#endif // MOELIGHT_BENCH_BENCH_UTIL_HH

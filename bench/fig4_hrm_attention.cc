@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Reproduces Fig. 4: the Hierarchical Roofline Model plot for Mixtral
+ * 8x7B's grouped-query attention block in the decode stage on the L4
+ * instance (context length 512). Emits the five roof lines as CSV
+ * series plus the vertical intensity markers for f16 / int4 KV and
+ * the P1 turning point.
+ *
+ * Paper claim: both f16 and int4 attention intensities sit left of
+ * P1 => decode attention belongs on the CPU.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "hrm/hrm.hh"
+#include "model/op_cost.hh"
+
+using namespace moelight;
+
+int
+main()
+{
+    HardwareConfig hw = l4Host();
+    Hrm hrm(hw);
+    ModelConfig m = mixtral8x7b();
+
+    std::cout << "Fig. 4 — HRM for Mixtral 8x7B GQA decode attention "
+                 "@ L4 (ctx=512)\n\n";
+
+    auto series = hrmRoofSeries(hrm, 0.1, 1e4, 33);
+    Table roofs({"intensity_flops_per_byte", "CPU_Mem", "GPU_Mem",
+                 "CPU_GPU_Link", "CPU_Peak", "GPU_Peak"});
+    for (std::size_t i = 0; i < series[0].intensity.size(); ++i) {
+        roofs.newRow().add(series[0].intensity[i], 3);
+        for (const auto &s : series)
+            roofs.add(s.gflops[i], 1);
+    }
+    std::cout << roofs.toCsv();
+
+    ModelConfig m4 = m;
+    m4.dtKv = DataType::INT4;
+    double i_f16 = attnIntensityVsKv(m);
+    double i_int4 = attnIntensityVsKv(m4);
+    double p1 = hrm.turningPointP1();
+
+    Table marks({"marker", "intensity", "attainable_on_cpu_GFLOPs",
+                 "attainable_if_shipped_GFLOPs", "verdict"});
+    auto add_mark = [&](const std::string &name, double i) {
+        double on_cpu = hrm.attainableOnCpu(i) / GFLOP;
+        double shipped = hrm.linkBw() * i / GFLOP;
+        marks.newRow().add(name).add(i, 2).add(on_cpu, 1)
+            .add(shipped, 1)
+            .add(on_cpu >= shipped ? "CPU wins" : "GPU wins");
+    };
+    add_mark("attention_f16", i_f16);
+    add_mark("attention_int4", i_int4);
+    marks.newRow().add("P1").add(p1, 2).add("-").add("-").add(
+        "turning point (Eq. 9)");
+    std::cout << "\n";
+    marks.print(std::cout, "intensity markers");
+
+    std::cout << "\npaper check: f16 (" << i_f16 << ") and int4 ("
+              << i_int4 << ") both < P1 (" << p1
+              << ") => perform attention on CPU: "
+              << ((i_f16 < p1 && i_int4 < p1) ? "REPRODUCED"
+                                              : "MISMATCH")
+              << "\n";
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Reproduces Fig. 6: the four scheduling strategies side by side —
+ * CGOPipe, S2 (pipeline w/o paged weights, FastDecode*-style), S3
+ * (FlexGen(c): no pipeline, no paging), S4 (FlexGen: GPU attention
+ * with KV prefetch) — as ASCII Gantt charts over one decode step of
+ * a few layers, plus per-resource utilization and the GPU idle
+ * ("bubble") share each schedule produces.
+ *
+ * Paper claim: CGOPipe minimizes the red-zigzag GPU idle time; the
+ * unpaged and unpipelined variants add bubbles in the order
+ * CGOPipe < S2 < S3, and S4 saturates the link with KV traffic.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "model/workload.hh"
+
+using namespace moelight;
+using namespace moelight::bench;
+
+int
+main()
+{
+    // A configuration where all four resources matter: Mixtral 8x7B
+    // on L4 with a long-ish context.
+    PerfModel pm(mixtral8x7b(), l4Host(), {512.0, 512.0, 64.0}, true);
+    Policy p;
+    p.batchSize = 256;
+    p.microBatch = 64;
+    p.attnOnGpu = false;
+    p.ffnOnGpu = true;
+    Policy p_gpu = p;
+    p_gpu.attnOnGpu = true;
+
+    ScheduleOptions opt;
+    opt.decodeSteps = 3;
+    opt.layers = 3;
+
+    struct Entry
+    {
+        SystemKind sys;
+        const Policy *pol;
+        const char *note;
+    };
+    std::vector<Entry> entries{
+        {SystemKind::MoeLightning, &p,
+         "CGOPipe: paged weights, CPU attention overlapped"},
+        {SystemKind::FastDecode, &p,
+         "S2: pipeline w/o paged weights (FastDecode*)"},
+        {SystemKind::FlexGenC, &p,
+         "S3: w/o pipeline, w/o paged weights (FlexGen(c))"},
+        {SystemKind::FlexGen, &p_gpu,
+         "S4: GPU attention + KV prefetch (FlexGen)"},
+    };
+
+    Table summary({"schedule", "step_time_s", "gpu_util", "cpu_util",
+                   "htod_util", "dtoh_util", "gpu_idle_share"});
+    for (const Entry &e : entries) {
+        auto r = simulateThroughput(e.sys, pm, *e.pol, opt);
+        std::cout << "== " << systemName(e.sys) << " — " << e.note
+                  << " ==\n";
+        std::cout << "legend: A=PreAttn B=Attention C=PostAttn "
+                     "H=hidden-load Q=QKV/KV-offload W=weights "
+                     "K=KV-load\n";
+        std::cout << renderGantt(r.sim, 100) << "\n";
+        summary.newRow()
+            .add(systemName(e.sys))
+            .add(r.decodeStep, 4)
+            .add(r.sim.utilization[0], 2)
+            .add(r.sim.utilization[1], 2)
+            .add(r.sim.utilization[2], 2)
+            .add(r.sim.utilization[3], 2)
+            .add(1.0 - r.sim.utilization[0], 2);
+    }
+    summary.print(std::cout, "Fig. 6 summary (steady decode step)");
+
+    std::cout << "\npaper check: CGOPipe has the fastest step and the "
+                 "highest GPU busy share among CPU-attention "
+                 "schedules\n";
+    return 0;
+}

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Reproduces Fig. 7: end-to-end MTBench generation throughput on
+ * S1 (Mixtral 8x7B @ 1xT4), S2 (8x7B @ 1xL4), S6 (8x22B @ 2xT4) and
+ * S7 (8x22B @ 4xT4) for generation lengths {32, 64, 128, 256} across
+ * FlexGen, FlexGen(c), DeepSpeed-Zero, MoE-Lightning(p) and
+ * MoE-Lightning (unpadded; S1/S2 only, as in the paper).
+ *
+ * Multi-GPU baselines follow the paper's §5.3 analysis: FlexGen uses
+ * pipeline parallelism (aggregate GPU memory/compute but a single
+ * effective CPU-GPU stream and inflated host peak memory), while
+ * MoE-Lightning uses tensor parallelism (everything GPU-side scales).
+ *
+ * Paper claims checked: MoE-Lightning(p) beats every baseline in all
+ * settings (up to 3.5x vs FlexGen single-GPU); MoE-Lightning reaches
+ * up to 10.3x; FlexGen/FlexGen(c) throughput eventually *drops* with
+ * generation length while MoE-Lightning(p) does not under S1.
+ */
+
+#include <iostream>
+#include <map>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "model/workload.hh"
+
+using namespace moelight;
+using namespace moelight::bench;
+
+namespace {
+
+/** FlexGen's multi-GPU mode is pipeline parallelism: GPU memory and
+ *  compute aggregate, but layers stream stage-by-stage over one
+ *  effective link, and n simultaneously-active layers inflate host
+ *  peak memory — modelled as the KV/activation budget (host DRAM
+ *  beyond the pinned weights) shrinking by the GPU count. */
+HardwareConfig
+flexGenPipelineHw(const Setting &s)
+{
+    HardwareConfig hw = s.hw;
+    if (hw.numGpus > 1) {
+        HardwareConfig one = t4Host();
+        hw.bcg = one.bcg;
+        double weights = s.model.totalWeightBytes();
+        double slack = s.hw.cpuMem - weights;
+        if (slack > 0.0)
+            hw.cpuMem =
+                weights + slack / static_cast<double>(hw.numGpus);
+    }
+    return hw;
+}
+
+/** Paper-reported throughput (tokens/s) from Fig. 7, indexed by
+ *  (setting, system, genLen). */
+const std::map<std::string, std::map<int, double>> kPaper = {
+    {"S1/FlexGen", {{32, 12.1}, {64, 12.3}, {128, 9.5}, {256, 9.6}}},
+    {"S1/FlexGen(c)", {{32, 9.8}, {64, 9.4}, {128, 7.2}, {256, 6.8}}},
+    {"S1/DeepSpeed-Zero",
+     {{32, 7.1}, {64, 7.6}, {128, 7.8}, {256, 6.7}}},
+    {"S1/MoE-Lightning(p)",
+     {{32, 15.6}, {64, 24.0}, {128, 30.1}, {256, 33.9}}},
+    {"S1/MoE-Lightning",
+     {{32, 63.0}, {64, 101.3}, {128, 97.73}, {256, 96.7}}},
+    {"S2/FlexGen", {{32, 29.2}, {64, 34.9}, {128, 37.2}, {256, 28.8}}},
+    {"S2/FlexGen(c)",
+     {{32, 17.5}, {64, 18.9}, {128, 20.0}, {256, 15.9}}},
+    {"S2/DeepSpeed-Zero",
+     {{32, 12.7}, {64, 13.3}, {128, 12.1}, {256, 11.8}}},
+    {"S2/MoE-Lightning(p)",
+     {{32, 53.7}, {64, 67.4}, {128, 79.0}, {256, 78.6}}},
+    {"S2/MoE-Lightning",
+     {{32, 203.0}, {64, 294.5}, {128, 217.5}, {256, 167.9}}},
+    {"S6/FlexGen", {{32, 4.25}, {64, 4.4}, {128, 4.77}, {256, 3.66}}},
+    {"S6/FlexGen(c)",
+     {{32, 2.7}, {64, 2.86}, {128, 3.44}, {256, 3.09}}},
+    {"S6/DeepSpeed-Zero",
+     {{32, 0.56}, {64, 0.59}, {128, 0.61}, {256, 0.62}}},
+    {"S6/MoE-Lightning(p)",
+     {{32, 5.38}, {64, 7.33}, {128, 7.75}, {256, 9.13}}},
+    {"S7/FlexGen", {{32, 4.97}, {64, 5.31}, {128, 4.36}, {256, 2.96}}},
+    {"S7/FlexGen(c)",
+     {{32, 1.78}, {64, 0.97}, {128, 1.02}, {256, 0.67}}},
+    {"S7/DeepSpeed-Zero",
+     {{32, 0.9}, {64, 1.0}, {128, 1.2}, {256, 1.3}}},
+    {"S7/MoE-Lightning(p)",
+     {{32, 14.9}, {64, 22.4}, {128, 26.2}, {256, 25.8}}},
+};
+
+double
+paperValue(const std::string &setting, const std::string &sys, int gen)
+{
+    auto it = kPaper.find(setting + "/" + sys);
+    if (it == kPaper.end())
+        return 0.0;
+    auto jt = it->second.find(gen);
+    return jt == it->second.end() ? 0.0 : jt->second;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::vector<int> gens{32, 64, 128, 256};
+    std::vector<Setting> settings{settingS1(), settingS2(), settingS6(),
+                                  settingS7()};
+
+    for (const Setting &s : settings) {
+        Table t({"system", "gen_len", "ours_tok_s", "paper_tok_s",
+                 "mu", "N", "ours_vs_FlexGen", "paper_vs_FlexGen"});
+        std::map<int, double> fg_ours, fg_paper;
+        struct Cell
+        {
+            std::string sys;
+            int gen;
+            double tput, paper;
+            std::size_t mu = 0, n = 0;
+        };
+        std::vector<Cell> cells;
+
+        for (int gen : gens) {
+            WorkloadShape w{77.0, 418.0, static_cast<double>(gen)};
+            PerfModel padded(s.model, s.hw, w, true);
+            PerfModel unpadded(s.model, s.hw, w, false);
+            PerfModel fg_pm(s.model, flexGenPipelineHw(s), w, true);
+
+            auto run = [&](SystemKind sys, const PerfModel &pm,
+                           const std::string &name) {
+                std::optional<PolicyChoice> pc;
+                double tput = simulatedSystemThroughput(sys, pm, &pc);
+                Cell c;
+                c.sys = name;
+                c.gen = gen;
+                c.tput = tput;
+                c.paper = paperValue(s.name, name, gen);
+                if (pc) {
+                    c.mu = pc->policy.microBatch;
+                    c.n = pc->policy.batchSize;
+                }
+                cells.push_back(c);
+                return tput;
+            };
+
+            fg_ours[gen] = run(SystemKind::FlexGen, fg_pm, "FlexGen");
+            fg_paper[gen] = paperValue(s.name, "FlexGen", gen);
+            run(SystemKind::FlexGenC, fg_pm, "FlexGen(c)");
+            run(SystemKind::DeepSpeed, padded, "DeepSpeed-Zero");
+            run(SystemKind::MoeLightningPadded, padded,
+                "MoE-Lightning(p)");
+            if (s.name == "S1" || s.name == "S2")
+                run(SystemKind::MoeLightning, unpadded,
+                    "MoE-Lightning");
+        }
+
+        for (const Cell &c : cells) {
+            t.newRow()
+                .add(c.sys)
+                .add(c.gen)
+                .add(c.tput, 2)
+                .add(c.paper, 2)
+                .add(c.mu)
+                .add(c.n)
+                .add(speedup(c.tput, fg_ours[c.gen]))
+                .add(c.paper > 0.0
+                         ? speedup(c.paper, fg_paper[c.gen])
+                         : "-");
+        }
+        t.print(std::cout, "Fig. 7 — MTBench @ " + s.name + " (" +
+                               s.model.name + " on " + s.hw.name +
+                               ")");
+        std::cout << "\n";
+    }
+    std::cout << "paper checks: MoE-Lightning(p) > all baselines per "
+                 "column; MoE-Lightning adds a further large factor "
+                 "on S1/S2; FlexGen fails to scale S6->S7.\n";
+    return 0;
+}

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Reproduces Tab. 4: HELM synthetic reasoning (s=242, n=50) and
+ * summarization (s=1693, n=64) under S1 and S2 — throughput plus the
+ * chosen (mu, N/mu) policy for FlexGen(c), FlexGen, DeepSpeed and
+ * MoE-Lightning(p).
+ *
+ * Paper claims: MoE-Lightning(p) wins every cell (1.16-2.88x vs
+ * FlexGen variants); on summarization the policy is constrained by
+ * GPU prefill memory; under S2 MoE-Lightning picks a larger mu and
+ * finds a new balance point while FlexGen cannot raise N.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "model/workload.hh"
+
+using namespace moelight;
+using namespace moelight::bench;
+
+namespace {
+
+struct PaperRow
+{
+    const char *task;
+    const char *setting;
+    const char *system;
+    double tput;
+    int mu, nub;
+};
+
+const PaperRow kPaper[] = {
+    {"reasoning", "S1", "FlexGen(c)", 16.903, 32, 61},
+    {"reasoning", "S1", "FlexGen", 22.691, 32, 61},
+    {"reasoning", "S1", "DeepSpeed-Zero", 11.832, 102, 1},
+    {"reasoning", "S1", "MoE-Lightning(p)", 26.349, 36, 26},
+    {"reasoning", "S2", "FlexGen(c)", 20.015, 64, 33},
+    {"reasoning", "S2", "FlexGen", 50.138, 64, 33},
+    {"reasoning", "S2", "DeepSpeed-Zero", 18.589, 156, 1},
+    {"reasoning", "S2", "MoE-Lightning(p)", 105.29, 100, 15},
+    {"summarization", "S1", "FlexGen(c)", 2.614, 3, 92},
+    {"summarization", "S1", "FlexGen", 3.868, 3, 92},
+    {"summarization", "S1", "DeepSpeed-Zero", 0.965, 8, 1},
+    {"summarization", "S1", "MoE-Lightning(p)", 4.52, 4, 19},
+    {"summarization", "S2", "FlexGen(c)", 4.307, 8, 36},
+    {"summarization", "S2", "FlexGen", 7.14, 8, 36},
+    {"summarization", "S2", "DeepSpeed-Zero", 1.447, 12, 1},
+    {"summarization", "S2", "MoE-Lightning(p)", 12.393, 8, 36},
+};
+
+double
+paperTput(const std::string &task, const std::string &setting,
+          const std::string &system)
+{
+    for (const auto &r : kPaper)
+        if (task == r.task && setting == r.setting &&
+            system == r.system)
+            return r.tput;
+    return 0.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    struct Task
+    {
+        const char *name;
+        WorkloadConfig cfg;
+    };
+    std::vector<Task> tasks{{"reasoning", syntheticReasoning()},
+                            {"summarization", summarization()}};
+    std::vector<Setting> settings{settingS1(), settingS2()};
+
+    for (const Task &task : tasks) {
+        Table t({"setting", "system", "ours_tok_s", "paper_tok_s",
+                 "mu", "N/mu"});
+        for (const Setting &s : settings) {
+            WorkloadShape w{task.cfg.avgPrompt,
+                            static_cast<double>(task.cfg.maxPrompt),
+                            static_cast<double>(task.cfg.genLen)};
+            PerfModel pm(s.model, s.hw, w, /*padded=*/true);
+            for (SystemKind sys :
+                 {SystemKind::FlexGenC, SystemKind::FlexGen,
+                  SystemKind::DeepSpeed,
+                  SystemKind::MoeLightningPadded}) {
+                std::string name = systemName(sys);
+                if (name == "MoE-Lightning(p)" ||
+                    name == "DeepSpeed-Zero" || name == "FlexGen" ||
+                    name == "FlexGen(c)") {
+                    std::optional<PolicyChoice> pc;
+                    double tput =
+                        simulatedSystemThroughput(sys, pm, &pc);
+                    t.newRow()
+                        .add(s.name)
+                        .add(name)
+                        .add(tput, 3)
+                        .add(paperTput(task.name, s.name, name), 3)
+                        .add(pc ? pc->policy.microBatch : 0)
+                        .add(pc ? pc->policy.numUbs() : 0);
+                }
+            }
+        }
+        t.print(std::cout,
+                std::string("Tab. 4 — HELM ") + task.name +
+                    " (s_avg=" + std::to_string(
+                        static_cast<int>(task.cfg.avgPrompt)) +
+                    ", n=" + std::to_string(task.cfg.genLen) + ")");
+        std::cout << "\n";
+    }
+    std::cout << "paper checks: MoE-Lightning(p) > FlexGen > "
+                 "FlexGen(c) ~ DeepSpeed per setting; DeepSpeed runs "
+                 "a single micro-batch; summarization cuts every "
+                 "system's mu sharply (GPU prefill memory bound).\n";
+    return 0;
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Reproduces Tab. 5 (§6.1, optimizer-policy ablation): MTBench @ S1,
+ * generation length 128. Rows:
+ *   1. FlexGen with its own policy          (paper:  9.5 tok/s)
+ *   2. FlexGen with our (HRM) policy        (paper: 16.8, 1.77x)
+ *   3. FlexGen with our policy + larger N   (paper: 20.7, 2.17x)
+ *   4. MoE-Lightning(p), same policy as 2   (paper: 30.1, 3.17x)
+ *
+ * Claim: the HRM policy alone lifts FlexGen substantially, but the
+ * CGOPipe schedule is needed to reach the top line — under the same
+ * policy, KV/activation swapping becomes FlexGen's bottleneck.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "model/workload.hh"
+
+using namespace moelight;
+using namespace moelight::bench;
+
+int
+main()
+{
+    Setting s1 = settingS1();
+    WorkloadShape w{77.0, 418.0, 128.0};
+    PerfModel pm(s1.model, s1.hw, w, /*padded=*/true);
+
+    Table t({"variant", "mu", "N", "ours_tok_s", "ours_speedup",
+             "paper_tok_s", "paper_speedup"});
+
+    // 1. FlexGen with its own conservative policy.
+    auto fg_their = flexGenPolicy(pm, /*cpuAttention=*/false);
+    double base = 0.0;
+    if (fg_their) {
+        base = simulateThroughput(SystemKind::FlexGen, pm,
+                                  fg_their->policy)
+                   .tokensPerSec;
+        t.newRow()
+            .add("FlexGen w/ their policy")
+            .add(fg_their->policy.microBatch)
+            .add(fg_their->policy.batchSize)
+            .add(base, 2)
+            .add("1.00x")
+            .add(9.5, 1)
+            .add("1.00x");
+    }
+
+    // 2. FlexGen with the HRM policy (searched under FlexGen's own
+    //    schedule so the comparison is fair).
+    auto ours = searchPolicy(pm, SystemKind::FlexGen, benchGrid());
+    double fg_ours_tput = 0.0;
+    if (ours) {
+        fg_ours_tput = simulateThroughput(SystemKind::FlexGen, pm,
+                                          ours->policy)
+                           .tokensPerSec;
+        t.newRow()
+            .add("FlexGen w/ our policy")
+            .add(ours->policy.microBatch)
+            .add(ours->policy.batchSize)
+            .add(fg_ours_tput, 2)
+            .add(speedup(fg_ours_tput, base))
+            .add(16.816, 1)
+            .add("1.77x");
+    }
+
+    // 3. Same micro-batch, batch pushed to the CPU-memory limit.
+    if (ours) {
+        Policy big = ours->policy;
+        while (true) {
+            Policy next = big;
+            next.batchSize += next.microBatch;
+            if (!pm.feasible(next))
+                break;
+            big = next;
+        }
+        double tput = simulateThroughput(SystemKind::FlexGen, pm, big)
+                          .tokensPerSec;
+        t.newRow()
+            .add("FlexGen w/ our policy + larger N")
+            .add(big.microBatch)
+            .add(big.batchSize)
+            .add(tput, 2)
+            .add(speedup(tput, base))
+            .add(20.654, 1)
+            .add("2.17x");
+    }
+
+    // 4. MoE-Lightning(p) with the policy from 2 run under CGOPipe.
+    if (ours) {
+        Policy ml = ours->policy;
+        ml.attnOnGpu = false;  // CGOPipe's CPU-attention mode
+        ml.kvOnGpu = 0.0;
+        double tput = simulateThroughput(SystemKind::MoeLightningPadded,
+                                         pm, ml)
+                          .tokensPerSec;
+        t.newRow()
+            .add("MoE-Lightning(p)")
+            .add(ml.microBatch)
+            .add(ml.batchSize)
+            .add(tput, 2)
+            .add(speedup(tput, base))
+            .add(30.12, 1)
+            .add("3.17x");
+    }
+
+    t.print(std::cout,
+            "Tab. 5 — policy ablation (MTBench @ S1, gen=128)");
+    std::cout << "\npaper check: each row improves on the previous; "
+                 "the schedule (row 4 vs 3) contributes beyond the "
+                 "policy alone.\n";
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Disk-tier exploration (paper Appendix C future work): extend the
+ * hierarchy with an NVMe level and ask, for each block of the MoE
+ * layer, where data should live and where compute should run when
+ * CPU DRAM cannot hold the whole model.
+ *
+ *   $ ./disk_tier_explorer            # L4 host, 3 GB/s NVMe
+ *   $ ./disk_tier_explorer 7          # 7 GB/s NVMe
+ */
+
+#include <iostream>
+#include <string>
+
+#include "common/table.hh"
+#include "hrm/multi_level.hh"
+#include "hw/hardware.hh"
+#include "model/op_cost.hh"
+
+using namespace moelight;
+
+int
+main(int argc, char **argv)
+{
+    double disk_gbs = argc > 1 ? std::stod(argv[1]) : 3.0;
+    HardwareConfig hw = l4Host();
+    MultiLevelHrm hrm = withDiskTier(hw, disk_gbs * GB);
+    ModelConfig m = mixtral8x7b();
+
+    std::cout << "3-level HRM: " << hw.name << " + " << disk_gbs
+              << " GB/s NVMe tier (Mixtral 8x7B)\n\n";
+
+    Table t({"kernel", "data_level", "cross_intensity",
+             "best_exec", "attainable_GFLOPs"});
+    struct Case
+    {
+        const char *kernel;
+        std::size_t data;
+        double iExec, iData;
+    };
+    double i_attn = attnIntensityVsKv(m);
+    OpCost ffn128 = postAttnDecodeCost(m, 128);
+    double i_ffn_gpu =
+        ffn128.flops / (ffn128.weightBytes + ffn128.actBytes);
+    std::vector<Case> cases{
+        {"attention (KV on CPU)", 1, i_attn, i_attn},
+        {"attention (KV on disk)", 2, i_attn, i_attn},
+        {"MoE FFN N=128 (w on CPU)", 1, i_ffn_gpu,
+         ffnIntensityVsWeights(m, 128)},
+        {"MoE FFN N=128 (w on disk)", 2, i_ffn_gpu,
+         ffnIntensityVsWeights(m, 128)},
+        {"MoE FFN N=4096 (w on disk)", 2, i_ffn_gpu,
+         ffnIntensityVsWeights(m, 4096)},
+    };
+    for (const Case &c : cases) {
+        std::size_t exec =
+            hrm.bestExecLevel(c.data, c.iExec, c.iData);
+        double perf =
+            hrm.attainable(exec, c.data, c.iExec, c.iData) / GFLOP;
+        t.newRow()
+            .add(c.kernel)
+            .add(hrm.level(c.data).name)
+            .add(c.iData, 2)
+            .add(hrm.level(exec).name)
+            .add(perf, 1);
+    }
+    t.print(std::cout, "placement decisions");
+
+    std::cout << "\nturning points: P1(gpu<-cpu)="
+              << hrm.turningPointP1(0, 1)
+              << "  P1(cpu<-disk)=" << hrm.turningPointP1(1, 2)
+              << " (0 = disk cannot compute; always ship)\n";
+    std::cout << "disk-resident weights cap the FFN at "
+              << hrm.attainable(0, 2, i_ffn_gpu,
+                                ffnIntensityVsWeights(m, 4096)) /
+                     GFLOP
+              << " GFLOP/s vs "
+              << hrm.attainable(0, 1, i_ffn_gpu,
+                                ffnIntensityVsWeights(m, 4096)) /
+                     GFLOP
+              << " from CPU DRAM — why the paper defers disk "
+                 "offloading to future work.\n";
+    return 0;
+}

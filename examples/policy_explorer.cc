@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Policy explorer: for a chosen paper setting (S1/S2/S6/S7/S8/S9)
+ * and workload, print the HRM analysis (turning points, where
+ * attention belongs), run the policy optimizer, and explain the
+ * chosen policy's memory footprint and bottleneck.
+ *
+ *   $ ./policy_explorer            # defaults to S1, MTBench gen=128
+ *   $ ./policy_explorer S2 64      # setting, generation length
+ */
+
+#include <iostream>
+#include <string>
+
+#include "common/table.hh"
+#include "hrm/hrm.hh"
+#include "model/op_cost.hh"
+#include "policy/optimizer.hh"
+
+using namespace moelight;
+
+int
+main(int argc, char **argv)
+{
+    std::string name = argc > 1 ? argv[1] : "S1";
+    double gen = argc > 2 ? std::stod(argv[2]) : 128.0;
+
+    Setting setting;
+    if (name == "S1")
+        setting = settingS1();
+    else if (name == "S2")
+        setting = settingS2();
+    else if (name == "S6")
+        setting = settingS6();
+    else if (name == "S7")
+        setting = settingS7();
+    else if (name == "S8")
+        setting = settingS8();
+    else if (name == "S9")
+        setting = settingS9();
+    else {
+        std::cerr << "unknown setting '" << name
+                  << "' (use S1/S2/S6/S7/S8/S9)\n";
+        return 1;
+    }
+
+    const ModelConfig &m = setting.model;
+    const HardwareConfig &hw = setting.hw;
+    std::cout << "setting " << setting.name << ": " << m.name << " on "
+              << hw.name << " (" << hw.gpuMem / GiB << " GiB GPU, "
+              << hw.cpuMem / GiB << " GiB host)\n";
+    std::cout << "model weights: " << m.totalWeightBytes() / GiB
+              << " GiB => " << (m.totalWeightBytes() > hw.gpuMem
+                                    ? "does NOT fit on GPU (offload)"
+                                    : "fits on GPU")
+              << "\n\n";
+
+    // HRM analysis (§3.3).
+    Hrm hrm(hw);
+    double i_attn = attnIntensityVsKv(m);
+    double p1 = hrm.turningPointP1();
+    std::cout << "HRM: attention intensity " << i_attn
+              << " FLOPs/B vs P1 " << p1 << " => attention on "
+              << (i_attn < p1 ? "CPU" : "GPU") << "\n";
+    for (double n : {32.0, 256.0, 2048.0})
+        std::cout << "     FFN cross-level intensity at N=" << n
+                  << ": " << ffnIntensityVsWeights(m, n)
+                  << (ffnIntensityVsWeights(m, n) < p1 ? "  (< P1)"
+                                                       : "  (> P1)")
+                  << "\n";
+
+    // Policy search (§4.2).
+    WorkloadShape w{77.0, 418.0, gen};
+    PerfModel pm(m, hw, w, /*padded=*/false);
+    auto best = searchPolicy(pm);
+    if (!best) {
+        std::cout << "\nno feasible policy (host memory too small "
+                     "for this workload)\n";
+        return 1;
+    }
+    std::cout << "\nbest policy: " << best->policy.str() << "\n";
+    std::cout << "modelled generation throughput: " << best->throughput
+              << " tokens/s\n";
+    std::cout << "per-layer decode bottleneck: "
+              << best->layerTime.bottleneck() << "\n";
+
+    MemoryFootprint f = pm.footprint(best->policy);
+    Table t({"where", "what", "GiB"});
+    t.newRow().add("GPU").add("static weights").add(
+        f.gpuStaticWeights / GiB, 2);
+    t.newRow().add("GPU").add("weight double-buffer").add(
+        f.gpuWeightBuffer / GiB, 2);
+    t.newRow().add("GPU").add("KV cache").add(f.gpuKv / GiB, 2);
+    t.newRow().add("GPU").add("activations (decode)").add(
+        f.gpuActDecode / GiB, 2);
+    t.newRow().add("GPU").add("activations (prefill peak)").add(
+        f.gpuActPrefill / GiB, 2);
+    t.newRow().add("CPU").add("weights").add(f.cpuWeights / GiB, 2);
+    t.newRow().add("CPU").add("KV cache").add(f.cpuKv / GiB, 2);
+    t.newRow().add("CPU").add("pinned staging").add(
+        f.cpuPinned / GiB, 2);
+    t.print(std::cout, "memory footprint");
+    std::cout << "GPU peak " << f.gpuPeak() / GiB << " / "
+              << hw.gpuMem / GiB << " GiB;  CPU peak "
+              << f.cpuPeak() / GiB << " / " << hw.cpuMem / GiB
+              << " GiB\n";
+    return 0;
+}

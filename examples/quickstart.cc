@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Quickstart: build a tiny synthetic Mixtral-style model, run the
+ * CGOPipe pipelined engine end to end, and cross-check the output
+ * against the sequential reference engine.
+ *
+ *   $ ./quickstart
+ */
+
+#include <chrono>
+#include <iostream>
+
+#include "common/rng.hh"
+#include "runtime/engine.hh"
+#include "runtime/reference_engine.hh"
+
+using namespace moelight;
+
+int
+main()
+{
+    // 1. A model. tinyMixtral() is a 4-layer, 4-expert, top-2 MoE
+    //    with real float weights (randomly initialized).
+    ModelConfig cfg = tinyMixtral();
+    ModelWeights weights = ModelWeights::random(cfg, /*seed=*/2024);
+    std::cout << "model: " << cfg.name << " — " << cfg.l << " layers, "
+              << cfg.ne << " experts (top-" << cfg.k << "), "
+              << static_cast<long long>(cfg.totalParams())
+              << " params\n";
+
+    // 2. Some prompts (random token ids).
+    Rng rng(7);
+    std::vector<std::vector<int>> prompts(8);
+    for (auto &p : prompts)
+        for (int t = 0; t < 12; ++t)
+            p.push_back(static_cast<int>(rng.uniformInt(
+                0, static_cast<std::int64_t>(cfg.vocab) - 1)));
+
+    // 3. The pipelined engine: CGOPipe over 4 stream queues with
+    //    paged weights and a CPU-side paged KV cache.
+    EngineConfig ec;
+    ec.microBatch = 4;  // two micro-batches in flight
+    PipelinedEngine engine(weights, ec);
+
+    const int gen_len = 16;
+    auto t0 = std::chrono::steady_clock::now();
+    auto results = engine.generate(prompts, gen_len);
+    auto t1 = std::chrono::steady_clock::now();
+    double secs = std::chrono::duration<double>(t1 - t0).count();
+
+    std::cout << "\ngenerated " << gen_len << " tokens for "
+              << prompts.size() << " prompts in " << secs << " s ("
+              << prompts.size() * gen_len / secs << " tokens/s on "
+              << "this host)\n";
+    std::cout << "first sequence: ";
+    for (int t : results[0].tokens)
+        std::cout << t << ' ';
+    std::cout << "\n";
+
+    TransferStats ts = engine.transferStats();
+    std::cout << "\ntransfer accounting:\n"
+              << "  weights CPU->pinned->GPU : " << ts.hostToPinned
+              << " bytes (x2 hops)\n"
+              << "  QKV offload GPU->CPU     : " << ts.gpuToHost
+              << " bytes\n"
+              << "  hidden load CPU->GPU     : " << ts.hostToGpu
+              << " bytes\n";
+
+    // 4. Verify against the sequential reference engine.
+    ReferenceEngine ref(weights);
+    auto expect = ref.generate(prompts, gen_len);
+    bool ok = true;
+    for (std::size_t s = 0; s < prompts.size(); ++s)
+        ok &= results[s].tokens == expect[s].tokens;
+    std::cout << "\nreference check: "
+              << (ok ? "PASS — pipelined output identical"
+                     : "FAIL — outputs diverge")
+              << "\n";
+    return ok ? 0 : 1;
+}

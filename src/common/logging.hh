@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Minimal logging / fatal-error helpers in the spirit of gem5's
+ * base/logging.hh: fatal() for user errors, panic() for internal bugs.
+ */
+
+#ifndef MOELIGHT_COMMON_LOGGING_HH
+#define MOELIGHT_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace moelight {
+
+/** Exception thrown for unrecoverable user-facing configuration errors. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Exception thrown for internal invariant violations (bugs). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+namespace detail {
+
+inline void
+appendAll(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+appendAll(std::ostringstream &os, const T &v, const Rest &...rest)
+{
+    os << v;
+    appendAll(os, rest...);
+}
+
+} // namespace detail
+
+/**
+ * Raise a FatalError: the situation is the caller's fault (bad
+ * configuration, infeasible policy request, ...), not a library bug.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    std::ostringstream os;
+    detail::appendAll(os, args...);
+    throw FatalError(os.str());
+}
+
+/**
+ * Raise a PanicError: an internal invariant was violated. Should never
+ * happen regardless of user input.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    std::ostringstream os;
+    detail::appendAll(os, args...);
+    throw PanicError(os.str());
+}
+
+/** Print a warning to stderr without stopping execution. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    std::ostringstream os;
+    detail::appendAll(os, args...);
+    std::fprintf(stderr, "warn: %s\n", os.str().c_str());
+}
+
+/** Fatal-if helper: condition is the *error* condition. */
+template <typename... Args>
+void
+fatalIf(bool cond, const Args &...args)
+{
+    if (cond)
+        fatal(args...);
+}
+
+/** Panic-if helper: condition is the *bug* condition. */
+template <typename... Args>
+void
+panicIf(bool cond, const Args &...args)
+{
+    if (cond)
+        panic(args...);
+}
+
+} // namespace moelight
+
+#endif // MOELIGHT_COMMON_LOGGING_HH

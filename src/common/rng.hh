@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Deterministic pseudo-random number helpers. Everything in the project
+ * that needs randomness (synthetic weights, workload generation) goes
+ * through Rng so experiments are reproducible bit-for-bit.
+ */
+
+#ifndef MOELIGHT_COMMON_RNG_HH
+#define MOELIGHT_COMMON_RNG_HH
+
+#include <cstdint>
+#include <random>
+
+namespace moelight {
+
+/**
+ * A seeded Mersenne-Twister wrapper with convenience draws. Not
+ * thread-safe; give each thread / generator site its own instance.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x5eed) : gen_(seed) {}
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo = 0.0, double hi = 1.0)
+    {
+        std::uniform_real_distribution<double> d(lo, hi);
+        return d(gen_);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    uniformInt(std::int64_t lo, std::int64_t hi)
+    {
+        std::uniform_int_distribution<std::int64_t> d(lo, hi);
+        return d(gen_);
+    }
+
+    /** Normal draw with the given mean and stddev. */
+    double
+    normal(double mean = 0.0, double stddev = 1.0)
+    {
+        std::normal_distribution<double> d(mean, stddev);
+        return d(gen_);
+    }
+
+    /** Log-normal draw parameterized by the *target* mean and sigma. */
+    double
+    logNormal(double mean, double sigma)
+    {
+        // Choose mu so that the distribution mean equals @p mean.
+        double mu = std::log(mean) - 0.5 * sigma * sigma;
+        std::lognormal_distribution<double> d(mu, sigma);
+        return d(gen_);
+    }
+
+    std::mt19937_64 &engine() { return gen_; }
+
+  private:
+    std::mt19937_64 gen_;
+};
+
+} // namespace moelight
+
+#endif // MOELIGHT_COMMON_RNG_HH

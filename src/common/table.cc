@@ -1,0 +1,109 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace moelight {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    fatalIf(headers_.empty(), "Table needs at least one column");
+}
+
+Table &
+Table::newRow()
+{
+    if (!rows_.empty()) {
+        panicIf(rows_.back().size() != headers_.size(),
+                "previous table row has ", rows_.back().size(),
+                " cells, expected ", headers_.size());
+    }
+    rows_.emplace_back();
+    return *this;
+}
+
+Table &
+Table::add(const std::string &cell)
+{
+    panicIf(rows_.empty(), "Table::add before newRow");
+    panicIf(rows_.back().size() >= headers_.size(),
+            "too many cells in table row");
+    rows_.back().push_back(cell);
+    return *this;
+}
+
+Table &
+Table::add(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return add(os.str());
+}
+
+Table &
+Table::add(long long v)
+{
+    return add(std::to_string(v));
+}
+
+std::string
+Table::toText() const
+{
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            const std::string &cell = c < cells.size() ? cells[c] : "";
+            os << std::left << std::setw(static_cast<int>(width[c]) + 2)
+               << cell;
+        }
+        os << '\n';
+    };
+    emit_row(headers_);
+    std::size_t total = 0;
+    for (auto w : width)
+        total += w + 2;
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit_row(row);
+    return os.str();
+}
+
+std::string
+Table::toCsv() const
+{
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                os << ',';
+            os << cells[c];
+        }
+        os << '\n';
+    };
+    emit_row(headers_);
+    for (const auto &row : rows_)
+        emit_row(row);
+    return os.str();
+}
+
+void
+Table::print(std::ostream &os, const std::string &title) const
+{
+    if (!title.empty())
+        os << "== " << title << " ==\n";
+    os << toText();
+}
+
+} // namespace moelight

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Lightweight text table / CSV emitter used by the benchmark harnesses
+ * to print paper-style tables and figure series.
+ */
+
+#ifndef MOELIGHT_COMMON_TABLE_HH
+#define MOELIGHT_COMMON_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace moelight {
+
+/**
+ * A simple column-aligned table. Cells are strings; numeric helpers
+ * format with a fixed precision. Rendered either as an aligned text
+ * table (for terminals) or CSV (for plotting).
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Begin a new row; subsequent add() calls fill it left to right. */
+    Table &newRow();
+
+    /** Append a string cell to the current row. */
+    Table &add(const std::string &cell);
+    /** Append a formatted double cell (fixed, @p precision digits). */
+    Table &add(double v, int precision = 3);
+    /** Append an integer cell. */
+    Table &add(long long v);
+    Table &add(int v) { return add(static_cast<long long>(v)); }
+    Table &add(std::size_t v) { return add(static_cast<long long>(v)); }
+
+    /** Number of data rows so far. */
+    std::size_t numRows() const { return rows_.size(); }
+    /** Number of columns (fixed at construction). */
+    std::size_t numCols() const { return headers_.size(); }
+
+    /** Render as an aligned ASCII table. */
+    std::string toText() const;
+    /** Render as CSV (no quoting of commas; cells must be comma-free). */
+    std::string toCsv() const;
+
+    /** Print the text rendering to @p os with an optional title. */
+    void print(std::ostream &os, const std::string &title = "") const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace moelight
+
+#endif // MOELIGHT_COMMON_TABLE_HH

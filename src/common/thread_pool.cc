@@ -1,0 +1,127 @@
+#include "common/thread_pool.hh"
+
+#include <atomic>
+#include <exception>
+
+#include "common/logging.hh"
+
+namespace moelight {
+
+/** One parallelFor invocation's shared state. */
+struct ThreadPool::Batch
+{
+    std::size_t n = 0;
+    const std::function<void(std::size_t)> *body = nullptr;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    std::exception_ptr error;
+
+    /** Claim and run indices until exhausted. */
+    void
+    run()
+    {
+        for (;;) {
+            std::size_t i = next.fetch_add(1);
+            if (i >= n)
+                break;
+            try {
+                (*body)(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lk(mu);
+                if (!error)
+                    error = std::current_exception();
+            }
+            if (done.fetch_add(1) + 1 == n) {
+                std::lock_guard<std::mutex> lk(mu);
+                cv.notify_all();
+            }
+        }
+    }
+};
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    if (threads == 0) {
+        unsigned hc = std::thread::hardware_concurrency();
+        threads = hc > 0 ? hc : 1;
+    }
+    for (std::size_t i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto &w : workers_)
+        if (w.joinable())
+            w.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        Batch *batch = nullptr;
+        std::uint64_t gen = 0;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            cv_.wait(lk, [&] { return stopping_ || current_; });
+            if (stopping_)
+                return;
+            batch = current_;
+            gen = generation_;
+        }
+        batch->run();
+        {
+            // Wait for this batch to be retired before re-arming, so
+            // a worker doesn't re-enter a finished batch. Compare
+            // generations, not (possibly reused) addresses.
+            std::unique_lock<std::mutex> lk(mu_);
+            cv_.wait(lk, [&] {
+                return stopping_ || generation_ != gen;
+            });
+            if (stopping_)
+                return;
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (n == 0)
+        return;
+    Batch batch;
+    batch.n = n;
+    batch.body = &body;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        panicIf(current_ != nullptr,
+                "nested/concurrent parallelFor is not supported");
+        current_ = &batch;
+        ++generation_;
+    }
+    cv_.notify_all();
+    batch.run();  // caller participates
+    {
+        std::unique_lock<std::mutex> lk(batch.mu);
+        batch.cv.wait(lk, [&] { return batch.done.load() >= n; });
+    }
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        current_ = nullptr;
+        ++generation_;
+    }
+    cv_.notify_all();
+    if (batch.error)
+        std::rethrow_exception(batch.error);
+}
+
+} // namespace moelight

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Minimal fixed-size thread pool with a blocking parallelFor. The
+ * paper's CPU GQA kernel runs across the host's 24 cores; the
+ * runtime uses this pool to parallelize attention across the tokens
+ * of a micro-batch.
+ */
+
+#ifndef MOELIGHT_COMMON_THREAD_POOL_HH
+#define MOELIGHT_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace moelight {
+
+/**
+ * Fixed worker pool. parallelFor blocks until every index has been
+ * processed; exceptions from the body propagate to the caller (first
+ * one wins).
+ */
+class ThreadPool
+{
+  public:
+    /** @param threads Worker count; 0 = hardware concurrency. */
+    explicit ThreadPool(std::size_t threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    std::size_t numThreads() const { return workers_.size(); }
+
+    /**
+     * Run @p body(i) for i in [0, n), distributing indices across
+     * the pool (the calling thread participates). Blocks until all
+     * complete.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &body);
+
+  private:
+    struct Batch;
+    void workerLoop();
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+    Batch *current_ = nullptr;
+    std::uint64_t generation_ = 0;  ///< bumps when current_ changes
+    std::vector<std::thread> workers_;
+};
+
+} // namespace moelight
+
+#endif // MOELIGHT_COMMON_THREAD_POOL_HH

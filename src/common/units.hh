@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Unit helpers and strongly-suggestive aliases used across the project.
+ *
+ * All byte quantities are plain doubles in *bytes*; all rates are in
+ * *bytes per second* or *FLOP/s*; all virtual times are in *seconds*
+ * (double) on the analytical side and integer nanoseconds inside the
+ * discrete-event simulator.
+ */
+
+#ifndef MOELIGHT_COMMON_UNITS_HH
+#define MOELIGHT_COMMON_UNITS_HH
+
+#include <cstdint>
+
+namespace moelight {
+
+/** Bytes per second. */
+using Bandwidth = double;
+/** Floating point operations per second. */
+using Flops = double;
+/** Seconds (analytical model time). */
+using Seconds = double;
+/** Integer nanoseconds (simulator virtual time). */
+using SimTime = std::int64_t;
+
+constexpr double KiB = 1024.0;
+constexpr double MiB = 1024.0 * KiB;
+constexpr double GiB = 1024.0 * MiB;
+
+constexpr double KB = 1e3;
+constexpr double MB = 1e6;
+constexpr double GB = 1e9;
+
+constexpr double GFLOP = 1e9;
+constexpr double TFLOP = 1e12;
+
+/** Convert seconds to simulator nanoseconds (round to nearest). */
+constexpr SimTime
+toSimTime(Seconds s)
+{
+    return static_cast<SimTime>(s * 1e9 + 0.5);
+}
+
+/** Convert simulator nanoseconds to seconds. */
+constexpr Seconds
+toSeconds(SimTime t)
+{
+    return static_cast<Seconds>(t) * 1e-9;
+}
+
+} // namespace moelight
+
+#endif // MOELIGHT_COMMON_UNITS_HH

@@ -1,0 +1,110 @@
+#include "hrm/hrm.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace moelight {
+
+Hrm::Hrm(const HardwareConfig &hw)
+    : gpu_{hw.effPg(), hw.effBg()},
+      cpu_{hw.effPc(), hw.effBc()},
+      link_(hw.effBcg())
+{
+    // The HRM assumes the level ordering of the paper's footnote:
+    // level i (GPU) is at least as fast as level j (CPU), and the
+    // cross-level link is the slowest path.
+    fatalIf(link_ > cpu_.peakBw,
+            "HRM requires link bandwidth <= CPU memory bandwidth");
+}
+
+Flops
+Hrm::attainableOnGpuFromCpu(double iGpu, double iCpu) const
+{
+    double roof_link = link_ * iCpu;
+    double roof_gpu = gpu_.attainable(iGpu);
+    return roof_link < roof_gpu ? roof_link : roof_gpu;
+}
+
+Flops
+Hrm::attainableOnCpu(double iCpu) const
+{
+    return cpu_.attainable(iCpu);
+}
+
+Flops
+Hrm::attainableOnGpu(double iGpu) const
+{
+    return gpu_.attainable(iGpu);
+}
+
+double
+Hrm::turningPointP1() const
+{
+    // Solve B_ji * I == min(P_j, B_j * I). Because B_j >= B_ji, the
+    // memory-bound branch B_j*I > B_ji*I for all I > 0, so the
+    // crossing sits on the CPU compute roof: I = P_j / B_ji.
+    return cpu_.peakFlops / link_;
+}
+
+double
+Hrm::turningPointP2(double iGpu) const
+{
+    return gpu_.attainable(iGpu) / link_;
+}
+
+double
+Hrm::balancePointCpuIntensity(double iGpu) const
+{
+    return gpu_.peakBw * iGpu / link_;
+}
+
+bool
+Hrm::betterOnCpu(double iCpu) const
+{
+    return attainableOnCpu(iCpu) >= link_ * iCpu;
+}
+
+std::vector<HrmSeries>
+hrmRoofSeries(const Hrm &hrm, double iMin, double iMax, int points)
+{
+    fatalIf(iMin <= 0.0 || iMax <= iMin, "bad intensity range");
+    fatalIf(points < 2, "need at least 2 sample points");
+
+    std::vector<double> xs(points);
+    double lmin = std::log10(iMin), lmax = std::log10(iMax);
+    for (int p = 0; p < points; ++p) {
+        double t = static_cast<double>(p) / (points - 1);
+        xs[p] = std::pow(10.0, lmin + t * (lmax - lmin));
+    }
+
+    auto mk = [&](const std::string &label, auto f) {
+        HrmSeries s;
+        s.label = label;
+        s.intensity = xs;
+        s.gflops.reserve(xs.size());
+        for (double x : xs)
+            s.gflops.push_back(f(x) / GFLOP);
+        return s;
+    };
+
+    std::vector<HrmSeries> out;
+    out.push_back(mk("CPU Mem Bdw", [&](double i) {
+        return hrm.cpu().peakBw * i;
+    }));
+    out.push_back(mk("GPU Mem Bdw", [&](double i) {
+        return hrm.gpu().peakBw * i;
+    }));
+    out.push_back(mk("CPU-GPU Mem Bdw", [&](double i) {
+        return hrm.linkBw() * i;
+    }));
+    out.push_back(mk("CPU Peak FLOPS", [&](double) {
+        return hrm.cpu().peakFlops;
+    }));
+    out.push_back(mk("GPU Peak FLOPS", [&](double) {
+        return hrm.gpu().peakFlops;
+    }));
+    return out;
+}
+
+} // namespace moelight

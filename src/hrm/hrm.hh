@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Hierarchical Roofline Model (paper §3.2). Two memory levels are
+ * enough for this project: level i = GPU (HBM + GPU cores) and level
+ * j = CPU (DRAM + CPU cores), connected by the CPU->GPU link b_cg.
+ * Implements Eq. 7 (attainable perf with cross-level fetch), the
+ * turning points P1 (Eq. 9) and P2 (Eq. 10), and the balance point
+ * (Eq. 11), plus series generation for reproducing Figs. 4 and 5.
+ */
+
+#ifndef MOELIGHT_HRM_HRM_HH
+#define MOELIGHT_HRM_HRM_HH
+
+#include <string>
+#include <vector>
+
+#include "hrm/roofline.hh"
+#include "hw/hardware.hh"
+
+namespace moelight {
+
+/**
+ * A two-level hierarchical roofline: GPU level (i), CPU level (j) and
+ * the cross-level link. Uses *effective* rates from HardwareConfig so
+ * the same numbers drive analysis and the perf model.
+ */
+class Hrm
+{
+  public:
+    explicit Hrm(const HardwareConfig &hw);
+
+    /** Roofline of the GPU level (HBM bandwidth, GPU peak). */
+    const Roofline &gpu() const { return gpu_; }
+    /** Roofline of the CPU level (DRAM bandwidth, CPU peak). */
+    const Roofline &cpu() const { return cpu_; }
+    /** CPU->GPU link bandwidth (B^{j,i}_peak). */
+    Bandwidth linkBw() const { return link_; }
+
+    /**
+     * Attainable performance of a computation run on GPU whose data
+     * lives on CPU (Eq. 7): min of GPU compute roof, GPU memory roof
+     * at intensity @p iGpu, and link roof at intensity @p iCpu.
+     */
+    Flops attainableOnGpuFromCpu(double iGpu, double iCpu) const;
+
+    /** Attainable performance executing at a level without cross
+     *  traffic (Eq. 8). */
+    Flops attainableOnCpu(double iCpu) const;
+    Flops attainableOnGpu(double iGpu) const;
+
+    /**
+     * Turning point P1 (Eq. 9): the cross-level intensity Ī_j below
+     * which moving the data to the GPU cannot beat computing on the
+     * CPU. Solves B_ji * I = min(P_j, B_j * I).
+     */
+    double turningPointP1() const;
+
+    /**
+     * Turning point P2 (Eq. 10): cross-level intensity at which the
+     * link roof meets the GPU-side attainable performance for a GPU
+     * kernel running at intensity @p iGpu.
+     */
+    double turningPointP2(double iGpu) const;
+
+    /**
+     * Balance point (Eq. 11): the CPU-side intensity I_j at which
+     * B_i * iGpu == B_ji * I_j, i.e. the GPU memory roof and the link
+     * roof meet. Increasing I_j beyond this cannot help.
+     */
+    double balancePointCpuIntensity(double iGpu) const;
+
+    /**
+     * True when, at cross-level intensity @p iCpu, executing on the
+     * CPU yields at least the perf of shipping data to the GPU —
+     * the "attention belongs on the CPU" test from §3.3.
+     */
+    bool betterOnCpu(double iCpu) const;
+
+  private:
+    Roofline gpu_;
+    Roofline cpu_;
+    Bandwidth link_;
+};
+
+/** A single line/series for an HRM plot (log-log). */
+struct HrmSeries
+{
+    std::string label;
+    std::vector<double> intensity;   ///< x values (FLOPs/byte)
+    std::vector<double> gflops;      ///< y values (GFLOP/s)
+};
+
+/**
+ * Generate the five roof series of an HRM plot (CPU mem roof, GPU mem
+ * roof, link roof, CPU peak, GPU peak) over [iMin, iMax], @p points
+ * samples, log-spaced. Reproduces the line layout of Figs. 4-5.
+ */
+std::vector<HrmSeries> hrmRoofSeries(const Hrm &hrm, double iMin,
+                                     double iMax, int points = 64);
+
+} // namespace moelight
+
+#endif // MOELIGHT_HRM_HRM_HH

@@ -1,0 +1,122 @@
+#include "hrm/multi_level.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+#include "hw/hardware.hh"
+
+namespace moelight {
+
+MultiLevelHrm::MultiLevelHrm(std::vector<HrmLevel> levels,
+                             std::vector<Bandwidth> links)
+    : levels_(std::move(levels)), links_(std::move(links))
+{
+    fatalIf(levels_.empty(), "HRM needs at least one level");
+    fatalIf(links_.size() + 1 != levels_.size(),
+            "need exactly one link per adjacent level pair");
+    for (std::size_t i = 0; i + 1 < levels_.size(); ++i) {
+        fatalIf(levels_[i].peakFlops < levels_[i + 1].peakFlops,
+                "level ordering: compute must be non-increasing");
+        fatalIf(levels_[i].peakBw < levels_[i + 1].peakBw,
+                "level ordering: bandwidth must be non-increasing");
+        fatalIf(links_[i] > levels_[i + 1].peakBw,
+                "link ", i, " faster than the upper level's memory");
+        fatalIf(links_[i] <= 0.0, "link bandwidth must be positive");
+    }
+    for (const auto &l : levels_)
+        fatalIf(l.peakBw <= 0.0, "level '", l.name,
+                "' needs memory bandwidth");
+}
+
+const HrmLevel &
+MultiLevelHrm::level(std::size_t i) const
+{
+    panicIf(i >= levels_.size(), "level index out of range");
+    return levels_[i];
+}
+
+Bandwidth
+MultiLevelHrm::pathBandwidth(std::size_t i, std::size_t j) const
+{
+    panicIf(i > j || j >= levels_.size(), "bad path endpoints");
+    if (i == j)
+        return levels_[i].peakBw;
+    Bandwidth bw = std::numeric_limits<Bandwidth>::max();
+    for (std::size_t k = i; k < j; ++k)
+        bw = std::min(bw, links_[k]);
+    return bw;
+}
+
+Flops
+MultiLevelHrm::attainable(std::size_t exec, std::size_t data,
+                          double iExec, double iData) const
+{
+    panicIf(exec > data, "data must live at or above the exec level");
+    const HrmLevel &e = level(exec);
+    fatalIf(e.peakFlops <= 0.0, "level '", e.name, "' cannot compute");
+    double perf = std::min(e.peakFlops, e.peakBw * iExec);
+    if (exec != data)
+        perf = std::min(perf, pathBandwidth(exec, data) * iData);
+    return perf;
+}
+
+double
+MultiLevelHrm::turningPointP1(std::size_t exec, std::size_t data) const
+{
+    panicIf(exec >= data, "P1 needs a strictly lower exec level");
+    const HrmLevel &d = level(data);
+    if (d.peakFlops <= 0.0)
+        return 0.0;  // storage-only level: always worth shipping
+    // Solve B_path * I == min(P_data, B_data * I); since
+    // B_data >= B_path, the crossing is on the compute roof.
+    return d.peakFlops / pathBandwidth(exec, data);
+}
+
+double
+MultiLevelHrm::turningPointP2(std::size_t exec, std::size_t data,
+                              double iExec) const
+{
+    panicIf(exec >= data, "P2 needs a strictly lower exec level");
+    const HrmLevel &e = level(exec);
+    double kernel = std::min(e.peakFlops, e.peakBw * iExec);
+    return kernel / pathBandwidth(exec, data);
+}
+
+std::size_t
+MultiLevelHrm::bestExecLevel(std::size_t data, double iExec,
+                             double iData) const
+{
+    panicIf(data >= levels_.size(), "level index out of range");
+    std::size_t best = data;
+    double best_perf = -1.0;
+    for (std::size_t e = 0; e <= data; ++e) {
+        if (levels_[e].peakFlops <= 0.0)
+            continue;
+        double perf = attainable(e, data, iExec, iData);
+        // Ties favour staying closer to the data (>= with later e).
+        if (perf >= best_perf) {
+            best_perf = perf;
+            best = e;
+        }
+    }
+    panicIf(best_perf < 0.0, "no level can compute");
+    return best;
+}
+
+MultiLevelHrm
+withDiskTier(const HardwareConfig &hw, Bandwidth diskReadBw)
+{
+    fatalIf(diskReadBw <= 0.0, "disk bandwidth must be positive");
+    fatalIf(diskReadBw > hw.effBc(),
+            "disk faster than CPU DRAM violates the level ordering");
+    std::vector<HrmLevel> levels{
+        {"gpu", hw.effPg(), hw.effBg()},
+        {"cpu", hw.effPc(), hw.effBc()},
+        {"disk", 0.0, diskReadBw},
+    };
+    std::vector<Bandwidth> links{hw.effBcg(), diskReadBw};
+    return MultiLevelHrm(std::move(levels), std::move(links));
+}
+
+} // namespace moelight

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Generalized N-level Hierarchical Roofline Model. The two-level Hrm
+ * (hrm/hrm.hh) covers the paper's main setting; this extension
+ * implements §3.2's general formulation for an arbitrary chain of
+ * (processor, memory) levels connected by cross-level links — e.g.
+ * GPU / CPU / Disk, the disk tier the paper defers to future work
+ * ("Disk and other hardware support", Appendix C).
+ *
+ * Level 0 is the fastest (GPU); higher indices are farther from the
+ * compute (CPU DRAM, disk, ...). The paper's ordering assumption
+ * (footnote 1) is enforced: peak compute and bandwidth are
+ * non-increasing in the level index, and each cross link is no
+ * faster than the slower endpoint's memory.
+ */
+
+#ifndef MOELIGHT_HRM_MULTI_LEVEL_HH
+#define MOELIGHT_HRM_MULTI_LEVEL_HH
+
+#include <string>
+#include <vector>
+
+#include "hrm/roofline.hh"
+
+namespace moelight {
+
+/** One (processor, memory) level of the hierarchy. */
+struct HrmLevel
+{
+    std::string name;
+    Flops peakFlops = 0.0;   ///< P^i_peak (0 = storage-only level)
+    Bandwidth peakBw = 0.0;  ///< B^i_peak
+};
+
+/**
+ * An N-level hierarchy with links between *adjacent* levels
+ * (link[i] connects level i+1 -> level i). Data travelling multiple
+ * levels is bottlenecked by the slowest link it crosses.
+ */
+class MultiLevelHrm
+{
+  public:
+    /**
+     * @param levels Fastest first; at least one.
+     * @param links  links[i] = bandwidth from level i+1 to level i;
+     *               size must be levels.size() - 1.
+     */
+    MultiLevelHrm(std::vector<HrmLevel> levels,
+                  std::vector<Bandwidth> links);
+
+    std::size_t numLevels() const { return levels_.size(); }
+    const HrmLevel &level(std::size_t i) const;
+
+    /** Effective bandwidth of the path from level @p j down to level
+     *  @p i (min over the traversed links); j must be >= i.
+     *  pathBandwidth(i, i) is level i's own memory bandwidth. */
+    Bandwidth pathBandwidth(std::size_t i, std::size_t j) const;
+
+    /**
+     * Eq. 7 generalized: attainable performance of a computation
+     * executed on level @p exec whose data resides on level @p data,
+     * with operational intensities @p iExec (vs the exec level's
+     * memory) and @p iData (vs the data actually moved).
+     */
+    Flops attainable(std::size_t exec, std::size_t data, double iExec,
+                     double iData) const;
+
+    /**
+     * Eq. 9 generalized: the cross-level intensity below which
+     * computing at the data's own level @p data beats shipping the
+     * data to @p exec. Returns +inf when the data level cannot
+     * compute at all (pure storage, peakFlops == 0).
+     */
+    double turningPointP1(std::size_t exec, std::size_t data) const;
+
+    /** Eq. 10 generalized: cross-level intensity where the transfer
+     *  roof meets the exec level's kernel roof at @p iExec. */
+    double turningPointP2(std::size_t exec, std::size_t data,
+                          double iExec) const;
+
+    /**
+     * Best placement: among levels [0, data] that can compute,
+     * return the one with the highest attainable performance for a
+     * kernel with per-level intensity @p iExec and cross-level
+     * intensity @p iData. Ties go to the level closest to the data.
+     */
+    std::size_t bestExecLevel(std::size_t data, double iExec,
+                              double iData) const;
+
+  private:
+    std::vector<HrmLevel> levels_;
+    std::vector<Bandwidth> links_;
+};
+
+/** GPU / CPU / NVMe-disk hierarchy built from a HardwareConfig plus
+ *  a disk tier (paper Appendix C). */
+struct HardwareConfig;
+MultiLevelHrm withDiskTier(const HardwareConfig &hw,
+                           Bandwidth diskReadBw);
+
+} // namespace moelight
+
+#endif // MOELIGHT_HRM_MULTI_LEVEL_HH

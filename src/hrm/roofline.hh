@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Classic Roofline Model (Williams et al., CACM'09) primitives: a
+ * (peak compute, peak bandwidth) pair, the attainable-performance
+ * function P = min(Ppeak, Bpeak * I), and the critical intensity at
+ * the ridge point (paper Eq. 3).
+ */
+
+#ifndef MOELIGHT_HRM_ROOFLINE_HH
+#define MOELIGHT_HRM_ROOFLINE_HH
+
+#include "common/units.hh"
+
+namespace moelight {
+
+/** One compute device and the memory it directly accesses. */
+struct Roofline
+{
+    Flops peakFlops = 0.0;       ///< P_peak
+    Bandwidth peakBw = 0.0;      ///< B_peak
+
+    /** Attainable performance at operational intensity @p i (Eq. 1-2). */
+    Flops
+    attainable(double i) const
+    {
+        double mem = peakBw * i;
+        return mem < peakFlops ? mem : peakFlops;
+    }
+
+    /** Ridge-point intensity Ī = P_peak / B_peak (Eq. 3). */
+    double ridgeIntensity() const { return peakFlops / peakBw; }
+
+    /** True when intensity @p i puts the kernel in the memory-bound
+     *  region. */
+    bool memoryBound(double i) const { return i < ridgeIntensity(); }
+};
+
+} // namespace moelight
+
+#endif // MOELIGHT_HRM_ROOFLINE_HH

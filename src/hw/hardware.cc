@@ -1,0 +1,157 @@
+#include "hw/hardware.hh"
+
+#include "common/logging.hh"
+
+namespace moelight {
+
+void
+HardwareConfig::validate() const
+{
+    fatalIf(gpuMem <= 0 || cpuMem <= 0, "hardware '", name,
+            "': memory sizes must be positive");
+    fatalIf(bg <= 0 || bc <= 0 || bcg <= 0, "hardware '", name,
+            "': bandwidths must be positive");
+    fatalIf(pg <= 0 || pc <= 0, "hardware '", name,
+            "': FLOP rates must be positive");
+    fatalIf(numGpus == 0, "hardware '", name, "': numGpus == 0");
+    fatalIf(bcg > bc, "hardware '", name,
+            "': CPU-GPU link faster than CPU DRAM violates the HRM "
+            "level ordering assumption");
+}
+
+namespace {
+
+HardwareConfig
+xeonHost24()
+{
+    HardwareConfig h;
+    h.cpuMem = 192 * GiB;
+    h.bc = 100 * GB;
+    h.pc = 1.3 * TFLOP;
+    return h;
+}
+
+HardwareConfig
+xeonHost32()
+{
+    HardwareConfig h;
+    h.cpuMem = 416 * GiB;
+    h.bc = 120 * GB;
+    h.pc = 1.7 * TFLOP;
+    return h;
+}
+
+} // namespace
+
+HardwareConfig
+t4Host()
+{
+    HardwareConfig h = xeonHost24();
+    h.name = "1xT4";
+    h.gpuMem = 16 * GiB;
+    h.bg = 300 * GB;
+    h.bcg = 16 * GB;  // PCIe gen3 x16
+    h.pg = 65 * TFLOP;
+    h.validate();
+    return h;
+}
+
+HardwareConfig
+l4Host()
+{
+    HardwareConfig h = xeonHost24();
+    h.name = "1xL4";
+    h.gpuMem = 24 * GiB;
+    h.bg = 300 * GB;
+    h.bcg = 32 * GB;  // PCIe gen4 x16 (paper Fig. 3)
+    h.pg = 242 * TFLOP;
+    h.validate();
+    return h;
+}
+
+HardwareConfig
+multiT4Host(std::size_t n)
+{
+    fatalIf(n == 0, "multiT4Host needs at least one GPU");
+    HardwareConfig one = t4Host();
+    HardwareConfig h = xeonHost32();
+    h.name = std::to_string(n) + "xT4";
+    h.gpuMem = one.gpuMem * static_cast<double>(n);
+    h.bg = one.bg * static_cast<double>(n);
+    h.bcg = one.bcg * static_cast<double>(n);
+    h.pg = one.pg * static_cast<double>(n);
+    h.numGpus = n;
+    h.validate();
+    return h;
+}
+
+HardwareConfig
+a100x2Host()
+{
+    HardwareConfig h;
+    h.name = "2xA100-80G";
+    h.gpuMem = 160 * GiB;
+    h.cpuMem = 1024 * GiB;
+    h.bg = 2 * 2039 * GB;
+    h.bc = 200 * GB;
+    h.bcg = 2 * 64 * GB;  // PCIe gen4 x16 per GPU
+    h.pg = 2 * 312 * TFLOP;
+    h.pc = 1.6 * TFLOP;
+    h.numGpus = 2;
+    h.validate();
+    return h;
+}
+
+HardwareConfig
+tensorParallel(const HardwareConfig &base, std::size_t tp)
+{
+    fatalIf(tp == 0, "tensor parallel degree must be positive");
+    HardwareConfig h = base;
+    double f = static_cast<double>(tp);
+    h.name = base.name + "-tp" + std::to_string(tp);
+    h.gpuMem *= f;
+    h.bg *= f;
+    h.bcg *= f;
+    h.pg *= f;
+    h.numGpus = base.numGpus * tp;
+    h.validate();
+    return h;
+}
+
+Setting
+settingS1()
+{
+    return {"S1", mixtral8x7b(), t4Host()};
+}
+
+Setting
+settingS2()
+{
+    return {"S2", mixtral8x7b(), l4Host()};
+}
+
+Setting
+settingS6()
+{
+    return {"S6", mixtral8x22b(), multiT4Host(2)};
+}
+
+Setting
+settingS7()
+{
+    return {"S7", mixtral8x22b(), multiT4Host(4)};
+}
+
+Setting
+settingS8()
+{
+    return {"S8", dbrx(), multiT4Host(2)};
+}
+
+Setting
+settingS9()
+{
+    return {"S9", dbrx(), multiT4Host(4)};
+}
+
+} // namespace moelight

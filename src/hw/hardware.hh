@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Hardware configurations H from the paper's notation table: GPU/CPU
+ * memory capacities, the three memory bandwidths (GPU HBM, CPU DRAM,
+ * CPU<->GPU link), and peak FLOP rates. Presets cover the T4/L4/A100
+ * GPUs and Xeon hosts of Tab. 2, plus the S1..S9 model+hardware
+ * pairings used throughout the evaluation.
+ */
+
+#ifndef MOELIGHT_HW_HARDWARE_HH
+#define MOELIGHT_HW_HARDWARE_HH
+
+#include <cstddef>
+#include <string>
+
+#include "common/units.hh"
+#include "model/model_config.hh"
+
+namespace moelight {
+
+/**
+ * A single-node heterogeneous machine. Multi-GPU (tensor-parallel)
+ * variants are derived with tensorParallel(); fields then hold the
+ * *aggregate* GPU resources and numGpus records the group size.
+ */
+struct HardwareConfig
+{
+    std::string name;
+    double gpuMem = 0.0;   ///< aggregate GPU memory, bytes (m_g)
+    double cpuMem = 0.0;   ///< CPU DRAM, bytes (m_c)
+    Bandwidth bg = 0.0;    ///< aggregate GPU HBM bandwidth (b_g)
+    Bandwidth bc = 0.0;    ///< CPU DRAM bandwidth (b_c)
+    Bandwidth bcg = 0.0;   ///< aggregate CPU<->GPU link bandwidth (b_cg)
+    Flops pg = 0.0;        ///< aggregate GPU peak FLOP/s (p_g)
+    Flops pc = 0.0;        ///< CPU peak FLOP/s (p_c)
+    std::size_t numGpus = 1;
+
+    /**
+     * Kernel efficiency factors: achievable fraction of the peak for
+     * real kernels ("profiled peak performance", §4.2). Compute
+     * efficiencies apply to pg/pc; linkEff to bcg.
+     */
+    double gpuComputeEff = 0.75;
+    double cpuComputeEff = 0.60;
+    double gpuMemEff = 0.85;
+    double cpuMemEff = 0.70;
+    double linkEff = 0.85;
+
+    /** Effective (efficiency-scaled) rates. */
+    Flops effPg() const { return pg * gpuComputeEff; }
+    Flops effPc() const { return pc * cpuComputeEff; }
+    Bandwidth effBg() const { return bg * gpuMemEff; }
+    Bandwidth effBc() const { return bc * cpuMemEff; }
+    Bandwidth effBcg() const { return bcg * linkEff; }
+
+    /** Sanity-check; throws FatalError when malformed. */
+    void validate() const;
+};
+
+/** NVIDIA T4 (16 GB, ~300 GB/s, 65 TFLOP/s fp16) + 24-core Xeon host. */
+HardwareConfig t4Host();
+/** NVIDIA L4 (24 GB, 300 GB/s, 242 TFLOP/s) + 24-core Xeon host
+ *  (paper Fig. 3). */
+HardwareConfig l4Host();
+/** 32-core Xeon host with n T4s (Tab. 2 S6-S9 host, 416 GB DRAM). */
+HardwareConfig multiT4Host(std::size_t n);
+/** 2xA100-80G host used by the §6.3 case study. */
+HardwareConfig a100x2Host();
+
+/**
+ * Derive a tensor-parallel aggregate from a single-GPU config:
+ * tp x GPU memory, HBM bandwidth, compute, and link bandwidth (each
+ * GPU owns its PCIe link and transfers only its weight shard; §4.3).
+ * Host-side resources are unchanged.
+ */
+HardwareConfig tensorParallel(const HardwareConfig &base, std::size_t tp);
+
+/** A model+hardware pairing from Tab. 2. */
+struct Setting
+{
+    std::string name;
+    ModelConfig model;
+    HardwareConfig hw;
+};
+
+Setting settingS1();  ///< Mixtral 8x7B on 1xT4, 192 GB host
+Setting settingS2();  ///< Mixtral 8x7B on 1xL4, 192 GB host
+Setting settingS6();  ///< Mixtral 8x22B on 2xT4, 416 GB host
+Setting settingS7();  ///< Mixtral 8x22B on 4xT4, 416 GB host
+Setting settingS8();  ///< DBRX on 2xT4, 416 GB host
+Setting settingS9();  ///< DBRX on 4xT4, 416 GB host
+
+} // namespace moelight
+
+#endif // MOELIGHT_HW_HARDWARE_HH

@@ -1,0 +1,115 @@
+#include "kernels/attention.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "kernels/linalg.hh"
+#include "kernels/ops.hh"
+
+namespace moelight {
+
+const float *
+KvView::kAt(std::size_t t, std::size_t h) const
+{
+    panicIf(t >= contextLen, "KV token index out of range");
+    std::size_t page = t / pageTokens;
+    std::size_t off = t % pageTokens;
+    panicIf(page >= kPages.size(), "KV page index out of range");
+    return kPages[page] + (off * nKv + h) * headDim;
+}
+
+const float *
+KvView::vAt(std::size_t t, std::size_t h) const
+{
+    panicIf(t >= contextLen, "KV token index out of range");
+    std::size_t page = t / pageTokens;
+    std::size_t off = t % pageTokens;
+    panicIf(page >= vPages.size(), "KV page index out of range");
+    return vPages[page] + (off * nKv + h) * headDim;
+}
+
+void
+gqaDecodeAttention(const float *q, std::size_t nQ, const KvView &kv,
+                   float *out, float scale, std::span<float> scratch)
+{
+    panicIf(kv.nKv == 0 || nQ % kv.nKv != 0,
+            "query heads must be a multiple of KV heads");
+    panicIf(kv.contextLen == 0, "attention over empty context");
+    panicIf(scratch.size() < kv.contextLen, "attention scratch too small");
+    std::size_t group = nQ / kv.nKv;
+    std::span<float> scores = scratch.subspan(0, kv.contextLen);
+
+    for (std::size_t h = 0; h < nQ; ++h) {
+        std::size_t kvh = h / group;
+        const float *qh = q + h * kv.headDim;
+        for (std::size_t t = 0; t < kv.contextLen; ++t)
+            scores[t] = scale * dot(qh, kv.kAt(t, kvh), kv.headDim);
+        softmaxInPlace(scores);
+        float *oh = out + h * kv.headDim;
+        std::memset(oh, 0, kv.headDim * sizeof(float));
+        for (std::size_t t = 0; t < kv.contextLen; ++t)
+            accumulateScaled(oh, kv.vAt(t, kvh), scores[t], kv.headDim);
+    }
+}
+
+void
+gqaDecodeAttention(const float *q, std::size_t nQ, const KvView &kv,
+                   float *out, float scale)
+{
+    std::vector<float> scratch(kv.contextLen);
+    gqaDecodeAttention(q, nQ, kv, out, scale, scratch);
+}
+
+void
+gqaDecodeAttentionBatch(const float *qBatch, std::size_t qStride,
+                        std::size_t nQ, std::span<const KvView> kvs,
+                        float *outBatch, std::size_t outStride,
+                        float scale, ThreadPool *pool)
+{
+    auto body = [&](std::size_t t) {
+        // Per-token scratch so workers never share score buffers.
+        std::vector<float> scratch(kvs[t].contextLen);
+        gqaDecodeAttention(qBatch + t * qStride, nQ, kvs[t],
+                           outBatch + t * outStride, scale, scratch);
+    };
+    if (pool) {
+        pool->parallelFor(kvs.size(), body);
+    } else {
+        for (std::size_t t = 0; t < kvs.size(); ++t)
+            body(t);
+    }
+}
+
+void
+gqaPrefillAttention(const float *q, const float *k, const float *v,
+                    std::size_t seq, std::size_t nQ, std::size_t nKv,
+                    std::size_t headDim, float *out, float scale)
+{
+    panicIf(nKv == 0 || nQ % nKv != 0,
+            "query heads must be a multiple of KV heads");
+    std::size_t group = nQ / nKv;
+    std::vector<float> scores(seq);
+
+    for (std::size_t i = 0; i < seq; ++i) {
+        for (std::size_t h = 0; h < nQ; ++h) {
+            std::size_t kvh = h / group;
+            const float *qh = q + (i * nQ + h) * headDim;
+            std::size_t ctx = i + 1;  // causal mask
+            for (std::size_t t = 0; t < ctx; ++t) {
+                const float *kt = k + (t * nKv + kvh) * headDim;
+                scores[t] = scale * dot(qh, kt, headDim);
+            }
+            softmaxInPlace({scores.data(), ctx});
+            float *oh = out + (i * nQ + h) * headDim;
+            std::memset(oh, 0, headDim * sizeof(float));
+            for (std::size_t t = 0; t < ctx; ++t) {
+                const float *vt = v + (t * nKv + kvh) * headDim;
+                accumulateScaled(oh, vt, scores[t], headDim);
+            }
+        }
+    }
+}
+
+} // namespace moelight

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Grouped-query decode attention over a *paged* KV cache. This is the
+ * CPU attention kernel that MoE-Lightning runs host-side (the paper
+ * implements the same kernel on top of Intel MKL); here it is a
+ * portable C++ implementation with identical semantics.
+ *
+ * KV layout: the cache for one sequence is a list of pages; each page
+ * stores up to pageTokens tokens, each token holding nKv heads of
+ * headDim floats, i.e. page shape [pageTokens, nKv, headDim], row-major.
+ */
+
+#ifndef MOELIGHT_KERNELS_ATTENTION_HH
+#define MOELIGHT_KERNELS_ATTENTION_HH
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace moelight {
+
+/** A read-only view over one sequence's paged K and V. */
+struct KvView
+{
+    /** K pages, each pointing at [pageTokens, nKv, headDim] floats. */
+    std::span<const float *const> kPages;
+    /** V pages, same layout as kPages. */
+    std::span<const float *const> vPages;
+    /** Tokens per page (all pages, last may be partially filled). */
+    std::size_t pageTokens = 0;
+    /** Valid context length in tokens. */
+    std::size_t contextLen = 0;
+    /** Number of KV heads. */
+    std::size_t nKv = 0;
+    /** Per-head dimension. */
+    std::size_t headDim = 0;
+
+    /** Pointer to K for token @p t, head @p h. */
+    const float *kAt(std::size_t t, std::size_t h) const;
+    /** Pointer to V for token @p t, head @p h. */
+    const float *vAt(std::size_t t, std::size_t h) const;
+};
+
+/**
+ * Decode-stage GQA for one token of one sequence.
+ *
+ * @param q      Query vector, [nQ, headDim] row-major.
+ * @param nQ     Number of query heads; must be a multiple of kv.nKv.
+ * @param kv     Paged KV view with contextLen tokens.
+ * @param out    Output, [nQ, headDim]; overwritten.
+ * @param scale  Logit scale, normally 1/sqrt(headDim).
+ * @param scratch Caller-provided scratch of at least kv.contextLen
+ *                floats (score buffer), to avoid per-call allocation.
+ */
+void gqaDecodeAttention(const float *q, std::size_t nQ, const KvView &kv,
+                        float *out, float scale, std::span<float> scratch);
+
+/** Convenience overload that allocates its own scratch. */
+void gqaDecodeAttention(const float *q, std::size_t nQ, const KvView &kv,
+                        float *out, float scale);
+
+class ThreadPool;
+
+/**
+ * Batched decode GQA across a micro-batch: token @p t uses query
+ * qBatch + t*qStride, KV view kvs[t], and writes outBatch +
+ * t*outStride. When @p pool is non-null, tokens are distributed
+ * across the pool — the multi-core host attention of the paper's
+ * MKL kernel. Results are identical with or without the pool.
+ */
+void gqaDecodeAttentionBatch(const float *qBatch, std::size_t qStride,
+                             std::size_t nQ,
+                             std::span<const KvView> kvs,
+                             float *outBatch, std::size_t outStride,
+                             float scale, ThreadPool *pool = nullptr);
+
+/**
+ * Full (non-paged) causal prefill attention for one sequence:
+ * q,k,v are [seq, nHeads(*)*headDim]; q has nQ heads, k/v have nKv.
+ * Output is [seq, nQ*headDim]. Used by the reference engine and the
+ * prefill stage of the pipelined engine.
+ */
+void gqaPrefillAttention(const float *q, const float *k, const float *v,
+                         std::size_t seq, std::size_t nQ, std::size_t nKv,
+                         std::size_t headDim, float *out, float scale);
+
+} // namespace moelight
+
+#endif // MOELIGHT_KERNELS_ATTENTION_HH

@@ -1,0 +1,95 @@
+#include "kernels/linalg.hh"
+
+#include <cstring>
+
+#include "tensor/tensor.hh"
+
+namespace moelight {
+
+namespace {
+
+constexpr std::size_t kBlock = 64;
+
+} // namespace
+
+void
+matmul(const float *a, const float *b, float *c, std::size_t m,
+       std::size_t k, std::size_t n)
+{
+    std::memset(c, 0, m * n * sizeof(float));
+    for (std::size_t i0 = 0; i0 < m; i0 += kBlock) {
+        std::size_t i_max = std::min(i0 + kBlock, m);
+        for (std::size_t l0 = 0; l0 < k; l0 += kBlock) {
+            std::size_t l_max = std::min(l0 + kBlock, k);
+            for (std::size_t i = i0; i < i_max; ++i) {
+                for (std::size_t l = l0; l < l_max; ++l) {
+                    float av = a[i * k + l];
+                    const float *brow = b + l * n;
+                    float *crow = c + i * n;
+                    for (std::size_t j = 0; j < n; ++j)
+                        crow[j] += av * brow[j];
+                }
+            }
+        }
+    }
+}
+
+void
+matmulTransposedB(const float *a, const float *w, float *c, std::size_t m,
+                  std::size_t k, std::size_t n)
+{
+    for (std::size_t i = 0; i < m; ++i) {
+        const float *arow = a + i * k;
+        float *crow = c + i * n;
+        for (std::size_t j = 0; j < n; ++j)
+            crow[j] = dot(arow, w + j * k, k);
+    }
+}
+
+void
+matmul(const Tensor &a, const Tensor &b, Tensor &c)
+{
+    panicIf(a.rank() != 2 || b.rank() != 2 || c.rank() != 2,
+            "matmul expects rank-2 tensors");
+    std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+    panicIf(b.dim(0) != k, "matmul inner dim mismatch");
+    panicIf(c.dim(0) != m || c.dim(1) != n, "matmul output shape mismatch");
+    matmul(a.data(), b.data(), c.data(), m, k, n);
+}
+
+void
+matmulTransposedB(const Tensor &a, const Tensor &w, Tensor &c)
+{
+    panicIf(a.rank() != 2 || w.rank() != 2 || c.rank() != 2,
+            "matmulTransposedB expects rank-2 tensors");
+    std::size_t m = a.dim(0), k = a.dim(1), n = w.dim(0);
+    panicIf(w.dim(1) != k, "matmulTransposedB inner dim mismatch");
+    panicIf(c.dim(0) != m || c.dim(1) != n,
+            "matmulTransposedB output shape mismatch");
+    matmulTransposedB(a.data(), w.data(), c.data(), m, k, n);
+}
+
+void
+accumulate(float *y, const float *x, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        y[i] += x[i];
+}
+
+void
+accumulateScaled(float *y, const float *x, float s, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        y[i] += s * x[i];
+}
+
+float
+dot(const float *x, const float *y, std::size_t n)
+{
+    float acc = 0.0f;
+    for (std::size_t i = 0; i < n; ++i)
+        acc += x[i] * y[i];
+    return acc;
+}
+
+} // namespace moelight

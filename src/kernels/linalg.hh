@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Basic dense linear algebra kernels (float32). These back the
+ * functional runtime; they are written for clarity and cache-blocked
+ * enough to be usable on the tiny synthetic models the runtime runs.
+ */
+
+#ifndef MOELIGHT_KERNELS_LINALG_HH
+#define MOELIGHT_KERNELS_LINALG_HH
+
+#include <cstddef>
+
+namespace moelight {
+
+class Tensor;
+
+/**
+ * C[m,n] = A[m,k] * B[k,n]. All row-major, no aliasing.
+ */
+void matmul(const float *a, const float *b, float *c, std::size_t m,
+            std::size_t k, std::size_t n);
+
+/**
+ * C[m,n] = A[m,k] * W[n,k]^T. W stored row-major as [out, in], the
+ * conventional layout for projection weights. No aliasing.
+ */
+void matmulTransposedB(const float *a, const float *w, float *c,
+                       std::size_t m, std::size_t k, std::size_t n);
+
+/** Tensor convenience wrappers with shape checking. */
+void matmul(const Tensor &a, const Tensor &b, Tensor &c);
+void matmulTransposedB(const Tensor &a, const Tensor &w, Tensor &c);
+
+/** y[i] += x[i] for n elements. */
+void accumulate(float *y, const float *x, std::size_t n);
+
+/** y[i] += s * x[i] for n elements. */
+void accumulateScaled(float *y, const float *x, float s, std::size_t n);
+
+/** Dot product of two length-n vectors. */
+float dot(const float *x, const float *y, std::size_t n);
+
+} // namespace moelight
+
+#endif // MOELIGHT_KERNELS_LINALG_HH

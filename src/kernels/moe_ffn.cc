@@ -1,0 +1,51 @@
+#include "kernels/moe_ffn.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+#include "kernels/linalg.hh"
+#include "kernels/ops.hh"
+
+namespace moelight {
+
+void
+expertFfnForward(const float *x, const ExpertWeights &w, std::size_t h1,
+                 std::size_t h2, float *out, std::span<float> scratch)
+{
+    panicIf(scratch.size() < expertFfnScratchSize(h2),
+            "expert FFN scratch too small");
+    float *gate = scratch.data();
+    float *up = scratch.data() + h2;
+    matmulTransposedB(x, w.w1, gate, 1, h1, h2);
+    matmulTransposedB(x, w.w3, up, 1, h1, h2);
+    swiglu(gate, up, gate, h2);
+    matmulTransposedB(gate, w.w2, out, 1, h2, h1);
+}
+
+void
+moeFfnForward(const float *x, std::span<const TokenRouting> routing,
+              const ExpertResolver &resolve, std::size_t tokens,
+              std::size_t h1, std::size_t h2, float *out)
+{
+    panicIf(routing.size() != tokens, "routing size != token count");
+    std::vector<float> scratch(expertFfnScratchSize(h2));
+    std::vector<float> expert_out(h1);
+    std::memset(out, 0, tokens * h1 * sizeof(float));
+
+    for (std::size_t t = 0; t < tokens; ++t) {
+        const TokenRouting &r = routing[t];
+        panicIf(r.experts.size() != r.weights.size(),
+                "malformed routing entry");
+        const float *xt = x + t * h1;
+        float *ot = out + t * h1;
+        for (std::size_t e = 0; e < r.experts.size(); ++e) {
+            ExpertWeights w = resolve(r.experts[e]);
+            panicIf(!w.w1 || !w.w2 || !w.w3,
+                    "expert resolver returned null weights");
+            expertFfnForward(xt, w, h1, h2, expert_out.data(), scratch);
+            accumulateScaled(ot, expert_out.data(), r.weights[e], h1);
+        }
+    }
+}
+
+} // namespace moelight

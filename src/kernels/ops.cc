@@ -1,0 +1,64 @@
+#include "kernels/ops.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace moelight {
+
+void
+softmaxInPlace(std::span<float> x)
+{
+    panicIf(x.empty(), "softmax over empty span");
+    float mx = x[0];
+    for (float v : x)
+        mx = std::max(mx, v);
+    float sum = 0.0f;
+    for (auto &v : x) {
+        v = std::exp(v - mx);
+        sum += v;
+    }
+    for (auto &v : x)
+        v /= sum;
+}
+
+void
+rmsNorm(const float *x, const float *weight, float *out, std::size_t n,
+        float eps)
+{
+    double ss = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        ss += static_cast<double>(x[i]) * x[i];
+    float inv = 1.0f / std::sqrt(static_cast<float>(ss / n) + eps);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = x[i] * inv * weight[i];
+}
+
+void
+siluInPlace(std::span<float> x)
+{
+    for (auto &v : x)
+        v = v / (1.0f + std::exp(-v));
+}
+
+void
+swiglu(const float *gate, const float *up, float *out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        float g = gate[i] / (1.0f + std::exp(-gate[i]));
+        out[i] = g * up[i];
+    }
+}
+
+std::size_t
+argmax(std::span<const float> x)
+{
+    panicIf(x.empty(), "argmax over empty span");
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < x.size(); ++i)
+        if (x[i] > x[best])
+            best = i;
+    return best;
+}
+
+} // namespace moelight

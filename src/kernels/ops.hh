@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Elementwise / normalization kernels: softmax, RMSNorm, SiLU and the
+ * SwiGLU combination used by Mixtral-style expert FFNs.
+ */
+
+#ifndef MOELIGHT_KERNELS_OPS_HH
+#define MOELIGHT_KERNELS_OPS_HH
+
+#include <cstddef>
+#include <span>
+
+namespace moelight {
+
+/** Numerically stable in-place softmax over @p x. */
+void softmaxInPlace(std::span<float> x);
+
+/**
+ * RMSNorm: out[i] = x[i] / rms(x) * weight[i], rms over the last dim.
+ * @p x and @p out may alias.
+ */
+void rmsNorm(const float *x, const float *weight, float *out,
+             std::size_t n, float eps = 1e-5f);
+
+/** SiLU activation x * sigmoid(x), in place. */
+void siluInPlace(std::span<float> x);
+
+/**
+ * SwiGLU gate combine: out[i] = silu(gate[i]) * up[i]. @p out may alias
+ * @p gate or @p up.
+ */
+void swiglu(const float *gate, const float *up, float *out, std::size_t n);
+
+/** Index of the maximum element (ties: lowest index). */
+std::size_t argmax(std::span<const float> x);
+
+} // namespace moelight
+
+#endif // MOELIGHT_KERNELS_OPS_HH

@@ -1,0 +1,155 @@
+#include "kernels/quant.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace moelight {
+
+std::size_t
+quantizedBytes(QuantKind kind, std::size_t n)
+{
+    return kind == QuantKind::Int8 ? n : (n + 1) / 2;
+}
+
+QuantizedBuffer::QuantizedBuffer(std::span<const float> src,
+                                 QuantKind kind, std::size_t groupSize)
+    : kind_(kind), n_(src.size()), group_(groupSize)
+{
+    fatalIf(group_ == 0, "quantization group size must be positive");
+    fatalIf(n_ == 0, "cannot quantize an empty buffer");
+    fatalIf(n_ % group_ != 0,
+            "quantized size must be a multiple of the group size");
+    if (kind_ == QuantKind::Int4)
+        fatalIf(group_ % 2 != 0,
+                "int4 group size must be even (packed nibbles)");
+
+    std::size_t groups = n_ / group_;
+    scales_.resize(groups);
+    data_.resize(quantizedBytes(kind_, n_));
+
+    double qmax = kind_ == QuantKind::Int8 ? 127.0 : 7.0;
+    for (std::size_t g = 0; g < groups; ++g) {
+        float mx = 0.0f;
+        for (std::size_t i = 0; i < group_; ++i)
+            mx = std::max(mx, std::abs(src[g * group_ + i]));
+        float scale = mx > 0.0f
+            ? mx / static_cast<float>(qmax)
+            : 1.0f;
+        scales_[g] = scale;
+        for (std::size_t i = 0; i < group_; ++i) {
+            std::size_t idx = g * group_ + i;
+            int q = static_cast<int>(
+                std::lround(src[idx] / scale));
+            q = std::clamp(q, -static_cast<int>(qmax),
+                           static_cast<int>(qmax));
+            if (kind_ == QuantKind::Int8) {
+                data_[idx] = static_cast<std::uint8_t>(
+                    static_cast<std::int8_t>(q));
+            } else {
+                std::uint8_t nib =
+                    static_cast<std::uint8_t>(q & 0xF);
+                if (idx % 2 == 0)
+                    data_[idx / 2] = nib;
+                else
+                    data_[idx / 2] |= static_cast<std::uint8_t>(
+                        nib << 4);
+            }
+        }
+    }
+}
+
+namespace {
+
+/** Sign-extend a 4-bit two's-complement nibble. */
+int
+nibbleToInt(std::uint8_t nib)
+{
+    int v = nib & 0xF;
+    return v >= 8 ? v - 16 : v;
+}
+
+} // namespace
+
+void
+QuantizedBuffer::dequantizeRange(std::size_t offset, std::size_t count,
+                                 std::span<float> dst) const
+{
+    panicIf(offset % group_ != 0 || count % group_ != 0,
+            "dequantizeRange must be group-aligned");
+    panicIf(offset + count > n_, "dequantize range out of bounds");
+    panicIf(dst.size() < count, "dequantize destination too small");
+    for (std::size_t i = 0; i < count; ++i) {
+        std::size_t idx = offset + i;
+        float scale = scales_[idx / group_];
+        int q;
+        if (kind_ == QuantKind::Int8) {
+            q = static_cast<std::int8_t>(data_[idx]);
+        } else {
+            std::uint8_t byte = data_[idx / 2];
+            q = nibbleToInt(idx % 2 == 0
+                                ? byte & 0xF
+                                : static_cast<std::uint8_t>(byte >> 4));
+        }
+        dst[i] = scale * static_cast<float>(q);
+    }
+}
+
+void
+QuantizedBuffer::dequantize(std::span<float> dst) const
+{
+    dequantizeRange(0, n_, dst);
+}
+
+std::size_t
+QuantizedBuffer::storageBytes() const
+{
+    return data_.size() + scales_.size() * sizeof(float);
+}
+
+double
+QuantizedBuffer::errorBound(QuantKind kind, double maxAbs)
+{
+    double qmax = kind == QuantKind::Int8 ? 127.0 : 7.0;
+    // Round-to-nearest: half a quantization step.
+    return 0.5 * maxAbs / qmax + 1e-7;
+}
+
+void
+gqaDecodeAttentionQuant(const float *q, std::size_t nQ,
+                        std::span<const QuantizedBuffer> kPages,
+                        std::span<const QuantizedBuffer> vPages,
+                        std::size_t pageTokens, std::size_t contextLen,
+                        std::size_t nKv, std::size_t headDim,
+                        float *out, float scale)
+{
+    panicIf(kPages.size() != vPages.size(),
+            "mismatched quantized K/V page counts");
+    panicIf(contextLen == 0, "attention over empty context");
+    std::size_t page_floats = pageTokens * nKv * headDim;
+    std::vector<float> kbuf(kPages.size() * page_floats);
+    std::vector<float> vbuf(vPages.size() * page_floats);
+    std::vector<const float *> kp(kPages.size()), vp(vPages.size());
+    for (std::size_t p = 0; p < kPages.size(); ++p) {
+        panicIf(kPages[p].size() != page_floats ||
+                    vPages[p].size() != page_floats,
+                "quantized KV page has wrong geometry");
+        kPages[p].dequantize(
+            {kbuf.data() + p * page_floats, page_floats});
+        vPages[p].dequantize(
+            {vbuf.data() + p * page_floats, page_floats});
+        kp[p] = kbuf.data() + p * page_floats;
+        vp[p] = vbuf.data() + p * page_floats;
+    }
+    KvView view;
+    view.kPages = kp;
+    view.vPages = vp;
+    view.pageTokens = pageTokens;
+    view.contextLen = contextLen;
+    view.nKv = nKv;
+    view.headDim = headDim;
+    gqaDecodeAttention(q, nQ, view, out, scale);
+}
+
+} // namespace moelight

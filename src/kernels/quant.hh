@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Group-wise symmetric quantization kernels (int8 and packed int4).
+ * The paper's HRM case study (Fig. 4) analyzes int4 KV cache as the
+ * lever that raises attention's operational intensity; this module
+ * provides the actual kernels so the runtime can store KV quantized
+ * and attend over it with on-the-fly dequantization.
+ */
+
+#ifndef MOELIGHT_KERNELS_QUANT_HH
+#define MOELIGHT_KERNELS_QUANT_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "kernels/attention.hh"
+
+namespace moelight {
+
+/** Quantization bit width. */
+enum class QuantKind
+{
+    Int8,
+    Int4,
+};
+
+/** Bytes needed to store @p n values at @p kind (excluding scales). */
+std::size_t quantizedBytes(QuantKind kind, std::size_t n);
+
+/**
+ * A group-quantized buffer: values are split into groups of
+ * @p groupSize, each group stored with one float scale such that
+ * value = scale * q, q in [-127,127] (int8) or [-7,7] (int4,
+ * packed two per byte, low nibble first).
+ */
+class QuantizedBuffer
+{
+  public:
+    /** Quantize @p src (size must be a multiple of groupSize). */
+    QuantizedBuffer(std::span<const float> src, QuantKind kind,
+                    std::size_t groupSize = 32);
+
+    /** Dequantize everything into @p dst (same size as the source). */
+    void dequantize(std::span<float> dst) const;
+
+    /** Dequantize elements [offset, offset+count) into @p dst.
+     *  offset and count must be group-aligned. */
+    void dequantizeRange(std::size_t offset, std::size_t count,
+                         std::span<float> dst) const;
+
+    std::size_t size() const { return n_; }
+    QuantKind kind() const { return kind_; }
+    std::size_t groupSize() const { return group_; }
+    /** Stored bytes (payload + scales), for intensity accounting. */
+    std::size_t storageBytes() const;
+
+    /** Max absolute quantization error bound for inputs bounded by
+     *  @p maxAbs: one quantization step. */
+    static double errorBound(QuantKind kind, double maxAbs);
+
+  private:
+    QuantKind kind_;
+    std::size_t n_;
+    std::size_t group_;
+    std::vector<std::uint8_t> data_;
+    std::vector<float> scales_;
+};
+
+/**
+ * Decode GQA attention over a *quantized* KV cache: K/V pages are
+ * QuantizedBuffers (one per page, layout identical to KvView pages);
+ * the kernel dequantizes page-by-page into @p scratch and reuses the
+ * float path. Numerics: matches float attention within the
+ * quantization error.
+ *
+ * @param q        [nQ, headDim] query.
+ * @param nQ       query heads.
+ * @param kPages   quantized K pages ([pageTokens, nKv, headDim] each).
+ * @param vPages   quantized V pages.
+ * @param pageTokens tokens per page.
+ * @param contextLen valid tokens.
+ * @param nKv      KV heads.
+ * @param headDim  head dimension.
+ * @param out      [nQ, headDim] output.
+ * @param scale    logit scale.
+ */
+void gqaDecodeAttentionQuant(const float *q, std::size_t nQ,
+                             std::span<const QuantizedBuffer> kPages,
+                             std::span<const QuantizedBuffer> vPages,
+                             std::size_t pageTokens,
+                             std::size_t contextLen, std::size_t nKv,
+                             std::size_t headDim, float *out,
+                             float scale);
+
+} // namespace moelight
+
+#endif // MOELIGHT_KERNELS_QUANT_HH

@@ -1,0 +1,42 @@
+#include "kernels/router.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hh"
+#include "kernels/ops.hh"
+
+namespace moelight {
+
+TokenRouting
+routeTopK(std::span<const float> logits, std::size_t k)
+{
+    fatalIf(k == 0 || k > logits.size(),
+            "router top-k must satisfy 0 < k <= n_experts");
+    std::vector<int> idx(logits.size());
+    std::iota(idx.begin(), idx.end(), 0);
+    std::stable_sort(idx.begin(), idx.end(), [&](int a, int b) {
+        return logits[a] > logits[b];
+    });
+    TokenRouting r;
+    r.experts.assign(idx.begin(), idx.begin() + static_cast<long>(k));
+    r.weights.resize(k);
+    for (std::size_t i = 0; i < k; ++i)
+        r.weights[i] = logits[static_cast<std::size_t>(r.experts[i])];
+    softmaxInPlace(r.weights);
+    return r;
+}
+
+std::vector<TokenRouting>
+routeBatchTopK(const float *logits, std::size_t tokens,
+               std::size_t n_experts, std::size_t k)
+{
+    std::vector<TokenRouting> out;
+    out.reserve(tokens);
+    for (std::size_t t = 0; t < tokens; ++t)
+        out.push_back(routeTopK({logits + t * n_experts, n_experts}, k));
+    return out;
+}
+
+} // namespace moelight

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Data type descriptors for the analytical cost model. The functional
+ * runtime computes in float32; the cost model reasons about the byte
+ * footprint of f16 weights, int4 KV cache, etc., exactly like the
+ * paper's HRM case study (Fig. 4 compares f16 vs int4 KV).
+ */
+
+#ifndef MOELIGHT_MODEL_DATATYPE_HH
+#define MOELIGHT_MODEL_DATATYPE_HH
+
+#include <string>
+
+namespace moelight {
+
+/** Storage data types considered by the cost model. */
+enum class DataType
+{
+    F32,
+    F16,
+    BF16,
+    INT8,
+    INT4,
+};
+
+/** Bytes per element (INT4 is 0.5). */
+constexpr double
+bytesOf(DataType dt)
+{
+    switch (dt) {
+      case DataType::F32:
+        return 4.0;
+      case DataType::F16:
+      case DataType::BF16:
+        return 2.0;
+      case DataType::INT8:
+        return 1.0;
+      case DataType::INT4:
+        return 0.5;
+    }
+    return 4.0;
+}
+
+/** Human-readable name. */
+std::string dataTypeName(DataType dt);
+
+} // namespace moelight
+
+#endif // MOELIGHT_MODEL_DATATYPE_HH

@@ -1,0 +1,196 @@
+#include "model/model_config.hh"
+
+#include "common/logging.hh"
+
+namespace moelight {
+
+std::string
+dataTypeName(DataType dt)
+{
+    switch (dt) {
+      case DataType::F32:
+        return "f32";
+      case DataType::F16:
+        return "f16";
+      case DataType::BF16:
+        return "bf16";
+      case DataType::INT8:
+        return "int8";
+      case DataType::INT4:
+        return "int4";
+    }
+    return "?";
+}
+
+double
+ModelConfig::attnParamsPerLayer() const
+{
+    double q = static_cast<double>(h1) * nq * headDim;
+    double kv = 2.0 * static_cast<double>(h1) * nkv * headDim;
+    double o = static_cast<double>(nq) * headDim * h1;
+    return q + kv + o;
+}
+
+double
+ModelConfig::expertParams() const
+{
+    return 3.0 * static_cast<double>(h1) * h2;
+}
+
+double
+ModelConfig::routerParamsPerLayer() const
+{
+    return static_cast<double>(h1) * ne;
+}
+
+double
+ModelConfig::ffnParamsPerLayer() const
+{
+    return static_cast<double>(ne) * expertParams() +
+           routerParamsPerLayer();
+}
+
+double
+ModelConfig::paramsPerLayer() const
+{
+    return attnParamsPerLayer() + ffnParamsPerLayer();
+}
+
+double
+ModelConfig::totalParams() const
+{
+    // Token embedding + tied-ish LM head (counted separately).
+    double emb = 2.0 * static_cast<double>(vocab) * h1;
+    return static_cast<double>(l) * paramsPerLayer() + emb;
+}
+
+double
+ModelConfig::weightBytesPerLayer() const
+{
+    return paramsPerLayer() * weightByte();
+}
+
+double
+ModelConfig::totalWeightBytes() const
+{
+    return totalParams() * weightByte();
+}
+
+double
+ModelConfig::ffnWeightBytesPerLayer() const
+{
+    return ffnParamsPerLayer() * weightByte();
+}
+
+double
+ModelConfig::attnWeightBytesPerLayer() const
+{
+    return attnParamsPerLayer() * weightByte();
+}
+
+double
+ModelConfig::kvBytesPerTokenPerLayer() const
+{
+    return 2.0 * static_cast<double>(nkv) * headDim * kvByte();
+}
+
+double
+ModelConfig::kvBytesPerToken() const
+{
+    return kvBytesPerTokenPerLayer() * static_cast<double>(l);
+}
+
+void
+ModelConfig::validate() const
+{
+    fatalIf(l == 0 || h1 == 0 || h2 == 0 || nq == 0 || nkv == 0 ||
+                headDim == 0 || ne == 0 || k == 0 || vocab == 0,
+            "model config '", name, "' has a zero field");
+    fatalIf(nq % nkv != 0, "model config '", name,
+            "': nq must be a multiple of nkv");
+    fatalIf(k > ne, "model config '", name, "': k > ne");
+    fatalIf(nq * headDim != h1, "model config '", name,
+            "': nq*headDim must equal h1 (simplifying assumption)");
+}
+
+ModelConfig
+mixtral8x7b()
+{
+    ModelConfig m;
+    m.name = "Mixtral-8x7B";
+    m.l = 32;
+    m.h1 = 4096;
+    m.h2 = 14336;
+    m.nq = 32;
+    m.nkv = 8;
+    m.headDim = 128;
+    m.ne = 8;
+    m.k = 2;
+    m.vocab = 32000;
+    m.dtWeight = DataType::F16;
+    m.dtKv = DataType::F16;
+    m.validate();
+    return m;
+}
+
+ModelConfig
+mixtral8x22b()
+{
+    ModelConfig m;
+    m.name = "Mixtral-8x22B";
+    m.l = 56;
+    m.h1 = 6144;
+    m.h2 = 16384;
+    m.nq = 48;
+    m.nkv = 8;
+    m.headDim = 128;
+    m.ne = 8;
+    m.k = 2;
+    m.vocab = 32768;
+    m.dtWeight = DataType::F16;
+    m.dtKv = DataType::F16;
+    m.validate();
+    return m;
+}
+
+ModelConfig
+dbrx()
+{
+    ModelConfig m;
+    m.name = "DBRX";
+    m.l = 40;
+    m.h1 = 6144;
+    m.h2 = 10752;
+    m.nq = 48;
+    m.nkv = 8;
+    m.headDim = 128;
+    m.ne = 16;
+    m.k = 4;
+    m.vocab = 100352;
+    m.dtWeight = DataType::F16;
+    m.dtKv = DataType::F16;
+    m.validate();
+    return m;
+}
+
+ModelConfig
+tinyMixtral()
+{
+    ModelConfig m;
+    m.name = "tiny-mixtral";
+    m.l = 4;
+    m.h1 = 64;
+    m.h2 = 128;
+    m.nq = 8;
+    m.nkv = 2;
+    m.headDim = 8;
+    m.ne = 4;
+    m.k = 2;
+    m.vocab = 256;
+    m.dtWeight = DataType::F32;
+    m.dtKv = DataType::F32;
+    m.validate();
+    return m;
+}
+
+} // namespace moelight

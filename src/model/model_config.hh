@@ -1,0 +1,85 @@
+/**
+ * @file
+ * MoE transformer model configurations (Tab. 1, "Model Configurations
+ * M") with derived byte/parameter accounting. Presets cover the three
+ * models the paper evaluates (Mixtral 8x7B, Mixtral 8x22B, DBRX) plus
+ * a tiny synthetic model for the functional runtime.
+ */
+
+#ifndef MOELIGHT_MODEL_MODEL_CONFIG_HH
+#define MOELIGHT_MODEL_MODEL_CONFIG_HH
+
+#include <cstddef>
+#include <string>
+
+#include "model/datatype.hh"
+
+namespace moelight {
+
+/**
+ * Shape and data-type description of an MoE transformer. Field names
+ * follow the paper's notation table: l layers, h1 model hidden dim,
+ * h2 expert intermediate dim, nq/nkv attention heads, ne experts,
+ * k top-k routing.
+ */
+struct ModelConfig
+{
+    std::string name;
+    std::size_t l = 0;        ///< number of transformer layers
+    std::size_t h1 = 0;       ///< model hidden dimension
+    std::size_t h2 = 0;       ///< expert intermediate dimension
+    std::size_t nq = 0;       ///< query heads
+    std::size_t nkv = 0;      ///< key/value heads
+    std::size_t headDim = 0;  ///< per-head dimension
+    std::size_t ne = 0;       ///< number of experts per layer
+    std::size_t k = 0;        ///< top-k experts routed per token
+    std::size_t vocab = 0;    ///< vocabulary size
+    DataType dtWeight = DataType::F16;  ///< weight storage type
+    DataType dtKv = DataType::F16;      ///< KV cache storage type
+
+    /** Bytes of one element of weight / KV storage. */
+    double weightByte() const { return bytesOf(dtWeight); }
+    double kvByte() const { return bytesOf(dtKv); }
+
+    /** Parameters in the attention block (QKVO projections) per layer. */
+    double attnParamsPerLayer() const;
+    /** Parameters of one expert FFN (w1 + w2 + w3). */
+    double expertParams() const;
+    /** Parameters of the router gate per layer. */
+    double routerParamsPerLayer() const;
+    /** All-experts FFN + router parameters per layer. */
+    double ffnParamsPerLayer() const;
+    /** Total per-layer parameters. */
+    double paramsPerLayer() const;
+    /** Total model parameters (incl. embeddings & lm head). */
+    double totalParams() const;
+
+    /** Bytes of weights per layer / for the whole model. */
+    double weightBytesPerLayer() const;
+    double totalWeightBytes() const;
+    /** Bytes of weights for the FFN (experts + router) per layer. */
+    double ffnWeightBytesPerLayer() const;
+    /** Bytes of weights for attention per layer. */
+    double attnWeightBytesPerLayer() const;
+
+    /** KV cache bytes for one token, one layer (both K and V). */
+    double kvBytesPerTokenPerLayer() const;
+    /** KV cache bytes for one token across all layers. */
+    double kvBytesPerToken() const;
+
+    /** Sanity-check invariants; throws FatalError when malformed. */
+    void validate() const;
+};
+
+/** Mixtral 8x7B (32 layers, 8 experts, top-2, GQA 32/8). */
+ModelConfig mixtral8x7b();
+/** Mixtral 8x22B (56 layers, 8 experts, top-2, GQA 48/8). */
+ModelConfig mixtral8x22b();
+/** DBRX 132B (40 layers, 16 experts, top-4, GQA 48/8). */
+ModelConfig dbrx();
+/** Tiny synthetic Mixtral-style model for the functional runtime. */
+ModelConfig tinyMixtral();
+
+} // namespace moelight
+
+#endif // MOELIGHT_MODEL_MODEL_CONFIG_HH

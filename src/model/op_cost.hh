@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Analytical per-operator FLOP and byte counts for MoE transformer
+ * inference, computed "theoretically from M" exactly as §4.2 of the
+ * paper prescribes. These numbers feed the HRM plots (Figs. 4-5), the
+ * performance model (Eqs. 12-14) and the simulator task durations.
+ *
+ * Decode-stage operator split follows CGOPipe's task decomposition:
+ *   PreAttn  = RMSNorm + QKV projection            (GPU)
+ *   AttnCore = softmax(QK^T)V over the KV cache    (CPU or GPU)
+ *   PostAttn = O projection + router + MoE FFN     (GPU)
+ */
+
+#ifndef MOELIGHT_MODEL_OP_COST_HH
+#define MOELIGHT_MODEL_OP_COST_HH
+
+#include <cstddef>
+
+#include "model/model_config.hh"
+
+namespace moelight {
+
+/**
+ * Cost of one operator instance: FLOPs plus the bytes it touches,
+ * broken down by what the bytes are (weights, activations, KV) so the
+ * perf model can route them over the right link / memory.
+ */
+struct OpCost
+{
+    double flops = 0.0;        ///< floating point operations
+    double weightBytes = 0.0;  ///< weight bytes read
+    double actBytes = 0.0;     ///< activation bytes read+written
+    double kvBytes = 0.0;      ///< KV cache bytes read (+written)
+
+    /** Total bytes across categories. */
+    double totalBytes() const { return weightBytes + actBytes + kvBytes; }
+    /** Operational intensity w.r.t. all touched bytes. */
+    double intensity() const;
+
+    OpCost &operator+=(const OpCost &o);
+};
+
+OpCost operator+(OpCost a, const OpCost &b);
+
+/** Bytes of one token's hidden state (h1 elements at dtWeight width). */
+double hiddenBytesPerToken(const ModelConfig &m);
+
+/** Bytes of one token's QKV projection output (q + k + v heads). */
+double qkvBytesPerToken(const ModelConfig &m);
+
+/**
+ * Decode PreAttn for @p mu tokens: RMSNorm + QKV projection.
+ */
+OpCost preAttnDecodeCost(const ModelConfig &m, std::size_t mu);
+
+/**
+ * Decode attention core (softmax part only, QKVO projections excluded
+ * as in the paper's Fig. 4 footnote) for @p mu tokens at average
+ * context length @p ctx.
+ */
+OpCost attnCoreDecodeCost(const ModelConfig &m, std::size_t mu,
+                          double ctx);
+
+/**
+ * Decode PostAttn for @p mu tokens: O projection + router + top-k
+ * expert FFNs. @p denseExperts controls the weight bytes: when true
+ * (the usual large-batch decode case, mu*k >= ne) all ne experts'
+ * weights are touched; when false only k experts are.
+ */
+OpCost postAttnDecodeCost(const ModelConfig &m, std::size_t mu,
+                          bool denseExperts = true);
+
+/** Sum of the three decode operators above for one layer. */
+OpCost layerDecodeCost(const ModelConfig &m, std::size_t mu, double ctx);
+
+/**
+ * Prefill cost for one layer over @p tokens total prompt tokens with
+ * average sequence length @p avgSeq (attention is quadratic in the
+ * per-sequence length; tokens/avgSeq sequences are assumed).
+ */
+OpCost layerPrefillCost(const ModelConfig &m, double tokens,
+                        double avgSeq);
+
+/**
+ * Operational intensity of decode attention w.r.t. KV-cache bytes;
+ * independent of batch size (paper §3.3): 2*h1 / (nkv*headDim*kvByte)
+ * per unit GQA group.
+ */
+double attnIntensityVsKv(const ModelConfig &m);
+
+/**
+ * Operational intensity of the MoE FFN w.r.t. the weight bytes that
+ * must be fetched per layer, for a *batch* of @p n tokens (larger n =>
+ * more reuse of each fetched weight => higher intensity).
+ */
+double ffnIntensityVsWeights(const ModelConfig &m, double n);
+
+} // namespace moelight
+
+#endif // MOELIGHT_MODEL_OP_COST_HH

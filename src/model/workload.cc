@@ -1,0 +1,85 @@
+#include "model/workload.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace moelight {
+
+WorkloadConfig
+mtbench(int genLen)
+{
+    fatalIf(genLen <= 0, "generation length must be positive");
+    return {"MTBench", 77.0, 418, genLen};
+}
+
+WorkloadConfig
+syntheticReasoning()
+{
+    return {"SyntheticReasoning", 242.0, 256, 50};
+}
+
+WorkloadConfig
+summarization()
+{
+    return {"Summarization", 1693.0, 1984, 64};
+}
+
+std::vector<Request>
+generateRequests(const WorkloadConfig &cfg, std::size_t count,
+                 std::uint64_t seed)
+{
+    fatalIf(count == 0, "request count must be positive");
+    fatalIf(cfg.avgPrompt <= 0.0 || cfg.maxPrompt <= 0,
+            "workload '", cfg.name, "' has non-positive lengths");
+
+    Rng rng(seed);
+    // Sigma chosen so the clipped distribution looks like the real
+    // dataset: wide for MTBench-style mixes, narrow when the max is
+    // close to the mean (HELM tasks truncate prompts at a budget).
+    double ratio = static_cast<double>(cfg.maxPrompt) / cfg.avgPrompt;
+    double sigma = ratio > 3.0 ? 0.8 : 0.15;
+
+    std::vector<Request> reqs(count);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < count; ++i) {
+        double draw = rng.logNormal(cfg.avgPrompt, sigma);
+        int len = static_cast<int>(std::lround(draw));
+        len = std::clamp(len, 4, cfg.maxPrompt);
+        reqs[i] = {static_cast<int>(i), len, cfg.genLen};
+        sum += len;
+    }
+    // Re-center the empirical mean toward avgPrompt by nudging samples
+    // (keeps determinism and the clip bounds).
+    double mean = sum / static_cast<double>(count);
+    double scale = cfg.avgPrompt / mean;
+    for (auto &r : reqs) {
+        int len = static_cast<int>(std::lround(r.promptLen * scale));
+        r.promptLen = std::clamp(len, 4, cfg.maxPrompt);
+    }
+    return reqs;
+}
+
+double
+meanPromptLen(const std::vector<Request> &reqs)
+{
+    panicIf(reqs.empty(), "meanPromptLen over empty workload");
+    double s = 0.0;
+    for (const auto &r : reqs)
+        s += r.promptLen;
+    return s / static_cast<double>(reqs.size());
+}
+
+int
+maxPromptLen(const std::vector<Request> &reqs)
+{
+    panicIf(reqs.empty(), "maxPromptLen over empty workload");
+    int m = 0;
+    for (const auto &r : reqs)
+        m = std::max(m, r.promptLen);
+    return m;
+}
+
+} // namespace moelight

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Workload generators mirroring the paper's Tab. 3: MTBench-like
+ * multi-turn questions (short prompts), HELM synthetic reasoning
+ * (medium prompts, tight max), and HELM summarization (long prompts).
+ * Prompt lengths are drawn from a clipped log-normal whose mean and
+ * max match the table; generation is deterministic given the seed.
+ */
+
+#ifndef MOELIGHT_MODEL_WORKLOAD_HH
+#define MOELIGHT_MODEL_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace moelight {
+
+/** One inference request: a prompt and a target generation length. */
+struct Request
+{
+    int id = 0;
+    int promptLen = 0;
+    int genLen = 0;
+};
+
+/** Statistical description of a workload (paper Tab. 3). */
+struct WorkloadConfig
+{
+    std::string name;
+    double avgPrompt = 0.0;  ///< s_avg
+    int maxPrompt = 0;       ///< s_max
+    int genLen = 0;          ///< l (output tokens per request)
+};
+
+/** MTBench: s_avg=77, s_max=418; genLen in {32,64,128,256}. */
+WorkloadConfig mtbench(int genLen);
+/** HELM synthetic reasoning: s_avg=242, s_max=256, genLen=50. */
+WorkloadConfig syntheticReasoning();
+/** HELM summarization: s_avg=1693, s_max=1984, genLen=64. */
+WorkloadConfig summarization();
+
+/**
+ * Draw @p count requests from @p cfg with deterministic seeding.
+ * Prompt lengths are log-normal with the configured mean, clipped to
+ * [4, maxPrompt]; the empirical mean is re-centered to within a few
+ * percent of avgPrompt.
+ */
+std::vector<Request> generateRequests(const WorkloadConfig &cfg,
+                                      std::size_t count,
+                                      std::uint64_t seed = 0x5eed);
+
+/** Mean prompt length of @p reqs. */
+double meanPromptLen(const std::vector<Request> &reqs);
+/** Max prompt length of @p reqs. */
+int maxPromptLen(const std::vector<Request> &reqs);
+
+} // namespace moelight
+
+#endif // MOELIGHT_MODEL_WORKLOAD_HH

@@ -1,0 +1,90 @@
+#include "perf/mem_model.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "model/op_cost.hh"
+
+namespace moelight {
+
+double
+MemoryFootprint::gpuPeak() const
+{
+    double decode = gpuStaticWeights + gpuWeightBuffer + gpuKv +
+                    gpuActDecode;
+    double prefill = gpuStaticWeights + gpuWeightBuffer + gpuActPrefill;
+    return std::max(decode, prefill);
+}
+
+double
+MemoryFootprint::cpuPeak() const
+{
+    return cpuWeights + cpuKv + cpuPinned + cpuAct;
+}
+
+double
+kvCacheBytes(const ModelConfig &m, double prompt, double gen, double n)
+{
+    return n * (prompt + gen) * m.kvBytesPerToken();
+}
+
+MemoryFootprint
+memoryFootprint(const ModelConfig &m, const HardwareConfig &hw,
+                const WorkloadShape &w, const Policy &pol, bool padded)
+{
+    pol.validate();
+    (void)hw;
+    MemoryFootprint f;
+    double s = w.effPrompt(padded);
+    double n = static_cast<double>(pol.batchSize);
+    double mu = static_cast<double>(pol.microBatch);
+    double wb = m.weightByte();
+    double kv_total = kvCacheBytes(m, s, w.genLen, n);
+
+    f.gpuStaticWeights = pol.weightsOnGpu * m.totalWeightBytes();
+    // Double buffer sized for the streamed fraction of one layer
+    // (Appendix A.1: 2 x sizeof(W_L)).
+    f.gpuWeightBuffer =
+        2.0 * (1.0 - pol.weightsOnGpu) * m.weightBytesPerLayer();
+    f.gpuKv = pol.kvOnGpu * kv_total;
+
+    // Decode working set: hidden + QKV for one micro-batch plus the
+    // expert FFN intermediates (gate/up of width h2), with 20% slack
+    // for fragmentation and kernel workspaces.
+    double act_tok =
+        (2.0 * m.h1 + 2.0 * m.h2) * wb + qkvBytesPerToken(m);
+    f.gpuActDecode = 1.2 * mu * act_tok;
+    if (pol.attnOnGpu) {
+        // Working KV for the micro-batch being attended on GPU.
+        double ctx = s + w.genLen;
+        f.gpuActDecode += mu * ctx * m.kvBytesPerTokenPerLayer();
+    }
+
+    // Prefill peak: one micro-batch of requests, each s tokens, is
+    // on-GPU at once; hidden + QKV + one layer of its KV before the
+    // offload completes, plus FFN intermediates chunked at h2.
+    double prefill_tokens = mu * s;
+    f.gpuActPrefill =
+        1.2 * prefill_tokens *
+        ((2.0 * m.h1 + 2.0 * m.h2) * wb + qkvBytesPerToken(m) +
+         m.kvBytesPerTokenPerLayer());
+
+    f.cpuWeights = (1.0 - pol.weightsOnGpu) * m.totalWeightBytes();
+    f.cpuKv = (1.0 - pol.kvOnGpu) * kv_total;
+    // Pinned staging: double buffer of a layer's streamed weights plus
+    // per-micro-batch activation staging.
+    f.cpuPinned =
+        2.0 * (1.0 - pol.weightsOnGpu) * m.weightBytesPerLayer() +
+        2.0 * mu * (hiddenBytesPerToken(m) + qkvBytesPerToken(m));
+    // Host buffers for all in-flight hidden states and QKV.
+    f.cpuAct = n * (hiddenBytesPerToken(m) + qkvBytesPerToken(m));
+    return f;
+}
+
+bool
+fits(const MemoryFootprint &f, const HardwareConfig &hw)
+{
+    return f.gpuPeak() <= hw.gpuMem && f.cpuPeak() <= hw.cpuMem;
+}
+
+} // namespace moelight

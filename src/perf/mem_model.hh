@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Memory footprint model: given (model, hardware, workload, policy),
+ * compute peak GPU and CPU memory demand and test feasibility. This
+ * is the constraint side of the §4.2 policy search.
+ */
+
+#ifndef MOELIGHT_PERF_MEM_MODEL_HH
+#define MOELIGHT_PERF_MEM_MODEL_HH
+
+#include "hw/hardware.hh"
+#include "model/model_config.hh"
+#include "policy/policy.hh"
+
+namespace moelight {
+
+/** Workload summary the analytical models need. */
+struct WorkloadShape
+{
+    double avgPrompt = 0.0;  ///< s: average prompt length (tokens)
+    double maxPrompt = 0.0;  ///< padded prompt length (tokens)
+    double genLen = 0.0;     ///< n: generation length (tokens)
+
+    /** Effective prompt length under padding or not. */
+    double
+    effPrompt(bool padded) const
+    {
+        return padded ? maxPrompt : avgPrompt;
+    }
+};
+
+/** Byte-level breakdown of peak memory demand. */
+struct MemoryFootprint
+{
+    double gpuStaticWeights = 0.0;  ///< r_w * model weights
+    double gpuWeightBuffer = 0.0;   ///< double buffer for streamed part
+    double gpuKv = 0.0;             ///< r_c * KV cache
+    double gpuActDecode = 0.0;      ///< decode activations / scratch
+    double gpuActPrefill = 0.0;     ///< prefill peak activations
+    double cpuWeights = 0.0;        ///< (1-r_w) * model weights
+    double cpuKv = 0.0;             ///< (1-r_c) * KV cache
+    double cpuPinned = 0.0;         ///< pinned staging buffers
+    double cpuAct = 0.0;            ///< host-side hidden/QKV buffers
+
+    /** Peak GPU demand (decode and prefill phases both must fit). */
+    double gpuPeak() const;
+    /** Peak CPU demand. */
+    double cpuPeak() const;
+};
+
+/**
+ * Compute the footprint of @p pol for model @p m on hardware @p hw
+ * running workload @p w (padded => prompts counted at maxPrompt).
+ */
+MemoryFootprint memoryFootprint(const ModelConfig &m,
+                                const HardwareConfig &hw,
+                                const WorkloadShape &w, const Policy &pol,
+                                bool padded);
+
+/** True when the footprint fits the hardware capacities. */
+bool fits(const MemoryFootprint &f, const HardwareConfig &hw);
+
+/**
+ * Total KV cache bytes for @p n requests whose sequences reach
+ * prompt+gen tokens.
+ */
+double kvCacheBytes(const ModelConfig &m, double prompt, double gen,
+                    double n);
+
+} // namespace moelight
+
+#endif // MOELIGHT_PERF_MEM_MODEL_HH

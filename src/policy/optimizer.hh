@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Policy search (paper §4.2). The paper solves a small MILP; the
+ * search space is tiny, so this implementation enumerates a pruned
+ * grid over (N, mu, A_g, F_g, r_w, r_c) and scores candidates with
+ * the PerfModel — deterministic and sub-second, with identical
+ * optima (documented substitution, DESIGN.md §2).
+ */
+
+#ifndef MOELIGHT_POLICY_OPTIMIZER_HH
+#define MOELIGHT_POLICY_OPTIMIZER_HH
+
+#include <optional>
+#include <vector>
+
+#include "perf/perf_model.hh"
+#include "policy/policy.hh"
+
+namespace moelight {
+
+/** A scored policy candidate. */
+struct PolicyChoice
+{
+    Policy policy;
+    double throughput = 0.0;  ///< modelled generation tokens/s
+    LayerTime layerTime;      ///< modelled decode layer breakdown
+};
+
+/** Knobs bounding the optimizer's grid. */
+struct SearchConfig
+{
+    std::vector<std::size_t> microBatches{4,  8,  12, 16,  24,  32,
+                                          48, 64, 96, 128, 192, 256};
+    std::vector<std::size_t> numUbs{1,  2,  3,  4,  6,  8,   12,  16,
+                                    24, 32, 48, 64, 96, 128, 192, 256};
+    int weightRatioSteps = 20;  ///< r_w grid resolution
+    int kvRatioSteps = 4;       ///< r_c grid resolution
+    bool allowGpuAttention = true;
+    bool allowCpuAttention = true;
+};
+
+/**
+ * MoE-Lightning's optimizer: find the feasible policy maximizing the
+ * modelled generation throughput under @p sys 's schedule quality.
+ * Returns nullopt when no candidate fits memory.
+ */
+std::optional<PolicyChoice> searchPolicy(
+    const PerfModel &pm, SystemKind sys = SystemKind::MoeLightning,
+    const SearchConfig &cfg = SearchConfig());
+
+/**
+ * FlexGen-style policy: reproduces the baseline's documented
+ * behaviour (paper §6.1): conservative GPU-memory accounting caps the
+ * micro-batch low, then the batch size N is pushed as high as CPU
+ * memory allows to amortize weight transfers. @p cpuAttention selects
+ * FlexGen(c) (S3) vs plain FlexGen (S4).
+ */
+std::optional<PolicyChoice> flexGenPolicy(const PerfModel &pm,
+                                          bool cpuAttention);
+
+/**
+ * DeepSpeed ZeRO-Inference policy: weights pinned on CPU and streamed
+ * every layer (r_w=0), KV resident on GPU, single micro-batch
+ * (mu == N) sized to GPU memory.
+ */
+std::optional<PolicyChoice> deepSpeedPolicy(const PerfModel &pm);
+
+} // namespace moelight
+
+#endif // MOELIGHT_POLICY_OPTIMIZER_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The inference policy 6-tuple of paper §4.2: (N, mu, A_g, F_g, r_w,
+ * r_c). Header-only so the perf model can consume it without a link
+ * dependency on the optimizer library.
+ */
+
+#ifndef MOELIGHT_POLICY_POLICY_HH
+#define MOELIGHT_POLICY_POLICY_HH
+
+#include <cstddef>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace moelight {
+
+/**
+ * A complete scheduling policy. N must be a multiple of mu; the
+ * number of micro-batches in flight is numUbs().
+ */
+struct Policy
+{
+    std::size_t batchSize = 0;   ///< N: tokens per full model pass
+    std::size_t microBatch = 0;  ///< mu: tokens per kernel launch
+    bool attnOnGpu = false;      ///< A_g: attention device indicator
+    bool ffnOnGpu = true;        ///< F_g: MoE FFN device indicator
+    double weightsOnGpu = 0.0;   ///< r_w: fraction of weights resident
+    double kvOnGpu = 0.0;        ///< r_c: fraction of KV resident
+
+    /** Number of micro-batches N / mu. */
+    std::size_t
+    numUbs() const
+    {
+        panicIf(microBatch == 0, "policy with zero micro-batch");
+        return batchSize / microBatch;
+    }
+
+    /** Structural sanity (divisibility, ranges). */
+    void
+    validate() const
+    {
+        fatalIf(batchSize == 0 || microBatch == 0,
+                "policy sizes must be positive");
+        fatalIf(batchSize % microBatch != 0,
+                "batch size must be a multiple of micro-batch size");
+        fatalIf(weightsOnGpu < 0.0 || weightsOnGpu > 1.0,
+                "r_w out of [0,1]");
+        fatalIf(kvOnGpu < 0.0 || kvOnGpu > 1.0, "r_c out of [0,1]");
+        fatalIf(!attnOnGpu && kvOnGpu > 0.0,
+                "KV on GPU requires GPU attention (A_g=1)");
+    }
+
+    /** Compact human-readable rendering. */
+    std::string
+    str() const
+    {
+        return "{N=" + std::to_string(batchSize) +
+               ", mu=" + std::to_string(microBatch) +
+               ", Ag=" + std::to_string(attnOnGpu) +
+               ", Fg=" + std::to_string(ffnOnGpu) +
+               ", rw=" + std::to_string(weightsOnGpu) +
+               ", rc=" + std::to_string(kvOnGpu) + "}";
+    }
+};
+
+/** The offloading system families modelled in this repo. */
+enum class SystemKind
+{
+    MoeLightning,        ///< CGOPipe + paged weights (this paper)
+    MoeLightningPadded,  ///< same, requests padded to max prompt
+    FlexGen,             ///< S4: GPU attention, KV prefetch, unpaged
+    FlexGenC,            ///< S3: CPU attention, no overlap, unpaged
+    FastDecode,          ///< S2: CPU attention overlapped, unpaged
+    DeepSpeed,           ///< ZeRO-Inference style layer streaming
+};
+
+/** Display name for a system kind. */
+inline std::string
+systemName(SystemKind k)
+{
+    switch (k) {
+      case SystemKind::MoeLightning:
+        return "MoE-Lightning";
+      case SystemKind::MoeLightningPadded:
+        return "MoE-Lightning(p)";
+      case SystemKind::FlexGen:
+        return "FlexGen";
+      case SystemKind::FlexGenC:
+        return "FlexGen(c)";
+      case SystemKind::FastDecode:
+        return "FastDecode*";
+      case SystemKind::DeepSpeed:
+        return "DeepSpeed-Zero";
+    }
+    return "?";
+}
+
+} // namespace moelight
+
+#endif // MOELIGHT_POLICY_POLICY_HH

@@ -1,0 +1,61 @@
+#include "runtime/arena.hh"
+
+#include "common/logging.hh"
+
+namespace moelight {
+
+PageArena::PageArena(std::string name, std::size_t pageFloats,
+                     std::size_t numPages)
+    : name_(std::move(name)),
+      pageFloats_(pageFloats),
+      numPages_(numPages),
+      storage_(pageFloats * numPages, 0.0f),
+      inUse_(numPages, false)
+{
+    fatalIf(pageFloats == 0 || numPages == 0,
+            "arena '", name_, "' must have non-zero geometry");
+    freeList_.reserve(numPages);
+    // LIFO free list, lowest ids allocated first.
+    for (std::size_t i = numPages; i-- > 0;)
+        freeList_.push_back(static_cast<PageId>(i));
+}
+
+PageId
+PageArena::allocate()
+{
+    fatalIf(freeList_.empty(), "arena '", name_,
+            "' out of pages (capacity ", numPages_, ")");
+    PageId id = freeList_.back();
+    freeList_.pop_back();
+    inUse_[static_cast<std::size_t>(id)] = true;
+    return id;
+}
+
+void
+PageArena::release(PageId id)
+{
+    panicIf(id < 0 || static_cast<std::size_t>(id) >= numPages_,
+            "arena '", name_, "': bad page id ", id);
+    panicIf(!inUse_[static_cast<std::size_t>(id)], "arena '", name_,
+            "': double free of page ", id);
+    inUse_[static_cast<std::size_t>(id)] = false;
+    freeList_.push_back(id);
+}
+
+float *
+PageArena::page(PageId id)
+{
+    panicIf(id < 0 || static_cast<std::size_t>(id) >= numPages_,
+            "arena '", name_, "': bad page id ", id);
+    panicIf(!inUse_[static_cast<std::size_t>(id)], "arena '", name_,
+            "': access to unallocated page ", id);
+    return storage_.data() + static_cast<std::size_t>(id) * pageFloats_;
+}
+
+const float *
+PageArena::page(PageId id) const
+{
+    return const_cast<PageArena *>(this)->page(id);
+}
+
+} // namespace moelight

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fixed-capacity page arena used for the runtime's three memory
+ * spaces (CPU, pinned staging, "GPU" device memory — all host RAM in
+ * this reproduction, but kept in distinct pools with explicit
+ * capacity accounting so the memory-management code paths of
+ * Appendix A.1 are exercised for real).
+ */
+
+#ifndef MOELIGHT_RUNTIME_ARENA_HH
+#define MOELIGHT_RUNTIME_ARENA_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace moelight {
+
+/** Index of a page inside a PageArena. */
+using PageId = std::int32_t;
+constexpr PageId kInvalidPage = -1;
+
+/**
+ * A pool of equal-sized float pages with a free list. Allocation
+ * fails loudly (FatalError) when the pool is exhausted — mirroring a
+ * real device OOM rather than silently growing.
+ */
+class PageArena
+{
+  public:
+    /**
+     * @param name       Diagnostic name ("gpu", "pinned", ...).
+     * @param pageFloats Floats per page.
+     * @param numPages   Pool capacity in pages.
+     */
+    PageArena(std::string name, std::size_t pageFloats,
+              std::size_t numPages);
+
+    /** Allocate one page; throws FatalError when exhausted. */
+    PageId allocate();
+    /** Return @p id to the free list. */
+    void release(PageId id);
+
+    /** Mutable / const access to a page's storage. */
+    float *page(PageId id);
+    const float *page(PageId id) const;
+
+    std::size_t pageFloats() const { return pageFloats_; }
+    std::size_t pageBytes() const { return pageFloats_ * sizeof(float); }
+    std::size_t numPages() const { return numPages_; }
+    std::size_t freePages() const { return freeList_.size(); }
+    std::size_t usedPages() const { return numPages_ - freeList_.size(); }
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::size_t pageFloats_;
+    std::size_t numPages_;
+    std::vector<float> storage_;
+    std::vector<PageId> freeList_;
+    std::vector<bool> inUse_;
+};
+
+} // namespace moelight
+
+#endif // MOELIGHT_RUNTIME_ARENA_HH

@@ -1,0 +1,70 @@
+#include "runtime/batcher.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace moelight {
+
+BatchPlan
+batchRequests(std::vector<Request> queue, std::size_t nUb,
+              std::size_t ubs, int genLen, std::size_t cacheSize)
+{
+    fatalIf(nUb == 0, "need at least one micro-batch partition");
+    fatalIf(ubs == 0, "micro-batch capacity must be positive");
+    fatalIf(genLen < 0, "negative generation length");
+
+    BatchPlan plan;
+    // Open partitions and their prompt-token sums (Alg. 2 lines 1-3).
+    std::vector<std::vector<Request>> partitions(nUb);
+    std::vector<std::size_t> sums(nUb, 0);
+
+    // Line 4: longest prompts first.
+    std::stable_sort(queue.begin(), queue.end(),
+                     [](const Request &a, const Request &b) {
+                         return a.promptLen > b.promptLen;
+                     });
+
+    for (const Request &req : queue) {
+        // Line 6-7: every partition already closed.
+        if (partitions.empty()) {
+            plan.aborted.push_back(req);
+            continue;
+        }
+        // Line 8: partition with the fewest prompt tokens.
+        std::size_t idx = 0;
+        for (std::size_t i = 1; i < partitions.size(); ++i)
+            if (sums[i] < sums[idx])
+                idx = i;
+        // Line 9-10: KV budget check — prompt tokens plus the
+        // generated tokens of every request in the partition
+        // (including this one).
+        std::size_t kv_demand =
+            sums[idx] + static_cast<std::size_t>(req.promptLen) +
+            (1 + partitions[idx].size()) *
+                static_cast<std::size_t>(genLen);
+        if (kv_demand > cacheSize) {
+            plan.aborted.push_back(req);
+            continue;
+        }
+        // Lines 12-13.
+        partitions[idx].push_back(req);
+        sums[idx] += static_cast<std::size_t>(req.promptLen);
+        // Lines 14-18: close full partitions.
+        if (partitions[idx].size() == ubs) {
+            plan.microBatches.push_back(std::move(partitions[idx]));
+            partitions.erase(partitions.begin() +
+                             static_cast<long>(idx));
+            sums.erase(sums.begin() + static_cast<long>(idx));
+        }
+    }
+    // Flush remaining non-empty partitions as (smaller) micro-batches
+    // so a final partial round still runs.
+    for (auto &p : partitions)
+        if (!p.empty())
+            plan.microBatches.push_back(std::move(p));
+    return plan;
+}
+
+} // namespace moelight

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Request batching (paper Appendix A.2, Algorithm 2): sort requests
+ * by prompt length descending and greedily place each into the
+ * micro-batch partition with the fewest prompt tokens, aborting
+ * requests that would blow a partition's KV budget. This keeps
+ * micro-batch token counts balanced so the pipeline's kernel launches
+ * stay close to the policy's mu.
+ */
+
+#ifndef MOELIGHT_RUNTIME_BATCHER_HH
+#define MOELIGHT_RUNTIME_BATCHER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "model/workload.hh"
+
+namespace moelight {
+
+/** Output of one batching round. */
+struct BatchPlan
+{
+    /** Closed micro-batches, each at most ubs requests. */
+    std::vector<std::vector<Request>> microBatches;
+    /** Requests deferred to the next batch (queue overflow or cache
+     *  budget exceeded). */
+    std::vector<Request> aborted;
+};
+
+/**
+ * Algorithm 2 verbatim.
+ *
+ * @param queue     Incoming requests (consumed by value).
+ * @param nUb       Number of micro-batch partitions.
+ * @param ubs       Max requests per micro-batch.
+ * @param genLen    Generation length per request.
+ * @param cacheSize Max KV tokens a micro-batch may consume
+ *                  (prompt + generated, summed over its requests).
+ */
+BatchPlan batchRequests(std::vector<Request> queue, std::size_t nUb,
+                        std::size_t ubs, int genLen,
+                        std::size_t cacheSize);
+
+} // namespace moelight
+
+#endif // MOELIGHT_RUNTIME_BATCHER_HH

@@ -1,0 +1,512 @@
+#include "runtime/engine.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "kernels/attention.hh"
+#include "kernels/linalg.hh"
+#include "kernels/moe_ffn.hh"
+#include "kernels/ops.hh"
+#include "kernels/router.hh"
+
+namespace moelight {
+
+namespace {
+
+/** Pinned staging ring geometry: pages big enough for the largest
+ *  weight tensor, a few of them for overlap. */
+std::size_t
+maxTensorFloats(const ModelConfig &cfg)
+{
+    std::size_t mx = cfg.h1 * cfg.h2;             // expert matrices
+    mx = std::max(mx, cfg.h1 * cfg.nq * cfg.headDim);
+    mx = std::max(mx, cfg.vocab * cfg.h1);        // not staged, safety
+    return mx;
+}
+
+} // namespace
+
+/** All per-generate() mutable state. */
+struct PipelinedEngine::DecodeState
+{
+    std::size_t numSeqs = 0;
+    std::size_t numUbs = 0;
+    int genLen = 0;
+
+    std::size_t h1, qDim, kvDim, qkvDim, vocab;
+    float scale = 1.0f;
+
+    /** Sequences of micro-batch j: [ubStart[j], ubStart[j+1]). */
+    std::vector<std::size_t> ubStart;
+
+    // "GPU" side buffers, one per micro-batch.
+    std::vector<std::vector<float>> xGpu;      ///< [ubSize * h1]
+    std::vector<std::vector<float>> qkvGpu;    ///< [ubSize * qkvDim]
+    std::vector<std::vector<float>> attnGpu;   ///< [ubSize * qDim]
+    // Host side.
+    std::vector<std::vector<float>> qkvCpu;
+    std::vector<std::vector<float>> attnCpu;
+
+    // Prefill hidden states: per seq, [len * h1] (freed after).
+    std::vector<std::vector<float>> prefillHidden;
+
+    // Scratch (single-threaded per queue).
+    std::vector<float> gpuNorm, gpuFfnOut, gpuLogits, gpuScratch;
+    std::vector<float> cpuAttnScratch;
+    KvViewStorage cpuView;
+
+    // Pipeline events.
+    std::vector<EventPtr> weightsReady;  ///< per layer
+    std::vector<EventPtr> xReadyUb;      ///< per micro-batch
+    std::vector<EventPtr> postPerUb;     ///< last Post event per ub
+    std::vector<EventPtr> slotBusy;      ///< per weight slot
+    std::vector<std::vector<EventPtr>> cattn;  ///< [layer][ub]
+
+    // Output.
+    std::vector<GenerationResult> out;
+    std::vector<int> nextToken;
+
+    std::size_t
+    ubSize(std::size_t j) const
+    {
+        return ubStart[j + 1] - ubStart[j];
+    }
+};
+
+PipelinedEngine::PipelinedEngine(const ModelWeights &weights,
+                                 EngineConfig cfg)
+    : w_(weights),
+      cfg_(cfg),
+      pinned_("pinned", maxTensorFloats(weights.cfg), 4),
+      te_(pinned_, cfg.throttleBw),
+      store_(weights, pinned_, 2)
+{
+    fatalIf(cfg_.microBatch == 0, "micro-batch must be positive");
+    fatalIf(w_.cfg.l % store_.numSlots() != 0,
+            "layer count must be a multiple of the weight slot count (",
+            store_.numSlots(), ") for conflict-free double buffering");
+    fatalIf(cfg_.lookahead == 0, "lookahead must be >= 1");
+    if (cfg_.cpuAttnThreads > 0)
+        attnPool_ = std::make_unique<ThreadPool>(cfg_.cpuAttnThreads);
+}
+
+PipelinedEngine::~PipelinedEngine() = default;
+
+std::size_t
+PipelinedEngine::kvUsedPages() const
+{
+    return kv_ ? kv_->usedPages() : 0;
+}
+
+std::vector<GenerationResult>
+PipelinedEngine::generate(const std::vector<std::vector<int>> &prompts,
+                          int genLen)
+{
+    fatalIf(prompts.empty(), "no prompts");
+    fatalIf(genLen <= 0, "generation length must be positive");
+    const ModelConfig &cfg = w_.cfg;
+
+    state_ = std::make_unique<DecodeState>();
+    DecodeState &st = *state_;
+    st.numSeqs = prompts.size();
+    st.genLen = genLen;
+    st.h1 = cfg.h1;
+    st.qDim = cfg.nq * cfg.headDim;
+    st.kvDim = cfg.nkv * cfg.headDim;
+    st.qkvDim = st.qDim + 2 * st.kvDim;
+    st.vocab = cfg.vocab;
+    st.scale = 1.0f / std::sqrt(static_cast<float>(cfg.headDim));
+
+    // Partition sequences into micro-batches of cfg_.microBatch.
+    st.numUbs = (st.numSeqs + cfg_.microBatch - 1) / cfg_.microBatch;
+    st.ubStart.resize(st.numUbs + 1);
+    for (std::size_t j = 0; j <= st.numUbs; ++j)
+        st.ubStart[j] = std::min(j * cfg_.microBatch, st.numSeqs);
+
+    st.xGpu.resize(st.numUbs);
+    st.qkvGpu.resize(st.numUbs);
+    st.attnGpu.resize(st.numUbs);
+    st.qkvCpu.resize(st.numUbs);
+    st.attnCpu.resize(st.numUbs);
+    for (std::size_t j = 0; j < st.numUbs; ++j) {
+        std::size_t n = st.ubSize(j);
+        st.xGpu[j].assign(n * st.h1, 0.0f);
+        st.qkvGpu[j].assign(n * st.qkvDim, 0.0f);
+        st.attnGpu[j].assign(n * st.qDim, 0.0f);
+        st.qkvCpu[j].assign(n * st.qkvDim, 0.0f);
+        st.attnCpu[j].assign(n * st.qDim, 0.0f);
+    }
+    st.gpuNorm.assign(st.h1, 0.0f);
+    st.gpuFfnOut.assign(st.h1, 0.0f);
+    st.gpuLogits.assign(st.vocab, 0.0f);
+    st.gpuScratch.assign(expertFfnScratchSize(cfg.h2), 0.0f);
+
+    std::size_t max_ctx = 0;
+    for (const auto &p : prompts)
+        max_ctx = std::max(max_ctx, p.size());
+    max_ctx += static_cast<std::size_t>(genLen) + 1;
+    st.cpuAttnScratch.assign(max_ctx, 0.0f);
+
+    st.out.assign(st.numSeqs, {});
+    st.nextToken.assign(st.numSeqs, 0);
+
+    st.weightsReady.assign(cfg.l, nullptr);
+    st.xReadyUb.assign(st.numUbs, nullptr);
+    st.postPerUb.assign(st.numUbs, nullptr);
+    st.slotBusy.assign(store_.numSlots(), nullptr);
+    st.cattn.assign(cfg.l, std::vector<EventPtr>(st.numUbs));
+
+    kv_ = std::make_unique<KvCacheManager>(cfg, st.numSeqs,
+                                           cfg_.kvPageTokens,
+                                           cfg_.kvCapacityTokens);
+    exec_ = std::make_unique<StreamExecutor>();
+    te_.resetStats();
+
+    prefill(prompts, st);
+    exec_->sync();
+    st.prefillHidden.clear();
+    st.prefillHidden.shrink_to_fit();
+
+    // Preload layers 0 and 1 for the first decode step; everything
+    // before has retired (sync above), so no buffer dependency.
+    if (genLen > 1) {
+        for (std::size_t t = 0; t < std::min<std::size_t>(2, cfg.l);
+             ++t) {
+            auto ready = std::make_shared<TaskEvent>();
+            exec_->submit(ResourceKind::HtoD, {}, [this, t, ready] {
+                store_.loadLayer(t, te_);
+                ready->signal();
+            });
+            st.weightsReady[t] = ready;
+        }
+        for (int d = 1; d < genLen; ++d)
+            decodeStep(st, d, d + 1 == genLen);
+        exec_->sync();
+    }
+
+    exec_.reset();  // join workers before tearing down state
+    return std::move(st.out);
+}
+
+void
+PipelinedEngine::prefill(const std::vector<std::vector<int>> &prompts,
+                         DecodeState &st)
+{
+    const ModelConfig &cfg = w_.cfg;
+
+    // Initialize per-sequence hidden states with embeddings.
+    st.prefillHidden.resize(st.numSeqs);
+    for (std::size_t s = 0; s < st.numSeqs; ++s) {
+        fatalIf(prompts[s].empty(), "empty prompt");
+        std::size_t len = prompts[s].size();
+        st.prefillHidden[s].resize(len * st.h1);
+        for (std::size_t t = 0; t < len; ++t) {
+            int tok = prompts[s][t];
+            fatalIf(tok < 0 ||
+                        static_cast<std::size_t>(tok) >= cfg.vocab,
+                    "prompt token out of vocabulary");
+            std::memcpy(st.prefillHidden[s].data() + t * st.h1,
+                        w_.embedding.row(static_cast<std::size_t>(tok)),
+                        st.h1 * sizeof(float));
+        }
+    }
+
+    // Zigzag layer-by-layer prefill (§4): load layer weights, then run
+    // every sequence's tokens through that layer on the GPU queue,
+    // appending KV as we go. Weight loads for layer i+2 wait on layer
+    // i's compute (slot reuse).
+    std::vector<EventPtr> compute_done(cfg.l);
+    for (std::size_t li = 0; li < cfg.l; ++li) {
+        std::vector<EventPtr> load_deps;
+        if (li >= 2 && compute_done[li - 2])
+            load_deps.push_back(compute_done[li - 2]);
+        EventPtr loaded = exec_->submit(
+            ResourceKind::HtoD, std::move(load_deps),
+            [this, li] { store_.loadLayer(li, te_); });
+
+        std::vector<EventPtr> deps{loaded};
+        if (li > 0)
+            deps.push_back(compute_done[li - 1]);
+        compute_done[li] = exec_->submit(
+            ResourceKind::Gpu, std::move(deps), [this, li, &st] {
+                const ModelConfig &c = w_.cfg;
+                std::vector<float> q(st.qDim), k(st.kvDim), v(st.kvDim);
+                std::vector<float> attn_out(st.qDim), proj(st.h1);
+                std::vector<float> rl(c.ne);
+                KvViewStorage view;
+                for (std::size_t s = 0; s < st.numSeqs; ++s) {
+                    std::size_t len =
+                        st.prefillHidden[s].size() / st.h1;
+                    for (std::size_t t = 0; t < len; ++t) {
+                        float *x =
+                            st.prefillHidden[s].data() + t * st.h1;
+                        rmsNorm(x, store_.tensor(li, "attn_norm"),
+                                st.gpuNorm.data(), st.h1);
+                        matmulTransposedB(st.gpuNorm.data(),
+                                          store_.tensor(li, "wq"),
+                                          q.data(), 1, st.h1, st.qDim);
+                        matmulTransposedB(st.gpuNorm.data(),
+                                          store_.tensor(li, "wk"),
+                                          k.data(), 1, st.h1,
+                                          st.kvDim);
+                        matmulTransposedB(st.gpuNorm.data(),
+                                          store_.tensor(li, "wv"),
+                                          v.data(), 1, st.h1,
+                                          st.kvDim);
+                        kv_->append(s, li, k.data(), v.data());
+                        kv_->makeView(s, li, view);
+                        gqaDecodeAttention(q.data(), c.nq, view.view,
+                                           attn_out.data(), st.scale,
+                                           st.cpuAttnScratch);
+                        matmulTransposedB(attn_out.data(),
+                                          store_.tensor(li, "wo"),
+                                          proj.data(), 1, st.qDim,
+                                          st.h1);
+                        accumulate(x, proj.data(), st.h1);
+
+                        rmsNorm(x, store_.tensor(li, "ffn_norm"),
+                                st.gpuNorm.data(), st.h1);
+                        matmulTransposedB(st.gpuNorm.data(),
+                                          store_.tensor(li, "router"),
+                                          rl.data(), 1, st.h1, c.ne);
+                        TokenRouting routing =
+                            routeTopK({rl.data(), rl.size()}, c.k);
+                        moeFfnForward(st.gpuNorm.data(), {&routing, 1},
+                                      store_.resolver(li), 1, st.h1,
+                                      c.h2, st.gpuFfnOut.data());
+                        accumulate(x, st.gpuFfnOut.data(), st.h1);
+                    }
+                }
+            });
+    }
+
+    // Bootstrap: sample the first generated token from each prompt's
+    // last hidden state and set up the decode-step inputs.
+    exec_->submit(
+        ResourceKind::Gpu, {compute_done[cfg.l - 1]}, [this, &st] {
+            for (std::size_t j = 0; j < st.numUbs; ++j) {
+                for (std::size_t s = st.ubStart[j];
+                     s < st.ubStart[j + 1]; ++s) {
+                    std::size_t len =
+                        st.prefillHidden[s].size() / st.h1;
+                    const float *hidden = st.prefillHidden[s].data() +
+                                          (len - 1) * st.h1;
+                    rmsNorm(hidden, w_.finalNorm.data(),
+                            st.gpuNorm.data(), st.h1);
+                    matmulTransposedB(st.gpuNorm.data(),
+                                      w_.lmHead.data(),
+                                      st.gpuLogits.data(), 1, st.h1,
+                                      st.vocab);
+                    int next = static_cast<int>(argmax(
+                        {st.gpuLogits.data(), st.gpuLogits.size()}));
+                    st.out[s].tokens.push_back(next);
+                    st.nextToken[s] = next;
+                    float *x = st.xGpu[j].data() +
+                               (s - st.ubStart[j]) * st.h1;
+                    std::memcpy(
+                        x,
+                        w_.embedding.row(
+                            static_cast<std::size_t>(next)),
+                        st.h1 * sizeof(float));
+                }
+            }
+        });
+}
+
+void
+PipelinedEngine::decodeStep(DecodeState &st, int stepIdx, bool lastStep)
+{
+    const ModelConfig &cfg = w_.cfg;
+    std::size_t layers = cfg.l;
+    std::size_t ubs = st.numUbs;
+    std::size_t total = layers * ubs;
+    std::size_t la = std::min<std::size_t>(cfg_.lookahead, ubs);
+
+    std::size_t next_chain = 0;
+    // Launch the Pre -> OffloadQKV -> CPUAttn chain for linear index
+    // m (layer-major). Dependencies: this layer's weights and this
+    // micro-batch's hidden state from the previous layer/step.
+    auto launch_chain = [&](std::size_t m) {
+        std::size_t i = m / ubs, j = m % ubs;
+        std::vector<EventPtr> deps;
+        if (st.weightsReady[i])
+            deps.push_back(st.weightsReady[i]);
+        EventPtr x_ready = i == 0 ? st.xReadyUb[j] : st.postPerUb[j];
+        if (x_ready)
+            deps.push_back(x_ready);
+
+        EventPtr pre = exec_->submit(
+            ResourceKind::Gpu, std::move(deps), [this, &st, i, j] {
+                std::size_t n = st.ubSize(j);
+                for (std::size_t r = 0; r < n; ++r) {
+                    const float *x = st.xGpu[j].data() + r * st.h1;
+                    float *qkv = st.qkvGpu[j].data() + r * st.qkvDim;
+                    rmsNorm(x, store_.tensor(i, "attn_norm"),
+                            st.gpuNorm.data(), st.h1);
+                    matmulTransposedB(st.gpuNorm.data(),
+                                      store_.tensor(i, "wq"), qkv, 1,
+                                      st.h1, st.qDim);
+                    matmulTransposedB(st.gpuNorm.data(),
+                                      store_.tensor(i, "wk"),
+                                      qkv + st.qDim, 1, st.h1,
+                                      st.kvDim);
+                    matmulTransposedB(st.gpuNorm.data(),
+                                      store_.tensor(i, "wv"),
+                                      qkv + st.qDim + st.kvDim, 1,
+                                      st.h1, st.kvDim);
+                }
+            });
+
+        EventPtr off = exec_->submit(
+            ResourceKind::DtoH, {pre}, [this, &st, i, j] {
+                std::size_t n = st.ubSize(j);
+                te_.copyToHost(st.qkvGpu[j].data(),
+                               st.qkvCpu[j].data(), n * st.qkvDim);
+                for (std::size_t r = 0; r < n; ++r) {
+                    std::size_t s = st.ubStart[j] + r;
+                    const float *qkv =
+                        st.qkvCpu[j].data() + r * st.qkvDim;
+                    kv_->append(s, i, qkv + st.qDim,
+                                qkv + st.qDim + st.kvDim);
+                }
+            });
+
+        st.cattn[i][j] = exec_->submit(
+            ResourceKind::Cpu, {off}, [this, &st, i, j] {
+                const ModelConfig &c = w_.cfg;
+                std::size_t n = st.ubSize(j);
+                // Materialize all views first, then fan the tokens
+                // out across the attention pool (multi-core kernel).
+                std::vector<KvViewStorage> views(n);
+                std::vector<KvView> kvs(n);
+                for (std::size_t r = 0; r < n; ++r) {
+                    kv_->makeView(st.ubStart[j] + r, i, views[r]);
+                    kvs[r] = views[r].view;
+                }
+                gqaDecodeAttentionBatch(
+                    st.qkvCpu[j].data(), st.qkvDim, c.nq, kvs,
+                    st.attnCpu[j].data(), st.qDim, st.scale,
+                    attnPool_.get());
+            });
+    };
+    auto pump = [&](std::size_t up_to) {
+        while (next_chain < total && next_chain <= up_to)
+            launch_chain(next_chain++);
+    };
+
+    // Prologue (Algorithm 1 lines 2-7): the first 'la' chains, all in
+    // layer 0, plus the weight stream for the next layers (emitted in
+    // the main loop below).
+    pump(la - 1);
+
+    for (std::size_t m = 0; m < total; ++m) {
+        std::size_t i = m / ubs, j = m % ubs;
+        pump(m);  // ensure this chain exists
+
+        // LoadH(i, j): attention output back to the GPU.
+        EventPtr loadh = exec_->submit(
+            ResourceKind::HtoD, {st.cattn[i][j]}, [this, &st, j] {
+                std::size_t n = st.ubSize(j);
+                te_.copyToGpu(st.attnCpu[j].data(),
+                              st.attnGpu[j].data(), n * st.qDim);
+            });
+
+        // Interleaved weight pages for the next layer (wraps to layer
+        // 0 of the next step). Chunk j covers an equal share of the
+        // layer's pages.
+        std::size_t target = (i + 1) % layers;
+        bool preloaded = stepIdx == 1 && i == 0;  // layer 1 preloaded
+        bool skip_tail = lastStep && i == layers - 1;
+        if (!preloaded && !skip_tail) {
+            std::size_t pages = store_.pagesPerLayer();
+            std::size_t lo = pages * j / ubs;
+            std::size_t hi = pages * (j + 1) / ubs;
+            if (j == 0) {
+                // Fresh readiness event for the incoming layer; the
+                // slot it overwrites must have retired.
+                st.weightsReady[target] = std::make_shared<TaskEvent>();
+            }
+            EventPtr ready = st.weightsReady[target];
+            std::vector<EventPtr> wdeps;
+            std::size_t slot = target % store_.numSlots();
+            if (lo < hi && j == 0 && st.slotBusy[slot])
+                wdeps.push_back(st.slotBusy[slot]);
+            bool last_chunk = j + 1 == ubs;
+            exec_->submit(
+                ResourceKind::HtoD, std::move(wdeps),
+                [this, target, lo, hi, last_chunk, ready] {
+                    for (std::size_t p = lo; p < hi; ++p)
+                        store_.loadPage(target, p, te_);
+                    if (last_chunk)
+                        ready->signal();
+                });
+        }
+
+        // PostAttn(i, j): O projection + residual + router + MoE FFN;
+        // on the last layer also sample and re-embed.
+        std::vector<EventPtr> post_deps{loadh};
+        if (st.weightsReady[i])
+            post_deps.push_back(st.weightsReady[i]);
+        bool last_layer = i == layers - 1;
+        EventPtr post = exec_->submit(
+            ResourceKind::Gpu, std::move(post_deps),
+            [this, &st, i, j, last_layer, stepIdx] {
+                const ModelConfig &c = w_.cfg;
+                std::size_t n = st.ubSize(j);
+                std::vector<float> proj(st.h1), rl(c.ne);
+                for (std::size_t r = 0; r < n; ++r) {
+                    float *x = st.xGpu[j].data() + r * st.h1;
+                    const float *attn_out =
+                        st.attnGpu[j].data() + r * st.qDim;
+                    matmulTransposedB(attn_out,
+                                      store_.tensor(i, "wo"),
+                                      proj.data(), 1, st.qDim, st.h1);
+                    accumulate(x, proj.data(), st.h1);
+                    rmsNorm(x, store_.tensor(i, "ffn_norm"),
+                            st.gpuNorm.data(), st.h1);
+                    matmulTransposedB(st.gpuNorm.data(),
+                                      store_.tensor(i, "router"),
+                                      rl.data(), 1, st.h1, c.ne);
+                    TokenRouting routing =
+                        routeTopK({rl.data(), rl.size()}, c.k);
+                    moeFfnForward(st.gpuNorm.data(), {&routing, 1},
+                                  store_.resolver(i), 1, st.h1, c.h2,
+                                  st.gpuFfnOut.data());
+                    accumulate(x, st.gpuFfnOut.data(), st.h1);
+
+                    if (last_layer) {
+                        std::size_t s = st.ubStart[j] + r;
+                        rmsNorm(x, w_.finalNorm.data(),
+                                st.gpuNorm.data(), st.h1);
+                        matmulTransposedB(st.gpuNorm.data(),
+                                          w_.lmHead.data(),
+                                          st.gpuLogits.data(), 1,
+                                          st.h1, st.vocab);
+                        int next = static_cast<int>(
+                            argmax({st.gpuLogits.data(),
+                                    st.gpuLogits.size()}));
+                        st.out[s].tokens.push_back(next);
+                        st.nextToken[s] = next;
+                        std::memcpy(
+                            x,
+                            w_.embedding.row(
+                                static_cast<std::size_t>(next)),
+                            st.h1 * sizeof(float));
+                        (void)stepIdx;
+                    }
+                }
+            });
+
+        st.postPerUb[j] = post;
+        if (last_layer)
+            st.xReadyUb[j] = post;
+        if (j + 1 == ubs)
+            st.slotBusy[i % store_.numSlots()] = post;
+
+        pump(m + la);
+    }
+}
+
+} // namespace moelight

@@ -1,0 +1,98 @@
+#include "runtime/kv_cache.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace moelight {
+
+KvCacheManager::KvCacheManager(const ModelConfig &cfg,
+                               std::size_t numSeqs,
+                               std::size_t pageTokens,
+                               std::size_t capacityTokens)
+    : cfg_(cfg),
+      numSeqs_(numSeqs),
+      pageTokens_(pageTokens),
+      tokenFloats_(cfg.nkv * cfg.headDim),
+      pool_("kv-cache", pageTokens * cfg.nkv * cfg.headDim,
+            // K and V pools share one arena: 2 pages per page-worth
+            // of tokens, rounded up, per (seq, layer) lazily.
+            2 * ((capacityTokens + pageTokens - 1) / pageTokens) + 2),
+      slots_(numSeqs * cfg.l)
+{
+    fatalIf(numSeqs == 0, "KV cache for zero sequences");
+    fatalIf(pageTokens == 0, "KV page must hold at least one token");
+}
+
+KvCacheManager::SeqLayer &
+KvCacheManager::at(std::size_t seq, std::size_t layer)
+{
+    panicIf(seq >= numSeqs_ || layer >= cfg_.l,
+            "KV slot (", seq, ",", layer, ") out of range");
+    return slots_[seq * cfg_.l + layer];
+}
+
+const KvCacheManager::SeqLayer &
+KvCacheManager::at(std::size_t seq, std::size_t layer) const
+{
+    return const_cast<KvCacheManager *>(this)->at(seq, layer);
+}
+
+void
+KvCacheManager::append(std::size_t seq, std::size_t layer,
+                       const float *k, const float *v)
+{
+    SeqLayer &sl = at(seq, layer);
+    std::size_t off = sl.len % pageTokens_;
+    if (off == 0) {
+        sl.kPages.push_back(pool_.allocate());
+        sl.vPages.push_back(pool_.allocate());
+    }
+    float *kp = pool_.page(sl.kPages.back()) + off * tokenFloats_;
+    float *vp = pool_.page(sl.vPages.back()) + off * tokenFloats_;
+    std::memcpy(kp, k, tokenFloats_ * sizeof(float));
+    std::memcpy(vp, v, tokenFloats_ * sizeof(float));
+    ++sl.len;
+}
+
+std::size_t
+KvCacheManager::contextLen(std::size_t seq, std::size_t layer) const
+{
+    return at(seq, layer).len;
+}
+
+void
+KvCacheManager::makeView(std::size_t seq, std::size_t layer,
+                         KvViewStorage &storage) const
+{
+    const SeqLayer &sl = at(seq, layer);
+    storage.k.clear();
+    storage.v.clear();
+    for (PageId p : sl.kPages)
+        storage.k.push_back(pool_.page(p));
+    for (PageId p : sl.vPages)
+        storage.v.push_back(pool_.page(p));
+    storage.view.kPages = storage.k;
+    storage.view.vPages = storage.v;
+    storage.view.pageTokens = pageTokens_;
+    storage.view.contextLen = sl.len;
+    storage.view.nKv = cfg_.nkv;
+    storage.view.headDim = cfg_.headDim;
+}
+
+void
+KvCacheManager::freeSequence(std::size_t seq)
+{
+    for (std::size_t layer = 0; layer < cfg_.l; ++layer) {
+        SeqLayer &sl = at(seq, layer);
+        for (PageId p : sl.kPages)
+            pool_.release(p);
+        for (PageId p : sl.vPages)
+            pool_.release(p);
+        sl.kPages.clear();
+        sl.vPages.clear();
+        sl.len = 0;
+    }
+}
+
+} // namespace moelight

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * CPU-resident paged KV cache manager. Sequences append one token's
+ * K/V per layer per decode step; storage is page-granular (pageTokens
+ * tokens per page) so memory is allocated lazily and freed per
+ * sequence — the same structure vLLM-style paged attention uses, kept
+ * host-side because MoE-Lightning performs attention on the CPU.
+ */
+
+#ifndef MOELIGHT_RUNTIME_KV_CACHE_HH
+#define MOELIGHT_RUNTIME_KV_CACHE_HH
+
+#include <vector>
+
+#include "kernels/attention.hh"
+#include "model/model_config.hh"
+#include "runtime/arena.hh"
+
+namespace moelight {
+
+/** Materialized page-pointer lists backing a KvView. */
+struct KvViewStorage
+{
+    std::vector<const float *> k;
+    std::vector<const float *> v;
+    KvView view;
+};
+
+/**
+ * Paged KV cache for a fixed set of sequences across all layers.
+ * Not thread-safe for concurrent append to the *same* (seq, layer);
+ * the pipeline appends from a single DtoH queue thread.
+ */
+class KvCacheManager
+{
+  public:
+    /**
+     * @param cfg        Model shapes (nkv, headDim, l).
+     * @param numSeqs    Sequences tracked.
+     * @param pageTokens Tokens per KV page.
+     * @param capacityTokens Total token capacity across sequences and
+     *                   layers (pool size); exhausting it is fatal.
+     */
+    KvCacheManager(const ModelConfig &cfg, std::size_t numSeqs,
+                   std::size_t pageTokens, std::size_t capacityTokens);
+
+    /** Append one token's K and V ([nkv * headDim] each) for
+     *  (@p seq, @p layer). */
+    void append(std::size_t seq, std::size_t layer, const float *k,
+                const float *v);
+
+    /** Current context length of (@p seq, @p layer). */
+    std::size_t contextLen(std::size_t seq, std::size_t layer) const;
+
+    /** Build an attention view over (@p seq, @p layer); @p storage
+     *  owns the page-pointer arrays and must outlive the use. */
+    void makeView(std::size_t seq, std::size_t layer,
+                  KvViewStorage &storage) const;
+
+    /** Release all pages of @p seq (it finished generating). */
+    void freeSequence(std::size_t seq);
+
+    /** Pool usage, in pages. */
+    std::size_t usedPages() const { return pool_.usedPages(); }
+    std::size_t freePages() const { return pool_.freePages(); }
+
+  private:
+    struct SeqLayer
+    {
+        std::vector<PageId> kPages;
+        std::vector<PageId> vPages;
+        std::size_t len = 0;
+    };
+
+    SeqLayer &at(std::size_t seq, std::size_t layer);
+    const SeqLayer &at(std::size_t seq, std::size_t layer) const;
+
+    ModelConfig cfg_;
+    std::size_t numSeqs_;
+    std::size_t pageTokens_;
+    std::size_t tokenFloats_;  ///< nkv * headDim
+    PageArena pool_;
+    std::vector<SeqLayer> slots_;  ///< [seq * l + layer]
+};
+
+} // namespace moelight
+
+#endif // MOELIGHT_RUNTIME_KV_CACHE_HH

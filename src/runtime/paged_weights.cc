@@ -1,0 +1,172 @@
+#include "runtime/paged_weights.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace moelight {
+
+namespace {
+
+/** Ordered tensor names for one layer of a Mixtral-style model. */
+std::vector<std::string>
+makeTensorNames(const ModelConfig &cfg)
+{
+    std::vector<std::string> names{"attn_norm", "wq", "wk", "wv",
+                                   "wo",        "ffn_norm", "router"};
+    for (std::size_t e = 0; e < cfg.ne; ++e) {
+        std::string p = "e" + std::to_string(e) + ".";
+        names.push_back(p + "w1");
+        names.push_back(p + "w3");
+        names.push_back(p + "w2");
+    }
+    return names;
+}
+
+/** CPU tensor for (layer weights, name). */
+const Tensor &
+cpuTensor(const LayerWeights &lw, const std::string &name)
+{
+    if (name == "attn_norm")
+        return lw.attnNorm;
+    if (name == "wq")
+        return lw.wq;
+    if (name == "wk")
+        return lw.wk;
+    if (name == "wv")
+        return lw.wv;
+    if (name == "wo")
+        return lw.wo;
+    if (name == "ffn_norm")
+        return lw.ffnNorm;
+    if (name == "router")
+        return lw.router;
+    panicIf(name.size() < 4 || name[0] != 'e',
+            "unknown weight tensor '", name, "'");
+    std::size_t dot = name.find('.');
+    panicIf(dot == std::string::npos, "unknown weight tensor '", name,
+            "'");
+    std::size_t e = static_cast<std::size_t>(
+        std::stoul(name.substr(1, dot - 1)));
+    std::string kind = name.substr(dot + 1);
+    panicIf(e >= lw.w1.size(), "expert index out of range in '", name,
+            "'");
+    if (kind == "w1")
+        return lw.w1[e];
+    if (kind == "w3")
+        return lw.w3[e];
+    if (kind == "w2")
+        return lw.w2[e];
+    panic("unknown expert tensor kind '", kind, "'");
+}
+
+} // namespace
+
+PagedWeightStore::PagedWeightStore(const ModelWeights &weights,
+                                   PageArena &pinned,
+                                   std::size_t numSlots)
+    : weights_(weights),
+      numSlots_(numSlots),
+      tensorNames_(makeTensorNames(weights.cfg)),
+      gpu_("gpu-weights",
+           [&] {
+               std::size_t mx = 0;
+               for (const auto &n : makeTensorNames(weights.cfg))
+                   mx = std::max(mx,
+                                 cpuTensor(weights.layers[0], n).numel());
+               return mx;
+           }(),
+           numSlots * makeTensorNames(weights.cfg).size())
+{
+    fatalIf(numSlots_ < 2,
+            "paged weight store needs >= 2 slots for double buffering");
+    fatalIf(weights_.layers.empty(), "model has no layers");
+    (void)pinned;
+    tensorCount_ = tensorNames_.size();
+    pageFloats_ = gpu_.pageFloats();
+
+    table_.resize(numSlots_);
+    for (auto &slot : table_) {
+        slot.resize(tensorCount_);
+        for (auto &entry : slot)
+            entry.page = gpu_.allocate();
+    }
+}
+
+std::size_t
+PagedWeightStore::tensorIndex(const std::string &name) const
+{
+    auto it = std::find(tensorNames_.begin(), tensorNames_.end(), name);
+    panicIf(it == tensorNames_.end(), "unknown weight tensor '", name,
+            "'");
+    return static_cast<std::size_t>(it - tensorNames_.begin());
+}
+
+std::vector<WeightTensorId>
+PagedWeightStore::layerManifest(std::size_t layer) const
+{
+    panicIf(layer >= weights_.layers.size(), "layer out of range");
+    std::vector<WeightTensorId> out;
+    out.reserve(tensorCount_);
+    for (const auto &n : tensorNames_) {
+        const Tensor &t = cpuTensor(weights_.layers[layer], n);
+        out.push_back({n, t.numel(), t.data()});
+    }
+    return out;
+}
+
+void
+PagedWeightStore::loadPage(std::size_t layer, std::size_t pageIdx,
+                           TransferEngine &te)
+{
+    panicIf(layer >= weights_.layers.size(), "layer out of range");
+    panicIf(pageIdx >= tensorCount_, "page index out of range");
+    const Tensor &src =
+        cpuTensor(weights_.layers[layer], tensorNames_[pageIdx]);
+    PageEntry &entry = table_[slotOf(layer)][pageIdx];
+    te.stageToGpu(src.data(), gpu_.page(entry.page), src.numel());
+    entry.residentLayer = static_cast<int>(layer);
+}
+
+void
+PagedWeightStore::loadLayer(std::size_t layer, TransferEngine &te)
+{
+    for (std::size_t p = 0; p < tensorCount_; ++p)
+        loadPage(layer, p, te);
+}
+
+const float *
+PagedWeightStore::tensor(std::size_t layer, const std::string &name) const
+{
+    const PageEntry &entry = table_[slotOf(layer)][tensorIndex(name)];
+    panicIf(entry.residentLayer != static_cast<int>(layer),
+            "weight page for '", name, "' of layer ", layer,
+            " not resident (slot holds layer ", entry.residentLayer,
+            ") — pipeline used weights before their transfer");
+    return gpu_.page(entry.page);
+}
+
+ExpertWeights
+PagedWeightStore::expert(std::size_t layer, int e) const
+{
+    std::string p = "e" + std::to_string(e) + ".";
+    ExpertWeights w;
+    w.w1 = tensor(layer, p + "w1");
+    w.w3 = tensor(layer, p + "w3");
+    w.w2 = tensor(layer, p + "w2");
+    return w;
+}
+
+ExpertResolver
+PagedWeightStore::resolver(std::size_t layer) const
+{
+    return [this, layer](int e) { return expert(layer, e); };
+}
+
+PageId
+PagedWeightStore::pageOf(std::size_t layer, const std::string &name) const
+{
+    return table_[slotOf(layer)][tensorIndex(name)].page;
+}
+
+} // namespace moelight

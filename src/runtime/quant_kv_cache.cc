@@ -1,0 +1,128 @@
+#include "runtime/quant_kv_cache.hh"
+
+#include "common/logging.hh"
+
+namespace moelight {
+
+QuantizedKvCache::QuantizedKvCache(const ModelConfig &cfg,
+                                   std::size_t numSeqs,
+                                   std::size_t pageTokens,
+                                   QuantKind kind)
+    : cfg_(cfg),
+      numSeqs_(numSeqs),
+      pageTokens_(pageTokens),
+      tokenFloats_(cfg.nkv * cfg.headDim),
+      kind_(kind),
+      streams_(numSeqs * cfg.l)
+{
+    fatalIf(numSeqs == 0, "quantized KV cache for zero sequences");
+    fatalIf(pageTokens == 0, "KV page must hold at least one token");
+    // Quantization groups are per token-head vector; headDim must be
+    // group-compatible.
+    fatalIf(cfg.headDim % 2 != 0,
+            "headDim must be even for int4 packing");
+}
+
+QuantizedKvCache::Stream &
+QuantizedKvCache::at(std::size_t seq, std::size_t layer)
+{
+    panicIf(seq >= numSeqs_ || layer >= cfg_.l,
+            "quantized KV slot out of range");
+    return streams_[seq * cfg_.l + layer];
+}
+
+const QuantizedKvCache::Stream &
+QuantizedKvCache::at(std::size_t seq, std::size_t layer) const
+{
+    return const_cast<QuantizedKvCache *>(this)->at(seq, layer);
+}
+
+void
+QuantizedKvCache::append(std::size_t seq, std::size_t layer,
+                         const float *k, const float *v)
+{
+    Stream &s = at(seq, layer);
+    s.openK.insert(s.openK.end(), k, k + tokenFloats_);
+    s.openV.insert(s.openV.end(), v, v + tokenFloats_);
+    ++s.len;
+    if (s.openK.size() == pageTokens_ * tokenFloats_) {
+        // Page full: quantize (group = one head vector) and reset.
+        s.closedK.emplace_back(
+            std::span<const float>(s.openK), kind_, cfg_.headDim);
+        s.closedV.emplace_back(
+            std::span<const float>(s.openV), kind_, cfg_.headDim);
+        s.openK.clear();
+        s.openV.clear();
+    }
+}
+
+std::size_t
+QuantizedKvCache::contextLen(std::size_t seq, std::size_t layer) const
+{
+    return at(seq, layer).len;
+}
+
+void
+QuantizedKvCache::makeView(std::size_t seq, std::size_t layer,
+                           QuantKvViewStorage &storage) const
+{
+    const Stream &s = at(seq, layer);
+    std::size_t page_floats = pageTokens_ * tokenFloats_;
+    std::size_t n_pages =
+        s.closedK.size() + (s.openK.empty() ? 0 : 1);
+
+    storage.kPages.assign(n_pages, {});
+    storage.vPages.assign(n_pages, {});
+    storage.k.clear();
+    storage.v.clear();
+    for (std::size_t p = 0; p < s.closedK.size(); ++p) {
+        storage.kPages[p].resize(page_floats);
+        storage.vPages[p].resize(page_floats);
+        s.closedK[p].dequantize(storage.kPages[p]);
+        s.closedV[p].dequantize(storage.vPages[p]);
+    }
+    if (!s.openK.empty()) {
+        // Open page: copy floats, pad to page size (unread tail).
+        auto &kp = storage.kPages[n_pages - 1];
+        auto &vp = storage.vPages[n_pages - 1];
+        kp.assign(page_floats, 0.0f);
+        vp.assign(page_floats, 0.0f);
+        std::copy(s.openK.begin(), s.openK.end(), kp.begin());
+        std::copy(s.openV.begin(), s.openV.end(), vp.begin());
+    }
+    for (std::size_t p = 0; p < n_pages; ++p) {
+        storage.k.push_back(storage.kPages[p].data());
+        storage.v.push_back(storage.vPages[p].data());
+    }
+    storage.view.kPages = storage.k;
+    storage.view.vPages = storage.v;
+    storage.view.pageTokens = pageTokens_;
+    storage.view.contextLen = s.len;
+    storage.view.nKv = cfg_.nkv;
+    storage.view.headDim = cfg_.headDim;
+}
+
+std::size_t
+QuantizedKvCache::storedBytes() const
+{
+    std::size_t bytes = 0;
+    for (const auto &s : streams_) {
+        for (const auto &q : s.closedK)
+            bytes += q.storageBytes();
+        for (const auto &q : s.closedV)
+            bytes += q.storageBytes();
+        bytes += (s.openK.size() + s.openV.size()) * sizeof(float);
+    }
+    return bytes;
+}
+
+std::size_t
+QuantizedKvCache::equivalentFloatBytes() const
+{
+    std::size_t tokens = 0;
+    for (const auto &s : streams_)
+        tokens += s.len;
+    return tokens * 2 * tokenFloats_ * sizeof(float);
+}
+
+} // namespace moelight

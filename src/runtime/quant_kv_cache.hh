@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Quantized paged KV cache: the storage-side realization of the
+ * paper's Fig. 4 analysis (int4/int8 KV raises attention's
+ * operational intensity and cuts host memory). Tokens append in
+ * float; each page is quantized when it fills, so steady-state
+ * storage is (pages-1) quantized + 1 open float page per
+ * (sequence, layer) stream.
+ */
+
+#ifndef MOELIGHT_RUNTIME_QUANT_KV_CACHE_HH
+#define MOELIGHT_RUNTIME_QUANT_KV_CACHE_HH
+
+#include <memory>
+#include <vector>
+
+#include "kernels/attention.hh"
+#include "kernels/quant.hh"
+#include "model/model_config.hh"
+
+namespace moelight {
+
+/** Dequantized-page storage backing a KvView over quantized KV. */
+struct QuantKvViewStorage
+{
+    std::vector<std::vector<float>> kPages;
+    std::vector<std::vector<float>> vPages;
+    std::vector<const float *> k;
+    std::vector<const float *> v;
+    KvView view;
+};
+
+/**
+ * Per-(sequence, layer) quantized KV streams. Unlike KvCacheManager
+ * there is no fixed page pool: quantized pages are tiny, and the
+ * interesting accounting is the compression ratio, exposed below.
+ */
+class QuantizedKvCache
+{
+  public:
+    QuantizedKvCache(const ModelConfig &cfg, std::size_t numSeqs,
+                     std::size_t pageTokens, QuantKind kind);
+
+    /** Append one token's K and V ([nkv*headDim] floats each). */
+    void append(std::size_t seq, std::size_t layer, const float *k,
+                const float *v);
+
+    std::size_t contextLen(std::size_t seq, std::size_t layer) const;
+
+    /**
+     * Materialize a float view (dequantizing closed pages) for the
+     * attention kernel. @p storage owns the dequantized floats and
+     * must outlive the view's use.
+     */
+    void makeView(std::size_t seq, std::size_t layer,
+                  QuantKvViewStorage &storage) const;
+
+    /** Bytes currently stored (quantized payload + scales + open
+     *  float pages). */
+    std::size_t storedBytes() const;
+    /** Bytes an all-float cache of the same contents would use. */
+    std::size_t equivalentFloatBytes() const;
+
+  private:
+    struct Stream
+    {
+        std::vector<QuantizedBuffer> closedK;
+        std::vector<QuantizedBuffer> closedV;
+        std::vector<float> openK;  ///< partial page, float
+        std::vector<float> openV;
+        std::size_t len = 0;
+    };
+
+    Stream &at(std::size_t seq, std::size_t layer);
+    const Stream &at(std::size_t seq, std::size_t layer) const;
+
+    ModelConfig cfg_;
+    std::size_t numSeqs_;
+    std::size_t pageTokens_;
+    std::size_t tokenFloats_;
+    QuantKind kind_;
+    std::vector<Stream> streams_;
+};
+
+} // namespace moelight
+
+#endif // MOELIGHT_RUNTIME_QUANT_KV_CACHE_HH

@@ -1,0 +1,144 @@
+#include "runtime/reference_engine.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "kernels/attention.hh"
+#include "kernels/linalg.hh"
+#include "kernels/moe_ffn.hh"
+#include "kernels/ops.hh"
+#include "kernels/router.hh"
+
+namespace moelight {
+
+ReferenceEngine::ReferenceEngine(const ModelWeights &weights)
+    : w_(weights)
+{
+    w_.cfg.validate();
+}
+
+void
+ReferenceEngine::reset()
+{
+    seqs_.clear();
+}
+
+ReferenceEngine::SeqCache &
+ReferenceEngine::cacheFor(std::size_t seq)
+{
+    while (seqs_.size() <= seq) {
+        SeqCache c;
+        c.k.resize(w_.cfg.l);
+        c.v.resize(w_.cfg.l);
+        seqs_.push_back(std::move(c));
+    }
+    return seqs_[seq];
+}
+
+std::vector<float>
+ReferenceEngine::forwardToken(std::size_t seq, int token)
+{
+    const ModelConfig &cfg = w_.cfg;
+    fatalIf(token < 0 || static_cast<std::size_t>(token) >= cfg.vocab,
+            "token id out of vocabulary");
+    SeqCache &cache = cacheFor(seq);
+
+    std::size_t h1 = cfg.h1;
+    std::size_t kvDim = cfg.nkv * cfg.headDim;
+    std::size_t qDim = cfg.nq * cfg.headDim;
+    float scale = 1.0f / std::sqrt(static_cast<float>(cfg.headDim));
+
+    std::vector<float> x(w_.embedding.row(static_cast<std::size_t>(token)),
+                         w_.embedding.row(static_cast<std::size_t>(token)) +
+                             h1);
+    std::vector<float> norm(h1), q(qDim), k(kvDim), v(kvDim);
+    std::vector<float> attn_out(qDim), proj(h1);
+    std::vector<float> router_logits(cfg.ne), ffn_out(h1);
+
+    for (std::size_t li = 0; li < cfg.l; ++li) {
+        const LayerWeights &lw = w_.layers[li];
+        rmsNorm(x.data(), lw.attnNorm.data(), norm.data(), h1);
+        matmulTransposedB(norm.data(), lw.wq.data(), q.data(), 1, h1,
+                          qDim);
+        matmulTransposedB(norm.data(), lw.wk.data(), k.data(), 1, h1,
+                          kvDim);
+        matmulTransposedB(norm.data(), lw.wv.data(), v.data(), 1, h1,
+                          kvDim);
+        auto &ck = cache.k[li];
+        auto &cv = cache.v[li];
+        ck.insert(ck.end(), k.begin(), k.end());
+        cv.insert(cv.end(), v.begin(), v.end());
+
+        std::size_t ctx = ck.size() / kvDim;
+        const float *kp = ck.data();
+        const float *vp = cv.data();
+        KvView view;
+        view.kPages = {&kp, 1};
+        view.vPages = {&vp, 1};
+        view.pageTokens = ctx;
+        view.contextLen = ctx;
+        view.nKv = cfg.nkv;
+        view.headDim = cfg.headDim;
+        gqaDecodeAttention(q.data(), cfg.nq, view, attn_out.data(),
+                           scale);
+
+        matmulTransposedB(attn_out.data(), lw.wo.data(), proj.data(), 1,
+                          qDim, h1);
+        accumulate(x.data(), proj.data(), h1);
+
+        rmsNorm(x.data(), lw.ffnNorm.data(), norm.data(), h1);
+        matmulTransposedB(norm.data(), lw.router.data(),
+                          router_logits.data(), 1, h1, cfg.ne);
+        TokenRouting routing = routeTopK(router_logits, cfg.k);
+        auto resolve = [&](int e) {
+            ExpertWeights ew;
+            ew.w1 = lw.w1[static_cast<std::size_t>(e)].data();
+            ew.w3 = lw.w3[static_cast<std::size_t>(e)].data();
+            ew.w2 = lw.w2[static_cast<std::size_t>(e)].data();
+            return ew;
+        };
+        moeFfnForward(norm.data(), {&routing, 1}, resolve, 1, h1, cfg.h2,
+                      ffn_out.data());
+        accumulate(x.data(), ffn_out.data(), h1);
+    }
+    cache.len += 1;
+    return x;
+}
+
+std::vector<float>
+ReferenceEngine::logitsOf(const std::vector<float> &hidden) const
+{
+    const ModelConfig &cfg = w_.cfg;
+    panicIf(hidden.size() != cfg.h1, "bad hidden size");
+    std::vector<float> norm(cfg.h1), logits(cfg.vocab);
+    rmsNorm(hidden.data(), w_.finalNorm.data(), norm.data(), cfg.h1);
+    matmulTransposedB(norm.data(), w_.lmHead.data(), logits.data(), 1,
+                      cfg.h1, cfg.vocab);
+    return logits;
+}
+
+std::vector<GenerationResult>
+ReferenceEngine::generate(const std::vector<std::vector<int>> &prompts,
+                          int genLen)
+{
+    fatalIf(genLen <= 0, "generation length must be positive");
+    reset();
+    std::vector<GenerationResult> out(prompts.size());
+    for (std::size_t s = 0; s < prompts.size(); ++s) {
+        fatalIf(prompts[s].empty(), "empty prompt");
+        std::vector<float> hidden;
+        for (int tok : prompts[s])
+            hidden = forwardToken(s, tok);
+        for (int g = 0; g < genLen; ++g) {
+            std::vector<float> logits = logitsOf(hidden);
+            int next = static_cast<int>(
+                argmax({logits.data(), logits.size()}));
+            out[s].tokens.push_back(next);
+            if (g + 1 < genLen)
+                hidden = forwardToken(s, next);
+        }
+    }
+    return out;
+}
+
+} // namespace moelight

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Sequential reference engine: the straightforward single-threaded
+ * MoE transformer forward pass, token by token, with plain contiguous
+ * KV tensors. It is the correctness oracle for the pipelined CGOPipe
+ * engine — both must emit identical tokens for identical weights.
+ */
+
+#ifndef MOELIGHT_RUNTIME_REFERENCE_ENGINE_HH
+#define MOELIGHT_RUNTIME_REFERENCE_ENGINE_HH
+
+#include <vector>
+
+#include "runtime/weights.hh"
+
+namespace moelight {
+
+/** Generation output for one request. */
+struct GenerationResult
+{
+    std::vector<int> tokens;  ///< generated token ids (greedy)
+};
+
+/**
+ * Single-threaded oracle. Not performance-oriented: prefill is
+ * processed token by token through all layers.
+ */
+class ReferenceEngine
+{
+  public:
+    /** @p weights must outlive the engine. */
+    explicit ReferenceEngine(const ModelWeights &weights);
+
+    /**
+     * Greedily generate @p genLen tokens for each prompt. Prompts
+     * must be non-empty; token ids must be < vocab.
+     */
+    std::vector<GenerationResult>
+    generate(const std::vector<std::vector<int>> &prompts, int genLen);
+
+    /**
+     * Forward one token of one sequence through the full stack and
+     * return the output hidden state (pre-norm). Exposed for
+     * fine-grained testing. @p seq indexes the internal KV caches,
+     * which are created on first use.
+     */
+    std::vector<float> forwardToken(std::size_t seq, int token);
+
+    /** Logits from a hidden state (final norm + LM head). */
+    std::vector<float> logitsOf(const std::vector<float> &hidden) const;
+
+    /** Drop all KV state (start a fresh batch). */
+    void reset();
+
+  private:
+    struct SeqCache
+    {
+        /** Per layer: [len, nkv*headDim] grow-able K and V. */
+        std::vector<std::vector<float>> k;
+        std::vector<std::vector<float>> v;
+        std::size_t len = 0;
+    };
+
+    SeqCache &cacheFor(std::size_t seq);
+
+    const ModelWeights &w_;
+    std::vector<SeqCache> seqs_;
+};
+
+} // namespace moelight
+
+#endif // MOELIGHT_RUNTIME_REFERENCE_ENGINE_HH

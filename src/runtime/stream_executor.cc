@@ -1,0 +1,124 @@
+#include "runtime/stream_executor.hh"
+
+#include "common/logging.hh"
+
+namespace moelight {
+
+void
+TaskEvent::wait()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return done_; });
+}
+
+bool
+TaskEvent::ready() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return done_;
+}
+
+void
+TaskEvent::signal()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        done_ = true;
+    }
+    cv_.notify_all();
+}
+
+StreamExecutor::StreamExecutor()
+{
+    for (std::size_t i = 0; i < kNumResources; ++i) {
+        queues_.push_back(std::make_unique<Queue>());
+        Queue &q = *queues_.back();
+        q.worker = std::thread([this, &q] { workerLoop(q); });
+    }
+}
+
+StreamExecutor::~StreamExecutor()
+{
+    for (auto &qp : queues_) {
+        {
+            std::lock_guard<std::mutex> lk(qp->mu);
+            qp->stopping = true;
+        }
+        qp->cv.notify_all();
+    }
+    for (auto &qp : queues_)
+        if (qp->worker.joinable())
+            qp->worker.join();
+}
+
+EventPtr
+StreamExecutor::submit(ResourceKind kind, std::vector<EventPtr> deps,
+                       std::function<void()> fn)
+{
+    Queue &q = *queues_[static_cast<std::size_t>(kind)];
+    auto done = std::make_shared<TaskEvent>();
+    {
+        std::lock_guard<std::mutex> lk(q.mu);
+        fatalIf(q.stopping, "submit to a stopping executor");
+        q.tasks.push_back({std::move(deps), std::move(fn), done});
+    }
+    q.cv.notify_all();
+    return done;
+}
+
+void
+StreamExecutor::workerLoop(Queue &q)
+{
+    for (;;) {
+        QueueTask task;
+        {
+            std::unique_lock<std::mutex> lk(q.mu);
+            q.cv.wait(lk, [&] { return q.stopping || !q.tasks.empty(); });
+            if (q.tasks.empty())
+                return;  // stopping and drained
+            task = std::move(q.tasks.front());
+            q.tasks.pop_front();
+            q.idle = false;
+        }
+        // FIFO semantics: the queue head blocks on its dependencies,
+        // like cudaStreamWaitEvent.
+        for (auto &d : task.deps)
+            d->wait();
+        try {
+            task.fn();
+        } catch (...) {
+            std::lock_guard<std::mutex> lk(errMu_);
+            if (!firstError_)
+                firstError_ = std::current_exception();
+        }
+        // Signal even on error so dependents don't deadlock; the
+        // error surfaces at sync().
+        task.done->signal();
+        {
+            std::lock_guard<std::mutex> lk(q.mu);
+            q.idle = q.tasks.empty();
+        }
+        q.cv.notify_all();
+    }
+}
+
+void
+StreamExecutor::sync()
+{
+    // Submit a fence to each queue and wait on all of them; FIFO
+    // order guarantees everything ahead has retired.
+    std::vector<EventPtr> fences;
+    for (std::size_t i = 0; i < kNumResources; ++i)
+        fences.push_back(
+            submit(static_cast<ResourceKind>(i), {}, [] {}));
+    for (auto &f : fences)
+        f->wait();
+    std::lock_guard<std::mutex> lk(errMu_);
+    if (firstError_) {
+        auto err = firstError_;
+        firstError_ = nullptr;
+        std::rethrow_exception(err);
+    }
+}
+
+} // namespace moelight

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Asynchronous stream executor: four FIFO queues (GPU compute, CPU
+ * compute, HtoD, DtoH) each drained by a worker thread — the host
+ * analogue of CUDA streams plus the CPU worker pool. Tasks carry
+ * dependency events; a queue blocks at its head until the head task's
+ * dependencies are signalled, exactly like cudaStreamWaitEvent. The
+ * CGOPipe launcher (Algorithm 1) enqueues tasks in pipeline order and
+ * lets events enforce correctness.
+ */
+
+#ifndef MOELIGHT_RUNTIME_STREAM_EXECUTOR_HH
+#define MOELIGHT_RUNTIME_STREAM_EXECUTOR_HH
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/task_graph.hh"  // ResourceKind
+
+namespace moelight {
+
+/** Completion event, shareable across queues. */
+class TaskEvent
+{
+  public:
+    /** Block until the producing task finished. */
+    void wait();
+    /** True once signalled (non-blocking). */
+    bool ready() const;
+    /** Mark complete and wake waiters (called by the executor). */
+    void signal();
+
+  private:
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    bool done_ = false;
+};
+
+using EventPtr = std::shared_ptr<TaskEvent>;
+
+/**
+ * Four-queue executor. Destruction drains all queues and joins the
+ * workers. The first exception thrown by any task is captured and
+ * rethrown from sync() / the destructor's drain (via std::terminate
+ * avoidance: destructor swallows after draining; call sync() to
+ * observe errors).
+ */
+class StreamExecutor
+{
+  public:
+    StreamExecutor();
+    ~StreamExecutor();
+
+    StreamExecutor(const StreamExecutor &) = delete;
+    StreamExecutor &operator=(const StreamExecutor &) = delete;
+
+    /**
+     * Enqueue @p fn on queue @p q after @p deps. Returns the task's
+     * completion event.
+     */
+    EventPtr submit(ResourceKind q, std::vector<EventPtr> deps,
+                    std::function<void()> fn);
+
+    /** Wait until every queue is empty and idle; rethrows the first
+     *  task exception, if any. */
+    void sync();
+
+  private:
+    struct QueueTask
+    {
+        std::vector<EventPtr> deps;
+        std::function<void()> fn;
+        EventPtr done;
+    };
+
+    struct Queue
+    {
+        std::mutex mu;
+        std::condition_variable cv;
+        std::deque<QueueTask> tasks;
+        bool stopping = false;
+        bool idle = true;
+        std::thread worker;
+    };
+
+    void workerLoop(Queue &q);
+
+    std::vector<std::unique_ptr<Queue>> queues_;
+    std::mutex errMu_;
+    std::exception_ptr firstError_;
+};
+
+} // namespace moelight
+
+#endif // MOELIGHT_RUNTIME_STREAM_EXECUTOR_HH

@@ -1,0 +1,161 @@
+#include "runtime/tensor_parallel.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "kernels/attention.hh"
+#include "kernels/linalg.hh"
+#include "kernels/moe_ffn.hh"
+#include "kernels/ops.hh"
+
+namespace moelight {
+
+namespace {
+
+/** Copy rows [lo, hi) of a [rows, cols] tensor. */
+Tensor
+sliceRows(const Tensor &src, std::size_t lo, std::size_t hi)
+{
+    std::size_t cols = src.dim(1);
+    Tensor out({hi - lo, cols});
+    std::memcpy(out.data(), src.data() + lo * cols,
+                (hi - lo) * cols * sizeof(float));
+    return out;
+}
+
+/** Copy columns [lo, hi) of a [rows, cols] tensor. */
+Tensor
+sliceCols(const Tensor &src, std::size_t lo, std::size_t hi)
+{
+    std::size_t rows = src.dim(0), cols = src.dim(1);
+    Tensor out({rows, hi - lo});
+    for (std::size_t r = 0; r < rows; ++r)
+        std::memcpy(out.data() + r * (hi - lo),
+                    src.data() + r * cols + lo,
+                    (hi - lo) * sizeof(float));
+    return out;
+}
+
+} // namespace
+
+std::vector<TpShard>
+shardModel(const ModelWeights &full, std::size_t tp)
+{
+    const ModelConfig &cfg = full.cfg;
+    fatalIf(tp == 0, "tensor parallel degree must be positive");
+    fatalIf(cfg.nq % tp != 0 || cfg.nkv % tp != 0 || cfg.h2 % tp != 0,
+            "nq, nkv and h2 must be divisible by the TP degree");
+
+    std::size_t nq_s = cfg.nq / tp;
+    std::size_t nkv_s = cfg.nkv / tp;
+    std::size_t h2_s = cfg.h2 / tp;
+    std::size_t hd = cfg.headDim;
+
+    std::vector<TpShard> shards(tp);
+    for (std::size_t r = 0; r < tp; ++r) {
+        TpShard &s = shards[r];
+        s.rank = r;
+        s.tp = tp;
+        s.cfg = cfg;
+        s.cfg.nq = nq_s;
+        s.cfg.nkv = nkv_s;
+        s.cfg.h2 = h2_s;
+        s.layers.reserve(cfg.l);
+        for (std::size_t li = 0; li < cfg.l; ++li) {
+            const LayerWeights &lw = full.layers[li];
+            LayerWeights out;
+            out.attnNorm = lw.attnNorm.clone();
+            out.ffnNorm = lw.ffnNorm.clone();
+            out.router = lw.router.clone();
+            // Column-parallel QKV: this shard's query / KV heads.
+            out.wq = sliceRows(lw.wq, r * nq_s * hd,
+                               (r + 1) * nq_s * hd);
+            out.wk = sliceRows(lw.wk, r * nkv_s * hd,
+                               (r + 1) * nkv_s * hd);
+            out.wv = sliceRows(lw.wv, r * nkv_s * hd,
+                               (r + 1) * nkv_s * hd);
+            // Row-parallel O: the input columns matching our heads.
+            out.wo = sliceCols(lw.wo, r * nq_s * hd,
+                               (r + 1) * nq_s * hd);
+            for (std::size_t e = 0; e < cfg.ne; ++e) {
+                out.w1.push_back(
+                    sliceRows(lw.w1[e], r * h2_s, (r + 1) * h2_s));
+                out.w3.push_back(
+                    sliceRows(lw.w3[e], r * h2_s, (r + 1) * h2_s));
+                out.w2.push_back(
+                    sliceCols(lw.w2[e], r * h2_s, (r + 1) * h2_s));
+            }
+            s.layers.push_back(std::move(out));
+        }
+    }
+    return shards;
+}
+
+std::vector<float>
+shardAttention(const TpShard &shard, std::size_t layer,
+               const std::vector<float> &x, std::vector<float> &kHist,
+               std::vector<float> &vHist)
+{
+    const ModelConfig &c = shard.cfg;
+    panicIf(layer >= shard.layers.size(), "layer out of range");
+    panicIf(x.size() != c.h1, "bad hidden size");
+    const LayerWeights &lw = shard.layers[layer];
+
+    std::size_t q_dim = c.nq * c.headDim;
+    std::size_t kv_dim = c.nkv * c.headDim;
+    std::vector<float> norm(c.h1), q(q_dim), k(kv_dim), v(kv_dim);
+    rmsNorm(x.data(), lw.attnNorm.data(), norm.data(), c.h1);
+    matmulTransposedB(norm.data(), lw.wq.data(), q.data(), 1, c.h1,
+                      q_dim);
+    matmulTransposedB(norm.data(), lw.wk.data(), k.data(), 1, c.h1,
+                      kv_dim);
+    matmulTransposedB(norm.data(), lw.wv.data(), v.data(), 1, c.h1,
+                      kv_dim);
+    kHist.insert(kHist.end(), k.begin(), k.end());
+    vHist.insert(vHist.end(), v.begin(), v.end());
+
+    std::size_t ctx = kHist.size() / kv_dim;
+    const float *kp = kHist.data();
+    const float *vp = vHist.data();
+    KvView view;
+    view.kPages = {&kp, 1};
+    view.vPages = {&vp, 1};
+    view.pageTokens = ctx;
+    view.contextLen = ctx;
+    view.nKv = c.nkv;
+    view.headDim = c.headDim;
+    std::vector<float> attn(q_dim);
+    gqaDecodeAttention(q.data(), c.nq, view, attn.data(),
+                       1.0f / std::sqrt(static_cast<float>(c.headDim)));
+
+    std::vector<float> partial(c.h1);
+    matmulTransposedB(attn.data(), lw.wo.data(), partial.data(), 1,
+                      q_dim, c.h1);
+    return partial;
+}
+
+std::vector<float>
+shardMoeFfn(const TpShard &shard, std::size_t layer,
+            const std::vector<float> &xNorm, const TokenRouting &routing)
+{
+    const ModelConfig &c = shard.cfg;
+    panicIf(layer >= shard.layers.size(), "layer out of range");
+    panicIf(xNorm.size() != c.h1, "bad hidden size");
+    const LayerWeights &lw = shard.layers[layer];
+
+    auto resolve = [&](int e) {
+        ExpertWeights w;
+        auto idx = static_cast<std::size_t>(e);
+        w.w1 = lw.w1[idx].data();
+        w.w3 = lw.w3[idx].data();
+        w.w2 = lw.w2[idx].data();
+        return w;
+    };
+    std::vector<float> out(c.h1);
+    moeFfnForward(xNorm.data(), {&routing, 1}, resolve, 1, c.h1, c.h2,
+                  out.data());
+    return out;
+}
+
+} // namespace moelight

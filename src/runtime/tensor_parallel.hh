@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Tensor-parallel weight sharding (paper §4.3). Megatron-style split
+ * of a Mixtral layer across tp devices:
+ *
+ *  - attention: query/key/value heads are partitioned across shards
+ *    (column parallel); the O projection is row parallel, so each
+ *    shard produces a partial [h1] output and the results are summed
+ *    (the all-reduce).
+ *  - expert FFN: w1/w3 rows (the h2 dimension) are partitioned
+ *    (column parallel); w2 columns are partitioned (row parallel);
+ *    shard outputs sum to the full expert output.
+ *  - norms / router / embeddings are replicated.
+ *
+ * The functional guarantee — shard outputs combine to the unsharded
+ * layer's output — is what makes the perf model's "tp x GPU memory,
+ * tp x bandwidth" aggregation valid, and is tested in
+ * tests/runtime/test_tensor_parallel.cc.
+ */
+
+#ifndef MOELIGHT_RUNTIME_TENSOR_PARALLEL_HH
+#define MOELIGHT_RUNTIME_TENSOR_PARALLEL_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "kernels/router.hh"
+#include "runtime/weights.hh"
+
+namespace moelight {
+
+/** One device's shard of a model. */
+struct TpShard
+{
+    std::size_t rank = 0;       ///< shard index in [0, tp)
+    std::size_t tp = 1;         ///< total shards
+    ModelConfig cfg;            ///< per-shard shapes (nq/nkv/h2 cut)
+    std::vector<LayerWeights> layers;
+};
+
+/**
+ * Split @p full into @p tp shards. Requires nq, nkv and h2 to be
+ * divisible by tp (true for all the paper's models at tp in
+ * {2, 4, 8}).
+ */
+std::vector<TpShard> shardModel(const ModelWeights &full,
+                                std::size_t tp);
+
+/**
+ * Run one shard's attention block for a single token:
+ * @p x is the [h1] input hidden state (replicated), @p kHist/@p vHist
+ * are this shard's KV history ([ctx, nkvShard*headDim], appended to
+ * by this call), and the return value is the shard's *partial* O
+ * projection output ([h1]) — summing across shards yields the full
+ * attention block output (pre-residual).
+ */
+std::vector<float> shardAttention(const TpShard &shard,
+                                  std::size_t layer,
+                                  const std::vector<float> &x,
+                                  std::vector<float> &kHist,
+                                  std::vector<float> &vHist);
+
+/**
+ * Run one shard's MoE FFN for a single token on the *normalized*
+ * input @p xNorm with full-model routing decisions @p routing; the
+ * return value is the shard's partial output ([h1]); summing across
+ * shards yields the full MoE FFN output.
+ */
+std::vector<float> shardMoeFfn(const TpShard &shard, std::size_t layer,
+                               const std::vector<float> &xNorm,
+                               const TokenRouting &routing);
+
+} // namespace moelight
+
+#endif // MOELIGHT_RUNTIME_TENSOR_PARALLEL_HH

@@ -1,0 +1,85 @@
+#include "runtime/transfer_engine.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace moelight {
+
+TransferEngine::TransferEngine(PageArena &pinned, Bandwidth throttleBw)
+    : pinned_(pinned), throttleBw_(throttleBw)
+{
+    fatalIf(throttleBw < 0.0, "negative throttle bandwidth");
+}
+
+TransferStats
+TransferEngine::stats() const
+{
+    TransferStats s;
+    s.hostToPinned = hostToPinned_.load();
+    s.pinnedToGpu = pinnedToGpu_.load();
+    s.gpuToHost = gpuToHost_.load();
+    s.hostToGpu = hostToGpu_.load();
+    return s;
+}
+
+void
+TransferEngine::resetStats()
+{
+    hostToPinned_ = 0;
+    pinnedToGpu_ = 0;
+    gpuToHost_ = 0;
+    hostToGpu_ = 0;
+}
+
+void
+TransferEngine::throttle(std::size_t bytes) const
+{
+    if (throttleBw_ <= 0.0)
+        return;
+    double secs = static_cast<double>(bytes) / throttleBw_;
+    std::this_thread::sleep_for(std::chrono::duration<double>(secs));
+}
+
+void
+TransferEngine::stageToGpu(const float *src, float *dst,
+                           std::size_t floats)
+{
+    std::size_t chunk = pinned_.pageFloats();
+    PageId staging = pinned_.allocate();
+    float *stage = pinned_.page(staging);
+    std::size_t off = 0;
+    while (off < floats) {
+        std::size_t n = std::min(chunk, floats - off);
+        std::memcpy(stage, src + off, n * sizeof(float));
+        hostToPinned_ += n * sizeof(float);
+        std::memcpy(dst + off, stage, n * sizeof(float));
+        pinnedToGpu_ += n * sizeof(float);
+        throttle(n * sizeof(float));
+        off += n;
+    }
+    pinned_.release(staging);
+}
+
+void
+TransferEngine::copyToHost(const float *src, float *dst,
+                           std::size_t floats)
+{
+    std::memcpy(dst, src, floats * sizeof(float));
+    gpuToHost_ += floats * sizeof(float);
+    throttle(floats * sizeof(float));
+}
+
+void
+TransferEngine::copyToGpu(const float *src, float *dst,
+                          std::size_t floats)
+{
+    std::memcpy(dst, src, floats * sizeof(float));
+    hostToGpu_ += floats * sizeof(float);
+    throttle(floats * sizeof(float));
+}
+
+} // namespace moelight

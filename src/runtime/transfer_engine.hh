@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Staged CPU -> pinned -> GPU transfer engine (Appendix A.1): weight
+ * pages hop through a pinned staging pool so the two copy stages can
+ * overlap (Fig. 11's "while transferring Weights 2 from pinned to
+ * GPU, Weights 4 moves from CPU to pinned"). An optional bandwidth
+ * throttle emulates a slow link for demos; tests run unthrottled.
+ */
+
+#ifndef MOELIGHT_RUNTIME_TRANSFER_ENGINE_HH
+#define MOELIGHT_RUNTIME_TRANSFER_ENGINE_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/units.hh"
+#include "runtime/arena.hh"
+
+namespace moelight {
+
+/** Transfer statistics for observability / tests. */
+struct TransferStats
+{
+    std::uint64_t hostToPinned = 0;  ///< bytes copied CPU -> pinned
+    std::uint64_t pinnedToGpu = 0;   ///< bytes copied pinned -> GPU
+    std::uint64_t gpuToHost = 0;     ///< bytes copied GPU -> CPU
+    std::uint64_t hostToGpu = 0;     ///< direct bytes (activations)
+};
+
+/**
+ * Copies float buffers between the arenas. All copies are
+ * synchronous memcpys; asynchrony comes from running them on the
+ * StreamExecutor's transfer queues.
+ */
+class TransferEngine
+{
+  public:
+    /**
+     * @param pinned     Staging arena (ring of pages).
+     * @param throttleBw Simulated bandwidth in bytes/s; 0 = unthrottled.
+     */
+    explicit TransferEngine(PageArena &pinned, Bandwidth throttleBw = 0.0);
+
+    /**
+     * Stage @p floats floats from @p src (CPU memory) through the
+     * pinned ring into @p dst (GPU arena page storage). Uses one
+     * pinned page at a time; both hops are accounted.
+     */
+    void stageToGpu(const float *src, float *dst, std::size_t floats);
+
+    /** Direct device-to-host copy (QKV offload path). */
+    void copyToHost(const float *src, float *dst, std::size_t floats);
+
+    /** Direct host-to-device copy (hidden-state load path). */
+    void copyToGpu(const float *src, float *dst, std::size_t floats);
+
+    /** Snapshot of the byte counters (safe to call concurrently). */
+    TransferStats stats() const;
+    void resetStats();
+
+  private:
+    void throttle(std::size_t bytes) const;
+
+    PageArena &pinned_;
+    Bandwidth throttleBw_;
+    std::atomic<std::uint64_t> hostToPinned_{0};
+    std::atomic<std::uint64_t> pinnedToGpu_{0};
+    std::atomic<std::uint64_t> gpuToHost_{0};
+    std::atomic<std::uint64_t> hostToGpu_{0};
+};
+
+} // namespace moelight
+
+#endif // MOELIGHT_RUNTIME_TRANSFER_ENGINE_HH

@@ -1,0 +1,318 @@
+#include "sched/schedules.hh"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace moelight {
+
+namespace {
+
+/** Priorities on the HtoD link: activation traffic preempts queued
+ *  weight pages (the §4.1 paging trick). */
+constexpr int kPrioAct = 0;
+constexpr int kPrioWeights = 1;
+
+/** Common context shared by the per-system builders. */
+struct Builder
+{
+    const PerfModel &pm;
+    const Policy &pol;
+    TaskGraph g;
+    int steps;
+    int layers;        ///< simulated layers per step
+    int ubs;           ///< micro-batches
+    int pages;         ///< weight pages per layer (paged schedules)
+    double weightScale = 1.0;  ///< stream inflation (DS replication)
+
+    // Per global-layer (step*layers + layer) task ids.
+    std::vector<std::vector<TaskId>> pre, off, attn, loadh, post;
+    std::vector<TaskId> wready;
+
+    Builder(const PerfModel &pm_, const Policy &pol_,
+            const ScheduleOptions &opt)
+        : pm(pm_), pol(pol_)
+    {
+        pol.validate();
+        steps = opt.decodeSteps;
+        fatalIf(steps < 1, "need at least one decode step");
+        layers = opt.layers > 0
+            ? opt.layers
+            : static_cast<int>(pm.model().l);
+        ubs = static_cast<int>(pol.numUbs());
+        pages = opt.pagesPerLayer > 0 ? opt.pagesPerLayer : ubs;
+        int total = steps * layers;
+        pre.assign(total, std::vector<TaskId>(ubs, -1));
+        off = attn = loadh = post = pre;
+        wready.assign(total, -1);
+    }
+
+    int totalLayers() const { return steps * layers; }
+
+    std::string
+    tag(const char *name, int k, int j) const
+    {
+        return std::string(name) + "(L" + std::to_string(k) + ",U" +
+               std::to_string(j) + ")";
+    }
+
+    /**
+     * Emit the weight stream for global layer @p k, split into
+     * @p nchunks HtoD tasks. The first chunk waits for the double
+     * buffer: the slot is reused from layer k-2, so all of layer
+     * k-2's consumers must have retired.
+     */
+    void
+    emitWeights(int k, int nchunks, int step)
+    {
+        Seconds wt = pm.weightStreamTime(pol) * weightScale;
+        std::vector<TaskId> chunk_ids;
+        std::vector<TaskId> first_deps;
+        if (k >= 2 && post[k - 2][ubs - 1] >= 0)
+            first_deps.push_back(post[k - 2][ubs - 1]);
+        if (wt <= 0.0)
+            nchunks = 1;
+        for (int p = 0; p < nchunks; ++p) {
+            std::vector<TaskId> deps =
+                p == 0 ? first_deps
+                       : std::vector<TaskId>{chunk_ids.back()};
+            chunk_ids.push_back(g.add(
+                ResourceKind::HtoD, wt / nchunks, std::move(deps),
+                "W(L" + std::to_string(k) + ",p" + std::to_string(p) +
+                    ")",
+                kPrioWeights, step));
+        }
+        wready[k] = g.barrier(chunk_ids,
+                              "Wready(L" + std::to_string(k) + ")",
+                              step);
+    }
+
+    /** Dependencies of PreAttn(k, j): previous layer's output for
+     *  this micro-batch plus this layer's weights. */
+    std::vector<TaskId>
+    preDeps(int k, int j) const
+    {
+        std::vector<TaskId> deps;
+        if (k > 0 && post[k - 1][j] >= 0)
+            deps.push_back(post[k - 1][j]);
+        if (wready[k] >= 0)
+            deps.push_back(wready[k]);
+        return deps;
+    }
+};
+
+/**
+ * CGOPipe (Algorithm 1) and its unpaged variant S2: the dependency
+ * structure is identical (CPU attention fully overlapped); they
+ * differ only in weight paging. The lookahead is enforced naturally:
+ * CPUAttn(k, j) has no dependency on GPU work of micro-batches > j,
+ * so it runs as soon as its QKV offload lands — the DES interleaves
+ * exactly like Fig. 6's first two rows.
+ */
+void
+buildCpuAttnPipelined(Builder &b, bool paged)
+{
+    for (int k = 0; k < b.totalLayers(); ++k) {
+        int step = k / b.layers;
+        b.emitWeights(k, paged ? b.pages : 1, step);
+        for (int j = 0; j < b.ubs; ++j) {
+            std::size_t mu = b.pol.microBatch;
+            b.pre[k][j] = b.g.add(ResourceKind::Gpu,
+                                  b.pm.preAttnGpuTime(mu),
+                                  b.preDeps(k, j), b.tag("A", k, j),
+                                  0, step);
+            b.off[k][j] = b.g.add(ResourceKind::DtoH,
+                                  b.pm.qkvOffloadTime(mu),
+                                  {b.pre[k][j]}, b.tag("Q", k, j),
+                                  kPrioAct, step);
+            b.attn[k][j] = b.g.add(ResourceKind::Cpu,
+                                   b.pm.cpuAttnTime(mu),
+                                   {b.off[k][j]}, b.tag("B", k, j),
+                                   0, step);
+            b.loadh[k][j] = b.g.add(ResourceKind::HtoD,
+                                    b.pm.hiddenLoadTime(mu),
+                                    {b.attn[k][j]}, b.tag("H", k, j),
+                                    kPrioAct, step);
+            std::vector<TaskId> post_deps{b.loadh[k][j]};
+            if (b.wready[k] >= 0)
+                post_deps.push_back(b.wready[k]);
+            b.post[k][j] = b.g.add(ResourceKind::Gpu,
+                                   b.pm.postAttnGpuTime(mu),
+                                   std::move(post_deps),
+                                   b.tag("C", k, j), 0, step);
+        }
+    }
+}
+
+/**
+ * S3 / FlexGen(c): CPU attention with no pipelining — the GPU may run
+ * at most the next micro-batch's pre-attention ahead, then stalls
+ * until the CPU attention and the post-attention of the current
+ * micro-batch complete (Fig. 6 third row).
+ */
+void
+buildCpuAttnSerial(Builder &b)
+{
+    for (int k = 0; k < b.totalLayers(); ++k) {
+        int step = k / b.layers;
+        b.emitWeights(k, 1, step);
+        for (int j = 0; j < b.ubs; ++j) {
+            std::size_t mu = b.pol.microBatch;
+            std::vector<TaskId> deps = b.preDeps(k, j);
+            // No-lookahead constraint: PreAttn(k, j) may not start
+            // before PostAttn(k, j-2) retired.
+            if (j >= 2)
+                deps.push_back(b.post[k][j - 2]);
+            else if (j == 0 && k > 0)
+                deps.push_back(b.post[k - 1][b.ubs - 1]);
+            b.pre[k][j] = b.g.add(ResourceKind::Gpu,
+                                  b.pm.preAttnGpuTime(mu),
+                                  std::move(deps), b.tag("A", k, j),
+                                  0, step);
+            b.off[k][j] = b.g.add(ResourceKind::DtoH,
+                                  b.pm.qkvOffloadTime(mu),
+                                  {b.pre[k][j]}, b.tag("Q", k, j),
+                                  kPrioAct, step);
+            // FlexGen(c) lacks the GQA-aware CPU kernel, so its
+            // attention reads inflate (see PerfModel docs).
+            b.attn[k][j] = b.g.add(ResourceKind::Cpu,
+                                   b.pm.cpuAttnTimeNaive(mu),
+                                   {b.off[k][j]}, b.tag("B", k, j),
+                                   0, step);
+            b.loadh[k][j] = b.g.add(ResourceKind::HtoD,
+                                    b.pm.hiddenLoadTime(mu),
+                                    {b.attn[k][j]}, b.tag("H", k, j),
+                                    kPrioAct, step);
+            std::vector<TaskId> post_deps{b.loadh[k][j]};
+            if (b.wready[k] >= 0)
+                post_deps.push_back(b.wready[k]);
+            b.post[k][j] = b.g.add(ResourceKind::Gpu,
+                                   b.pm.postAttnGpuTime(mu),
+                                   std::move(post_deps),
+                                   b.tag("C", k, j), 0, step);
+        }
+    }
+}
+
+/**
+ * S4 / FlexGen: attention on GPU; the KV cache for each micro-batch
+ * streams over HtoD (prefetched one micro-batch ahead), contending
+ * with the unpaged weight block. DeepSpeed reuses this builder with
+ * KV resident on the GPU (no KV streaming).
+ */
+void
+buildGpuAttn(Builder &b, bool streamKv)
+{
+    std::vector<std::vector<TaskId>> kvload(
+        b.totalLayers(), std::vector<TaskId>(b.ubs, -1));
+    for (int k = 0; k < b.totalLayers(); ++k) {
+        int step = k / b.layers;
+        b.emitWeights(k, 1, step);
+        for (int j = 0; j < b.ubs; ++j) {
+            std::size_t mu = b.pol.microBatch;
+            if (streamKv) {
+                // Prefetch: KV(k, j) needs the buffer freed by the
+                // attention of micro-batch j-2 of the same layer.
+                std::vector<TaskId> deps;
+                if (j >= 2)
+                    deps.push_back(b.attn[k][j - 2]);
+                kvload[k][j] = b.g.add(ResourceKind::HtoD,
+                                       b.pm.kvLoadTime(mu, b.pol),
+                                       std::move(deps),
+                                       b.tag("K", k, j), kPrioAct,
+                                       step);
+            }
+            b.pre[k][j] = b.g.add(ResourceKind::Gpu,
+                                  b.pm.preAttnGpuTime(mu),
+                                  b.preDeps(k, j), b.tag("A", k, j),
+                                  0, step);
+            std::vector<TaskId> attn_deps{b.pre[k][j]};
+            if (streamKv)
+                attn_deps.push_back(kvload[k][j]);
+            b.attn[k][j] = b.g.add(ResourceKind::Gpu,
+                                   b.pm.gpuAttnTime(mu),
+                                   std::move(attn_deps),
+                                   b.tag("B", k, j), 0, step);
+            // New token's KV goes back to host for the CPU-resident
+            // fraction.
+            double kv_off_bytes =
+                (1.0 - b.pol.kvOnGpu) * static_cast<double>(mu) *
+                b.pm.model().kvBytesPerTokenPerLayer();
+            b.off[k][j] = b.g.add(
+                ResourceKind::DtoH,
+                kv_off_bytes / b.pm.hardware().effBcg(),
+                {b.attn[k][j]}, b.tag("Q", k, j), kPrioAct, step);
+            std::vector<TaskId> post_deps{b.attn[k][j]};
+            if (b.wready[k] >= 0)
+                post_deps.push_back(b.wready[k]);
+            b.post[k][j] = b.g.add(ResourceKind::Gpu,
+                                   b.pm.postAttnGpuTime(mu),
+                                   std::move(post_deps),
+                                   b.tag("C", k, j), 0, step);
+        }
+    }
+}
+
+} // namespace
+
+TaskGraph
+buildSchedule(SystemKind sys, const PerfModel &pm, const Policy &pol,
+              const ScheduleOptions &opt)
+{
+    Builder b(pm, pol, opt);
+    switch (sys) {
+      case SystemKind::MoeLightning:
+      case SystemKind::MoeLightningPadded:
+        if (pol.attnOnGpu)
+            buildGpuAttn(b, /*streamKv=*/pol.kvOnGpu < 1.0);
+        else
+            buildCpuAttnPipelined(b, /*paged=*/true);
+        break;
+      case SystemKind::FastDecode:
+        buildCpuAttnPipelined(b, /*paged=*/false);
+        break;
+      case SystemKind::FlexGenC:
+        buildCpuAttnSerial(b);
+        break;
+      case SystemKind::FlexGen:
+        buildGpuAttn(b, /*streamKv=*/true);
+        break;
+      case SystemKind::DeepSpeed:
+        // Layer replication to every GPU (see PerfModel::layerDecode).
+        b.weightScale = static_cast<double>(pm.hardware().numGpus);
+        buildGpuAttn(b, /*streamKv=*/false);
+        break;
+    }
+    return std::move(b.g);
+}
+
+SimThroughput
+simulateThroughput(SystemKind sys, const PerfModel &pm, const Policy &pol,
+                   ScheduleOptions opt)
+{
+    if (opt.layers <= 0) {
+        // Shrink the DAG: decode structure repeats per layer, so a
+        // handful of layers captures the steady state.
+        opt.layers = std::min<int>(static_cast<int>(pm.model().l), 6);
+    }
+    if (opt.decodeSteps < 3)
+        opt.decodeSteps = 3;
+
+    TaskGraph g = buildSchedule(sys, pm, pol, opt);
+    SimThroughput out;
+    out.sim = simulate(g);
+    Seconds per_sim_step = out.sim.steadyStepTime();
+    double scale = static_cast<double>(pm.model().l) /
+                   static_cast<double>(opt.layers);
+    out.decodeStep = per_sim_step * scale;
+    out.prefill = pm.prefillTime(pol);
+    double gen = pm.workload().genLen;
+    double tokens = static_cast<double>(pol.batchSize) * gen;
+    out.tokensPerSec =
+        tokens / (out.prefill + gen * out.decodeStep);
+    return out;
+}
+
+} // namespace moelight

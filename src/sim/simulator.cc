@@ -1,0 +1,166 @@
+#include "sim/simulator.hh"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace moelight {
+
+Seconds
+SimResult::steadyStepTime(std::size_t tail) const
+{
+    panicIf(stepFinish.size() < tail + 1,
+            "need at least ", tail + 1, " steps for steady state");
+    std::size_t last = stepFinish.size() - 1;
+    SimTime span = stepFinish[last] - stepFinish[last - tail];
+    return toSeconds(span) / static_cast<double>(tail);
+}
+
+namespace {
+
+/** Ready-queue ordering: lower priority value first, then FIFO. */
+struct ReadyOrder
+{
+    bool
+    operator()(const std::pair<int, TaskId> &a,
+               const std::pair<int, TaskId> &b) const
+    {
+        if (a.first != b.first)
+            return a.first > b.first;  // min-heap on priority
+        return a.second > b.second;    // then FIFO by id
+    }
+};
+
+} // namespace
+
+SimResult
+simulate(const TaskGraph &graph)
+{
+    const auto &tasks = graph.tasks();
+    std::size_t n = tasks.size();
+    SimResult res;
+    if (n == 0)
+        return res;
+
+    std::vector<int> indeg(n, 0);
+    std::vector<std::vector<TaskId>> out(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        indeg[i] = static_cast<int>(tasks[i].deps.size());
+        for (TaskId d : tasks[i].deps)
+            out[static_cast<std::size_t>(d)].push_back(
+                static_cast<TaskId>(i));
+    }
+
+    using Ready = std::priority_queue<std::pair<int, TaskId>,
+                                      std::vector<std::pair<int, TaskId>>,
+                                      ReadyOrder>;
+    std::array<Ready, kNumResources> ready;
+    auto push_ready = [&](TaskId id) {
+        const SimTask &t = tasks[static_cast<std::size_t>(id)];
+        ready[static_cast<std::size_t>(t.resource)].push(
+            {t.priority, id});
+    };
+    for (std::size_t i = 0; i < n; ++i)
+        if (indeg[i] == 0)
+            push_ready(static_cast<TaskId>(i));
+
+    // (completion time, task id) min-heap of running tasks.
+    using Running = std::pair<SimTime, TaskId>;
+    std::priority_queue<Running, std::vector<Running>, std::greater<>>
+        running;
+    std::array<bool, kNumResources> busyNow{};
+    SimTime now = 0;
+    std::size_t done = 0;
+    int max_step = -1;
+    for (const auto &t : tasks)
+        max_step = std::max(max_step, t.step);
+    res.stepFinish.assign(static_cast<std::size_t>(max_step + 1), 0);
+
+    auto dispatch = [&]() {
+        for (std::size_t r = 0; r < kNumResources; ++r) {
+            if (busyNow[r] || ready[r].empty())
+                continue;
+            TaskId id = ready[r].top().second;
+            ready[r].pop();
+            const SimTask &t = tasks[static_cast<std::size_t>(id)];
+            SimTime end = now + t.duration;
+            running.push({end, id});
+            busyNow[r] = true;
+            res.busy[r] += t.duration;
+            if (t.duration > 0)
+                res.trace.push_back({t.resource, now, end, t.label});
+        }
+    };
+
+    dispatch();
+    while (done < n) {
+        panicIf(running.empty(),
+                "simulator deadlock: dependency cycle or orphaned task");
+        now = running.top().first;
+        // Retire everything finishing at 'now'.
+        while (!running.empty() && running.top().first == now) {
+            TaskId id = running.top().second;
+            running.pop();
+            const SimTask &t = tasks[static_cast<std::size_t>(id)];
+            busyNow[static_cast<std::size_t>(t.resource)] = false;
+            ++done;
+            if (t.step >= 0)
+                res.stepFinish[static_cast<std::size_t>(t.step)] =
+                    std::max(res.stepFinish[static_cast<std::size_t>(
+                                 t.step)],
+                             now);
+            for (TaskId succ : out[static_cast<std::size_t>(id)])
+                if (--indeg[static_cast<std::size_t>(succ)] == 0)
+                    push_ready(succ);
+        }
+        dispatch();
+    }
+
+    res.makespan = now;
+    for (std::size_t r = 0; r < kNumResources; ++r)
+        res.utilization[r] =
+            res.makespan > 0
+                ? static_cast<double>(res.busy[r]) /
+                      static_cast<double>(res.makespan)
+                : 0.0;
+    std::sort(res.trace.begin(), res.trace.end(),
+              [](const TraceEntry &a, const TraceEntry &b) {
+                  return a.start < b.start;
+              });
+    return res;
+}
+
+std::string
+renderGantt(const SimResult &result, int cols)
+{
+    fatalIf(cols < 20, "gantt needs at least 20 columns");
+    if (result.makespan == 0)
+        return "(empty trace)\n";
+    double scale = static_cast<double>(cols) /
+                   static_cast<double>(result.makespan);
+
+    std::array<std::string, kNumResources> rows;
+    for (auto &row : rows)
+        row.assign(static_cast<std::size_t>(cols), '.');
+
+    for (const auto &e : result.trace) {
+        int a = static_cast<int>(static_cast<double>(e.start) * scale);
+        int b = static_cast<int>(static_cast<double>(e.end) * scale);
+        a = std::clamp(a, 0, cols - 1);
+        b = std::clamp(b, a + 1, cols);
+        std::string &row = rows[static_cast<std::size_t>(e.resource)];
+        char fill = e.label.empty() ? '#' : e.label[0];
+        for (int x = a; x < b; ++x)
+            row[static_cast<std::size_t>(x)] = fill;
+    }
+
+    std::ostringstream os;
+    const char *names[kNumResources] = {"GPU ", "CPU ", "HtoD", "DtoH"};
+    for (std::size_t r = 0; r < kNumResources; ++r)
+        os << names[r] << " |" << rows[r] << "|\n";
+    return os.str();
+}
+
+} // namespace moelight

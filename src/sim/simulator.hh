@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Discrete-event simulator over a TaskGraph: four exclusive resources,
+ * non-preemptive, priority-then-FIFO dispatch per resource. Produces
+ * the makespan, per-resource utilization, per-step completion times
+ * (for steady-state decode throughput) and a Gantt trace (Fig. 6).
+ */
+
+#ifndef MOELIGHT_SIM_SIMULATOR_HH
+#define MOELIGHT_SIM_SIMULATOR_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "sim/task_graph.hh"
+
+namespace moelight {
+
+/** One executed interval on a resource. */
+struct TraceEntry
+{
+    ResourceKind resource;
+    SimTime start = 0;
+    SimTime end = 0;
+    std::string label;
+};
+
+/** Simulation outputs. */
+struct SimResult
+{
+    SimTime makespan = 0;
+    /** Busy nanoseconds per resource. */
+    std::array<SimTime, kNumResources> busy{};
+    /** Utilization = busy / makespan, per resource. */
+    std::array<double, kNumResources> utilization{};
+    /** Completion time of the last task of each decode step. */
+    std::vector<SimTime> stepFinish;
+    /** Full execution trace, ordered by start time. */
+    std::vector<TraceEntry> trace;
+
+    /**
+     * Steady-state time per decode step: the average gap between the
+     * last @p tail step completions (skips pipeline warm-up).
+     */
+    Seconds steadyStepTime(std::size_t tail = 2) const;
+};
+
+/**
+ * Run the DAG to completion. Throws PanicError when the graph
+ * deadlocks (cyclic dependencies) or references unknown tasks.
+ */
+SimResult simulate(const TaskGraph &graph);
+
+/**
+ * Render an ASCII Gantt chart of @p trace (one row per resource),
+ * @p cols characters wide. Labels are compressed to fit.
+ */
+std::string renderGantt(const SimResult &result, int cols = 100);
+
+} // namespace moelight
+
+#endif // MOELIGHT_SIM_SIMULATOR_HH

@@ -1,0 +1,68 @@
+#include "sim/trace_export.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace moelight {
+
+namespace {
+
+/** Escape the few JSON-hostile characters a task label could hold. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        if (static_cast<unsigned char>(c) >= 0x20)
+            out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+toChromeTrace(const SimResult &result, const std::string &processName)
+{
+    std::ostringstream os;
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    // Thread name metadata per resource.
+    for (std::size_t r = 0; r < kNumResources; ++r) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+           << "\"tid\":" << r << ",\"args\":{\"name\":\""
+           << resourceName(static_cast<ResourceKind>(r)) << "\"}}";
+    }
+    for (const auto &e : result.trace) {
+        os << ",{\"name\":\"" << jsonEscape(e.label)
+           << "\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+           << static_cast<int>(e.resource)
+           // Chrome trace timestamps are microseconds.
+           << ",\"ts\":" << static_cast<double>(e.start) / 1e3
+           << ",\"dur\":"
+           << static_cast<double>(e.end - e.start) / 1e3 << "}";
+    }
+    os << "],\"displayTimeUnit\":\"ms\",\"otherData\":{"
+       << "\"process\":\"" << jsonEscape(processName) << "\"}}";
+    return os.str();
+}
+
+void
+writeChromeTrace(const SimResult &result, const std::string &path,
+                 const std::string &processName)
+{
+    std::ofstream f(path);
+    fatalIf(!f, "cannot open trace file '", path, "'");
+    f << toChromeTrace(result, processName);
+    fatalIf(!f.good(), "failed writing trace file '", path, "'");
+}
+
+} // namespace moelight

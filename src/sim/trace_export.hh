@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Export a simulation trace to the Chrome tracing JSON format
+ * (chrome://tracing, Perfetto). Each resource becomes a "thread";
+ * each executed interval a complete ('X') event — giving the real
+ * Fig. 6 visualization instead of the ASCII approximation.
+ */
+
+#ifndef MOELIGHT_SIM_TRACE_EXPORT_HH
+#define MOELIGHT_SIM_TRACE_EXPORT_HH
+
+#include <string>
+
+#include "sim/simulator.hh"
+
+namespace moelight {
+
+/** Render @p result as a Chrome-trace JSON string. */
+std::string toChromeTrace(const SimResult &result,
+                          const std::string &processName = "moe-lightning");
+
+/** Write the Chrome trace to @p path (throws FatalError on I/O
+ *  failure). */
+void writeChromeTrace(const SimResult &result, const std::string &path,
+                      const std::string &processName = "moe-lightning");
+
+} // namespace moelight
+
+#endif // MOELIGHT_SIM_TRACE_EXPORT_HH

@@ -1,0 +1,137 @@
+#include "tensor/tensor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hh"
+
+namespace moelight {
+
+namespace {
+
+std::size_t
+shapeNumel(const std::vector<std::size_t> &shape)
+{
+    std::size_t n = 1;
+    for (auto d : shape)
+        n *= d;
+    return shape.empty() ? 0 : n;
+}
+
+} // namespace
+
+Tensor::Tensor(std::vector<std::size_t> shape)
+    : shape_(std::move(shape)), data_(shapeNumel(shape_), 0.0f)
+{
+    fatalIf(shape_.empty(), "tensor shape must have at least one dim");
+    fatalIf(shape_.size() > 4, "tensors support at most 4 dims");
+    for (auto d : shape_)
+        fatalIf(d == 0, "tensor dims must be non-zero");
+}
+
+Tensor
+Tensor::clone() const
+{
+    Tensor t;
+    t.shape_ = shape_;
+    t.data_ = data_;
+    return t;
+}
+
+std::size_t
+Tensor::dim(std::size_t d) const
+{
+    panicIf(d >= shape_.size(), "dim index ", d, " out of rank ",
+            shape_.size());
+    return shape_[d];
+}
+
+float &
+Tensor::at(std::size_t i)
+{
+    panicIf(i >= data_.size(), "flat index out of range");
+    return data_[i];
+}
+
+float
+Tensor::at(std::size_t i) const
+{
+    panicIf(i >= data_.size(), "flat index out of range");
+    return data_[i];
+}
+
+float &
+Tensor::at(std::size_t i, std::size_t j)
+{
+    panicIf(rank() != 2, "2-D access on rank-", rank(), " tensor");
+    panicIf(i >= shape_[0] || j >= shape_[1], "2-D index out of range");
+    return data_[i * shape_[1] + j];
+}
+
+float
+Tensor::at(std::size_t i, std::size_t j) const
+{
+    return const_cast<Tensor *>(this)->at(i, j);
+}
+
+float &
+Tensor::at(std::size_t i, std::size_t j, std::size_t k)
+{
+    panicIf(rank() != 3, "3-D access on rank-", rank(), " tensor");
+    panicIf(i >= shape_[0] || j >= shape_[1] || k >= shape_[2],
+            "3-D index out of range");
+    return data_[(i * shape_[1] + j) * shape_[2] + k];
+}
+
+float
+Tensor::at(std::size_t i, std::size_t j, std::size_t k) const
+{
+    return const_cast<Tensor *>(this)->at(i, j, k);
+}
+
+float *
+Tensor::row(std::size_t i)
+{
+    panicIf(rank() != 2, "row() on rank-", rank(), " tensor");
+    panicIf(i >= shape_[0], "row index out of range");
+    return data_.data() + i * shape_[1];
+}
+
+const float *
+Tensor::row(std::size_t i) const
+{
+    return const_cast<Tensor *>(this)->row(i);
+}
+
+void
+Tensor::fill(float v)
+{
+    std::fill(data_.begin(), data_.end(), v);
+}
+
+void
+Tensor::reshape(std::vector<std::size_t> shape)
+{
+    fatalIf(shapeNumel(shape) != data_.size(),
+            "reshape must preserve element count");
+    shape_ = std::move(shape);
+}
+
+float
+Tensor::maxAbsDiff(const Tensor &other) const
+{
+    panicIf(shape_ != other.shape_, "maxAbsDiff shape mismatch");
+    float m = 0.0f;
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        m = std::max(m, std::abs(data_[i] - other.data_[i]));
+    return m;
+}
+
+void
+fillUniform(Tensor &t, Rng &rng, float lo, float hi)
+{
+    for (auto &v : t.flat())
+        v = static_cast<float>(rng.uniform(lo, hi));
+}
+
+} // namespace moelight

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Dense row-major float tensor used by the functional runtime and the
+ * CPU kernels. Compute is float32; narrower data types (f16 / int4)
+ * exist only in the analytical cost model (see model/datatype.hh).
+ */
+
+#ifndef MOELIGHT_TENSOR_TENSOR_HH
+#define MOELIGHT_TENSOR_TENSOR_HH
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace moelight {
+
+/**
+ * A row-major dense float tensor owning its storage. Supports up to
+ * 4 dimensions which is all the runtime needs (e.g. [batch, heads,
+ * seq, head_dim]). Cheap to move, deliberately not copyable implicitly
+ * (use clone()) so accidental large copies are compile errors.
+ */
+class Tensor
+{
+  public:
+    /** An empty (rank-0, zero-element) tensor. */
+    Tensor() = default;
+
+    /** Allocate a zero-initialized tensor with the given shape. */
+    explicit Tensor(std::vector<std::size_t> shape);
+
+    Tensor(Tensor &&) noexcept = default;
+    Tensor &operator=(Tensor &&) noexcept = default;
+    Tensor(const Tensor &) = delete;
+    Tensor &operator=(const Tensor &) = delete;
+
+    /** Deep copy. */
+    Tensor clone() const;
+
+    /** Total number of elements. */
+    std::size_t numel() const { return data_.size(); }
+    /** Number of dimensions. */
+    std::size_t rank() const { return shape_.size(); }
+    /** Size of dimension @p d. */
+    std::size_t dim(std::size_t d) const;
+    /** Full shape vector. */
+    const std::vector<std::size_t> &shape() const { return shape_; }
+
+    /** Raw storage access. */
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+    std::span<float> flat() { return {data_.data(), data_.size()}; }
+    std::span<const float>
+    flat() const
+    {
+        return {data_.data(), data_.size()};
+    }
+
+    /** 1-D element access. */
+    float &at(std::size_t i);
+    float at(std::size_t i) const;
+    /** 2-D element access (rank must be 2). */
+    float &at(std::size_t i, std::size_t j);
+    float at(std::size_t i, std::size_t j) const;
+    /** 3-D element access (rank must be 3). */
+    float &at(std::size_t i, std::size_t j, std::size_t k);
+    float at(std::size_t i, std::size_t j, std::size_t k) const;
+
+    /** Pointer to row @p i of a rank-2 tensor. */
+    float *row(std::size_t i);
+    const float *row(std::size_t i) const;
+
+    /** Set every element to @p v. */
+    void fill(float v);
+
+    /** Reshape in place; the element count must be preserved. */
+    void reshape(std::vector<std::size_t> shape);
+
+    /**
+     * Max absolute elementwise difference against @p other; shapes must
+     * match. Used heavily by correctness tests.
+     */
+    float maxAbsDiff(const Tensor &other) const;
+
+  private:
+    std::vector<std::size_t> shape_;
+    std::vector<float> data_;
+};
+
+/** Fill @p t with uniform values in [lo, hi) from @p rng. */
+class Rng;
+void fillUniform(Tensor &t, Rng &rng, float lo = -1.0f, float hi = 1.0f);
+
+} // namespace moelight
+
+#endif // MOELIGHT_TENSOR_TENSOR_HH

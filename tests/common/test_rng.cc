@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+
+namespace moelight {
+namespace {
+
+TEST(Rng, DeterministicBySeed)
+{
+    Rng a(42), b(42), c(43);
+    double va = a.uniform(), vb = b.uniform(), vc = c.uniform();
+    EXPECT_DOUBLE_EQ(va, vb);
+    EXPECT_NE(va, vc);
+}
+
+TEST(Rng, UniformRespectsRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.uniform(-2.0, 3.0);
+        EXPECT_GE(v, -2.0);
+        EXPECT_LT(v, 3.0);
+    }
+}
+
+TEST(Rng, UniformIntInclusiveBounds)
+{
+    Rng rng(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        auto v = rng.uniformInt(0, 3);
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == 0;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, LogNormalMeanApproximatesTarget)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.logNormal(100.0, 0.5);
+    double mean = sum / n;
+    EXPECT_NEAR(mean, 100.0, 5.0);
+}
+
+} // namespace
+} // namespace moelight

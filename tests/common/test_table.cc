@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace moelight {
+namespace {
+
+TEST(Table, BuildsAlignedText)
+{
+    Table t({"name", "value"});
+    t.newRow().add("alpha").add(1.5, 2);
+    t.newRow().add("b").add(12LL);
+    EXPECT_EQ(t.numRows(), 2u);
+    EXPECT_EQ(t.numCols(), 2u);
+    std::string text = t.toText();
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_NE(text.find("1.50"), std::string::npos);
+    EXPECT_NE(text.find("12"), std::string::npos);
+}
+
+TEST(Table, CsvRoundTripStructure)
+{
+    Table t({"a", "b", "c"});
+    t.newRow().add(1LL).add(2LL).add(3LL);
+    EXPECT_EQ(t.toCsv(), "a,b,c\n1,2,3\n");
+}
+
+TEST(Table, RejectsEmptyHeader)
+{
+    EXPECT_THROW(Table({}), FatalError);
+}
+
+TEST(Table, RejectsOverfullRow)
+{
+    Table t({"only"});
+    t.newRow().add("x");
+    EXPECT_THROW(t.add("y"), PanicError);
+}
+
+TEST(Table, RejectsAddBeforeRow)
+{
+    Table t({"only"});
+    EXPECT_THROW(t.add("x"), PanicError);
+}
+
+TEST(Table, DetectsShortPreviousRow)
+{
+    Table t({"a", "b"});
+    t.newRow().add("1");
+    EXPECT_THROW(t.newRow(), PanicError);
+}
+
+} // namespace
+} // namespace moelight

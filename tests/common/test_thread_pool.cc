@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+
+namespace moelight {
+namespace {
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallelFor(1000, [&](std::size_t i) { ++hits[i]; });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroIterationsIsNoop)
+{
+    ThreadPool pool(2);
+    std::atomic<int> n{0};
+    pool.parallelFor(0, [&](std::size_t) { ++n; });
+    EXPECT_EQ(n.load(), 0);
+}
+
+TEST(ThreadPool, SingleIndexRuns)
+{
+    ThreadPool pool(3);
+    std::atomic<int> n{0};
+    pool.parallelFor(1, [&](std::size_t i) {
+        EXPECT_EQ(i, 0u);
+        ++n;
+    });
+    EXPECT_EQ(n.load(), 1);
+}
+
+TEST(ThreadPool, SequentialReuse)
+{
+    ThreadPool pool(4);
+    for (int round = 0; round < 20; ++round) {
+        std::atomic<std::size_t> sum{0};
+        pool.parallelFor(64, [&](std::size_t i) { sum += i; });
+        EXPECT_EQ(sum.load(), 64u * 63u / 2u);
+    }
+}
+
+TEST(ThreadPool, PropagatesException)
+{
+    ThreadPool pool(2);
+    EXPECT_THROW(pool.parallelFor(16,
+                                  [&](std::size_t i) {
+                                      if (i == 7)
+                                          fatal("bad index");
+                                  }),
+                 FatalError);
+    // Pool still usable afterwards.
+    std::atomic<int> n{0};
+    pool.parallelFor(8, [&](std::size_t) { ++n; });
+    EXPECT_EQ(n.load(), 8);
+}
+
+TEST(ThreadPool, WorksWithSingleThread)
+{
+    ThreadPool pool(1);
+    std::vector<int> order;
+    pool.parallelFor(8, [&](std::size_t i) {
+        order.push_back(static_cast<int>(i));
+    });
+    EXPECT_EQ(order.size(), 8u);
+}
+
+TEST(ThreadPool, DefaultsToHardwareConcurrency)
+{
+    ThreadPool pool;
+    EXPECT_GE(pool.numThreads(), 1u);
+}
+
+} // namespace
+} // namespace moelight

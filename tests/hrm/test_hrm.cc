@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "hrm/hrm.hh"
+#include "model/op_cost.hh"
+
+namespace moelight {
+namespace {
+
+TEST(Hrm, RoofsComeFromEffectiveRates)
+{
+    HardwareConfig hw = l4Host();
+    Hrm hrm(hw);
+    EXPECT_DOUBLE_EQ(hrm.gpu().peakFlops, hw.effPg());
+    EXPECT_DOUBLE_EQ(hrm.cpu().peakBw, hw.effBc());
+    EXPECT_DOUBLE_EQ(hrm.linkBw(), hw.effBcg());
+}
+
+TEST(Hrm, AttainableEq7TakesMinOfRoofs)
+{
+    Hrm hrm(l4Host());
+    // Very low CPU-side intensity: link roof dominates.
+    double low = hrm.attainableOnGpuFromCpu(1000.0, 0.01);
+    EXPECT_DOUBLE_EQ(low, hrm.linkBw() * 0.01);
+    // Very high intensities: GPU compute roof dominates.
+    double high = hrm.attainableOnGpuFromCpu(1e9, 1e9);
+    EXPECT_DOUBLE_EQ(high, hrm.gpu().peakFlops);
+}
+
+TEST(Hrm, TurningPointP1IsCpuPeakOverLink)
+{
+    // Because B_c >= B_cg (validated), the Eq. 9 crossing lies on the
+    // CPU compute roof.
+    Hrm hrm(l4Host());
+    double p1 = hrm.turningPointP1();
+    EXPECT_DOUBLE_EQ(p1, hrm.cpu().peakFlops / hrm.linkBw());
+    // At intensities below P1, CPU execution beats shipping to GPU.
+    EXPECT_TRUE(hrm.betterOnCpu(p1 * 0.5));
+}
+
+TEST(Hrm, AttentionSitsBelowP1OnL4)
+{
+    // Paper Fig. 4's conclusion: GQA decode attention (f16 and even
+    // int4) has intensity below P1 => perform attention on CPU.
+    HardwareConfig hw = l4Host();
+    Hrm hrm(hw);
+    ModelConfig m = mixtral8x7b();
+    double i_f16 = attnIntensityVsKv(m);
+    EXPECT_LT(i_f16, hrm.turningPointP1());
+    m.dtKv = DataType::INT4;
+    EXPECT_LT(attnIntensityVsKv(m), hrm.turningPointP1());
+}
+
+TEST(Hrm, FfnCrossesP1WithModestBatch)
+{
+    // Fig. 5: the MoE FFN's cross-level intensity grows with N and
+    // passes P1 well below N=1024 on the L4 instance.
+    HardwareConfig hw = l4Host();
+    Hrm hrm(hw);
+    ModelConfig m = mixtral8x7b();
+    EXPECT_LT(ffnIntensityVsWeights(m, 32), hrm.turningPointP1());
+    EXPECT_GT(ffnIntensityVsWeights(m, 1024), hrm.turningPointP1());
+}
+
+TEST(Hrm, TurningPointP2UsesGpuKernelAttainable)
+{
+    Hrm hrm(l4Host());
+    ModelConfig m = mixtral8x7b();
+    // GPU-side intensity of the FFN kernel at mu=128 (vs HBM bytes).
+    OpCost c = postAttnDecodeCost(m, 128);
+    double i_gpu = c.flops / (c.weightBytes + c.actBytes);
+    double p2 = hrm.turningPointP2(i_gpu);
+    EXPECT_DOUBLE_EQ(p2, hrm.attainableOnGpu(i_gpu) / hrm.linkBw());
+    // P2 lies above P1 on this hardware (GPU roof above CPU roof).
+    EXPECT_GT(p2, hrm.turningPointP1());
+}
+
+TEST(Hrm, BalancePointEq11)
+{
+    Hrm hrm(l4Host());
+    double i_gpu = 30.0;
+    double i_cpu = hrm.balancePointCpuIntensity(i_gpu);
+    // At the balance point the GPU memory roof equals the link roof.
+    EXPECT_NEAR(hrm.gpu().peakBw * i_gpu, hrm.linkBw() * i_cpu, 1.0);
+}
+
+TEST(Hrm, RoofSeriesShapes)
+{
+    Hrm hrm(l4Host());
+    auto series = hrmRoofSeries(hrm, 0.1, 1e4, 32);
+    ASSERT_EQ(series.size(), 5u);
+    for (const auto &s : series) {
+        EXPECT_EQ(s.intensity.size(), 32u);
+        EXPECT_EQ(s.gflops.size(), 32u);
+    }
+    // Memory roofs are increasing; compute roofs flat.
+    const auto &cpu_mem = series[0];
+    EXPECT_LT(cpu_mem.gflops.front(), cpu_mem.gflops.back());
+    const auto &gpu_peak = series[4];
+    EXPECT_DOUBLE_EQ(gpu_peak.gflops.front(), gpu_peak.gflops.back());
+    // GPU mem roof above CPU mem roof above link roof at any x.
+    EXPECT_GT(series[1].gflops[10], series[0].gflops[10]);
+    EXPECT_GT(series[0].gflops[10], series[2].gflops[10]);
+}
+
+TEST(Hrm, RoofSeriesRejectsBadRange)
+{
+    Hrm hrm(l4Host());
+    EXPECT_THROW(hrmRoofSeries(hrm, 10.0, 1.0), FatalError);
+    EXPECT_THROW(hrmRoofSeries(hrm, 0.0, 1.0), FatalError);
+}
+
+} // namespace
+} // namespace moelight

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "hrm/hrm.hh"
+#include "hrm/multi_level.hh"
+#include "model/op_cost.hh"
+
+namespace moelight {
+namespace {
+
+MultiLevelHrm
+gpuCpuDisk()
+{
+    return withDiskTier(l4Host(), 3.0 * GB);  // NVMe-class reads
+}
+
+TEST(MultiLevelHrm, TwoLevelMatchesHrm)
+{
+    HardwareConfig hw = l4Host();
+    Hrm two(hw);
+    MultiLevelHrm multi(
+        {{"gpu", hw.effPg(), hw.effBg()},
+         {"cpu", hw.effPc(), hw.effBc()}},
+        {hw.effBcg()});
+    for (double i_gpu : {1.0, 30.0, 1000.0})
+        for (double i_cpu : {0.5, 4.0, 100.0})
+            EXPECT_DOUBLE_EQ(
+                multi.attainable(0, 1, i_gpu, i_cpu),
+                two.attainableOnGpuFromCpu(i_gpu, i_cpu));
+    EXPECT_DOUBLE_EQ(multi.turningPointP1(0, 1),
+                     two.turningPointP1());
+    EXPECT_DOUBLE_EQ(multi.turningPointP2(0, 1, 30.0),
+                     two.turningPointP2(30.0));
+}
+
+TEST(MultiLevelHrm, PathBandwidthIsMinOfLinks)
+{
+    MultiLevelHrm h = gpuCpuDisk();
+    // GPU<-disk crosses both links; the disk link is the bottleneck.
+    EXPECT_DOUBLE_EQ(h.pathBandwidth(0, 2), 3.0 * GB);
+    EXPECT_DOUBLE_EQ(h.pathBandwidth(1, 2), 3.0 * GB);
+    EXPECT_DOUBLE_EQ(h.pathBandwidth(0, 1), l4Host().effBcg());
+    EXPECT_DOUBLE_EQ(h.pathBandwidth(0, 0), l4Host().effBg());
+}
+
+TEST(MultiLevelHrm, DiskResidentDataIsDiskBound)
+{
+    // Weights on disk: even a compute-heavy kernel is capped by the
+    // disk link until the cross-level intensity is enormous.
+    MultiLevelHrm h = gpuCpuDisk();
+    double perf = h.attainable(0, 2, 1e6, 100.0);
+    EXPECT_DOUBLE_EQ(perf, 3.0 * GB * 100.0);
+}
+
+TEST(MultiLevelHrm, StorageOnlyLevelAlwaysShips)
+{
+    MultiLevelHrm h = gpuCpuDisk();
+    // P1 for disk-resident data is 0: the disk cannot compute, so
+    // shipping always wins.
+    EXPECT_DOUBLE_EQ(h.turningPointP1(0, 2), 0.0);
+    EXPECT_DOUBLE_EQ(h.turningPointP1(1, 2), 0.0);
+}
+
+TEST(MultiLevelHrm, BestExecLevelFollowsIntensity)
+{
+    MultiLevelHrm h = gpuCpuDisk();
+    ModelConfig m = mixtral8x7b();
+    // Low-intensity attention on CPU-resident KV: stay on the CPU.
+    double i_attn = attnIntensityVsKv(m);
+    EXPECT_EQ(h.bestExecLevel(1, i_attn, i_attn), 1u);
+    // High-intensity FFN with a big batch: ship to the GPU.
+    double i_ffn = ffnIntensityVsWeights(m, 4096);
+    EXPECT_EQ(h.bestExecLevel(1, 40.0, i_ffn), 0u);
+}
+
+TEST(MultiLevelHrm, DiskTierLowersAttainableVsCpuTier)
+{
+    MultiLevelHrm h = gpuCpuDisk();
+    double from_cpu = h.attainable(0, 1, 40.0, 64.0);
+    double from_disk = h.attainable(0, 2, 40.0, 64.0);
+    EXPECT_GT(from_cpu, from_disk);
+}
+
+TEST(MultiLevelHrm, ValidatesOrdering)
+{
+    // CPU faster than GPU violates the paper's footnote-1 ordering.
+    EXPECT_THROW(MultiLevelHrm({{"gpu", 1.0 * TFLOP, 100 * GB},
+                                {"cpu", 2.0 * TFLOP, 50 * GB}},
+                               {10 * GB}),
+                 FatalError);
+    // Link faster than the upper level's memory.
+    EXPECT_THROW(MultiLevelHrm({{"gpu", 2.0 * TFLOP, 100 * GB},
+                                {"cpu", 1.0 * TFLOP, 50 * GB}},
+                               {80 * GB}),
+                 FatalError);
+    // Wrong link count.
+    EXPECT_THROW(MultiLevelHrm({{"gpu", 2.0 * TFLOP, 100 * GB}},
+                               {10 * GB}),
+                 FatalError);
+    // Disk faster than DRAM.
+    EXPECT_THROW(withDiskTier(l4Host(), 500.0 * GB), FatalError);
+}
+
+} // namespace
+} // namespace moelight

@@ -1,0 +1,45 @@
+#include <gtest/gtest.h>
+
+#include "hrm/roofline.hh"
+
+namespace moelight {
+namespace {
+
+TEST(Roofline, MemoryBoundRegionLinear)
+{
+    Roofline r{100.0 * GFLOP, 10.0 * GB};
+    // Below the ridge, attainable = B * I.
+    EXPECT_DOUBLE_EQ(r.attainable(1.0), 10.0 * GB);
+    EXPECT_DOUBLE_EQ(r.attainable(5.0), 50.0 * GB);
+}
+
+TEST(Roofline, ComputeBoundRegionFlat)
+{
+    Roofline r{100.0 * GFLOP, 10.0 * GB};
+    EXPECT_DOUBLE_EQ(r.attainable(100.0), 100.0 * GFLOP);
+    EXPECT_DOUBLE_EQ(r.attainable(1000.0), 100.0 * GFLOP);
+}
+
+TEST(Roofline, RidgeIntensity)
+{
+    Roofline r{100.0 * GFLOP, 10.0 * GB};
+    EXPECT_DOUBLE_EQ(r.ridgeIntensity(), 10.0);
+    EXPECT_TRUE(r.memoryBound(9.9));
+    EXPECT_FALSE(r.memoryBound(10.1));
+    // At the ridge the two roofs meet.
+    EXPECT_DOUBLE_EQ(r.attainable(r.ridgeIntensity()), r.peakFlops);
+}
+
+TEST(Roofline, AttainableIsMonotonic)
+{
+    Roofline r{1.0 * TFLOP, 50.0 * GB};
+    double prev = 0.0;
+    for (double i = 0.01; i < 1e4; i *= 2) {
+        double p = r.attainable(i);
+        EXPECT_GE(p, prev);
+        prev = p;
+    }
+}
+
+} // namespace
+} // namespace moelight

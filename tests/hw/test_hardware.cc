@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "hw/hardware.hh"
+
+namespace moelight {
+namespace {
+
+TEST(Hardware, L4MatchesPaperFig3)
+{
+    HardwareConfig h = l4Host();
+    EXPECT_NEAR(h.gpuMem / GiB, 24.0, 1e-9);
+    EXPECT_NEAR(h.cpuMem / GiB, 192.0, 1e-9);
+    EXPECT_NEAR(h.bg / GB, 300.0, 1e-9);
+    EXPECT_NEAR(h.bc / GB, 100.0, 1e-9);
+    EXPECT_NEAR(h.bcg / GB, 32.0, 1e-9);
+    EXPECT_NEAR(h.pg / TFLOP, 242.0, 1e-9);
+    EXPECT_NEAR(h.pc / TFLOP, 1.3, 1e-9);
+}
+
+TEST(Hardware, EffectiveRatesBelowPeak)
+{
+    HardwareConfig h = t4Host();
+    EXPECT_LT(h.effPg(), h.pg);
+    EXPECT_LT(h.effBc(), h.bc);
+    EXPECT_LT(h.effBcg(), h.bcg);
+    EXPECT_GT(h.effPg(), 0.0);
+}
+
+TEST(Hardware, TensorParallelScalesGpuResources)
+{
+    HardwareConfig base = t4Host();
+    HardwareConfig tp = tensorParallel(base, 4);
+    EXPECT_NEAR(tp.gpuMem / base.gpuMem, 4.0, 1e-9);
+    EXPECT_NEAR(tp.bg / base.bg, 4.0, 1e-9);
+    EXPECT_NEAR(tp.pg / base.pg, 4.0, 1e-9);
+    EXPECT_NEAR(tp.bcg / base.bcg, 4.0, 1e-9);
+    // Host resources unchanged.
+    EXPECT_DOUBLE_EQ(tp.cpuMem, base.cpuMem);
+    EXPECT_DOUBLE_EQ(tp.bc, base.bc);
+    EXPECT_EQ(tp.numGpus, 4u);
+}
+
+TEST(Hardware, SettingsPairModelsAndGpus)
+{
+    EXPECT_EQ(settingS1().model.name, "Mixtral-8x7B");
+    EXPECT_EQ(settingS1().hw.numGpus, 1u);
+    EXPECT_EQ(settingS2().hw.name, "1xL4");
+    EXPECT_EQ(settingS6().model.name, "Mixtral-8x22B");
+    EXPECT_EQ(settingS6().hw.numGpus, 2u);
+    EXPECT_EQ(settingS7().hw.numGpus, 4u);
+    EXPECT_EQ(settingS8().model.name, "DBRX");
+    EXPECT_EQ(settingS9().hw.numGpus, 4u);
+    EXPECT_NEAR(settingS7().hw.cpuMem / GiB, 416.0, 1e-9);
+}
+
+TEST(Hardware, ModelsDontFitTheirGpus)
+{
+    // The whole point of the paper: weights exceed GPU memory.
+    for (const Setting &s : {settingS1(), settingS2(), settingS6(),
+                             settingS7(), settingS8(), settingS9()})
+        EXPECT_GT(s.model.totalWeightBytes(), s.hw.gpuMem)
+            << s.name;
+}
+
+TEST(Hardware, MixtralFitsInHostMemory)
+{
+    // ...but they do fit in CPU DRAM (the no-disk assumption, §4).
+    for (const Setting &s : {settingS1(), settingS2(), settingS6(),
+                             settingS7(), settingS8(), settingS9()})
+        EXPECT_LT(s.model.totalWeightBytes(), s.hw.cpuMem) << s.name;
+}
+
+TEST(Hardware, ValidateRejectsFastLink)
+{
+    HardwareConfig h = t4Host();
+    h.bcg = h.bc * 2;
+    EXPECT_THROW(h.validate(), FatalError);
+}
+
+TEST(Hardware, ValidateRejectsZeroGpus)
+{
+    HardwareConfig h = t4Host();
+    h.numGpus = 0;
+    EXPECT_THROW(h.validate(), FatalError);
+    EXPECT_THROW(tensorParallel(t4Host(), 0), FatalError);
+}
+
+} // namespace
+} // namespace moelight

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.hh"
+
+#include "common/rng.hh"
+#include "kernels/attention.hh"
+#include "kernels/linalg.hh"
+#include "kernels/ops.hh"
+
+namespace moelight {
+namespace {
+
+/** Naive single-head attention over contiguous K/V for reference. */
+void
+naiveAttention(const float *q, const float *k, const float *v,
+               std::size_t ctx, std::size_t hd, float scale, float *out)
+{
+    std::vector<float> scores(ctx);
+    for (std::size_t t = 0; t < ctx; ++t)
+        scores[t] = scale * dot(q, k + t * hd, hd);
+    softmaxInPlace(scores);
+    for (std::size_t d = 0; d < hd; ++d)
+        out[d] = 0.0f;
+    for (std::size_t t = 0; t < ctx; ++t)
+        for (std::size_t d = 0; d < hd; ++d)
+            out[d] += scores[t] * v[t * hd + d];
+}
+
+struct AttnShape
+{
+    std::size_t nq, nkv, hd, ctx, pageTokens;
+};
+
+class GqaDecode : public ::testing::TestWithParam<AttnShape>
+{
+};
+
+TEST_P(GqaDecode, MatchesNaivePerHead)
+{
+    auto [nq, nkv, hd, ctx, page_tokens] = GetParam();
+    Rng rng(nq * 100 + ctx);
+    std::vector<float> q(nq * hd);
+    for (auto &x : q)
+        x = static_cast<float>(rng.uniform(-1, 1));
+
+    // Build paged K/V plus contiguous per-kv-head copies.
+    std::size_t n_pages = (ctx + page_tokens - 1) / page_tokens;
+    std::vector<std::vector<float>> kp(n_pages), vp(n_pages);
+    std::vector<const float *> kptr(n_pages), vptr(n_pages);
+    for (std::size_t p = 0; p < n_pages; ++p) {
+        kp[p].resize(page_tokens * nkv * hd);
+        vp[p].resize(page_tokens * nkv * hd);
+        for (auto &x : kp[p])
+            x = static_cast<float>(rng.uniform(-1, 1));
+        for (auto &x : vp[p])
+            x = static_cast<float>(rng.uniform(-1, 1));
+        kptr[p] = kp[p].data();
+        vptr[p] = vp[p].data();
+    }
+    KvView view;
+    view.kPages = kptr;
+    view.vPages = vptr;
+    view.pageTokens = page_tokens;
+    view.contextLen = ctx;
+    view.nKv = nkv;
+    view.headDim = hd;
+
+    float scale = 1.0f / std::sqrt(static_cast<float>(hd));
+    std::vector<float> out(nq * hd);
+    gqaDecodeAttention(q.data(), nq, view, out.data(), scale);
+
+    // Per query head, gather its KV head contiguous and compare.
+    std::size_t group = nq / nkv;
+    for (std::size_t h = 0; h < nq; ++h) {
+        std::size_t kvh = h / group;
+        std::vector<float> kc(ctx * hd), vc(ctx * hd);
+        for (std::size_t t = 0; t < ctx; ++t) {
+            const float *ks =
+                kp[t / page_tokens].data() +
+                ((t % page_tokens) * nkv + kvh) * hd;
+            const float *vs =
+                vp[t / page_tokens].data() +
+                ((t % page_tokens) * nkv + kvh) * hd;
+            std::copy(ks, ks + hd, kc.begin() + static_cast<long>(t * hd));
+            std::copy(vs, vs + hd, vc.begin() + static_cast<long>(t * hd));
+        }
+        std::vector<float> ref(hd);
+        naiveAttention(q.data() + h * hd, kc.data(), vc.data(), ctx, hd,
+                       scale, ref.data());
+        for (std::size_t d = 0; d < hd; ++d)
+            EXPECT_NEAR(out[h * hd + d], ref[d], 1e-4f)
+                << "head " << h << " dim " << d;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GqaDecode,
+    ::testing::Values(AttnShape{1, 1, 8, 5, 4},
+                      AttnShape{8, 2, 8, 16, 4},
+                      AttnShape{8, 2, 8, 17, 4},
+                      AttnShape{32, 8, 16, 33, 16},
+                      AttnShape{4, 4, 4, 1, 2}));
+
+TEST(GqaDecodeEdge, SingleTokenContextIsIdentityOverV)
+{
+    // With one context token, softmax weight is 1 => out == V row.
+    std::size_t nq = 2, nkv = 1, hd = 4;
+    std::vector<float> q{1, 2, 3, 4, 5, 6, 7, 8};
+    std::vector<float> k{0.5f, 0.5f, 0.5f, 0.5f};
+    std::vector<float> v{9, 8, 7, 6};
+    const float *kp = k.data();
+    const float *vp = v.data();
+    KvView view;
+    view.kPages = {&kp, 1};
+    view.vPages = {&vp, 1};
+    view.pageTokens = 1;
+    view.contextLen = 1;
+    view.nKv = nkv;
+    view.headDim = hd;
+    std::vector<float> out(nq * hd);
+    gqaDecodeAttention(q.data(), nq, view, out.data(), 0.5f);
+    for (std::size_t h = 0; h < nq; ++h)
+        for (std::size_t d = 0; d < hd; ++d)
+            EXPECT_FLOAT_EQ(out[h * hd + d], v[d]);
+}
+
+TEST(GqaPrefill, LastTokenMatchesDecodePath)
+{
+    // Causal prefill's last position must equal a decode step over
+    // the full cache.
+    std::size_t seq = 6, nq = 4, nkv = 2, hd = 8;
+    Rng rng(9);
+    std::vector<float> q(seq * nq * hd), k(seq * nkv * hd),
+        v(seq * nkv * hd);
+    for (auto &x : q)
+        x = static_cast<float>(rng.uniform(-1, 1));
+    for (auto &x : k)
+        x = static_cast<float>(rng.uniform(-1, 1));
+    for (auto &x : v)
+        x = static_cast<float>(rng.uniform(-1, 1));
+    float scale = 1.0f / std::sqrt(static_cast<float>(hd));
+
+    std::vector<float> prefill_out(seq * nq * hd);
+    gqaPrefillAttention(q.data(), k.data(), v.data(), seq, nq, nkv, hd,
+                        prefill_out.data(), scale);
+
+    const float *kp = k.data();
+    const float *vp = v.data();
+    KvView view;
+    view.kPages = {&kp, 1};
+    view.vPages = {&vp, 1};
+    view.pageTokens = seq;
+    view.contextLen = seq;
+    view.nKv = nkv;
+    view.headDim = hd;
+    std::vector<float> decode_out(nq * hd);
+    gqaDecodeAttention(q.data() + (seq - 1) * nq * hd, nq, view,
+                       decode_out.data(), scale);
+    for (std::size_t i = 0; i < nq * hd; ++i)
+        EXPECT_NEAR(decode_out[i],
+                    prefill_out[(seq - 1) * nq * hd + i], 1e-5f);
+}
+
+TEST(GqaPrefill, FirstTokenSeesOnlyItself)
+{
+    std::size_t seq = 3, nq = 2, nkv = 2, hd = 4;
+    Rng rng(4);
+    std::vector<float> q(seq * nq * hd), k(seq * nkv * hd),
+        v(seq * nkv * hd);
+    for (auto &x : q)
+        x = static_cast<float>(rng.uniform(-1, 1));
+    for (auto &x : k)
+        x = static_cast<float>(rng.uniform(-1, 1));
+    for (auto &x : v)
+        x = static_cast<float>(rng.uniform(-1, 1));
+    std::vector<float> out(seq * nq * hd);
+    gqaPrefillAttention(q.data(), k.data(), v.data(), seq, nq, nkv, hd,
+                        out.data(), 0.5f);
+    // Causality: position 0 output equals V[0] for each head.
+    for (std::size_t h = 0; h < nq; ++h)
+        for (std::size_t d = 0; d < hd; ++d)
+            EXPECT_FLOAT_EQ(out[h * hd + d], v[h * hd + d]);
+}
+
+TEST(GqaDecodeEdge, RejectsMismatchedHeads)
+{
+    std::vector<float> q(3 * 4);
+    std::vector<float> page(8);
+    const float *kp = page.data();
+    KvView view;
+    view.kPages = {&kp, 1};
+    view.vPages = {&kp, 1};
+    view.pageTokens = 1;
+    view.contextLen = 1;
+    view.nKv = 2;  // 3 query heads % 2 != 0
+    view.headDim = 4;
+    std::vector<float> out(3 * 4);
+    EXPECT_THROW(gqaDecodeAttention(q.data(), 3, view, out.data(), 1.0f),
+                 PanicError);
+}
+
+} // namespace
+} // namespace moelight

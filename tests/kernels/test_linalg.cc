@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "kernels/linalg.hh"
+#include "tensor/tensor.hh"
+
+namespace moelight {
+namespace {
+
+/** Naive triple loop for cross-checking. */
+void
+naiveMatmul(const std::vector<float> &a, const std::vector<float> &b,
+            std::vector<float> &c, std::size_t m, std::size_t k,
+            std::size_t n)
+{
+    for (std::size_t i = 0; i < m; ++i)
+        for (std::size_t j = 0; j < n; ++j) {
+            float acc = 0.0f;
+            for (std::size_t l = 0; l < k; ++l)
+                acc += a[i * k + l] * b[l * n + j];
+            c[i * n + j] = acc;
+        }
+}
+
+TEST(Linalg, MatmulIdentity)
+{
+    Tensor a({2, 2}), b({2, 2}), c({2, 2});
+    a.at(0, 0) = 1.0f;
+    a.at(1, 1) = 1.0f;
+    b.at(0, 0) = 3.0f;
+    b.at(0, 1) = 4.0f;
+    b.at(1, 0) = 5.0f;
+    b.at(1, 1) = 6.0f;
+    matmul(a, b, c);
+    EXPECT_FLOAT_EQ(c.at(0, 0), 3.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 1), 6.0f);
+}
+
+struct MatmulDims
+{
+    std::size_t m, k, n;
+};
+
+class MatmulParam : public ::testing::TestWithParam<MatmulDims>
+{
+};
+
+TEST_P(MatmulParam, MatchesNaive)
+{
+    auto [m, k, n] = GetParam();
+    Rng rng(m * 1000 + k * 10 + n);
+    std::vector<float> a(m * k), b(k * n), c(m * n), ref(m * n);
+    for (auto &v : a)
+        v = static_cast<float>(rng.uniform(-1, 1));
+    for (auto &v : b)
+        v = static_cast<float>(rng.uniform(-1, 1));
+    matmul(a.data(), b.data(), c.data(), m, k, n);
+    naiveMatmul(a, b, ref, m, k, n);
+    for (std::size_t i = 0; i < c.size(); ++i)
+        EXPECT_NEAR(c[i], ref[i], 1e-4f) << "at " << i;
+}
+
+TEST_P(MatmulParam, TransposedBMatchesNaive)
+{
+    auto [m, k, n] = GetParam();
+    Rng rng(m * 7 + k * 3 + n);
+    std::vector<float> a(m * k), w(n * k), c(m * n), bt(k * n),
+        ref(m * n);
+    for (auto &v : a)
+        v = static_cast<float>(rng.uniform(-1, 1));
+    for (auto &v : w)
+        v = static_cast<float>(rng.uniform(-1, 1));
+    // bt = w^T
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < k; ++j)
+            bt[j * n + i] = w[i * k + j];
+    matmulTransposedB(a.data(), w.data(), c.data(), m, k, n);
+    naiveMatmul(a, bt, ref, m, k, n);
+    for (std::size_t i = 0; i < c.size(); ++i)
+        EXPECT_NEAR(c[i], ref[i], 1e-4f) << "at " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatmulParam,
+    ::testing::Values(MatmulDims{1, 1, 1}, MatmulDims{1, 8, 16},
+                      MatmulDims{3, 5, 7}, MatmulDims{16, 16, 16},
+                      MatmulDims{65, 64, 63}, MatmulDims{2, 128, 2},
+                      MatmulDims{70, 70, 70}));
+
+TEST(Linalg, MatmulShapeChecks)
+{
+    Tensor a({2, 3}), b({4, 2}), c({2, 2});
+    EXPECT_THROW(matmul(a, b, c), PanicError);
+}
+
+TEST(Linalg, DotAndAccumulate)
+{
+    std::vector<float> x{1, 2, 3}, y{4, 5, 6};
+    EXPECT_FLOAT_EQ(dot(x.data(), y.data(), 3), 32.0f);
+    accumulate(y.data(), x.data(), 3);
+    EXPECT_FLOAT_EQ(y[0], 5.0f);
+    accumulateScaled(y.data(), x.data(), 2.0f, 3);
+    EXPECT_FLOAT_EQ(y[2], 15.0f);
+}
+
+} // namespace
+} // namespace moelight

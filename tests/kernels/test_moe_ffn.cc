@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "kernels/linalg.hh"
+#include "kernels/moe_ffn.hh"
+#include "kernels/ops.hh"
+
+namespace moelight {
+namespace {
+
+/** Small dense expert bank for tests. */
+struct ExpertBank
+{
+    std::size_t h1, h2, ne;
+    std::vector<std::vector<float>> w1, w3, w2;
+
+    ExpertBank(std::size_t h1_, std::size_t h2_, std::size_t ne_,
+               std::uint64_t seed)
+        : h1(h1_), h2(h2_), ne(ne_)
+    {
+        Rng rng(seed);
+        for (std::size_t e = 0; e < ne; ++e) {
+            w1.emplace_back(h2 * h1);
+            w3.emplace_back(h2 * h1);
+            w2.emplace_back(h1 * h2);
+            for (auto &v : w1.back())
+                v = static_cast<float>(rng.uniform(-0.5, 0.5));
+            for (auto &v : w3.back())
+                v = static_cast<float>(rng.uniform(-0.5, 0.5));
+            for (auto &v : w2.back())
+                v = static_cast<float>(rng.uniform(-0.5, 0.5));
+        }
+    }
+
+    ExpertResolver
+    resolver() const
+    {
+        return [this](int e) {
+            ExpertWeights w;
+            auto idx = static_cast<std::size_t>(e);
+            w.w1 = w1[idx].data();
+            w.w3 = w3[idx].data();
+            w.w2 = w2[idx].data();
+            return w;
+        };
+    }
+};
+
+/** Naive single-expert forward. */
+std::vector<float>
+naiveExpert(const ExpertBank &bank, std::size_t e,
+            const std::vector<float> &x)
+{
+    std::vector<float> gate(bank.h2), up(bank.h2), out(bank.h1);
+    matmulTransposedB(x.data(), bank.w1[e].data(), gate.data(), 1,
+                      bank.h1, bank.h2);
+    matmulTransposedB(x.data(), bank.w3[e].data(), up.data(), 1,
+                      bank.h1, bank.h2);
+    for (std::size_t i = 0; i < bank.h2; ++i) {
+        float g = gate[i] / (1.0f + std::exp(-gate[i]));
+        gate[i] = g * up[i];
+    }
+    matmulTransposedB(gate.data(), bank.w2[e].data(), out.data(), 1,
+                      bank.h2, bank.h1);
+    return out;
+}
+
+TEST(ExpertFfn, MatchesNaive)
+{
+    ExpertBank bank(8, 16, 2, 42);
+    std::vector<float> x{1, -1, 0.5f, 2, -0.25f, 0, 3, -2};
+    std::vector<float> out(8), scratch(expertFfnScratchSize(16));
+    expertFfnForward(x.data(), bank.resolver()(1), 8, 16, out.data(),
+                     scratch);
+    std::vector<float> ref = naiveExpert(bank, 1, x);
+    for (std::size_t i = 0; i < 8; ++i)
+        EXPECT_NEAR(out[i], ref[i], 1e-5f);
+}
+
+TEST(MoeFfn, SingleExpertWeightOneEqualsExpert)
+{
+    ExpertBank bank(8, 16, 4, 7);
+    std::vector<float> x(8, 0.7f), out(8);
+    TokenRouting r;
+    r.experts = {2};
+    r.weights = {1.0f};
+    moeFfnForward(x.data(), {&r, 1}, bank.resolver(), 1, 8, 16,
+                  out.data());
+    std::vector<float> ref = naiveExpert(bank, 2, x);
+    for (std::size_t i = 0; i < 8; ++i)
+        EXPECT_NEAR(out[i], ref[i], 1e-5f);
+}
+
+TEST(MoeFfn, MixesExpertsByWeight)
+{
+    ExpertBank bank(8, 16, 4, 9);
+    std::vector<float> x(8);
+    Rng rng(1);
+    for (auto &v : x)
+        v = static_cast<float>(rng.uniform(-1, 1));
+    TokenRouting r;
+    r.experts = {0, 3};
+    r.weights = {0.25f, 0.75f};
+    std::vector<float> out(8);
+    moeFfnForward(x.data(), {&r, 1}, bank.resolver(), 1, 8, 16,
+                  out.data());
+    std::vector<float> e0 = naiveExpert(bank, 0, x);
+    std::vector<float> e3 = naiveExpert(bank, 3, x);
+    for (std::size_t i = 0; i < 8; ++i)
+        EXPECT_NEAR(out[i], 0.25f * e0[i] + 0.75f * e3[i], 1e-5f);
+}
+
+TEST(MoeFfn, BatchTokensIndependent)
+{
+    ExpertBank bank(4, 8, 2, 11);
+    const std::size_t tokens = 3;
+    std::vector<float> x(tokens * 4);
+    Rng rng(2);
+    for (auto &v : x)
+        v = static_cast<float>(rng.uniform(-1, 1));
+    std::vector<TokenRouting> rs(tokens);
+    rs[0].experts = {0};
+    rs[0].weights = {1.0f};
+    rs[1].experts = {1};
+    rs[1].weights = {1.0f};
+    rs[2].experts = {0, 1};
+    rs[2].weights = {0.5f, 0.5f};
+    std::vector<float> out(tokens * 4);
+    moeFfnForward(x.data(), rs, bank.resolver(), tokens, 4, 8,
+                  out.data());
+    for (std::size_t t = 0; t < tokens; ++t) {
+        std::vector<float> single(4);
+        moeFfnForward(x.data() + t * 4, {&rs[t], 1}, bank.resolver(), 1,
+                      4, 8, single.data());
+        for (std::size_t i = 0; i < 4; ++i)
+            EXPECT_FLOAT_EQ(out[t * 4 + i], single[i]);
+    }
+}
+
+TEST(MoeFfn, NullResolverPanics)
+{
+    std::vector<float> x(4), out(4);
+    TokenRouting r;
+    r.experts = {0};
+    r.weights = {1.0f};
+    auto bad = [](int) { return ExpertWeights{}; };
+    EXPECT_THROW(
+        moeFfnForward(x.data(), {&r, 1}, bad, 1, 4, 8, out.data()),
+        PanicError);
+}
+
+TEST(MoeFfn, RoutingSizeMismatchPanics)
+{
+    ExpertBank bank(4, 8, 2, 1);
+    std::vector<float> x(8), out(8);
+    TokenRouting r;
+    r.experts = {0};
+    r.weights = {1.0f};
+    EXPECT_THROW(moeFfnForward(x.data(), {&r, 1}, bank.resolver(), 2, 4,
+                               8, out.data()),
+                 PanicError);
+}
+
+} // namespace
+} // namespace moelight

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "kernels/ops.hh"
+
+namespace moelight {
+namespace {
+
+TEST(Softmax, SumsToOne)
+{
+    std::vector<float> x{1.0f, 2.0f, 3.0f, 4.0f};
+    softmaxInPlace(x);
+    float sum = 0.0f;
+    for (float v : x)
+        sum += v;
+    EXPECT_NEAR(sum, 1.0f, 1e-6f);
+    EXPECT_GT(x[3], x[0]);
+}
+
+TEST(Softmax, NumericallyStableWithLargeValues)
+{
+    std::vector<float> x{10000.0f, 10001.0f};
+    softmaxInPlace(x);
+    EXPECT_FALSE(std::isnan(x[0]));
+    EXPECT_NEAR(x[0] + x[1], 1.0f, 1e-6f);
+    EXPECT_GT(x[1], x[0]);
+}
+
+TEST(Softmax, UniformInputUniformOutput)
+{
+    std::vector<float> x(8, 3.0f);
+    softmaxInPlace(x);
+    for (float v : x)
+        EXPECT_NEAR(v, 1.0f / 8.0f, 1e-6f);
+}
+
+TEST(RmsNorm, UnitGainNormalizesRms)
+{
+    std::vector<float> x{3.0f, 4.0f}, w{1.0f, 1.0f}, out(2);
+    rmsNorm(x.data(), w.data(), out.data(), 2);
+    double rms = std::sqrt((out[0] * out[0] + out[1] * out[1]) / 2.0);
+    EXPECT_NEAR(rms, 1.0, 1e-3);
+    // Direction preserved.
+    EXPECT_NEAR(out[1] / out[0], 4.0 / 3.0, 1e-5);
+}
+
+TEST(RmsNorm, AppliesGain)
+{
+    std::vector<float> x{1.0f, 1.0f}, w{2.0f, 0.5f}, out(2);
+    rmsNorm(x.data(), w.data(), out.data(), 2);
+    EXPECT_NEAR(out[0] / out[1], 4.0, 1e-5);
+}
+
+TEST(RmsNorm, AliasSafe)
+{
+    std::vector<float> x{3.0f, 4.0f}, w{1.0f, 1.0f};
+    std::vector<float> expect(2);
+    rmsNorm(x.data(), w.data(), expect.data(), 2);
+    rmsNorm(x.data(), w.data(), x.data(), 2);
+    EXPECT_FLOAT_EQ(x[0], expect[0]);
+    EXPECT_FLOAT_EQ(x[1], expect[1]);
+}
+
+TEST(Silu, KnownValues)
+{
+    std::vector<float> x{0.0f, 100.0f, -100.0f};
+    siluInPlace(x);
+    EXPECT_FLOAT_EQ(x[0], 0.0f);
+    EXPECT_NEAR(x[1], 100.0f, 1e-3f);
+    EXPECT_NEAR(x[2], 0.0f, 1e-3f);
+}
+
+TEST(Swiglu, MatchesManualComputation)
+{
+    std::vector<float> gate{1.0f, -2.0f}, up{3.0f, 5.0f}, out(2);
+    swiglu(gate.data(), up.data(), out.data(), 2);
+    auto silu = [](float v) { return v / (1.0f + std::exp(-v)); };
+    EXPECT_NEAR(out[0], silu(1.0f) * 3.0f, 1e-6f);
+    EXPECT_NEAR(out[1], silu(-2.0f) * 5.0f, 1e-6f);
+}
+
+TEST(Argmax, FirstOfTies)
+{
+    std::vector<float> x{1.0f, 5.0f, 5.0f, 2.0f};
+    EXPECT_EQ(argmax({x.data(), x.size()}), 1u);
+}
+
+TEST(Argmax, EmptyPanics)
+{
+    std::vector<float> x;
+    EXPECT_THROW(argmax({x.data(), x.size()}), PanicError);
+}
+
+} // namespace
+} // namespace moelight

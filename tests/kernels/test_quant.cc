@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "kernels/quant.hh"
+
+namespace moelight {
+namespace {
+
+std::vector<float>
+randVec(std::size_t n, std::uint64_t seed, float lo = -2.0f,
+        float hi = 2.0f)
+{
+    Rng rng(seed);
+    std::vector<float> v(n);
+    for (auto &x : v)
+        x = static_cast<float>(rng.uniform(lo, hi));
+    return v;
+}
+
+class QuantRoundTrip : public ::testing::TestWithParam<QuantKind>
+{
+};
+
+TEST_P(QuantRoundTrip, ErrorWithinBound)
+{
+    QuantKind kind = GetParam();
+    auto src = randVec(256, 42);
+    QuantizedBuffer q({src.data(), src.size()}, kind, 32);
+    std::vector<float> back(src.size());
+    q.dequantize(back);
+    // Per-group bound: half a step of the group's max magnitude.
+    for (std::size_t g = 0; g < src.size() / 32; ++g) {
+        float mx = 0.0f;
+        for (std::size_t i = 0; i < 32; ++i)
+            mx = std::max(mx, std::abs(src[g * 32 + i]));
+        double bound = QuantizedBuffer::errorBound(kind, mx);
+        for (std::size_t i = 0; i < 32; ++i) {
+            std::size_t idx = g * 32 + i;
+            EXPECT_LE(std::abs(src[idx] - back[idx]), bound)
+                << "kind=" << static_cast<int>(kind) << " idx=" << idx;
+        }
+    }
+}
+
+TEST_P(QuantRoundTrip, ExactForZeros)
+{
+    std::vector<float> zeros(64, 0.0f);
+    QuantizedBuffer q({zeros.data(), zeros.size()}, GetParam(), 32);
+    std::vector<float> back(64, 1.0f);
+    q.dequantize(back);
+    for (float v : back)
+        EXPECT_EQ(v, 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, QuantRoundTrip,
+                         ::testing::Values(QuantKind::Int8,
+                                           QuantKind::Int4));
+
+TEST(Quant, Int4HalvesPayload)
+{
+    auto src = randVec(128, 7);
+    QuantizedBuffer q8({src.data(), src.size()}, QuantKind::Int8, 32);
+    QuantizedBuffer q4({src.data(), src.size()}, QuantKind::Int4, 32);
+    EXPECT_EQ(quantizedBytes(QuantKind::Int8, 128), 128u);
+    EXPECT_EQ(quantizedBytes(QuantKind::Int4, 128), 64u);
+    EXPECT_LT(q4.storageBytes(), q8.storageBytes());
+}
+
+TEST(Quant, Int8MuchMoreAccurateThanInt4)
+{
+    auto src = randVec(512, 9);
+    QuantizedBuffer q8({src.data(), src.size()}, QuantKind::Int8, 32);
+    QuantizedBuffer q4({src.data(), src.size()}, QuantKind::Int4, 32);
+    std::vector<float> b8(512), b4(512);
+    q8.dequantize(b8);
+    q4.dequantize(b4);
+    double e8 = 0, e4 = 0;
+    for (std::size_t i = 0; i < 512; ++i) {
+        e8 += std::abs(src[i] - b8[i]);
+        e4 += std::abs(src[i] - b4[i]);
+    }
+    EXPECT_LT(e8, e4 / 4.0);
+}
+
+TEST(Quant, RangeDequantGroupAligned)
+{
+    auto src = randVec(128, 3);
+    QuantizedBuffer q({src.data(), src.size()}, QuantKind::Int8, 32);
+    std::vector<float> part(32), full(128);
+    q.dequantize(full);
+    q.dequantizeRange(64, 32, part);
+    for (std::size_t i = 0; i < 32; ++i)
+        EXPECT_EQ(part[i], full[64 + i]);
+    EXPECT_THROW(q.dequantizeRange(10, 32, part), PanicError);
+    EXPECT_THROW(q.dequantizeRange(96, 64, part), PanicError);
+}
+
+TEST(Quant, RejectsBadGeometry)
+{
+    auto src = randVec(33, 1);
+    EXPECT_THROW(
+        QuantizedBuffer({src.data(), src.size()}, QuantKind::Int8, 32),
+        FatalError);
+    auto src2 = randVec(32, 1);
+    EXPECT_THROW(QuantizedBuffer({src2.data(), src2.size()},
+                                 QuantKind::Int4, 31),
+                 FatalError);
+}
+
+TEST(Quant, NegativeValuesSurviveInt4Packing)
+{
+    std::vector<float> src(32);
+    for (std::size_t i = 0; i < 32; ++i)
+        src[i] = (i % 2 == 0) ? -1.0f : 1.0f;
+    QuantizedBuffer q({src.data(), src.size()}, QuantKind::Int4, 32);
+    std::vector<float> back(32);
+    q.dequantize(back);
+    for (std::size_t i = 0; i < 32; ++i)
+        EXPECT_NEAR(back[i], src[i], 0.15f) << i;
+}
+
+TEST(QuantAttention, MatchesFloatWithinQuantError)
+{
+    std::size_t nq = 4, nkv = 2, hd = 8, page_tokens = 4, ctx = 11;
+    Rng rng(5);
+    std::size_t n_pages = (ctx + page_tokens - 1) / page_tokens;
+    std::size_t page_floats = page_tokens * nkv * hd;
+
+    std::vector<std::vector<float>> kp(n_pages), vp(n_pages);
+    std::vector<QuantizedBuffer> kq, vq;
+    std::vector<const float *> kptr, vptr;
+    for (std::size_t p = 0; p < n_pages; ++p) {
+        kp[p].resize(page_floats);
+        vp[p].resize(page_floats);
+        for (auto &x : kp[p])
+            x = static_cast<float>(rng.uniform(-1, 1));
+        for (auto &x : vp[p])
+            x = static_cast<float>(rng.uniform(-1, 1));
+        kq.emplace_back(std::span<const float>(kp[p]), QuantKind::Int8,
+                        hd);
+        vq.emplace_back(std::span<const float>(vp[p]), QuantKind::Int8,
+                        hd);
+        kptr.push_back(kp[p].data());
+        vptr.push_back(vp[p].data());
+    }
+    std::vector<float> q(nq * hd);
+    for (auto &x : q)
+        x = static_cast<float>(rng.uniform(-1, 1));
+
+    KvView view;
+    view.kPages = kptr;
+    view.vPages = vptr;
+    view.pageTokens = page_tokens;
+    view.contextLen = ctx;
+    view.nKv = nkv;
+    view.headDim = hd;
+    std::vector<float> ref(nq * hd), quant_out(nq * hd);
+    gqaDecodeAttention(q.data(), nq, view, ref.data(), 0.35f);
+    gqaDecodeAttentionQuant(q.data(), nq, kq, vq, page_tokens, ctx,
+                            nkv, hd, quant_out.data(), 0.35f);
+    for (std::size_t i = 0; i < ref.size(); ++i)
+        EXPECT_NEAR(quant_out[i], ref[i], 0.05f) << i;
+}
+
+} // namespace
+} // namespace moelight

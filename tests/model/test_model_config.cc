@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+#include "model/model_config.hh"
+
+namespace moelight {
+namespace {
+
+TEST(ModelConfig, MixtralParameterCountIsPlausible)
+{
+    ModelConfig m = mixtral8x7b();
+    // Mixtral 8x7B has ~46.7B parameters.
+    EXPECT_NEAR(m.totalParams() / 1e9, 46.7, 1.5);
+}
+
+TEST(ModelConfig, Mixtral22bParameterCountIsPlausible)
+{
+    ModelConfig m = mixtral8x22b();
+    // Mixtral 8x22B has ~141B parameters.
+    EXPECT_NEAR(m.totalParams() / 1e9, 141.0, 6.0);
+}
+
+TEST(ModelConfig, DbrxParameterCountIsPlausible)
+{
+    ModelConfig m = dbrx();
+    // DBRX has 132B parameters.
+    EXPECT_NEAR(m.totalParams() / 1e9, 132.0, 8.0);
+}
+
+TEST(ModelConfig, ExpertFfnDominatesMixtralWeights)
+{
+    // Paper §1: expert FFNs are the bulk of MoE memory (>85% for
+    // Mixtral 8x22B; >256 GB of expert weights at f16).
+    ModelConfig m = mixtral8x22b();
+    double expert_bytes = m.ne * m.expertParams() * m.weightByte() *
+                          static_cast<double>(m.l);
+    EXPECT_GT(expert_bytes / m.totalWeightBytes(), 0.85);
+    EXPECT_GT(expert_bytes, 256.0 * 1e9);
+}
+
+TEST(ModelConfig, WeightBytesScaleWithDataType)
+{
+    ModelConfig m = mixtral8x7b();
+    double f16 = m.totalWeightBytes();
+    m.dtWeight = DataType::INT4;
+    EXPECT_NEAR(m.totalWeightBytes() / f16, 0.25, 1e-9);
+}
+
+TEST(ModelConfig, KvBytesPerToken)
+{
+    ModelConfig m = mixtral8x7b();
+    // 2 (K and V) * nkv * headDim * 2 bytes * layers.
+    double expect = 2.0 * 8 * 128 * 2.0 * 32;
+    EXPECT_DOUBLE_EQ(m.kvBytesPerToken(), expect);
+}
+
+TEST(ModelConfig, ValidateRejectsBadHeads)
+{
+    ModelConfig m = mixtral8x7b();
+    m.nq = 30;  // not a multiple of nkv=8, and nq*headDim != h1
+    EXPECT_THROW(m.validate(), FatalError);
+}
+
+TEST(ModelConfig, ValidateRejectsTopKTooLarge)
+{
+    ModelConfig m = mixtral8x7b();
+    m.k = 9;
+    EXPECT_THROW(m.validate(), FatalError);
+}
+
+TEST(ModelConfig, TinyModelValid)
+{
+    ModelConfig m = tinyMixtral();
+    EXPECT_NO_THROW(m.validate());
+    EXPECT_LT(m.totalParams(), 2e6);
+}
+
+TEST(ModelConfig, DataTypeNames)
+{
+    EXPECT_EQ(dataTypeName(DataType::F16), "f16");
+    EXPECT_EQ(dataTypeName(DataType::INT4), "int4");
+    EXPECT_EQ(bytesOf(DataType::INT4), 0.5);
+}
+
+} // namespace
+} // namespace moelight

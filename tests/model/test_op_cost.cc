@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "model/op_cost.hh"
+
+namespace moelight {
+namespace {
+
+TEST(OpCost, FlopsScaleLinearlyWithMicroBatch)
+{
+    ModelConfig m = mixtral8x7b();
+    OpCost c1 = postAttnDecodeCost(m, 16);
+    OpCost c2 = postAttnDecodeCost(m, 32);
+    EXPECT_NEAR(c2.flops / c1.flops, 2.0, 1e-9);
+    // Weight bytes do NOT scale with micro-batch (dense expert touch).
+    EXPECT_DOUBLE_EQ(c1.weightBytes, c2.weightBytes);
+}
+
+TEST(OpCost, AttentionIntensityIndependentOfBatch)
+{
+    // Paper §3.3: attention operational intensity is independent of
+    // batch size since flops and bytes are both proportional to it.
+    ModelConfig m = mixtral8x7b();
+    OpCost a = attnCoreDecodeCost(m, 8, 512);
+    OpCost b = attnCoreDecodeCost(m, 64, 512);
+    EXPECT_NEAR(a.flops / a.kvBytes, b.flops / b.kvBytes, 1e-9);
+}
+
+TEST(OpCost, AttentionIntensityMatchesClosedForm)
+{
+    // flops = 4*mu*ctx*nq*hd; kv bytes = mu*ctx*2*nkv*hd*kvB
+    // => I = 2*nq / (nkv*kvB) = 2*h1/(nkv*hd*kvB).
+    ModelConfig m = mixtral8x7b();
+    double expect = 2.0 * static_cast<double>(m.nq) /
+                    (static_cast<double>(m.nkv) * m.kvByte());
+    EXPECT_NEAR(attnIntensityVsKv(m), expect, 1e-9);
+    // GQA 32/8 with f16: I = 2*32/(8*2) = 4 FLOP/byte — the "quite
+    // low" intensity Fig. 4 shows.
+    EXPECT_NEAR(attnIntensityVsKv(m), 4.0, 1e-9);
+}
+
+TEST(OpCost, Int4KvDoublesAttentionIntensityVsF16)
+{
+    ModelConfig m = mixtral8x7b();
+    double f16 = attnIntensityVsKv(m);
+    m.dtKv = DataType::INT4;
+    EXPECT_NEAR(attnIntensityVsKv(m) / f16, 4.0, 1e-9);
+}
+
+TEST(OpCost, FfnIntensityGrowsWithBatch)
+{
+    ModelConfig m = mixtral8x7b();
+    double i32 = ffnIntensityVsWeights(m, 32);
+    double i128 = ffnIntensityVsWeights(m, 128);
+    EXPECT_NEAR(i128 / i32, 4.0, 1e-9);
+    // Closed form: 6*n*k*h1*h2 / (ne*3*h1*h2*wb) = 2*n*k/(ne*wb).
+    EXPECT_NEAR(i32, 2.0 * 32 * 2 / (8 * 2.0), 1e-9);
+}
+
+TEST(OpCost, SparseExpertTouchForTinyBatches)
+{
+    ModelConfig m = mixtral8x7b();
+    OpCost dense = postAttnDecodeCost(m, 1, /*denseExperts=*/true);
+    OpCost sparse = postAttnDecodeCost(m, 1, /*denseExperts=*/false);
+    EXPECT_LT(sparse.weightBytes, dense.weightBytes);
+    EXPECT_DOUBLE_EQ(sparse.flops, dense.flops);
+}
+
+TEST(OpCost, LayerDecodeIsSumOfParts)
+{
+    ModelConfig m = mixtral8x7b();
+    OpCost total = layerDecodeCost(m, 16, 512);
+    OpCost sum = preAttnDecodeCost(m, 16) +
+                 attnCoreDecodeCost(m, 16, 512) +
+                 postAttnDecodeCost(m, 16);
+    EXPECT_DOUBLE_EQ(total.flops, sum.flops);
+    EXPECT_DOUBLE_EQ(total.totalBytes(), sum.totalBytes());
+}
+
+TEST(OpCost, PrefillQuadraticInSeqLen)
+{
+    ModelConfig m = mixtral8x7b();
+    // Same total tokens, longer sequences => more attention flops.
+    OpCost short_seq = layerPrefillCost(m, 4096, 128);
+    OpCost long_seq = layerPrefillCost(m, 4096, 1024);
+    EXPECT_GT(long_seq.flops, short_seq.flops);
+}
+
+TEST(OpCost, RejectsNonPositiveContext)
+{
+    ModelConfig m = mixtral8x7b();
+    EXPECT_THROW(attnCoreDecodeCost(m, 1, 0.0), FatalError);
+    EXPECT_THROW(layerPrefillCost(m, 0.0, 10.0), FatalError);
+}
+
+} // namespace
+} // namespace moelight

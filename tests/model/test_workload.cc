@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "model/workload.hh"
+
+namespace moelight {
+namespace {
+
+class WorkloadShapes
+    : public ::testing::TestWithParam<WorkloadConfig>
+{
+};
+
+TEST_P(WorkloadShapes, MeanAndMaxMatchTable)
+{
+    WorkloadConfig cfg = GetParam();
+    auto reqs = generateRequests(cfg, 2000, 123);
+    ASSERT_EQ(reqs.size(), 2000u);
+    EXPECT_NEAR(meanPromptLen(reqs), cfg.avgPrompt,
+                0.1 * cfg.avgPrompt);
+    EXPECT_LE(maxPromptLen(reqs), cfg.maxPrompt);
+    for (const auto &r : reqs) {
+        EXPECT_GE(r.promptLen, 4);
+        EXPECT_EQ(r.genLen, cfg.genLen);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Tab3, WorkloadShapes,
+    ::testing::Values(mtbench(32), mtbench(256), syntheticReasoning(),
+                      summarization()));
+
+TEST(Workload, DeterministicBySeed)
+{
+    auto a = generateRequests(mtbench(64), 100, 5);
+    auto b = generateRequests(mtbench(64), 100, 5);
+    auto c = generateRequests(mtbench(64), 100, 6);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].promptLen, b[i].promptLen);
+    bool differs = false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        differs |= a[i].promptLen != c[i].promptLen;
+    EXPECT_TRUE(differs);
+}
+
+TEST(Workload, MtbenchHasWideSpread)
+{
+    auto reqs = generateRequests(mtbench(64), 2000, 1);
+    int mx = maxPromptLen(reqs);
+    // The MTBench mix has long-tail prompts well above the mean.
+    EXPECT_GT(mx, 200);
+}
+
+TEST(Workload, SummarizationIsLongPrompt)
+{
+    auto reqs = generateRequests(summarization(), 500, 2);
+    EXPECT_GT(meanPromptLen(reqs), 1500.0);
+}
+
+TEST(Workload, Tab3Configs)
+{
+    EXPECT_EQ(syntheticReasoning().maxPrompt, 256);
+    EXPECT_EQ(syntheticReasoning().genLen, 50);
+    EXPECT_EQ(summarization().maxPrompt, 1984);
+    EXPECT_EQ(summarization().genLen, 64);
+    EXPECT_EQ(mtbench(128).genLen, 128);
+    EXPECT_NEAR(mtbench(128).avgPrompt, 77.0, 1e-9);
+}
+
+TEST(Workload, RejectsBadArgs)
+{
+    EXPECT_THROW(mtbench(0), FatalError);
+    EXPECT_THROW(generateRequests(mtbench(32), 0), FatalError);
+}
+
+} // namespace
+} // namespace moelight

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "perf/mem_model.hh"
+
+namespace moelight {
+namespace {
+
+WorkloadShape
+mtShape(double gen)
+{
+    return {77.0, 418.0, gen};
+}
+
+Policy
+basePolicy()
+{
+    Policy p;
+    p.batchSize = 512;
+    p.microBatch = 32;
+    p.attnOnGpu = false;
+    p.ffnOnGpu = true;
+    p.weightsOnGpu = 0.0;
+    p.kvOnGpu = 0.0;
+    return p;
+}
+
+TEST(MemModel, KvBytesFormula)
+{
+    ModelConfig m = mixtral8x7b();
+    double b = kvCacheBytes(m, 77, 64, 100);
+    EXPECT_DOUBLE_EQ(b, 100.0 * (77 + 64) * m.kvBytesPerToken());
+}
+
+TEST(MemModel, CpuKvGrowsWithBatchAndGenLen)
+{
+    ModelConfig m = mixtral8x7b();
+    HardwareConfig hw = t4Host();
+    Policy p = basePolicy();
+    auto f1 = memoryFootprint(m, hw, mtShape(32), p, false);
+    p.batchSize = 1024;
+    auto f2 = memoryFootprint(m, hw, mtShape(32), p, false);
+    EXPECT_GT(f2.cpuKv, f1.cpuKv);
+    auto f3 = memoryFootprint(m, hw, mtShape(256), p, false);
+    EXPECT_GT(f3.cpuKv, f2.cpuKv);
+}
+
+TEST(MemModel, PaddingInflatesKv)
+{
+    ModelConfig m = mixtral8x7b();
+    HardwareConfig hw = t4Host();
+    Policy p = basePolicy();
+    auto unpadded = memoryFootprint(m, hw, mtShape(64), p, false);
+    auto padded = memoryFootprint(m, hw, mtShape(64), p, true);
+    // MTBench max prompt is ~5.4x the mean: padded KV must be much
+    // larger (the FlexGen handicap the paper calls out).
+    EXPECT_GT(padded.cpuKv, 3.0 * unpadded.cpuKv);
+}
+
+TEST(MemModel, WeightRatioMovesBytesBetweenDevices)
+{
+    ModelConfig m = mixtral8x7b();
+    HardwareConfig hw = t4Host();
+    Policy p = basePolicy();
+    auto f0 = memoryFootprint(m, hw, mtShape(64), p, false);
+    p.weightsOnGpu = 0.5;
+    auto f5 = memoryFootprint(m, hw, mtShape(64), p, false);
+    EXPECT_NEAR(f5.gpuStaticWeights, 0.5 * m.totalWeightBytes(), 1.0);
+    EXPECT_NEAR(f0.cpuWeights - f5.cpuWeights,
+                0.5 * m.totalWeightBytes(), 1.0);
+    // Streamed double buffer shrinks as more weights are static.
+    EXPECT_LT(f5.gpuWeightBuffer, f0.gpuWeightBuffer);
+}
+
+TEST(MemModel, GpuAttentionChargesWorkingKv)
+{
+    ModelConfig m = mixtral8x7b();
+    HardwareConfig hw = t4Host();
+    Policy p = basePolicy();
+    auto cpu_attn = memoryFootprint(m, hw, mtShape(64), p, false);
+    p.attnOnGpu = true;
+    auto gpu_attn = memoryFootprint(m, hw, mtShape(64), p, false);
+    EXPECT_GT(gpu_attn.gpuActDecode, cpu_attn.gpuActDecode);
+}
+
+TEST(MemModel, PrefillPeakScalesWithPromptLength)
+{
+    ModelConfig m = mixtral8x7b();
+    HardwareConfig hw = t4Host();
+    Policy p = basePolicy();
+    WorkloadShape summ{1693.0, 1984.0, 64.0};
+    auto mt = memoryFootprint(m, hw, mtShape(64), p, false);
+    auto sm = memoryFootprint(m, hw, summ, p, false);
+    EXPECT_GT(sm.gpuActPrefill, 10.0 * mt.gpuActPrefill);
+}
+
+TEST(MemModel, MixtralOnT4NeedsSmallEnoughBatch)
+{
+    // Sanity: a huge batch must violate the 192 GB host (KV cache),
+    // a modest one must fit — bracketing the paper's feasible region.
+    ModelConfig m = mixtral8x7b();
+    HardwareConfig hw = t4Host();
+    Policy p = basePolicy();
+    p.batchSize = 512;
+    EXPECT_TRUE(fits(memoryFootprint(m, hw, mtShape(64), p, false), hw));
+    p.batchSize = 64 * 4096;
+    EXPECT_FALSE(
+        fits(memoryFootprint(m, hw, mtShape(64), p, false), hw));
+}
+
+TEST(MemModel, KvOnGpuRequiresGpuAttention)
+{
+    Policy p = basePolicy();
+    p.kvOnGpu = 0.5;
+    EXPECT_THROW(p.validate(), FatalError);
+    p.attnOnGpu = true;
+    EXPECT_NO_THROW(p.validate());
+}
+
+TEST(MemModel, PolicyDivisibility)
+{
+    Policy p = basePolicy();
+    p.batchSize = 100;
+    p.microBatch = 32;
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+} // namespace
+} // namespace moelight

@@ -1,0 +1,134 @@
+/**
+ * Property sweeps over the performance model: monotonicities that
+ * must hold for the optimizer's search to be meaningful, checked
+ * across models, hardware and workloads (parameterized gtest).
+ */
+
+#include <gtest/gtest.h>
+
+#include "perf/perf_model.hh"
+
+namespace moelight {
+namespace {
+
+struct Scenario
+{
+    const char *name;
+    ModelConfig model;
+    HardwareConfig hw;
+    WorkloadShape w;
+};
+
+std::vector<Scenario>
+scenarios()
+{
+    return {
+        {"8x7b-t4-mt", mixtral8x7b(), t4Host(), {77, 418, 128}},
+        {"8x7b-l4-mt", mixtral8x7b(), l4Host(), {77, 418, 64}},
+        {"8x7b-l4-summ", mixtral8x7b(), l4Host(), {1693, 1984, 64}},
+        {"8x22b-2t4-mt", mixtral8x22b(), multiT4Host(2),
+         {77, 418, 64}},
+        {"dbrx-4t4-mt", dbrx(), multiT4Host(4), {77, 418, 32}},
+    };
+}
+
+class PerfProperties : public ::testing::TestWithParam<std::size_t>
+{
+  protected:
+    Scenario sc_ = scenarios()[GetParam()];
+    PerfModel pm_{sc_.model, sc_.hw, sc_.w, /*padded=*/true};
+
+    Policy
+    cgo(std::size_t n, std::size_t mu, double rw = 0.0) const
+    {
+        Policy p;
+        p.batchSize = n;
+        p.microBatch = mu;
+        p.attnOnGpu = false;
+        p.ffnOnGpu = true;
+        p.weightsOnGpu = rw;
+        return p;
+    }
+};
+
+TEST_P(PerfProperties, LayerTimeIncreasesWithBatch)
+{
+    Seconds prev = 0.0;
+    for (std::size_t n_ub : {1u, 2u, 4u, 8u, 16u}) {
+        Seconds t =
+            pm_.layerDecode(cgo(32 * n_ub, 32)).total;
+        EXPECT_GE(t + 1e-12, prev);
+        prev = t;
+    }
+}
+
+TEST_P(PerfProperties, DecodeThroughputNeverWorseWithBatch)
+{
+    // tokens-per-second in pure decode must be non-decreasing in N
+    // at fixed mu (more amortization, same per-ub costs).
+    double prev = 0.0;
+    for (std::size_t n_ub : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        Policy p = cgo(32 * n_ub, 32);
+        LayerTime lt = pm_.layerDecode(p);
+        double tput = static_cast<double>(p.batchSize) / lt.total;
+        EXPECT_GE(tput * (1 + 1e-9), prev);
+        prev = tput;
+    }
+}
+
+TEST_P(PerfProperties, MoreStaticWeightsNeverSlowsDecode)
+{
+    for (double rw : {0.0, 0.25, 0.5, 0.75}) {
+        Seconds lo = pm_.layerDecode(cgo(256, 32, rw + 0.25)).total;
+        Seconds hi = pm_.layerDecode(cgo(256, 32, rw)).total;
+        EXPECT_LE(lo, hi + 1e-12);
+    }
+}
+
+TEST_P(PerfProperties, CpuAttentionScalesLinearly)
+{
+    Seconds t32 = pm_.cpuAttnTime(32);
+    Seconds t128 = pm_.cpuAttnTime(128);
+    EXPECT_NEAR(t128 / t32, 4.0, 0.01);
+}
+
+TEST_P(PerfProperties, NaiveCpuAttentionSlower)
+{
+    EXPECT_GT(pm_.cpuAttnTimeNaive(64), pm_.cpuAttnTime(64));
+}
+
+TEST_P(PerfProperties, BaselinesNeverBeatCgoClosedForm)
+{
+    Policy p = cgo(256, 32);
+    Seconds cgo_t =
+        pm_.layerDecode(p, SystemKind::MoeLightning).total;
+    for (SystemKind sys :
+         {SystemKind::FastDecode, SystemKind::FlexGenC})
+        EXPECT_GE(pm_.layerDecode(p, sys).total + 1e-12, cgo_t)
+            << sc_.name << " " << systemName(sys);
+}
+
+TEST_P(PerfProperties, FootprintMonotoneInBatch)
+{
+    MemoryFootprint a = pm_.footprint(cgo(128, 32));
+    MemoryFootprint b = pm_.footprint(cgo(1024, 32));
+    EXPECT_GT(b.cpuKv, a.cpuKv);
+    EXPECT_GE(b.cpuPeak(), a.cpuPeak());
+    // GPU side is batch-size independent for the KV-on-CPU policy
+    // (only mu enters the working set).
+    EXPECT_DOUBLE_EQ(b.gpuPeak(), a.gpuPeak());
+}
+
+TEST_P(PerfProperties, PrefillLinearishInBatch)
+{
+    Seconds t1 = pm_.prefillTime(cgo(256, 32));
+    Seconds t2 = pm_.prefillTime(cgo(512, 32));
+    EXPECT_GT(t2, t1);
+    EXPECT_LE(t2, 2.2 * t1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, PerfProperties,
+                         ::testing::Values(0u, 1u, 2u, 3u, 4u));
+
+} // namespace
+} // namespace moelight

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "policy/optimizer.hh"
+
+namespace moelight {
+namespace {
+
+PerfModel
+s1Model(double gen = 128.0, bool padded = true)
+{
+    return PerfModel(mixtral8x7b(), t4Host(), {77.0, 418.0, gen},
+                     padded);
+}
+
+SearchConfig
+fastGrid()
+{
+    SearchConfig cfg;
+    cfg.microBatches = {8, 16, 32, 64};
+    cfg.numUbs = {1, 2, 4, 8, 16, 32, 64};
+    cfg.weightRatioSteps = 4;
+    cfg.kvRatioSteps = 2;
+    return cfg;
+}
+
+TEST(Optimizer, FindsFeasiblePolicy)
+{
+    PerfModel pm = s1Model();
+    auto best = searchPolicy(pm, SystemKind::MoeLightning, fastGrid());
+    ASSERT_TRUE(best.has_value());
+    EXPECT_NO_THROW(best->policy.validate());
+    EXPECT_TRUE(pm.feasible(best->policy));
+    EXPECT_GT(best->throughput, 0.0);
+}
+
+TEST(Optimizer, ChoosesCpuAttentionOnT4)
+{
+    // Paper §4: "for the memory-constrained scenarios we target, CPU
+    // attention is consistently better" => A_g = 0 under S1.
+    PerfModel pm = s1Model();
+    auto best = searchPolicy(pm, SystemKind::MoeLightning, fastGrid());
+    ASSERT_TRUE(best.has_value());
+    EXPECT_FALSE(best->policy.attnOnGpu);
+    EXPECT_TRUE(best->policy.ffnOnGpu);
+}
+
+TEST(Optimizer, BeatsHandPickedPolicies)
+{
+    PerfModel pm = s1Model();
+    auto best = searchPolicy(pm, SystemKind::MoeLightning, fastGrid());
+    ASSERT_TRUE(best.has_value());
+    for (std::size_t mu : {8u, 32u}) {
+        for (std::size_t nub : {2u, 16u}) {
+            Policy p;
+            p.microBatch = mu;
+            p.batchSize = mu * nub;
+            p.attnOnGpu = false;
+            p.ffnOnGpu = true;
+            if (!pm.feasible(p))
+                continue;
+            EXPECT_GE(best->throughput * (1 + 1e-9),
+                      pm.generationThroughput(
+                          p, SystemKind::MoeLightning));
+        }
+    }
+}
+
+TEST(Optimizer, RespectsAttentionRestriction)
+{
+    PerfModel pm = s1Model();
+    SearchConfig cfg = fastGrid();
+    cfg.allowCpuAttention = false;
+    auto best = searchPolicy(pm, SystemKind::MoeLightning, cfg);
+    ASSERT_TRUE(best.has_value());
+    EXPECT_TRUE(best->policy.attnOnGpu);
+}
+
+TEST(Optimizer, InfeasibleWhenHostTooSmall)
+{
+    HardwareConfig hw = t4Host();
+    hw.cpuMem = 8 * GiB;  // cannot even hold the weights
+    PerfModel pm(mixtral8x7b(), hw, {77.0, 418.0, 64.0}, false);
+    auto best = searchPolicy(pm, SystemKind::MoeLightning, fastGrid());
+    EXPECT_FALSE(best.has_value());
+}
+
+TEST(FlexGenPolicy, PrefersSmallMicroBatchBigBatch)
+{
+    // Tab. 5: FlexGen's own policy lands on a much smaller mu and a
+    // large N relative to the CGOPipe policy.
+    PerfModel pm = s1Model();
+    auto fg = flexGenPolicy(pm, /*cpuAttention=*/false);
+    auto ours = searchPolicy(pm, SystemKind::MoeLightning, fastGrid());
+    ASSERT_TRUE(fg.has_value());
+    ASSERT_TRUE(ours.has_value());
+    EXPECT_LE(fg->policy.microBatch, ours->policy.microBatch);
+    EXPECT_GT(fg->policy.numUbs(), ours->policy.numUbs());
+}
+
+TEST(FlexGenPolicy, CpuAttentionVariantIsSlower)
+{
+    // Paper: FlexGen(c) is consistently worse than FlexGen's GPU
+    // attention mode under their schedule (S3 vs S4).
+    PerfModel pm = s1Model();
+    auto s4 = flexGenPolicy(pm, false);
+    auto s3 = flexGenPolicy(pm, true);
+    ASSERT_TRUE(s4.has_value());
+    ASSERT_TRUE(s3.has_value());
+    EXPECT_GE(s4->throughput, s3->throughput);
+}
+
+TEST(DeepSpeedPolicy, SingleMicroBatchKvOnGpu)
+{
+    PerfModel pm = s1Model();
+    auto ds = deepSpeedPolicy(pm);
+    ASSERT_TRUE(ds.has_value());
+    EXPECT_EQ(ds->policy.batchSize, ds->policy.microBatch);
+    EXPECT_TRUE(ds->policy.attnOnGpu);
+    EXPECT_DOUBLE_EQ(ds->policy.kvOnGpu, 1.0);
+    EXPECT_DOUBLE_EQ(ds->policy.weightsOnGpu, 0.0);
+    // Its batch is tiny compared to offloading systems.
+    auto ours = searchPolicy(pm, SystemKind::MoeLightning, fastGrid());
+    ASSERT_TRUE(ours.has_value());
+    EXPECT_LT(ds->policy.batchSize, ours->policy.batchSize);
+}
+
+TEST(Optimizer, SystemRanking)
+{
+    // End-to-end modelled ordering on S1 must match the paper:
+    // MoE-Lightning(p) > FlexGen > {FlexGen(c), DeepSpeed}.
+    PerfModel pm = s1Model();
+    auto ours = searchPolicy(pm, SystemKind::MoeLightningPadded,
+                             fastGrid());
+    auto fg = flexGenPolicy(pm, false);
+    auto fgc = flexGenPolicy(pm, true);
+    auto ds = deepSpeedPolicy(pm);
+    ASSERT_TRUE(ours && fg && fgc && ds);
+    EXPECT_GT(ours->throughput, fg->throughput);
+    EXPECT_GT(fg->throughput, fgc->throughput);
+    EXPECT_GT(fg->throughput, ds->throughput);
+}
+
+} // namespace
+} // namespace moelight

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "runtime/arena.hh"
+
+namespace moelight {
+namespace {
+
+TEST(PageArena, AllocateReleaseCycle)
+{
+    PageArena a("t", 16, 4);
+    EXPECT_EQ(a.freePages(), 4u);
+    PageId p = a.allocate();
+    EXPECT_EQ(a.usedPages(), 1u);
+    a.page(p)[0] = 42.0f;
+    EXPECT_EQ(a.page(p)[0], 42.0f);
+    a.release(p);
+    EXPECT_EQ(a.freePages(), 4u);
+}
+
+TEST(PageArena, ExhaustionIsFatal)
+{
+    PageArena a("t", 8, 2);
+    a.allocate();
+    a.allocate();
+    EXPECT_THROW(a.allocate(), FatalError);
+}
+
+TEST(PageArena, DoubleFreePanics)
+{
+    PageArena a("t", 8, 2);
+    PageId p = a.allocate();
+    a.release(p);
+    EXPECT_THROW(a.release(p), PanicError);
+}
+
+TEST(PageArena, AccessUnallocatedPanics)
+{
+    PageArena a("t", 8, 2);
+    EXPECT_THROW(a.page(0), PanicError);
+    EXPECT_THROW(a.page(-1), PanicError);
+    EXPECT_THROW(a.page(5), PanicError);
+}
+
+TEST(PageArena, PagesAreDistinctStorage)
+{
+    PageArena a("t", 4, 3);
+    PageId p1 = a.allocate();
+    PageId p2 = a.allocate();
+    a.page(p1)[0] = 1.0f;
+    a.page(p2)[0] = 2.0f;
+    EXPECT_EQ(a.page(p1)[0], 1.0f);
+    EXPECT_EQ(a.page(p2)[0], 2.0f);
+}
+
+TEST(PageArena, GeometryChecks)
+{
+    EXPECT_THROW(PageArena("t", 0, 2), FatalError);
+    EXPECT_THROW(PageArena("t", 2, 0), FatalError);
+    PageArena a("name", 8, 2);
+    EXPECT_EQ(a.pageBytes(), 32u);
+    EXPECT_EQ(a.name(), "name");
+}
+
+} // namespace
+} // namespace moelight

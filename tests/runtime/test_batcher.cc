@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hh"
+#include "model/workload.hh"
+#include "runtime/batcher.hh"
+
+namespace moelight {
+namespace {
+
+std::vector<Request>
+makeRequests(std::initializer_list<int> lens, int gen = 16)
+{
+    std::vector<Request> v;
+    int id = 0;
+    for (int l : lens)
+        v.push_back({id++, l, gen});
+    return v;
+}
+
+std::size_t
+totalRequests(const BatchPlan &p)
+{
+    std::size_t n = p.aborted.size();
+    for (const auto &mb : p.microBatches)
+        n += mb.size();
+    return n;
+}
+
+TEST(Batcher, NoRequestLostOrDuplicated)
+{
+    auto reqs = makeRequests({10, 20, 30, 40, 50, 60, 70});
+    BatchPlan plan = batchRequests(reqs, 2, 2, 16, 100000);
+    EXPECT_EQ(totalRequests(plan), reqs.size());
+    std::vector<int> ids;
+    for (const auto &mb : plan.microBatches)
+        for (const auto &r : mb)
+            ids.push_back(r.id);
+    for (const auto &r : plan.aborted)
+        ids.push_back(r.id);
+    std::sort(ids.begin(), ids.end());
+    std::vector<int> expect(reqs.size());
+    std::iota(expect.begin(), expect.end(), 0);
+    EXPECT_EQ(ids, expect);
+}
+
+TEST(Batcher, RespectsMicroBatchCapacity)
+{
+    auto reqs = makeRequests({5, 5, 5, 5, 5, 5, 5, 5});
+    BatchPlan plan = batchRequests(reqs, 4, 2, 8, 100000);
+    for (const auto &mb : plan.microBatches)
+        EXPECT_LE(mb.size(), 2u);
+    EXPECT_EQ(plan.microBatches.size(), 4u);
+}
+
+TEST(Batcher, BalancesTokenCounts)
+{
+    // Longest-first into the emptiest partition keeps sums balanced:
+    // with lengths {100, 90, 10, 5} over 2 partitions of 2, pairs
+    // must be (100,5) and (90,10).
+    auto reqs = makeRequests({10, 100, 5, 90});
+    BatchPlan plan = batchRequests(reqs, 2, 2, 8, 100000);
+    ASSERT_EQ(plan.microBatches.size(), 2u);
+    std::vector<int> sums;
+    for (const auto &mb : plan.microBatches) {
+        int s = 0;
+        for (const auto &r : mb)
+            s += r.promptLen;
+        sums.push_back(s);
+    }
+    std::sort(sums.begin(), sums.end());
+    EXPECT_EQ(sums[0], 100);
+    EXPECT_EQ(sums[1], 105);
+}
+
+TEST(Batcher, AbortsWhenKvBudgetExceeded)
+{
+    // cache_size 50: a request of 40 prompt + 16 gen = 56 > 50.
+    auto reqs = makeRequests({40, 8});
+    BatchPlan plan = batchRequests(reqs, 1, 4, 16, 50);
+    ASSERT_EQ(plan.aborted.size(), 1u);
+    EXPECT_EQ(plan.aborted[0].promptLen, 40);
+    ASSERT_EQ(plan.microBatches.size(), 1u);
+    EXPECT_EQ(plan.microBatches[0][0].promptLen, 8);
+}
+
+TEST(Batcher, AbortsOverflowWhenAllPartitionsClosed)
+{
+    auto reqs = makeRequests({9, 8, 7, 6, 5});
+    // 2 partitions x 2 slots = 4 placed; 1 aborted.
+    BatchPlan plan = batchRequests(reqs, 2, 2, 4, 100000);
+    EXPECT_EQ(plan.aborted.size(), 1u);
+    EXPECT_EQ(plan.aborted[0].promptLen, 5);  // shortest goes last
+}
+
+TEST(Batcher, FlushesPartialPartitions)
+{
+    auto reqs = makeRequests({10, 20, 30});
+    BatchPlan plan = batchRequests(reqs, 2, 4, 8, 100000);
+    EXPECT_TRUE(plan.aborted.empty());
+    std::size_t placed = 0;
+    for (const auto &mb : plan.microBatches)
+        placed += mb.size();
+    EXPECT_EQ(placed, 3u);
+}
+
+TEST(Batcher, GenLenCountsInBudget)
+{
+    // Two requests of 10 prompt each; gen 100 tokens. Budget 130
+    // allows one (10 + 100 = 110) but not two (20 + 200 = 220).
+    auto reqs = makeRequests({10, 10}, 100);
+    BatchPlan plan = batchRequests(reqs, 1, 4, 100, 130);
+    EXPECT_EQ(plan.aborted.size(), 1u);
+}
+
+TEST(Batcher, RealWorkloadBalancedWithinTolerance)
+{
+    auto reqs = generateRequests(mtbench(64), 512, 9);
+    BatchPlan plan = batchRequests(reqs, 16, 32, 64, 1u << 20);
+    ASSERT_EQ(plan.microBatches.size(), 16u);
+    std::vector<double> sums;
+    for (const auto &mb : plan.microBatches) {
+        double s = 0;
+        for (const auto &r : mb)
+            s += r.promptLen;
+        sums.push_back(s);
+    }
+    double mx = *std::max_element(sums.begin(), sums.end());
+    double mn = *std::min_element(sums.begin(), sums.end());
+    EXPECT_LT(mx / mn, 1.2);
+}
+
+TEST(Batcher, RejectsBadArgs)
+{
+    auto reqs = makeRequests({1});
+    EXPECT_THROW(batchRequests(reqs, 0, 1, 1, 10), FatalError);
+    EXPECT_THROW(batchRequests(reqs, 1, 0, 1, 10), FatalError);
+}
+
+} // namespace
+} // namespace moelight

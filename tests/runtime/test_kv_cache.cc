@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "runtime/kv_cache.hh"
+
+namespace moelight {
+namespace {
+
+ModelConfig
+cfg()
+{
+    return tinyMixtral();  // nkv=2, headDim=8, l=4
+}
+
+TEST(KvCache, AppendGrowsContext)
+{
+    KvCacheManager kv(cfg(), 2, 4, 256);
+    std::vector<float> k(16, 1.0f), v(16, 2.0f);
+    EXPECT_EQ(kv.contextLen(0, 0), 0u);
+    kv.append(0, 0, k.data(), v.data());
+    kv.append(0, 0, k.data(), v.data());
+    EXPECT_EQ(kv.contextLen(0, 0), 2u);
+    EXPECT_EQ(kv.contextLen(0, 1), 0u);
+    EXPECT_EQ(kv.contextLen(1, 0), 0u);
+}
+
+TEST(KvCache, ViewReturnsAppendedValues)
+{
+    KvCacheManager kv(cfg(), 1, 2, 64);
+    std::vector<float> k(16), v(16);
+    Rng rng(3);
+    std::vector<std::vector<float>> ks, vs;
+    for (int t = 0; t < 5; ++t) {  // crosses page boundary (2/page)
+        for (std::size_t i = 0; i < 16; ++i) {
+            k[i] = static_cast<float>(rng.uniform(-1, 1));
+            v[i] = static_cast<float>(rng.uniform(-1, 1));
+        }
+        ks.push_back(k);
+        vs.push_back(v);
+        kv.append(0, 2, k.data(), v.data());
+    }
+    KvViewStorage storage;
+    kv.makeView(0, 2, storage);
+    EXPECT_EQ(storage.view.contextLen, 5u);
+    for (std::size_t t = 0; t < 5; ++t)
+        for (std::size_t h = 0; h < 2; ++h)
+            for (std::size_t d = 0; d < 8; ++d) {
+                EXPECT_EQ(storage.view.kAt(t, h)[d],
+                          ks[t][h * 8 + d]);
+                EXPECT_EQ(storage.view.vAt(t, h)[d],
+                          vs[t][h * 8 + d]);
+            }
+}
+
+TEST(KvCache, PagesAllocatedLazily)
+{
+    KvCacheManager kv(cfg(), 4, 4, 256);
+    EXPECT_EQ(kv.usedPages(), 0u);
+    std::vector<float> k(16), v(16);
+    kv.append(0, 0, k.data(), v.data());
+    EXPECT_EQ(kv.usedPages(), 2u);  // one K page + one V page
+    // 3 more tokens fit the same page.
+    for (int t = 0; t < 3; ++t)
+        kv.append(0, 0, k.data(), v.data());
+    EXPECT_EQ(kv.usedPages(), 2u);
+    kv.append(0, 0, k.data(), v.data());
+    EXPECT_EQ(kv.usedPages(), 4u);
+}
+
+TEST(KvCache, FreeSequenceReturnsPages)
+{
+    KvCacheManager kv(cfg(), 2, 2, 64);
+    std::vector<float> k(16), v(16);
+    for (std::size_t layer = 0; layer < 4; ++layer)
+        for (int t = 0; t < 3; ++t)
+            kv.append(1, layer, k.data(), v.data());
+    EXPECT_GT(kv.usedPages(), 0u);
+    kv.freeSequence(1);
+    EXPECT_EQ(kv.usedPages(), 0u);
+    EXPECT_EQ(kv.contextLen(1, 0), 0u);
+}
+
+TEST(KvCache, CapacityExhaustionIsFatal)
+{
+    KvCacheManager kv(cfg(), 1, 2, 4);  // tiny pool
+    std::vector<float> k(16), v(16);
+    EXPECT_THROW(
+        {
+            for (int t = 0; t < 64; ++t)
+                kv.append(0, 0, k.data(), v.data());
+        },
+        FatalError);
+}
+
+TEST(KvCache, OutOfRangePanics)
+{
+    KvCacheManager kv(cfg(), 1, 2, 16);
+    std::vector<float> k(16), v(16);
+    EXPECT_THROW(kv.append(1, 0, k.data(), v.data()), PanicError);
+    EXPECT_THROW(kv.append(0, 9, k.data(), v.data()), PanicError);
+}
+
+} // namespace
+} // namespace moelight

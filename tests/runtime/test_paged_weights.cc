@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/logging.hh"
+#include "runtime/paged_weights.hh"
+
+namespace moelight {
+namespace {
+
+struct Fixture
+{
+    ModelWeights weights = ModelWeights::random(tinyMixtral(), 77);
+    PageArena pinned{"pinned", 64 * 128, 4};
+    TransferEngine te{pinned};
+    PagedWeightStore store{weights, pinned, 2};
+};
+
+TEST(PagedWeights, ManifestCoversAllTensors)
+{
+    Fixture f;
+    auto manifest = f.store.layerManifest(0);
+    // 7 shared tensors + 3 per expert (ne=4).
+    EXPECT_EQ(manifest.size(), 7u + 3u * 4u);
+    EXPECT_EQ(f.store.pagesPerLayer(), manifest.size());
+}
+
+TEST(PagedWeights, LoadedTensorMatchesCpuSource)
+{
+    Fixture f;
+    f.store.loadLayer(1, f.te);
+    const float *wq = f.store.tensor(1, "wq");
+    const Tensor &src = f.weights.layers[1].wq;
+    EXPECT_EQ(std::memcmp(wq, src.data(), src.numel() * sizeof(float)),
+              0);
+}
+
+TEST(PagedWeights, UseBeforeTransferPanics)
+{
+    Fixture f;
+    EXPECT_THROW(f.store.tensor(0, "wq"), PanicError);
+    f.store.loadLayer(0, f.te);
+    EXPECT_NO_THROW(f.store.tensor(0, "wq"));
+    // Layer 2 shares layer 0's slot; after loading layer 2, layer 0
+    // accesses must fail again (stale slot detection).
+    f.store.loadLayer(2, f.te);
+    EXPECT_THROW(f.store.tensor(0, "wq"), PanicError);
+    EXPECT_NO_THROW(f.store.tensor(2, "wq"));
+}
+
+TEST(PagedWeights, DoubleBufferSlotsAreIndependent)
+{
+    Fixture f;
+    f.store.loadLayer(0, f.te);
+    f.store.loadLayer(1, f.te);
+    // Both resident at once (adjacent layers use different slots).
+    EXPECT_NO_THROW(f.store.tensor(0, "e0.w1"));
+    EXPECT_NO_THROW(f.store.tensor(1, "e0.w1"));
+    EXPECT_NE(f.store.pageOf(0, "e0.w1"), f.store.pageOf(1, "e0.w1"));
+}
+
+TEST(PagedWeights, ExpertResolverReadsPageTable)
+{
+    Fixture f;
+    f.store.loadLayer(0, f.te);
+    ExpertResolver resolve = f.store.resolver(0);
+    for (int e = 0; e < 4; ++e) {
+        ExpertWeights w = resolve(e);
+        const auto &lw = f.weights.layers[0];
+        auto idx = static_cast<std::size_t>(e);
+        EXPECT_EQ(std::memcmp(w.w1, lw.w1[idx].data(),
+                              lw.w1[idx].numel() * sizeof(float)),
+                  0);
+        EXPECT_EQ(std::memcmp(w.w2, lw.w2[idx].data(),
+                              lw.w2[idx].numel() * sizeof(float)),
+                  0);
+    }
+}
+
+TEST(PagedWeights, PartialPageLoadOnlyMarksThatPage)
+{
+    Fixture f;
+    f.store.loadPage(0, 0, f.te);  // attn_norm only
+    EXPECT_NO_THROW(f.store.tensor(0, "attn_norm"));
+    EXPECT_THROW(f.store.tensor(0, "wq"), PanicError);
+}
+
+TEST(PagedWeights, GpuArenaSizedForTwoSlots)
+{
+    Fixture f;
+    EXPECT_EQ(f.store.gpuArena().numPages(),
+              2 * f.store.pagesPerLayer());
+    EXPECT_EQ(f.store.gpuArena().freePages(), 0u);
+}
+
+TEST(PagedWeights, UnknownTensorPanics)
+{
+    Fixture f;
+    f.store.loadLayer(0, f.te);
+    EXPECT_THROW(f.store.tensor(0, "nope"), PanicError);
+}
+
+TEST(PagedWeights, RequiresTwoSlots)
+{
+    ModelWeights w = ModelWeights::random(tinyMixtral(), 1);
+    PageArena pinned("p", 64, 2);
+    EXPECT_THROW(PagedWeightStore(w, pinned, 1), FatalError);
+}
+
+} // namespace
+} // namespace moelight

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "runtime/kv_cache.hh"
+#include "runtime/quant_kv_cache.hh"
+
+namespace moelight {
+namespace {
+
+ModelConfig
+cfg()
+{
+    return tinyMixtral();  // nkv=2, headDim=8, l=4
+}
+
+std::vector<float>
+randTokenKv(Rng &rng)
+{
+    std::vector<float> v(16);
+    for (auto &x : v)
+        x = static_cast<float>(rng.uniform(-1, 1));
+    return v;
+}
+
+TEST(QuantKvCache, ContextAccounting)
+{
+    QuantizedKvCache kv(cfg(), 2, 4, QuantKind::Int8);
+    Rng rng(1);
+    auto k = randTokenKv(rng), v = randTokenKv(rng);
+    for (int t = 0; t < 9; ++t)
+        kv.append(0, 1, k.data(), v.data());
+    EXPECT_EQ(kv.contextLen(0, 1), 9u);
+    EXPECT_EQ(kv.contextLen(0, 0), 0u);
+    EXPECT_EQ(kv.contextLen(1, 1), 0u);
+}
+
+class QuantKvKind : public ::testing::TestWithParam<QuantKind>
+{
+};
+
+TEST_P(QuantKvKind, AttentionCloseToFloatCache)
+{
+    ModelConfig c = cfg();
+    QuantizedKvCache qkv(c, 1, 4, GetParam());
+    KvCacheManager fkv(c, 1, 4, 256);
+    Rng rng(7);
+
+    for (int t = 0; t < 11; ++t) {  // 2 closed pages + open page
+        auto k = randTokenKv(rng);
+        auto v = randTokenKv(rng);
+        qkv.append(0, 2, k.data(), v.data());
+        fkv.append(0, 2, k.data(), v.data());
+    }
+    std::vector<float> q(c.nq * c.headDim);
+    for (auto &x : q)
+        x = static_cast<float>(rng.uniform(-1, 1));
+
+    QuantKvViewStorage qs;
+    KvViewStorage fs;
+    qkv.makeView(0, 2, qs);
+    fkv.makeView(0, 2, fs);
+    ASSERT_EQ(qs.view.contextLen, fs.view.contextLen);
+
+    std::vector<float> out_q(q.size()), out_f(q.size());
+    float scale = 1.0f / std::sqrt(static_cast<float>(c.headDim));
+    gqaDecodeAttention(q.data(), c.nq, qs.view, out_q.data(), scale);
+    gqaDecodeAttention(q.data(), c.nq, fs.view, out_f.data(), scale);
+    float tol = GetParam() == QuantKind::Int8 ? 0.02f : 0.2f;
+    for (std::size_t i = 0; i < out_q.size(); ++i)
+        EXPECT_NEAR(out_q[i], out_f[i], tol) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, QuantKvKind,
+                         ::testing::Values(QuantKind::Int8,
+                                           QuantKind::Int4));
+
+TEST(QuantKvCache, CompressionApproachesNominalRatio)
+{
+    ModelConfig c = cfg();
+    QuantizedKvCache kv8(c, 1, 4, QuantKind::Int8);
+    QuantizedKvCache kv4(c, 1, 4, QuantKind::Int4);
+    Rng rng(9);
+    for (int t = 0; t < 64; ++t) {  // all pages closed
+        auto k = randTokenKv(rng);
+        auto v = randTokenKv(rng);
+        kv8.append(0, 0, k.data(), v.data());
+        kv4.append(0, 0, k.data(), v.data());
+    }
+    double r8 = static_cast<double>(kv8.storedBytes()) /
+                static_cast<double>(kv8.equivalentFloatBytes());
+    double r4 = static_cast<double>(kv4.storedBytes()) /
+                static_cast<double>(kv4.equivalentFloatBytes());
+    // int8: 1 byte payload + scale overhead vs 4 bytes.
+    EXPECT_LT(r8, 0.40);
+    EXPECT_GT(r8, 0.24);
+    // int4: half a byte + scale overhead.
+    EXPECT_LT(r4, 0.30);
+    EXPECT_GT(r4, 0.12);
+    EXPECT_LT(r4, r8);
+}
+
+TEST(QuantKvCache, OpenPageExactUntilClosed)
+{
+    // Tokens still in the open (float) page must be exact.
+    ModelConfig c = cfg();
+    QuantizedKvCache kv(c, 1, 8, QuantKind::Int4);
+    Rng rng(11);
+    auto k = randTokenKv(rng);
+    auto v = randTokenKv(rng);
+    kv.append(0, 0, k.data(), v.data());
+    QuantKvViewStorage s;
+    kv.makeView(0, 0, s);
+    for (std::size_t h = 0; h < c.nkv; ++h)
+        for (std::size_t d = 0; d < c.headDim; ++d) {
+            EXPECT_EQ(s.view.kAt(0, h)[d], k[h * c.headDim + d]);
+            EXPECT_EQ(s.view.vAt(0, h)[d], v[h * c.headDim + d]);
+        }
+}
+
+TEST(QuantKvCache, OutOfRangePanics)
+{
+    QuantizedKvCache kv(cfg(), 1, 4, QuantKind::Int8);
+    std::vector<float> k(16), v(16);
+    EXPECT_THROW(kv.append(1, 0, k.data(), v.data()), PanicError);
+    EXPECT_THROW(kv.append(0, 4, k.data(), v.data()), PanicError);
+}
+
+} // namespace
+} // namespace moelight

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "common/logging.hh"
+#include "runtime/stream_executor.hh"
+
+namespace moelight {
+namespace {
+
+TEST(StreamExecutor, RunsSubmittedTask)
+{
+    StreamExecutor ex;
+    std::atomic<int> counter{0};
+    auto ev = ex.submit(ResourceKind::Gpu, {}, [&] { ++counter; });
+    ev->wait();
+    EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(StreamExecutor, FifoWithinQueue)
+{
+    StreamExecutor ex;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        ex.submit(ResourceKind::Cpu, {}, [&order, i] {
+            order.push_back(i);
+        });
+    ex.sync();
+    ASSERT_EQ(order.size(), 16u);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(StreamExecutor, CrossQueueDependency)
+{
+    StreamExecutor ex;
+    std::atomic<int> stage{0};
+    auto a = ex.submit(ResourceKind::HtoD, {}, [&] {
+        int expected = 0;
+        stage.compare_exchange_strong(expected, 1);
+    });
+    auto b = ex.submit(ResourceKind::Gpu, {a}, [&] {
+        int expected = 1;
+        EXPECT_TRUE(stage.compare_exchange_strong(expected, 2));
+    });
+    b->wait();
+    EXPECT_EQ(stage.load(), 2);
+}
+
+TEST(StreamExecutor, DiamondAcrossFourQueues)
+{
+    StreamExecutor ex;
+    std::atomic<int> sum{0};
+    auto a = ex.submit(ResourceKind::Gpu, {}, [&] { sum += 1; });
+    auto b = ex.submit(ResourceKind::Cpu, {a}, [&] { sum += 10; });
+    auto c = ex.submit(ResourceKind::DtoH, {a}, [&] { sum += 100; });
+    auto d =
+        ex.submit(ResourceKind::HtoD, {b, c}, [&] { sum += 1000; });
+    d->wait();
+    EXPECT_EQ(sum.load(), 1111);
+}
+
+TEST(StreamExecutor, SyncRethrowsTaskError)
+{
+    StreamExecutor ex;
+    ex.submit(ResourceKind::Gpu, {}, [] {
+        fatal("boom");
+    });
+    EXPECT_THROW(ex.sync(), FatalError);
+    // Error cleared; executor still usable.
+    std::atomic<bool> ran{false};
+    ex.submit(ResourceKind::Gpu, {}, [&] { ran = true; });
+    EXPECT_NO_THROW(ex.sync());
+    EXPECT_TRUE(ran.load());
+}
+
+TEST(StreamExecutor, FailedTaskStillSignalsDependents)
+{
+    StreamExecutor ex;
+    auto bad = ex.submit(ResourceKind::Cpu, {}, [] { fatal("x"); });
+    std::atomic<bool> ran{false};
+    auto next = ex.submit(ResourceKind::Gpu, {bad}, [&] { ran = true; });
+    next->wait();  // must not deadlock
+    EXPECT_TRUE(ran.load());
+    EXPECT_THROW(ex.sync(), FatalError);
+}
+
+TEST(StreamExecutor, EventReadyNonBlocking)
+{
+    StreamExecutor ex;
+    auto gate = std::make_shared<TaskEvent>();
+    auto ev = ex.submit(ResourceKind::Gpu, {gate}, [] {});
+    EXPECT_FALSE(ev->ready());
+    gate->signal();
+    ev->wait();
+    EXPECT_TRUE(ev->ready());
+}
+
+TEST(StreamExecutor, ManyTasksDrainOnDestruction)
+{
+    std::atomic<int> n{0};
+    {
+        StreamExecutor ex;
+        for (int i = 0; i < 200; ++i)
+            ex.submit(static_cast<ResourceKind>(i % 4), {},
+                      [&] { ++n; });
+        ex.sync();
+    }
+    EXPECT_EQ(n.load(), 200);
+}
+
+} // namespace
+} // namespace moelight

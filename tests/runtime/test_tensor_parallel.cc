@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "kernels/attention.hh"
+#include "kernels/linalg.hh"
+#include "kernels/moe_ffn.hh"
+#include "kernels/ops.hh"
+#include "runtime/reference_engine.hh"
+#include "runtime/tensor_parallel.hh"
+
+namespace moelight {
+namespace {
+
+std::vector<float>
+randHidden(std::size_t h1, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> x(h1);
+    for (auto &v : x)
+        v = static_cast<float>(rng.uniform(-1, 1));
+    return x;
+}
+
+TEST(TensorParallel, ShardShapes)
+{
+    ModelWeights w = ModelWeights::random(tinyMixtral(), 3);
+    auto shards = shardModel(w, 2);
+    ASSERT_EQ(shards.size(), 2u);
+    for (const auto &s : shards) {
+        EXPECT_EQ(s.cfg.nq, w.cfg.nq / 2);
+        EXPECT_EQ(s.cfg.nkv, w.cfg.nkv / 2);
+        EXPECT_EQ(s.cfg.h2, w.cfg.h2 / 2);
+        EXPECT_EQ(s.layers.size(), w.cfg.l);
+        const auto &lw = s.layers[0];
+        EXPECT_EQ(lw.wq.dim(0), s.cfg.nq * s.cfg.headDim);
+        EXPECT_EQ(lw.wo.dim(1), s.cfg.nq * s.cfg.headDim);
+        EXPECT_EQ(lw.w1[0].dim(0), s.cfg.h2);
+        EXPECT_EQ(lw.w2[0].dim(1), s.cfg.h2);
+    }
+}
+
+TEST(TensorParallel, RejectsIndivisibleDegree)
+{
+    ModelWeights w = ModelWeights::random(tinyMixtral(), 3);
+    // tiny model: nkv = 2, so tp = 4 cannot split the KV heads.
+    EXPECT_THROW(shardModel(w, 4), FatalError);
+    EXPECT_THROW(shardModel(w, 0), FatalError);
+}
+
+/**
+ * The §4.3 functional claim: partial shard outputs sum to the
+ * unsharded computation, for both the attention block and the MoE
+ * FFN, across multiple decode positions (the shard-local KV caches
+ * together cover the full cache).
+ */
+class TpEquivalence : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(TpEquivalence, AttentionPartialsSumToFull)
+{
+    std::size_t tp = GetParam();
+    ModelConfig cfg = tinyMixtral();
+    ModelWeights w = ModelWeights::random(cfg, 17);
+    auto shards = shardModel(w, tp);
+
+    const std::size_t layer = 1;
+    const LayerWeights &lw = w.layers[layer];
+    std::size_t q_dim = cfg.nq * cfg.headDim;
+    std::size_t kv_dim = cfg.nkv * cfg.headDim;
+
+    // Full (unsharded) reference, token by token.
+    std::vector<float> k_hist, v_hist;
+    std::vector<std::vector<float>> shard_k(tp), shard_v(tp);
+
+    for (int t = 0; t < 5; ++t) {
+        std::vector<float> x =
+            randHidden(cfg.h1, 100 + static_cast<std::uint64_t>(t));
+
+        // Reference attention block output.
+        std::vector<float> norm(cfg.h1), q(q_dim), k(kv_dim),
+            v(kv_dim);
+        rmsNorm(x.data(), lw.attnNorm.data(), norm.data(), cfg.h1);
+        matmulTransposedB(norm.data(), lw.wq.data(), q.data(), 1,
+                          cfg.h1, q_dim);
+        matmulTransposedB(norm.data(), lw.wk.data(), k.data(), 1,
+                          cfg.h1, kv_dim);
+        matmulTransposedB(norm.data(), lw.wv.data(), v.data(), 1,
+                          cfg.h1, kv_dim);
+        k_hist.insert(k_hist.end(), k.begin(), k.end());
+        v_hist.insert(v_hist.end(), v.begin(), v.end());
+        std::size_t ctx = k_hist.size() / kv_dim;
+        const float *kp = k_hist.data();
+        const float *vp = v_hist.data();
+        KvView view;
+        view.kPages = {&kp, 1};
+        view.vPages = {&vp, 1};
+        view.pageTokens = ctx;
+        view.contextLen = ctx;
+        view.nKv = cfg.nkv;
+        view.headDim = cfg.headDim;
+        std::vector<float> attn(q_dim), full(cfg.h1);
+        gqaDecodeAttention(
+            q.data(), cfg.nq, view, attn.data(),
+            1.0f / std::sqrt(static_cast<float>(cfg.headDim)));
+        matmulTransposedB(attn.data(), lw.wo.data(), full.data(), 1,
+                          q_dim, cfg.h1);
+
+        // Sharded: sum of partials.
+        std::vector<float> sum(cfg.h1, 0.0f);
+        for (std::size_t r = 0; r < tp; ++r) {
+            auto partial = shardAttention(shards[r], layer, x,
+                                          shard_k[r], shard_v[r]);
+            accumulate(sum.data(), partial.data(), cfg.h1);
+        }
+        for (std::size_t i = 0; i < cfg.h1; ++i)
+            EXPECT_NEAR(sum[i], full[i], 1e-4f)
+                << "tp=" << tp << " t=" << t << " i=" << i;
+    }
+}
+
+TEST_P(TpEquivalence, MoeFfnPartialsSumToFull)
+{
+    std::size_t tp = GetParam();
+    ModelConfig cfg = tinyMixtral();
+    ModelWeights w = ModelWeights::random(cfg, 23);
+    auto shards = shardModel(w, tp);
+
+    const std::size_t layer = 2;
+    const LayerWeights &lw = w.layers[layer];
+    for (int trial = 0; trial < 4; ++trial) {
+        std::vector<float> x_norm =
+            randHidden(cfg.h1, 50 + static_cast<std::uint64_t>(trial));
+        std::vector<float> logits(cfg.ne);
+        matmulTransposedB(x_norm.data(), lw.router.data(),
+                          logits.data(), 1, cfg.h1, cfg.ne);
+        TokenRouting routing =
+            routeTopK({logits.data(), logits.size()}, cfg.k);
+
+        auto resolve = [&](int e) {
+            ExpertWeights ew;
+            auto idx = static_cast<std::size_t>(e);
+            ew.w1 = lw.w1[idx].data();
+            ew.w3 = lw.w3[idx].data();
+            ew.w2 = lw.w2[idx].data();
+            return ew;
+        };
+        std::vector<float> full(cfg.h1);
+        moeFfnForward(x_norm.data(), {&routing, 1}, resolve, 1, cfg.h1,
+                      cfg.h2, full.data());
+
+        std::vector<float> sum(cfg.h1, 0.0f);
+        for (std::size_t r = 0; r < tp; ++r) {
+            auto partial = shardMoeFfn(shards[r], layer, x_norm,
+                                       routing);
+            accumulate(sum.data(), partial.data(), cfg.h1);
+        }
+        for (std::size_t i = 0; i < cfg.h1; ++i)
+            EXPECT_NEAR(sum[i], full[i], 1e-4f)
+                << "tp=" << tp << " i=" << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, TpEquivalence,
+                         ::testing::Values(1u, 2u));
+
+} // namespace
+} // namespace moelight

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+#include "common/logging.hh"
+
+#include <numeric>
+#include <vector>
+
+#include "runtime/transfer_engine.hh"
+
+namespace moelight {
+namespace {
+
+TEST(TransferEngine, StagePreservesData)
+{
+    PageArena pinned("pinned", 8, 2);
+    TransferEngine te(pinned);
+    // 20 floats forces multiple pinned-page chunks (8 per hop).
+    std::vector<float> src(20), dst(20, 0.0f);
+    std::iota(src.begin(), src.end(), 1.0f);
+    te.stageToGpu(src.data(), dst.data(), src.size());
+    EXPECT_EQ(src, dst);
+}
+
+TEST(TransferEngine, StageAccountsBothHops)
+{
+    PageArena pinned("pinned", 8, 2);
+    TransferEngine te(pinned);
+    std::vector<float> src(10), dst(10);
+    te.stageToGpu(src.data(), dst.data(), 10);
+    TransferStats s = te.stats();
+    EXPECT_EQ(s.hostToPinned, 40u);
+    EXPECT_EQ(s.pinnedToGpu, 40u);
+    EXPECT_EQ(s.gpuToHost, 0u);
+}
+
+TEST(TransferEngine, StageReleasesPinnedPage)
+{
+    PageArena pinned("pinned", 8, 1);
+    TransferEngine te(pinned);
+    std::vector<float> src(16), dst(16);
+    te.stageToGpu(src.data(), dst.data(), 16);
+    // With one pinned page, a second transfer only works if the
+    // first released its staging page.
+    EXPECT_NO_THROW(te.stageToGpu(src.data(), dst.data(), 16));
+    EXPECT_EQ(pinned.freePages(), 1u);
+}
+
+TEST(TransferEngine, DirectCopiesAndCounters)
+{
+    PageArena pinned("pinned", 8, 2);
+    TransferEngine te(pinned);
+    std::vector<float> a{1, 2, 3}, b(3), c(3);
+    te.copyToHost(a.data(), b.data(), 3);
+    te.copyToGpu(b.data(), c.data(), 3);
+    EXPECT_EQ(c, a);
+    TransferStats s = te.stats();
+    EXPECT_EQ(s.gpuToHost, 12u);
+    EXPECT_EQ(s.hostToGpu, 12u);
+    te.resetStats();
+    s = te.stats();
+    EXPECT_EQ(s.gpuToHost, 0u);
+}
+
+TEST(TransferEngine, RejectsNegativeThrottle)
+{
+    PageArena pinned("pinned", 8, 2);
+    EXPECT_THROW(TransferEngine(pinned, -1.0), FatalError);
+}
+
+} // namespace
+} // namespace moelight

@@ -1,0 +1,130 @@
+/**
+ * Integration tests across the analytical model, the optimizers and
+ * the event-level simulator: the end-to-end system ranking the paper
+ * reports must emerge from the *simulated* schedules with each
+ * system's own searched policy — the same pipeline the fig7/tab4
+ * benches run, pinned here as a regression test.
+ */
+
+#include <gtest/gtest.h>
+
+#include "policy/optimizer.hh"
+#include "sched/schedules.hh"
+
+namespace moelight {
+namespace {
+
+SearchConfig
+fastGrid()
+{
+    SearchConfig cfg;
+    cfg.microBatches = {16, 32, 64, 96};
+    cfg.numUbs = {1, 2, 4, 8, 16, 32, 64};
+    cfg.weightRatioSteps = 4;
+    cfg.kvRatioSteps = 2;
+    return cfg;
+}
+
+double
+simTput(SystemKind sys, const PerfModel &pm)
+{
+    std::optional<PolicyChoice> pc;
+    switch (sys) {
+      case SystemKind::FlexGen:
+        pc = flexGenPolicy(pm, false);
+        break;
+      case SystemKind::FlexGenC:
+        pc = flexGenPolicy(pm, true);
+        break;
+      case SystemKind::DeepSpeed:
+        pc = deepSpeedPolicy(pm);
+        break;
+      default:
+        pc = searchPolicy(pm, sys, fastGrid());
+        break;
+    }
+    if (!pc)
+        return 0.0;
+    ScheduleOptions opt;
+    opt.decodeSteps = 3;
+    opt.layers = 4;
+    return simulateThroughput(sys, pm, pc->policy, opt).tokensPerSec;
+}
+
+class SystemOrdering : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SystemOrdering, PaperRankingHoldsOnS1)
+{
+    int gen = GetParam();
+    PerfModel pm(mixtral8x7b(), t4Host(),
+                 {77.0, 418.0, static_cast<double>(gen)}, true);
+    double ml = simTput(SystemKind::MoeLightningPadded, pm);
+    double fg = simTput(SystemKind::FlexGen, pm);
+    double fgc = simTput(SystemKind::FlexGenC, pm);
+    double ds = simTput(SystemKind::DeepSpeed, pm);
+    EXPECT_GT(ml, fg) << "gen=" << gen;
+    EXPECT_GE(fg, fgc) << "gen=" << gen;
+    EXPECT_GT(fg, ds) << "gen=" << gen;
+}
+
+INSTANTIATE_TEST_SUITE_P(GenLens, SystemOrdering,
+                         ::testing::Values(32, 128, 256));
+
+TEST(SystemOrdering, UnpaddedBeatsPadded)
+{
+    // Fig. 7's MoE-Lightning vs MoE-Lightning(p) gap: variable-length
+    // batching avoids the padded KV and attention overheads.
+    WorkloadShape w{77.0, 418.0, 128.0};
+    PerfModel unpadded(mixtral8x7b(), t4Host(), w, false);
+    PerfModel padded(mixtral8x7b(), t4Host(), w, true);
+    double ml = simTput(SystemKind::MoeLightning, unpadded);
+    double mlp = simTput(SystemKind::MoeLightningPadded, padded);
+    EXPECT_GT(ml, mlp);
+}
+
+TEST(SystemOrdering, SuperLinearTensorParallelScaling)
+{
+    // S6 -> S7 (paper §5.3): doubling the GPUs more than doubles
+    // MoE-Lightning's simulated throughput.
+    WorkloadShape w{77.0, 418.0, 64.0};
+    Setting s6 = settingS6(), s7 = settingS7();
+    PerfModel pm2(s6.model, s6.hw, w, true);
+    PerfModel pm4(s7.model, s7.hw, w, true);
+    double a = simTput(SystemKind::MoeLightningPadded, pm2);
+    double b = simTput(SystemKind::MoeLightningPadded, pm4);
+    EXPECT_GT(b, 2.0 * a);
+}
+
+TEST(SystemOrdering, SimAgreesWithClosedFormRanking)
+{
+    // For a fixed policy, the simulator and the Eq. 12-based closed
+    // forms must rank the CPU-attention schedules identically.
+    PerfModel pm(mixtral8x7b(), t4Host(), {1693.0, 1984.0, 64.0},
+                 true);
+    Policy p;
+    p.batchSize = 512;
+    p.microBatch = 64;
+    p.attnOnGpu = false;
+    p.ffnOnGpu = true;
+    ScheduleOptions opt;
+    opt.decodeSteps = 3;
+    opt.layers = 4;
+    std::vector<SystemKind> systems{SystemKind::MoeLightning,
+                                    SystemKind::FastDecode,
+                                    SystemKind::FlexGenC};
+    std::vector<double> sim_step, model_step;
+    for (SystemKind sys : systems) {
+        sim_step.push_back(
+            simulateThroughput(sys, pm, p, opt).decodeStep);
+        model_step.push_back(pm.layerDecode(p, sys).total);
+    }
+    for (std::size_t i = 0; i + 1 < systems.size(); ++i) {
+        EXPECT_LE(sim_step[i], sim_step[i + 1] * 1.001);
+        EXPECT_LE(model_step[i], model_step[i + 1] * 1.001);
+    }
+}
+
+} // namespace
+} // namespace moelight

@@ -1,0 +1,151 @@
+/**
+ * Property-based tests for the discrete-event simulator over random
+ * DAGs: makespan lower bounds (critical path, per-resource load),
+ * trace consistency (exclusivity, dependency order), determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/rng.hh"
+#include "sim/simulator.hh"
+
+namespace moelight {
+namespace {
+
+struct RandomDag
+{
+    TaskGraph graph;
+    std::vector<Seconds> durations;
+    std::vector<std::vector<TaskId>> deps;
+    std::vector<ResourceKind> resources;
+};
+
+RandomDag
+makeRandomDag(std::uint64_t seed, std::size_t n)
+{
+    Rng rng(seed);
+    RandomDag dag;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::vector<TaskId> deps;
+        // Up to 3 random earlier tasks as dependencies.
+        std::size_t k = static_cast<std::size_t>(
+            rng.uniformInt(0, std::min<std::int64_t>(3,
+                static_cast<std::int64_t>(i))));
+        for (std::size_t d = 0; d < k; ++d)
+            deps.push_back(static_cast<TaskId>(rng.uniformInt(
+                0, static_cast<std::int64_t>(i) - 1)));
+        std::sort(deps.begin(), deps.end());
+        deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+        auto res = static_cast<ResourceKind>(rng.uniformInt(0, 3));
+        Seconds dur = rng.uniform(0.001, 0.1);
+        int prio = static_cast<int>(rng.uniformInt(0, 2));
+        dag.graph.add(res, dur, deps, "t" + std::to_string(i), prio);
+        dag.durations.push_back(dur);
+        dag.deps.push_back(deps);
+        dag.resources.push_back(res);
+    }
+    return dag;
+}
+
+/** Longest dependency chain (ignoring resource contention). */
+Seconds
+criticalPath(const RandomDag &dag)
+{
+    std::vector<Seconds> finish(dag.durations.size(), 0.0);
+    for (std::size_t i = 0; i < dag.durations.size(); ++i) {
+        Seconds start = 0.0;
+        for (TaskId d : dag.deps[i])
+            start = std::max(start,
+                             finish[static_cast<std::size_t>(d)]);
+        finish[i] = start + dag.durations[i];
+    }
+    return *std::max_element(finish.begin(), finish.end());
+}
+
+class SimProperties : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SimProperties, MakespanAtLeastCriticalPath)
+{
+    RandomDag dag = makeRandomDag(GetParam(), 120);
+    SimResult r = simulate(dag.graph);
+    // Allow 1ns-per-task rounding slack.
+    EXPECT_GE(toSeconds(r.makespan) + 1e-6,
+              criticalPath(dag));
+}
+
+TEST_P(SimProperties, MakespanAtLeastPerResourceLoad)
+{
+    RandomDag dag = makeRandomDag(GetParam() + 1000, 120);
+    SimResult r = simulate(dag.graph);
+    std::array<Seconds, kNumResources> load{};
+    for (std::size_t i = 0; i < dag.durations.size(); ++i)
+        load[static_cast<std::size_t>(dag.resources[i])] +=
+            dag.durations[i];
+    for (std::size_t res = 0; res < kNumResources; ++res)
+        EXPECT_GE(toSeconds(r.makespan) + 1e-6, load[res]);
+}
+
+TEST_P(SimProperties, ResourcesNeverDoubleBooked)
+{
+    RandomDag dag = makeRandomDag(GetParam() + 2000, 100);
+    SimResult r = simulate(dag.graph);
+    std::array<std::vector<std::pair<SimTime, SimTime>>,
+               kNumResources>
+        spans;
+    for (const auto &e : r.trace)
+        spans[static_cast<std::size_t>(e.resource)].push_back(
+            {e.start, e.end});
+    for (auto &v : spans) {
+        std::sort(v.begin(), v.end());
+        for (std::size_t i = 1; i < v.size(); ++i)
+            EXPECT_GE(v[i].first, v[i - 1].second);
+    }
+}
+
+TEST_P(SimProperties, DependenciesRespectedInTrace)
+{
+    RandomDag dag = makeRandomDag(GetParam() + 3000, 100);
+    SimResult r = simulate(dag.graph);
+    std::map<std::string, std::pair<SimTime, SimTime>> when;
+    for (const auto &e : r.trace)
+        when[e.label] = {e.start, e.end};
+    for (std::size_t i = 0; i < dag.deps.size(); ++i) {
+        auto it = when.find("t" + std::to_string(i));
+        if (it == when.end())
+            continue;  // zero-duration tasks are not traced
+        for (TaskId d : dag.deps[i]) {
+            auto jt = when.find(
+                "t" + std::to_string(static_cast<std::size_t>(d)));
+            if (jt == when.end())
+                continue;
+            EXPECT_GE(it->second.first, jt->second.second)
+                << "t" << i << " started before dep t" << d;
+        }
+    }
+}
+
+TEST_P(SimProperties, Deterministic)
+{
+    RandomDag a = makeRandomDag(GetParam() + 4000, 80);
+    RandomDag b = makeRandomDag(GetParam() + 4000, 80);
+    SimResult ra = simulate(a.graph);
+    SimResult rb = simulate(b.graph);
+    EXPECT_EQ(ra.makespan, rb.makespan);
+    ASSERT_EQ(ra.trace.size(), rb.trace.size());
+    for (std::size_t i = 0; i < ra.trace.size(); ++i) {
+        EXPECT_EQ(ra.trace[i].label, rb.trace[i].label);
+        EXPECT_EQ(ra.trace[i].start, rb.trace[i].start);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimProperties,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u,
+                                           8u));
+
+} // namespace
+} // namespace moelight

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "sim/simulator.hh"
+
+namespace moelight {
+namespace {
+
+TEST(Simulator, EmptyGraph)
+{
+    TaskGraph g;
+    SimResult r = simulate(g);
+    EXPECT_EQ(r.makespan, 0);
+}
+
+TEST(Simulator, SerialChainSumsDurations)
+{
+    TaskGraph g;
+    TaskId a = g.add(ResourceKind::Gpu, 1.0, {}, "a");
+    TaskId b = g.add(ResourceKind::Cpu, 2.0, {a}, "b");
+    g.add(ResourceKind::Gpu, 3.0, {b}, "c");
+    SimResult r = simulate(g);
+    EXPECT_EQ(r.makespan, toSimTime(6.0));
+}
+
+TEST(Simulator, IndependentTasksOnDistinctResourcesOverlap)
+{
+    TaskGraph g;
+    g.add(ResourceKind::Gpu, 2.0, {}, "g");
+    g.add(ResourceKind::Cpu, 2.0, {}, "c");
+    g.add(ResourceKind::HtoD, 2.0, {}, "h");
+    SimResult r = simulate(g);
+    EXPECT_EQ(r.makespan, toSimTime(2.0));
+    EXPECT_NEAR(r.utilization[0], 1.0, 1e-9);
+    EXPECT_NEAR(r.utilization[1], 1.0, 1e-9);
+}
+
+TEST(Simulator, SameResourceSerializes)
+{
+    TaskGraph g;
+    g.add(ResourceKind::Gpu, 1.5, {}, "a");
+    g.add(ResourceKind::Gpu, 1.5, {}, "b");
+    SimResult r = simulate(g);
+    EXPECT_EQ(r.makespan, toSimTime(3.0));
+}
+
+TEST(Simulator, PriorityPicksLowerValueFirst)
+{
+    // Both ready at t=0 on the same resource; the high-priority task
+    // (lower value) must run first even though it was added later.
+    TaskGraph g;
+    g.add(ResourceKind::HtoD, 1.0, {}, "weights", /*priority=*/1);
+    g.add(ResourceKind::HtoD, 1.0, {}, "hidden", /*priority=*/0);
+    SimResult r = simulate(g);
+    ASSERT_EQ(r.trace.size(), 2u);
+    EXPECT_EQ(r.trace[0].label, "hidden");
+    EXPECT_EQ(r.trace[1].label, "weights");
+}
+
+TEST(Simulator, NonPreemptive)
+{
+    // A long low-priority task that is already running cannot be
+    // preempted by a late-arriving high-priority task.
+    TaskGraph g;
+    g.add(ResourceKind::HtoD, 10.0, {}, "w", 1);
+    TaskId trigger = g.add(ResourceKind::Gpu, 1.0, {}, "t");
+    g.add(ResourceKind::HtoD, 1.0, {trigger}, "h", 0);
+    SimResult r = simulate(g);
+    EXPECT_EQ(r.makespan, toSimTime(11.0));
+}
+
+TEST(Simulator, DiamondDependency)
+{
+    TaskGraph g;
+    TaskId a = g.add(ResourceKind::Gpu, 1.0, {}, "a");
+    TaskId b = g.add(ResourceKind::Cpu, 2.0, {a}, "b");
+    TaskId c = g.add(ResourceKind::HtoD, 3.0, {a}, "c");
+    g.add(ResourceKind::Gpu, 1.0, {b, c}, "d");
+    SimResult r = simulate(g);
+    EXPECT_EQ(r.makespan, toSimTime(5.0));
+}
+
+TEST(Simulator, StepFinishTracksLastTaskOfStep)
+{
+    TaskGraph g;
+    TaskId a = g.add(ResourceKind::Gpu, 1.0, {}, "s0", 0, 0);
+    TaskId b = g.add(ResourceKind::Gpu, 1.0, {a}, "s1a", 0, 1);
+    g.add(ResourceKind::Gpu, 1.0, {b}, "s1b", 0, 1);
+    SimResult r = simulate(g);
+    ASSERT_EQ(r.stepFinish.size(), 2u);
+    EXPECT_EQ(r.stepFinish[0], toSimTime(1.0));
+    EXPECT_EQ(r.stepFinish[1], toSimTime(3.0));
+}
+
+TEST(Simulator, SteadyStepTime)
+{
+    TaskGraph g;
+    TaskId prev = -1;
+    for (int s = 0; s < 4; ++s) {
+        std::vector<TaskId> deps;
+        if (prev >= 0)
+            deps.push_back(prev);
+        prev = g.add(ResourceKind::Gpu, 2.0, deps,
+                     "s" + std::to_string(s), 0, s);
+    }
+    SimResult r = simulate(g);
+    EXPECT_NEAR(r.steadyStepTime(2), 2.0, 1e-9);
+}
+
+TEST(Simulator, RejectsUnknownDependency)
+{
+    TaskGraph g;
+    EXPECT_THROW(g.add(ResourceKind::Gpu, 1.0, {5}, "bad"),
+                 PanicError);
+}
+
+TEST(Simulator, RejectsNegativeDuration)
+{
+    TaskGraph g;
+    EXPECT_THROW(g.add(ResourceKind::Gpu, -1.0, {}, "bad"),
+                 FatalError);
+}
+
+TEST(Simulator, GanttRendersAllResources)
+{
+    TaskGraph g;
+    g.add(ResourceKind::Gpu, 1.0, {}, "A");
+    g.add(ResourceKind::Cpu, 1.0, {}, "B");
+    SimResult r = simulate(g);
+    std::string chart = renderGantt(r, 40);
+    EXPECT_NE(chart.find("GPU"), std::string::npos);
+    EXPECT_NE(chart.find("DtoH"), std::string::npos);
+    EXPECT_NE(chart.find('A'), std::string::npos);
+}
+
+TEST(Simulator, UtilizationBounded)
+{
+    TaskGraph g;
+    TaskId a = g.add(ResourceKind::Gpu, 1.0, {}, "a");
+    g.add(ResourceKind::Gpu, 1.0, {a}, "b");
+    g.add(ResourceKind::Cpu, 1.0, {a}, "c");
+    SimResult r = simulate(g);
+    for (double u : r.utilization) {
+        EXPECT_GE(u, 0.0);
+        EXPECT_LE(u, 1.0 + 1e-12);
+    }
+}
+
+} // namespace
+} // namespace moelight

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/logging.hh"
+#include "sim/trace_export.hh"
+
+namespace moelight {
+namespace {
+
+SimResult
+smallTrace()
+{
+    TaskGraph g;
+    TaskId a = g.add(ResourceKind::Gpu, 1.0, {}, "PreAttn(L0,U0)");
+    TaskId b = g.add(ResourceKind::DtoH, 0.5, {a}, "QKV(L0,U0)");
+    g.add(ResourceKind::Cpu, 2.0, {b}, "Attn \"quoted\\label");
+    return simulate(g);
+}
+
+TEST(TraceExport, ContainsEventsAndThreadNames)
+{
+    std::string json = toChromeTrace(smallTrace(), "test-proc");
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("PreAttn(L0,U0)"), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"GPU\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"DtoH\""), std::string::npos);
+    EXPECT_NE(json.find("test-proc"), std::string::npos);
+    // Three X events for three tasks.
+    std::size_t count = 0, pos = 0;
+    while ((pos = json.find("\"ph\":\"X\"", pos)) !=
+           std::string::npos) {
+        ++count;
+        ++pos;
+    }
+    EXPECT_EQ(count, 3u);
+}
+
+TEST(TraceExport, EscapesLabels)
+{
+    std::string json = toChromeTrace(smallTrace());
+    EXPECT_NE(json.find("\\\"quoted\\\\label"), std::string::npos);
+}
+
+TEST(TraceExport, BalancedBracesAndQuotes)
+{
+    std::string json = toChromeTrace(smallTrace());
+    long depth = 0;
+    std::size_t quotes = 0;
+    bool in_string = false;
+    for (std::size_t i = 0; i < json.size(); ++i) {
+        char c = json[i];
+        if (c == '"' && (i == 0 || json[i - 1] != '\\')) {
+            in_string = !in_string;
+            ++quotes;
+        }
+        if (in_string)
+            continue;
+        if (c == '{' || c == '[')
+            ++depth;
+        if (c == '}' || c == ']')
+            --depth;
+        EXPECT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+    EXPECT_EQ(quotes % 2, 0u);
+    EXPECT_FALSE(in_string);
+}
+
+TEST(TraceExport, WritesFile)
+{
+    std::string path = "/tmp/moelight_trace_test.json";
+    writeChromeTrace(smallTrace(), path);
+    std::ifstream f(path);
+    ASSERT_TRUE(f.good());
+    std::string content((std::istreambuf_iterator<char>(f)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_NE(content.find("traceEvents"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(TraceExport, RejectsUnwritablePath)
+{
+    EXPECT_THROW(
+        writeChromeTrace(smallTrace(), "/nonexistent-dir/x.json"),
+        FatalError);
+}
+
+} // namespace
+} // namespace moelight

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "tensor/tensor.hh"
+
+namespace moelight {
+namespace {
+
+TEST(Tensor, ShapeAndZeroInit)
+{
+    Tensor t({2, 3, 4});
+    EXPECT_EQ(t.rank(), 3u);
+    EXPECT_EQ(t.numel(), 24u);
+    EXPECT_EQ(t.dim(0), 2u);
+    EXPECT_EQ(t.dim(2), 4u);
+    for (float v : t.flat())
+        EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, RowMajorIndexing)
+{
+    Tensor t({2, 3});
+    t.at(1, 2) = 5.0f;
+    EXPECT_EQ(t.at(1 * 3 + 2), 5.0f);
+    EXPECT_EQ(t.row(1)[2], 5.0f);
+}
+
+TEST(Tensor, ThreeDimIndexing)
+{
+    Tensor t({2, 3, 4});
+    t.at(1, 2, 3) = 9.0f;
+    EXPECT_EQ(t.at((1 * 3 + 2) * 4 + 3), 9.0f);
+}
+
+TEST(Tensor, CloneIsDeep)
+{
+    Tensor a({4});
+    a.fill(2.0f);
+    Tensor b = a.clone();
+    b.at(0) = 7.0f;
+    EXPECT_EQ(a.at(0), 2.0f);
+    EXPECT_EQ(b.at(0), 7.0f);
+}
+
+TEST(Tensor, ReshapePreservesData)
+{
+    Tensor t({2, 6});
+    t.at(1, 1) = 3.0f;
+    t.reshape({3, 4});
+    EXPECT_EQ(t.dim(0), 3u);
+    EXPECT_EQ(t.at(1 * 4 + 3), 3.0f);
+}
+
+TEST(Tensor, ReshapeRejectsCountChange)
+{
+    Tensor t({2, 6});
+    EXPECT_THROW(t.reshape({5}), FatalError);
+}
+
+TEST(Tensor, RejectsZeroDim)
+{
+    EXPECT_THROW(Tensor({0, 3}), FatalError);
+}
+
+TEST(Tensor, RejectsRankFive)
+{
+    EXPECT_THROW(Tensor({1, 1, 1, 1, 1}), FatalError);
+}
+
+TEST(Tensor, MaxAbsDiff)
+{
+    Tensor a({3}), b({3});
+    a.fill(1.0f);
+    b.fill(1.0f);
+    b.at(2) = -1.0f;
+    EXPECT_FLOAT_EQ(a.maxAbsDiff(b), 2.0f);
+}
+
+TEST(Tensor, OutOfRangePanics)
+{
+    Tensor t({2, 2});
+    EXPECT_THROW(t.at(4), PanicError);
+    EXPECT_THROW(t.at(2, 0), PanicError);
+}
+
+TEST(Tensor, FillUniformInRange)
+{
+    Tensor t({64});
+    Rng rng(3);
+    fillUniform(t, rng, -0.5f, 0.5f);
+    bool nonzero = false;
+    for (float v : t.flat()) {
+        EXPECT_GE(v, -0.5f);
+        EXPECT_LT(v, 0.5f);
+        nonzero |= v != 0.0f;
+    }
+    EXPECT_TRUE(nonzero);
+}
+
+} // namespace
+} // namespace moelight
