@@ -11,14 +11,93 @@
 #ifndef MOELIGHT_BENCH_BENCH_UTIL_HH
 #define MOELIGHT_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
+#include <fstream>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "common/logging.hh"
 #include "policy/optimizer.hh"
 #include "sched/schedules.hh"
 
 namespace moelight {
 namespace bench {
+
+/**
+ * Machine-readable benchmark log: collects named records of numeric
+ * fields and writes them as a JSON document, so successive PRs can
+ * track the kernel perf trajectory (BENCH_kernels.json) without
+ * scraping stdout.
+ */
+class BenchJson
+{
+  public:
+    /** Start a record; field() calls attach to the latest record. */
+    BenchJson &
+    record(std::string name)
+    {
+        records_.push_back({std::move(name), {}});
+        return *this;
+    }
+
+    BenchJson &
+    field(std::string key, double value)
+    {
+        panicIf(records_.empty(), "BenchJson::field before record()");
+        records_.back().fields.emplace_back(std::move(key), value);
+        return *this;
+    }
+
+    /** Write all records to @p path (overwrites). */
+    void
+    write(const std::string &path) const
+    {
+        std::ofstream os(path);
+        panicIf(!os, "cannot open ", path, " for writing");
+        os << "{\n  \"records\": [\n";
+        for (std::size_t i = 0; i < records_.size(); ++i) {
+            const Record &r = records_[i];
+            os << "    {\"name\": \"" << r.name << "\"";
+            for (const auto &[k, v] : r.fields) {
+                char buf[64];
+                std::snprintf(buf, sizeof(buf), "%.6g", v);
+                os << ", \"" << k << "\": " << buf;
+            }
+            os << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
+        }
+        os << "  ]\n}\n";
+    }
+
+  private:
+    struct Record
+    {
+        std::string name;
+        std::vector<std::pair<std::string, double>> fields;
+    };
+    std::vector<Record> records_;
+};
+
+/**
+ * Wall-clock milliseconds for the best of @p reps runs of @p fn —
+ * best-of suppresses scheduler noise on shared hosts.
+ */
+template <typename Fn>
+double
+bestOfMs(int reps, Fn &&fn)
+{
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+        auto t0 = std::chrono::steady_clock::now();
+        fn();
+        auto t1 = std::chrono::steady_clock::now();
+        double ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        best = std::min(best, ms);
+    }
+    return best;
+}
 
 /** Fast-but-representative optimizer grid for the harnesses. */
 inline SearchConfig

@@ -24,14 +24,114 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_util.hh"
 #include "common/rng.hh"
 #include "common/table.hh"
 #include "kernels/attention.hh"
+#include "kernels/linalg.hh"
+#include "kernels/naive_kernels.hh"
+#include "kernels/paged_kv_fixture.hh"
 #include "perf/perf_model.hh"
 
 using namespace moelight;
 
 namespace {
+
+/**
+ * Before/after comparison of the hot kernels against the retained
+ * naive implementations, emitted to BENCH_kernels.json. The issue's
+ * acceptance bar: >=3x on CPU GQA attention at (mu=32, ctx=512),
+ * >=2x on matmulTransposedB at Mixtral-scaled-down shapes.
+ */
+void
+measureKernelSpeedups()
+{
+    bench::BenchJson json;
+    Table t({"kernel", "naive_ms", "optimized_ms", "speedup"});
+
+    // CPU GQA attention, scaled-down Mixtral heads (group = 4).
+    {
+        std::size_t mu = 32, ctx = 512;
+        std::size_t nq = 8, nkv = 2, hd = 32, page_tokens = 16;
+        Rng rng(1);
+        PagedKvFixture kv(ctx, nkv, hd, page_tokens, rng);
+        std::vector<float> q(mu * nq * hd), out(nq * hd);
+        for (auto &x : q)
+            x = static_cast<float>(rng.uniform(-1, 1));
+        std::vector<float> naive_scratch(ctx);
+        std::vector<float> opt_scratch(
+            gqaAttnScratchFloats(nq, nkv, ctx));
+        float scale = 0.125f;
+
+        double naive_ms = bench::bestOfMs(5, [&] {
+            for (std::size_t tok = 0; tok < mu; ++tok)
+                naive::gqaDecodeAttention(q.data() + tok * nq * hd, nq,
+                                          kv.view, out.data(), scale,
+                                          naive_scratch);
+            benchmark::DoNotOptimize(out.data());
+        });
+        double opt_ms = bench::bestOfMs(5, [&] {
+            for (std::size_t tok = 0; tok < mu; ++tok)
+                gqaDecodeAttention(q.data() + tok * nq * hd, nq,
+                                   kv.view, out.data(), scale,
+                                   opt_scratch);
+            benchmark::DoNotOptimize(out.data());
+        });
+        t.newRow()
+            .add("gqa_attention_mu32_ctx512")
+            .add(naive_ms, 3)
+            .add(opt_ms, 3)
+            .add(naive_ms / opt_ms, 2);
+        json.record("gqa_attention")
+            .field("mu", static_cast<double>(mu))
+            .field("ctx", static_cast<double>(ctx))
+            .field("naive_ms", naive_ms)
+            .field("optimized_ms", opt_ms)
+            .field("speedup", naive_ms / opt_ms);
+    }
+
+    // matmulTransposedB at Mixtral-scaled-down projection shapes
+    // (h1 4096 -> 256, h2 14336 -> 896; mu 32 rows).
+    for (auto [m, k, n, tag] :
+         {std::tuple<std::size_t, std::size_t, std::size_t,
+                     const char *>{32, 256, 896, "w1_mu32"},
+          {32, 896, 256, "w2_mu32"},
+          {1, 256, 896, "w1_mu1"}}) {
+        Rng rng(2);
+        std::vector<float> a(m * k), w(n * k), c(m * n);
+        for (auto &x : a)
+            x = static_cast<float>(rng.uniform(-1, 1));
+        for (auto &x : w)
+            x = static_cast<float>(rng.uniform(-1, 1));
+        double naive_ms = bench::bestOfMs(5, [&] {
+            naive::matmulTransposedB(a.data(), w.data(), c.data(), m, k,
+                                     n);
+            benchmark::DoNotOptimize(c.data());
+        });
+        double opt_ms = bench::bestOfMs(5, [&] {
+            matmulTransposedB(a.data(), w.data(), c.data(), m, k, n);
+            benchmark::DoNotOptimize(c.data());
+        });
+        std::string name = std::string("matmul_transposed_b_") + tag;
+        t.newRow()
+            .add(name)
+            .add(naive_ms, 3)
+            .add(opt_ms, 3)
+            .add(naive_ms / opt_ms, 2);
+        json.record(name)
+            .field("m", static_cast<double>(m))
+            .field("k", static_cast<double>(k))
+            .field("n", static_cast<double>(n))
+            .field("naive_ms", naive_ms)
+            .field("optimized_ms", opt_ms)
+            .field("speedup", naive_ms / opt_ms);
+    }
+
+    t.print(std::cout,
+            "Fig. 9 — measured kernel speedups vs retained naive");
+    json.write("BENCH_kernels.json");
+    std::cout << "wrote BENCH_kernels.json\n\n";
+}
 
 void
 printModelledGrid()
@@ -75,6 +175,7 @@ printModelledGrid()
 }
 
 /** Real CPU GQA kernel at scaled-down shapes. */
+template <bool Naive>
 void
 BM_CpuGqaAttention(benchmark::State &state)
 {
@@ -86,43 +187,75 @@ BM_CpuGqaAttention(benchmark::State &state)
     std::size_t page_tokens = 16;
 
     Rng rng(1);
-    std::size_t n_pages = (ctx + page_tokens - 1) / page_tokens;
-    std::vector<std::vector<float>> kp(n_pages), vp(n_pages);
-    std::vector<const float *> kptr, vptr;
-    for (std::size_t p = 0; p < n_pages; ++p) {
-        kp[p].resize(page_tokens * nkv * hd);
-        vp[p].resize(page_tokens * nkv * hd);
-        for (auto &x : kp[p])
-            x = static_cast<float>(rng.uniform(-1, 1));
-        for (auto &x : vp[p])
-            x = static_cast<float>(rng.uniform(-1, 1));
-        kptr.push_back(kp[p].data());
-        vptr.push_back(vp[p].data());
-    }
-    KvView view;
-    view.kPages = kptr;
-    view.vPages = vptr;
-    view.pageTokens = page_tokens;
-    view.contextLen = ctx;
-    view.nKv = nkv;
-    view.headDim = hd;
-
-    std::vector<float> q(mu * nq * hd), out(nq * hd), scratch(ctx);
+    PagedKvFixture kv(ctx, nkv, hd, page_tokens, rng);
+    std::vector<float> q(mu * nq * hd), out(nq * hd);
+    std::vector<float> scratch(
+        Naive ? ctx : gqaAttnScratchFloats(nq, nkv, ctx));
     for (auto &x : q)
         x = static_cast<float>(rng.uniform(-1, 1));
 
     for (auto _ : state) {
-        for (std::size_t t = 0; t < mu; ++t)
-            gqaDecodeAttention(q.data() + t * nq * hd, nq, view,
-                               out.data(), 0.125f, scratch);
+        for (std::size_t t = 0; t < mu; ++t) {
+            if constexpr (Naive)
+                naive::gqaDecodeAttention(q.data() + t * nq * hd, nq,
+                                          kv.view, out.data(), 0.125f,
+                                          scratch);
+            else
+                gqaDecodeAttention(q.data() + t * nq * hd, nq, kv.view,
+                                   out.data(), 0.125f, scratch);
+        }
         benchmark::DoNotOptimize(out.data());
     }
     state.counters["tokens_x_ctx"] =
         static_cast<double>(mu) * static_cast<double>(ctx);
 }
 
-BENCHMARK(BM_CpuGqaAttention)
+BENCHMARK(BM_CpuGqaAttention<false>)
+    ->Name("BM_CpuGqaAttention")
     ->ArgsProduct({{8, 16, 32}, {64, 128, 256, 512}})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_CpuGqaAttention<true>)
+    ->Name("BM_CpuGqaAttentionNaive")
+    ->ArgsProduct({{8, 16, 32}, {64, 128, 256, 512}})
+    ->Unit(benchmark::kMillisecond);
+
+/** B-transposed GEMM, optimized vs naive, Mixtral-scaled-down. */
+template <bool Naive>
+void
+BM_MatmulTransposedB(benchmark::State &state)
+{
+    std::size_t m = static_cast<std::size_t>(state.range(0));
+    std::size_t k = static_cast<std::size_t>(state.range(1));
+    std::size_t n = static_cast<std::size_t>(state.range(2));
+    Rng rng(2);
+    std::vector<float> a(m * k), w(n * k), c(m * n);
+    for (auto &x : a)
+        x = static_cast<float>(rng.uniform(-1, 1));
+    for (auto &x : w)
+        x = static_cast<float>(rng.uniform(-1, 1));
+    for (auto _ : state) {
+        if constexpr (Naive)
+            naive::matmulTransposedB(a.data(), w.data(), c.data(), m, k,
+                                     n);
+        else
+            matmulTransposedB(a.data(), w.data(), c.data(), m, k, n);
+        benchmark::DoNotOptimize(c.data());
+    }
+}
+
+BENCHMARK(BM_MatmulTransposedB<false>)
+    ->Name("BM_MatmulTransposedB")
+    ->Args({32, 256, 896})
+    ->Args({32, 896, 256})
+    ->Args({1, 256, 896})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_MatmulTransposedB<true>)
+    ->Name("BM_MatmulTransposedBNaive")
+    ->Args({32, 256, 896})
+    ->Args({32, 896, 256})
+    ->Args({1, 256, 896})
     ->Unit(benchmark::kMillisecond);
 
 } // namespace
@@ -131,6 +264,7 @@ int
 main(int argc, char **argv)
 {
     printModelledGrid();
+    measureKernelSpeedups();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -60,6 +60,10 @@ main()
     // balanced groups the batcher produced.
     EngineConfig ec;
     ec.microBatch = ubs / 2;
+    // Multi-core host attention (the paper's 24-core MKL kernel):
+    // tokens of a micro-batch fan out across the pool with per-worker
+    // scratch; results are identical to the single-threaded path.
+    ec.cpuAttnThreads = 2;
     PipelinedEngine engine(weights, ec);
     Rng rng(5);
 

@@ -1,5 +1,6 @@
 #include "common/thread_pool.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 
@@ -7,33 +8,43 @@
 
 namespace moelight {
 
-/** One parallelFor invocation's shared state. */
+/** One dispatch invocation's shared state. */
 struct ThreadPool::Batch
 {
-    std::size_t n = 0;
-    const std::function<void(std::size_t)> *body = nullptr;
-    std::atomic<std::size_t> next{0};
-    std::atomic<std::size_t> done{0};
+    std::size_t n = 0;       ///< total indices
+    std::size_t grain = 1;   ///< indices per chunk
+    std::size_t nChunks = 0;
+    const ChunkBody *body = nullptr;
+    std::atomic<std::size_t> nextChunk{0};
+    std::atomic<std::size_t> doneChunks{0};
+    /** Pool workers currently between entering and leaving run().
+     *  Incremented under the pool mutex while the batch is still
+     *  published; the dispatcher must not destroy the batch until
+     *  this drains, or a straggler that claimed no chunk would
+     *  touch freed stack memory. */
+    std::atomic<std::size_t> workersIn{0};
     std::mutex mu;
     std::condition_variable cv;
     std::exception_ptr error;
 
-    /** Claim and run indices until exhausted. */
+    /** Claim and run chunks until exhausted. */
     void
-    run()
+    run(std::size_t worker)
     {
         for (;;) {
-            std::size_t i = next.fetch_add(1);
-            if (i >= n)
+            std::size_t c = nextChunk.fetch_add(1);
+            if (c >= nChunks)
                 break;
+            std::size_t begin = c * grain;
+            std::size_t end = std::min(n, begin + grain);
             try {
-                (*body)(i);
+                (*body)(begin, end, worker);
             } catch (...) {
                 std::lock_guard<std::mutex> lk(mu);
                 if (!error)
                     error = std::current_exception();
             }
-            if (done.fetch_add(1) + 1 == n) {
+            if (doneChunks.fetch_add(1) + 1 == nChunks) {
                 std::lock_guard<std::mutex> lk(mu);
                 cv.notify_all();
             }
@@ -48,7 +59,7 @@ ThreadPool::ThreadPool(std::size_t threads)
         threads = hc > 0 ? hc : 1;
     }
     for (std::size_t i = 0; i < threads; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] { workerLoop(i + 1); });
 }
 
 ThreadPool::~ThreadPool()
@@ -64,7 +75,7 @@ ThreadPool::~ThreadPool()
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(std::size_t slot)
 {
     for (;;) {
         Batch *batch = nullptr;
@@ -76,8 +87,14 @@ ThreadPool::workerLoop()
                 return;
             batch = current_;
             gen = generation_;
+            batch->workersIn.fetch_add(1);
         }
-        batch->run();
+        batch->run(slot);
+        {
+            std::lock_guard<std::mutex> lk(batch->mu);
+            batch->workersIn.fetch_sub(1);
+            batch->cv.notify_all();
+        }
         {
             // Wait for this batch to be retired before re-arming, so
             // a worker doesn't re-enter a finished batch. Compare
@@ -93,35 +110,57 @@ ThreadPool::workerLoop()
 }
 
 void
-ThreadPool::parallelFor(std::size_t n,
-                        const std::function<void(std::size_t)> &body)
+ThreadPool::parallelForChunked(std::size_t n, std::size_t grain,
+                               const ChunkBody &body)
 {
     if (n == 0)
         return;
     Batch batch;
     batch.n = n;
+    batch.grain = std::max<std::size_t>(1, grain);
+    batch.nChunks = (n + batch.grain - 1) / batch.grain;
     batch.body = &body;
     {
         std::lock_guard<std::mutex> lk(mu_);
         panicIf(current_ != nullptr,
-                "nested/concurrent parallelFor is not supported");
+                "nested/concurrent pool dispatch is not supported");
         current_ = &batch;
         ++generation_;
     }
     cv_.notify_all();
-    batch.run();  // caller participates
-    {
-        std::unique_lock<std::mutex> lk(batch.mu);
-        batch.cv.wait(lk, [&] { return batch.done.load() >= n; });
-    }
+    batch.run(0);  // caller participates as slot 0
+    // batch.run returning means every chunk has been *claimed*, so
+    // unpublishing now strands no work — and no further worker can
+    // enter the batch. Then wait for the claimed chunks to finish
+    // AND for every worker that entered run() to leave it; a
+    // straggler that entered but claimed nothing must be out before
+    // the stack-allocated batch is destroyed.
     {
         std::lock_guard<std::mutex> lk(mu_);
         current_ = nullptr;
         ++generation_;
     }
     cv_.notify_all();
+    {
+        std::unique_lock<std::mutex> lk(batch.mu);
+        batch.cv.wait(lk, [&] {
+            return batch.doneChunks.load() >= batch.nChunks &&
+                   batch.workersIn.load() == 0;
+        });
+    }
     if (batch.error)
         std::rethrow_exception(batch.error);
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &body)
+{
+    parallelForChunked(
+        n, 1, [&body](std::size_t begin, std::size_t end, std::size_t) {
+            for (std::size_t i = begin; i < end; ++i)
+                body(i);
+        });
 }
 
 } // namespace moelight

@@ -1,9 +1,19 @@
 /**
  * @file
- * Minimal fixed-size thread pool with a blocking parallelFor. The
- * paper's CPU GQA kernel runs across the host's 24 cores; the
+ * Minimal fixed-size thread pool with blocking parallel-for dispatch.
+ * The paper's CPU GQA kernel runs across the host's 24 cores; the
  * runtime uses this pool to parallelize attention across the tokens
- * of a micro-batch.
+ * of a micro-batch and GEMMs across row blocks.
+ *
+ * Two dispatch shapes:
+ *  - parallelFor(n, body): one index per claim. Fine when each index
+ *    is heavy (a whole token's attention).
+ *  - parallelForChunked(n, grain, body): workers claim contiguous
+ *    [begin, end) ranges of up to `grain` indices with a single
+ *    atomic RMW, and the body receives a stable worker slot index in
+ *    [0, maxParallelism()) so callers can reuse per-worker scratch
+ *    buffers instead of allocating per index (the chunked work-
+ *    distribution idiom of rapidgzip's BlockMap).
  */
 
 #ifndef MOELIGHT_COMMON_THREAD_POOL_HH
@@ -12,22 +22,26 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <vector>
 
 namespace moelight {
 
 /**
- * Fixed worker pool. parallelFor blocks until every index has been
+ * Fixed worker pool. Dispatch blocks until every index has been
  * processed; exceptions from the body propagate to the caller (first
- * one wins).
+ * one wins). Nested or concurrent dispatch is not supported.
  */
 class ThreadPool
 {
   public:
+    /** Chunk body: [begin, end) plus the executing worker's slot. */
+    using ChunkBody =
+        std::function<void(std::size_t, std::size_t, std::size_t)>;
+
     /** @param threads Worker count; 0 = hardware concurrency. */
     explicit ThreadPool(std::size_t threads = 0);
     ~ThreadPool();
@@ -37,6 +51,11 @@ class ThreadPool
 
     std::size_t numThreads() const { return workers_.size(); }
 
+    /** Distinct worker slots a dispatch can occupy: every pool
+     *  worker plus the calling thread (slot 0). Size per-worker
+     *  scratch arrays to this. */
+    std::size_t maxParallelism() const { return workers_.size() + 1; }
+
     /**
      * Run @p body(i) for i in [0, n), distributing indices across
      * the pool (the calling thread participates). Blocks until all
@@ -45,9 +64,60 @@ class ThreadPool
     void parallelFor(std::size_t n,
                      const std::function<void(std::size_t)> &body);
 
+    /**
+     * Run @p body(begin, end, worker) over [0, n) split into chunks
+     * of up to @p grain indices. Workers claim whole chunks (one
+     * atomic RMW per chunk, not per index); `worker` is a stable
+     * slot in [0, maxParallelism()) unique to the executing thread
+     * for the duration of the call. grain == 0 is treated as 1.
+     */
+    void parallelForChunked(std::size_t n, std::size_t grain,
+                            const ChunkBody &body);
+
+    /**
+     * Run @p body(begin, end, scratch) over [0, n) with a float
+     * scratch buffer of @p perWorkerFloats per worker slot (the
+     * shared shape of the batched attention and MoE FFN kernels).
+     * A caller-owned @p scratch large enough for every slot
+     * (maxParallelism() * perWorkerFloats, or perWorkerFloats when
+     * running serially) is used directly — pass one on hot paths to
+     * avoid a pool-width-sized allocation per dispatch; otherwise
+     * one buffer is allocated for the whole call. Null pool or
+     * n <= 1 runs the body serially with a single slot. Grain is
+     * 1 — intended for heavy per-index work.
+     */
+    template <typename Body>
+    static void
+    forEachWithScratch(ThreadPool *pool, std::size_t n,
+                       std::size_t perWorkerFloats, Body &&body,
+                       std::span<float> scratch = {})
+    {
+        if (n == 0)
+            return;
+        bool pooled = pool && n > 1;
+        std::size_t needed =
+            (pooled ? pool->maxParallelism() : 1) * perWorkerFloats;
+        std::vector<float> owned;
+        float *buf = scratch.data();
+        if (scratch.size() < needed) {
+            owned.resize(needed);
+            buf = owned.data();
+        }
+        if (pooled) {
+            pool->parallelForChunked(
+                n, 1,
+                [&](std::size_t begin, std::size_t end,
+                    std::size_t worker) {
+                    body(begin, end, buf + worker * perWorkerFloats);
+                });
+        } else {
+            body(0, n, buf);
+        }
+    }
+
   private:
     struct Batch;
-    void workerLoop();
+    void workerLoop(std::size_t slot);
 
     std::mutex mu_;
     std::condition_variable cv_;

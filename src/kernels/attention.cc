@@ -1,5 +1,6 @@
 #include "kernels/attention.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 
@@ -37,20 +38,87 @@ gqaDecodeAttention(const float *q, std::size_t nQ, const KvView &kv,
     panicIf(kv.nKv == 0 || nQ % kv.nKv != 0,
             "query heads must be a multiple of KV heads");
     panicIf(kv.contextLen == 0, "attention over empty context");
-    panicIf(scratch.size() < kv.contextLen, "attention scratch too small");
+    panicIf(kv.pageTokens == 0, "KV view has zero pageTokens");
     std::size_t group = nQ / kv.nKv;
-    std::span<float> scores = scratch.subspan(0, kv.contextLen);
+    std::size_t ctx = kv.contextLen;
+    std::size_t hd = kv.headDim;
+    panicIf(scratch.size() < group * ctx, "attention scratch too small");
+    // All bounds checked once here; the loops below touch pages
+    // [0, nPages) and tokens [0, ctx) only.
+    std::size_t n_pages = (ctx + kv.pageTokens - 1) / kv.pageTokens;
+    panicIf(n_pages > kv.kPages.size() || n_pages > kv.vPages.size(),
+            "KV page index out of range");
+    std::size_t row_stride = kv.nKv * hd;
 
-    for (std::size_t h = 0; h < nQ; ++h) {
-        std::size_t kvh = h / group;
-        const float *qh = q + h * kv.headDim;
-        for (std::size_t t = 0; t < kv.contextLen; ++t)
-            scores[t] = scale * dot(qh, kv.kAt(t, kvh), kv.headDim);
-        softmaxInPlace(scores);
-        float *oh = out + h * kv.headDim;
-        std::memset(oh, 0, kv.headDim * sizeof(float));
-        for (std::size_t t = 0; t < kv.contextLen; ++t)
-            accumulateScaled(oh, kv.vAt(t, kvh), scores[t], kv.headDim);
+    for (std::size_t kvh = 0; kvh < kv.nKv; ++kvh) {
+        const float *qg = q + kvh * group * hd;
+        float *og = out + kvh * group * hd;
+        // Scores: walk each K page run once, page base hoisted, and
+        // score every query head of the group against the K row
+        // while it is hot. scratch row g holds head g's logits.
+        for (std::size_t p = 0, t = 0; t < ctx; ++p) {
+            const float *kbase = kv.kPages[p] + kvh * hd;
+            std::size_t run = std::min(kv.pageTokens, ctx - t);
+            for (std::size_t r = 0; r < run; ++r) {
+                const float *krow = kbase + r * row_stride;
+                std::size_t g = 0;
+                float s4[4];
+                for (; g + 4 <= group; g += 4) {
+                    dot4(krow, qg + g * hd, qg + (g + 1) * hd,
+                         qg + (g + 2) * hd, qg + (g + 3) * hd, hd, s4);
+                    scratch[g * ctx + t + r] = scale * s4[0];
+                    scratch[(g + 1) * ctx + t + r] = scale * s4[1];
+                    scratch[(g + 2) * ctx + t + r] = scale * s4[2];
+                    scratch[(g + 3) * ctx + t + r] = scale * s4[3];
+                }
+                for (; g < group; ++g)
+                    scratch[g * ctx + t + r] =
+                        scale * dot(qg + g * hd, krow, hd);
+            }
+            t += run;
+        }
+        for (std::size_t g = 0; g < group; ++g)
+            softmaxInPlaceFast(scratch.subspan(g * ctx, ctx));
+        // Fused weighted-V accumulation: each V row is fetched once
+        // and folded into all group output heads. Rows are folded in
+        // blocks of four so each output head is read-modify-written
+        // once per block, not once per row — the serial store-to-
+        // load chain on the accumulator is what dominates otherwise.
+        // Blocks are grouped by *global* token index and carried
+        // across page boundaries (a block's four row pointers may
+        // come from two pages), so the FP summation order — and thus
+        // the output bits — is independent of the page layout.
+        std::memset(og, 0, group * hd * sizeof(float));
+        const float *vrows[4];
+        std::size_t base = 0;     // global index of vrows[0]
+        std::size_t pending = 0;  // rows buffered, < 4
+        for (std::size_t p = 0, t = 0; t < ctx; ++p) {
+            const float *vbase = kv.vPages[p] + kvh * hd;
+            std::size_t run = std::min(kv.pageTokens, ctx - t);
+            for (std::size_t r = 0; r < run; ++r) {
+                vrows[pending++] = vbase + r * row_stride;
+                if (pending < 4)
+                    continue;
+                const float *v0 = vrows[0], *v1 = vrows[1],
+                            *v2 = vrows[2], *v3 = vrows[3];
+                for (std::size_t g = 0; g < group; ++g) {
+                    const float *wg = scratch.data() + g * ctx + base;
+                    float w0 = wg[0], w1 = wg[1], w2 = wg[2],
+                          w3 = wg[3];
+                    float *o = og + g * hd;
+                    for (std::size_t d = 0; d < hd; ++d)
+                        o[d] += w0 * v0[d] + w1 * v1[d] +
+                                w2 * v2[d] + w3 * v3[d];
+                }
+                base += 4;
+                pending = 0;
+            }
+            t += run;
+        }
+        for (std::size_t i = 0; i < pending; ++i)
+            for (std::size_t g = 0; g < group; ++g)
+                accumulateScaled(og + g * hd, vrows[i],
+                                 scratch[g * ctx + base + i], hd);
     }
 }
 
@@ -58,7 +126,8 @@ void
 gqaDecodeAttention(const float *q, std::size_t nQ, const KvView &kv,
                    float *out, float scale)
 {
-    std::vector<float> scratch(kv.contextLen);
+    std::vector<float> scratch(
+        gqaAttnScratchFloats(nQ, kv.nKv, kv.contextLen));
     gqaDecodeAttention(q, nQ, kv, out, scale, scratch);
 }
 
@@ -66,20 +135,27 @@ void
 gqaDecodeAttentionBatch(const float *qBatch, std::size_t qStride,
                         std::size_t nQ, std::span<const KvView> kvs,
                         float *outBatch, std::size_t outStride,
-                        float scale, ThreadPool *pool)
+                        float scale, ThreadPool *pool,
+                        std::span<float> scratch)
 {
-    auto body = [&](std::size_t t) {
-        // Per-token scratch so workers never share score buffers.
-        std::vector<float> scratch(kvs[t].contextLen);
-        gqaDecodeAttention(qBatch + t * qStride, nQ, kvs[t],
-                           outBatch + t * outStride, scale, scratch);
-    };
-    if (pool) {
-        pool->parallelFor(kvs.size(), body);
-    } else {
-        for (std::size_t t = 0; t < kvs.size(); ++t)
-            body(t);
-    }
+    if (kvs.empty())
+        return;
+    // One scratch slot per worker, sized to the largest requirement
+    // across the batch.
+    std::size_t per_worker = 0;
+    for (const KvView &kv : kvs)
+        per_worker = std::max(
+            per_worker,
+            gqaAttnScratchFloats(nQ, kv.nKv, kv.contextLen));
+    ThreadPool::forEachWithScratch(
+        pool, kvs.size(), per_worker,
+        [&](std::size_t begin, std::size_t end, float *buf) {
+            for (std::size_t t = begin; t < end; ++t)
+                gqaDecodeAttention(qBatch + t * qStride, nQ, kvs[t],
+                                   outBatch + t * outStride, scale,
+                                   {buf, per_worker});
+        },
+        scratch);
 }
 
 void
@@ -89,26 +165,22 @@ gqaPrefillAttention(const float *q, const float *k, const float *v,
 {
     panicIf(nKv == 0 || nQ % nKv != 0,
             "query heads must be a multiple of KV heads");
-    std::size_t group = nQ / nKv;
-    std::vector<float> scores(seq);
-
+    // Causal attention position i == a decode step over context i+1.
+    // Running every position through the decode core keeps the two
+    // paths bit-identical and shares the group-fused optimization.
+    std::vector<float> scratch(gqaAttnScratchFloats(nQ, nKv, seq));
+    const float *kp = k;
+    const float *vp = v;
+    KvView view;
+    view.kPages = {&kp, 1};
+    view.vPages = {&vp, 1};
+    view.pageTokens = seq;
+    view.nKv = nKv;
+    view.headDim = headDim;
     for (std::size_t i = 0; i < seq; ++i) {
-        for (std::size_t h = 0; h < nQ; ++h) {
-            std::size_t kvh = h / group;
-            const float *qh = q + (i * nQ + h) * headDim;
-            std::size_t ctx = i + 1;  // causal mask
-            for (std::size_t t = 0; t < ctx; ++t) {
-                const float *kt = k + (t * nKv + kvh) * headDim;
-                scores[t] = scale * dot(qh, kt, headDim);
-            }
-            softmaxInPlace({scores.data(), ctx});
-            float *oh = out + (i * nQ + h) * headDim;
-            std::memset(oh, 0, headDim * sizeof(float));
-            for (std::size_t t = 0; t < ctx; ++t) {
-                const float *vt = v + (t * nKv + kvh) * headDim;
-                accumulateScaled(oh, vt, scores[t], headDim);
-            }
-        }
+        view.contextLen = i + 1;
+        gqaDecodeAttention(q + i * nQ * headDim, nQ, view,
+                           out + i * nQ * headDim, scale, scratch);
     }
 }
 

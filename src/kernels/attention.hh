@@ -8,6 +8,12 @@
  * KV layout: the cache for one sequence is a list of pages; each page
  * stores up to pageTokens tokens, each token holding nKv heads of
  * headDim floats, i.e. page shape [pageTokens, nKv, headDim], row-major.
+ *
+ * The kernel is organized per KV head: it walks each page run once,
+ * hoisting the page base pointer, and scores all `group = nQ / nKv`
+ * query heads of that KV head against each K row in a single pass, so
+ * every K and V row is fetched once and reused group times. Bounds
+ * checks run once per call, not per token.
  */
 
 #ifndef MOELIGHT_KERNELS_ATTENTION_HH
@@ -42,6 +48,16 @@ struct KvView
 };
 
 /**
+ * Scratch floats gqaDecodeAttention needs: one score row per query
+ * head of a KV-head group, i.e. (nQ / nKv) * contextLen.
+ */
+inline std::size_t
+gqaAttnScratchFloats(std::size_t nQ, std::size_t nKv, std::size_t ctx)
+{
+    return nKv == 0 ? 0 : (nQ / nKv) * ctx;
+}
+
+/**
  * Decode-stage GQA for one token of one sequence.
  *
  * @param q      Query vector, [nQ, headDim] row-major.
@@ -49,8 +65,9 @@ struct KvView
  * @param kv     Paged KV view with contextLen tokens.
  * @param out    Output, [nQ, headDim]; overwritten.
  * @param scale  Logit scale, normally 1/sqrt(headDim).
- * @param scratch Caller-provided scratch of at least kv.contextLen
- *                floats (score buffer), to avoid per-call allocation.
+ * @param scratch Caller-provided scratch of at least
+ *                gqaAttnScratchFloats(nQ, kv.nKv, kv.contextLen)
+ *                floats (score rows), to avoid per-call allocation.
  */
 void gqaDecodeAttention(const float *q, std::size_t nQ, const KvView &kv,
                         float *out, float scale, std::span<float> scratch);
@@ -66,19 +83,30 @@ class ThreadPool;
  * qBatch + t*qStride, KV view kvs[t], and writes outBatch +
  * t*outStride. When @p pool is non-null, tokens are distributed
  * across the pool — the multi-core host attention of the paper's
- * MKL kernel. Results are identical with or without the pool.
+ * MKL kernel — with one scratch buffer per worker slot, sized to the
+ * largest context in the batch. Results are identical with or
+ * without the pool.
+ *
+ * @param scratch Optional caller-owned scratch covering every worker
+ *        slot — gqaAttnScratchFloats(nQ, nKv, maxCtx) floats per
+ *        slot, pool->maxParallelism() slots (1 without a pool). Hot
+ *        paths should pass one; too-small or empty spans fall back
+ *        to a per-call allocation.
  */
 void gqaDecodeAttentionBatch(const float *qBatch, std::size_t qStride,
                              std::size_t nQ,
                              std::span<const KvView> kvs,
                              float *outBatch, std::size_t outStride,
-                             float scale, ThreadPool *pool = nullptr);
+                             float scale, ThreadPool *pool = nullptr,
+                             std::span<float> scratch = {});
 
 /**
  * Full (non-paged) causal prefill attention for one sequence:
  * q,k,v are [seq, nHeads(*)*headDim]; q has nQ heads, k/v have nKv.
  * Output is [seq, nQ*headDim]. Used by the reference engine and the
- * prefill stage of the pipelined engine.
+ * prefill stage of the pipelined engine. Each position runs through
+ * the same group-fused core as the decode kernel, so position i's
+ * output is bit-identical to a decode step over a context of i+1.
  */
 void gqaPrefillAttention(const float *q, const float *k, const float *v,
                          std::size_t seq, std::size_t nQ, std::size_t nKv,

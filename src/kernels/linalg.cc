@@ -1,34 +1,108 @@
 #include "kernels/linalg.hh"
 
+#include <algorithm>
 #include <cstring>
 
+#include "common/thread_pool.hh"
 #include "tensor/tensor.hh"
 
 namespace moelight {
 
 namespace {
 
+/** k-unroll width of dot()/dot4(); must stay in sync between them. */
+constexpr std::size_t kUnroll = 8;
+
+/** A-row block for matmulTransposedB: W strips stay hot across rows. */
+constexpr std::size_t kRowBlock = 8;
+
+/** l-blocking of the non-transposed matmul (C rows revisited). */
 constexpr std::size_t kBlock = 64;
 
+/** Fixed reduction order shared by dot() and dot4(). */
+inline float
+reduce8(const float acc[kUnroll])
+{
+    return ((acc[0] + acc[1]) + (acc[2] + acc[3])) +
+           ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+}
+
 } // namespace
+
+float
+dot(const float *x, const float *y, std::size_t n)
+{
+    float acc[kUnroll] = {};
+    std::size_t i = 0;
+    for (; i + kUnroll <= n; i += kUnroll)
+        for (std::size_t u = 0; u < kUnroll; ++u)
+            acc[u] += x[i + u] * y[i + u];
+    float sum = reduce8(acc);
+    for (; i < n; ++i)
+        sum += x[i] * y[i];
+    return sum;
+}
+
+void
+dot4(const float *x, const float *y0, const float *y1, const float *y2,
+     const float *y3, std::size_t n, float out[4])
+{
+    float a0[kUnroll] = {}, a1[kUnroll] = {}, a2[kUnroll] = {},
+          a3[kUnroll] = {};
+    std::size_t i = 0;
+    for (; i + kUnroll <= n; i += kUnroll) {
+        for (std::size_t u = 0; u < kUnroll; ++u) {
+            float xv = x[i + u];
+            a0[u] += xv * y0[i + u];
+            a1[u] += xv * y1[i + u];
+            a2[u] += xv * y2[i + u];
+            a3[u] += xv * y3[i + u];
+        }
+    }
+    float s0 = reduce8(a0), s1 = reduce8(a1), s2 = reduce8(a2),
+          s3 = reduce8(a3);
+    for (; i < n; ++i) {
+        float xv = x[i];
+        s0 += xv * y0[i];
+        s1 += xv * y1[i];
+        s2 += xv * y2[i];
+        s3 += xv * y3[i];
+    }
+    out[0] = s0;
+    out[1] = s1;
+    out[2] = s2;
+    out[3] = s3;
+}
 
 void
 matmul(const float *a, const float *b, float *c, std::size_t m,
        std::size_t k, std::size_t n)
 {
     std::memset(c, 0, m * n * sizeof(float));
-    for (std::size_t i0 = 0; i0 < m; i0 += kBlock) {
-        std::size_t i_max = std::min(i0 + kBlock, m);
-        for (std::size_t l0 = 0; l0 < k; l0 += kBlock) {
-            std::size_t l_max = std::min(l0 + kBlock, k);
-            for (std::size_t i = i0; i < i_max; ++i) {
-                for (std::size_t l = l0; l < l_max; ++l) {
-                    float av = a[i * k + l];
-                    const float *brow = b + l * n;
-                    float *crow = c + i * n;
-                    for (std::size_t j = 0; j < n; ++j)
-                        crow[j] += av * brow[j];
-                }
+    for (std::size_t l0 = 0; l0 < k; l0 += kBlock) {
+        std::size_t l_max = std::min(l0 + kBlock, k);
+        for (std::size_t i = 0; i < m; ++i) {
+            const float *arow = a + i * k;
+            float *crow = c + i * n;
+            std::size_t l = l0;
+            // Four B rows per pass: C row traffic drops 4x and the
+            // j-loop is a pure elementwise FMA chain -O2 vectorizes.
+            for (; l + 4 <= l_max; l += 4) {
+                float av0 = arow[l], av1 = arow[l + 1];
+                float av2 = arow[l + 2], av3 = arow[l + 3];
+                const float *b0 = b + l * n;
+                const float *b1 = b0 + n;
+                const float *b2 = b1 + n;
+                const float *b3 = b2 + n;
+                for (std::size_t j = 0; j < n; ++j)
+                    crow[j] += av0 * b0[j] + av1 * b1[j] + av2 * b2[j] +
+                               av3 * b3[j];
+            }
+            for (; l < l_max; ++l) {
+                float av = arow[l];
+                const float *brow = b + l * n;
+                for (std::size_t j = 0; j < n; ++j)
+                    crow[j] += av * brow[j];
             }
         }
     }
@@ -38,12 +112,44 @@ void
 matmulTransposedB(const float *a, const float *w, float *c, std::size_t m,
                   std::size_t k, std::size_t n)
 {
-    for (std::size_t i = 0; i < m; ++i) {
-        const float *arow = a + i * k;
-        float *crow = c + i * n;
-        for (std::size_t j = 0; j < n; ++j)
-            crow[j] = dot(arow, w + j * k, k);
+    for (std::size_t i0 = 0; i0 < m; i0 += kRowBlock) {
+        std::size_t i_max = std::min(i0 + kRowBlock, m);
+        std::size_t j = 0;
+        for (; j + 4 <= n; j += 4) {
+            const float *w0 = w + j * k;
+            const float *w1 = w0 + k;
+            const float *w2 = w1 + k;
+            const float *w3 = w2 + k;
+            for (std::size_t i = i0; i < i_max; ++i)
+                dot4(a + i * k, w0, w1, w2, w3, k, c + i * n + j);
+        }
+        for (; j < n; ++j) {
+            const float *wj = w + j * k;
+            for (std::size_t i = i0; i < i_max; ++i)
+                c[i * n + j] = dot(a + i * k, wj, k);
+        }
     }
+}
+
+void
+matmulTransposedB(const float *a, const float *w, float *c, std::size_t m,
+                  std::size_t k, std::size_t n, ThreadPool *pool)
+{
+    // Distributing rows only pays off when each worker gets a few
+    // full row blocks; below that, pool wake-up dominates.
+    if (!pool || m < 2 * kRowBlock || pool->numThreads() == 0) {
+        matmulTransposedB(a, w, c, m, k, n);
+        return;
+    }
+    std::size_t chunks = pool->maxParallelism() * 2;
+    std::size_t grain =
+        std::max(kRowBlock, (m + chunks - 1) / chunks);
+    pool->parallelForChunked(
+        m, grain,
+        [&](std::size_t begin, std::size_t end, std::size_t) {
+            matmulTransposedB(a + begin * k, w, c + begin * n,
+                              end - begin, k, n);
+        });
 }
 
 void
@@ -81,15 +187,6 @@ accumulateScaled(float *y, const float *x, float s, std::size_t n)
 {
     for (std::size_t i = 0; i < n; ++i)
         y[i] += s * x[i];
-}
-
-float
-dot(const float *x, const float *y, std::size_t n)
-{
-    float acc = 0.0f;
-    for (std::size_t i = 0; i < n; ++i)
-        acc += x[i] * y[i];
-    return acc;
 }
 
 } // namespace moelight

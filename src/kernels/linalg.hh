@@ -1,8 +1,18 @@
 /**
  * @file
- * Basic dense linear algebra kernels (float32). These back the
- * functional runtime; they are written for clarity and cache-blocked
- * enough to be usable on the tiny synthetic models the runtime runs.
+ * Dense linear algebra kernels (float32) written so that plain
+ * `-O2 -march=native` auto-vectorizes them: multi-accumulator dot
+ * products (no loop-carried dependence chain), a 1x4 register-tiled
+ * microkernel for B-transposed GEMM, cache blocking over the row
+ * dimension, and explicit remainder tails.
+ *
+ * Determinism contract: every output element of every variant
+ * (serial, row-blocked, pool-parallel, any m) is computed by the
+ * exact same floating-point expression — dot()'s unroll-by-8 partial
+ * sums reduced in a fixed order. Batching a GEMM or splitting it
+ * across threads therefore produces bit-identical results, which is
+ * what lets the pipelined engine batch its projections while staying
+ * token-exact with the per-token reference engine.
  */
 
 #ifndef MOELIGHT_KERNELS_LINALG_HH
@@ -13,6 +23,7 @@
 namespace moelight {
 
 class Tensor;
+class ThreadPool;
 
 /**
  * C[m,n] = A[m,k] * B[k,n]. All row-major, no aliasing.
@@ -27,6 +38,17 @@ void matmul(const float *a, const float *b, float *c, std::size_t m,
 void matmulTransposedB(const float *a, const float *w, float *c,
                        std::size_t m, std::size_t k, std::size_t n);
 
+/**
+ * Pool-parallel variant of matmulTransposedB: rows of A are dealt to
+ * the pool in contiguous blocks. Bit-identical to the serial kernel
+ * (row partitioning does not change any element's arithmetic). Falls
+ * back to the serial kernel when @p pool is null or the shape is too
+ * small to be worth distributing.
+ */
+void matmulTransposedB(const float *a, const float *w, float *c,
+                       std::size_t m, std::size_t k, std::size_t n,
+                       ThreadPool *pool);
+
 /** Tensor convenience wrappers with shape checking. */
 void matmul(const Tensor &a, const Tensor &b, Tensor &c);
 void matmulTransposedB(const Tensor &a, const Tensor &w, Tensor &c);
@@ -37,8 +59,17 @@ void accumulate(float *y, const float *x, std::size_t n);
 /** y[i] += s * x[i] for n elements. */
 void accumulateScaled(float *y, const float *x, float s, std::size_t n);
 
-/** Dot product of two length-n vectors. */
+/** Dot product of two length-n vectors (8-way multi-accumulator). */
 float dot(const float *x, const float *y, std::size_t n);
+
+/**
+ * Four dot products sharing one x stream: out[i] = dot(x, y[i], n),
+ * each bit-identical to dot(). The shared-x form is the attention
+ * scoring microkernel (one K row against a group of query heads) and
+ * the GEMM microkernel (one A row against four W rows).
+ */
+void dot4(const float *x, const float *y0, const float *y1,
+          const float *y2, const float *y3, std::size_t n, float out[4]);
 
 } // namespace moelight
 

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 #include "kernels/linalg.hh"
 #include "kernels/ops.hh"
 
@@ -25,27 +26,35 @@ expertFfnForward(const float *x, const ExpertWeights &w, std::size_t h1,
 void
 moeFfnForward(const float *x, std::span<const TokenRouting> routing,
               const ExpertResolver &resolve, std::size_t tokens,
-              std::size_t h1, std::size_t h2, float *out)
+              std::size_t h1, std::size_t h2, float *out,
+              ThreadPool *pool)
 {
     panicIf(routing.size() != tokens, "routing size != token count");
-    std::vector<float> scratch(expertFfnScratchSize(h2));
-    std::vector<float> expert_out(h1);
     std::memset(out, 0, tokens * h1 * sizeof(float));
 
-    for (std::size_t t = 0; t < tokens; ++t) {
-        const TokenRouting &r = routing[t];
-        panicIf(r.experts.size() != r.weights.size(),
-                "malformed routing entry");
-        const float *xt = x + t * h1;
-        float *ot = out + t * h1;
-        for (std::size_t e = 0; e < r.experts.size(); ++e) {
-            ExpertWeights w = resolve(r.experts[e]);
-            panicIf(!w.w1 || !w.w2 || !w.w3,
-                    "expert resolver returned null weights");
-            expertFfnForward(xt, w, h1, h2, expert_out.data(), scratch);
-            accumulateScaled(ot, expert_out.data(), r.weights[e], h1);
-        }
-    }
+    // Per-worker scratch: FFN intermediate (2*h2) + expert output (h1).
+    ThreadPool::forEachWithScratch(
+        pool, tokens, expertFfnScratchSize(h2) + h1,
+        [&](std::size_t begin, std::size_t end, float *buf) {
+            std::span<float> scratch(buf, expertFfnScratchSize(h2));
+            float *expert_out = buf + expertFfnScratchSize(h2);
+            for (std::size_t t = begin; t < end; ++t) {
+                const TokenRouting &r = routing[t];
+                panicIf(r.experts.size() != r.weights.size(),
+                        "malformed routing entry");
+                const float *xt = x + t * h1;
+                float *ot = out + t * h1;
+                for (std::size_t e = 0; e < r.experts.size(); ++e) {
+                    ExpertWeights w = resolve(r.experts[e]);
+                    panicIf(!w.w1 || !w.w2 || !w.w3,
+                            "expert resolver returned null weights");
+                    expertFfnForward(xt, w, h1, h2, expert_out,
+                                     scratch);
+                    accumulateScaled(ot, expert_out, r.weights[e],
+                                     h1);
+                }
+            }
+        });
 }
 
 } // namespace moelight

@@ -23,6 +23,8 @@
 
 namespace moelight {
 
+class ThreadPool;
+
 /** Pointers to one expert's three projection matrices. */
 struct ExpertWeights
 {
@@ -44,10 +46,15 @@ using ExpertResolver = std::function<ExpertWeights(int expert)>;
  * @param h1       Model hidden dim.
  * @param h2       Expert intermediate dim.
  * @param out      Output activations, [tokens, h1]; overwritten.
+ * @param pool     Optional pool: tokens are distributed across it
+ *                 with one scratch buffer per worker slot. Results
+ *                 are identical with or without the pool (token
+ *                 outputs are disjoint).
  */
 void moeFfnForward(const float *x, std::span<const TokenRouting> routing,
                    const ExpertResolver &resolve, std::size_t tokens,
-                   std::size_t h1, std::size_t h2, float *out);
+                   std::size_t h1, std::size_t h2, float *out,
+                   ThreadPool *pool = nullptr);
 
 /**
  * Single dense expert FFN applied to one token; building block of

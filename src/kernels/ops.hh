@@ -7,13 +7,65 @@
 #ifndef MOELIGHT_KERNELS_OPS_HH
 #define MOELIGHT_KERNELS_OPS_HH
 
+#include <algorithm>
+#include <bit>
+#include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 
 namespace moelight {
 
-/** Numerically stable in-place softmax over @p x. */
+/** Logistic sigmoid 1 / (1 + e^-x); shared by SiLU and SwiGLU. */
+inline float
+sigmoid(float x)
+{
+    return 1.0f / (1.0f + std::exp(-x));
+}
+
+/**
+ * Branch-free polynomial e^x (Cephes expf scheme: split x into an
+ * exact multiple of ln2 plus a small remainder, degree-5 minimax on
+ * the remainder, exponent reassembled with a bit shift). Max relative
+ * error ~4e-6 over the clamped domain [-87, 88]. Every operation is
+ * plain float/int arithmetic, so -O2 auto-vectorizes loops over it —
+ * unlike calls into libm's expf. Used by the attention softmax where
+ * exp is the post-GEMM bottleneck.
+ */
+inline float
+fastExpf(float x)
+{
+    x = std::clamp(x, -87.0f, 88.0f);
+    // Round x/ln2 to nearest via the 1.5*2^23 magic-number trick:
+    // std::floor compiles to a libm call GCC refuses to vectorize.
+    float z = x * 1.44269504088896341f;
+    float fx = (z + 12582912.0f) - 12582912.0f;
+    // Two-constant Cody-Waite reduction keeps g exact.
+    float g = x - fx * 0.693359375f;
+    g -= fx * -2.12194440e-4f;
+    float p = 1.9875691500e-4f;
+    p = p * g + 1.3981999507e-3f;
+    p = p * g + 8.3334519073e-3f;
+    p = p * g + 4.1665795894e-2f;
+    p = p * g + 1.6666665459e-1f;
+    p = p * g + 5.0000001201e-1f;
+    p = (p * g * g + g) + 1.0f;
+    std::int32_t e = static_cast<std::int32_t>(fx);
+    float scale = std::bit_cast<float>((e + 127) << 23);
+    return p * scale;
+}
+
+/** Numerically stable in-place softmax over @p x (libm exp). */
 void softmaxInPlace(std::span<float> x);
+
+/**
+ * Softmax built on fastExpf with multi-accumulator max/sum
+ * reductions so the whole pass vectorizes; ~1e-6 absolute weight
+ * error versus softmaxInPlace. The attention kernels use this for
+ * their long score rows; keep softmaxInPlace for short or
+ * routing-critical vectors.
+ */
+void softmaxInPlaceFast(std::span<float> x);
 
 /**
  * RMSNorm: out[i] = x[i] / rms(x) * weight[i], rms over the last dim.

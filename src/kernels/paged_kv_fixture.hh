@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Paged-KV scaffolding shared by the kernel tests and the fig9
+ * benchmark: builds page arrays of a given geometry — random, or by
+ * splitting caller-provided contiguous [ctx, nKv, headDim] K/V data —
+ * and wires up the KvView. Keeping one copy means the benches always
+ * measure exactly the layout the golden tests validate.
+ */
+
+#ifndef MOELIGHT_KERNELS_PAGED_KV_FIXTURE_HH
+#define MOELIGHT_KERNELS_PAGED_KV_FIXTURE_HH
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.hh"
+#include "kernels/attention.hh"
+
+namespace moelight {
+
+/** Owns the pages and page-pointer arrays behind `view`. */
+struct PagedKvFixture
+{
+    std::vector<std::vector<float>> kp, vp;
+    std::vector<const float *> kptr, vptr;
+    KvView view;
+
+    /** Random K/V, uniform in [-1, 1) drawn from @p rng. */
+    PagedKvFixture(std::size_t ctx, std::size_t nKv, std::size_t headDim,
+                   std::size_t pageTokens, Rng &rng)
+        : PagedKvFixture(ctx, nKv, headDim, pageTokens)
+    {
+        for (auto &page : kp)
+            for (auto &x : page)
+                x = static_cast<float>(rng.uniform(-1, 1));
+        for (auto &page : vp)
+            for (auto &x : page)
+                x = static_cast<float>(rng.uniform(-1, 1));
+    }
+
+    /** Split contiguous [ctx, nKv, headDim] @p k / @p v into pages. */
+    PagedKvFixture(std::size_t ctx, std::size_t nKv, std::size_t headDim,
+                   std::size_t pageTokens, const float *k, const float *v)
+        : PagedKvFixture(ctx, nKv, headDim, pageTokens)
+    {
+        std::size_t row = nKv * headDim;
+        for (std::size_t t = 0; t < ctx; ++t) {
+            std::size_t p = t / pageTokens, off = t % pageTokens;
+            std::memcpy(kp[p].data() + off * row, k + t * row,
+                        row * sizeof(float));
+            std::memcpy(vp[p].data() + off * row, v + t * row,
+                        row * sizeof(float));
+        }
+    }
+
+  private:
+    /** Allocate zeroed pages and wire the view. */
+    PagedKvFixture(std::size_t ctx, std::size_t nKv, std::size_t headDim,
+                   std::size_t pageTokens)
+    {
+        std::size_t n_pages = (ctx + pageTokens - 1) / pageTokens;
+        kp.resize(n_pages);
+        vp.resize(n_pages);
+        for (std::size_t p = 0; p < n_pages; ++p) {
+            kp[p].assign(pageTokens * nKv * headDim, 0.0f);
+            vp[p].assign(pageTokens * nKv * headDim, 0.0f);
+            kptr.push_back(kp[p].data());
+            vptr.push_back(vp[p].data());
+        }
+        view.kPages = kptr;
+        view.vPages = vptr;
+        view.pageTokens = pageTokens;
+        view.contextLen = ctx;
+        view.nKv = nKv;
+        view.headDim = headDim;
+    }
+};
+
+} // namespace moelight
+
+#endif // MOELIGHT_KERNELS_PAGED_KV_FIXTURE_HH

@@ -53,9 +53,15 @@ struct PipelinedEngine::DecodeState
     std::vector<std::vector<float>> prefillHidden;
 
     // Scratch (single-threaded per queue).
-    std::vector<float> gpuNorm, gpuFfnOut, gpuLogits, gpuScratch;
+    std::vector<float> gpuNorm, gpuLogits;
+    // Batched per-micro-batch buffers for the decode GEMMs (sized to
+    // the largest micro-batch).
+    std::vector<float> gpuNormB, gpuProjB, gpuRlB, gpuFfnB;
+    std::vector<float> gpuQB, gpuKB, gpuVB;
     std::vector<float> cpuAttnScratch;
-    KvViewStorage cpuView;
+    /** Persistent per-worker-slot scratch for the decode attention
+     *  batch (CPU queue tasks are serialized, so one buffer). */
+    std::vector<float> cpuBatchScratch;
 
     // Pipeline events.
     std::vector<EventPtr> weightsReady;  ///< per layer
@@ -139,15 +145,28 @@ PipelinedEngine::generate(const std::vector<std::vector<int>> &prompts,
         st.attnCpu[j].assign(n * st.qDim, 0.0f);
     }
     st.gpuNorm.assign(st.h1, 0.0f);
-    st.gpuFfnOut.assign(st.h1, 0.0f);
     st.gpuLogits.assign(st.vocab, 0.0f);
-    st.gpuScratch.assign(expertFfnScratchSize(cfg.h2), 0.0f);
+    std::size_t max_ub = 0;
+    for (std::size_t j = 0; j < st.numUbs; ++j)
+        max_ub = std::max(max_ub, st.ubSize(j));
+    st.gpuNormB.assign(max_ub * st.h1, 0.0f);
+    st.gpuProjB.assign(max_ub * st.h1, 0.0f);
+    st.gpuRlB.assign(max_ub * cfg.ne, 0.0f);
+    st.gpuFfnB.assign(max_ub * st.h1, 0.0f);
+    st.gpuQB.assign(max_ub * st.qDim, 0.0f);
+    st.gpuKB.assign(max_ub * st.kvDim, 0.0f);
+    st.gpuVB.assign(max_ub * st.kvDim, 0.0f);
 
     std::size_t max_ctx = 0;
     for (const auto &p : prompts)
         max_ctx = std::max(max_ctx, p.size());
     max_ctx += static_cast<std::size_t>(genLen) + 1;
-    st.cpuAttnScratch.assign(max_ctx, 0.0f);
+    st.cpuAttnScratch.assign(
+        gqaAttnScratchFloats(cfg.nq, cfg.nkv, max_ctx), 0.0f);
+    std::size_t attn_slots = attnPool_ ? attnPool_->maxParallelism() : 1;
+    st.cpuBatchScratch.assign(
+        attn_slots * gqaAttnScratchFloats(cfg.nq, cfg.nkv, max_ctx),
+        0.0f);
 
     st.out.assign(st.numSeqs, {});
     st.nextToken.assign(st.numSeqs, 0);
@@ -232,52 +251,82 @@ PipelinedEngine::prefill(const std::vector<std::vector<int>> &prompts,
         compute_done[li] = exec_->submit(
             ResourceKind::Gpu, std::move(deps), [this, li, &st] {
                 const ModelConfig &c = w_.cfg;
-                std::vector<float> q(st.qDim), k(st.kvDim), v(st.kvDim);
-                std::vector<float> attn_out(st.qDim), proj(st.h1);
-                std::vector<float> rl(c.ne);
+                // Whole-sequence batched projections instead of
+                // per-token GEMV chains; only the attention/KV-append
+                // walk stays per token (causal order). The attention
+                // pool is idle during prefill (the CPU queue has no
+                // work yet), so the batched GEMMs and the MoE FFN
+                // borrow it. Per-token arithmetic is unchanged, so
+                // tokens stay bit-identical to the reference engine.
+                ThreadPool *pool = attnPool_.get();
                 KvViewStorage view;
+                std::vector<float> norm_all, q_all, k_all, v_all;
+                std::vector<float> attn_all, proj_all, rl_all, ffn_all;
+                std::vector<TokenRouting> routing;
                 for (std::size_t s = 0; s < st.numSeqs; ++s) {
                     std::size_t len =
                         st.prefillHidden[s].size() / st.h1;
+                    float *xs = st.prefillHidden[s].data();
+                    norm_all.resize(len * st.h1);
+                    q_all.resize(len * st.qDim);
+                    k_all.resize(len * st.kvDim);
+                    v_all.resize(len * st.kvDim);
+                    attn_all.resize(len * st.qDim);
+                    proj_all.resize(len * st.h1);
+                    rl_all.resize(len * c.ne);
+                    ffn_all.resize(len * st.h1);
+                    for (std::size_t t = 0; t < len; ++t)
+                        rmsNorm(xs + t * st.h1,
+                                store_.tensor(li, "attn_norm"),
+                                norm_all.data() + t * st.h1, st.h1);
+                    matmulTransposedB(norm_all.data(),
+                                      store_.tensor(li, "wq"),
+                                      q_all.data(), len, st.h1,
+                                      st.qDim, pool);
+                    matmulTransposedB(norm_all.data(),
+                                      store_.tensor(li, "wk"),
+                                      k_all.data(), len, st.h1,
+                                      st.kvDim, pool);
+                    matmulTransposedB(norm_all.data(),
+                                      store_.tensor(li, "wv"),
+                                      v_all.data(), len, st.h1,
+                                      st.kvDim, pool);
                     for (std::size_t t = 0; t < len; ++t) {
-                        float *x =
-                            st.prefillHidden[s].data() + t * st.h1;
-                        rmsNorm(x, store_.tensor(li, "attn_norm"),
-                                st.gpuNorm.data(), st.h1);
-                        matmulTransposedB(st.gpuNorm.data(),
-                                          store_.tensor(li, "wq"),
-                                          q.data(), 1, st.h1, st.qDim);
-                        matmulTransposedB(st.gpuNorm.data(),
-                                          store_.tensor(li, "wk"),
-                                          k.data(), 1, st.h1,
-                                          st.kvDim);
-                        matmulTransposedB(st.gpuNorm.data(),
-                                          store_.tensor(li, "wv"),
-                                          v.data(), 1, st.h1,
-                                          st.kvDim);
-                        kv_->append(s, li, k.data(), v.data());
+                        kv_->append(s, li,
+                                    k_all.data() + t * st.kvDim,
+                                    v_all.data() + t * st.kvDim);
                         kv_->makeView(s, li, view);
-                        gqaDecodeAttention(q.data(), c.nq, view.view,
-                                           attn_out.data(), st.scale,
-                                           st.cpuAttnScratch);
-                        matmulTransposedB(attn_out.data(),
-                                          store_.tensor(li, "wo"),
-                                          proj.data(), 1, st.qDim,
-                                          st.h1);
-                        accumulate(x, proj.data(), st.h1);
-
-                        rmsNorm(x, store_.tensor(li, "ffn_norm"),
-                                st.gpuNorm.data(), st.h1);
-                        matmulTransposedB(st.gpuNorm.data(),
-                                          store_.tensor(li, "router"),
-                                          rl.data(), 1, st.h1, c.ne);
-                        TokenRouting routing =
-                            routeTopK({rl.data(), rl.size()}, c.k);
-                        moeFfnForward(st.gpuNorm.data(), {&routing, 1},
-                                      store_.resolver(li), 1, st.h1,
-                                      c.h2, st.gpuFfnOut.data());
-                        accumulate(x, st.gpuFfnOut.data(), st.h1);
+                        gqaDecodeAttention(
+                            q_all.data() + t * st.qDim, c.nq,
+                            view.view, attn_all.data() + t * st.qDim,
+                            st.scale, st.cpuAttnScratch);
                     }
+                    matmulTransposedB(attn_all.data(),
+                                      store_.tensor(li, "wo"),
+                                      proj_all.data(), len, st.qDim,
+                                      st.h1, pool);
+                    for (std::size_t t = 0; t < len; ++t) {
+                        accumulate(xs + t * st.h1,
+                                   proj_all.data() + t * st.h1,
+                                   st.h1);
+                        rmsNorm(xs + t * st.h1,
+                                store_.tensor(li, "ffn_norm"),
+                                norm_all.data() + t * st.h1, st.h1);
+                    }
+                    matmulTransposedB(norm_all.data(),
+                                      store_.tensor(li, "router"),
+                                      rl_all.data(), len, st.h1, c.ne,
+                                      pool);
+                    routing.resize(len);
+                    for (std::size_t t = 0; t < len; ++t)
+                        routing[t] = routeTopK(
+                            {rl_all.data() + t * c.ne, c.ne}, c.k);
+                    moeFfnForward(norm_all.data(), routing,
+                                  store_.resolver(li), len, st.h1,
+                                  c.h2, ffn_all.data(), pool);
+                    for (std::size_t t = 0; t < len; ++t)
+                        accumulate(xs + t * st.h1,
+                                   ffn_all.data() + t * st.h1, st.h1);
                 }
             });
     }
@@ -340,22 +389,35 @@ PipelinedEngine::decodeStep(DecodeState &st, int stepIdx, bool lastStep)
         EventPtr pre = exec_->submit(
             ResourceKind::Gpu, std::move(deps), [this, &st, i, j] {
                 std::size_t n = st.ubSize(j);
+                // Batched QKV projection across the micro-batch (one
+                // GEMM per weight instead of one GEMV per sequence),
+                // then interleave rows into the [q|k|v] offload
+                // layout. No pool here: the GPU queue may run
+                // concurrently with the CPU queue's attention, which
+                // owns attnPool_.
+                for (std::size_t r = 0; r < n; ++r)
+                    rmsNorm(st.xGpu[j].data() + r * st.h1,
+                            store_.tensor(i, "attn_norm"),
+                            st.gpuNormB.data() + r * st.h1, st.h1);
+                matmulTransposedB(st.gpuNormB.data(),
+                                  store_.tensor(i, "wq"),
+                                  st.gpuQB.data(), n, st.h1, st.qDim);
+                matmulTransposedB(st.gpuNormB.data(),
+                                  store_.tensor(i, "wk"),
+                                  st.gpuKB.data(), n, st.h1, st.kvDim);
+                matmulTransposedB(st.gpuNormB.data(),
+                                  store_.tensor(i, "wv"),
+                                  st.gpuVB.data(), n, st.h1, st.kvDim);
                 for (std::size_t r = 0; r < n; ++r) {
-                    const float *x = st.xGpu[j].data() + r * st.h1;
                     float *qkv = st.qkvGpu[j].data() + r * st.qkvDim;
-                    rmsNorm(x, store_.tensor(i, "attn_norm"),
-                            st.gpuNorm.data(), st.h1);
-                    matmulTransposedB(st.gpuNorm.data(),
-                                      store_.tensor(i, "wq"), qkv, 1,
-                                      st.h1, st.qDim);
-                    matmulTransposedB(st.gpuNorm.data(),
-                                      store_.tensor(i, "wk"),
-                                      qkv + st.qDim, 1, st.h1,
-                                      st.kvDim);
-                    matmulTransposedB(st.gpuNorm.data(),
-                                      store_.tensor(i, "wv"),
-                                      qkv + st.qDim + st.kvDim, 1,
-                                      st.h1, st.kvDim);
+                    std::memcpy(qkv, st.gpuQB.data() + r * st.qDim,
+                                st.qDim * sizeof(float));
+                    std::memcpy(qkv + st.qDim,
+                                st.gpuKB.data() + r * st.kvDim,
+                                st.kvDim * sizeof(float));
+                    std::memcpy(qkv + st.qDim + st.kvDim,
+                                st.gpuVB.data() + r * st.kvDim,
+                                st.kvDim * sizeof(float));
                 }
             });
 
@@ -388,7 +450,7 @@ PipelinedEngine::decodeStep(DecodeState &st, int stepIdx, bool lastStep)
                 gqaDecodeAttentionBatch(
                     st.qkvCpu[j].data(), st.qkvDim, c.nq, kvs,
                     st.attnCpu[j].data(), st.qDim, st.scale,
-                    attnPool_.get());
+                    attnPool_.get(), st.cpuBatchScratch);
             });
     };
     auto pump = [&](std::size_t up_to) {
@@ -455,26 +517,34 @@ PipelinedEngine::decodeStep(DecodeState &st, int stepIdx, bool lastStep)
             [this, &st, i, j, last_layer, stepIdx] {
                 const ModelConfig &c = w_.cfg;
                 std::size_t n = st.ubSize(j);
-                std::vector<float> proj(st.h1), rl(c.ne);
+                // Batched O projection, router and MoE FFN across the
+                // micro-batch; per-token arithmetic matches the
+                // reference engine's m=1 calls bit-for-bit.
+                matmulTransposedB(st.attnGpu[j].data(),
+                                  store_.tensor(i, "wo"),
+                                  st.gpuProjB.data(), n, st.qDim,
+                                  st.h1);
                 for (std::size_t r = 0; r < n; ++r) {
                     float *x = st.xGpu[j].data() + r * st.h1;
-                    const float *attn_out =
-                        st.attnGpu[j].data() + r * st.qDim;
-                    matmulTransposedB(attn_out,
-                                      store_.tensor(i, "wo"),
-                                      proj.data(), 1, st.qDim, st.h1);
-                    accumulate(x, proj.data(), st.h1);
+                    accumulate(x, st.gpuProjB.data() + r * st.h1,
+                               st.h1);
                     rmsNorm(x, store_.tensor(i, "ffn_norm"),
-                            st.gpuNorm.data(), st.h1);
-                    matmulTransposedB(st.gpuNorm.data(),
-                                      store_.tensor(i, "router"),
-                                      rl.data(), 1, st.h1, c.ne);
-                    TokenRouting routing =
-                        routeTopK({rl.data(), rl.size()}, c.k);
-                    moeFfnForward(st.gpuNorm.data(), {&routing, 1},
-                                  store_.resolver(i), 1, st.h1, c.h2,
-                                  st.gpuFfnOut.data());
-                    accumulate(x, st.gpuFfnOut.data(), st.h1);
+                            st.gpuNormB.data() + r * st.h1, st.h1);
+                }
+                matmulTransposedB(st.gpuNormB.data(),
+                                  store_.tensor(i, "router"),
+                                  st.gpuRlB.data(), n, st.h1, c.ne);
+                std::vector<TokenRouting> routing(n);
+                for (std::size_t r = 0; r < n; ++r)
+                    routing[r] = routeTopK(
+                        {st.gpuRlB.data() + r * c.ne, c.ne}, c.k);
+                moeFfnForward(st.gpuNormB.data(), routing,
+                              store_.resolver(i), n, st.h1, c.h2,
+                              st.gpuFfnB.data());
+                for (std::size_t r = 0; r < n; ++r) {
+                    float *x = st.xGpu[j].data() + r * st.h1;
+                    accumulate(x, st.gpuFfnB.data() + r * st.h1,
+                               st.h1);
 
                     if (last_layer) {
                         std::size_t s = st.ubStart[j] + r;

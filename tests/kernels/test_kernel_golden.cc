@@ -1,0 +1,253 @@
+/**
+ * Golden-value tests: every optimized kernel is cross-checked against
+ * the retained naive implementation (moelight::naive) across odd and
+ * remainder-heavy shapes — m/k/n not multiples of the tile widths,
+ * context lengths not multiples of pageTokens, GQA group sizes 1, 4
+ * and 8 — plus determinism guarantees the runtime relies on (the
+ * pool-parallel GEMM and the batched attention must be bit-identical
+ * to their serial forms).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/thread_pool.hh"
+#include "kernels/attention.hh"
+#include "kernels/linalg.hh"
+#include "kernels/naive_kernels.hh"
+#include "kernels/ops.hh"
+#include "kernels/paged_kv_fixture.hh"
+
+namespace moelight {
+namespace {
+
+std::vector<float>
+randomVec(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> v(n);
+    for (auto &x : v)
+        x = static_cast<float>(rng.uniform(-1, 1));
+    return v;
+}
+
+struct GemmDims
+{
+    std::size_t m, k, n;
+};
+
+class GemmGolden : public ::testing::TestWithParam<GemmDims>
+{
+};
+
+TEST_P(GemmGolden, MatmulMatchesNaive)
+{
+    auto [m, k, n] = GetParam();
+    auto a = randomVec(m * k, m * 131 + k);
+    auto b = randomVec(k * n, k * 17 + n);
+    std::vector<float> c(m * n), ref(m * n);
+    matmul(a.data(), b.data(), c.data(), m, k, n);
+    naive::matmul(a.data(), b.data(), ref.data(), m, k, n);
+    for (std::size_t i = 0; i < c.size(); ++i)
+        EXPECT_NEAR(c[i], ref[i], 1e-3f) << "at " << i;
+}
+
+TEST_P(GemmGolden, TransposedBMatchesNaive)
+{
+    auto [m, k, n] = GetParam();
+    auto a = randomVec(m * k, m * 7 + k * 3 + n);
+    auto w = randomVec(n * k, n * 11 + k);
+    std::vector<float> c(m * n), ref(m * n);
+    matmulTransposedB(a.data(), w.data(), c.data(), m, k, n);
+    naive::matmulTransposedB(a.data(), w.data(), ref.data(), m, k, n);
+    for (std::size_t i = 0; i < c.size(); ++i)
+        EXPECT_NEAR(c[i], ref[i], 1e-3f) << "at " << i;
+}
+
+TEST_P(GemmGolden, PooledTransposedBIsBitIdenticalToSerial)
+{
+    auto [m, k, n] = GetParam();
+    auto a = randomVec(m * k, m + k + n);
+    auto w = randomVec(n * k, m * 5 + 1);
+    std::vector<float> serial(m * n), pooled(m * n);
+    matmulTransposedB(a.data(), w.data(), serial.data(), m, k, n);
+    ThreadPool pool(3);
+    matmulTransposedB(a.data(), w.data(), pooled.data(), m, k, n,
+                      &pool);
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        EXPECT_EQ(serial[i], pooled[i]) << "at " << i;
+}
+
+// Shapes straddle the register-tile (4-wide j, 8-row blocks) and
+// k-unroll (8) boundaries: exact multiples, one-off remainders, and
+// degenerate single-row/col cases.
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmGolden,
+    ::testing::Values(GemmDims{1, 1, 1}, GemmDims{1, 7, 5},
+                      GemmDims{3, 8, 4}, GemmDims{8, 16, 12},
+                      GemmDims{9, 17, 13}, GemmDims{16, 33, 31},
+                      GemmDims{17, 64, 65}, GemmDims{33, 9, 3},
+                      GemmDims{2, 100, 1}));
+
+TEST(Dot4Golden, BitIdenticalToDot)
+{
+    for (std::size_t n : {1u, 3u, 7u, 8u, 9u, 16u, 31u, 32u, 100u}) {
+        auto x = randomVec(n, n);
+        auto y = randomVec(4 * n, n + 1);
+        float out[4];
+        dot4(x.data(), y.data(), y.data() + n, y.data() + 2 * n,
+             y.data() + 3 * n, n, out);
+        for (std::size_t i = 0; i < 4; ++i)
+            EXPECT_EQ(out[i], dot(x.data(), y.data() + i * n, n))
+                << "n=" << n << " lane " << i;
+    }
+}
+
+TEST(FastExp, TracksLibmExp)
+{
+    // Attention logits land in roughly [-30, 0] after max-shift.
+    for (float x = -30.0f; x <= 0.0f; x += 0.013f)
+        EXPECT_NEAR(fastExpf(x), std::exp(x), 1e-5f) << "x=" << x;
+    for (float x = -87.0f; x <= 80.0f; x += 1.7f) {
+        float r = std::exp(x);
+        EXPECT_NEAR(fastExpf(x) / r, 1.0f, 1e-5f) << "x=" << x;
+    }
+}
+
+TEST(FastSoftmax, MatchesExactSoftmax)
+{
+    for (std::size_t n : {1u, 5u, 64u, 257u}) {
+        auto a = randomVec(n, n * 3);
+        for (auto &v : a)
+            v *= 10.0f;  // spread the logits
+        auto b = a;
+        softmaxInPlace(a);
+        softmaxInPlaceFast(b);
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_NEAR(a[i], b[i], 1e-5f) << "n=" << n << " i=" << i;
+    }
+}
+
+struct AttnShape
+{
+    std::size_t nq, nkv, hd, ctx, pageTokens;
+};
+
+class AttnGolden : public ::testing::TestWithParam<AttnShape>
+{
+};
+
+TEST_P(AttnGolden, DecodeMatchesNaive)
+{
+    AttnShape s = GetParam();
+    Rng kv_rng(s.ctx * 100 + s.nq);
+    PagedKvFixture kv(s.ctx, s.nkv, s.hd, s.pageTokens, kv_rng);
+    auto q = randomVec(s.nq * s.hd, s.ctx + 7);
+    float scale = 1.0f / std::sqrt(static_cast<float>(s.hd));
+
+    std::vector<float> out(s.nq * s.hd), ref(s.nq * s.hd);
+    std::vector<float> scratch(
+        gqaAttnScratchFloats(s.nq, s.nkv, s.ctx));
+    std::vector<float> naive_scratch(s.ctx);
+    gqaDecodeAttention(q.data(), s.nq, kv.view, out.data(), scale,
+                       scratch);
+    naive::gqaDecodeAttention(q.data(), s.nq, kv.view, ref.data(),
+                              scale, naive_scratch);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_NEAR(out[i], ref[i], 1e-4f) << "at " << i;
+}
+
+TEST_P(AttnGolden, BatchWithPoolIsBitIdenticalToSerial)
+{
+    AttnShape s = GetParam();
+    std::size_t batch = 5;
+    // Per-token KV views of *different* context lengths to exercise
+    // the max-context scratch sizing.
+    std::vector<PagedKvFixture> kvs;
+    std::vector<KvView> views;
+    for (std::size_t t = 0; t < batch; ++t) {
+        std::size_t ctx = 1 + (s.ctx * (t + 1)) / batch;
+        Rng rng(t * 31 + 5);
+        kvs.emplace_back(ctx, s.nkv, s.hd, s.pageTokens, rng);
+        views.push_back(kvs.back().view);
+    }
+    auto q = randomVec(batch * s.nq * s.hd, 99);
+    float scale = 0.25f;
+    std::vector<float> serial(batch * s.nq * s.hd),
+        pooled(batch * s.nq * s.hd);
+    gqaDecodeAttentionBatch(q.data(), s.nq * s.hd, s.nq, views,
+                            serial.data(), s.nq * s.hd, scale,
+                            nullptr);
+    ThreadPool pool(3);
+    gqaDecodeAttentionBatch(q.data(), s.nq * s.hd, s.nq, views,
+                            pooled.data(), s.nq * s.hd, scale, &pool);
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        EXPECT_EQ(serial[i], pooled[i]) << "at " << i;
+}
+
+TEST_P(AttnGolden, DecodeIsBitIndependentOfPageLayout)
+{
+    // The same KV data must give bit-identical output whatever the
+    // page geometry — in particular pageTokens not a multiple of the
+    // V-accumulation block width (the pipelined engine runs paged,
+    // the reference engine runs one contiguous page; greedy-token
+    // equality relies on this).
+    AttnShape s = GetParam();
+    auto kdata = randomVec(s.ctx * s.nkv * s.hd, 71);
+    auto vdata = randomVec(s.ctx * s.nkv * s.hd, 72);
+    auto q = randomVec(s.nq * s.hd, 73);
+    float scale = 1.0f / std::sqrt(static_cast<float>(s.hd));
+    std::vector<float> ref;
+    for (std::size_t page_tokens :
+         {s.ctx, std::size_t{1}, std::size_t{3}, std::size_t{6},
+          s.pageTokens}) {
+        PagedKvFixture kv(s.ctx, s.nkv, s.hd, page_tokens,
+                          kdata.data(), vdata.data());
+        std::vector<float> out(s.nq * s.hd);
+        gqaDecodeAttention(q.data(), s.nq, kv.view, out.data(), scale);
+        if (ref.empty()) {
+            ref = out;
+            continue;
+        }
+        for (std::size_t i = 0; i < out.size(); ++i)
+            EXPECT_EQ(out[i], ref[i])
+                << "pageTokens=" << page_tokens << " at " << i;
+    }
+}
+
+TEST_P(AttnGolden, PrefillMatchesNaive)
+{
+    AttnShape s = GetParam();
+    std::size_t seq = std::min<std::size_t>(s.ctx, 24);
+    auto q = randomVec(seq * s.nq * s.hd, 3);
+    auto k = randomVec(seq * s.nkv * s.hd, 4);
+    auto v = randomVec(seq * s.nkv * s.hd, 5);
+    float scale = 1.0f / std::sqrt(static_cast<float>(s.hd));
+    std::vector<float> out(seq * s.nq * s.hd),
+        ref(seq * s.nq * s.hd);
+    gqaPrefillAttention(q.data(), k.data(), v.data(), seq, s.nq,
+                        s.nkv, s.hd, out.data(), scale);
+    naive::gqaPrefillAttention(q.data(), k.data(), v.data(), seq,
+                               s.nq, s.nkv, s.hd, ref.data(), scale);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_NEAR(out[i], ref[i], 1e-4f) << "at " << i;
+}
+
+// Group sizes 1, 4, 8; contexts straddling page boundaries (ctx not
+// a multiple of pageTokens, including a single partially-filled page
+// and a last page with one token) and head dims off the unroll width.
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AttnGolden,
+    ::testing::Values(AttnShape{4, 4, 8, 5, 4},      // group 1
+                      AttnShape{8, 2, 32, 33, 16},   // group 4
+                      AttnShape{8, 1, 16, 17, 4},    // group 8
+                      AttnShape{8, 2, 12, 3, 8},     // partial page
+                      AttnShape{16, 4, 7, 49, 16},   // odd headDim
+                      AttnShape{8, 2, 32, 64, 16},   // exact pages
+                      AttnShape{12, 3, 8, 10, 3}));  // odd everything
+
+} // namespace
+} // namespace moelight
