@@ -8,15 +8,137 @@
  *
  * Paper claim: both f16 and int4 attention intensities sit left of
  * P1 => decode attention belongs on the CPU.
+ *
+ * Second part: *measured* fused quantized attention. The Fig. 4
+ * analysis only holds if attending over quantized KV actually moves
+ * the quantized bytes; a kernel that first materializes float pages
+ * moves the quantized plus the float footprint and throws the
+ * intensity advantage away. This harness times the fused kernel
+ * against the retained materializing path at (mu=32, ctx=512) on
+ * scaled-down Mixtral heads and emits latency plus bytes-moved to
+ * BENCH_fig4_attention.json so CI can gate on the fused path staying
+ * ahead.
  */
 
+#include <cmath>
 #include <iostream>
+#include <vector>
 
+#include "bench_util.hh"
+#include "common/rng.hh"
 #include "common/table.hh"
 #include "hrm/hrm.hh"
+#include "kernels/quant.hh"
 #include "model/op_cost.hh"
+#include "runtime/quant_kv_cache.hh"
 
 using namespace moelight;
+
+namespace {
+
+/**
+ * Time fused vs materializing quantized decode attention over one
+ * (mu, ctx) shape and record latency + traffic. Returns the fused
+ * speedup.
+ */
+double
+measureQuantAttention(bench::BenchJson &json, Table &t, QuantKind kind,
+                      const char *tag, std::size_t mu, std::size_t ctx)
+{
+    // Scaled-down Mixtral-flavoured heads (group = 4), as in fig9.
+    std::size_t nq = 8, nkv = 2, hd = 32, page_tokens = 16;
+    ModelConfig mc;
+    mc.l = 1;
+    mc.nkv = nkv;
+    mc.headDim = hd;
+
+    QuantizedKvCache cache(mc, 1, page_tokens, kind);
+    Rng rng(17);
+    std::vector<float> tok(nkv * hd);
+    for (std::size_t i = 0; i < ctx; ++i) {
+        for (auto &x : tok)
+            x = static_cast<float>(rng.uniform(-1, 1));
+        cache.append(0, 0, tok.data(), tok.data());
+    }
+    QuantKvView view = cache.makeQuantView(0, 0);
+
+    std::vector<float> q(mu * nq * hd), out_f(nq * hd), out_m(nq * hd);
+    for (auto &x : q)
+        x = static_cast<float>(rng.uniform(-1, 1));
+    std::vector<float> scratch(
+        gqaQuantAttnScratchFloats(nq, nkv, ctx, hd, page_tokens));
+    float scale = 1.0f / std::sqrt(static_cast<float>(hd));
+
+    // Best-of-9: the CI gate sits at fused_speedup >= 1.0 and int4's
+    // margin is ~10-15%, so suppress shared-runner noise hard.
+    double fused_ms = bench::bestOfMs(9, [&] {
+        for (std::size_t i = 0; i < mu; ++i)
+            gqaDecodeAttentionQuantFused(q.data() + i * nq * hd, nq,
+                                         view, out_f.data(), scale,
+                                         scratch);
+    });
+    double mat_ms = bench::bestOfMs(9, [&] {
+        for (std::size_t i = 0; i < mu; ++i)
+            gqaDecodeAttentionQuant(q.data() + i * nq * hd, nq,
+                                    view.kPages, view.vPages,
+                                    page_tokens, ctx, nkv, hd,
+                                    out_m.data(), scale);
+    });
+
+    // The design promise under test: the fused kernel attends over
+    // the exact dequantized values, bit-identical to materializing.
+    for (std::size_t i = 0; i < out_f.size(); ++i)
+        if (out_f[i] != out_m[i])
+            fatal("fused/materialized outputs diverge at ", i);
+
+    // Traffic per attention call: the fused kernel reads the
+    // quantized payload (+ scales); the materializing path reads it,
+    // writes float pages, and reads them back.
+    double quant_bytes = static_cast<double>(cache.storedBytes());
+    double float_bytes =
+        static_cast<double>(cache.equivalentFloatBytes());
+    double mat_traffic = quant_bytes + 2.0 * float_bytes;
+    double speedup = mat_ms / fused_ms;
+
+    t.newRow()
+        .add(tag)
+        .add(mat_ms, 3)
+        .add(fused_ms, 3)
+        .add(speedup, 2)
+        .add(mat_traffic / quant_bytes, 2);
+    json.record(std::string("quant_attn_") + tag)
+        .field("mu", static_cast<double>(mu))
+        .field("ctx", static_cast<double>(ctx))
+        .field("materialized_ms", mat_ms)
+        .field("fused_ms", fused_ms)
+        .field("fused_speedup", speedup)
+        .field("quant_kv_bytes", quant_bytes)
+        .field("float_kv_bytes", float_bytes)
+        .field("traffic_ratio", mat_traffic / quant_bytes);
+    return speedup;
+}
+
+void
+measureFusedVsMaterialized()
+{
+    bench::BenchJson json;
+    Table t({"kind", "materialized_ms", "fused_ms", "fused_speedup",
+             "traffic_ratio"});
+    double s8 = measureQuantAttention(json, t, QuantKind::Int8, "int8",
+                                      32, 512);
+    double s4 = measureQuantAttention(json, t, QuantKind::Int4, "int4",
+                                      32, 512);
+    t.print(std::cout,
+            "Fig. 4 — measured fused vs materializing quant "
+            "attention (mu=32, ctx=512)");
+    json.write("BENCH_fig4_attention.json");
+    std::cout << "wrote BENCH_fig4_attention.json\n";
+    std::cout << "fused >= materialized: "
+              << ((s8 >= 1.0 && s4 >= 1.0) ? "yes" : "NO — REGRESSION")
+              << "\n\n";
+}
+
+} // namespace
 
 int
 main()
@@ -65,6 +187,8 @@ main()
               << ") => perform attention on CPU: "
               << ((i_f16 < p1 && i_int4 < p1) ? "REPRODUCED"
                                               : "MISMATCH")
-              << "\n";
+              << "\n\n";
+
+    measureFusedVsMaterialized();
     return 0;
 }

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Gate CI on the BENCH_*.json files the bench harnesses emit.
+
+Each rule is RECORD.FIELD>=MIN, checked against the named record in
+the BenchJson document; a missing record/field or a value below the
+bound fails the run. Example:
+
+    check_bench.py build/BENCH_fig4_attention.json \
+        "quant_attn_int8.fused_speedup>=1.0" \
+        "quant_attn_int4.fused_speedup>=1.0"
+"""
+
+import json
+import re
+import sys
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path, rules = argv[1], argv[2:]
+    with open(path) as f:
+        doc = json.load(f)
+    records = {r["name"]: r for r in doc.get("records", [])}
+
+    failed = False
+    for rule in rules:
+        m = re.fullmatch(r"([\w-]+)\.([\w-]+)>=([-\d.eE]+)", rule)
+        if not m:
+            print(f"FAIL  malformed rule: {rule!r}")
+            failed = True
+            continue
+        name, field, bound = m.group(1), m.group(2), float(m.group(3))
+        rec = records.get(name)
+        if rec is None or field not in rec:
+            print(f"FAIL  {name}.{field}: not found in {path}")
+            failed = True
+            continue
+        value = float(rec[field])
+        status = "ok  " if value >= bound else "FAIL"
+        print(f"{status}  {name}.{field} = {value:g} (>= {bound:g})")
+        failed |= value < bound
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "kernels/linalg.hh"
+#include "kernels/ops.hh"
 
 namespace moelight {
 
@@ -62,12 +66,11 @@ QuantizedBuffer::QuantizedBuffer(std::span<const float> src,
 
 namespace {
 
-/** Sign-extend a 4-bit two's-complement nibble. */
-int
+/** Sign-extend a 4-bit two's-complement nibble (branchless). */
+inline int
 nibbleToInt(std::uint8_t nib)
 {
-    int v = nib & 0xF;
-    return v >= 8 ? v - 16 : v;
+    return ((nib & 0xF) ^ 8) - 8;
 }
 
 } // namespace
@@ -80,19 +83,89 @@ QuantizedBuffer::dequantizeRange(std::size_t offset, std::size_t count,
             "dequantizeRange must be group-aligned");
     panicIf(offset + count > n_, "dequantize range out of bounds");
     panicIf(dst.size() < count, "dequantize destination too small");
-    for (std::size_t i = 0; i < count; ++i) {
-        std::size_t idx = offset + i;
-        float scale = scales_[idx / group_];
-        int q;
-        if (kind_ == QuantKind::Int8) {
-            q = static_cast<std::int8_t>(data_[idx]);
-        } else {
-            std::uint8_t byte = data_[idx / 2];
-            q = nibbleToInt(idx % 2 == 0
-                                ? byte & 0xF
-                                : static_cast<std::uint8_t>(byte >> 4));
+    // Kind branch hoisted out of the loops so the per-group bodies
+    // auto-vectorize; both bodies compute scale * float(q), the same
+    // expression element-wise as the original per-element form.
+    if (kind_ == QuantKind::Int8) {
+        const std::uint8_t *src = data_.data() + offset;
+        for (std::size_t g = 0; g < count; g += group_) {
+            float s = scales_[(offset + g) / group_];
+            for (std::size_t i = 0; i < group_; ++i)
+                dst[g + i] = s * static_cast<float>(
+                                     static_cast<std::int8_t>(
+                                         src[g + i]));
         }
-        dst[i] = scale * static_cast<float>(q);
+    } else {
+        // group_ is even, so a group-aligned offset is byte-aligned.
+        const std::uint8_t *src = data_.data() + offset / 2;
+        for (std::size_t g = 0; g < count; g += group_) {
+            float s = scales_[(offset + g) / group_];
+            for (std::size_t i = 0; i < group_; i += 2) {
+                std::uint8_t byte = src[(g + i) / 2];
+                dst[g + i] =
+                    s * static_cast<float>(nibbleToInt(byte));
+                dst[g + i + 1] =
+                    s * static_cast<float>(nibbleToInt(
+                            static_cast<std::uint8_t>(byte >> 4)));
+            }
+        }
+    }
+}
+
+void
+QuantizedBuffer::dequantizeRows(std::size_t rowOff,
+                                std::size_t rowStride,
+                                std::size_t rows, std::size_t count,
+                                float *dst) const
+{
+    if (rows == 0)
+        return;
+    panicIf(rowOff % group_ != 0 || count % group_ != 0 ||
+                rowStride % group_ != 0,
+            "dequantizeRows must be group-aligned");
+    panicIf(rowOff + (rows - 1) * rowStride + count > n_,
+            "dequantize rows out of bounds");
+    std::size_t gpr = count / group_;        // groups per row
+    std::size_t gstep = rowStride / group_;  // group index step
+    std::size_t g0 = rowOff / group_;
+    if (kind_ == QuantKind::Int8) {
+        for (std::size_t r = 0; r < rows; ++r) {
+            const std::uint8_t *src =
+                data_.data() + rowOff + r * rowStride;
+            const float *sc = scales_.data() + g0 + r * gstep;
+            float *d = dst + r * count;
+            for (std::size_t g = 0; g < gpr; ++g) {
+                float s = sc[g];
+                const std::uint8_t *sg = src + g * group_;
+                float *dg = d + g * group_;
+                for (std::size_t i = 0; i < group_; ++i)
+                    dg[i] = s * static_cast<float>(
+                                    static_cast<std::int8_t>(sg[i]));
+            }
+        }
+    } else {
+        // group_ is even, so group-aligned offsets are byte-aligned.
+        for (std::size_t r = 0; r < rows; ++r) {
+            const std::uint8_t *src =
+                data_.data() + (rowOff + r * rowStride) / 2;
+            const float *sc = scales_.data() + g0 + r * gstep;
+            float *d = dst + r * count;
+            std::size_t half = group_ / 2;
+            for (std::size_t g = 0; g < gpr; ++g) {
+                float s = sc[g];
+                const std::uint8_t *sg = src + g * half;
+                float *dg = d + g * group_;
+                for (std::size_t b = 0; b < half; ++b) {
+                    std::uint8_t byte = sg[b];
+                    dg[2 * b] = s * static_cast<float>(
+                                        nibbleToInt(byte));
+                    dg[2 * b + 1] =
+                        s * static_cast<float>(nibbleToInt(
+                                static_cast<std::uint8_t>(
+                                    byte >> 4)));
+                }
+            }
+        }
     }
 }
 
@@ -116,6 +189,200 @@ QuantizedBuffer::errorBound(QuantKind kind, double maxAbs)
     return 0.5 * maxAbs / qmax + 1e-7;
 }
 
+namespace {
+
+/**
+ * Check a quantized page list's geometry: whole tokens per page,
+ * every page full except possibly the last, groups row-aligned.
+ * Returns the total token count stored in the pages.
+ */
+std::size_t
+checkQuantPages(std::span<const QuantizedBuffer> kPages,
+                std::span<const QuantizedBuffer> vPages,
+                std::size_t pageTokens, std::size_t nKv,
+                std::size_t headDim)
+{
+    panicIf(kPages.size() != vPages.size(),
+            "mismatched quantized K/V page counts");
+    std::size_t row_floats = nKv * headDim;
+    std::size_t tokens = 0;
+    for (std::size_t p = 0; p < kPages.size(); ++p) {
+        panicIf(kPages[p].size() != vPages[p].size(),
+                "mismatched quantized K/V page sizes");
+        panicIf(kPages[p].size() % row_floats != 0,
+                "quantized KV page must hold whole tokens");
+        std::size_t page_tokens = kPages[p].size() / row_floats;
+        panicIf(page_tokens == 0 || page_tokens > pageTokens,
+                "quantized KV page has wrong geometry");
+        panicIf(p + 1 < kPages.size() && page_tokens != pageTokens,
+                "only the tail quantized KV page may be partial");
+        panicIf(headDim % kPages[p].groupSize() != 0 ||
+                    headDim % vPages[p].groupSize() != 0,
+                "quant group size must divide headDim");
+        tokens += page_tokens;
+    }
+    return tokens;
+}
+
+} // namespace
+
+void
+gqaDecodeAttentionQuantFused(const float *q, std::size_t nQ,
+                             const QuantKvView &kv, float *out,
+                             float scale, std::span<float> scratch)
+{
+    panicIf(kv.nKv == 0 || nQ % kv.nKv != 0,
+            "query heads must be a multiple of KV heads");
+    panicIf(kv.contextLen == 0, "attention over empty context");
+    panicIf(kv.pageTokens == 0, "quant KV view has zero pageTokens");
+    panicIf(kv.openTokens > 0 &&
+                (kv.openK == nullptr || kv.openV == nullptr),
+            "quant KV view has open tokens but no open page");
+    std::size_t quant_tokens = checkQuantPages(
+        kv.kPages, kv.vPages, kv.pageTokens, kv.nKv, kv.headDim);
+    panicIf(quant_tokens + kv.openTokens != kv.contextLen,
+            "quant KV view context length does not match its pages");
+
+    std::size_t group = nQ / kv.nKv;
+    std::size_t ctx = kv.contextLen;
+    std::size_t hd = kv.headDim;
+    panicIf(scratch.size() < gqaQuantAttnScratchFloats(
+                                 nQ, kv.nKv, ctx, hd, kv.pageTokens),
+            "quant attention scratch too small");
+    std::size_t stash_rows = std::min(kv.pageTokens, ctx);
+    float *scores = scratch.data();
+    float *kstash = scores + group * ctx;       // [stash_rows, hd]
+    float *vstash = kstash + stash_rows * hd;   // [stash_rows, hd]
+    float *vcarry = vstash + stash_rows * hd;   // [4, hd]
+    std::size_t row_floats = kv.nKv * hd;
+
+    for (std::size_t kvh = 0; kvh < kv.nKv; ++kvh) {
+        const float *qg = q + kvh * group * hd;
+        float *og = out + kvh * group * hd;
+
+        // Score pass: gather-dequantize this KV head's rows of each
+        // page into the L1-resident stash, then score all group
+        // heads against each row while it is hot — the same per-row
+        // arithmetic and score layout as the float kernel, so the
+        // output is bit-identical to attending over materialized
+        // float pages.
+        auto score_row = [&](const float *krow, std::size_t t) {
+            std::size_t g = 0;
+            float s4[4];
+            for (; g + 4 <= group; g += 4) {
+                dot4(krow, qg + g * hd, qg + (g + 1) * hd,
+                     qg + (g + 2) * hd, qg + (g + 3) * hd, hd, s4);
+                scores[g * ctx + t] = scale * s4[0];
+                scores[(g + 1) * ctx + t] = scale * s4[1];
+                scores[(g + 2) * ctx + t] = scale * s4[2];
+                scores[(g + 3) * ctx + t] = scale * s4[3];
+            }
+            for (; g < group; ++g)
+                scores[g * ctx + t] = scale * dot(qg + g * hd, krow, hd);
+        };
+        std::size_t t = 0;
+        for (const QuantizedBuffer &kp : kv.kPages) {
+            std::size_t run = kp.size() / row_floats;
+            kp.dequantizeRows(kvh * hd, row_floats, run, hd, kstash);
+            for (std::size_t r = 0; r < run; ++r)
+                score_row(kstash + r * hd, t + r);
+            t += run;
+        }
+        for (std::size_t r = 0; r < kv.openTokens; ++r)
+            score_row(kv.openK + (r * kv.nKv + kvh) * hd, t + r);
+
+        for (std::size_t g = 0; g < group; ++g)
+            softmaxInPlaceFast(
+                std::span<float>(scores + g * ctx, ctx));
+
+        // V accumulation: rows fold four-at-a-time into all group
+        // heads, blocks indexed by global token and carried across
+        // page boundaries (matching the float kernel's summation
+        // order). Quantized pages gather-dequantize into the stash;
+        // open-page rows are used in place. Pending rows of a
+        // straddling block are preserved in the carry stash before
+        // the page stash is refilled.
+        std::memset(og, 0, group * hd * sizeof(float));
+        const float *vrows[4];
+        std::size_t base = 0;     // global index of vrows[0]
+        std::size_t pending = 0;  // rows buffered, < 4
+        auto push_row = [&](const float *vrow) {
+            vrows[pending++] = vrow;
+            if (pending < 4)
+                return;
+            const float *v0 = vrows[0], *v1 = vrows[1],
+                        *v2 = vrows[2], *v3 = vrows[3];
+            for (std::size_t g = 0; g < group; ++g) {
+                const float *wg = scores + g * ctx + base;
+                float w0 = wg[0], w1 = wg[1], w2 = wg[2], w3 = wg[3];
+                float *o = og + g * hd;
+                for (std::size_t d = 0; d < hd; ++d)
+                    o[d] += w0 * v0[d] + w1 * v1[d] + w2 * v2[d] +
+                            w3 * v3[d];
+            }
+            base += 4;
+            pending = 0;
+        };
+        for (const QuantizedBuffer &vp : kv.vPages) {
+            std::size_t run = vp.size() / row_floats;
+            for (std::size_t i = 0; i < pending; ++i)
+                if (vrows[i] >= vstash &&
+                    vrows[i] < vstash + stash_rows * hd) {
+                    std::memcpy(vcarry + i * hd, vrows[i],
+                                hd * sizeof(float));
+                    vrows[i] = vcarry + i * hd;
+                }
+            vp.dequantizeRows(kvh * hd, row_floats, run, hd, vstash);
+            for (std::size_t r = 0; r < run; ++r)
+                push_row(vstash + r * hd);
+        }
+        for (std::size_t r = 0; r < kv.openTokens; ++r)
+            push_row(kv.openV + (r * kv.nKv + kvh) * hd);
+        for (std::size_t i = 0; i < pending; ++i)
+            for (std::size_t g = 0; g < group; ++g)
+                accumulateScaled(og + g * hd, vrows[i],
+                                 scores[g * ctx + base + i], hd);
+    }
+}
+
+void
+gqaDecodeAttentionQuantFused(const float *q, std::size_t nQ,
+                             const QuantKvView &kv, float *out,
+                             float scale)
+{
+    std::vector<float> scratch(gqaQuantAttnScratchFloats(
+        nQ, kv.nKv, kv.contextLen, kv.headDim, kv.pageTokens));
+    gqaDecodeAttentionQuantFused(q, nQ, kv, out, scale, scratch);
+}
+
+void
+gqaDecodeAttentionQuantBatch(const float *qBatch, std::size_t qStride,
+                             std::size_t nQ,
+                             std::span<const QuantKvView> kvs,
+                             float *outBatch, std::size_t outStride,
+                             float scale, ThreadPool *pool,
+                             std::span<float> scratch)
+{
+    if (kvs.empty())
+        return;
+    std::size_t per_worker = 0;
+    for (const QuantKvView &kv : kvs)
+        per_worker = std::max(
+            per_worker,
+            gqaQuantAttnScratchFloats(nQ, kv.nKv, kv.contextLen,
+                                      kv.headDim, kv.pageTokens));
+    ThreadPool::forEachWithScratch(
+        pool, kvs.size(), per_worker,
+        [&](std::size_t begin, std::size_t end, float *buf) {
+            for (std::size_t t = begin; t < end; ++t)
+                gqaDecodeAttentionQuantFused(
+                    qBatch + t * qStride, nQ, kvs[t],
+                    outBatch + t * outStride, scale,
+                    {buf, per_worker});
+        },
+        scratch);
+}
+
 void
 gqaDecodeAttentionQuant(const float *q, std::size_t nQ,
                         std::span<const QuantizedBuffer> kPages,
@@ -124,23 +391,24 @@ gqaDecodeAttentionQuant(const float *q, std::size_t nQ,
                         std::size_t nKv, std::size_t headDim,
                         float *out, float scale)
 {
-    panicIf(kPages.size() != vPages.size(),
-            "mismatched quantized K/V page counts");
     panicIf(contextLen == 0, "attention over empty context");
-    std::size_t page_floats = pageTokens * nKv * headDim;
-    std::vector<float> kbuf(kPages.size() * page_floats);
-    std::vector<float> vbuf(vPages.size() * page_floats);
+    std::size_t tokens =
+        checkQuantPages(kPages, vPages, pageTokens, nKv, headDim);
+    panicIf(contextLen > tokens,
+            "context length exceeds quantized KV pages");
+    std::size_t row_floats = nKv * headDim;
+    std::size_t total_floats = tokens * row_floats;
+    std::vector<float> kbuf(total_floats);
+    std::vector<float> vbuf(total_floats);
     std::vector<const float *> kp(kPages.size()), vp(vPages.size());
+    std::size_t off = 0;
     for (std::size_t p = 0; p < kPages.size(); ++p) {
-        panicIf(kPages[p].size() != page_floats ||
-                    vPages[p].size() != page_floats,
-                "quantized KV page has wrong geometry");
-        kPages[p].dequantize(
-            {kbuf.data() + p * page_floats, page_floats});
-        vPages[p].dequantize(
-            {vbuf.data() + p * page_floats, page_floats});
-        kp[p] = kbuf.data() + p * page_floats;
-        vp[p] = vbuf.data() + p * page_floats;
+        std::size_t page_floats = kPages[p].size();
+        kPages[p].dequantize({kbuf.data() + off, page_floats});
+        vPages[p].dequantize({vbuf.data() + off, page_floats});
+        kp[p] = kbuf.data() + off;
+        vp[p] = vbuf.data() + off;
+        off += page_floats;
     }
     KvView view;
     view.kPages = kp;

@@ -5,6 +5,17 @@
  * lever that raises attention's operational intensity; this module
  * provides the actual kernels so the runtime can store KV quantized
  * and attend over it with on-the-fly dequantization.
+ *
+ * Two attention paths over quantized KV:
+ *  - gqaDecodeAttentionQuantFused: dequantizes each K/V row into a
+ *    headDim-sized stash inside the score / V-accumulation passes —
+ *    memory traffic is the quantized footprint only, no per-call
+ *    float page buffers. This is the production path.
+ *  - gqaDecodeAttentionQuant: materializes every page into float and
+ *    calls the float kernel. Retained as the golden cross-check (the
+ *    role moelight::naive plays for the float kernels); the fused
+ *    kernel is bit-identical to it because both attend over the same
+ *    dequantized values with the same float core.
  */
 
 #ifndef MOELIGHT_KERNELS_QUANT_HH
@@ -49,6 +60,17 @@ class QuantizedBuffer
     void dequantizeRange(std::size_t offset, std::size_t count,
                          std::span<float> dst) const;
 
+    /**
+     * Strided row gather-dequantize: for r in [0, rows), dequantize
+     * elements [rowOff + r*rowStride, +count) into dst + r*count —
+     * one head's rows of a [tokens, nKv, headDim] page in a single
+     * call. rowOff, rowStride and count must be group-aligned.
+     * Element-wise identical to dequantizeRange over each row.
+     */
+    void dequantizeRows(std::size_t rowOff, std::size_t rowStride,
+                        std::size_t rows, std::size_t count,
+                        float *dst) const;
+
     std::size_t size() const { return n_; }
     QuantKind kind() const { return kind_; }
     std::size_t groupSize() const { return group_; }
@@ -68,18 +90,113 @@ class QuantizedBuffer
 };
 
 /**
- * Decode GQA attention over a *quantized* KV cache: K/V pages are
- * QuantizedBuffers (one per page, layout identical to KvView pages);
- * the kernel dequantizes page-by-page into @p scratch and reuses the
- * float path. Numerics: matches float attention within the
- * quantization error.
+ * A read-only view over one sequence's *quantized* paged K and V:
+ * closed pages are QuantizedBuffers (layout [tokens, nKv, headDim],
+ * one quant group never straddling a token-head row), every page full
+ * except possibly the last, plus an optional trailing float "open"
+ * page for tokens appended since the last page closed — exactly the
+ * steady state QuantizedKvCache holds, referenced without copying.
+ */
+struct QuantKvView
+{
+    /** Closed quantized K pages; all hold pageTokens tokens except
+     *  possibly the last (partial tail). */
+    std::span<const QuantizedBuffer> kPages;
+    /** Closed quantized V pages, same geometry as kPages. */
+    std::span<const QuantizedBuffer> vPages;
+    /** Optional float tail page, [openTokens, nKv, headDim]; null
+     *  when openTokens == 0. */
+    const float *openK = nullptr;
+    const float *openV = nullptr;
+    std::size_t openTokens = 0;
+    /** Tokens per (full) page. */
+    std::size_t pageTokens = 0;
+    /** Valid context length: quantized tokens + openTokens. */
+    std::size_t contextLen = 0;
+    /** Number of KV heads. */
+    std::size_t nKv = 0;
+    /** Per-head dimension. */
+    std::size_t headDim = 0;
+};
+
+/**
+ * Scratch floats gqaDecodeAttentionQuantFused needs: the float
+ * kernel's score rows plus two page-run dequant stashes (K and V,
+ * one head's rows of one page each — L1-resident) and a 4-row carry
+ * stash for V blocks straddling page boundaries.
+ */
+inline std::size_t
+gqaQuantAttnScratchFloats(std::size_t nQ, std::size_t nKv,
+                          std::size_t ctx, std::size_t headDim,
+                          std::size_t pageTokens)
+{
+    if (nKv == 0)
+        return 0;
+    std::size_t stash_rows = pageTokens < ctx ? pageTokens : ctx;
+    return (nQ / nKv) * ctx + (2 * stash_rows + 4) * headDim;
+}
+
+/**
+ * Fused decode GQA over quantized KV: the current KV head's rows of
+ * each page are gather-dequantized into an L1-resident page stash
+ * inside the score and V-accumulation passes, so the only memory
+ * traffic is the quantized payload (+ the float open page) — no
+ * materialized float pages, no heap allocation when @p scratch is
+ * provided. Requires every page's quant group size to divide headDim
+ * (rows must be group-aligned; the KV cache quantizes with
+ * group == headDim).
+ *
+ * Numerics: bit-identical to dequantizing all pages and running
+ * gqaDecodeAttention (same dequantized values, same float core), and
+ * therefore within QuantizedBuffer::errorBound of float attention.
+ *
+ * @param q       [nQ, headDim] query.
+ * @param nQ      Query heads; must be a multiple of kv.nKv.
+ * @param kv      Quantized paged KV view.
+ * @param out     [nQ, headDim] output.
+ * @param scale   Logit scale.
+ * @param scratch >= gqaQuantAttnScratchFloats(nQ, kv.nKv,
+ *                kv.contextLen, kv.headDim, kv.pageTokens) floats.
+ */
+void gqaDecodeAttentionQuantFused(const float *q, std::size_t nQ,
+                                  const QuantKvView &kv, float *out,
+                                  float scale,
+                                  std::span<float> scratch);
+
+/** Convenience overload that allocates its own scratch. */
+void gqaDecodeAttentionQuantFused(const float *q, std::size_t nQ,
+                                  const QuantKvView &kv, float *out,
+                                  float scale);
+
+/**
+ * Batched fused quant decode GQA across a micro-batch: token @p t
+ * uses query qBatch + t*qStride, view kvs[t], and writes outBatch +
+ * t*outStride; tokens are distributed across @p pool with one
+ * per-worker scratch slot (see gqaDecodeAttentionBatch). Results are
+ * identical with or without the pool.
+ */
+void gqaDecodeAttentionQuantBatch(const float *qBatch,
+                                  std::size_t qStride, std::size_t nQ,
+                                  std::span<const QuantKvView> kvs,
+                                  float *outBatch,
+                                  std::size_t outStride, float scale,
+                                  ThreadPool *pool = nullptr,
+                                  std::span<float> scratch = {});
+
+/**
+ * Materializing decode attention over quantized KV: dequantizes every
+ * page into a temporary float buffer and calls the float kernel.
+ * Golden cross-check for the fused path — bit-identical to it. Pages
+ * must hold whole tokens and be full except possibly the last
+ * (partial tail, the state a paged cache is in between page
+ * boundaries).
  *
  * @param q        [nQ, headDim] query.
  * @param nQ       query heads.
- * @param kPages   quantized K pages ([pageTokens, nKv, headDim] each).
+ * @param kPages   quantized K pages ([tokens, nKv, headDim] each).
  * @param vPages   quantized V pages.
- * @param pageTokens tokens per page.
- * @param contextLen valid tokens.
+ * @param pageTokens tokens per full page.
+ * @param contextLen valid tokens (<= tokens stored in the pages).
  * @param nKv      KV heads.
  * @param headDim  head dimension.
  * @param out      [nQ, headDim] output.

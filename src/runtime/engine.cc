@@ -7,6 +7,7 @@
 #include "common/logging.hh"
 #include "kernels/attention.hh"
 #include "kernels/linalg.hh"
+#include "kernels/quant.hh"
 #include "kernels/moe_ffn.hh"
 #include "kernels/ops.hh"
 #include "kernels/router.hh"
@@ -161,11 +162,17 @@ PipelinedEngine::generate(const std::vector<std::vector<int>> &prompts,
     for (const auto &p : prompts)
         max_ctx = std::max(max_ctx, p.size());
     max_ctx += static_cast<std::size_t>(genLen) + 1;
+    // Quant scratch is a superset of the float kernel's (score rows
+    // plus the K/V dequant stash), so one sizing covers both modes.
     st.cpuAttnScratch.assign(
-        gqaAttnScratchFloats(cfg.nq, cfg.nkv, max_ctx), 0.0f);
+        gqaQuantAttnScratchFloats(cfg.nq, cfg.nkv, max_ctx,
+                                  cfg.headDim, cfg_.kvPageTokens),
+        0.0f);
     std::size_t attn_slots = attnPool_ ? attnPool_->maxParallelism() : 1;
     st.cpuBatchScratch.assign(
-        attn_slots * gqaAttnScratchFloats(cfg.nq, cfg.nkv, max_ctx),
+        attn_slots * gqaQuantAttnScratchFloats(cfg.nq, cfg.nkv,
+                                               max_ctx, cfg.headDim,
+                                               cfg_.kvPageTokens),
         0.0f);
 
     st.out.assign(st.numSeqs, {});
@@ -177,9 +184,17 @@ PipelinedEngine::generate(const std::vector<std::vector<int>> &prompts,
     st.slotBusy.assign(store_.numSlots(), nullptr);
     st.cattn.assign(cfg.l, std::vector<EventPtr>(st.numUbs));
 
-    kv_ = std::make_unique<KvCacheManager>(cfg, st.numSeqs,
-                                           cfg_.kvPageTokens,
-                                           cfg_.kvCapacityTokens);
+    if (cfg_.kvQuant) {
+        qkv_ = std::make_unique<QuantizedKvCache>(
+            cfg, st.numSeqs, cfg_.kvPageTokens, *cfg_.kvQuant,
+            cfg_.kvCapacityTokens);
+        kv_.reset();
+    } else {
+        kv_ = std::make_unique<KvCacheManager>(cfg, st.numSeqs,
+                                               cfg_.kvPageTokens,
+                                               cfg_.kvCapacityTokens);
+        qkv_.reset();
+    }
     exec_ = std::make_unique<StreamExecutor>();
     te_.resetStats();
 
@@ -292,14 +307,26 @@ PipelinedEngine::prefill(const std::vector<std::vector<int>> &prompts,
                                       v_all.data(), len, st.h1,
                                       st.kvDim, pool);
                     for (std::size_t t = 0; t < len; ++t) {
-                        kv_->append(s, li,
-                                    k_all.data() + t * st.kvDim,
-                                    v_all.data() + t * st.kvDim);
-                        kv_->makeView(s, li, view);
-                        gqaDecodeAttention(
-                            q_all.data() + t * st.qDim, c.nq,
-                            view.view, attn_all.data() + t * st.qDim,
-                            st.scale, st.cpuAttnScratch);
+                        if (qkv_) {
+                            qkv_->append(s, li,
+                                         k_all.data() + t * st.kvDim,
+                                         v_all.data() + t * st.kvDim);
+                            gqaDecodeAttentionQuantFused(
+                                q_all.data() + t * st.qDim, c.nq,
+                                qkv_->makeQuantView(s, li),
+                                attn_all.data() + t * st.qDim,
+                                st.scale, st.cpuAttnScratch);
+                        } else {
+                            kv_->append(s, li,
+                                        k_all.data() + t * st.kvDim,
+                                        v_all.data() + t * st.kvDim);
+                            kv_->makeView(s, li, view);
+                            gqaDecodeAttention(
+                                q_all.data() + t * st.qDim, c.nq,
+                                view.view,
+                                attn_all.data() + t * st.qDim,
+                                st.scale, st.cpuAttnScratch);
+                        }
                     }
                     matmulTransposedB(attn_all.data(),
                                       store_.tensor(li, "wo"),
@@ -430,8 +457,12 @@ PipelinedEngine::decodeStep(DecodeState &st, int stepIdx, bool lastStep)
                     std::size_t s = st.ubStart[j] + r;
                     const float *qkv =
                         st.qkvCpu[j].data() + r * st.qkvDim;
-                    kv_->append(s, i, qkv + st.qDim,
-                                qkv + st.qDim + st.kvDim);
+                    if (qkv_)
+                        qkv_->append(s, i, qkv + st.qDim,
+                                     qkv + st.qDim + st.kvDim);
+                    else
+                        kv_->append(s, i, qkv + st.qDim,
+                                    qkv + st.qDim + st.kvDim);
                 }
             });
 
@@ -439,6 +470,20 @@ PipelinedEngine::decodeStep(DecodeState &st, int stepIdx, bool lastStep)
             ResourceKind::Cpu, {off}, [this, &st, i, j] {
                 const ModelConfig &c = w_.cfg;
                 std::size_t n = st.ubSize(j);
+                if (qkv_) {
+                    // Zero-copy quantized views; the fused kernel
+                    // dequantizes rows in-register, so no float KV
+                    // pages are ever materialized.
+                    std::vector<QuantKvView> qviews(n);
+                    for (std::size_t r = 0; r < n; ++r)
+                        qviews[r] =
+                            qkv_->makeQuantView(st.ubStart[j] + r, i);
+                    gqaDecodeAttentionQuantBatch(
+                        st.qkvCpu[j].data(), st.qkvDim, c.nq, qviews,
+                        st.attnCpu[j].data(), st.qDim, st.scale,
+                        attnPool_.get(), st.cpuBatchScratch);
+                    return;
+                }
                 // Materialize all views first, then fan the tokens
                 // out across the attention pool (multi-core kernel).
                 std::vector<KvViewStorage> views(n);

@@ -18,12 +18,14 @@
 #define MOELIGHT_RUNTIME_ENGINE_HH
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/thread_pool.hh"
 #include "common/units.hh"
 #include "runtime/kv_cache.hh"
 #include "runtime/paged_weights.hh"
+#include "runtime/quant_kv_cache.hh"
 #include "runtime/reference_engine.hh"  // GenerationResult
 #include "runtime/stream_executor.hh"
 #include "runtime/transfer_engine.hh"
@@ -43,6 +45,14 @@ struct EngineConfig
      *  24-core MKL kernel); 0 = run attention on the CPU queue
      *  thread alone. */
     std::size_t cpuAttnThreads = 0;
+    /** Quantize KV pages as they close (int8/int4) and run decode
+     *  attention through the fused quant kernel — the Fig. 4 lever
+     *  that raises attention's operational intensity. nullopt (the
+     *  default) keeps float KV, bit-identical to ReferenceEngine;
+     *  with quantization enabled tokens instead match a
+     *  ReferenceEngine constructed with the same kvQuant and
+     *  kvPageTokens. */
+    std::optional<QuantKind> kvQuant{};
 };
 
 /**
@@ -81,6 +91,7 @@ class PipelinedEngine
     PagedWeightStore store_;
     std::unique_ptr<ThreadPool> attnPool_;
     std::unique_ptr<KvCacheManager> kv_;
+    std::unique_ptr<QuantizedKvCache> qkv_;  ///< when cfg_.kvQuant
     std::unique_ptr<StreamExecutor> exec_;
     std::unique_ptr<DecodeState> state_;
 };

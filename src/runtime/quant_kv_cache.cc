@@ -7,19 +7,23 @@ namespace moelight {
 QuantizedKvCache::QuantizedKvCache(const ModelConfig &cfg,
                                    std::size_t numSeqs,
                                    std::size_t pageTokens,
-                                   QuantKind kind)
+                                   QuantKind kind,
+                                   std::size_t capacityTokens)
     : cfg_(cfg),
       numSeqs_(numSeqs),
       pageTokens_(pageTokens),
       tokenFloats_(cfg.nkv * cfg.headDim),
       kind_(kind),
+      capacityTokens_(capacityTokens),
       streams_(numSeqs * cfg.l)
 {
     fatalIf(numSeqs == 0, "quantized KV cache for zero sequences");
     fatalIf(pageTokens == 0, "KV page must hold at least one token");
-    // Quantization groups are per token-head vector; headDim must be
-    // group-compatible.
-    fatalIf(cfg.headDim % 2 != 0,
+    // Quantization groups are one token-head vector each (group ==
+    // headDim), so only int4's two-nibbles-per-byte packing needs an
+    // even headDim; int8 stores one byte per element and works for
+    // any headDim.
+    fatalIf(kind == QuantKind::Int4 && cfg.headDim % 2 != 0,
             "headDim must be even for int4 packing");
 }
 
@@ -42,6 +46,10 @@ QuantizedKvCache::append(std::size_t seq, std::size_t layer,
                          const float *k, const float *v)
 {
     Stream &s = at(seq, layer);
+    ++totalTokens_;
+    fatalIf(capacityTokens_ != 0 && totalTokens_ > capacityTokens_,
+            "quantized KV cache out of capacity (", capacityTokens_,
+            " tokens)");
     s.openK.insert(s.openK.end(), k, k + tokenFloats_);
     s.openV.insert(s.openV.end(), v, v + tokenFloats_);
     ++s.len;
@@ -60,6 +68,25 @@ std::size_t
 QuantizedKvCache::contextLen(std::size_t seq, std::size_t layer) const
 {
     return at(seq, layer).len;
+}
+
+QuantKvView
+QuantizedKvCache::makeQuantView(std::size_t seq, std::size_t layer) const
+{
+    const Stream &s = at(seq, layer);
+    QuantKvView v;
+    v.kPages = s.closedK;
+    v.vPages = s.closedV;
+    if (!s.openK.empty()) {
+        v.openK = s.openK.data();
+        v.openV = s.openV.data();
+        v.openTokens = s.openK.size() / tokenFloats_;
+    }
+    v.pageTokens = pageTokens_;
+    v.contextLen = s.len;
+    v.nKv = cfg_.nkv;
+    v.headDim = cfg_.headDim;
+    return v;
 }
 
 void

@@ -33,13 +33,19 @@ struct QuantKvViewStorage
 /**
  * Per-(sequence, layer) quantized KV streams. Unlike KvCacheManager
  * there is no fixed page pool: quantized pages are tiny, and the
- * interesting accounting is the compression ratio, exposed below.
+ * interesting accounting is the compression ratio, exposed below. A
+ * token budget can still be enforced so a configured KV memory limit
+ * keeps meaning something in quantized mode.
  */
 class QuantizedKvCache
 {
   public:
+    /** @p capacityTokens Total token capacity across sequences and
+     *  layers (the same budget semantics as KvCacheManager);
+     *  exceeding it is fatal. 0 = unlimited. */
     QuantizedKvCache(const ModelConfig &cfg, std::size_t numSeqs,
-                     std::size_t pageTokens, QuantKind kind);
+                     std::size_t pageTokens, QuantKind kind,
+                     std::size_t capacityTokens = 0);
 
     /** Append one token's K and V ([nkv*headDim] floats each). */
     void append(std::size_t seq, std::size_t layer, const float *k,
@@ -48,9 +54,21 @@ class QuantizedKvCache
     std::size_t contextLen(std::size_t seq, std::size_t layer) const;
 
     /**
-     * Materialize a float view (dequantizing closed pages) for the
-     * attention kernel. @p storage owns the dequantized floats and
-     * must outlive the view's use.
+     * Zero-copy quantized view over (@p seq, @p layer) for the fused
+     * attention kernel (gqaDecodeAttentionQuantFused): references the
+     * closed QuantizedBuffers and the open float page in place — no
+     * dequantization, no allocation. The view is invalidated by the
+     * next append() to the same (seq, layer).
+     */
+    QuantKvView makeQuantView(std::size_t seq, std::size_t layer) const;
+
+    /**
+     * Materialize a float view (dequantizing every closed page) for
+     * the *float* attention kernel. This moves the quantized plus the
+     * float footprint per call; it is retained as the golden
+     * cross-check for the fused path, not a production path.
+     * @p storage owns the dequantized floats and must outlive the
+     * view's use.
      */
     void makeView(std::size_t seq, std::size_t layer,
                   QuantKvViewStorage &storage) const;
@@ -79,6 +97,8 @@ class QuantizedKvCache
     std::size_t pageTokens_;
     std::size_t tokenFloats_;
     QuantKind kind_;
+    std::size_t capacityTokens_;
+    std::size_t totalTokens_ = 0;
     std::vector<Stream> streams_;
 };
 

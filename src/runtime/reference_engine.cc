@@ -11,10 +11,14 @@
 
 namespace moelight {
 
-ReferenceEngine::ReferenceEngine(const ModelWeights &weights)
-    : w_(weights)
+ReferenceEngine::ReferenceEngine(const ModelWeights &weights,
+                                 std::optional<QuantKind> kvQuant,
+                                 std::size_t kvPageTokens)
+    : w_(weights), kvQuant_(kvQuant), kvPageTokens_(kvPageTokens)
 {
     w_.cfg.validate();
+    fatalIf(kvQuant_ && kvPageTokens_ == 0,
+            "KV page must hold at least one token");
 }
 
 void
@@ -64,23 +68,33 @@ ReferenceEngine::forwardToken(std::size_t seq, int token)
                           kvDim);
         matmulTransposedB(norm.data(), lw.wv.data(), v.data(), 1, h1,
                           kvDim);
-        auto &ck = cache.k[li];
-        auto &cv = cache.v[li];
-        ck.insert(ck.end(), k.begin(), k.end());
-        cv.insert(cv.end(), v.begin(), v.end());
+        if (kvQuant_) {
+            if (!cache.quant)
+                cache.quant = std::make_unique<QuantizedKvCache>(
+                    cfg, 1, kvPageTokens_, *kvQuant_);
+            cache.quant->append(0, li, k.data(), v.data());
+            gqaDecodeAttentionQuantFused(
+                q.data(), cfg.nq, cache.quant->makeQuantView(0, li),
+                attn_out.data(), scale);
+        } else {
+            auto &ck = cache.k[li];
+            auto &cv = cache.v[li];
+            ck.insert(ck.end(), k.begin(), k.end());
+            cv.insert(cv.end(), v.begin(), v.end());
 
-        std::size_t ctx = ck.size() / kvDim;
-        const float *kp = ck.data();
-        const float *vp = cv.data();
-        KvView view;
-        view.kPages = {&kp, 1};
-        view.vPages = {&vp, 1};
-        view.pageTokens = ctx;
-        view.contextLen = ctx;
-        view.nKv = cfg.nkv;
-        view.headDim = cfg.headDim;
-        gqaDecodeAttention(q.data(), cfg.nq, view, attn_out.data(),
-                           scale);
+            std::size_t ctx = ck.size() / kvDim;
+            const float *kp = ck.data();
+            const float *vp = cv.data();
+            KvView view;
+            view.kPages = {&kp, 1};
+            view.vPages = {&vp, 1};
+            view.pageTokens = ctx;
+            view.contextLen = ctx;
+            view.nKv = cfg.nkv;
+            view.headDim = cfg.headDim;
+            gqaDecodeAttention(q.data(), cfg.nq, view,
+                               attn_out.data(), scale);
+        }
 
         matmulTransposedB(attn_out.data(), lw.wo.data(), proj.data(), 1,
                           qDim, h1);

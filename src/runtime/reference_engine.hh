@@ -9,8 +9,11 @@
 #ifndef MOELIGHT_RUNTIME_REFERENCE_ENGINE_HH
 #define MOELIGHT_RUNTIME_REFERENCE_ENGINE_HH
 
+#include <memory>
+#include <optional>
 #include <vector>
 
+#include "runtime/quant_kv_cache.hh"
 #include "runtime/weights.hh"
 
 namespace moelight {
@@ -28,8 +31,17 @@ struct GenerationResult
 class ReferenceEngine
 {
   public:
-    /** @p weights must outlive the engine. */
-    explicit ReferenceEngine(const ModelWeights &weights);
+    /**
+     * @p weights must outlive the engine. When @p kvQuant is set, KV
+     * is stored in a QuantizedKvCache with @p kvPageTokens tokens per
+     * page and attention runs through the fused quant kernel — the
+     * single-threaded oracle for the pipelined engine's quantized
+     * mode (page geometry must match for token-exact comparison).
+     */
+    explicit ReferenceEngine(
+        const ModelWeights &weights,
+        std::optional<QuantKind> kvQuant = std::nullopt,
+        std::size_t kvPageTokens = 16);
 
     /**
      * Greedily generate @p genLen tokens for each prompt. Prompts
@@ -58,12 +70,17 @@ class ReferenceEngine
         /** Per layer: [len, nkv*headDim] grow-able K and V. */
         std::vector<std::vector<float>> k;
         std::vector<std::vector<float>> v;
+        /** Quantized mode: one single-sequence cache per sequence
+         *  (lazily created; k/v above stay empty). */
+        std::unique_ptr<QuantizedKvCache> quant;
         std::size_t len = 0;
     };
 
     SeqCache &cacheFor(std::size_t seq);
 
     const ModelWeights &w_;
+    std::optional<QuantKind> kvQuant_;
+    std::size_t kvPageTokens_;
     std::vector<SeqCache> seqs_;
 };
 

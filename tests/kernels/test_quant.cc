@@ -123,6 +123,55 @@ TEST(Quant, NegativeValuesSurviveInt4Packing)
         EXPECT_NEAR(back[i], src[i], 0.15f) << i;
 }
 
+TEST(QuantAttention, PartialTailPageMatchesFloat)
+{
+    // Regression: the materializing path used to panic on any page
+    // smaller than pageTokens * nKv * headDim, which is exactly the
+    // state a paged cache is in between page boundaries. A partial
+    // tail page must dequantize and attend like any other.
+    std::size_t nq = 8, nkv = 2, hd = 16, page_tokens = 4, ctx = 11;
+    std::size_t row = nkv * hd;
+    Rng rng(21);
+    std::vector<float> ksrc(ctx * row), vsrc(ctx * row);
+    for (auto &x : ksrc)
+        x = static_cast<float>(rng.uniform(-1, 1));
+    for (auto &x : vsrc)
+        x = static_cast<float>(rng.uniform(-1, 1));
+
+    std::vector<QuantizedBuffer> kq, vq;
+    for (std::size_t t = 0; t < ctx;) {
+        std::size_t run = std::min(page_tokens, ctx - t);  // tail: 3
+        kq.emplace_back(
+            std::span<const float>(ksrc.data() + t * row, run * row),
+            QuantKind::Int8, hd);
+        vq.emplace_back(
+            std::span<const float>(vsrc.data() + t * row, run * row),
+            QuantKind::Int8, hd);
+        t += run;
+    }
+    ASSERT_LT(kq.back().size(), page_tokens * row);
+
+    std::vector<float> q(nq * hd);
+    for (auto &x : q)
+        x = static_cast<float>(rng.uniform(-1, 1));
+    std::vector<float> quant_out(nq * hd), ref(nq * hd);
+    gqaDecodeAttentionQuant(q.data(), nq, kq, vq, page_tokens, ctx,
+                            nkv, hd, quant_out.data(), 0.25f);
+
+    const float *kp = ksrc.data();
+    const float *vp = vsrc.data();
+    KvView view;
+    view.kPages = {&kp, 1};
+    view.vPages = {&vp, 1};
+    view.pageTokens = ctx;
+    view.contextLen = ctx;
+    view.nKv = nkv;
+    view.headDim = hd;
+    gqaDecodeAttention(q.data(), nq, view, ref.data(), 0.25f);
+    for (std::size_t i = 0; i < ref.size(); ++i)
+        EXPECT_NEAR(quant_out[i], ref[i], 0.05f) << i;
+}
+
 TEST(QuantAttention, MatchesFloatWithinQuantError)
 {
     std::size_t nq = 4, nkv = 2, hd = 8, page_tokens = 4, ctx = 11;

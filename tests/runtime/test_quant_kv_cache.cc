@@ -120,6 +120,87 @@ TEST(QuantKvCache, OpenPageExactUntilClosed)
         }
 }
 
+TEST(QuantKvCache, OddHeadDimInt8Constructs)
+{
+    // Regression: the constructor used to reject odd headDim for
+    // *both* kinds; only int4's nibble packing needs it even.
+    ModelConfig c = cfg();
+    c.headDim = 7;
+    QuantizedKvCache kv(c, 1, 4, QuantKind::Int8);
+    Rng rng(13);
+    std::size_t tok_floats = c.nkv * c.headDim;
+    std::vector<float> k(tok_floats), v(tok_floats);
+    for (int t = 0; t < 6; ++t) {  // one closed page + open tokens
+        for (auto &x : k)
+            x = static_cast<float>(rng.uniform(-1, 1));
+        for (auto &x : v)
+            x = static_cast<float>(rng.uniform(-1, 1));
+        kv.append(0, 0, k.data(), v.data());
+    }
+    EXPECT_EQ(kv.contextLen(0, 0), 6u);
+
+    std::vector<float> q(c.nq * c.headDim);
+    for (auto &x : q)
+        x = static_cast<float>(rng.uniform(-1, 1));
+    std::vector<float> out_fused(q.size()), out_mat(q.size());
+    gqaDecodeAttentionQuantFused(q.data(), c.nq,
+                                 kv.makeQuantView(0, 0),
+                                 out_fused.data(), 0.35f);
+    QuantKvViewStorage s;
+    kv.makeView(0, 0, s);
+    gqaDecodeAttention(q.data(), c.nq, s.view, out_mat.data(), 0.35f);
+    for (std::size_t i = 0; i < out_fused.size(); ++i)
+        EXPECT_EQ(out_fused[i], out_mat[i]) << i;
+
+    // int4 still rejects an odd headDim (two nibbles per byte).
+    EXPECT_THROW(QuantizedKvCache(c, 1, 4, QuantKind::Int4),
+                 FatalError);
+}
+
+TEST_P(QuantKvKind, FusedOverQuantViewMatchesMaterializedView)
+{
+    // The zero-copy quantized view through the fused kernel must be
+    // bit-identical to the materializing makeView + float kernel —
+    // the golden cross-check pairing the runtime relies on.
+    ModelConfig c = cfg();
+    QuantizedKvCache kv(c, 1, 4, GetParam());
+    Rng rng(29);
+    for (int t = 0; t < 11; ++t) {  // 2 closed pages + 3 open tokens
+        auto k = randTokenKv(rng);
+        auto v = randTokenKv(rng);
+        kv.append(0, 1, k.data(), v.data());
+    }
+    QuantKvView qv = kv.makeQuantView(0, 1);
+    EXPECT_EQ(qv.kPages.size(), 2u);
+    EXPECT_EQ(qv.openTokens, 3u);
+    EXPECT_EQ(qv.contextLen, 11u);
+
+    std::vector<float> q(c.nq * c.headDim);
+    for (auto &x : q)
+        x = static_cast<float>(rng.uniform(-1, 1));
+    std::vector<float> out_fused(q.size()), out_mat(q.size());
+    float scale = 1.0f / std::sqrt(static_cast<float>(c.headDim));
+    gqaDecodeAttentionQuantFused(q.data(), c.nq, qv, out_fused.data(),
+                                 scale);
+    QuantKvViewStorage s;
+    kv.makeView(0, 1, s);
+    gqaDecodeAttention(q.data(), c.nq, s.view, out_mat.data(), scale);
+    for (std::size_t i = 0; i < out_fused.size(); ++i)
+        EXPECT_EQ(out_fused[i], out_mat[i]) << i;
+}
+
+TEST(QuantKvCache, EnforcesTokenCapacity)
+{
+    // The engine's kvCapacityTokens budget must keep meaning
+    // something in quantized mode: exceeding it is fatal, like the
+    // float pool's exhaustion, instead of growing without bound.
+    QuantizedKvCache kv(cfg(), 1, 4, QuantKind::Int8, 5);
+    std::vector<float> k(16, 0.5f), v(16, 0.5f);
+    for (int t = 0; t < 5; ++t)
+        kv.append(0, t % 2, k.data(), v.data());
+    EXPECT_THROW(kv.append(0, 0, k.data(), v.data()), FatalError);
+}
+
 TEST(QuantKvCache, OutOfRangePanics)
 {
     QuantizedKvCache kv(cfg(), 1, 4, QuantKind::Int8);
