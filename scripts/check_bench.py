@@ -20,9 +20,19 @@ def main(argv):
         print(__doc__, file=sys.stderr)
         return 2
     path, rules = argv[1], argv[2:]
-    with open(path) as f:
-        doc = json.load(f)
-    records = {r["name"]: r for r in doc.get("records", [])}
+    # A missing or malformed BENCH json is a gate failure with a
+    # diagnosis, not an uncaught traceback: the usual cause is the
+    # bench binary not running (or crashing mid-write) earlier in CI.
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+        records = {r["name"]: r for r in doc.get("records", [])}
+    except OSError as e:
+        print(f"FAIL  {path}: cannot read: {e}")
+        return 1
+    except (ValueError, KeyError, TypeError, AttributeError) as e:
+        print(f"FAIL  {path}: malformed BENCH json: {e!r}")
+        return 1
 
     failed = False
     for rule in rules:
@@ -31,13 +41,20 @@ def main(argv):
             print(f"FAIL  malformed rule: {rule!r}")
             failed = True
             continue
-        name, field, bound = m.group(1), m.group(2), float(m.group(3))
+        name, field = m.group(1), m.group(2)
         rec = records.get(name)
         if rec is None or field not in rec:
             print(f"FAIL  {name}.{field}: not found in {path}")
             failed = True
             continue
-        value = float(rec[field])
+        try:
+            bound = float(m.group(3))
+            value = float(rec[field])
+        except (ValueError, TypeError) as e:
+            print(f"FAIL  {name}.{field}: non-numeric value or "
+                  f"bound: {e}")
+            failed = True
+            continue
         status = "ok  " if value >= bound else "FAIL"
         print(f"{status}  {name}.{field} = {value:g} (>= {bound:g})")
         failed |= value < bound

@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
+#include "kernels/attention_core.hh"
 #include "kernels/linalg.hh"
 #include "kernels/ops.hh"
 
@@ -50,76 +51,25 @@ gqaDecodeAttention(const float *q, std::size_t nQ, const KvView &kv,
             "KV page index out of range");
     std::size_t row_stride = kv.nKv * hd;
 
-    for (std::size_t kvh = 0; kvh < kv.nKv; ++kvh) {
-        const float *qg = q + kvh * group * hd;
-        float *og = out + kvh * group * hd;
-        // Scores: walk each K page run once, page base hoisted, and
-        // score every query head of the group against the K row
-        // while it is hot. scratch row g holds head g's logits.
-        for (std::size_t p = 0, t = 0; t < ctx; ++p) {
-            const float *kbase = kv.kPages[p] + kvh * hd;
-            std::size_t run = std::min(kv.pageTokens, ctx - t);
-            for (std::size_t r = 0; r < run; ++r) {
-                const float *krow = kbase + r * row_stride;
-                std::size_t g = 0;
-                float s4[4];
-                for (; g + 4 <= group; g += 4) {
-                    dot4(krow, qg + g * hd, qg + (g + 1) * hd,
-                         qg + (g + 2) * hd, qg + (g + 3) * hd, hd, s4);
-                    scratch[g * ctx + t + r] = scale * s4[0];
-                    scratch[(g + 1) * ctx + t + r] = scale * s4[1];
-                    scratch[(g + 2) * ctx + t + r] = scale * s4[2];
-                    scratch[(g + 3) * ctx + t + r] = scale * s4[3];
-                }
-                for (; g < group; ++g)
-                    scratch[g * ctx + t + r] =
-                        scale * dot(qg + g * hd, krow, hd);
+    // One run per page, page base hoisted; rows live in the pages for
+    // the whole call, so no V carry stash is needed.
+    auto page_runs = [&](std::span<const float *const> pages,
+                         std::size_t kvh) {
+        return [&kv, pages, kvh, ctx, hd,
+                row_stride](auto &&emit) {
+            for (std::size_t p = 0, t = 0; t < ctx; ++p) {
+                std::size_t run = std::min(kv.pageTokens, ctx - t);
+                emit(pages[p] + kvh * hd, row_stride, run);
+                t += run;
             }
-            t += run;
-        }
-        for (std::size_t g = 0; g < group; ++g)
-            softmaxInPlaceFast(scratch.subspan(g * ctx, ctx));
-        // Fused weighted-V accumulation: each V row is fetched once
-        // and folded into all group output heads. Rows are folded in
-        // blocks of four so each output head is read-modify-written
-        // once per block, not once per row — the serial store-to-
-        // load chain on the accumulator is what dominates otherwise.
-        // Blocks are grouped by *global* token index and carried
-        // across page boundaries (a block's four row pointers may
-        // come from two pages), so the FP summation order — and thus
-        // the output bits — is independent of the page layout.
-        std::memset(og, 0, group * hd * sizeof(float));
-        const float *vrows[4];
-        std::size_t base = 0;     // global index of vrows[0]
-        std::size_t pending = 0;  // rows buffered, < 4
-        for (std::size_t p = 0, t = 0; t < ctx; ++p) {
-            const float *vbase = kv.vPages[p] + kvh * hd;
-            std::size_t run = std::min(kv.pageTokens, ctx - t);
-            for (std::size_t r = 0; r < run; ++r) {
-                vrows[pending++] = vbase + r * row_stride;
-                if (pending < 4)
-                    continue;
-                const float *v0 = vrows[0], *v1 = vrows[1],
-                            *v2 = vrows[2], *v3 = vrows[3];
-                for (std::size_t g = 0; g < group; ++g) {
-                    const float *wg = scratch.data() + g * ctx + base;
-                    float w0 = wg[0], w1 = wg[1], w2 = wg[2],
-                          w3 = wg[3];
-                    float *o = og + g * hd;
-                    for (std::size_t d = 0; d < hd; ++d)
-                        o[d] += w0 * v0[d] + w1 * v1[d] +
-                                w2 * v2[d] + w3 * v3[d];
-                }
-                base += 4;
-                pending = 0;
-            }
-            t += run;
-        }
-        for (std::size_t i = 0; i < pending; ++i)
-            for (std::size_t g = 0; g < group; ++g)
-                accumulateScaled(og + g * hd, vrows[i],
-                                 scratch[g * ctx + base + i], hd);
-    }
+        };
+    };
+    for (std::size_t kvh = 0; kvh < kv.nKv; ++kvh)
+        gqaAttentionHeadCore(q + kvh * group * hd, group, ctx, hd,
+                             out + kvh * group * hd, scale,
+                             scratch.data(), nullptr,
+                             page_runs(kv.kPages, kvh),
+                             page_runs(kv.vPages, kvh));
 }
 
 void

@@ -14,6 +14,13 @@
  * query heads of that KV head against each K row in a single pass, so
  * every K and V row is fetched once and reused group times. Bounds
  * checks run once per call, not per token.
+ *
+ * The score / softmax / V-fold arithmetic itself lives in the
+ * row-provider-templated gqaAttentionHeadCore (attention_core.hh);
+ * this kernel only supplies the float-page row provider. The
+ * quantized kernels (quant.hh) supply dequantizing providers over the
+ * same core, which is what makes their bit-identity to this kernel
+ * structural.
  */
 
 #ifndef MOELIGHT_KERNELS_ATTENTION_HH

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Row-provider-templated GQA attention core: the single
+ * score / softmax / 4-blocked-V-fold implementation shared by every
+ * attention kernel (float paged decode, fused quantized decode, and
+ * fused quantized causal prefill). Before this header existed the
+ * quantized kernel hand-mirrored the float kernel's ~60-line core and
+ * the bit-identity between the two was only test-enforced
+ * (test_quant_golden's EXPECT_EQ suite); with one core the guarantee
+ * is structural — a provider can only change *where* K/V rows come
+ * from, never the arithmetic or the summation order applied to them.
+ *
+ * ## Row-provider contract
+ *
+ * `gqaAttentionHeadCore` computes one KV head's attention for one
+ * query position. K and V rows are supplied by two provider
+ * callables, each invoked exactly once as `provider(emit)`. The
+ * provider must call
+ *
+ *     emit(const float *rows, std::size_t rowStride, std::size_t run)
+ *
+ * for consecutive token runs that cover exactly tokens [0, ctx) in
+ * order; row r of a run is the headDim floats at `rows + r *
+ * rowStride` (one head's K or V for one token). Examples: a float
+ * paged view emits one run per page (`rows` = page base + head
+ * offset, stride = nKv * headDim); the quantized view
+ * gather-dequantizes each page's current-head rows into an
+ * L1-resident stash and emits the stash (stride = headDim); the
+ * causal prefill kernel emits one run over its whole-context dequant
+ * stash plus one over the float tail that is still unquantized at the
+ * position being computed.
+ *
+ * Lifetime: K rows may be invalidated as soon as their emit returns
+ * (the core finishes scoring a run inside the emit — this is what
+ * lets the quant provider reuse one stash). For V the core folds
+ * rows in blocks of four *global* token indices, so up to three rows
+ * of a partial block can still be pending when a run ends. When
+ * @p vcarry is non-null the core copies pending rows into it before
+ * every emit returns, so a V provider may likewise invalidate its
+ * rows the moment emit comes back. A provider whose rows stay valid
+ * for the whole call (float pages, a persistent stash) may pass
+ * vcarry = nullptr and skip the copies.
+ *
+ * ## Determinism
+ *
+ * Scores are computed with dot()/dot4() per K row, softmaxed with
+ * softmaxInPlaceFast, and V rows are folded four-at-a-time grouped by
+ * *global* token index with the remainder accumulated per row — the
+ * FP summation order depends only on ctx, never on the run structure.
+ * Two calls whose providers emit bitwise-equal rows therefore produce
+ * bitwise-equal output regardless of page geometry, and the pending-
+ * row copies into vcarry cannot change results (same bits, same fold
+ * order). This is the property the fused quantized kernels' golden
+ * suites pin down.
+ */
+
+#ifndef MOELIGHT_KERNELS_ATTENTION_CORE_HH
+#define MOELIGHT_KERNELS_ATTENTION_CORE_HH
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+
+#include "common/logging.hh"
+#include "kernels/linalg.hh"
+#include "kernels/ops.hh"
+
+namespace moelight {
+
+/**
+ * One KV head's GQA attention: score @p group query heads against
+ * every K row, softmax each score row, and fold every V row into all
+ * group output heads.
+ *
+ * @param qg     Queries of this head's group, [group, hd] row-major.
+ * @param group  Query heads per KV head (nQ / nKv).
+ * @param ctx    Context length in tokens.
+ * @param hd     Head dimension.
+ * @param og     Output, [group, hd]; overwritten.
+ * @param scale  Logit scale.
+ * @param scores Scratch for score rows, >= group * ctx floats;
+ *               row g holds query head g's logits over [0, ctx).
+ * @param vcarry Either null (V rows stay valid for the whole call) or
+ *               >= 4 * hd floats used to preserve a straddling
+ *               V block's pending rows across provider emits.
+ * @param kRuns  K row provider (see file comment for the contract).
+ * @param vRuns  V row provider.
+ */
+template <class KRuns, class VRuns>
+void
+gqaAttentionHeadCore(const float *qg, std::size_t group,
+                     std::size_t ctx, std::size_t hd, float *og,
+                     float scale, float *scores, float *vcarry,
+                     KRuns &&kRuns, VRuns &&vRuns)
+{
+    // Score pass: every K row is scored against all group heads while
+    // it is hot, four heads at a time through the shared-x dot4
+    // microkernel.
+    std::size_t kt = 0;
+    kRuns([&](const float *rows, std::size_t rowStride,
+              std::size_t run) {
+        // Checked before scoring: an over-emitting provider must trip
+        // here, not scribble past the score rows first.
+        panicIf(kt + run > ctx, "K row provider emitted past ctx");
+        for (std::size_t r = 0; r < run; ++r) {
+            const float *krow = rows + r * rowStride;
+            std::size_t t = kt + r;
+            std::size_t g = 0;
+            float s4[4];
+            for (; g + 4 <= group; g += 4) {
+                dot4(krow, qg + g * hd, qg + (g + 1) * hd,
+                     qg + (g + 2) * hd, qg + (g + 3) * hd, hd, s4);
+                scores[g * ctx + t] = scale * s4[0];
+                scores[(g + 1) * ctx + t] = scale * s4[1];
+                scores[(g + 2) * ctx + t] = scale * s4[2];
+                scores[(g + 3) * ctx + t] = scale * s4[3];
+            }
+            for (; g < group; ++g)
+                scores[g * ctx + t] =
+                    scale * dot(qg + g * hd, krow, hd);
+        }
+        kt += run;
+    });
+    panicIf(kt != ctx, "K row provider covered ", kt, " of ", ctx,
+            " tokens");
+
+    for (std::size_t g = 0; g < group; ++g)
+        softmaxInPlaceFast(std::span<float>(scores + g * ctx, ctx));
+
+    // Fused weighted-V accumulation: each V row is fetched once and
+    // folded into all group output heads. Rows fold in blocks of four
+    // so each output head is read-modify-written once per block, not
+    // once per row — the serial store-to-load chain on the
+    // accumulator is what dominates otherwise. Blocks are grouped by
+    // *global* token index and carried across run boundaries (a
+    // block's four row pointers may come from two runs), so the FP
+    // summation order — and thus the output bits — is independent of
+    // the run structure.
+    std::memset(og, 0, group * hd * sizeof(float));
+    const float *vrows[4];
+    std::size_t base = 0;     // global index of vrows[0]
+    std::size_t pending = 0;  // rows buffered, < 4
+    std::size_t vt = 0;
+    vRuns([&](const float *rows, std::size_t rowStride,
+              std::size_t run) {
+        panicIf(vt + run > ctx, "V row provider emitted past ctx");
+        for (std::size_t r = 0; r < run; ++r) {
+            vrows[pending++] = rows + r * rowStride;
+            if (pending < 4)
+                continue;
+            const float *v0 = vrows[0], *v1 = vrows[1],
+                        *v2 = vrows[2], *v3 = vrows[3];
+            for (std::size_t g = 0; g < group; ++g) {
+                const float *wg = scores + g * ctx + base;
+                float w0 = wg[0], w1 = wg[1], w2 = wg[2], w3 = wg[3];
+                float *o = og + g * hd;
+                for (std::size_t d = 0; d < hd; ++d)
+                    o[d] += w0 * v0[d] + w1 * v1[d] + w2 * v2[d] +
+                            w3 * v3[d];
+            }
+            base += 4;
+            pending = 0;
+        }
+        vt += run;
+        // Secure a straddling block's pending rows before returning
+        // control to the provider, which may reuse the buffer behind
+        // them (the quant provider refills its dequant stash per
+        // page). Copying does not change any bits, so the fold stays
+        // independent of the run structure.
+        if (vcarry != nullptr)
+            for (std::size_t i = 0; i < pending; ++i)
+                if (vrows[i] != vcarry + i * hd) {
+                    std::memcpy(vcarry + i * hd, vrows[i],
+                                hd * sizeof(float));
+                    vrows[i] = vcarry + i * hd;
+                }
+    });
+    panicIf(vt != ctx, "V row provider covered ", vt, " of ", ctx,
+            " tokens");
+    for (std::size_t i = 0; i < pending; ++i)
+        for (std::size_t g = 0; g < group; ++g)
+            accumulateScaled(og + g * hd, vrows[i],
+                             scores[g * ctx + base + i], hd);
+}
+
+} // namespace moelight
+
+#endif // MOELIGHT_KERNELS_ATTENTION_CORE_HH

@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
+#include "kernels/attention_core.hh"
 #include "kernels/linalg.hh"
 #include "kernels/ops.hh"
 
@@ -256,93 +257,32 @@ gqaDecodeAttentionQuantFused(const float *q, std::size_t nQ,
     float *vcarry = vstash + stash_rows * hd;   // [4, hd]
     std::size_t row_floats = kv.nKv * hd;
 
-    for (std::size_t kvh = 0; kvh < kv.nKv; ++kvh) {
-        const float *qg = q + kvh * group * hd;
-        float *og = out + kvh * group * hd;
-
-        // Score pass: gather-dequantize this KV head's rows of each
-        // page into the L1-resident stash, then score all group
-        // heads against each row while it is hot — the same per-row
-        // arithmetic and score layout as the float kernel, so the
-        // output is bit-identical to attending over materialized
-        // float pages.
-        auto score_row = [&](const float *krow, std::size_t t) {
-            std::size_t g = 0;
-            float s4[4];
-            for (; g + 4 <= group; g += 4) {
-                dot4(krow, qg + g * hd, qg + (g + 1) * hd,
-                     qg + (g + 2) * hd, qg + (g + 3) * hd, hd, s4);
-                scores[g * ctx + t] = scale * s4[0];
-                scores[(g + 1) * ctx + t] = scale * s4[1];
-                scores[(g + 2) * ctx + t] = scale * s4[2];
-                scores[(g + 3) * ctx + t] = scale * s4[3];
+    // Providers: gather-dequantize this KV head's rows of each closed
+    // page into the L1-resident stash and emit it, then emit the
+    // float open page in place. The stash is reused per page, so the
+    // core's V carry stash preserves a straddling block's pending
+    // rows across refills.
+    auto quant_runs = [&](std::span<const QuantizedBuffer> pages,
+                          const float *open, float *stash,
+                          std::size_t kvh) {
+        return [&kv, pages, open, stash, kvh, hd,
+                row_floats](auto &&emit) {
+            for (const QuantizedBuffer &p : pages) {
+                std::size_t run = p.size() / row_floats;
+                p.dequantizeRows(kvh * hd, row_floats, run, hd,
+                                 stash);
+                emit(stash, hd, run);
             }
-            for (; g < group; ++g)
-                scores[g * ctx + t] = scale * dot(qg + g * hd, krow, hd);
+            if (kv.openTokens > 0)
+                emit(open + kvh * hd, row_floats, kv.openTokens);
         };
-        std::size_t t = 0;
-        for (const QuantizedBuffer &kp : kv.kPages) {
-            std::size_t run = kp.size() / row_floats;
-            kp.dequantizeRows(kvh * hd, row_floats, run, hd, kstash);
-            for (std::size_t r = 0; r < run; ++r)
-                score_row(kstash + r * hd, t + r);
-            t += run;
-        }
-        for (std::size_t r = 0; r < kv.openTokens; ++r)
-            score_row(kv.openK + (r * kv.nKv + kvh) * hd, t + r);
-
-        for (std::size_t g = 0; g < group; ++g)
-            softmaxInPlaceFast(
-                std::span<float>(scores + g * ctx, ctx));
-
-        // V accumulation: rows fold four-at-a-time into all group
-        // heads, blocks indexed by global token and carried across
-        // page boundaries (matching the float kernel's summation
-        // order). Quantized pages gather-dequantize into the stash;
-        // open-page rows are used in place. Pending rows of a
-        // straddling block are preserved in the carry stash before
-        // the page stash is refilled.
-        std::memset(og, 0, group * hd * sizeof(float));
-        const float *vrows[4];
-        std::size_t base = 0;     // global index of vrows[0]
-        std::size_t pending = 0;  // rows buffered, < 4
-        auto push_row = [&](const float *vrow) {
-            vrows[pending++] = vrow;
-            if (pending < 4)
-                return;
-            const float *v0 = vrows[0], *v1 = vrows[1],
-                        *v2 = vrows[2], *v3 = vrows[3];
-            for (std::size_t g = 0; g < group; ++g) {
-                const float *wg = scores + g * ctx + base;
-                float w0 = wg[0], w1 = wg[1], w2 = wg[2], w3 = wg[3];
-                float *o = og + g * hd;
-                for (std::size_t d = 0; d < hd; ++d)
-                    o[d] += w0 * v0[d] + w1 * v1[d] + w2 * v2[d] +
-                            w3 * v3[d];
-            }
-            base += 4;
-            pending = 0;
-        };
-        for (const QuantizedBuffer &vp : kv.vPages) {
-            std::size_t run = vp.size() / row_floats;
-            for (std::size_t i = 0; i < pending; ++i)
-                if (vrows[i] >= vstash &&
-                    vrows[i] < vstash + stash_rows * hd) {
-                    std::memcpy(vcarry + i * hd, vrows[i],
-                                hd * sizeof(float));
-                    vrows[i] = vcarry + i * hd;
-                }
-            vp.dequantizeRows(kvh * hd, row_floats, run, hd, vstash);
-            for (std::size_t r = 0; r < run; ++r)
-                push_row(vstash + r * hd);
-        }
-        for (std::size_t r = 0; r < kv.openTokens; ++r)
-            push_row(kv.openV + (r * kv.nKv + kvh) * hd);
-        for (std::size_t i = 0; i < pending; ++i)
-            for (std::size_t g = 0; g < group; ++g)
-                accumulateScaled(og + g * hd, vrows[i],
-                                 scores[g * ctx + base + i], hd);
-    }
+    };
+    for (std::size_t kvh = 0; kvh < kv.nKv; ++kvh)
+        gqaAttentionHeadCore(
+            q + kvh * group * hd, group, ctx, hd,
+            out + kvh * group * hd, scale, scores, vcarry,
+            quant_runs(kv.kPages, kv.openK, kstash, kvh),
+            quant_runs(kv.vPages, kv.openV, vstash, kvh));
 }
 
 void
@@ -381,6 +321,128 @@ gqaDecodeAttentionQuantBatch(const float *qBatch, std::size_t qStride,
                     {buf, per_worker});
         },
         scratch);
+}
+
+void
+gqaPrefillAttentionQuantFused(const float *q, const float *k,
+                              const float *v, std::size_t seq,
+                              std::size_t nQ, const QuantKvView &kv,
+                              float *out, float scale,
+                              std::span<float> scratch)
+{
+    panicIf(kv.nKv == 0 || nQ % kv.nKv != 0,
+            "query heads must be a multiple of KV heads");
+    panicIf(seq == 0, "prefill over empty sequence");
+    panicIf(kv.pageTokens == 0, "quant KV view has zero pageTokens");
+    panicIf(seq != kv.contextLen,
+            "prefill view must cover exactly the sequence");
+    std::size_t quant_tokens = checkQuantPages(
+        kv.kPages, kv.vPages, kv.pageTokens, kv.nKv, kv.headDim);
+    panicIf(quant_tokens + kv.openTokens != kv.contextLen,
+            "quant KV view context length does not match its pages");
+    // The kernel replays the causal append walk, so the view must be
+    // in the exact state the cache reaches after appending seq
+    // tokens: every closed page full, the remainder open (float).
+    panicIf(quant_tokens != kv.pageTokens * (seq / kv.pageTokens),
+            "prefill quant view must hold exactly the closed full "
+            "pages of a causal append walk");
+
+    std::size_t group = nQ / kv.nKv;
+    std::size_t hd = kv.headDim;
+    std::size_t row_floats = kv.nKv * hd;
+    panicIf(scratch.size() <
+                gqaQuantPrefillAttnScratchFloats(
+                    nQ, kv.nKv, seq, hd, kv.pageTokens),
+            "quant prefill scratch too small");
+    float *scores = scratch.data();
+    float *kstash = scores + group * seq;  // [quant_tokens, hd]
+    float *vstash = kstash + quant_tokens * hd;
+
+    for (std::size_t kvh = 0; kvh < kv.nKv; ++kvh) {
+        // Dequantize this KV head's rows of every closed page ONCE —
+        // the whole point of the prefill variant: the per-token
+        // decode walk re-dequantizes each closed page at every later
+        // position, O(seq) redundant passes over the same bytes.
+        std::size_t t = 0;
+        for (std::size_t p = 0; p < kv.kPages.size(); ++p) {
+            std::size_t run = kv.kPages[p].size() / row_floats;
+            kv.kPages[p].dequantizeRows(kvh * hd, row_floats, run, hd,
+                                        kstash + t * hd);
+            kv.vPages[p].dequantizeRows(kvh * hd, row_floats, run, hd,
+                                        vstash + t * hd);
+            t += run;
+        }
+
+        // Every causal position runs through the shared core over the
+        // persistent stash plus the float rows that were still
+        // unquantized when the walk reached that position: at
+        // position i the cache had closed floor((i+1)/pageTokens)
+        // pages, the rest of tokens [0, i] sat in the float open
+        // page — exactly rows [qt, i] of the caller's k/v. Rows
+        // persist across emits, so no V carry stash is needed.
+        for (std::size_t i = 0; i < seq; ++i) {
+            std::size_t qt =
+                kv.pageTokens * ((i + 1) / kv.pageTokens);
+            auto runs = [&](const float *stash, const float *open) {
+                // Form the tail pointer only when the tail is
+                // non-empty: at qt == i + 1 it would point past the
+                // end of the caller's arrays.
+                const float *tail =
+                    i + 1 > qt ? open + qt * row_floats + kvh * hd
+                               : nullptr;
+                return [stash, tail, qt, i, hd,
+                        row_floats](auto &&emit) {
+                    if (qt > 0)
+                        emit(stash, hd, qt);
+                    if (tail != nullptr)
+                        emit(tail, row_floats, i + 1 - qt);
+                };
+            };
+            gqaAttentionHeadCore(
+                q + i * nQ * hd + kvh * group * hd, group, i + 1, hd,
+                out + i * nQ * hd + kvh * group * hd, scale, scores,
+                nullptr, runs(kstash, k), runs(vstash, v));
+        }
+    }
+}
+
+QuantKvView
+quantPrefillWalkView(const QuantKvView &kv, const float *k,
+                     const float *v, std::size_t i)
+{
+    panicIf(i >= kv.contextLen, "walk position out of range");
+    panicIf(kv.pageTokens == 0, "quant KV view has zero pageTokens");
+    std::size_t row = kv.nKv * kv.headDim;
+    std::size_t pages = (i + 1) / kv.pageTokens;
+    std::size_t qt = kv.pageTokens * pages;
+    panicIf(pages > kv.kPages.size() || pages > kv.vPages.size(),
+            "walk view needs more closed pages than the final state "
+            "holds (non-walk final view?)");
+    QuantKvView vi;
+    vi.kPages = kv.kPages.first(pages);
+    vi.vPages = kv.vPages.first(pages);
+    if (i + 1 > qt) {
+        vi.openK = k + qt * row;
+        vi.openV = v + qt * row;
+        vi.openTokens = i + 1 - qt;
+    }
+    vi.pageTokens = kv.pageTokens;
+    vi.contextLen = i + 1;
+    vi.nKv = kv.nKv;
+    vi.headDim = kv.headDim;
+    return vi;
+}
+
+void
+gqaPrefillAttentionQuantFused(const float *q, const float *k,
+                              const float *v, std::size_t seq,
+                              std::size_t nQ, const QuantKvView &kv,
+                              float *out, float scale)
+{
+    std::vector<float> scratch(gqaQuantPrefillAttnScratchFloats(
+        nQ, kv.nKv, seq, kv.headDim, kv.pageTokens));
+    gqaPrefillAttentionQuantFused(q, k, v, seq, nQ, kv, out, scale,
+                                  scratch);
 }
 
 void

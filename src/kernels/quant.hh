@@ -6,16 +6,25 @@
  * provides the actual kernels so the runtime can store KV quantized
  * and attend over it with on-the-fly dequantization.
  *
- * Two attention paths over quantized KV:
+ * Three attention paths over quantized KV:
  *  - gqaDecodeAttentionQuantFused: dequantizes each K/V row into a
  *    headDim-sized stash inside the score / V-accumulation passes —
  *    memory traffic is the quantized footprint only, no per-call
- *    float page buffers. This is the production path.
+ *    float page buffers. This is the production decode path.
+ *  - gqaPrefillAttentionQuantFused: the causal prefill variant —
+ *    dequantizes each closed page once per KV head into a persistent
+ *    stash and scores/folds every causal position against it,
+ *    instead of re-dequantizing the whole prefix at every position
+ *    the way a per-token decode walk does.
  *  - gqaDecodeAttentionQuant: materializes every page into float and
  *    calls the float kernel. Retained as the golden cross-check (the
- *    role moelight::naive plays for the float kernels); the fused
- *    kernel is bit-identical to it because both attend over the same
- *    dequantized values with the same float core.
+ *    role moelight::naive plays for the float kernels).
+ *
+ * All three are thin row providers over the shared
+ * gqaAttentionHeadCore template (attention_core.hh) — the same
+ * score / softmax / 4-blocked-V-fold code the float kernel runs — so
+ * bit-identity between fused, materializing, per-token and prefill
+ * paths is structural, not merely test-enforced.
  */
 
 #ifndef MOELIGHT_KERNELS_QUANT_HH
@@ -182,6 +191,85 @@ void gqaDecodeAttentionQuantBatch(const float *qBatch,
                                   std::size_t outStride, float scale,
                                   ThreadPool *pool = nullptr,
                                   std::span<float> scratch = {});
+
+/**
+ * Scratch floats gqaPrefillAttentionQuantFused needs: score rows for
+ * the longest position (group * seq) plus whole-context K and V
+ * dequant stashes covering every closed page — the pages a causal
+ * append walk over seq tokens has closed, (seq / pageTokens) *
+ * pageTokens rows each.
+ */
+inline std::size_t
+gqaQuantPrefillAttnScratchFloats(std::size_t nQ, std::size_t nKv,
+                                 std::size_t seq, std::size_t headDim,
+                                 std::size_t pageTokens)
+{
+    if (nKv == 0 || pageTokens == 0)
+        return 0;
+    std::size_t quant_rows = (seq / pageTokens) * pageTokens;
+    return (nQ / nKv) * seq + 2 * quant_rows * headDim;
+}
+
+/**
+ * Fused causal prefill GQA over quantized KV: computes attention for
+ * every position of a just-prefetched sequence in one call,
+ * bit-identical to running gqaDecodeAttentionQuantFused once per
+ * position over the growing cache (the per-token walk the pipelined
+ * engine's prefill used to do) — but each closed page's rows are
+ * gather-dequantized ONCE per KV head into a persistent stash
+ * instead of once per later position, cutting the walk's
+ * O(seq^2 / pageTokens) redundant dequant work to O(seq).
+ *
+ * Walk semantics: at position i the cache had closed exactly
+ * floor((i+1)/pageTokens) pages; tokens from there to i were still
+ * float in the open page. The kernel replays this: position i scores
+ * the stash prefix of pageTokens*floor((i+1)/pageTokens) rows plus
+ * rows [that, i] of the caller's float @p k / @p v — which hold the
+ * same bits the cache's open page held at that time, since the cache
+ * copied them from these very arrays.
+ *
+ * @param q       [seq, nQ * headDim] queries, one row per position.
+ * @param k,v     [seq, nKv * headDim] float K/V for the whole
+ *                sequence (the projections the cache was fed).
+ * @param seq     Sequence length; must equal kv.contextLen.
+ * @param nQ      Query heads; must be a multiple of kv.nKv.
+ * @param kv      Quantized view of the cache AFTER all seq appends:
+ *                every closed page full (seq / pageTokens of them),
+ *                the remaining seq % pageTokens tokens open. The
+ *                open page is not read (the float tail comes from
+ *                @p k / @p v).
+ * @param out     [seq, nQ * headDim] output; overwritten.
+ * @param scale   Logit scale.
+ * @param scratch >= gqaQuantPrefillAttnScratchFloats(nQ, kv.nKv,
+ *                seq, kv.headDim, kv.pageTokens) floats.
+ */
+void gqaPrefillAttentionQuantFused(const float *q, const float *k,
+                                   const float *v, std::size_t seq,
+                                   std::size_t nQ,
+                                   const QuantKvView &kv, float *out,
+                                   float scale,
+                                   std::span<float> scratch);
+
+/** Convenience overload that allocates its own scratch. */
+void gqaPrefillAttentionQuantFused(const float *q, const float *k,
+                                   const float *v, std::size_t seq,
+                                   std::size_t nQ,
+                                   const QuantKvView &kv, float *out,
+                                   float scale);
+
+/**
+ * The quantized view the cache held right after appending token
+ * @p i of a causal walk whose final state is @p kv: the first
+ * floor((i+1)/pageTokens) closed pages plus a float open tail of
+ * rows [that, i] sliced from @p k / @p v (which hold the same bits
+ * the cache's open page held at that time). This is the per-position
+ * oracle gqaPrefillAttentionQuantFused replays; it is exposed so the
+ * golden tests and the fig4 harness assert the walk against one
+ * definition instead of each re-deriving it.
+ */
+QuantKvView quantPrefillWalkView(const QuantKvView &kv,
+                                 const float *k, const float *v,
+                                 std::size_t i);
 
 /**
  * Materializing decode attention over quantized KV: dequantizes every

@@ -63,6 +63,11 @@ struct PipelinedEngine::DecodeState
     /** Persistent per-worker-slot scratch for the decode attention
      *  batch (CPU queue tasks are serialized, so one buffer). */
     std::vector<float> cpuBatchScratch;
+    /** Scratch for the fused quantized prefill kernel, sized to the
+     *  longest prompt (empty in float-KV mode). */
+    std::vector<float> cpuPrefillScratch;
+    /** Longest prompt, for sizing per-layer prefill buffers once. */
+    std::size_t maxPromptLen = 0;
 
     // Pipeline events.
     std::vector<EventPtr> weightsReady;  ///< per layer
@@ -158,10 +163,12 @@ PipelinedEngine::generate(const std::vector<std::vector<int>> &prompts,
     st.gpuKB.assign(max_ub * st.kvDim, 0.0f);
     st.gpuVB.assign(max_ub * st.kvDim, 0.0f);
 
-    std::size_t max_ctx = 0;
+    std::size_t max_prompt = 0;
     for (const auto &p : prompts)
-        max_ctx = std::max(max_ctx, p.size());
-    max_ctx += static_cast<std::size_t>(genLen) + 1;
+        max_prompt = std::max(max_prompt, p.size());
+    st.maxPromptLen = max_prompt;
+    std::size_t max_ctx =
+        max_prompt + static_cast<std::size_t>(genLen) + 1;
     // Quant scratch is a superset of the float kernel's (score rows
     // plus the K/V dequant stash), so one sizing covers both modes.
     st.cpuAttnScratch.assign(
@@ -174,6 +181,12 @@ PipelinedEngine::generate(const std::vector<std::vector<int>> &prompts,
                                                max_ctx, cfg.headDim,
                                                cfg_.kvPageTokens),
         0.0f);
+    if (cfg_.kvQuant)
+        st.cpuPrefillScratch.assign(
+            gqaQuantPrefillAttnScratchFloats(cfg.nq, cfg.nkv,
+                                             max_prompt, cfg.headDim,
+                                             cfg_.kvPageTokens),
+            0.0f);
 
     st.out.assign(st.numSeqs, {});
     st.nextToken.assign(st.numSeqs, 0);
@@ -278,6 +291,19 @@ PipelinedEngine::prefill(const std::vector<std::vector<int>> &prompts,
                 std::vector<float> norm_all, q_all, k_all, v_all;
                 std::vector<float> attn_all, proj_all, rl_all, ffn_all;
                 std::vector<TokenRouting> routing;
+                // Reserve once to the longest prompt: the per-seq
+                // resizes below then never reallocate, however the
+                // sequence lengths vary across the batch.
+                std::size_t mx = st.maxPromptLen;
+                norm_all.reserve(mx * st.h1);
+                q_all.reserve(mx * st.qDim);
+                k_all.reserve(mx * st.kvDim);
+                v_all.reserve(mx * st.kvDim);
+                attn_all.reserve(mx * st.qDim);
+                proj_all.reserve(mx * st.h1);
+                rl_all.reserve(mx * c.ne);
+                ffn_all.reserve(mx * st.h1);
+                routing.reserve(mx);
                 for (std::size_t s = 0; s < st.numSeqs; ++s) {
                     std::size_t len =
                         st.prefillHidden[s].size() / st.h1;
@@ -306,21 +332,44 @@ PipelinedEngine::prefill(const std::vector<std::vector<int>> &prompts,
                                       store_.tensor(li, "wv"),
                                       v_all.data(), len, st.h1,
                                       st.kvDim, pool);
-                    for (std::size_t t = 0; t < len; ++t) {
-                        if (qkv_) {
+                    if (qkv_) {
+                        // Append the whole prompt, then run the fused
+                        // causal prefill kernel once: each closed
+                        // page dequantizes once per KV head instead
+                        // of once per later position, and the kernel
+                        // replays the per-token append walk bit-for-
+                        // bit (the reference engine's per-token fused
+                        // decode stays the oracle for this).
+                        for (std::size_t t = 0; t < len; ++t)
                             qkv_->append(s, li,
                                          k_all.data() + t * st.kvDim,
                                          v_all.data() + t * st.kvDim);
-                            gqaDecodeAttentionQuantFused(
-                                q_all.data() + t * st.qDim, c.nq,
-                                qkv_->makeQuantView(s, li),
-                                attn_all.data() + t * st.qDim,
-                                st.scale, st.cpuAttnScratch);
-                        } else {
+                        gqaPrefillAttentionQuantFused(
+                            q_all.data(), k_all.data(), v_all.data(),
+                            len, c.nq, qkv_->makeQuantView(s, li),
+                            attn_all.data(), st.scale,
+                            st.cpuPrefillScratch);
+                    } else {
+                        for (std::size_t t = 0; t < len; ++t) {
                             kv_->append(s, li,
                                         k_all.data() + t * st.kvDim,
                                         v_all.data() + t * st.kvDim);
-                            kv_->makeView(s, li, view);
+                            // The page-pointer list only changes when
+                            // an append opens a new page; between
+                            // boundaries just advance the context
+                            // length instead of rebuilding the view.
+                            // Keyed off the cache's actual length
+                            // (not t) so a prefill over a non-empty
+                            // cache — prefix reuse, say — stays
+                            // correct; t == 0 still always builds
+                            // this (seq, layer)'s first view.
+                            std::size_t ctx_len =
+                                kv_->contextLen(s, li);
+                            if (t == 0 ||
+                                (ctx_len - 1) % cfg_.kvPageTokens == 0)
+                                kv_->makeView(s, li, view);
+                            else
+                                view.view.contextLen = ctx_len;
                             gqaDecodeAttention(
                                 q_all.data() + t * st.qDim, c.nq,
                                 view.view,

@@ -73,6 +73,11 @@ ReferenceEngine::forwardToken(std::size_t seq, int token)
                 cache.quant = std::make_unique<QuantizedKvCache>(
                     cfg, 1, kvPageTokens_, *kvQuant_);
             cache.quant->append(0, li, k.data(), v.data());
+            // Deliberately the per-token fused decode walk, prompt
+            // tokens included: this is the oracle semantics the
+            // pipelined engine's batched prefill kernel
+            // (gqaPrefillAttentionQuantFused) must replay
+            // bit-for-bit.
             gqaDecodeAttentionQuantFused(
                 q.data(), cfg.nq, cache.quant->makeQuantView(0, li),
                 attn_out.data(), scale);

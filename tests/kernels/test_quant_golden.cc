@@ -315,6 +315,154 @@ TEST(QuantAttnFused, RejectsBadViews)
                  PanicError);
 }
 
+// ------------------------------------------------------- prefill
+
+struct QuantPrefillShape
+{
+    std::size_t nq, nkv, hd, pageTokens, seq;
+};
+
+/**
+ * The per-token fused decode walk the prefill kernel must replay
+ * bit-for-bit: position i attends over the view the cache held right
+ * after appending token i (quantPrefillWalkView).
+ */
+std::vector<float>
+perTokenDecodeWalk(const float *q, std::size_t nQ,
+                   const QuantKvFixture &fx, std::size_t seq,
+                   float scale)
+{
+    std::size_t hd = fx.view.headDim;
+    std::vector<float> out(seq * nQ * hd);
+    for (std::size_t i = 0; i < seq; ++i)
+        gqaDecodeAttentionQuantFused(
+            q + i * nQ * hd, nQ,
+            quantPrefillWalkView(fx.view, fx.kSrc.data(),
+                                 fx.vSrc.data(), i),
+            out.data() + i * nQ * hd, scale);
+    return out;
+}
+
+class QuantPrefillGolden
+    : public ::testing::TestWithParam<
+          std::tuple<QuantKind, QuantPrefillShape>>
+{
+  protected:
+    /** Cache-walk fixture: seq/pageTokens closed full pages, the
+     *  remaining seq%pageTokens tokens open. */
+    static QuantAttnShape
+    walkShape(const QuantPrefillShape &s)
+    {
+        return {s.nq, s.nkv, s.hd, s.pageTokens,
+                (s.seq / s.pageTokens) * s.pageTokens,
+                s.seq % s.pageTokens};
+    }
+};
+
+TEST_P(QuantPrefillGolden, FusedBitIdenticalToPerTokenDecodeWalk)
+{
+    auto [kind, s] = GetParam();
+    QuantKvFixture fx(walkShape(s), kind, s.seq * 41 + s.nq,
+                      s.pageTokens);
+    auto q = randomVec(s.seq * s.nq * s.hd, s.hd + 7);
+    float scale = 1.0f / std::sqrt(static_cast<float>(s.hd));
+
+    std::vector<float> fused(s.seq * s.nq * s.hd);
+    gqaPrefillAttentionQuantFused(q.data(), fx.kSrc.data(),
+                                  fx.vSrc.data(), s.seq, s.nq,
+                                  fx.view, fused.data(), scale);
+    auto walk = perTokenDecodeWalk(q.data(), s.nq, fx, s.seq, scale);
+    for (std::size_t i = 0; i < fused.size(); ++i)
+        EXPECT_EQ(fused[i], walk[i]) << "at " << i;
+}
+
+TEST_P(QuantPrefillGolden, FusedWithExplicitScratchMatches)
+{
+    auto [kind, s] = GetParam();
+    QuantKvFixture fx(walkShape(s), kind, s.seq * 17 + 5,
+                      s.pageTokens);
+    auto q = randomVec(s.seq * s.nq * s.hd, s.hd + 11);
+    float scale = 0.4f;
+
+    std::vector<float> a(s.seq * s.nq * s.hd),
+        b(s.seq * s.nq * s.hd);
+    gqaPrefillAttentionQuantFused(q.data(), fx.kSrc.data(),
+                                  fx.vSrc.data(), s.seq, s.nq,
+                                  fx.view, a.data(), scale);
+    std::vector<float> scratch(
+        gqaQuantPrefillAttnScratchFloats(s.nq, s.nkv, s.seq, s.hd,
+                                         s.pageTokens),
+        -7.0f);  // poison: the kernel must overwrite what it reads
+    gqaPrefillAttentionQuantFused(q.data(), fx.kSrc.data(),
+                                  fx.vSrc.data(), s.seq, s.nq,
+                                  fx.view, b.data(), scale, scratch);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i], b[i]) << "at " << i;
+}
+
+TEST_P(QuantPrefillGolden, FusedWithinQuantErrorOfFloatPrefill)
+{
+    auto [kind, s] = GetParam();
+    QuantKvFixture fx(walkShape(s), kind, s.seq * 29 + 3,
+                      s.pageTokens);
+    auto q = randomVec(s.seq * s.nq * s.hd, s.hd + 13);
+    float scale = 1.0f / std::sqrt(static_cast<float>(s.hd));
+
+    std::vector<float> fused(s.seq * s.nq * s.hd),
+        ref(s.seq * s.nq * s.hd);
+    gqaPrefillAttentionQuantFused(q.data(), fx.kSrc.data(),
+                                  fx.vSrc.data(), s.seq, s.nq,
+                                  fx.view, fused.data(), scale);
+    gqaPrefillAttention(q.data(), fx.kSrc.data(), fx.vSrc.data(),
+                        s.seq, s.nq, s.nkv, s.hd, ref.data(), scale);
+    float tol = 4.0f * static_cast<float>(
+                           QuantizedBuffer::errorBound(kind, 1.0));
+    for (std::size_t i = 0; i < fused.size(); ++i)
+        EXPECT_NEAR(fused[i], ref[i], tol) << "at " << i;
+}
+
+// Prompt lengths that straddle page boundaries (one token past, one
+// short of), exactly fill pages, fit inside one page, and land mid-
+// page, across GQA groups 1/4/8. headDims even so int4 runs too.
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, QuantPrefillGolden,
+    ::testing::Combine(
+        ::testing::Values(QuantKind::Int8, QuantKind::Int4),
+        ::testing::Values(
+            QuantPrefillShape{8, 2, 32, 16, 33},  // one past boundary
+            QuantPrefillShape{8, 2, 32, 16, 31},  // one short
+            QuantPrefillShape{8, 2, 16, 8, 32},   // exactly 4 pages
+            QuantPrefillShape{4, 4, 8, 4, 4},     // exactly 1 page
+            QuantPrefillShape{8, 1, 16, 8, 5},    // inside 1st page
+            QuantPrefillShape{12, 3, 8, 3, 11},   // odd groups, mid
+            QuantPrefillShape{4, 2, 6, 4, 1})));  // single token
+
+TEST(QuantPrefillFused, RejectsNonWalkViews)
+{
+    // A partial closed tail page cannot arise from a causal append
+    // walk (the remainder stays in the float open page), so the
+    // prefill kernel must reject it instead of silently replaying a
+    // state the cache never held.
+    QuantAttnShape s{4, 2, 8, 4, 6, 0};  // tail page holds 2 of 4
+    QuantKvFixture fx(s, QuantKind::Int8, 13, s.pageTokens);
+    auto q = randomVec(6 * s.nq * s.hd, 14);
+    std::vector<float> out(6 * s.nq * s.hd);
+    EXPECT_THROW(gqaPrefillAttentionQuantFused(
+                     q.data(), fx.kSrc.data(), fx.vSrc.data(), 6,
+                     s.nq, fx.view, out.data(), 1.0f),
+                 PanicError);
+
+    // Sequence length must match the view's context exactly.
+    QuantAttnShape s2{4, 2, 8, 4, 8, 1};
+    QuantKvFixture fx2(s2, QuantKind::Int8, 15, s2.pageTokens);
+    auto q2 = randomVec(8 * s2.nq * s2.hd, 16);
+    std::vector<float> out2(8 * s2.nq * s2.hd);
+    EXPECT_THROW(gqaPrefillAttentionQuantFused(
+                     q2.data(), fx2.kSrc.data(), fx2.vSrc.data(), 8,
+                     s2.nq, fx2.view, out2.data(), 1.0f),
+                 PanicError);
+}
+
 TEST(QuantAttnMaterializing, RejectsPartialNonTailPage)
 {
     // Only the last quantized page may be partial; a short page in
