@@ -1,14 +1,19 @@
 /**
  * @file
- * Quickstart: build a tiny synthetic Mixtral-style model, run the
- * CGOPipe pipelined engine end to end, and cross-check the output
- * against the sequential reference engine.
+ * Quickstart: build a tiny synthetic Mixtral-style model, serve
+ * requests through the CGOPipe pipelined engine's request-level API
+ * (submit / step / drain — continuous batching with per-request
+ * generation budgets), and cross-check every output against the
+ * sequential reference engine. The legacy batch generate()
+ * convenience is shown last. (Stop tokens are exercised in
+ * tests/runtime/test_serving.cc.)
  *
  *   $ ./quickstart
  */
 
 #include <chrono>
 #include <iostream>
+#include <map>
 
 #include "common/rng.hh"
 #include "runtime/engine.hh"
@@ -28,34 +33,64 @@ main()
               << static_cast<long long>(cfg.totalParams())
               << " params\n";
 
-    // 2. Some prompts (random token ids).
+    // 2. Some requests (random token prompts). Each request carries
+    //    its own generation budget — no shared genLen.
     Rng rng(7);
-    std::vector<std::vector<int>> prompts(8);
-    for (auto &p : prompts)
-        for (int t = 0; t < 12; ++t)
-            p.push_back(static_cast<int>(rng.uniformInt(
-                0, static_cast<std::int64_t>(cfg.vocab) - 1)));
+    std::vector<ServeRequest> requests(8);
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        requests[i].id = static_cast<std::int64_t>(i);
+        for (int t = 0; t < 6 + static_cast<int>(i); ++t)
+            requests[i].prompt.push_back(static_cast<int>(
+                rng.uniformInt(
+                    0, static_cast<std::int64_t>(cfg.vocab) - 1)));
+        requests[i].maxNewTokens = 6 + 2 * static_cast<int>(i);
+    }
 
     // 3. The pipelined engine: CGOPipe over 4 stream queues with
-    //    paged weights and a CPU-side paged KV cache.
+    //    paged weights and a CPU-side paged KV cache, fronted by the
+    //    continuous batcher (Algorithm 2 admits queued requests into
+    //    free micro-batch slots between decode rounds).
     EngineConfig ec;
-    ec.microBatch = 4;  // two micro-batches in flight
+    ec.microBatch = 4;
+    ec.maxConcurrency = 6;  // 8 requests -> admission happens in waves
     PipelinedEngine engine(weights, ec);
 
-    const int gen_len = 16;
+    for (const ServeRequest &r : requests)
+        engine.submit(r);
+
+    // 4. Drive the engine one continuous-batching round at a time.
+    //    Requests retire as soon as they hit their own budget; their
+    //    KV pages return to the pool mid-flight and queued requests
+    //    take over the freed slots.
     auto t0 = std::chrono::steady_clock::now();
-    auto results = engine.generate(prompts, gen_len);
+    std::size_t total_tokens = 0;
+    std::vector<RequestOutput> outputs;
+    int round = 0;
+    while (!engine.idle()) {
+        std::vector<RequestOutput> finished = engine.step();
+        ++round;
+        for (RequestOutput &out : finished) {
+            total_tokens += out.tokens.size();
+            std::cout << "round " << round << ": request " << out.id
+                      << " finished ("
+                      << (out.finishReason == FinishReason::Length
+                              ? "length"
+                              : "stop")
+                      << ", " << out.tokens.size()
+                      << " tokens, prefill " << out.prefillSeconds
+                      << "s, decode " << out.decodeSeconds
+                      << "s) — kv pages now "
+                      << engine.kvUsedPages() << "\n";
+            outputs.push_back(std::move(out));
+        }
+    }
     auto t1 = std::chrono::steady_clock::now();
     double secs = std::chrono::duration<double>(t1 - t0).count();
-
-    std::cout << "\ngenerated " << gen_len << " tokens for "
-              << prompts.size() << " prompts in " << secs << " s ("
-              << prompts.size() * gen_len / secs << " tokens/s on "
-              << "this host)\n";
-    std::cout << "first sequence: ";
-    for (int t : results[0].tokens)
-        std::cout << t << ' ';
-    std::cout << "\n";
+    std::cout << "\nserved " << outputs.size() << " requests, "
+              << total_tokens << " tokens in " << secs << " s ("
+              << total_tokens / secs << " tokens/s on this host); "
+              << "kv peak " << engine.kvPeakPages() << " pages, now "
+              << engine.kvUsedPages() << "\n";
 
     TransferStats ts = engine.transferStats();
     std::cout << "\ntransfer accounting:\n"
@@ -66,15 +101,39 @@ main()
               << "  hidden load CPU->GPU     : " << ts.hostToGpu
               << " bytes\n";
 
-    // 4. Verify against the sequential reference engine.
+    // 5. Verify every request against the sequential reference
+    //    engine, which serves the same requests through the same API.
     ReferenceEngine ref(weights);
-    auto expect = ref.generate(prompts, gen_len);
-    bool ok = true;
-    for (std::size_t s = 0; s < prompts.size(); ++s)
-        ok &= results[s].tokens == expect[s].tokens;
+    for (const ServeRequest &r : requests)
+        ref.submit(r);
+    std::vector<RequestOutput> expect = ref.drain();
+    // Every expected id must appear exactly once with the same
+    // tokens — a dropped or duplicated request must not slip
+    // through on matching counts alone.
+    bool ok = expect.size() == outputs.size();
+    std::map<std::int64_t, std::vector<int>> got;
+    for (const RequestOutput &g : outputs)
+        ok &= got.emplace(g.id, g.tokens).second;  // no duplicate ids
+    for (const RequestOutput &e : expect) {
+        auto it = got.find(e.id);
+        ok &= it != got.end() && it->second == e.tokens;
+    }
     std::cout << "\nreference check: "
               << (ok ? "PASS — pipelined output identical"
                      : "FAIL — outputs diverge")
               << "\n";
-    return ok ? 0 : 1;
+
+    // 6. The legacy batch call still exists as a thin wrapper over
+    //    the request API: uniform genLen, results in prompt order.
+    std::vector<std::vector<int>> prompts;
+    for (const ServeRequest &r : requests)
+        prompts.push_back(r.prompt);
+    auto batch = engine.generate(prompts, /*genLen=*/8);
+    auto batch_ref = ref.generate(prompts, /*genLen=*/8);
+    bool batch_ok = true;
+    for (std::size_t s = 0; s < prompts.size(); ++s)
+        batch_ok &= batch[s].tokens == batch_ref[s].tokens;
+    std::cout << "legacy batch generate(): "
+              << (batch_ok ? "PASS" : "FAIL") << "\n";
+    return ok && batch_ok ? 0 : 1;
 }

@@ -8,17 +8,23 @@
 namespace moelight {
 
 BatchPlan
-batchRequests(std::vector<Request> queue, std::size_t nUb,
-              std::size_t ubs, int genLen, std::size_t cacheSize)
+batchRequests(std::vector<Request> &&queue, std::size_t nUb,
+              std::size_t ubs, std::size_t cacheSize)
 {
     fatalIf(nUb == 0, "need at least one micro-batch partition");
     fatalIf(ubs == 0, "micro-batch capacity must be positive");
-    fatalIf(genLen < 0, "negative generation length");
+    for (const Request &req : queue)
+        fatalIf(req.genLen < 0, "negative generation length (request ",
+                req.id, ")");
 
     BatchPlan plan;
-    // Open partitions and their prompt-token sums (Alg. 2 lines 1-3).
+    // Open partitions, their prompt-token sums, and their committed
+    // generation budgets (Alg. 2 lines 1-3; the gen sums replace the
+    // uniform count * genLen term so every request's own budget
+    // counts).
     std::vector<std::vector<Request>> partitions(nUb);
     std::vector<std::size_t> sums(nUb, 0);
+    std::vector<std::size_t> genSums(nUb, 0);
 
     // Line 4: longest prompts first.
     std::stable_sort(queue.begin(), queue.end(),
@@ -38,12 +44,11 @@ batchRequests(std::vector<Request> queue, std::size_t nUb,
             if (sums[i] < sums[idx])
                 idx = i;
         // Line 9-10: KV budget check — prompt tokens plus the
-        // generated tokens of every request in the partition
+        // generation budgets of every request in the partition
         // (including this one).
         std::size_t kv_demand =
             sums[idx] + static_cast<std::size_t>(req.promptLen) +
-            (1 + partitions[idx].size()) *
-                static_cast<std::size_t>(genLen);
+            genSums[idx] + static_cast<std::size_t>(req.genLen);
         if (kv_demand > cacheSize) {
             plan.aborted.push_back(req);
             continue;
@@ -51,12 +56,14 @@ batchRequests(std::vector<Request> queue, std::size_t nUb,
         // Lines 12-13.
         partitions[idx].push_back(req);
         sums[idx] += static_cast<std::size_t>(req.promptLen);
+        genSums[idx] += static_cast<std::size_t>(req.genLen);
         // Lines 14-18: close full partitions.
         if (partitions[idx].size() == ubs) {
             plan.microBatches.push_back(std::move(partitions[idx]));
             partitions.erase(partitions.begin() +
                              static_cast<long>(idx));
             sums.erase(sums.begin() + static_cast<long>(idx));
+            genSums.erase(genSums.begin() + static_cast<long>(idx));
         }
     }
     // Flush remaining non-empty partitions as (smaller) micro-batches

@@ -29,18 +29,26 @@ struct BatchPlan
 };
 
 /**
- * Algorithm 2 verbatim.
+ * Algorithm 2. Each request carries its own generation length
+ * (Request::genLen), so mixed-genLen queues budget correctly — the
+ * uniform-genLen batch of the paper is the special case where every
+ * request agrees.
  *
- * @param queue     Incoming requests (consumed by value).
+ * The queue is consumed (taken by rvalue: the continuous-batching
+ * admission loop calls this between decode rounds, and copying the
+ * whole backlog per round was pure waste). Request ids pass through
+ * unchanged into the plan, so callers can map placements back to
+ * their own bookkeeping without re-sorting or re-identifying
+ * anything.
+ *
+ * @param queue     Incoming requests (consumed).
  * @param nUb       Number of micro-batch partitions.
  * @param ubs       Max requests per micro-batch.
- * @param genLen    Generation length per request.
  * @param cacheSize Max KV tokens a micro-batch may consume
  *                  (prompt + generated, summed over its requests).
  */
-BatchPlan batchRequests(std::vector<Request> queue, std::size_t nUb,
-                        std::size_t ubs, int genLen,
-                        std::size_t cacheSize);
+BatchPlan batchRequests(std::vector<Request> &&queue, std::size_t nUb,
+                        std::size_t ubs, std::size_t cacheSize);
 
 } // namespace moelight
 

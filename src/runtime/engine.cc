@@ -1,8 +1,10 @@
 #include "runtime/engine.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstring>
+#include <functional>
 
 #include "common/logging.hh"
 #include "kernels/attention.hh"
@@ -27,20 +29,42 @@ maxTensorFloats(const ModelConfig &cfg)
     return mx;
 }
 
+/** KV allocation granularity for admission accounting: the float
+ *  pool allocates page-granular per (sequence, layer) stream; the
+ *  quant cache accounts exact tokens. */
+std::size_t
+kvQuantumFor(const EngineConfig &cfg)
+{
+    return cfg.kvQuant ? 1 : cfg.kvPageTokens;
+}
+
 } // namespace
 
-/** All per-generate() mutable state. */
-struct PipelinedEngine::DecodeState
+void
+EngineConfig::validate() const
 {
-    std::size_t numSeqs = 0;
-    std::size_t numUbs = 0;
-    int genLen = 0;
+    fatalIf(microBatch == 0,
+            "EngineConfig.microBatch must be positive");
+    fatalIf(kvPageTokens == 0,
+            "EngineConfig.kvPageTokens must be positive "
+            "(tokens per KV page)");
+    fatalIf(kvCapacityTokens == 0,
+            "EngineConfig.kvCapacityTokens must be positive "
+            "(total KV token budget)");
+    fatalIf(lookahead == 0, "EngineConfig.lookahead must be >= 1");
+    fatalIf(maxConcurrency == 0,
+            "EngineConfig.maxConcurrency must be positive "
+            "(concurrent sequence slots)");
+}
 
-    std::size_t h1, qDim, kvDim, qkvDim, vocab;
-    float scale = 1.0f;
-
-    /** Sequences of micro-batch j: [ubStart[j], ubStart[j+1]). */
+/** Per-round decode plumbing; buffers are reused across rounds. */
+struct PipelinedEngine::StepState
+{
+    /** Active slots this round, flattened micro-batch-major; the
+     *  micro-batch partition is [ubStart[j], ubStart[j+1]). */
+    std::vector<std::size_t> rowSlot;
     std::vector<std::size_t> ubStart;
+    std::size_t numUbs = 0;
 
     // "GPU" side buffers, one per micro-batch.
     std::vector<std::vector<float>> xGpu;      ///< [ubSize * h1]
@@ -50,35 +74,11 @@ struct PipelinedEngine::DecodeState
     std::vector<std::vector<float>> qkvCpu;
     std::vector<std::vector<float>> attnCpu;
 
-    // Prefill hidden states: per seq, [len * h1] (freed after).
-    std::vector<std::vector<float>> prefillHidden;
-
-    // Scratch (single-threaded per queue).
-    std::vector<float> gpuNorm, gpuLogits;
-    // Batched per-micro-batch buffers for the decode GEMMs (sized to
-    // the largest micro-batch).
-    std::vector<float> gpuNormB, gpuProjB, gpuRlB, gpuFfnB;
-    std::vector<float> gpuQB, gpuKB, gpuVB;
-    std::vector<float> cpuAttnScratch;
-    /** Persistent per-worker-slot scratch for the decode attention
-     *  batch (CPU queue tasks are serialized, so one buffer). */
-    std::vector<float> cpuBatchScratch;
-    /** Scratch for the fused quantized prefill kernel, sized to the
-     *  longest prompt (empty in float-KV mode). */
-    std::vector<float> cpuPrefillScratch;
-    /** Longest prompt, for sizing per-layer prefill buffers once. */
-    std::size_t maxPromptLen = 0;
-
-    // Pipeline events.
+    // Pipeline events (fresh every round; rounds are synced).
     std::vector<EventPtr> weightsReady;  ///< per layer
-    std::vector<EventPtr> xReadyUb;      ///< per micro-batch
     std::vector<EventPtr> postPerUb;     ///< last Post event per ub
     std::vector<EventPtr> slotBusy;      ///< per weight slot
     std::vector<std::vector<EventPtr>> cattn;  ///< [layer][ub]
-
-    // Output.
-    std::vector<GenerationResult> out;
-    std::vector<int> nextToken;
 
     std::size_t
     ubSize(std::size_t j) const
@@ -89,181 +89,290 @@ struct PipelinedEngine::DecodeState
 
 PipelinedEngine::PipelinedEngine(const ModelWeights &weights,
                                  EngineConfig cfg)
-    : w_(weights),
+    // validate() runs before any member that consumes the config, so
+    // a bad config fails here with its own message instead of a
+    // deep-in-pipeline assert.
+    : w_((cfg.validate(), weights.cfg.validate(), weights)),
       cfg_(cfg),
       pinned_("pinned", maxTensorFloats(weights.cfg), 4),
       te_(pinned_, cfg.throttleBw),
-      store_(weights, pinned_, 2)
+      store_(weights, pinned_, 2),
+      kvQuantum_(kvQuantumFor(cfg)),
+      // Algorithm 2 budgets in request tokens (prompt + generated);
+      // the engine's kvCapacityTokens counts token-layer entries, so
+      // divide by the layer count. The batcher is constructed from
+      // these same two members — the budget check and the engine's
+      // reserved-usage report must round identically.
+      kvBudgetTokens_(std::max<std::size_t>(
+          1, cfg.kvCapacityTokens / weights.cfg.l)),
+      batcher_(cfg.microBatch, kvBudgetTokens_, kvQuantum_)
 {
-    fatalIf(cfg_.microBatch == 0, "micro-batch must be positive");
-    fatalIf(w_.cfg.l % store_.numSlots() != 0,
-            "layer count must be a multiple of the weight slot count (",
-            store_.numSlots(), ") for conflict-free double buffering");
-    fatalIf(cfg_.lookahead == 0, "lookahead must be >= 1");
+    const ModelConfig &c = w_.cfg;
+    fatalIf(c.l % store_.numSlots() != 0,
+            "layer count (", c.l, ") must be a multiple of the weight "
+            "slot count (", store_.numSlots(),
+            ") for conflict-free double buffering");
     if (cfg_.cpuAttnThreads > 0)
         attnPool_ = std::make_unique<ThreadPool>(cfg_.cpuAttnThreads);
+
+    h1_ = c.h1;
+    qDim_ = c.nq * c.headDim;
+    kvDim_ = c.nkv * c.headDim;
+    qkvDim_ = qDim_ + 2 * kvDim_;
+    vocab_ = c.vocab;
+    scale_ = 1.0f / std::sqrt(static_cast<float>(c.headDim));
+
+    slots_.resize(cfg_.maxConcurrency);
+    freeSlots_.resize(cfg_.maxConcurrency);
+    for (std::size_t i = 0; i < cfg_.maxConcurrency; ++i)
+        freeSlots_[i] = cfg_.maxConcurrency - 1 - i;  // back = slot 0
+
+    if (cfg_.kvQuant)
+        qkv_ = std::make_unique<QuantizedKvCache>(
+            c, cfg_.maxConcurrency, cfg_.kvPageTokens, *cfg_.kvQuant,
+            cfg_.kvCapacityTokens);
+    else
+        kv_ = std::make_unique<KvCacheManager>(
+            c, cfg_.maxConcurrency, cfg_.kvPageTokens,
+            cfg_.kvCapacityTokens);
+
+    gpuNorm_.assign(h1_, 0.0f);
+    gpuLogits_.assign(vocab_, 0.0f);
+    std::size_t mb = cfg_.microBatch;
+    gpuNormB_.assign(mb * h1_, 0.0f);
+    gpuProjB_.assign(mb * h1_, 0.0f);
+    gpuRlB_.assign(mb * c.ne, 0.0f);
+    gpuFfnB_.assign(mb * h1_, 0.0f);
+    gpuQB_.assign(mb * qDim_, 0.0f);
+    gpuKB_.assign(mb * kvDim_, 0.0f);
+    gpuVB_.assign(mb * kvDim_, 0.0f);
+
+    st_ = std::make_unique<StepState>();
+    exec_ = std::make_unique<StreamExecutor>();
 }
 
 PipelinedEngine::~PipelinedEngine() = default;
 
+void
+PipelinedEngine::submit(ServeRequest req)
+{
+    servingValidateRequest(req, w_.cfg.vocab);
+    // A request that can never fit the whole KV budget must fail
+    // here with a diagnosis, not later from inside a pipeline worker
+    // once the queue drains to it — by then the slot is occupied and
+    // the fault aborts the serving round. Every request accepted
+    // here is eventually admittable (aged head-of-line included).
+    std::size_t demand = servingKvDemand(req, kvQuantum_);
+    fatalIf(demand > kvBudgetTokens_,
+            "request ", req.id, " needs ", demand,
+            " KV tokens (prompt ", req.prompt.size(),
+            " + generation budget ", req.maxNewTokens,
+            ", rounded to ", kvQuantum_, "-token pages) but the "
+            "engine's KV capacity is ", kvBudgetTokens_,
+            " request tokens (kvCapacityTokens / layer count)");
+    batcher_.enqueue(std::move(req));
+}
+
+std::size_t
+PipelinedEngine::pendingRequests() const
+{
+    return batcher_.pending();
+}
+
+std::size_t
+PipelinedEngine::activeRequests() const
+{
+    std::size_t n = 0;
+    for (const auto &s : slots_)
+        n += s.has_value();
+    return n;
+}
+
 std::size_t
 PipelinedEngine::kvUsedPages() const
 {
-    return kv_ ? kv_->usedPages() : 0;
+    return qkv_ ? qkv_->usedPages() : kv_->usedPages();
 }
 
-std::vector<GenerationResult>
-PipelinedEngine::generate(const std::vector<std::vector<int>> &prompts,
-                          int genLen)
+std::size_t
+PipelinedEngine::kvContextLen(std::size_t slot) const
 {
-    fatalIf(prompts.empty(), "no prompts");
-    fatalIf(genLen <= 0, "generation length must be positive");
-    const ModelConfig &cfg = w_.cfg;
+    return qkv_ ? qkv_->contextLen(slot, 0) : kv_->contextLen(slot, 0);
+}
 
-    state_ = std::make_unique<DecodeState>();
-    DecodeState &st = *state_;
-    st.numSeqs = prompts.size();
-    st.genLen = genLen;
-    st.h1 = cfg.h1;
-    st.qDim = cfg.nq * cfg.headDim;
-    st.kvDim = cfg.nkv * cfg.headDim;
-    st.qkvDim = st.qDim + 2 * st.kvDim;
-    st.vocab = cfg.vocab;
-    st.scale = 1.0f / std::sqrt(static_cast<float>(cfg.headDim));
+std::size_t
+PipelinedEngine::kvTokensInUse() const
+{
+    // Reserved demand of every active request, in the request-token
+    // units Algorithm 2 budgets with (see the batcher_ construction).
+    // Budgeting *current* usage instead would over-admit — an
+    // admitted sequence keeps growing toward its budget, and the
+    // later appends would overflow the pool mid-flight, killing
+    // every in-flight request. Early (stop-token) retirement just
+    // hands reserved capacity back sooner.
+    std::size_t reserved = 0;
+    for (const auto &s : slots_)
+        if (s)
+            reserved += servingKvDemand(s->req, kvQuantum_);
+    return reserved;
+}
 
-    // Partition sequences into micro-batches of cfg_.microBatch.
-    st.numUbs = (st.numSeqs + cfg_.microBatch - 1) / cfg_.microBatch;
-    st.ubStart.resize(st.numUbs + 1);
-    for (std::size_t j = 0; j <= st.numUbs; ++j)
-        st.ubStart[j] = std::min(j * cfg_.microBatch, st.numSeqs);
+void
+PipelinedEngine::noteKvUsage()
+{
+    kvPeakPages_ = std::max(kvPeakPages_, kvUsedPages());
+}
 
-    st.xGpu.resize(st.numUbs);
-    st.qkvGpu.resize(st.numUbs);
-    st.attnGpu.resize(st.numUbs);
-    st.qkvCpu.resize(st.numUbs);
-    st.attnCpu.resize(st.numUbs);
-    for (std::size_t j = 0; j < st.numUbs; ++j) {
-        std::size_t n = st.ubSize(j);
-        st.xGpu[j].assign(n * st.h1, 0.0f);
-        st.qkvGpu[j].assign(n * st.qkvDim, 0.0f);
-        st.attnGpu[j].assign(n * st.qDim, 0.0f);
-        st.qkvCpu[j].assign(n * st.qkvDim, 0.0f);
-        st.attnCpu[j].assign(n * st.qDim, 0.0f);
-    }
-    st.gpuNorm.assign(st.h1, 0.0f);
-    st.gpuLogits.assign(st.vocab, 0.0f);
-    std::size_t max_ub = 0;
-    for (std::size_t j = 0; j < st.numUbs; ++j)
-        max_ub = std::max(max_ub, st.ubSize(j));
-    st.gpuNormB.assign(max_ub * st.h1, 0.0f);
-    st.gpuProjB.assign(max_ub * st.h1, 0.0f);
-    st.gpuRlB.assign(max_ub * cfg.ne, 0.0f);
-    st.gpuFfnB.assign(max_ub * st.h1, 0.0f);
-    st.gpuQB.assign(max_ub * st.qDim, 0.0f);
-    st.gpuKB.assign(max_ub * st.kvDim, 0.0f);
-    st.gpuVB.assign(max_ub * st.kvDim, 0.0f);
+void
+PipelinedEngine::freeSlotKv(std::size_t slot)
+{
+    if (qkv_)
+        qkv_->freeSequence(slot);
+    else
+        kv_->freeSequence(slot);
+}
 
-    std::size_t max_prompt = 0;
-    for (const auto &p : prompts)
-        max_prompt = std::max(max_prompt, p.size());
-    st.maxPromptLen = max_prompt;
-    std::size_t max_ctx =
-        max_prompt + static_cast<std::size_t>(genLen) + 1;
+void
+PipelinedEngine::ensureAttnScratch(std::size_t ctx)
+{
+    if (ctx <= scratchCtx_)
+        return;
+    // Grow geometrically so steadily lengthening contexts don't
+    // reallocate every decode round.
+    std::size_t target = std::max(ctx, scratchCtx_ * 2);
+    scratchCtx_ = target;
+    const ModelConfig &c = w_.cfg;
     // Quant scratch is a superset of the float kernel's (score rows
     // plus the K/V dequant stash), so one sizing covers both modes.
-    st.cpuAttnScratch.assign(
-        gqaQuantAttnScratchFloats(cfg.nq, cfg.nkv, max_ctx,
-                                  cfg.headDim, cfg_.kvPageTokens),
-        0.0f);
-    std::size_t attn_slots = attnPool_ ? attnPool_->maxParallelism() : 1;
-    st.cpuBatchScratch.assign(
-        attn_slots * gqaQuantAttnScratchFloats(cfg.nq, cfg.nkv,
-                                               max_ctx, cfg.headDim,
-                                               cfg_.kvPageTokens),
-        0.0f);
-    if (cfg_.kvQuant)
-        st.cpuPrefillScratch.assign(
+    std::size_t per = gqaQuantAttnScratchFloats(
+        c.nq, c.nkv, target, c.headDim, cfg_.kvPageTokens);
+    cpuAttnScratch_.assign(per, 0.0f);
+    std::size_t attn_slots =
+        attnPool_ ? attnPool_->maxParallelism() : 1;
+    cpuBatchScratch_.assign(attn_slots * per, 0.0f);
+}
+
+std::vector<RequestOutput>
+PipelinedEngine::step()
+{
+    std::vector<RequestOutput> finished;
+    admitPending(finished);
+    decodeActive(finished);
+    return finished;
+}
+
+void
+PipelinedEngine::maybeRetire(std::size_t slot,
+                             std::vector<RequestOutput> &finished)
+{
+    ActiveSeq &a = *slots_[slot];
+    if (!servingReachedEnd(a.req, a.tokens))
+        return;
+    RequestOutput r = servingMakeOutput(
+        a.req, std::move(a.tokens), a.prefillSeconds, a.decodeSeconds);
+    // Early retirement: the pages go back to the pool *now*, while
+    // the co-batch keeps decoding, so a freed slot can take the next
+    // queued request at the following round's admission.
+    freeSlotKv(slot);
+    slots_[slot].reset();
+    freeSlots_.insert(
+        std::lower_bound(freeSlots_.begin(), freeSlots_.end(), slot,
+                         std::greater<std::size_t>()),
+        slot);
+    finished.push_back(std::move(r));
+}
+
+void
+PipelinedEngine::admitPending(std::vector<RequestOutput> &finished)
+{
+    if (batcher_.pending() == 0)
+        return;
+    std::vector<ServeRequest> admitted =
+        batcher_.admit(freeSlots_.size(), kvTokensInUse());
+    if (admitted.empty()) {
+        // The planner deferred everything. With sequences still
+        // generating that's back-pressure — retry next round. With
+        // the engine idle it would be starvation (a lone request
+        // bigger than the whole planner budget): force the oldest
+        // through and let the KV pool itself diagnose a true
+        // overflow.
+        if (activeRequests() > 0)
+            return;
+        admitted.push_back(batcher_.admitOne());
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::size_t> fresh;
+    fresh.reserve(admitted.size());
+    for (ServeRequest &req : admitted) {
+        panicIf(freeSlots_.empty(),
+                "admission exceeded free sequence slots");
+        std::size_t slot = freeSlots_.back();
+        freeSlots_.pop_back();
+        ActiveSeq a;
+        a.req = std::move(req);
+        slots_[slot].emplace(std::move(a));
+        fresh.push_back(slot);
+    }
+    prefillSlots(fresh);
+    exec_->sync();
+    prefillHidden_.clear();
+    double secs = servingSecondsSince(t0);
+    noteKvUsage();
+    for (std::size_t slot : fresh) {
+        slots_[slot]->prefillSeconds = secs;
+        maybeRetire(slot, finished);
+    }
+}
+
+void
+PipelinedEngine::prefillSlots(const std::vector<std::size_t> &slots)
+{
+    const ModelConfig &cfg = w_.cfg;
+    std::size_t n = slots.size();
+
+    // Initialize per-sequence hidden states with embeddings.
+    prefillHidden_.assign(n, {});
+    std::size_t max_prompt = 0;
+    for (std::size_t a = 0; a < n; ++a) {
+        const std::vector<int> &prompt =
+            slots_[slots[a]]->req.prompt;
+        std::size_t len = prompt.size();
+        max_prompt = std::max(max_prompt, len);
+        prefillHidden_[a].resize(len * h1_);
+        for (std::size_t t = 0; t < len; ++t)
+            std::memcpy(
+                prefillHidden_[a].data() + t * h1_,
+                w_.embedding.row(
+                    static_cast<std::size_t>(prompt[t])),
+                h1_ * sizeof(float));
+    }
+    ensureAttnScratch(max_prompt + 1);
+    if (qkv_ && max_prompt > prefillScratchLen_) {
+        prefillScratchLen_ = max_prompt;
+        cpuPrefillScratch_.assign(
             gqaQuantPrefillAttnScratchFloats(cfg.nq, cfg.nkv,
                                              max_prompt, cfg.headDim,
                                              cfg_.kvPageTokens),
             0.0f);
-
-    st.out.assign(st.numSeqs, {});
-    st.nextToken.assign(st.numSeqs, 0);
-
-    st.weightsReady.assign(cfg.l, nullptr);
-    st.xReadyUb.assign(st.numUbs, nullptr);
-    st.postPerUb.assign(st.numUbs, nullptr);
-    st.slotBusy.assign(store_.numSlots(), nullptr);
-    st.cattn.assign(cfg.l, std::vector<EventPtr>(st.numUbs));
-
-    if (cfg_.kvQuant) {
-        qkv_ = std::make_unique<QuantizedKvCache>(
-            cfg, st.numSeqs, cfg_.kvPageTokens, *cfg_.kvQuant,
-            cfg_.kvCapacityTokens);
-        kv_.reset();
-    } else {
-        kv_ = std::make_unique<KvCacheManager>(cfg, st.numSeqs,
-                                               cfg_.kvPageTokens,
-                                               cfg_.kvCapacityTokens);
-        qkv_.reset();
     }
-    exec_ = std::make_unique<StreamExecutor>();
-    te_.resetStats();
-
-    prefill(prompts, st);
-    exec_->sync();
-    st.prefillHidden.clear();
-    st.prefillHidden.shrink_to_fit();
-
-    // Preload layers 0 and 1 for the first decode step; everything
-    // before has retired (sync above), so no buffer dependency.
-    if (genLen > 1) {
-        for (std::size_t t = 0; t < std::min<std::size_t>(2, cfg.l);
-             ++t) {
-            auto ready = std::make_shared<TaskEvent>();
-            exec_->submit(ResourceKind::HtoD, {}, [this, t, ready] {
-                store_.loadLayer(t, te_);
-                ready->signal();
-            });
-            st.weightsReady[t] = ready;
-        }
-        for (int d = 1; d < genLen; ++d)
-            decodeStep(st, d, d + 1 == genLen);
-        exec_->sync();
-    }
-
-    exec_.reset();  // join workers before tearing down state
-    return std::move(st.out);
-}
-
-void
-PipelinedEngine::prefill(const std::vector<std::vector<int>> &prompts,
-                         DecodeState &st)
-{
-    const ModelConfig &cfg = w_.cfg;
-
-    // Initialize per-sequence hidden states with embeddings.
-    st.prefillHidden.resize(st.numSeqs);
-    for (std::size_t s = 0; s < st.numSeqs; ++s) {
-        fatalIf(prompts[s].empty(), "empty prompt");
-        std::size_t len = prompts[s].size();
-        st.prefillHidden[s].resize(len * st.h1);
-        for (std::size_t t = 0; t < len; ++t) {
-            int tok = prompts[s][t];
-            fatalIf(tok < 0 ||
-                        static_cast<std::size_t>(tok) >= cfg.vocab,
-                    "prompt token out of vocabulary");
-            std::memcpy(st.prefillHidden[s].data() + t * st.h1,
-                        w_.embedding.row(static_cast<std::size_t>(tok)),
-                        st.h1 * sizeof(float));
-        }
-    }
+    // Reserve the per-layer working buffers once to the longest
+    // prompt: the per-seq resizes inside the zigzag tasks then never
+    // reallocate, and the buffers persist across layers and rounds.
+    pfNorm_.reserve(max_prompt * h1_);
+    pfQ_.reserve(max_prompt * qDim_);
+    pfK_.reserve(max_prompt * kvDim_);
+    pfV_.reserve(max_prompt * kvDim_);
+    pfAttn_.reserve(max_prompt * qDim_);
+    pfProj_.reserve(max_prompt * h1_);
+    pfRl_.reserve(max_prompt * cfg.ne);
+    pfFfn_.reserve(max_prompt * h1_);
+    pfRouting_.reserve(max_prompt);
 
     // Zigzag layer-by-layer prefill (§4): load layer weights, then run
-    // every sequence's tokens through that layer on the GPU queue,
-    // appending KV as we go. Weight loads for layer i+2 wait on layer
-    // i's compute (slot reuse).
+    // every admitted sequence's tokens through that layer on the GPU
+    // queue, appending KV as we go. Weight loads for layer i+2 wait on
+    // layer i's compute (slot reuse).
+    std::vector<std::size_t> admitted(slots);  // outlives the tasks
     std::vector<EventPtr> compute_done(cfg.l);
     for (std::size_t li = 0; li < cfg.l; ++li) {
         std::vector<EventPtr> load_deps;
@@ -277,7 +386,8 @@ PipelinedEngine::prefill(const std::vector<std::vector<int>> &prompts,
         if (li > 0)
             deps.push_back(compute_done[li - 1]);
         compute_done[li] = exec_->submit(
-            ResourceKind::Gpu, std::move(deps), [this, li, &st] {
+            ResourceKind::Gpu, std::move(deps),
+            [this, li, admitted] {
                 const ModelConfig &c = w_.cfg;
                 // Whole-sequence batched projections instead of
                 // per-token GEMV chains; only the attention/KV-append
@@ -288,50 +398,48 @@ PipelinedEngine::prefill(const std::vector<std::vector<int>> &prompts,
                 // tokens stay bit-identical to the reference engine.
                 ThreadPool *pool = attnPool_.get();
                 KvViewStorage view;
-                std::vector<float> norm_all, q_all, k_all, v_all;
-                std::vector<float> attn_all, proj_all, rl_all, ffn_all;
-                std::vector<TokenRouting> routing;
-                // Reserve once to the longest prompt: the per-seq
-                // resizes below then never reallocate, however the
-                // sequence lengths vary across the batch.
-                std::size_t mx = st.maxPromptLen;
-                norm_all.reserve(mx * st.h1);
-                q_all.reserve(mx * st.qDim);
-                k_all.reserve(mx * st.kvDim);
-                v_all.reserve(mx * st.kvDim);
-                attn_all.reserve(mx * st.qDim);
-                proj_all.reserve(mx * st.h1);
-                rl_all.reserve(mx * c.ne);
-                ffn_all.reserve(mx * st.h1);
-                routing.reserve(mx);
-                for (std::size_t s = 0; s < st.numSeqs; ++s) {
+                // Working buffers are engine members, reserved to the
+                // longest prompt in prefillSlots(); only this queue's
+                // serialized tasks touch them, so the per-seq resizes
+                // below never reallocate.
+                std::vector<float> &norm_all = pfNorm_;
+                std::vector<float> &q_all = pfQ_;
+                std::vector<float> &k_all = pfK_;
+                std::vector<float> &v_all = pfV_;
+                std::vector<float> &attn_all = pfAttn_;
+                std::vector<float> &proj_all = pfProj_;
+                std::vector<float> &rl_all = pfRl_;
+                std::vector<float> &ffn_all = pfFfn_;
+                std::vector<TokenRouting> &routing = pfRouting_;
+                for (std::size_t a = 0; a < admitted.size(); ++a) {
+                    std::size_t slot = admitted[a];
                     std::size_t len =
-                        st.prefillHidden[s].size() / st.h1;
-                    float *xs = st.prefillHidden[s].data();
-                    norm_all.resize(len * st.h1);
-                    q_all.resize(len * st.qDim);
-                    k_all.resize(len * st.kvDim);
-                    v_all.resize(len * st.kvDim);
-                    attn_all.resize(len * st.qDim);
-                    proj_all.resize(len * st.h1);
+                        prefillHidden_[a].size() / h1_;
+                    float *xs = prefillHidden_[a].data();
+                    norm_all.resize(len * h1_);
+                    q_all.resize(len * qDim_);
+                    k_all.resize(len * kvDim_);
+                    v_all.resize(len * kvDim_);
+                    attn_all.resize(len * qDim_);
+                    proj_all.resize(len * h1_);
                     rl_all.resize(len * c.ne);
-                    ffn_all.resize(len * st.h1);
+                    ffn_all.resize(len * h1_);
                     for (std::size_t t = 0; t < len; ++t)
-                        rmsNorm(xs + t * st.h1,
+                        rmsNorm(xs + t * h1_,
                                 store_.tensor(li, "attn_norm"),
-                                norm_all.data() + t * st.h1, st.h1);
+                                norm_all.data() + t * h1_, h1_);
                     matmulTransposedB(norm_all.data(),
                                       store_.tensor(li, "wq"),
-                                      q_all.data(), len, st.h1,
-                                      st.qDim, pool);
+                                      q_all.data(), len, h1_,
+                                      qDim_, pool);
                     matmulTransposedB(norm_all.data(),
                                       store_.tensor(li, "wk"),
-                                      k_all.data(), len, st.h1,
-                                      st.kvDim, pool);
+                                      k_all.data(), len, h1_,
+                                      kvDim_, pool);
                     matmulTransposedB(norm_all.data(),
                                       store_.tensor(li, "wv"),
-                                      v_all.data(), len, st.h1,
-                                      st.kvDim, pool);
+                                      v_all.data(), len, h1_,
+                                      kvDim_, pool);
                     if (qkv_) {
                         // Append the whole prompt, then run the fused
                         // causal prefill kernel once: each closed
@@ -341,19 +449,19 @@ PipelinedEngine::prefill(const std::vector<std::vector<int>> &prompts,
                         // bit (the reference engine's per-token fused
                         // decode stays the oracle for this).
                         for (std::size_t t = 0; t < len; ++t)
-                            qkv_->append(s, li,
-                                         k_all.data() + t * st.kvDim,
-                                         v_all.data() + t * st.kvDim);
+                            qkv_->append(slot, li,
+                                         k_all.data() + t * kvDim_,
+                                         v_all.data() + t * kvDim_);
                         gqaPrefillAttentionQuantFused(
                             q_all.data(), k_all.data(), v_all.data(),
-                            len, c.nq, qkv_->makeQuantView(s, li),
-                            attn_all.data(), st.scale,
-                            st.cpuPrefillScratch);
+                            len, c.nq, qkv_->makeQuantView(slot, li),
+                            attn_all.data(), scale_,
+                            cpuPrefillScratch_);
                     } else {
                         for (std::size_t t = 0; t < len; ++t) {
-                            kv_->append(s, li,
-                                        k_all.data() + t * st.kvDim,
-                                        v_all.data() + t * st.kvDim);
+                            kv_->append(slot, li,
+                                        k_all.data() + t * kvDim_,
+                                        v_all.data() + t * kvDim_);
                             // The page-pointer list only changes when
                             // an append opens a new page; between
                             // boundaries just advance the context
@@ -362,86 +470,149 @@ PipelinedEngine::prefill(const std::vector<std::vector<int>> &prompts,
                             // (not t) so a prefill over a non-empty
                             // cache — prefix reuse, say — stays
                             // correct; t == 0 still always builds
-                            // this (seq, layer)'s first view.
+                            // this (slot, layer)'s first view.
                             std::size_t ctx_len =
-                                kv_->contextLen(s, li);
+                                kv_->contextLen(slot, li);
                             if (t == 0 ||
                                 (ctx_len - 1) % cfg_.kvPageTokens == 0)
-                                kv_->makeView(s, li, view);
+                                kv_->makeView(slot, li, view);
                             else
                                 view.view.contextLen = ctx_len;
                             gqaDecodeAttention(
-                                q_all.data() + t * st.qDim, c.nq,
+                                q_all.data() + t * qDim_, c.nq,
                                 view.view,
-                                attn_all.data() + t * st.qDim,
-                                st.scale, st.cpuAttnScratch);
+                                attn_all.data() + t * qDim_,
+                                scale_, cpuAttnScratch_);
                         }
                     }
                     matmulTransposedB(attn_all.data(),
                                       store_.tensor(li, "wo"),
-                                      proj_all.data(), len, st.qDim,
-                                      st.h1, pool);
+                                      proj_all.data(), len, qDim_,
+                                      h1_, pool);
                     for (std::size_t t = 0; t < len; ++t) {
-                        accumulate(xs + t * st.h1,
-                                   proj_all.data() + t * st.h1,
-                                   st.h1);
-                        rmsNorm(xs + t * st.h1,
+                        accumulate(xs + t * h1_,
+                                   proj_all.data() + t * h1_, h1_);
+                        rmsNorm(xs + t * h1_,
                                 store_.tensor(li, "ffn_norm"),
-                                norm_all.data() + t * st.h1, st.h1);
+                                norm_all.data() + t * h1_, h1_);
                     }
                     matmulTransposedB(norm_all.data(),
                                       store_.tensor(li, "router"),
-                                      rl_all.data(), len, st.h1, c.ne,
+                                      rl_all.data(), len, h1_, c.ne,
                                       pool);
                     routing.resize(len);
                     for (std::size_t t = 0; t < len; ++t)
                         routing[t] = routeTopK(
                             {rl_all.data() + t * c.ne, c.ne}, c.k);
                     moeFfnForward(norm_all.data(), routing,
-                                  store_.resolver(li), len, st.h1,
+                                  store_.resolver(li), len, h1_,
                                   c.h2, ffn_all.data(), pool);
                     for (std::size_t t = 0; t < len; ++t)
-                        accumulate(xs + t * st.h1,
-                                   ffn_all.data() + t * st.h1, st.h1);
+                        accumulate(xs + t * h1_,
+                                   ffn_all.data() + t * h1_, h1_);
                 }
             });
     }
 
-    // Bootstrap: sample the first generated token from each prompt's
-    // last hidden state and set up the decode-step inputs.
+    // Bootstrap: sample each admitted request's first generated token
+    // from its prompt's last hidden state.
     exec_->submit(
-        ResourceKind::Gpu, {compute_done[cfg.l - 1]}, [this, &st] {
-            for (std::size_t j = 0; j < st.numUbs; ++j) {
-                for (std::size_t s = st.ubStart[j];
-                     s < st.ubStart[j + 1]; ++s) {
-                    std::size_t len =
-                        st.prefillHidden[s].size() / st.h1;
-                    const float *hidden = st.prefillHidden[s].data() +
-                                          (len - 1) * st.h1;
-                    rmsNorm(hidden, w_.finalNorm.data(),
-                            st.gpuNorm.data(), st.h1);
-                    matmulTransposedB(st.gpuNorm.data(),
-                                      w_.lmHead.data(),
-                                      st.gpuLogits.data(), 1, st.h1,
-                                      st.vocab);
-                    int next = static_cast<int>(argmax(
-                        {st.gpuLogits.data(), st.gpuLogits.size()}));
-                    st.out[s].tokens.push_back(next);
-                    st.nextToken[s] = next;
-                    float *x = st.xGpu[j].data() +
-                               (s - st.ubStart[j]) * st.h1;
-                    std::memcpy(
-                        x,
-                        w_.embedding.row(
-                            static_cast<std::size_t>(next)),
-                        st.h1 * sizeof(float));
-                }
+        ResourceKind::Gpu, {compute_done[cfg.l - 1]},
+        [this, admitted] {
+            for (std::size_t a = 0; a < admitted.size(); ++a) {
+                std::size_t len = prefillHidden_[a].size() / h1_;
+                const float *hidden = prefillHidden_[a].data() +
+                                      (len - 1) * h1_;
+                rmsNorm(hidden, w_.finalNorm.data(),
+                        gpuNorm_.data(), h1_);
+                matmulTransposedB(gpuNorm_.data(), w_.lmHead.data(),
+                                  gpuLogits_.data(), 1, h1_, vocab_);
+                int next = static_cast<int>(argmax(
+                    {gpuLogits_.data(), gpuLogits_.size()}));
+                ActiveSeq &as = *slots_[admitted[a]];
+                as.tokens.push_back(next);
+                as.next = next;
             }
         });
 }
 
 void
-PipelinedEngine::decodeStep(DecodeState &st, int stepIdx, bool lastStep)
+PipelinedEngine::decodeActive(std::vector<RequestOutput> &finished)
+{
+    StepState &st = *st_;
+    st.rowSlot.clear();
+    for (std::size_t slot = 0; slot < slots_.size(); ++slot)
+        if (slots_[slot])
+            st.rowSlot.push_back(slot);
+    if (st.rowSlot.empty())
+        return;
+
+    auto t0 = std::chrono::steady_clock::now();
+    std::size_t n_act = st.rowSlot.size();
+    st.numUbs = (n_act + cfg_.microBatch - 1) / cfg_.microBatch;
+    st.ubStart.assign(st.numUbs + 1, 0);
+    for (std::size_t j = 0; j <= st.numUbs; ++j)
+        st.ubStart[j] = std::min(j * cfg_.microBatch, n_act);
+
+    st.xGpu.resize(st.numUbs);
+    st.qkvGpu.resize(st.numUbs);
+    st.attnGpu.resize(st.numUbs);
+    st.qkvCpu.resize(st.numUbs);
+    st.attnCpu.resize(st.numUbs);
+    for (std::size_t j = 0; j < st.numUbs; ++j) {
+        std::size_t nj = st.ubSize(j);
+        st.xGpu[j].resize(nj * h1_);
+        st.qkvGpu[j].resize(nj * qkvDim_);
+        st.attnGpu[j].resize(nj * qDim_);
+        st.qkvCpu[j].resize(nj * qkvDim_);
+        st.attnCpu[j].resize(nj * qDim_);
+        // Each row's x is the embedding of that sequence's last
+        // sampled token — the same bytes the legacy lockstep loop
+        // carried forward in place.
+        for (std::size_t r = 0; r < nj; ++r) {
+            std::size_t slot = st.rowSlot[st.ubStart[j] + r];
+            std::memcpy(st.xGpu[j].data() + r * h1_,
+                        w_.embedding.row(static_cast<std::size_t>(
+                            slots_[slot]->next)),
+                        h1_ * sizeof(float));
+        }
+    }
+
+    std::size_t max_ctx = 1;
+    for (std::size_t slot : st.rowSlot)
+        max_ctx = std::max(max_ctx, kvContextLen(slot) + 1);
+    ensureAttnScratch(max_ctx);
+
+    std::size_t layers = w_.cfg.l;
+    st.weightsReady.assign(layers, nullptr);
+    st.postPerUb.assign(st.numUbs, nullptr);
+    st.slotBusy.assign(store_.numSlots(), nullptr);
+    st.cattn.assign(layers, std::vector<EventPtr>(st.numUbs));
+
+    // Preload layers 0 and 1; the prior round (or the admission
+    // prefill) synced, so the weight slots are free.
+    for (std::size_t t = 0; t < std::min<std::size_t>(2, layers);
+         ++t) {
+        auto ready = std::make_shared<TaskEvent>();
+        exec_->submit(ResourceKind::HtoD, {}, [this, t, ready] {
+            store_.loadLayer(t, te_);
+            ready->signal();
+        });
+        st.weightsReady[t] = ready;
+    }
+
+    runDecodeChains(st);
+    exec_->sync();
+    double secs = servingSecondsSince(t0);
+    noteKvUsage();
+    for (std::size_t slot : st.rowSlot)
+        slots_[slot]->decodeSeconds += secs;
+    for (std::size_t slot : st.rowSlot)
+        maybeRetire(slot, finished);
+}
+
+void
+PipelinedEngine::runDecodeChains(StepState &st)
 {
     const ModelConfig &cfg = w_.cfg;
     std::size_t layers = cfg.l;
@@ -452,15 +623,15 @@ PipelinedEngine::decodeStep(DecodeState &st, int stepIdx, bool lastStep)
     std::size_t next_chain = 0;
     // Launch the Pre -> OffloadQKV -> CPUAttn chain for linear index
     // m (layer-major). Dependencies: this layer's weights and this
-    // micro-batch's hidden state from the previous layer/step.
+    // micro-batch's hidden state from the previous layer (layer 0's
+    // x was filled synchronously before launch).
     auto launch_chain = [&](std::size_t m) {
         std::size_t i = m / ubs, j = m % ubs;
         std::vector<EventPtr> deps;
         if (st.weightsReady[i])
             deps.push_back(st.weightsReady[i]);
-        EventPtr x_ready = i == 0 ? st.xReadyUb[j] : st.postPerUb[j];
-        if (x_ready)
-            deps.push_back(x_ready);
+        if (i > 0 && st.postPerUb[j])
+            deps.push_back(st.postPerUb[j]);
 
         EventPtr pre = exec_->submit(
             ResourceKind::Gpu, std::move(deps), [this, &st, i, j] {
@@ -472,28 +643,28 @@ PipelinedEngine::decodeStep(DecodeState &st, int stepIdx, bool lastStep)
                 // concurrently with the CPU queue's attention, which
                 // owns attnPool_.
                 for (std::size_t r = 0; r < n; ++r)
-                    rmsNorm(st.xGpu[j].data() + r * st.h1,
+                    rmsNorm(st.xGpu[j].data() + r * h1_,
                             store_.tensor(i, "attn_norm"),
-                            st.gpuNormB.data() + r * st.h1, st.h1);
-                matmulTransposedB(st.gpuNormB.data(),
+                            gpuNormB_.data() + r * h1_, h1_);
+                matmulTransposedB(gpuNormB_.data(),
                                   store_.tensor(i, "wq"),
-                                  st.gpuQB.data(), n, st.h1, st.qDim);
-                matmulTransposedB(st.gpuNormB.data(),
+                                  gpuQB_.data(), n, h1_, qDim_);
+                matmulTransposedB(gpuNormB_.data(),
                                   store_.tensor(i, "wk"),
-                                  st.gpuKB.data(), n, st.h1, st.kvDim);
-                matmulTransposedB(st.gpuNormB.data(),
+                                  gpuKB_.data(), n, h1_, kvDim_);
+                matmulTransposedB(gpuNormB_.data(),
                                   store_.tensor(i, "wv"),
-                                  st.gpuVB.data(), n, st.h1, st.kvDim);
+                                  gpuVB_.data(), n, h1_, kvDim_);
                 for (std::size_t r = 0; r < n; ++r) {
-                    float *qkv = st.qkvGpu[j].data() + r * st.qkvDim;
-                    std::memcpy(qkv, st.gpuQB.data() + r * st.qDim,
-                                st.qDim * sizeof(float));
-                    std::memcpy(qkv + st.qDim,
-                                st.gpuKB.data() + r * st.kvDim,
-                                st.kvDim * sizeof(float));
-                    std::memcpy(qkv + st.qDim + st.kvDim,
-                                st.gpuVB.data() + r * st.kvDim,
-                                st.kvDim * sizeof(float));
+                    float *qkv = st.qkvGpu[j].data() + r * qkvDim_;
+                    std::memcpy(qkv, gpuQB_.data() + r * qDim_,
+                                qDim_ * sizeof(float));
+                    std::memcpy(qkv + qDim_,
+                                gpuKB_.data() + r * kvDim_,
+                                kvDim_ * sizeof(float));
+                    std::memcpy(qkv + qDim_ + kvDim_,
+                                gpuVB_.data() + r * kvDim_,
+                                kvDim_ * sizeof(float));
                 }
             });
 
@@ -501,17 +672,18 @@ PipelinedEngine::decodeStep(DecodeState &st, int stepIdx, bool lastStep)
             ResourceKind::DtoH, {pre}, [this, &st, i, j] {
                 std::size_t n = st.ubSize(j);
                 te_.copyToHost(st.qkvGpu[j].data(),
-                               st.qkvCpu[j].data(), n * st.qkvDim);
+                               st.qkvCpu[j].data(), n * qkvDim_);
                 for (std::size_t r = 0; r < n; ++r) {
-                    std::size_t s = st.ubStart[j] + r;
+                    std::size_t slot =
+                        st.rowSlot[st.ubStart[j] + r];
                     const float *qkv =
-                        st.qkvCpu[j].data() + r * st.qkvDim;
+                        st.qkvCpu[j].data() + r * qkvDim_;
                     if (qkv_)
-                        qkv_->append(s, i, qkv + st.qDim,
-                                     qkv + st.qDim + st.kvDim);
+                        qkv_->append(slot, i, qkv + qDim_,
+                                     qkv + qDim_ + kvDim_);
                     else
-                        kv_->append(s, i, qkv + st.qDim,
-                                    qkv + st.qDim + st.kvDim);
+                        kv_->append(slot, i, qkv + qDim_,
+                                    qkv + qDim_ + kvDim_);
                 }
             });
 
@@ -525,12 +697,12 @@ PipelinedEngine::decodeStep(DecodeState &st, int stepIdx, bool lastStep)
                     // pages are ever materialized.
                     std::vector<QuantKvView> qviews(n);
                     for (std::size_t r = 0; r < n; ++r)
-                        qviews[r] =
-                            qkv_->makeQuantView(st.ubStart[j] + r, i);
+                        qviews[r] = qkv_->makeQuantView(
+                            st.rowSlot[st.ubStart[j] + r], i);
                     gqaDecodeAttentionQuantBatch(
-                        st.qkvCpu[j].data(), st.qkvDim, c.nq, qviews,
-                        st.attnCpu[j].data(), st.qDim, st.scale,
-                        attnPool_.get(), st.cpuBatchScratch);
+                        st.qkvCpu[j].data(), qkvDim_, c.nq, qviews,
+                        st.attnCpu[j].data(), qDim_, scale_,
+                        attnPool_.get(), cpuBatchScratch_);
                     return;
                 }
                 // Materialize all views first, then fan the tokens
@@ -538,13 +710,14 @@ PipelinedEngine::decodeStep(DecodeState &st, int stepIdx, bool lastStep)
                 std::vector<KvViewStorage> views(n);
                 std::vector<KvView> kvs(n);
                 for (std::size_t r = 0; r < n; ++r) {
-                    kv_->makeView(st.ubStart[j] + r, i, views[r]);
+                    kv_->makeView(st.rowSlot[st.ubStart[j] + r], i,
+                                  views[r]);
                     kvs[r] = views[r].view;
                 }
                 gqaDecodeAttentionBatch(
-                    st.qkvCpu[j].data(), st.qkvDim, c.nq, kvs,
-                    st.attnCpu[j].data(), st.qDim, st.scale,
-                    attnPool_.get(), st.cpuBatchScratch);
+                    st.qkvCpu[j].data(), qkvDim_, c.nq, kvs,
+                    st.attnCpu[j].data(), qDim_, scale_,
+                    attnPool_.get(), cpuBatchScratch_);
             });
     };
     auto pump = [&](std::size_t up_to) {
@@ -566,15 +739,17 @@ PipelinedEngine::decodeStep(DecodeState &st, int stepIdx, bool lastStep)
             ResourceKind::HtoD, {st.cattn[i][j]}, [this, &st, j] {
                 std::size_t n = st.ubSize(j);
                 te_.copyToGpu(st.attnCpu[j].data(),
-                              st.attnGpu[j].data(), n * st.qDim);
+                              st.attnGpu[j].data(), n * qDim_);
             });
 
-        // Interleaved weight pages for the next layer (wraps to layer
-        // 0 of the next step). Chunk j covers an equal share of the
-        // layer's pages.
+        // Interleaved weight pages for the next layer. Chunk j covers
+        // an equal share of the layer's pages. Layers 0 and 1 were
+        // preloaded for this round, and the round ends after the last
+        // layer (admission may change the batch before the next one),
+        // so the wrap-around tail is skipped.
         std::size_t target = (i + 1) % layers;
-        bool preloaded = stepIdx == 1 && i == 0;  // layer 1 preloaded
-        bool skip_tail = lastStep && i == layers - 1;
+        bool preloaded = i == 0;
+        bool skip_tail = i == layers - 1;
         if (!preloaded && !skip_tail) {
             std::size_t pages = store_.pagesPerLayer();
             std::size_t lo = pages * j / ubs;
@@ -587,7 +762,14 @@ PipelinedEngine::decodeStep(DecodeState &st, int stepIdx, bool lastStep)
             EventPtr ready = st.weightsReady[target];
             std::vector<EventPtr> wdeps;
             std::size_t slot = target % store_.numSlots();
-            if (lo < hi && j == 0 && st.slotBusy[slot])
+            // The slot-retired dependency belongs to the *first
+            // non-empty* chunk (lo == 0 && hi > 0): with more
+            // micro-batches than weight pages, chunk j == 0 is empty
+            // and pinning the dependency to it would let the first
+            // real load overwrite the slot while the previous
+            // occupant's PostAttn tasks still read it. Later chunks
+            // are ordered behind the first one by the HtoD FIFO.
+            if (lo == 0 && hi > 0 && st.slotBusy[slot])
                 wdeps.push_back(st.slotBusy[slot]);
             bool last_chunk = j + 1 == ubs;
             exec_->submit(
@@ -601,14 +783,14 @@ PipelinedEngine::decodeStep(DecodeState &st, int stepIdx, bool lastStep)
         }
 
         // PostAttn(i, j): O projection + residual + router + MoE FFN;
-        // on the last layer also sample and re-embed.
+        // on the last layer also sample the round's token per row.
         std::vector<EventPtr> post_deps{loadh};
         if (st.weightsReady[i])
             post_deps.push_back(st.weightsReady[i]);
         bool last_layer = i == layers - 1;
         EventPtr post = exec_->submit(
             ResourceKind::Gpu, std::move(post_deps),
-            [this, &st, i, j, last_layer, stepIdx] {
+            [this, &st, i, j, last_layer] {
                 const ModelConfig &c = w_.cfg;
                 std::size_t n = st.ubSize(j);
                 // Batched O projection, router and MoE FFN across the
@@ -616,56 +798,47 @@ PipelinedEngine::decodeStep(DecodeState &st, int stepIdx, bool lastStep)
                 // reference engine's m=1 calls bit-for-bit.
                 matmulTransposedB(st.attnGpu[j].data(),
                                   store_.tensor(i, "wo"),
-                                  st.gpuProjB.data(), n, st.qDim,
-                                  st.h1);
+                                  gpuProjB_.data(), n, qDim_, h1_);
                 for (std::size_t r = 0; r < n; ++r) {
-                    float *x = st.xGpu[j].data() + r * st.h1;
-                    accumulate(x, st.gpuProjB.data() + r * st.h1,
-                               st.h1);
+                    float *x = st.xGpu[j].data() + r * h1_;
+                    accumulate(x, gpuProjB_.data() + r * h1_, h1_);
                     rmsNorm(x, store_.tensor(i, "ffn_norm"),
-                            st.gpuNormB.data() + r * st.h1, st.h1);
+                            gpuNormB_.data() + r * h1_, h1_);
                 }
-                matmulTransposedB(st.gpuNormB.data(),
+                matmulTransposedB(gpuNormB_.data(),
                                   store_.tensor(i, "router"),
-                                  st.gpuRlB.data(), n, st.h1, c.ne);
+                                  gpuRlB_.data(), n, h1_, c.ne);
                 std::vector<TokenRouting> routing(n);
                 for (std::size_t r = 0; r < n; ++r)
                     routing[r] = routeTopK(
-                        {st.gpuRlB.data() + r * c.ne, c.ne}, c.k);
-                moeFfnForward(st.gpuNormB.data(), routing,
-                              store_.resolver(i), n, st.h1, c.h2,
-                              st.gpuFfnB.data());
+                        {gpuRlB_.data() + r * c.ne, c.ne}, c.k);
+                moeFfnForward(gpuNormB_.data(), routing,
+                              store_.resolver(i), n, h1_, c.h2,
+                              gpuFfnB_.data());
                 for (std::size_t r = 0; r < n; ++r) {
-                    float *x = st.xGpu[j].data() + r * st.h1;
-                    accumulate(x, st.gpuFfnB.data() + r * st.h1,
-                               st.h1);
+                    float *x = st.xGpu[j].data() + r * h1_;
+                    accumulate(x, gpuFfnB_.data() + r * h1_, h1_);
 
                     if (last_layer) {
-                        std::size_t s = st.ubStart[j] + r;
+                        std::size_t slot =
+                            st.rowSlot[st.ubStart[j] + r];
                         rmsNorm(x, w_.finalNorm.data(),
-                                st.gpuNorm.data(), st.h1);
-                        matmulTransposedB(st.gpuNorm.data(),
+                                gpuNorm_.data(), h1_);
+                        matmulTransposedB(gpuNorm_.data(),
                                           w_.lmHead.data(),
-                                          st.gpuLogits.data(), 1,
-                                          st.h1, st.vocab);
+                                          gpuLogits_.data(), 1,
+                                          h1_, vocab_);
                         int next = static_cast<int>(
-                            argmax({st.gpuLogits.data(),
-                                    st.gpuLogits.size()}));
-                        st.out[s].tokens.push_back(next);
-                        st.nextToken[s] = next;
-                        std::memcpy(
-                            x,
-                            w_.embedding.row(
-                                static_cast<std::size_t>(next)),
-                            st.h1 * sizeof(float));
-                        (void)stepIdx;
+                            argmax({gpuLogits_.data(),
+                                    gpuLogits_.size()}));
+                        ActiveSeq &a = *slots_[slot];
+                        a.tokens.push_back(next);
+                        a.next = next;
                     }
                 }
             });
 
         st.postPerUb[j] = post;
-        if (last_layer)
-            st.xReadyUb[j] = post;
         if (j + 1 == ubs)
             st.slotBusy[i % store_.numSlots()] = post;
 

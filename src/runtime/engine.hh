@@ -10,8 +10,18 @@
  * management code paths of the paper, executed with real kernels on
  * a synthetic model.
  *
+ * The public surface is the request-level serving API (serving.hh):
+ * the engine holds a fixed pool of sequence slots, and every step()
+ * is one continuous-batching round — Algorithm 2 admits queued
+ * requests into free micro-batch slots, the admitted prompts prefill,
+ * every active sequence decodes one token through the Algorithm 1
+ * pipeline, and finished sequences retire immediately, releasing
+ * their KV pages (float or quantized) back to the pool mid-flight
+ * while the rest keep generating.
+ *
  * Functional contract: identical greedy tokens to ReferenceEngine
- * for identical weights (tested in tests/runtime).
+ * per request for identical weights and KV geometry, regardless of
+ * admission schedule or co-batching (tested in tests/runtime).
  */
 
 #ifndef MOELIGHT_RUNTIME_ENGINE_HH
@@ -23,10 +33,11 @@
 
 #include "common/thread_pool.hh"
 #include "common/units.hh"
+#include "kernels/router.hh"  // TokenRouting (prefill scratch)
 #include "runtime/kv_cache.hh"
 #include "runtime/paged_weights.hh"
 #include "runtime/quant_kv_cache.hh"
-#include "runtime/reference_engine.hh"  // GenerationResult
+#include "runtime/serving.hh"
 #include "runtime/stream_executor.hh"
 #include "runtime/transfer_engine.hh"
 #include "runtime/weights.hh"
@@ -41,6 +52,10 @@ struct EngineConfig
     std::size_t kvCapacityTokens = 1u << 16;  ///< KV pool (tokens)
     std::size_t lookahead = 2;        ///< Algorithm 1's CPU-attn lead
     Bandwidth throttleBw = 0.0;       ///< simulated link bw; 0 = off
+    /** Sequence slots: the maximum number of requests generating
+     *  concurrently. Submissions beyond it queue in the continuous
+     *  batcher and are admitted as slots free up. */
+    std::size_t maxConcurrency = 16;
     /** Worker threads for the CPU attention kernel (the paper's
      *  24-core MKL kernel); 0 = run attention on the CPU queue
      *  thread alone. */
@@ -53,6 +68,12 @@ struct EngineConfig
      *  ReferenceEngine constructed with the same kvQuant and
      *  kvPageTokens. */
     std::optional<QuantKind> kvQuant{};
+
+    /** Fatal with a field-by-field diagnosis on an unusable config
+     *  (zero micro-batch, zero-token KV pages, ...); called by the
+     *  engine constructor so bad configs fail at build time with a
+     *  clear message, not deep inside the pipeline. */
+    void validate() const;
 };
 
 /**
@@ -60,29 +81,59 @@ struct EngineConfig
  * weight-slot count (2) so the double-buffer rotation is conflict-
  * free.
  */
-class PipelinedEngine
+class PipelinedEngine : public Engine
 {
   public:
     /** @p weights must outlive the engine. */
     PipelinedEngine(const ModelWeights &weights, EngineConfig cfg);
-    ~PipelinedEngine();
+    ~PipelinedEngine() override;
 
-    /** Greedy generation; same semantics as ReferenceEngine. */
-    std::vector<GenerationResult>
-    generate(const std::vector<std::vector<int>> &prompts, int genLen);
+    // Request-level serving API (Engine).
+    void submit(ServeRequest req) override;
+    std::vector<RequestOutput> step() override;
+    std::size_t pendingRequests() const override;
+    std::size_t activeRequests() const override;
 
-    /** Transfer byte counters from the last generate() call. */
+    /** Transfer byte counters since construction or the last
+     *  generate() call (generate resets them). */
     TransferStats transferStats() const { return te_.stats(); }
 
-    /** KV pool usage after the last generate() (pages). */
+    /** Current KV pool usage in pages (float pool pages, or closed +
+     *  open quantized pages with kvQuant). Shrinks mid-flight as
+     *  requests retire; 0 once the engine drains. */
     std::size_t kvUsedPages() const;
 
-  private:
-    struct DecodeState;
+    /** High-water mark of kvUsedPages() over the engine's life. */
+    std::size_t kvPeakPages() const { return kvPeakPages_; }
 
-    void prefill(const std::vector<std::vector<int>> &prompts,
-                 DecodeState &st);
-    void decodeStep(DecodeState &st, int stepIdx, bool lastStep);
+  protected:
+    void resetBatchStats() override { te_.resetStats(); }
+
+  private:
+    /** One admitted, still-generating request in a sequence slot. */
+    struct ActiveSeq
+    {
+        ServeRequest req;
+        std::vector<int> tokens;  ///< generated so far
+        int next = 0;             ///< token to embed next round
+        double prefillSeconds = 0.0;
+        double decodeSeconds = 0.0;
+    };
+
+    /** Per-round decode plumbing (buffers reused across rounds). */
+    struct StepState;
+
+    void admitPending(std::vector<RequestOutput> &finished);
+    void prefillSlots(const std::vector<std::size_t> &slots);
+    void decodeActive(std::vector<RequestOutput> &finished);
+    void runDecodeChains(StepState &st);
+    void maybeRetire(std::size_t slot,
+                     std::vector<RequestOutput> &finished);
+    void freeSlotKv(std::size_t slot);
+    std::size_t kvContextLen(std::size_t slot) const;
+    std::size_t kvTokensInUse() const;
+    void ensureAttnScratch(std::size_t ctx);
+    void noteKvUsage();
 
     const ModelWeights &w_;
     EngineConfig cfg_;
@@ -92,8 +143,43 @@ class PipelinedEngine
     std::unique_ptr<ThreadPool> attnPool_;
     std::unique_ptr<KvCacheManager> kv_;
     std::unique_ptr<QuantizedKvCache> qkv_;  ///< when cfg_.kvQuant
-    std::unique_ptr<StreamExecutor> exec_;
-    std::unique_ptr<DecodeState> state_;
+    /** KV allocation granularity for admission accounting (page size
+     *  in float mode, 1 in quant mode). Declared before batcher_ so
+     *  the batcher is constructed from the same value. */
+    std::size_t kvQuantum_ = 1;
+    /** Total admission budget in request tokens (kvCapacityTokens /
+     *  layers); submit() rejects requests that can never fit it.
+     *  Declared before batcher_ for the same reason. */
+    std::size_t kvBudgetTokens_ = 0;
+    ContinuousBatcher batcher_;
+
+    // Model shapes hoisted from cfg (set once in the constructor).
+    std::size_t h1_, qDim_, kvDim_, qkvDim_, vocab_;
+    float scale_ = 1.0f;
+
+    // Sequence slots.
+    std::vector<std::optional<ActiveSeq>> slots_;
+    std::vector<std::size_t> freeSlots_;  ///< descending; back = min
+    std::size_t kvPeakPages_ = 0;
+
+    // Persistent scratch (grow-only; see ensureAttnScratch).
+    std::vector<float> gpuNorm_, gpuLogits_;
+    std::vector<float> gpuNormB_, gpuProjB_, gpuRlB_, gpuFfnB_;
+    std::vector<float> gpuQB_, gpuKB_, gpuVB_;
+    std::vector<float> cpuAttnScratch_, cpuBatchScratch_;
+    std::vector<float> cpuPrefillScratch_;
+    std::size_t scratchCtx_ = 0;
+    std::size_t prefillScratchLen_ = 0;
+    std::vector<std::vector<float>> prefillHidden_;
+    // Prefill per-layer working buffers (reserved once per admission
+    // round to the longest prompt; only the zigzag's serialized GPU
+    // tasks touch them).
+    std::vector<float> pfNorm_, pfQ_, pfK_, pfV_;
+    std::vector<float> pfAttn_, pfProj_, pfRl_, pfFfn_;
+    std::vector<TokenRouting> pfRouting_;
+
+    std::unique_ptr<StepState> st_;
+    std::unique_ptr<StreamExecutor> exec_;  ///< last: destroyed first
 };
 
 } // namespace moelight

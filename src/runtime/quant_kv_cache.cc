@@ -129,6 +129,36 @@ QuantizedKvCache::makeView(std::size_t seq, std::size_t layer,
     storage.view.headDim = cfg_.headDim;
 }
 
+void
+QuantizedKvCache::freeSequence(std::size_t seq)
+{
+    panicIf(seq >= numSeqs_, "quantized KV sequence out of range");
+    for (std::size_t layer = 0; layer < cfg_.l; ++layer) {
+        Stream &s = at(seq, layer);
+        panicIf(totalTokens_ < s.len,
+                "quantized KV token accounting underflow");
+        totalTokens_ -= s.len;
+        s.closedK.clear();
+        s.closedV.clear();
+        s.openK.clear();
+        s.openK.shrink_to_fit();
+        s.openV.clear();
+        s.openV.shrink_to_fit();
+        s.len = 0;
+    }
+}
+
+std::size_t
+QuantizedKvCache::usedPages() const
+{
+    std::size_t pages = 0;
+    for (const auto &s : streams_) {
+        pages += s.closedK.size() + s.closedV.size();
+        pages += (s.openK.empty() ? 0 : 1) + (s.openV.empty() ? 0 : 1);
+    }
+    return pages;
+}
+
 std::size_t
 QuantizedKvCache::storedBytes() const
 {

@@ -73,6 +73,23 @@ class QuantizedKvCache
     void makeView(std::size_t seq, std::size_t layer,
                   QuantKvViewStorage &storage) const;
 
+    /** Release every stream of @p seq (it finished generating): the
+     *  serving path's early-retirement hook. Closed and open pages
+     *  are dropped and the capacity budget refunded immediately. */
+    void freeSequence(std::size_t seq);
+
+    /** Pages currently held (closed quantized K+V pages plus open
+     *  float partials) — the quant analogue of
+     *  KvCacheManager::usedPages() so serving tests can assert pages
+     *  are returned when a sequence retires early. */
+    std::size_t usedPages() const;
+
+    /** Token-layer entries currently stored (append granularity). */
+    std::size_t usedTokens() const { return totalTokens_; }
+
+    /** Configured token-layer capacity; 0 = unlimited. */
+    std::size_t capacityTokens() const { return capacityTokens_; }
+
     /** Bytes currently stored (quantized payload + scales + open
      *  float pages). */
     std::size_t storedBytes() const;

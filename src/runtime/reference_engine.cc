@@ -1,5 +1,7 @@
 #include "runtime/reference_engine.hh"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "common/logging.hh"
@@ -24,7 +26,10 @@ ReferenceEngine::ReferenceEngine(const ModelWeights &weights,
 void
 ReferenceEngine::reset()
 {
+    fatalIf(!pending_.empty() || !active_.empty(),
+            "reset() with requests in flight");
     seqs_.clear();
+    freeSeqs_.clear();
 }
 
 ReferenceEngine::SeqCache &
@@ -37,6 +42,118 @@ ReferenceEngine::cacheFor(std::size_t seq)
         seqs_.push_back(std::move(c));
     }
     return seqs_[seq];
+}
+
+std::size_t
+ReferenceEngine::allocSeq()
+{
+    if (!freeSeqs_.empty()) {
+        std::size_t seq = freeSeqs_.back();
+        freeSeqs_.pop_back();
+        return seq;
+    }
+    std::size_t seq = seqs_.size();
+    cacheFor(seq);
+    return seq;
+}
+
+void
+ReferenceEngine::freeSeq(std::size_t seq)
+{
+    SeqCache fresh;
+    fresh.k.resize(w_.cfg.l);
+    fresh.v.resize(w_.cfg.l);
+    seqs_[seq] = std::move(fresh);
+    freeSeqs_.push_back(seq);
+}
+
+void
+ReferenceEngine::submit(ServeRequest req)
+{
+    servingValidateRequest(req, w_.cfg.vocab);
+    pending_.push_back(std::move(req));
+}
+
+std::size_t
+ReferenceEngine::pendingRequests() const
+{
+    return pending_.size();
+}
+
+std::size_t
+ReferenceEngine::activeRequests() const
+{
+    return active_.size();
+}
+
+bool
+ReferenceEngine::reachedEnd(const ActiveRequest &a) const
+{
+    return servingReachedEnd(a.req, a.tokens);
+}
+
+void
+ReferenceEngine::retireFinished(std::vector<RequestOutput> &out)
+{
+    std::vector<ActiveRequest> still;
+    still.reserve(active_.size());
+    for (ActiveRequest &a : active_) {
+        if (!reachedEnd(a)) {
+            still.push_back(std::move(a));
+            continue;
+        }
+        RequestOutput r =
+            servingMakeOutput(a.req, std::move(a.tokens),
+                              a.prefillSeconds, a.decodeSeconds);
+        freeSeq(a.seq);
+        out.push_back(std::move(r));
+    }
+    active_ = std::move(still);
+}
+
+std::vector<RequestOutput>
+ReferenceEngine::step()
+{
+    std::vector<RequestOutput> finished;
+
+    // Admission: the oracle has no pipeline width or KV pool to
+    // respect — every pending request is admitted and prefilled
+    // immediately, which is exactly what makes it the per-request
+    // oracle for any admission schedule the pipelined engine picks.
+    while (!pending_.empty()) {
+        ActiveRequest a;
+        a.req = std::move(pending_.front());
+        pending_.pop_front();
+        a.seq = allocSeq();
+        auto t0 = std::chrono::steady_clock::now();
+        for (int tok : a.req.prompt)
+            a.hidden = forwardToken(a.seq, tok);
+        std::vector<float> logits = logitsOf(a.hidden);
+        a.tokens.push_back(static_cast<int>(
+            argmax({logits.data(), logits.size()})));
+        a.prefillSeconds = servingSecondsSince(t0);
+        active_.push_back(std::move(a));
+    }
+    retireFinished(finished);
+    if (active_.empty())
+        return finished;
+
+    // One decode round: each active request advances by one token.
+    // The last sampled token is fed back through the stack, then the
+    // next one is sampled — the same order generate() always used, so
+    // a request's KV stream never includes its final token.
+    auto t0 = std::chrono::steady_clock::now();
+    for (ActiveRequest &a : active_) {
+        a.hidden = forwardToken(a.seq, a.tokens.back());
+        std::vector<float> logits = logitsOf(a.hidden);
+        a.tokens.push_back(static_cast<int>(
+            argmax({logits.data(), logits.size()})));
+    }
+    double secs = servingSecondsSince(t0);
+    for (ActiveRequest &a : active_)
+        a.decodeSeconds += secs;
+    retireFinished(finished);
+    return finished;
 }
 
 std::vector<float>
@@ -134,30 +251,6 @@ ReferenceEngine::logitsOf(const std::vector<float> &hidden) const
     matmulTransposedB(norm.data(), w_.lmHead.data(), logits.data(), 1,
                       cfg.h1, cfg.vocab);
     return logits;
-}
-
-std::vector<GenerationResult>
-ReferenceEngine::generate(const std::vector<std::vector<int>> &prompts,
-                          int genLen)
-{
-    fatalIf(genLen <= 0, "generation length must be positive");
-    reset();
-    std::vector<GenerationResult> out(prompts.size());
-    for (std::size_t s = 0; s < prompts.size(); ++s) {
-        fatalIf(prompts[s].empty(), "empty prompt");
-        std::vector<float> hidden;
-        for (int tok : prompts[s])
-            hidden = forwardToken(s, tok);
-        for (int g = 0; g < genLen; ++g) {
-            std::vector<float> logits = logitsOf(hidden);
-            int next = static_cast<int>(
-                argmax({logits.data(), logits.size()}));
-            out[s].tokens.push_back(next);
-            if (g + 1 < genLen)
-                hidden = forwardToken(s, next);
-        }
-    }
-    return out;
 }
 
 } // namespace moelight

@@ -3,32 +3,34 @@
  * Sequential reference engine: the straightforward single-threaded
  * MoE transformer forward pass, token by token, with plain contiguous
  * KV tensors. It is the correctness oracle for the pipelined CGOPipe
- * engine — both must emit identical tokens for identical weights.
+ * engine — both must emit identical tokens per request for identical
+ * weights, whether driven through the batch generate() convenience or
+ * the request-level submit()/step() serving API (the reference
+ * admits every pending request unconditionally, advances each active
+ * request one token per step, and frees a request's KV the moment it
+ * finishes, so it is also the oracle for staggered admission and
+ * mixed generation lengths).
  */
 
 #ifndef MOELIGHT_RUNTIME_REFERENCE_ENGINE_HH
 #define MOELIGHT_RUNTIME_REFERENCE_ENGINE_HH
 
+#include <deque>
 #include <memory>
 #include <optional>
 #include <vector>
 
 #include "runtime/quant_kv_cache.hh"
+#include "runtime/serving.hh"
 #include "runtime/weights.hh"
 
 namespace moelight {
-
-/** Generation output for one request. */
-struct GenerationResult
-{
-    std::vector<int> tokens;  ///< generated token ids (greedy)
-};
 
 /**
  * Single-threaded oracle. Not performance-oriented: prefill is
  * processed token by token through all layers.
  */
-class ReferenceEngine
+class ReferenceEngine : public Engine
 {
   public:
     /**
@@ -43,25 +45,26 @@ class ReferenceEngine
         std::optional<QuantKind> kvQuant = std::nullopt,
         std::size_t kvPageTokens = 16);
 
-    /**
-     * Greedily generate @p genLen tokens for each prompt. Prompts
-     * must be non-empty; token ids must be < vocab.
-     */
-    std::vector<GenerationResult>
-    generate(const std::vector<std::vector<int>> &prompts, int genLen);
+    // Request-level serving API (Engine).
+    void submit(ServeRequest req) override;
+    std::vector<RequestOutput> step() override;
+    std::size_t pendingRequests() const override;
+    std::size_t activeRequests() const override;
 
     /**
      * Forward one token of one sequence through the full stack and
      * return the output hidden state (pre-norm). Exposed for
      * fine-grained testing. @p seq indexes the internal KV caches,
-     * which are created on first use.
+     * which are created on first use; avoid mixing manual
+     * forwardToken() streams with in-flight serving requests, which
+     * allocate the same indices.
      */
     std::vector<float> forwardToken(std::size_t seq, int token);
 
     /** Logits from a hidden state (final norm + LM head). */
     std::vector<float> logitsOf(const std::vector<float> &hidden) const;
 
-    /** Drop all KV state (start a fresh batch). */
+    /** Drop all KV state; only valid when no requests are in flight. */
     void reset();
 
   private:
@@ -76,12 +79,30 @@ class ReferenceEngine
         std::size_t len = 0;
     };
 
+    /** One admitted, still-generating request. */
+    struct ActiveRequest
+    {
+        ServeRequest req;
+        std::size_t seq = 0;        ///< index into seqs_
+        std::vector<int> tokens;    ///< generated so far
+        std::vector<float> hidden;  ///< last pre-norm hidden state
+        double prefillSeconds = 0.0;
+        double decodeSeconds = 0.0;
+    };
+
     SeqCache &cacheFor(std::size_t seq);
+    std::size_t allocSeq();
+    void freeSeq(std::size_t seq);
+    bool reachedEnd(const ActiveRequest &a) const;
+    void retireFinished(std::vector<RequestOutput> &out);
 
     const ModelWeights &w_;
     std::optional<QuantKind> kvQuant_;
     std::size_t kvPageTokens_;
     std::vector<SeqCache> seqs_;
+    std::vector<std::size_t> freeSeqs_;
+    std::deque<ServeRequest> pending_;
+    std::vector<ActiveRequest> active_;
 };
 
 } // namespace moelight

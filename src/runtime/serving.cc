@@ -1,0 +1,184 @@
+#include "runtime/serving.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "runtime/batcher.hh"
+
+namespace moelight {
+
+std::vector<RequestOutput>
+Engine::drain()
+{
+    std::vector<RequestOutput> out;
+    while (!idle()) {
+        std::vector<RequestOutput> round = step();
+        out.insert(out.end(),
+                   std::make_move_iterator(round.begin()),
+                   std::make_move_iterator(round.end()));
+    }
+    return out;
+}
+
+std::vector<GenerationResult>
+Engine::generate(const std::vector<std::vector<int>> &prompts,
+                 int genLen)
+{
+    fatalIf(prompts.empty(), "no prompts");
+    fatalIf(genLen <= 0, "generation length must be positive");
+    fatalIf(!idle(),
+            "generate() requires an idle engine (its request ids "
+            "would collide with in-flight serving requests)");
+    resetBatchStats();
+    for (std::size_t s = 0; s < prompts.size(); ++s) {
+        ServeRequest req;
+        req.id = static_cast<std::int64_t>(s);
+        req.prompt = prompts[s];
+        req.maxNewTokens = genLen;
+        submit(std::move(req));
+    }
+    std::vector<GenerationResult> out(prompts.size());
+    for (RequestOutput &r : drain()) {
+        panicIf(r.id < 0 ||
+                    static_cast<std::size_t>(r.id) >= out.size(),
+                "generate(): engine returned unknown request id ",
+                r.id);
+        out[static_cast<std::size_t>(r.id)].tokens =
+            std::move(r.tokens);
+    }
+    return out;
+}
+
+ContinuousBatcher::ContinuousBatcher(std::size_t microBatch,
+                                     std::size_t kvBudgetTokens,
+                                     std::size_t pageQuantum)
+    : microBatch_(microBatch),
+      kvBudgetTokens_(kvBudgetTokens),
+      pageQuantum_(pageQuantum)
+{
+    fatalIf(microBatch_ == 0, "micro-batch must be positive");
+    fatalIf(pageQuantum_ == 0, "page quantum must be positive");
+}
+
+std::size_t
+ContinuousBatcher::kvDemand(const ServeRequest &req) const
+{
+    return servingKvDemand(req, pageQuantum_);
+}
+
+void
+ContinuousBatcher::enqueue(ServeRequest req)
+{
+    queue_.push_back(std::move(req));
+}
+
+std::vector<ServeRequest>
+ContinuousBatcher::admit(std::size_t freeSlots,
+                         std::size_t kvTokensInUse)
+{
+    if (queue_.empty() || freeSlots == 0)
+        return {};
+
+    // Free micro-batch partitions Algorithm 2 may fill this round.
+    // Capacity nUb * ubs never exceeds freeSlots; a remainder smaller
+    // than a partition simply waits for the next round.
+    std::size_t n_ub = std::max<std::size_t>(1, freeSlots / microBatch_);
+    std::size_t ubs = std::min(microBatch_, freeSlots);
+
+    // Remaining KV budget, split evenly across the free partitions
+    // (Algorithm 2's cacheSize is per partition). 0 = unlimited.
+    constexpr std::size_t kUnlimited = std::size_t(-1) / 4;
+    std::size_t free_budget =
+        kvBudgetTokens_ == 0
+            ? kUnlimited
+            : (kvBudgetTokens_ > kvTokensInUse
+                   ? kvBudgetTokens_ - kvTokensInUse
+                   : 0);
+    std::size_t per_partition = free_budget / n_ub;
+
+    // Aged head of line: after kHeadAgeLimit passed-over rounds,
+    // stop admitting younger requests and wait for capacity to drain
+    // to the oldest one. Active sequences only retire from here on,
+    // so free_budget grows monotonically until the head fits — or
+    // the engine idles and force-admits it via admitOne().
+    if (headDeferrals_ >= kHeadAgeLimit) {
+        std::vector<ServeRequest> only;
+        if (kvDemand(queue_.front()) <= free_budget) {
+            headDeferrals_ = 0;
+            only.push_back(std::move(queue_.front()));
+            queue_.pop_front();
+        }
+        return only;
+    }
+
+    // Describe the front window of the queue for the planner; ids are
+    // dense queue indices and come back unchanged, so placements map
+    // straight onto queue_ without re-sorting. The genLen field
+    // carries the page-rounding slack on top of the real budget so
+    // Algorithm 2's promptLen + genLen budget term equals the pool's
+    // true demand. Bounding the window keeps planning O(window log
+    // window) per round instead of re-sorting a deep backlog to admit
+    // at most freeSlots requests; a few times the admittable count
+    // still gives Algorithm 2 slack to balance and to skip over-
+    // budget requests.
+    std::size_t window = std::min(
+        queue_.size(),
+        std::max<std::size_t>(4 * freeSlots, 4 * microBatch_));
+    std::vector<Request> descr;
+    descr.reserve(window);
+    for (std::size_t i = 0; i < window; ++i)
+        descr.push_back(
+            {static_cast<int>(i),
+             static_cast<int>(queue_[i].prompt.size()),
+             static_cast<int>(kvDemand(queue_[i]) -
+                              queue_[i].prompt.size())});
+    BatchPlan plan =
+        batchRequests(std::move(descr), n_ub, ubs, per_partition);
+
+    std::vector<bool> taken(window, false);
+    std::vector<ServeRequest> admitted;
+    for (const auto &mb : plan.microBatches)
+        for (const Request &r : mb) {
+            std::size_t qi = static_cast<std::size_t>(r.id);
+            taken[qi] = true;
+            admitted.push_back(std::move(queue_[qi]));
+        }
+    if (admitted.empty()) {
+        // The per-partition split deferred everything. If the oldest
+        // request alone fits the *whole* remaining budget, send it
+        // through by itself: otherwise a large-but-fitting request
+        // could wait forever behind the split while smaller later
+        // arrivals keep the engine busy.
+        if (kvDemand(queue_.front()) <= free_budget) {
+            headDeferrals_ = 0;
+            admitted.push_back(std::move(queue_.front()));
+            queue_.pop_front();
+        } else {
+            ++headDeferrals_;
+        }
+        return admitted;
+    }
+    headDeferrals_ = taken[0] ? 0 : headDeferrals_ + 1;
+    // Deferred requests keep their arrival order; the tail beyond
+    // the planning window was never touched.
+    std::deque<ServeRequest> rest;
+    for (std::size_t i = 0; i < window; ++i)
+        if (!taken[i])
+            rest.push_back(std::move(queue_[i]));
+    for (std::size_t i = window; i < queue_.size(); ++i)
+        rest.push_back(std::move(queue_[i]));
+    queue_ = std::move(rest);
+    return admitted;
+}
+
+ServeRequest
+ContinuousBatcher::admitOne()
+{
+    panicIf(queue_.empty(), "admitOne() on an empty queue");
+    headDeferrals_ = 0;
+    ServeRequest req = std::move(queue_.front());
+    queue_.pop_front();
+    return req;
+}
+
+} // namespace moelight

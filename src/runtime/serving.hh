@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Request-level serving API. The paper's pipeline (§4.1, Appendix
+ * A.2) exists to serve many concurrent requests, so the public
+ * surface is request-centric: callers submit() individual
+ * ServeRequests (each with its own generation budget and stop
+ * tokens), drive the engine with step() — one decode round per call,
+ * with admission of queued requests and retirement of finished ones
+ * happening between rounds — and receive RequestOutputs as sequences
+ * finish, Orca/vLLM-style continuous batching rather than a single
+ * blocking batch call. The legacy batch generate() survives as a
+ * thin convenience wrapper over submit()/drain().
+ *
+ * Implemented by both ReferenceEngine (the single-threaded oracle)
+ * and PipelinedEngine (the CGOPipe pipeline); for identical weights
+ * and KV geometry the two emit identical greedy tokens per request
+ * regardless of how admissions interleave, because every sequence's
+ * KV stream and per-row arithmetic are independent of its co-batch.
+ */
+
+#ifndef MOELIGHT_RUNTIME_SERVING_HH
+#define MOELIGHT_RUNTIME_SERVING_HH
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace moelight {
+
+/** One generation request, submitted to an Engine. */
+struct ServeRequest
+{
+    /** Caller-chosen id, echoed in the RequestOutput. Outputs are
+     *  keyed by it, so ids of in-flight requests should be unique. */
+    std::int64_t id = 0;
+    /** Prompt token ids; must be non-empty and < vocab. */
+    std::vector<int> prompt;
+    /** Generation budget for *this* request (>= 1). */
+    int maxNewTokens = 0;
+    /** Optional: finish early (FinishReason::Stop) when any of these
+     *  tokens is sampled. The stop token is included in the output. */
+    std::vector<int> stopTokens;
+};
+
+/** Why a request finished. */
+enum class FinishReason
+{
+    Length,  ///< generated maxNewTokens tokens
+    Stop,    ///< sampled one of the request's stop tokens
+};
+
+/** Completed request, returned by Engine::step() / drain(). */
+struct RequestOutput
+{
+    std::int64_t id = 0;
+    std::vector<int> tokens;  ///< generated token ids (greedy)
+    FinishReason finishReason = FinishReason::Length;
+    /** Wall seconds of the prefill round that admitted this request
+     *  (shared by every request admitted in the same round). */
+    double prefillSeconds = 0.0;
+    /** Wall seconds summed over the decode rounds this request was
+     *  active in (shared by the round's co-batch). */
+    double decodeSeconds = 0.0;
+};
+
+/** Generation output of the batch-convenience API (one request). */
+struct GenerationResult
+{
+    std::vector<int> tokens;  ///< generated token ids (greedy)
+};
+
+/** True when the last generated token is one of @p req's stop
+ *  tokens. Shared by both engines so finish semantics cannot
+ *  drift. */
+inline bool
+servingStopHit(const ServeRequest &req, const std::vector<int> &tokens)
+{
+    return !tokens.empty() &&
+           std::find(req.stopTokens.begin(), req.stopTokens.end(),
+                     tokens.back()) != req.stopTokens.end();
+}
+
+/** True when @p req is finished given @p tokens generated so far. */
+inline bool
+servingReachedEnd(const ServeRequest &req,
+                  const std::vector<int> &tokens)
+{
+    return tokens.size() >=
+               static_cast<std::size_t>(req.maxNewTokens) ||
+           servingStopHit(req, tokens);
+}
+
+/** Finish reason for a request that servingReachedEnd(). A stop
+ *  token landing exactly on the budget counts as Stop — it would
+ *  have ended the request regardless. */
+inline FinishReason
+servingFinishReason(const ServeRequest &req,
+                    const std::vector<int> &tokens)
+{
+    return servingStopHit(req, tokens) ? FinishReason::Stop
+                                       : FinishReason::Length;
+}
+
+/** Submit-time request validation, shared by every Engine
+ *  implementation so the oracle and the pipeline accept exactly the
+ *  same request set. */
+inline void
+servingValidateRequest(const ServeRequest &req, std::size_t vocab)
+{
+    fatalIf(req.prompt.empty(), "empty prompt");
+    for (int tok : req.prompt)
+        fatalIf(tok < 0 || static_cast<std::size_t>(tok) >= vocab,
+                "prompt token out of vocabulary");
+    fatalIf(req.maxNewTokens <= 0,
+            "generation length must be positive");
+}
+
+/** Wall seconds since @p t0 — the timing unit of RequestOutput. */
+inline double
+servingSecondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** Build the RequestOutput for a finished request — one place for
+ *  both engines, so a new output field cannot be wired into one
+ *  retirement path and forgotten in the other. */
+inline RequestOutput
+servingMakeOutput(const ServeRequest &req, std::vector<int> &&tokens,
+                  double prefillSeconds, double decodeSeconds)
+{
+    RequestOutput r;
+    r.id = req.id;
+    r.finishReason = servingFinishReason(req, tokens);
+    r.tokens = std::move(tokens);
+    r.prefillSeconds = prefillSeconds;
+    r.decodeSeconds = decodeSeconds;
+    return r;
+}
+
+/**
+ * A request's KV reservation in request tokens: prompt + full
+ * generation budget, rounded up to the pool's allocation @p quantum
+ * (page size for a page-granular pool, 1 for exact accounting). The
+ * single source of truth for both halves of admission control — the
+ * batcher's budget check and the engine's reserved-usage report must
+ * round identically or admission over-commits the pool.
+ */
+inline std::size_t
+servingKvDemand(const ServeRequest &req, std::size_t quantum)
+{
+    std::size_t tokens =
+        req.prompt.size() + static_cast<std::size_t>(req.maxNewTokens);
+    return (tokens + quantum - 1) / quantum * quantum;
+}
+
+/**
+ * Abstract serving engine: the request-level interface both the
+ * reference and the pipelined engine implement.
+ *
+ * Contract: submit() validates and enqueues; step() performs one
+ * serving round — admit pending requests (capacity permitting), run
+ * one decode iteration for every active sequence, retire finished
+ * ones (releasing their KV immediately) — and returns the requests
+ * that finished in that round. Engines are not thread-safe; drive
+ * them from one thread.
+ */
+class Engine
+{
+  public:
+    virtual ~Engine() = default;
+
+    /** Enqueue @p req. Fatal on empty prompt, out-of-vocab token, or
+     *  non-positive maxNewTokens. */
+    virtual void submit(ServeRequest req) = 0;
+
+    /** One serving round; returns requests that finished in it. */
+    virtual std::vector<RequestOutput> step() = 0;
+
+    /** Requests submitted but not yet admitted. */
+    virtual std::size_t pendingRequests() const = 0;
+    /** Requests admitted and still generating. */
+    virtual std::size_t activeRequests() const = 0;
+
+    /** No queued and no in-flight work. */
+    bool
+    idle() const
+    {
+        return pendingRequests() == 0 && activeRequests() == 0;
+    }
+
+    /** step() until idle; returns all outputs in finish order. */
+    std::vector<RequestOutput> drain();
+
+    /**
+     * Legacy batch convenience: submit one request per prompt (ids
+     * 0..n-1, uniform @p genLen), drain, and return the results in
+     * prompt order — a thin wrapper over the request API. Greedy
+     * tokens are identical to the request path because co-batching
+     * never changes per-sequence arithmetic. Fatal unless the engine
+     * is idle() (ids would collide with in-flight requests).
+     */
+    std::vector<GenerationResult>
+    generate(const std::vector<std::vector<int>> &prompts, int genLen);
+
+  protected:
+    /** Hook for generate(): reset per-batch engine counters. */
+    virtual void resetBatchStats() {}
+};
+
+/**
+ * Continuous-batching admission control: a FIFO of submitted requests
+ * plus the Algorithm 2 (Appendix A.2) planner deciding, between
+ * decode rounds, which of them fit the currently free micro-batch
+ * slots and KV budget. Balanced placement and budget-driven deferral
+ * come from batchRequests(); deferred requests keep their arrival
+ * order and are retried every round, so nothing is dropped.
+ */
+class ContinuousBatcher
+{
+  public:
+    /**
+     * @param microBatch     Sequences per micro-batch partition.
+     * @param kvBudgetTokens Total KV token budget (prompt + generated
+     *                       per request summed); 0 = unlimited.
+     * @param pageQuantum    KV allocation granularity in tokens: each
+     *                       request's budget demand rounds up to a
+     *                       multiple of it, matching a page-granular
+     *                       pool where a 1-token sequence still pins
+     *                       whole pages. 1 = exact token accounting.
+     */
+    ContinuousBatcher(std::size_t microBatch,
+                      std::size_t kvBudgetTokens,
+                      std::size_t pageQuantum = 1);
+
+    /** Enqueue in arrival order. */
+    void enqueue(ServeRequest req);
+
+    /**
+     * Plan one admission round: up to @p freeSlots requests whose
+     * prompt + generation budget fits the remaining KV budget
+     * (@p kvTokensInUse already spoken for), placed by Algorithm 2
+     * and returned in its balanced partition order. Admitted requests
+     * leave the queue; deferred ones stay, in arrival order.
+     *
+     * Starvation control for the head of the line: if the planner
+     * defers everything but the oldest request alone fits the whole
+     * remaining budget, it is admitted by itself; and once the
+     * oldest request has been passed over kHeadAgeLimit rounds,
+     * younger requests stop being admitted until capacity has
+     * drained enough for it (or, if it exceeds the engine's whole
+     * budget, until the engine idles and force-admits it via
+     * admitOne()).
+     */
+    std::vector<ServeRequest> admit(std::size_t freeSlots,
+                                    std::size_t kvTokensInUse);
+
+    /** Force-admit the oldest request (caller checked pending() > 0):
+     *  the escape hatch when the planner defers everything while the
+     *  engine is idle, so an oversized request faults in the KV pool
+     *  with a real diagnostic instead of starving forever. */
+    ServeRequest admitOne();
+
+    std::size_t
+    pending() const
+    {
+        return queue_.size();
+    }
+
+    /** Rounds the queue head may be passed over before younger
+     *  requests are held back on its behalf. */
+    static constexpr std::size_t kHeadAgeLimit = 8;
+
+  private:
+    std::size_t kvDemand(const ServeRequest &req) const;
+
+    std::size_t microBatch_;
+    std::size_t kvBudgetTokens_;
+    std::size_t pageQuantum_;
+    std::size_t headDeferrals_ = 0;
+    std::deque<ServeRequest> queue_;
+};
+
+} // namespace moelight
+
+#endif // MOELIGHT_RUNTIME_SERVING_HH

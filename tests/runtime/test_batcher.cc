@@ -32,8 +32,9 @@ totalRequests(const BatchPlan &p)
 TEST(Batcher, NoRequestLostOrDuplicated)
 {
     auto reqs = makeRequests({10, 20, 30, 40, 50, 60, 70});
-    BatchPlan plan = batchRequests(reqs, 2, 2, 16, 100000);
-    EXPECT_EQ(totalRequests(plan), reqs.size());
+    std::size_t count = reqs.size();  // queue is consumed below
+    BatchPlan plan = batchRequests(std::move(reqs), 2, 2, 100000);
+    EXPECT_EQ(totalRequests(plan), count);
     std::vector<int> ids;
     for (const auto &mb : plan.microBatches)
         for (const auto &r : mb)
@@ -41,7 +42,7 @@ TEST(Batcher, NoRequestLostOrDuplicated)
     for (const auto &r : plan.aborted)
         ids.push_back(r.id);
     std::sort(ids.begin(), ids.end());
-    std::vector<int> expect(reqs.size());
+    std::vector<int> expect(count);
     std::iota(expect.begin(), expect.end(), 0);
     EXPECT_EQ(ids, expect);
 }
@@ -49,7 +50,7 @@ TEST(Batcher, NoRequestLostOrDuplicated)
 TEST(Batcher, RespectsMicroBatchCapacity)
 {
     auto reqs = makeRequests({5, 5, 5, 5, 5, 5, 5, 5});
-    BatchPlan plan = batchRequests(reqs, 4, 2, 8, 100000);
+    BatchPlan plan = batchRequests(std::move(reqs), 4, 2, 100000);
     for (const auto &mb : plan.microBatches)
         EXPECT_LE(mb.size(), 2u);
     EXPECT_EQ(plan.microBatches.size(), 4u);
@@ -61,7 +62,7 @@ TEST(Batcher, BalancesTokenCounts)
     // with lengths {100, 90, 10, 5} over 2 partitions of 2, pairs
     // must be (100,5) and (90,10).
     auto reqs = makeRequests({10, 100, 5, 90});
-    BatchPlan plan = batchRequests(reqs, 2, 2, 8, 100000);
+    BatchPlan plan = batchRequests(std::move(reqs), 2, 2, 100000);
     ASSERT_EQ(plan.microBatches.size(), 2u);
     std::vector<int> sums;
     for (const auto &mb : plan.microBatches) {
@@ -79,7 +80,7 @@ TEST(Batcher, AbortsWhenKvBudgetExceeded)
 {
     // cache_size 50: a request of 40 prompt + 16 gen = 56 > 50.
     auto reqs = makeRequests({40, 8});
-    BatchPlan plan = batchRequests(reqs, 1, 4, 16, 50);
+    BatchPlan plan = batchRequests(std::move(reqs), 1, 4, 50);
     ASSERT_EQ(plan.aborted.size(), 1u);
     EXPECT_EQ(plan.aborted[0].promptLen, 40);
     ASSERT_EQ(plan.microBatches.size(), 1u);
@@ -90,7 +91,7 @@ TEST(Batcher, AbortsOverflowWhenAllPartitionsClosed)
 {
     auto reqs = makeRequests({9, 8, 7, 6, 5});
     // 2 partitions x 2 slots = 4 placed; 1 aborted.
-    BatchPlan plan = batchRequests(reqs, 2, 2, 4, 100000);
+    BatchPlan plan = batchRequests(std::move(reqs), 2, 2, 100000);
     EXPECT_EQ(plan.aborted.size(), 1u);
     EXPECT_EQ(plan.aborted[0].promptLen, 5);  // shortest goes last
 }
@@ -98,7 +99,7 @@ TEST(Batcher, AbortsOverflowWhenAllPartitionsClosed)
 TEST(Batcher, FlushesPartialPartitions)
 {
     auto reqs = makeRequests({10, 20, 30});
-    BatchPlan plan = batchRequests(reqs, 2, 4, 8, 100000);
+    BatchPlan plan = batchRequests(std::move(reqs), 2, 4, 100000);
     EXPECT_TRUE(plan.aborted.empty());
     std::size_t placed = 0;
     for (const auto &mb : plan.microBatches)
@@ -111,14 +112,14 @@ TEST(Batcher, GenLenCountsInBudget)
     // Two requests of 10 prompt each; gen 100 tokens. Budget 130
     // allows one (10 + 100 = 110) but not two (20 + 200 = 220).
     auto reqs = makeRequests({10, 10}, 100);
-    BatchPlan plan = batchRequests(reqs, 1, 4, 100, 130);
+    BatchPlan plan = batchRequests(std::move(reqs), 1, 4, 130);
     EXPECT_EQ(plan.aborted.size(), 1u);
 }
 
 TEST(Batcher, RealWorkloadBalancedWithinTolerance)
 {
     auto reqs = generateRequests(mtbench(64), 512, 9);
-    BatchPlan plan = batchRequests(reqs, 16, 32, 64, 1u << 20);
+    BatchPlan plan = batchRequests(std::move(reqs), 16, 32, 1u << 20);
     ASSERT_EQ(plan.microBatches.size(), 16u);
     std::vector<double> sums;
     for (const auto &mb : plan.microBatches) {
@@ -132,11 +133,41 @@ TEST(Batcher, RealWorkloadBalancedWithinTolerance)
     EXPECT_LT(mx / mn, 1.2);
 }
 
+TEST(Batcher, MixedGenLenBudgetsPerRequest)
+{
+    // Each request budgets with its *own* genLen: a 10-prompt/100-gen
+    // request (110) fits a 120 budget, but adding a 10-prompt/10-gen
+    // one (total 130) does not — the small one lands in the other
+    // partition even though it arrives later.
+    std::vector<Request> reqs{{0, 10, 100}, {1, 10, 10}};
+    BatchPlan plan = batchRequests(std::move(reqs), 1, 4, 120);
+    ASSERT_EQ(plan.microBatches.size(), 1u);
+    ASSERT_EQ(plan.microBatches[0].size(), 1u);
+    ASSERT_EQ(plan.aborted.size(), 1u);
+    EXPECT_EQ(plan.aborted[0].id, 1);
+}
+
+TEST(Batcher, ReturnsStableRequestIds)
+{
+    // Ids pass through placement untouched, so a caller can map the
+    // plan back onto its own queue without re-sorting anything.
+    std::vector<Request> reqs{{7, 30, 4}, {3, 10, 4}, {11, 20, 4}};
+    BatchPlan plan = batchRequests(std::move(reqs), 2, 2, 100000);
+    std::vector<int> ids;
+    for (const auto &mb : plan.microBatches)
+        for (const auto &r : mb)
+            ids.push_back(r.id);
+    std::sort(ids.begin(), ids.end());
+    EXPECT_EQ(ids, (std::vector<int>{3, 7, 11}));
+}
+
 TEST(Batcher, RejectsBadArgs)
 {
     auto reqs = makeRequests({1});
-    EXPECT_THROW(batchRequests(reqs, 0, 1, 1, 10), FatalError);
-    EXPECT_THROW(batchRequests(reqs, 1, 0, 1, 10), FatalError);
+    EXPECT_THROW(batchRequests(std::move(reqs), 0, 1, 10), FatalError);
+    EXPECT_THROW(batchRequests(std::move(reqs), 1, 0, 10), FatalError);
+    std::vector<Request> neg{{0, 4, -1}};
+    EXPECT_THROW(batchRequests(std::move(neg), 1, 1, 10), FatalError);
 }
 
 } // namespace

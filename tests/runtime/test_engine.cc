@@ -141,6 +141,47 @@ TEST(PipelinedEngine, SingleTokenGeneration)
         EXPECT_EQ(got[s].tokens, expect[s].tokens);
 }
 
+TEST(PipelinedEngine, MoreMicroBatchesThanWeightPagesMatchReference)
+{
+    // microBatch=1 with many active sequences gives more decode
+    // micro-batches than a layer has weight pages, so some chunks of
+    // the interleaved weight stream are empty — the slot-retired
+    // ordering must then ride on the first *non-empty* chunk, or the
+    // incoming layer's pages overwrite a weight slot still being
+    // read (torn weights => wrong tokens).
+    ModelWeights w = ModelWeights::random(tinyMixtral(), 31);
+    ReferenceEngine ref(w);
+    auto prompts = makePrompts(w.cfg, 22, 2, 6, 19);
+    auto expect = ref.generate(prompts, 4);
+    EngineConfig ec;
+    ec.microBatch = 1;
+    ec.maxConcurrency = 24;
+    PipelinedEngine eng(w, ec);
+    auto got = eng.generate(prompts, 4);
+    ASSERT_EQ(got.size(), expect.size());
+    for (std::size_t s = 0; s < got.size(); ++s)
+        EXPECT_EQ(got[s].tokens, expect[s].tokens) << "seq " << s;
+}
+
+TEST(PipelinedEngine, AdmissionWavesMatchReference)
+{
+    // More prompts than sequence slots: the continuous batcher admits
+    // in waves as slots retire and free up, which must not change any
+    // request's tokens.
+    ModelWeights w = ModelWeights::random(tinyMixtral(), 23);
+    ReferenceEngine ref(w);
+    auto prompts = makePrompts(w.cfg, 7, 2, 9, 17);
+    auto expect = ref.generate(prompts, 5);
+    EngineConfig ec;
+    ec.microBatch = 2;
+    ec.maxConcurrency = 3;
+    PipelinedEngine eng(w, ec);
+    auto got = eng.generate(prompts, 5);
+    ASSERT_EQ(got.size(), expect.size());
+    for (std::size_t s = 0; s < got.size(); ++s)
+        EXPECT_EQ(got[s].tokens, expect[s].tokens) << "seq " << s;
+}
+
 TEST(PipelinedEngine, TransfersAccountedForWeightsAndActivations)
 {
     ModelWeights w = ModelWeights::random(tinyMixtral(), 6);
@@ -158,27 +199,51 @@ TEST(PipelinedEngine, TransfersAccountedForWeightsAndActivations)
     EXPECT_GT(s.hostToPinned, s.hostToGpu);
 }
 
-TEST(PipelinedEngine, KvCacheHoldsPromptPlusGenerated)
+TEST(PipelinedEngine, KvCacheHeldWhileActiveFreedOnRetire)
 {
     ModelWeights w = ModelWeights::random(tinyMixtral(), 8);
     EngineConfig ec;
     ec.kvPageTokens = 4;
     PipelinedEngine eng(w, ec);
-    std::vector<std::vector<int>> prompts{{1, 2, 3, 4, 5}};
-    eng.generate(prompts, 4);
-    // 5 prompt + 4 generated... the last generated token is sampled
-    // but never forwarded, so context = 5 + 3 per layer at minimum.
+    ServeRequest req;
+    req.id = 1;
+    req.prompt = {1, 2, 3, 4, 5};
+    req.maxNewTokens = 4;
+    eng.submit(req);
+    // First step admits + prefills + decodes one token: pages held.
+    auto out = eng.step();
+    EXPECT_TRUE(out.empty());
     EXPECT_GT(eng.kvUsedPages(), 0u);
+    // Draining retires the request and releases its pages.
+    auto rest = eng.drain();
+    ASSERT_EQ(rest.size(), 1u);
+    EXPECT_EQ(rest[0].tokens.size(), 4u);
+    EXPECT_EQ(eng.kvUsedPages(), 0u);
+    EXPECT_GT(eng.kvPeakPages(), 0u);
 }
 
 TEST(PipelinedEngine, RejectsBadConfig)
 {
     ModelWeights w = ModelWeights::random(tinyMixtral(), 9);
+    // Every bad field fails at construction with its own message
+    // (EngineConfig::validate), not deep inside the pipeline.
     EngineConfig ec;
     ec.microBatch = 0;
     EXPECT_THROW(PipelinedEngine(w, ec), FatalError);
+    ec = {};
+    ec.kvPageTokens = 0;
+    EXPECT_THROW(PipelinedEngine(w, ec), FatalError);
+    ec = {};
+    ec.kvCapacityTokens = 0;
+    EXPECT_THROW(PipelinedEngine(w, ec), FatalError);
+    ec = {};
+    ec.lookahead = 0;
+    EXPECT_THROW(PipelinedEngine(w, ec), FatalError);
+    ec = {};
+    ec.maxConcurrency = 0;
+    EXPECT_THROW(PipelinedEngine(w, ec), FatalError);
     ModelConfig odd = tinyMixtral();
-    odd.l = 3;
+    odd.l = 3;  // not a multiple of the weight slot count
     ModelWeights w3 = ModelWeights::random(odd, 9);
     EXPECT_THROW(PipelinedEngine(w3, {}), FatalError);
 }

@@ -59,7 +59,9 @@ TEST_P(QuantEngineEquivalence, PipelinedMatchesQuantReference)
     ASSERT_EQ(got.size(), expect.size());
     for (std::size_t s = 0; s < got.size(); ++s)
         EXPECT_EQ(got[s].tokens, expect[s].tokens) << "seq " << s;
-    // Quantized KV bypasses the float page pool entirely.
+    // Quantized pages were held during the run and all released when
+    // the requests retired.
+    EXPECT_GT(eng.kvPeakPages(), 0u);
     EXPECT_EQ(eng.kvUsedPages(), 0u);
 }
 
