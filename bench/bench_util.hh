@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "kernels/simd/simd.hh"
 #include "policy/optimizer.hh"
 #include "sched/schedules.hh"
 
@@ -27,9 +28,9 @@ namespace bench {
 
 /**
  * Machine-readable benchmark log: collects named records of numeric
- * fields and writes them as a JSON document, so successive PRs can
- * track the kernel perf trajectory (BENCH_kernels.json) without
- * scraping stdout.
+ * (and string) fields and writes them as a JSON document, so
+ * successive PRs can track the kernel perf trajectory
+ * (BENCH_kernels.json) without scraping stdout.
  */
 class BenchJson
 {
@@ -46,7 +47,19 @@ class BenchJson
     field(std::string key, double value)
     {
         panicIf(records_.empty(), "BenchJson::field before record()");
-        records_.back().fields.emplace_back(std::move(key), value);
+        records_.back().fields.push_back(
+            {std::move(key), value, {}, false});
+        return *this;
+    }
+
+    /** String-valued field (e.g. the dispatched SIMD ISA, which
+     *  check_bench.py keys per-ISA speedup floors on). */
+    BenchJson &
+    field(std::string key, std::string value)
+    {
+        panicIf(records_.empty(), "BenchJson::field before record()");
+        records_.back().fields.push_back(
+            {std::move(key), 0.0, std::move(value), true});
         return *this;
     }
 
@@ -60,10 +73,15 @@ class BenchJson
         for (std::size_t i = 0; i < records_.size(); ++i) {
             const Record &r = records_[i];
             os << "    {\"name\": \"" << r.name << "\"";
-            for (const auto &[k, v] : r.fields) {
-                char buf[64];
-                std::snprintf(buf, sizeof(buf), "%.6g", v);
-                os << ", \"" << k << "\": " << buf;
+            for (const Field &f : r.fields) {
+                os << ", \"" << f.key << "\": ";
+                if (f.isString) {
+                    os << "\"" << f.str << "\"";
+                } else {
+                    char buf[64];
+                    std::snprintf(buf, sizeof(buf), "%.6g", f.num);
+                    os << buf;
+                }
             }
             os << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
         }
@@ -71,13 +89,32 @@ class BenchJson
     }
 
   private:
+    struct Field
+    {
+        std::string key;
+        double num;
+        std::string str;
+        bool isString;
+    };
     struct Record
     {
         std::string name;
-        std::vector<std::pair<std::string, double>> fields;
+        std::vector<Field> fields;
     };
     std::vector<Record> records_;
 };
+
+/**
+ * Append the standard `simd` record — which runtime-dispatched
+ * backend produced these numbers — so check_bench.py can key
+ * speedup floors by ISA instead of assuming the dev host.
+ */
+inline BenchJson &
+recordSimdBackend(BenchJson &json)
+{
+    return json.record("simd").field("isa",
+                                     std::string(simd::activeIsaName()));
+}
 
 /**
  * Wall-clock milliseconds for the best of @p reps runs of @p fn —

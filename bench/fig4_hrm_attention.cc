@@ -191,6 +191,7 @@ void
 measureFusedVsMaterialized()
 {
     bench::BenchJson json;
+    bench::recordSimdBackend(json);
     Table t({"kind", "materialized_ms", "fused_ms", "fused_speedup",
              "traffic_ratio"});
     double s8 = measureQuantAttention(json, t, QuantKind::Int8, "int8",

@@ -226,6 +226,7 @@ main()
               << "x lower mean latency\n";
 
     BenchJson json;
+    recordSimdBackend(json);
     json.record("serving_mtbench")
         .field("requests", static_cast<double>(kNumRequests))
         .field("useful_tokens",

@@ -31,6 +31,7 @@
 #include "kernels/linalg.hh"
 #include "kernels/naive_kernels.hh"
 #include "kernels/paged_kv_fixture.hh"
+#include "kernels/simd/simd.hh"
 #include "perf/perf_model.hh"
 
 using namespace moelight;
@@ -47,6 +48,8 @@ void
 measureKernelSpeedups()
 {
     bench::BenchJson json;
+    bench::recordSimdBackend(json);
+    std::printf("SIMD backend: %s\n", simd::activeIsaName());
     Table t({"kernel", "naive_ms", "optimized_ms", "speedup"});
 
     // CPU GQA attention, scaled-down Mixtral heads (group = 4).

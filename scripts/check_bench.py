@@ -1,13 +1,23 @@
 #!/usr/bin/env python3
 """Gate CI on the BENCH_*.json files the bench harnesses emit.
 
-Each rule is RECORD.FIELD>=MIN, checked against the named record in
-the BenchJson document; a missing record/field or a value below the
-bound fails the run. Example:
+Each rule is [ISA:]RECORD.FIELD>=MIN, checked against the named record
+in the BenchJson document; a missing record/field or a value below the
+bound fails the run.
 
-    check_bench.py build/BENCH_fig4_attention.json \
-        "quant_attn_int8.fused_speedup>=1.0" \
-        "quant_attn_int4.fused_speedup>=1.0"
+Rules may be keyed by the SIMD backend that produced the numbers: the
+harnesses record the dispatched ISA as {"name": "simd", "isa": ...},
+and a rule prefixed with `avx512:` / `avx2:` / `portable:` is enforced
+only when it matches that record (and skipped with a note otherwise),
+so one CI invocation carries per-ISA speedup floors instead of
+assuming the dev host's instruction set. An ISA-prefixed rule against
+a document with no simd record fails — the floor cannot be verified.
+
+Example:
+
+    check_bench.py build/BENCH_kernels.json \
+        "avx512:gqa_attention.speedup>=2.0" \
+        "portable:gqa_attention.speedup>=1.1"
 """
 
 import json
@@ -34,21 +44,34 @@ def main(argv):
         print(f"FAIL  {path}: malformed BENCH json: {e!r}")
         return 1
 
+    doc_isa = records.get("simd", {}).get("isa")
+
     failed = False
     for rule in rules:
-        m = re.fullmatch(r"([\w-]+)\.([\w-]+)>=([-\d.eE]+)", rule)
+        m = re.fullmatch(
+            r"(?:([\w-]+):)?([\w-]+)\.([\w-]+)>=([-\d.eE]+)", rule)
         if not m:
             print(f"FAIL  malformed rule: {rule!r}")
             failed = True
             continue
-        name, field = m.group(1), m.group(2)
+        isa, name, field = m.group(1), m.group(2), m.group(3)
+        if isa is not None:
+            if doc_isa is None:
+                print(f"FAIL  {rule}: ISA-keyed rule but {path} has "
+                      f"no simd record (cannot verify the floor)")
+                failed = True
+                continue
+            if isa != doc_isa:
+                print(f"skip  {name}.{field}: rule keys ISA {isa}, "
+                      f"document was measured on {doc_isa}")
+                continue
         rec = records.get(name)
         if rec is None or field not in rec:
             print(f"FAIL  {name}.{field}: not found in {path}")
             failed = True
             continue
         try:
-            bound = float(m.group(3))
+            bound = float(m.group(4))
             value = float(rec[field])
         except (ValueError, TypeError) as e:
             print(f"FAIL  {name}.{field}: non-numeric value or "
@@ -56,7 +79,9 @@ def main(argv):
             failed = True
             continue
         status = "ok  " if value >= bound else "FAIL"
-        print(f"{status}  {name}.{field} = {value:g} (>= {bound:g})")
+        isa_tag = f" [{isa}]" if isa else ""
+        print(f"{status}  {name}.{field} = {value:g} "
+              f"(>= {bound:g}){isa_tag}")
         failed |= value < bound
     return 1 if failed else 0
 

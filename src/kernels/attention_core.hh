@@ -64,6 +64,7 @@
 #include "common/logging.hh"
 #include "kernels/linalg.hh"
 #include "kernels/ops.hh"
+#include "kernels/simd/simd.hh"
 
 namespace moelight {
 
@@ -93,6 +94,10 @@ gqaAttentionHeadCore(const float *qg, std::size_t group,
                      float scale, float *scores, float *vcarry,
                      KRuns &&kRuns, VRuns &&vRuns)
 {
+    // The per-row FMA loops (score dots, V fold, remainder axpy) run
+    // through the dispatched SIMD backend; hoist the table once.
+    const simd::VecOps &vo = simd::ops();
+
     // Score pass: every K row is scored against all group heads while
     // it is hot, four heads at a time through the shared-x dot4
     // microkernel.
@@ -108,8 +113,8 @@ gqaAttentionHeadCore(const float *qg, std::size_t group,
             std::size_t g = 0;
             float s4[4];
             for (; g + 4 <= group; g += 4) {
-                dot4(krow, qg + g * hd, qg + (g + 1) * hd,
-                     qg + (g + 2) * hd, qg + (g + 3) * hd, hd, s4);
+                vo.dot4(krow, qg + g * hd, qg + (g + 1) * hd,
+                        qg + (g + 2) * hd, qg + (g + 3) * hd, hd, s4);
                 scores[g * ctx + t] = scale * s4[0];
                 scores[(g + 1) * ctx + t] = scale * s4[1];
                 scores[(g + 2) * ctx + t] = scale * s4[2];
@@ -117,7 +122,7 @@ gqaAttentionHeadCore(const float *qg, std::size_t group,
             }
             for (; g < group; ++g)
                 scores[g * ctx + t] =
-                    scale * dot(qg + g * hd, krow, hd);
+                    scale * vo.dot(qg + g * hd, krow, hd);
         }
         kt += run;
     });
@@ -150,14 +155,9 @@ gqaAttentionHeadCore(const float *qg, std::size_t group,
                 continue;
             const float *v0 = vrows[0], *v1 = vrows[1],
                         *v2 = vrows[2], *v3 = vrows[3];
-            for (std::size_t g = 0; g < group; ++g) {
-                const float *wg = scores + g * ctx + base;
-                float w0 = wg[0], w1 = wg[1], w2 = wg[2], w3 = wg[3];
-                float *o = og + g * hd;
-                for (std::size_t d = 0; d < hd; ++d)
-                    o[d] += w0 * v0[d] + w1 * v1[d] + w2 * v2[d] +
-                            w3 * v3[d];
-            }
+            for (std::size_t g = 0; g < group; ++g)
+                vo.foldV4(og + g * hd, v0, v1, v2, v3,
+                          scores + g * ctx + base, hd);
             base += 4;
             pending = 0;
         }
@@ -179,8 +179,8 @@ gqaAttentionHeadCore(const float *qg, std::size_t group,
             " tokens");
     for (std::size_t i = 0; i < pending; ++i)
         for (std::size_t g = 0; g < group; ++g)
-            accumulateScaled(og + g * hd, vrows[i],
-                             scores[g * ctx + base + i], hd);
+            vo.axpy(og + g * hd, vrows[i],
+                    scores[g * ctx + base + i], hd);
 }
 
 } // namespace moelight

@@ -4,74 +4,29 @@
 #include <cstring>
 
 #include "common/thread_pool.hh"
+#include "kernels/simd/simd.hh"
 #include "tensor/tensor.hh"
 
 namespace moelight {
 
 namespace {
 
-/** k-unroll width of dot()/dot4(); must stay in sync between them. */
-constexpr std::size_t kUnroll = 8;
-
-/** A-row block for matmulTransposedB: W strips stay hot across rows. */
-constexpr std::size_t kRowBlock = 8;
-
 /** l-blocking of the non-transposed matmul (C rows revisited). */
 constexpr std::size_t kBlock = 64;
-
-/** Fixed reduction order shared by dot() and dot4(). */
-inline float
-reduce8(const float acc[kUnroll])
-{
-    return ((acc[0] + acc[1]) + (acc[2] + acc[3])) +
-           ((acc[4] + acc[5]) + (acc[6] + acc[7]));
-}
 
 } // namespace
 
 float
 dot(const float *x, const float *y, std::size_t n)
 {
-    float acc[kUnroll] = {};
-    std::size_t i = 0;
-    for (; i + kUnroll <= n; i += kUnroll)
-        for (std::size_t u = 0; u < kUnroll; ++u)
-            acc[u] += x[i + u] * y[i + u];
-    float sum = reduce8(acc);
-    for (; i < n; ++i)
-        sum += x[i] * y[i];
-    return sum;
+    return simd::ops().dot(x, y, n);
 }
 
 void
 dot4(const float *x, const float *y0, const float *y1, const float *y2,
      const float *y3, std::size_t n, float out[4])
 {
-    float a0[kUnroll] = {}, a1[kUnroll] = {}, a2[kUnroll] = {},
-          a3[kUnroll] = {};
-    std::size_t i = 0;
-    for (; i + kUnroll <= n; i += kUnroll) {
-        for (std::size_t u = 0; u < kUnroll; ++u) {
-            float xv = x[i + u];
-            a0[u] += xv * y0[i + u];
-            a1[u] += xv * y1[i + u];
-            a2[u] += xv * y2[i + u];
-            a3[u] += xv * y3[i + u];
-        }
-    }
-    float s0 = reduce8(a0), s1 = reduce8(a1), s2 = reduce8(a2),
-          s3 = reduce8(a3);
-    for (; i < n; ++i) {
-        float xv = x[i];
-        s0 += xv * y0[i];
-        s1 += xv * y1[i];
-        s2 += xv * y2[i];
-        s3 += xv * y3[i];
-    }
-    out[0] = s0;
-    out[1] = s1;
-    out[2] = s2;
-    out[3] = s3;
+    simd::ops().dot4(x, y0, y1, y2, y3, n, out);
 }
 
 void
@@ -112,23 +67,11 @@ void
 matmulTransposedB(const float *a, const float *w, float *c, std::size_t m,
                   std::size_t k, std::size_t n)
 {
-    for (std::size_t i0 = 0; i0 < m; i0 += kRowBlock) {
-        std::size_t i_max = std::min(i0 + kRowBlock, m);
-        std::size_t j = 0;
-        for (; j + 4 <= n; j += 4) {
-            const float *w0 = w + j * k;
-            const float *w1 = w0 + k;
-            const float *w2 = w1 + k;
-            const float *w3 = w2 + k;
-            for (std::size_t i = i0; i < i_max; ++i)
-                dot4(a + i * k, w0, w1, w2, w3, k, c + i * n + j);
-        }
-        for (; j < n; ++j) {
-            const float *wj = w + j * k;
-            for (std::size_t i = i0; i < i_max; ++i)
-                c[i * n + j] = dot(a + i * k, wj, k);
-        }
-    }
+    // The register-tiled microkernel lives in the dispatched backend
+    // so the dot4 calls inline against that ISA's primitives; every
+    // backend keeps the per-element expression m-independent, which
+    // is what the pooled/batched variants' bit-identity relies on.
+    simd::ops().matmulTransposedB(a, w, c, m, k, n);
 }
 
 void
@@ -136,14 +79,19 @@ matmulTransposedB(const float *a, const float *w, float *c, std::size_t m,
                   std::size_t k, std::size_t n, ThreadPool *pool)
 {
     // Distributing rows only pays off when each worker gets a few
-    // full row blocks; below that, pool wake-up dominates.
-    if (!pool || m < 2 * kRowBlock || pool->numThreads() == 0) {
+    // full row blocks; below that, pool wake-up dominates. The grain
+    // floor keeps chunks at least a GEMM row block wide for W-strip
+    // reuse — chunk boundaries may still split a block mid-way,
+    // which is harmless: every C element is an m-independent
+    // reduction, so any row partition is bit-identical to serial.
+    if (!pool || m < 2 * simd::kGemmRowBlock ||
+        pool->numThreads() == 0) {
         matmulTransposedB(a, w, c, m, k, n);
         return;
     }
     std::size_t chunks = pool->maxParallelism() * 2;
     std::size_t grain =
-        std::max(kRowBlock, (m + chunks - 1) / chunks);
+        std::max(simd::kGemmRowBlock, (m + chunks - 1) / chunks);
     pool->parallelForChunked(
         m, grain,
         [&](std::size_t begin, std::size_t end, std::size_t) {
@@ -178,15 +126,16 @@ matmulTransposedB(const Tensor &a, const Tensor &w, Tensor &c)
 void
 accumulate(float *y, const float *x, std::size_t n)
 {
-    for (std::size_t i = 0; i < n; ++i)
-        y[i] += x[i];
+    // s == 1.0f makes axpy an exact elementwise add (1.0f * x[i] and
+    // fma(1.0f, x[i], y[i]) both round to x[i] resp. y[i] + x[i]),
+    // so the residual adds share the backend's vector loop.
+    simd::ops().axpy(y, x, 1.0f, n);
 }
 
 void
 accumulateScaled(float *y, const float *x, float s, std::size_t n)
 {
-    for (std::size_t i = 0; i < n; ++i)
-        y[i] += s * x[i];
+    simd::ops().axpy(y, x, s, n);
 }
 
 } // namespace moelight

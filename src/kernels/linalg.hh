@@ -1,18 +1,20 @@
 /**
  * @file
- * Dense linear algebra kernels (float32) written so that plain
- * `-O2 -march=native` auto-vectorizes them: multi-accumulator dot
- * products (no loop-carried dependence chain), a 1x4 register-tiled
- * microkernel for B-transposed GEMM, cache blocking over the row
- * dimension, and explicit remainder tails.
+ * Dense linear algebra kernels (float32). dot/dot4 and the 1x4
+ * register-tiled B-transposed GEMM microkernel route through the
+ * runtime-dispatched SIMD backend (kernels/simd/simd.hh — AVX-512,
+ * AVX2 or portable scalar, selected once at startup), so the binary
+ * is no longer tied to the build host's ISA the way the old
+ * `-march=native` auto-vectorized kernels were.
  *
- * Determinism contract: every output element of every variant
- * (serial, row-blocked, pool-parallel, any m) is computed by the
- * exact same floating-point expression — dot()'s unroll-by-8 partial
- * sums reduced in a fixed order. Batching a GEMM or splitting it
- * across threads therefore produces bit-identical results, which is
- * what lets the pipelined engine batch its projections while staying
- * token-exact with the per-token reference engine.
+ * Determinism contract: within the active backend, every output
+ * element of every variant (serial, row-blocked, pool-parallel, any
+ * m) is computed by the exact same floating-point expression —
+ * dot()'s fixed-width partial sums reduced in a fixed order.
+ * Batching a GEMM or splitting it across threads therefore produces
+ * bit-identical results, which is what lets the pipelined engine
+ * batch its projections while staying token-exact with the per-token
+ * reference engine.
  */
 
 #ifndef MOELIGHT_KERNELS_LINALG_HH

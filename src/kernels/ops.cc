@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "kernels/simd/simd.hh"
 
 namespace moelight {
 
@@ -28,38 +29,10 @@ void
 softmaxInPlaceFast(std::span<float> x)
 {
     panicIf(x.empty(), "softmax over empty span");
-    std::size_t n = x.size();
-    float *d = x.data();
-
-    float mx4[4] = {d[0], d[0], d[0], d[0]};
-    std::size_t i = 0;
-    for (; i + 4 <= n; i += 4)
-        for (std::size_t u = 0; u < 4; ++u)
-            mx4[u] = std::max(mx4[u], d[i + u]);
-    float mx = std::max(std::max(mx4[0], mx4[1]),
-                        std::max(mx4[2], mx4[3]));
-    for (; i < n; ++i)
-        mx = std::max(mx, d[i]);
-
-    float sum4[4] = {};
-    i = 0;
-    for (; i + 4 <= n; i += 4) {
-        for (std::size_t u = 0; u < 4; ++u) {
-            float e = fastExpf(d[i + u] - mx);
-            d[i + u] = e;
-            sum4[u] += e;
-        }
-    }
-    float sum = (sum4[0] + sum4[1]) + (sum4[2] + sum4[3]);
-    for (; i < n; ++i) {
-        float e = fastExpf(d[i] - mx);
-        d[i] = e;
-        sum += e;
-    }
-
-    float inv = 1.0f / sum;
-    for (std::size_t j = 0; j < n; ++j)
-        d[j] *= inv;
+    // Dispatched: the AVX backends run the fastExpf polynomial on
+    // whole vectors; the portable backend is the original
+    // multi-accumulator scalar pass.
+    simd::ops().softmax(x.data(), x.size());
 }
 
 void

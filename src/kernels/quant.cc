@@ -9,6 +9,7 @@
 #include "kernels/attention_core.hh"
 #include "kernels/linalg.hh"
 #include "kernels/ops.hh"
+#include "kernels/simd/simd.hh"
 
 namespace moelight {
 
@@ -65,17 +66,6 @@ QuantizedBuffer::QuantizedBuffer(std::span<const float> src,
     }
 }
 
-namespace {
-
-/** Sign-extend a 4-bit two's-complement nibble (branchless). */
-inline int
-nibbleToInt(std::uint8_t nib)
-{
-    return ((nib & 0xF) ^ 8) - 8;
-}
-
-} // namespace
-
 void
 QuantizedBuffer::dequantizeRange(std::size_t offset, std::size_t count,
                                  std::span<float> dst) const
@@ -84,32 +74,23 @@ QuantizedBuffer::dequantizeRange(std::size_t offset, std::size_t count,
             "dequantizeRange must be group-aligned");
     panicIf(offset + count > n_, "dequantize range out of bounds");
     panicIf(dst.size() < count, "dequantize destination too small");
-    // Kind branch hoisted out of the loops so the per-group bodies
-    // auto-vectorize; both bodies compute scale * float(q), the same
-    // expression element-wise as the original per-element form.
+    // Per-group gather-dequant through the dispatched SIMD backend.
+    // Every backend computes scale * float(q) per element — one exact
+    // conversion and one multiply — so the output is bit-identical
+    // across backends (unlike the reassociating dot/softmax ops).
+    const simd::VecOps &vo = simd::ops();
     if (kind_ == QuantKind::Int8) {
         const std::uint8_t *src = data_.data() + offset;
-        for (std::size_t g = 0; g < count; g += group_) {
-            float s = scales_[(offset + g) / group_];
-            for (std::size_t i = 0; i < group_; ++i)
-                dst[g + i] = s * static_cast<float>(
-                                     static_cast<std::int8_t>(
-                                         src[g + i]));
-        }
+        for (std::size_t g = 0; g < count; g += group_)
+            vo.dequantGroupI8(src + g, scales_[(offset + g) / group_],
+                              dst.data() + g, group_);
     } else {
         // group_ is even, so a group-aligned offset is byte-aligned.
         const std::uint8_t *src = data_.data() + offset / 2;
-        for (std::size_t g = 0; g < count; g += group_) {
-            float s = scales_[(offset + g) / group_];
-            for (std::size_t i = 0; i < group_; i += 2) {
-                std::uint8_t byte = src[(g + i) / 2];
-                dst[g + i] =
-                    s * static_cast<float>(nibbleToInt(byte));
-                dst[g + i + 1] =
-                    s * static_cast<float>(nibbleToInt(
-                            static_cast<std::uint8_t>(byte >> 4)));
-            }
-        }
+        for (std::size_t g = 0; g < count; g += group_)
+            vo.dequantGroupI4(src + g / 2,
+                              scales_[(offset + g) / group_],
+                              dst.data() + g, group_);
     }
 }
 
@@ -129,20 +110,16 @@ QuantizedBuffer::dequantizeRows(std::size_t rowOff,
     std::size_t gpr = count / group_;        // groups per row
     std::size_t gstep = rowStride / group_;  // group index step
     std::size_t g0 = rowOff / group_;
+    const simd::VecOps &vo = simd::ops();
     if (kind_ == QuantKind::Int8) {
         for (std::size_t r = 0; r < rows; ++r) {
             const std::uint8_t *src =
                 data_.data() + rowOff + r * rowStride;
             const float *sc = scales_.data() + g0 + r * gstep;
             float *d = dst + r * count;
-            for (std::size_t g = 0; g < gpr; ++g) {
-                float s = sc[g];
-                const std::uint8_t *sg = src + g * group_;
-                float *dg = d + g * group_;
-                for (std::size_t i = 0; i < group_; ++i)
-                    dg[i] = s * static_cast<float>(
-                                    static_cast<std::int8_t>(sg[i]));
-            }
+            for (std::size_t g = 0; g < gpr; ++g)
+                vo.dequantGroupI8(src + g * group_, sc[g],
+                                  d + g * group_, group_);
         }
     } else {
         // group_ is even, so group-aligned offsets are byte-aligned.
@@ -152,20 +129,9 @@ QuantizedBuffer::dequantizeRows(std::size_t rowOff,
             const float *sc = scales_.data() + g0 + r * gstep;
             float *d = dst + r * count;
             std::size_t half = group_ / 2;
-            for (std::size_t g = 0; g < gpr; ++g) {
-                float s = sc[g];
-                const std::uint8_t *sg = src + g * half;
-                float *dg = d + g * group_;
-                for (std::size_t b = 0; b < half; ++b) {
-                    std::uint8_t byte = sg[b];
-                    dg[2 * b] = s * static_cast<float>(
-                                        nibbleToInt(byte));
-                    dg[2 * b + 1] =
-                        s * static_cast<float>(nibbleToInt(
-                                static_cast<std::uint8_t>(
-                                    byte >> 4)));
-                }
-            }
+            for (std::size_t g = 0; g < gpr; ++g)
+                vo.dequantGroupI4(src + g * half, sc[g],
+                                  d + g * group_, group_);
         }
     }
 }
@@ -328,7 +294,8 @@ gqaPrefillAttentionQuantFused(const float *q, const float *k,
                               const float *v, std::size_t seq,
                               std::size_t nQ, const QuantKvView &kv,
                               float *out, float scale,
-                              std::span<float> scratch)
+                              std::span<float> scratch,
+                              ThreadPool *pool)
 {
     panicIf(kv.nKv == 0 || nQ % kv.nKv != 0,
             "query heads must be a multiple of KV heads");
@@ -350,15 +317,20 @@ gqaPrefillAttentionQuantFused(const float *q, const float *k,
     std::size_t group = nQ / kv.nKv;
     std::size_t hd = kv.headDim;
     std::size_t row_floats = kv.nKv * hd;
-    panicIf(scratch.size() <
-                gqaQuantPrefillAttnScratchFloats(
-                    nQ, kv.nKv, seq, hd, kv.pageTokens),
-            "quant prefill scratch too small");
-    float *scores = scratch.data();
-    float *kstash = scores + group * seq;  // [quant_tokens, hd]
-    float *vstash = kstash + quant_tokens * hd;
+    std::size_t per_worker = gqaQuantPrefillAttnScratchFloats(
+        nQ, kv.nKv, seq, hd, kv.pageTokens);
 
-    for (std::size_t kvh = 0; kvh < kv.nKv; ++kvh) {
+    // One KV head's whole prefill — dequant stash fill plus every
+    // causal position through the shared core — is independent of
+    // the other heads' (disjoint out columns, private scratch), so
+    // heads fan across the pool with one scratch slot per worker.
+    // Per-head arithmetic is untouched, which keeps the pooled walk
+    // bit-identical to the serial one.
+    auto head_prefill = [&](std::size_t kvh, float *buf) {
+        float *scores = buf;
+        float *kstash = scores + group * seq;  // [quant_tokens, hd]
+        float *vstash = kstash + quant_tokens * hd;
+
         // Dequantize this KV head's rows of every closed page ONCE —
         // the whole point of the prefill variant: the per-token
         // decode walk re-dequantizes each closed page at every later
@@ -403,7 +375,14 @@ gqaPrefillAttentionQuantFused(const float *q, const float *k,
                 out + i * nQ * hd + kvh * group * hd, scale, scores,
                 nullptr, runs(kstash, k), runs(vstash, v));
         }
-    }
+    };
+    ThreadPool::forEachWithScratch(
+        pool, kv.nKv, per_worker,
+        [&](std::size_t begin, std::size_t end, float *buf) {
+            for (std::size_t kvh = begin; kvh < end; ++kvh)
+                head_prefill(kvh, buf);
+        },
+        scratch);
 }
 
 QuantKvView

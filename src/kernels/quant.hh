@@ -228,6 +228,13 @@ gqaQuantPrefillAttnScratchFloats(std::size_t nQ, std::size_t nKv,
  * same bits the cache's open page held at that time, since the cache
  * copied them from these very arrays.
  *
+ * KV heads are independent (disjoint output columns, private
+ * scratch), so with a non-null @p pool they fan across it — the
+ * attention pool idles during prefill otherwise — with one scratch
+ * slot per worker. Per-head arithmetic is untouched, so the pooled
+ * kernel stays bit-identical to the serial one (and to the per-token
+ * walk).
+ *
  * @param q       [seq, nQ * headDim] queries, one row per position.
  * @param k,v     [seq, nKv * headDim] float K/V for the whole
  *                sequence (the projections the cache was fed).
@@ -240,15 +247,21 @@ gqaQuantPrefillAttnScratchFloats(std::size_t nQ, std::size_t nKv,
  *                @p k / @p v).
  * @param out     [seq, nQ * headDim] output; overwritten.
  * @param scale   Logit scale.
- * @param scratch >= gqaQuantPrefillAttnScratchFloats(nQ, kv.nKv,
- *                seq, kv.headDim, kv.pageTokens) floats.
+ * @param scratch Optional caller-owned scratch:
+ *                gqaQuantPrefillAttnScratchFloats(nQ, kv.nKv, seq,
+ *                kv.headDim, kv.pageTokens) floats per worker slot
+ *                (pool->maxParallelism() slots with a pool, 1
+ *                without). Too-small spans fall back to a per-call
+ *                allocation.
+ * @param pool    Optional thread pool to fan KV heads across.
  */
 void gqaPrefillAttentionQuantFused(const float *q, const float *k,
                                    const float *v, std::size_t seq,
                                    std::size_t nQ,
                                    const QuantKvView &kv, float *out,
                                    float scale,
-                                   std::span<float> scratch);
+                                   std::span<float> scratch,
+                                   ThreadPool *pool = nullptr);
 
 /** Convenience overload that allocates its own scratch. */
 void gqaPrefillAttentionQuantFused(const float *q, const float *k,

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Runtime-dispatched SIMD vector-ops backend for the hot kernels.
+ *
+ * Before this module the kernels leaned on `-O2 -march=native`
+ * auto-vectorization, which tied the binary to the build host's ISA
+ * (an AVX-512 build faults on an AVX2 node) and left FMA-width tuning
+ * to the compiler's mood. Now every per-row FMA loop — dot products,
+ * the B-transposed GEMM microkernel, the attention score and
+ * 4-blocked V-fold inner loops, the fast softmax, and the int8/int4
+ * gather-dequant — routes through a small table of function pointers
+ * (`VecOps`) with three implementations:
+ *
+ *   - avx512   AVX-512F + FMA intrinsics (simd_avx512.cc, compiled
+ *              with -mavx512f -mfma only for that TU)
+ *   - avx2     AVX2 + FMA intrinsics (simd_avx2.cc, -mavx2 -mfma)
+ *   - portable multi-accumulator scalar C++ (simd_portable.cc, built
+ *              with the project's base flags; auto-vectorizes to
+ *              whatever the *baseline* target allows)
+ *
+ * The backend is selected ONCE, on first use, from CPUID (best
+ * supported ISA wins) and can be overridden with the environment
+ * variable `MOELIGHT_SIMD=avx512|avx2|portable` — requesting an ISA
+ * the binary or CPU cannot run degrades to the next-best available
+ * with a warning, so one CI matrix works on any host. Because the ISA
+ * translation units carry their own -m flags instead of a blanket
+ * -march=native, a single binary runs correctly everywhere and every
+ * backend can be exercised on one machine.
+ *
+ * ## Determinism contract
+ *
+ * Within one backend, every op is a pure function with a fixed
+ * floating-point evaluation order:
+ *  - dot4(x, y0..y3) is bit-identical to four dot() calls (each lane
+ *    performs exactly dot()'s operation sequence);
+ *  - matmulTransposedB computes every output element with the same
+ *    expression regardless of m or row partitioning (the pooled GEMM
+ *    and any batching stay bit-identical to serial);
+ *  - dequantGroupI8/I4 compute scale * float(q) per element — one
+ *    exact int->float conversion and one multiply, which makes
+ *    dequantization bit-identical across ALL backends.
+ * Across backends the reassociation (FMA, vector width) legitimately
+ * changes low-order bits of dot/softmax results; cross-backend
+ * equivalence is tolerance-checked by the golden suites, while
+ * within-backend bit-identity (engine-vs-reference, fused-vs-
+ * materialized) remains structural.
+ */
+
+#ifndef MOELIGHT_KERNELS_SIMD_SIMD_HH
+#define MOELIGHT_KERNELS_SIMD_SIMD_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace moelight {
+namespace simd {
+
+/** Instruction-set levels, ordered worst to best. */
+enum class Isa
+{
+    Portable = 0,
+    Avx2 = 1,
+    Avx512 = 2,
+};
+
+/** A-row block of the backend GEMM driver (W strips stay hot across
+ *  rows). Exposed so the pool-parallel GEMM can size its row grain
+ *  to whole blocks; correctness never depends on it (every C element
+ *  is an m-independent reduction). */
+inline constexpr std::size_t kGemmRowBlock = 8;
+
+/** Lower-case name used by MOELIGHT_SIMD and the bench JSONs. */
+const char *isaName(Isa isa);
+
+/** Parse an MOELIGHT_SIMD value; nullopt when unrecognized. */
+std::optional<Isa> parseIsa(std::string_view name);
+
+/**
+ * The vector-ops surface every backend implements. One global table
+ * is active at a time (see ops()); hot loops hoist the reference
+ * once and call through it.
+ */
+struct VecOps
+{
+    Isa isa;
+    const char *name;
+
+    /** Dot product of two length-n vectors. */
+    float (*dot)(const float *x, const float *y, std::size_t n);
+
+    /** Four dots sharing one x stream; each lane bit-identical to
+     *  dot(). The attention score and GEMM microkernel. */
+    void (*dot4)(const float *x, const float *y0, const float *y1,
+                 const float *y2, const float *y3, std::size_t n,
+                 float out[4]);
+
+    /** y[i] += s * x[i]. */
+    void (*axpy)(float *y, const float *x, float s, std::size_t n);
+
+    /** o[i] += w[0]*v0[i] + w[1]*v1[i] + w[2]*v2[i] + w[3]*v3[i] —
+     *  the attention core's 4-blocked V fold. */
+    void (*foldV4)(float *o, const float *v0, const float *v1,
+                   const float *v2, const float *v3, const float w[4],
+                   std::size_t n);
+
+    /** Numerically-stable in-place softmax over n >= 1 floats using
+     *  the backend's vector exp (fastExpf polynomial, ~4e-6 rel
+     *  error). */
+    void (*softmax)(float *x, std::size_t n);
+
+    /** C[m,n] = A[m,k] * W[n,k]^T, serial; every element's FP
+     *  expression depends only on k (see determinism contract). */
+    void (*matmulTransposedB)(const float *a, const float *w, float *c,
+                              std::size_t m, std::size_t k,
+                              std::size_t n);
+
+    /** dst[i] = scale * int8(src[i]) for one quant group. */
+    void (*dequantGroupI8)(const std::uint8_t *src, float scale,
+                           float *dst, std::size_t n);
+
+    /** dst[i] = scale * nibble(src[i/2]) for one packed-int4 quant
+     *  group; n is even (low nibble first). */
+    void (*dequantGroupI4)(const std::uint8_t *src, float scale,
+                           float *dst, std::size_t n);
+};
+
+/**
+ * The active backend. Resolved once on first call: CPUID picks the
+ * best runnable ISA, MOELIGHT_SIMD overrides (degrading to the next-
+ * best available, with a warning, when the request cannot run here).
+ * Hot paths should hoist `const VecOps &vo = simd::ops();` outside
+ * their loops.
+ */
+const VecOps &ops();
+
+/** ISA of the active backend. */
+Isa activeIsa();
+
+/** isaName(activeIsa()). */
+const char *activeIsaName();
+
+/** Whether the backend for @p isa was compiled into this binary. */
+bool isaCompiled(Isa isa);
+
+/** Whether this CPU can execute @p isa. */
+bool cpuSupports(Isa isa);
+
+/** isaCompiled && cpuSupports: the backend can run here. */
+bool isaRunnable(Isa isa);
+
+/** Every runnable ISA, worst to best; always contains Portable. */
+std::vector<Isa> runnableIsas();
+
+/** Table for @p isa; panics unless isaRunnable(isa). */
+const VecOps &opsFor(Isa isa);
+
+/**
+ * Pure resolution logic behind ops(), exposed for unit tests: pick
+ * the ISA given the MOELIGHT_SIMD value (null/empty = unset) and the
+ * availability of each accelerated backend. An unavailable or
+ * unrecognized request degrades to the best available ISA at or
+ * below the request (explains itself via @p diag when non-null).
+ */
+Isa resolveIsa(const char *env, bool haveAvx2, bool haveAvx512,
+               std::string *diag = nullptr);
+
+/**
+ * Test hook: force the active backend for the lifetime of the guard
+ * (restores the previous state on destruction). The golden suites
+ * use this to run the kernel matrix under every runnable backend in
+ * one process; production code must never call it.
+ */
+class ScopedIsa
+{
+  public:
+    explicit ScopedIsa(Isa isa);
+    ~ScopedIsa();
+    ScopedIsa(const ScopedIsa &) = delete;
+    ScopedIsa &operator=(const ScopedIsa &) = delete;
+
+  private:
+    const VecOps *prev_;
+};
+
+} // namespace simd
+} // namespace moelight
+
+#endif // MOELIGHT_KERNELS_SIMD_SIMD_HH

@@ -1,0 +1,295 @@
+/**
+ * AVX2 + FMA backend. Compiled with -mavx2 -mfma for this TU only
+ * (see CMakeLists.txt); structure mirrors simd_avx512.cc at 256-bit
+ * width — two 8-lane accumulators (16 floats per iteration), explicit
+ * fixed-order horizontal reductions, scalar tails. dot4 replays dot's
+ * operation sequence per lane (bit-identical, the Dot4Golden
+ * contract).
+ */
+
+#if defined(MOELIGHT_SIMD_ENABLE_AVX2)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "kernels/ops.hh"  // fastExpf (scalar tail of softmax)
+#include "kernels/simd/simd_kernels.hh"
+
+namespace moelight {
+namespace simd {
+namespace {
+
+/** Fixed-order horizontal add of 8 lanes. */
+inline float
+hsum8(__m256 v)
+{
+    __m128 lo = _mm256_castps256_ps128(v);
+    __m128 hi = _mm256_extractf128_ps(v, 1);
+    __m128 s = _mm_add_ps(lo, hi);
+    s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+    s = _mm_add_ss(s, _mm_movehdup_ps(s));
+    return _mm_cvtss_f32(s);
+}
+
+/** Horizontal max of 8 lanes (order-free: max is exact). */
+inline float
+hmax8(__m256 v)
+{
+    __m128 lo = _mm256_castps256_ps128(v);
+    __m128 hi = _mm256_extractf128_ps(v, 1);
+    __m128 s = _mm_max_ps(lo, hi);
+    s = _mm_max_ps(s, _mm_movehl_ps(s, s));
+    s = _mm_max_ss(s, _mm_movehdup_ps(s));
+    return _mm_cvtss_f32(s);
+}
+
+struct K256
+{
+    static float
+    dot(const float *x, const float *y, std::size_t n)
+    {
+        __m256 a0 = _mm256_setzero_ps();
+        __m256 a1 = _mm256_setzero_ps();
+        std::size_t i = 0;
+        for (; i + 16 <= n; i += 16) {
+            a0 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i),
+                                 _mm256_loadu_ps(y + i), a0);
+            a1 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i + 8),
+                                 _mm256_loadu_ps(y + i + 8), a1);
+        }
+        if (i + 8 <= n) {
+            a0 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i),
+                                 _mm256_loadu_ps(y + i), a0);
+            i += 8;
+        }
+        float sum = hsum8(_mm256_add_ps(a0, a1));
+        for (; i < n; ++i)
+            sum += x[i] * y[i];
+        return sum;
+    }
+
+    static void
+    dot4(const float *x, const float *y0, const float *y1,
+         const float *y2, const float *y3, std::size_t n, float out[4])
+    {
+        __m256 a00 = _mm256_setzero_ps(), a01 = _mm256_setzero_ps();
+        __m256 a10 = _mm256_setzero_ps(), a11 = _mm256_setzero_ps();
+        __m256 a20 = _mm256_setzero_ps(), a21 = _mm256_setzero_ps();
+        __m256 a30 = _mm256_setzero_ps(), a31 = _mm256_setzero_ps();
+        std::size_t i = 0;
+        for (; i + 16 <= n; i += 16) {
+            __m256 xv0 = _mm256_loadu_ps(x + i);
+            __m256 xv1 = _mm256_loadu_ps(x + i + 8);
+            a00 = _mm256_fmadd_ps(xv0, _mm256_loadu_ps(y0 + i), a00);
+            a01 = _mm256_fmadd_ps(xv1, _mm256_loadu_ps(y0 + i + 8),
+                                  a01);
+            a10 = _mm256_fmadd_ps(xv0, _mm256_loadu_ps(y1 + i), a10);
+            a11 = _mm256_fmadd_ps(xv1, _mm256_loadu_ps(y1 + i + 8),
+                                  a11);
+            a20 = _mm256_fmadd_ps(xv0, _mm256_loadu_ps(y2 + i), a20);
+            a21 = _mm256_fmadd_ps(xv1, _mm256_loadu_ps(y2 + i + 8),
+                                  a21);
+            a30 = _mm256_fmadd_ps(xv0, _mm256_loadu_ps(y3 + i), a30);
+            a31 = _mm256_fmadd_ps(xv1, _mm256_loadu_ps(y3 + i + 8),
+                                  a31);
+        }
+        if (i + 8 <= n) {
+            __m256 xv = _mm256_loadu_ps(x + i);
+            a00 = _mm256_fmadd_ps(xv, _mm256_loadu_ps(y0 + i), a00);
+            a10 = _mm256_fmadd_ps(xv, _mm256_loadu_ps(y1 + i), a10);
+            a20 = _mm256_fmadd_ps(xv, _mm256_loadu_ps(y2 + i), a20);
+            a30 = _mm256_fmadd_ps(xv, _mm256_loadu_ps(y3 + i), a30);
+            i += 8;
+        }
+        float s0 = hsum8(_mm256_add_ps(a00, a01));
+        float s1 = hsum8(_mm256_add_ps(a10, a11));
+        float s2 = hsum8(_mm256_add_ps(a20, a21));
+        float s3 = hsum8(_mm256_add_ps(a30, a31));
+        for (; i < n; ++i) {
+            float xv = x[i];
+            s0 += xv * y0[i];
+            s1 += xv * y1[i];
+            s2 += xv * y2[i];
+            s3 += xv * y3[i];
+        }
+        out[0] = s0;
+        out[1] = s1;
+        out[2] = s2;
+        out[3] = s3;
+    }
+};
+
+void
+axpy(float *y, const float *x, float s, std::size_t n)
+{
+    __m256 vs = _mm256_set1_ps(s);
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8)
+        _mm256_storeu_ps(
+            y + i, _mm256_fmadd_ps(vs, _mm256_loadu_ps(x + i),
+                                   _mm256_loadu_ps(y + i)));
+    for (; i < n; ++i)
+        y[i] += s * x[i];
+}
+
+void
+foldV4(float *o, const float *v0, const float *v1, const float *v2,
+       const float *v3, const float w[4], std::size_t n)
+{
+    __m256 w0 = _mm256_set1_ps(w[0]);
+    __m256 w1 = _mm256_set1_ps(w[1]);
+    __m256 w2 = _mm256_set1_ps(w[2]);
+    __m256 w3 = _mm256_set1_ps(w[3]);
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        __m256 acc = _mm256_loadu_ps(o + i);
+        acc = _mm256_fmadd_ps(w0, _mm256_loadu_ps(v0 + i), acc);
+        acc = _mm256_fmadd_ps(w1, _mm256_loadu_ps(v1 + i), acc);
+        acc = _mm256_fmadd_ps(w2, _mm256_loadu_ps(v2 + i), acc);
+        acc = _mm256_fmadd_ps(w3, _mm256_loadu_ps(v3 + i), acc);
+        _mm256_storeu_ps(o + i, acc);
+    }
+    for (; i < n; ++i)
+        o[i] += w[0] * v0[i] + w[1] * v1[i] + w[2] * v2[i] +
+                w[3] * v3[i];
+}
+
+/** fastExpf's polynomial on 8 lanes (same coefficients; FMA form). */
+inline __m256
+vexp256(__m256 x)
+{
+    x = _mm256_min_ps(_mm256_max_ps(x, _mm256_set1_ps(-87.0f)),
+                      _mm256_set1_ps(88.0f));
+    __m256 z = _mm256_mul_ps(x, _mm256_set1_ps(1.44269504088896341f));
+    __m256 fx = _mm256_round_ps(
+        z, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+    __m256 g = _mm256_fnmadd_ps(fx, _mm256_set1_ps(0.693359375f), x);
+    g = _mm256_fnmadd_ps(fx, _mm256_set1_ps(-2.12194440e-4f), g);
+    __m256 p = _mm256_set1_ps(1.9875691500e-4f);
+    p = _mm256_fmadd_ps(p, g, _mm256_set1_ps(1.3981999507e-3f));
+    p = _mm256_fmadd_ps(p, g, _mm256_set1_ps(8.3334519073e-3f));
+    p = _mm256_fmadd_ps(p, g, _mm256_set1_ps(4.1665795894e-2f));
+    p = _mm256_fmadd_ps(p, g, _mm256_set1_ps(1.6666665459e-1f));
+    p = _mm256_fmadd_ps(p, g, _mm256_set1_ps(5.0000001201e-1f));
+    __m256 g2 = _mm256_mul_ps(g, g);
+    p = _mm256_add_ps(_mm256_fmadd_ps(p, g2, g),
+                      _mm256_set1_ps(1.0f));
+    __m256i e = _mm256_cvtps_epi32(fx);
+    __m256i bits = _mm256_slli_epi32(
+        _mm256_add_epi32(e, _mm256_set1_epi32(127)), 23);
+    return _mm256_mul_ps(p, _mm256_castsi256_ps(bits));
+}
+
+void
+softmax(float *d, std::size_t n)
+{
+    std::size_t i;
+    float mx;
+    if (n >= 8) {
+        __m256 vm = _mm256_loadu_ps(d);
+        for (i = 8; i + 8 <= n; i += 8)
+            vm = _mm256_max_ps(vm, _mm256_loadu_ps(d + i));
+        mx = hmax8(vm);
+    } else {
+        mx = d[0];
+        i = 1;
+    }
+    for (; i < n; ++i)
+        mx = std::max(mx, d[i]);
+
+    __m256 vmx = _mm256_set1_ps(mx);
+    __m256 vsum = _mm256_setzero_ps();
+    i = 0;
+    for (; i + 8 <= n; i += 8) {
+        __m256 e = vexp256(_mm256_sub_ps(_mm256_loadu_ps(d + i), vmx));
+        _mm256_storeu_ps(d + i, e);
+        vsum = _mm256_add_ps(vsum, e);
+    }
+    float sum = hsum8(vsum);
+    for (; i < n; ++i) {
+        float e = fastExpf(d[i] - mx);
+        d[i] = e;
+        sum += e;
+    }
+
+    float inv = 1.0f / sum;
+    __m256 vinv = _mm256_set1_ps(inv);
+    i = 0;
+    for (; i + 8 <= n; i += 8)
+        _mm256_storeu_ps(d + i,
+                         _mm256_mul_ps(_mm256_loadu_ps(d + i), vinv));
+    for (; i < n; ++i)
+        d[i] *= inv;
+}
+
+void
+matmulTransposedB(const float *a, const float *w, float *c,
+                  std::size_t m, std::size_t k, std::size_t n)
+{
+    detail::matmulTransposedBT<K256>(a, w, c, m, k, n);
+}
+
+void
+dequantGroupI8(const std::uint8_t *src, float scale, float *dst,
+               std::size_t n)
+{
+    __m256 vs = _mm256_set1_ps(scale);
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        __m128i b = _mm_loadl_epi64(
+            reinterpret_cast<const __m128i *>(src + i));
+        __m256 f = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(b));
+        _mm256_storeu_ps(dst + i, _mm256_mul_ps(vs, f));
+    }
+    for (; i < n; ++i)
+        dst[i] = scale * static_cast<float>(
+                             static_cast<std::int8_t>(src[i]));
+}
+
+void
+dequantGroupI4(const std::uint8_t *src, float scale, float *dst,
+               std::size_t n)
+{
+    __m256 vs = _mm256_set1_ps(scale);
+    const __m128i nib_mask = _mm_set1_epi8(0x0F);
+    const __m128i sign8 = _mm_set1_epi8(8);
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        // 4 packed bytes -> 8 nibbles, interleaved low-nibble-first.
+        std::uint32_t four;
+        std::memcpy(&four, src + i / 2, sizeof(four));
+        __m128i b = _mm_cvtsi32_si128(static_cast<int>(four));
+        __m128i lo = _mm_and_si128(b, nib_mask);
+        __m128i hi = _mm_and_si128(_mm_srli_epi16(b, 4), nib_mask);
+        __m128i inter = _mm_unpacklo_epi8(lo, hi);
+        __m128i sgn = _mm_sub_epi8(_mm_xor_si128(inter, sign8), sign8);
+        __m256 f = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(sgn));
+        _mm256_storeu_ps(dst + i, _mm256_mul_ps(vs, f));
+    }
+    for (; i < n; i += 2) {
+        std::uint8_t byte = src[i / 2];
+        dst[i] = scale * static_cast<float>(((byte & 0xF) ^ 8) - 8);
+        dst[i + 1] =
+            scale * static_cast<float>((((byte >> 4) & 0xF) ^ 8) - 8);
+    }
+}
+
+} // namespace
+
+namespace detail {
+
+const VecOps kOpsAvx2 = {
+    Isa::Avx2, "avx2",            K256::dot,      K256::dot4,
+    axpy,      foldV4,            softmax,        matmulTransposedB,
+    dequantGroupI8, dequantGroupI4,
+};
+
+} // namespace detail
+} // namespace simd
+} // namespace moelight
+
+#endif // MOELIGHT_SIMD_ENABLE_AVX2

@@ -1,0 +1,319 @@
+/**
+ * AVX-512F + FMA backend. This translation unit — and only this one —
+ * is compiled with -mavx512f -mfma (see CMakeLists.txt); the rest of
+ * the binary stays on the baseline target, so the binary loads on any
+ * host and this code runs only after CPUID dispatch selects it.
+ *
+ * Layout of every kernel: 512-bit main loop (two accumulators where a
+ * dependence chain would otherwise serialize the FMAs), fixed-order
+ * lane reduction, scalar tail. dot4 replays dot's operation sequence
+ * per lane so the two stay bit-identical (the Dot4Golden contract);
+ * the GEMM driver is the shared template over these primitives, so
+ * its per-element arithmetic is m-independent.
+ */
+
+#if defined(MOELIGHT_SIMD_ENABLE_AVX512)
+
+// GCC's AVX-512 intrinsic headers route unmasked ops through
+// _mm512_undefined_*() merge sources (self-initialized `__Y = __Y`),
+// which the -O2 uninitialized-use analysis flags on nearly every
+// intrinsic in this file (GCC PR105593). Header noise, not bugs here.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "kernels/ops.hh"  // fastExpf (scalar tail of softmax)
+#include "kernels/simd/simd_kernels.hh"
+
+namespace moelight {
+namespace simd {
+namespace {
+
+/** Upper 256-bit half of a 512-bit float vector (AVX512F-only; the
+ *  float extract needs DQ, the double one doesn't). */
+inline __m256
+upper256(__m512 v)
+{
+    return _mm256_castpd_ps(
+        _mm512_extractf64x4_pd(_mm512_castps_pd(v), 1));
+}
+
+/** Fixed-order horizontal add of 16 lanes. GCC 12's
+ *  _mm512_reduce_add_ps expands through a builtin that trips
+ *  -Wmaybe-uninitialized; this explicit tree is warning-clean and
+ *  pins the reduction order in our own code. */
+inline float
+hsum16(__m512 v)
+{
+    __m256 s8 = _mm256_add_ps(_mm512_castps512_ps256(v), upper256(v));
+    __m128 s = _mm_add_ps(_mm256_castps256_ps128(s8),
+                          _mm256_extractf128_ps(s8, 1));
+    s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+    s = _mm_add_ss(s, _mm_movehdup_ps(s));
+    return _mm_cvtss_f32(s);
+}
+
+/** Horizontal max of 16 lanes (order-free: max is exact). */
+inline float
+hmax16(__m512 v)
+{
+    __m256 s8 = _mm256_max_ps(_mm512_castps512_ps256(v), upper256(v));
+    __m128 s = _mm_max_ps(_mm256_castps256_ps128(s8),
+                          _mm256_extractf128_ps(s8, 1));
+    s = _mm_max_ps(s, _mm_movehl_ps(s, s));
+    s = _mm_max_ss(s, _mm_movehdup_ps(s));
+    return _mm_cvtss_f32(s);
+}
+
+struct K512
+{
+    static float
+    dot(const float *x, const float *y, std::size_t n)
+    {
+        __m512 a0 = _mm512_setzero_ps();
+        __m512 a1 = _mm512_setzero_ps();
+        std::size_t i = 0;
+        for (; i + 32 <= n; i += 32) {
+            a0 = _mm512_fmadd_ps(_mm512_loadu_ps(x + i),
+                                 _mm512_loadu_ps(y + i), a0);
+            a1 = _mm512_fmadd_ps(_mm512_loadu_ps(x + i + 16),
+                                 _mm512_loadu_ps(y + i + 16), a1);
+        }
+        if (i + 16 <= n) {
+            a0 = _mm512_fmadd_ps(_mm512_loadu_ps(x + i),
+                                 _mm512_loadu_ps(y + i), a0);
+            i += 16;
+        }
+        float sum = hsum16(_mm512_add_ps(a0, a1));
+        for (; i < n; ++i)
+            sum += x[i] * y[i];
+        return sum;
+    }
+
+    static void
+    dot4(const float *x, const float *y0, const float *y1,
+         const float *y2, const float *y3, std::size_t n, float out[4])
+    {
+        __m512 a00 = _mm512_setzero_ps(), a01 = _mm512_setzero_ps();
+        __m512 a10 = _mm512_setzero_ps(), a11 = _mm512_setzero_ps();
+        __m512 a20 = _mm512_setzero_ps(), a21 = _mm512_setzero_ps();
+        __m512 a30 = _mm512_setzero_ps(), a31 = _mm512_setzero_ps();
+        std::size_t i = 0;
+        for (; i + 32 <= n; i += 32) {
+            __m512 xv0 = _mm512_loadu_ps(x + i);
+            __m512 xv1 = _mm512_loadu_ps(x + i + 16);
+            a00 = _mm512_fmadd_ps(xv0, _mm512_loadu_ps(y0 + i), a00);
+            a01 = _mm512_fmadd_ps(xv1, _mm512_loadu_ps(y0 + i + 16),
+                                  a01);
+            a10 = _mm512_fmadd_ps(xv0, _mm512_loadu_ps(y1 + i), a10);
+            a11 = _mm512_fmadd_ps(xv1, _mm512_loadu_ps(y1 + i + 16),
+                                  a11);
+            a20 = _mm512_fmadd_ps(xv0, _mm512_loadu_ps(y2 + i), a20);
+            a21 = _mm512_fmadd_ps(xv1, _mm512_loadu_ps(y2 + i + 16),
+                                  a21);
+            a30 = _mm512_fmadd_ps(xv0, _mm512_loadu_ps(y3 + i), a30);
+            a31 = _mm512_fmadd_ps(xv1, _mm512_loadu_ps(y3 + i + 16),
+                                  a31);
+        }
+        if (i + 16 <= n) {
+            __m512 xv = _mm512_loadu_ps(x + i);
+            a00 = _mm512_fmadd_ps(xv, _mm512_loadu_ps(y0 + i), a00);
+            a10 = _mm512_fmadd_ps(xv, _mm512_loadu_ps(y1 + i), a10);
+            a20 = _mm512_fmadd_ps(xv, _mm512_loadu_ps(y2 + i), a20);
+            a30 = _mm512_fmadd_ps(xv, _mm512_loadu_ps(y3 + i), a30);
+            i += 16;
+        }
+        float s0 = hsum16(_mm512_add_ps(a00, a01));
+        float s1 = hsum16(_mm512_add_ps(a10, a11));
+        float s2 = hsum16(_mm512_add_ps(a20, a21));
+        float s3 = hsum16(_mm512_add_ps(a30, a31));
+        for (; i < n; ++i) {
+            float xv = x[i];
+            s0 += xv * y0[i];
+            s1 += xv * y1[i];
+            s2 += xv * y2[i];
+            s3 += xv * y3[i];
+        }
+        out[0] = s0;
+        out[1] = s1;
+        out[2] = s2;
+        out[3] = s3;
+    }
+};
+
+void
+axpy(float *y, const float *x, float s, std::size_t n)
+{
+    __m512 vs = _mm512_set1_ps(s);
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16)
+        _mm512_storeu_ps(
+            y + i, _mm512_fmadd_ps(vs, _mm512_loadu_ps(x + i),
+                                   _mm512_loadu_ps(y + i)));
+    for (; i < n; ++i)
+        y[i] += s * x[i];
+}
+
+void
+foldV4(float *o, const float *v0, const float *v1, const float *v2,
+       const float *v3, const float w[4], std::size_t n)
+{
+    __m512 w0 = _mm512_set1_ps(w[0]);
+    __m512 w1 = _mm512_set1_ps(w[1]);
+    __m512 w2 = _mm512_set1_ps(w[2]);
+    __m512 w3 = _mm512_set1_ps(w[3]);
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        __m512 acc = _mm512_loadu_ps(o + i);
+        acc = _mm512_fmadd_ps(w0, _mm512_loadu_ps(v0 + i), acc);
+        acc = _mm512_fmadd_ps(w1, _mm512_loadu_ps(v1 + i), acc);
+        acc = _mm512_fmadd_ps(w2, _mm512_loadu_ps(v2 + i), acc);
+        acc = _mm512_fmadd_ps(w3, _mm512_loadu_ps(v3 + i), acc);
+        _mm512_storeu_ps(o + i, acc);
+    }
+    for (; i < n; ++i)
+        o[i] += w[0] * v0[i] + w[1] * v1[i] + w[2] * v2[i] +
+                w[3] * v3[i];
+}
+
+/** fastExpf's polynomial on 16 lanes (same coefficients; FMA form). */
+inline __m512
+vexp512(__m512 x)
+{
+    x = _mm512_min_ps(_mm512_max_ps(x, _mm512_set1_ps(-87.0f)),
+                      _mm512_set1_ps(88.0f));
+    __m512 z = _mm512_mul_ps(x, _mm512_set1_ps(1.44269504088896341f));
+    __m512 fx = _mm512_roundscale_ps(
+        z, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+    __m512 g = _mm512_fnmadd_ps(fx, _mm512_set1_ps(0.693359375f), x);
+    g = _mm512_fnmadd_ps(fx, _mm512_set1_ps(-2.12194440e-4f), g);
+    __m512 p = _mm512_set1_ps(1.9875691500e-4f);
+    p = _mm512_fmadd_ps(p, g, _mm512_set1_ps(1.3981999507e-3f));
+    p = _mm512_fmadd_ps(p, g, _mm512_set1_ps(8.3334519073e-3f));
+    p = _mm512_fmadd_ps(p, g, _mm512_set1_ps(4.1665795894e-2f));
+    p = _mm512_fmadd_ps(p, g, _mm512_set1_ps(1.6666665459e-1f));
+    p = _mm512_fmadd_ps(p, g, _mm512_set1_ps(5.0000001201e-1f));
+    __m512 g2 = _mm512_mul_ps(g, g);
+    p = _mm512_add_ps(_mm512_fmadd_ps(p, g2, g),
+                      _mm512_set1_ps(1.0f));
+    __m512i e = _mm512_cvtps_epi32(fx);
+    __m512i bits = _mm512_slli_epi32(
+        _mm512_add_epi32(e, _mm512_set1_epi32(127)), 23);
+    return _mm512_mul_ps(p, _mm512_castsi512_ps(bits));
+}
+
+void
+softmax(float *d, std::size_t n)
+{
+    std::size_t i;
+    float mx;
+    if (n >= 16) {
+        __m512 vm = _mm512_loadu_ps(d);
+        for (i = 16; i + 16 <= n; i += 16)
+            vm = _mm512_max_ps(vm, _mm512_loadu_ps(d + i));
+        mx = hmax16(vm);
+    } else {
+        mx = d[0];
+        i = 1;
+    }
+    for (; i < n; ++i)
+        mx = std::max(mx, d[i]);
+
+    __m512 vmx = _mm512_set1_ps(mx);
+    __m512 vsum = _mm512_setzero_ps();
+    i = 0;
+    for (; i + 16 <= n; i += 16) {
+        __m512 e = vexp512(_mm512_sub_ps(_mm512_loadu_ps(d + i), vmx));
+        _mm512_storeu_ps(d + i, e);
+        vsum = _mm512_add_ps(vsum, e);
+    }
+    float sum = hsum16(vsum);
+    for (; i < n; ++i) {
+        float e = fastExpf(d[i] - mx);
+        d[i] = e;
+        sum += e;
+    }
+
+    float inv = 1.0f / sum;
+    __m512 vinv = _mm512_set1_ps(inv);
+    i = 0;
+    for (; i + 16 <= n; i += 16)
+        _mm512_storeu_ps(d + i,
+                         _mm512_mul_ps(_mm512_loadu_ps(d + i), vinv));
+    for (; i < n; ++i)
+        d[i] *= inv;
+}
+
+void
+matmulTransposedB(const float *a, const float *w, float *c,
+                  std::size_t m, std::size_t k, std::size_t n)
+{
+    detail::matmulTransposedBT<K512>(a, w, c, m, k, n);
+}
+
+void
+dequantGroupI8(const std::uint8_t *src, float scale, float *dst,
+               std::size_t n)
+{
+    __m512 vs = _mm512_set1_ps(scale);
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        __m128i b = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(src + i));
+        __m512 f = _mm512_cvtepi32_ps(_mm512_cvtepi8_epi32(b));
+        _mm512_storeu_ps(dst + i, _mm512_mul_ps(vs, f));
+    }
+    for (; i < n; ++i)
+        dst[i] = scale * static_cast<float>(
+                             static_cast<std::int8_t>(src[i]));
+}
+
+void
+dequantGroupI4(const std::uint8_t *src, float scale, float *dst,
+               std::size_t n)
+{
+    __m512 vs = _mm512_set1_ps(scale);
+    const __m128i nib_mask = _mm_set1_epi8(0x0F);
+    const __m128i sign8 = _mm_set1_epi8(8);
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        // 8 packed bytes -> 16 nibbles, interleaved low-nibble-first.
+        __m128i b = _mm_loadl_epi64(
+            reinterpret_cast<const __m128i *>(src + i / 2));
+        __m128i lo = _mm_and_si128(b, nib_mask);
+        __m128i hi = _mm_and_si128(_mm_srli_epi16(b, 4), nib_mask);
+        __m128i inter = _mm_unpacklo_epi8(lo, hi);
+        __m128i sgn = _mm_sub_epi8(_mm_xor_si128(inter, sign8), sign8);
+        __m512 f = _mm512_cvtepi32_ps(_mm512_cvtepi8_epi32(sgn));
+        _mm512_storeu_ps(dst + i, _mm512_mul_ps(vs, f));
+    }
+    for (; i < n; i += 2) {
+        std::uint8_t byte = src[i / 2];
+        dst[i] = scale * static_cast<float>(((byte & 0xF) ^ 8) - 8);
+        dst[i + 1] =
+            scale * static_cast<float>((((byte >> 4) & 0xF) ^ 8) - 8);
+    }
+}
+
+} // namespace
+
+namespace detail {
+
+const VecOps kOpsAvx512 = {
+    Isa::Avx512, "avx512",          K512::dot,      K512::dot4,
+    axpy,        foldV4,            softmax,        matmulTransposedB,
+    dequantGroupI8, dequantGroupI4,
+};
+
+} // namespace detail
+} // namespace simd
+} // namespace moelight
+
+#endif // MOELIGHT_SIMD_ENABLE_AVX512

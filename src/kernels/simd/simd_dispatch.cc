@@ -1,0 +1,208 @@
+/**
+ * Backend selection: CPUID detection, the MOELIGHT_SIMD override, and
+ * the test-only force hook. This TU is compiled with the per-ISA
+ * availability macros (MOELIGHT_SIMD_ENABLE_AVX2 / _AVX512) that
+ * CMake sets exactly when the matching translation unit could be
+ * built, so the extern table references below always link.
+ */
+
+#include "kernels/simd/simd.hh"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "kernels/simd/simd_kernels.hh"
+
+namespace moelight {
+namespace simd {
+
+namespace {
+
+/** Test-only override; null in production (see ScopedIsa). */
+std::atomic<const VecOps *> g_forced{nullptr};
+
+} // namespace
+
+const char *
+isaName(Isa isa)
+{
+    switch (isa) {
+      case Isa::Portable:
+        return "portable";
+      case Isa::Avx2:
+        return "avx2";
+      case Isa::Avx512:
+        return "avx512";
+    }
+    return "unknown";
+}
+
+std::optional<Isa>
+parseIsa(std::string_view name)
+{
+    if (name == "portable" || name == "scalar")
+        return Isa::Portable;
+    if (name == "avx2")
+        return Isa::Avx2;
+    if (name == "avx512")
+        return Isa::Avx512;
+    return std::nullopt;
+}
+
+bool
+isaCompiled(Isa isa)
+{
+    switch (isa) {
+      case Isa::Portable:
+        return true;
+      case Isa::Avx2:
+#if defined(MOELIGHT_SIMD_ENABLE_AVX2)
+        return true;
+#else
+        return false;
+#endif
+      case Isa::Avx512:
+#if defined(MOELIGHT_SIMD_ENABLE_AVX512)
+        return true;
+#else
+        return false;
+#endif
+    }
+    return false;
+}
+
+bool
+cpuSupports(Isa isa)
+{
+    if (isa == Isa::Portable)
+        return true;
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+    switch (isa) {
+      case Isa::Avx2:
+        return __builtin_cpu_supports("avx2") &&
+               __builtin_cpu_supports("fma");
+      case Isa::Avx512:
+        return __builtin_cpu_supports("avx512f") &&
+               __builtin_cpu_supports("fma");
+      default:
+        return false;
+    }
+#else
+    return false;
+#endif
+}
+
+bool
+isaRunnable(Isa isa)
+{
+    return isaCompiled(isa) && cpuSupports(isa);
+}
+
+std::vector<Isa>
+runnableIsas()
+{
+    std::vector<Isa> out;
+    for (Isa isa : {Isa::Portable, Isa::Avx2, Isa::Avx512})
+        if (isaRunnable(isa))
+            out.push_back(isa);
+    return out;
+}
+
+const VecOps &
+opsFor(Isa isa)
+{
+    panicIf(!isaRunnable(isa), "SIMD backend ", isaName(isa),
+            isaCompiled(isa) ? " is not supported by this CPU"
+                             : " was not compiled into this binary");
+    switch (isa) {
+#if defined(MOELIGHT_SIMD_ENABLE_AVX2)
+      case Isa::Avx2:
+        return detail::kOpsAvx2;
+#endif
+#if defined(MOELIGHT_SIMD_ENABLE_AVX512)
+      case Isa::Avx512:
+        return detail::kOpsAvx512;
+#endif
+      default:
+        return detail::kOpsPortable;
+    }
+}
+
+Isa
+resolveIsa(const char *env, bool haveAvx2, bool haveAvx512,
+           std::string *diag)
+{
+    auto best_at_or_below = [&](Isa cap) {
+        if (cap >= Isa::Avx512 && haveAvx512)
+            return Isa::Avx512;
+        if (cap >= Isa::Avx2 && haveAvx2)
+            return Isa::Avx2;
+        return Isa::Portable;
+    };
+    if (env == nullptr || *env == '\0')
+        return best_at_or_below(Isa::Avx512);
+    std::optional<Isa> req = parseIsa(env);
+    if (!req) {
+        Isa pick = best_at_or_below(Isa::Avx512);
+        if (diag)
+            *diag = std::string("MOELIGHT_SIMD=\"") + env +
+                    "\" not recognized (avx512|avx2|portable); "
+                    "using " +
+                    isaName(pick);
+        return pick;
+    }
+    Isa pick = best_at_or_below(*req);
+    if (pick != *req && diag)
+        *diag = std::string("MOELIGHT_SIMD=") + isaName(*req) +
+                " is not runnable on this host/binary; degrading to " +
+                isaName(pick);
+    return pick;
+}
+
+const VecOps &
+ops()
+{
+    const VecOps *forced = g_forced.load(std::memory_order_acquire);
+    if (forced != nullptr)
+        return *forced;
+    // Resolved once, thread-safely, on first use; the env override
+    // exists so CI can exercise every backend from one binary.
+    static const VecOps &chosen = []() -> const VecOps & {
+        std::string diag;
+        Isa isa = resolveIsa(std::getenv("MOELIGHT_SIMD"),
+                             isaRunnable(Isa::Avx2),
+                             isaRunnable(Isa::Avx512), &diag);
+        if (!diag.empty())
+            warn(diag);
+        return opsFor(isa);
+    }();
+    return chosen;
+}
+
+Isa
+activeIsa()
+{
+    return ops().isa;
+}
+
+const char *
+activeIsaName()
+{
+    return ops().name;
+}
+
+ScopedIsa::ScopedIsa(Isa isa)
+    : prev_(g_forced.load(std::memory_order_acquire))
+{
+    g_forced.store(&opsFor(isa), std::memory_order_release);
+}
+
+ScopedIsa::~ScopedIsa()
+{
+    g_forced.store(prev_, std::memory_order_release);
+}
+
+} // namespace simd
+} // namespace moelight

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Internal helpers shared by the SIMD backend translation units. Each
+ * ISA TU defines a primitives struct (static dot / dot4) and
+ * instantiates the composite drivers here, so the primitive calls
+ * inline into the driver loops *inside* that TU — the table exports
+ * only top-level entry points (the llama.cpp per-TU pattern).
+ *
+ * Not part of the public surface; include kernels/simd/simd.hh
+ * instead.
+ */
+
+#ifndef MOELIGHT_KERNELS_SIMD_SIMD_KERNELS_HH
+#define MOELIGHT_KERNELS_SIMD_SIMD_KERNELS_HH
+
+#include <algorithm>
+#include <cstddef>
+
+#include "kernels/simd/simd.hh"
+
+namespace moelight {
+namespace simd {
+namespace detail {
+
+/**
+ * B-transposed GEMM driver over a primitives struct K (static dot and
+ * dot4): 1x4 register tile over output columns through the shared-x
+ * dot4 microkernel, 8-row A blocks so W strips stay hot across rows.
+ * This is the exact loop structure the pre-backend linalg.cc kernel
+ * used; every C element is one K::dot-shaped reduction, so the result
+ * is independent of m and of any row partitioning (the pooled GEMM
+ * splits rows and stays bit-identical).
+ */
+template <class K>
+void
+matmulTransposedBT(const float *a, const float *w, float *c,
+                   std::size_t m, std::size_t k, std::size_t n)
+{
+    for (std::size_t i0 = 0; i0 < m; i0 += kGemmRowBlock) {
+        std::size_t i_max = std::min(i0 + kGemmRowBlock, m);
+        std::size_t j = 0;
+        for (; j + 4 <= n; j += 4) {
+            const float *w0 = w + j * k;
+            const float *w1 = w0 + k;
+            const float *w2 = w1 + k;
+            const float *w3 = w2 + k;
+            for (std::size_t i = i0; i < i_max; ++i)
+                K::dot4(a + i * k, w0, w1, w2, w3, k, c + i * n + j);
+        }
+        for (; j < n; ++j) {
+            const float *wj = w + j * k;
+            for (std::size_t i = i0; i < i_max; ++i)
+                c[i * n + j] = K::dot(a + i * k, wj, k);
+        }
+    }
+}
+
+/** Backend tables, defined by their (conditionally compiled) TUs. */
+extern const VecOps kOpsPortable;
+#if defined(MOELIGHT_SIMD_ENABLE_AVX2)
+extern const VecOps kOpsAvx2;
+#endif
+#if defined(MOELIGHT_SIMD_ENABLE_AVX512)
+extern const VecOps kOpsAvx512;
+#endif
+
+} // namespace detail
+} // namespace simd
+} // namespace moelight
+
+#endif // MOELIGHT_KERNELS_SIMD_SIMD_KERNELS_HH

@@ -1,0 +1,180 @@
+/**
+ * Portable scalar backend: the multi-accumulator C++ kernels the
+ * project shipped before the intrinsics backends existed, compiled
+ * with the project's *base* flags only (no -march), so the binary
+ * runs on any x86-64 / aarch64 host. `-O2 -fvect-cost-model=dynamic`
+ * still auto-vectorizes these loops to whatever the baseline target
+ * offers (SSE2 on x86-64); the point of this TU is correctness
+ * everywhere, with the AVX TUs supplying the width- and FMA-tuned
+ * fast paths.
+ */
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "kernels/ops.hh"  // fastExpf
+#include "kernels/simd/simd_kernels.hh"
+
+namespace moelight {
+namespace simd {
+namespace {
+
+/** k-unroll width of dot()/dot4(); must stay in sync between them. */
+constexpr std::size_t kUnroll = 8;
+
+/** Fixed reduction order shared by dot() and dot4(). */
+inline float
+reduce8(const float acc[kUnroll])
+{
+    return ((acc[0] + acc[1]) + (acc[2] + acc[3])) +
+           ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+}
+
+struct KPortable
+{
+    static float
+    dot(const float *x, const float *y, std::size_t n)
+    {
+        float acc[kUnroll] = {};
+        std::size_t i = 0;
+        for (; i + kUnroll <= n; i += kUnroll)
+            for (std::size_t u = 0; u < kUnroll; ++u)
+                acc[u] += x[i + u] * y[i + u];
+        float sum = reduce8(acc);
+        for (; i < n; ++i)
+            sum += x[i] * y[i];
+        return sum;
+    }
+
+    static void
+    dot4(const float *x, const float *y0, const float *y1,
+         const float *y2, const float *y3, std::size_t n, float out[4])
+    {
+        float a0[kUnroll] = {}, a1[kUnroll] = {}, a2[kUnroll] = {},
+              a3[kUnroll] = {};
+        std::size_t i = 0;
+        for (; i + kUnroll <= n; i += kUnroll) {
+            for (std::size_t u = 0; u < kUnroll; ++u) {
+                float xv = x[i + u];
+                a0[u] += xv * y0[i + u];
+                a1[u] += xv * y1[i + u];
+                a2[u] += xv * y2[i + u];
+                a3[u] += xv * y3[i + u];
+            }
+        }
+        float s0 = reduce8(a0), s1 = reduce8(a1), s2 = reduce8(a2),
+              s3 = reduce8(a3);
+        for (; i < n; ++i) {
+            float xv = x[i];
+            s0 += xv * y0[i];
+            s1 += xv * y1[i];
+            s2 += xv * y2[i];
+            s3 += xv * y3[i];
+        }
+        out[0] = s0;
+        out[1] = s1;
+        out[2] = s2;
+        out[3] = s3;
+    }
+};
+
+void
+axpy(float *y, const float *x, float s, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        y[i] += s * x[i];
+}
+
+void
+foldV4(float *o, const float *v0, const float *v1, const float *v2,
+       const float *v3, const float w[4], std::size_t n)
+{
+    float w0 = w[0], w1 = w[1], w2 = w[2], w3 = w[3];
+    for (std::size_t i = 0; i < n; ++i)
+        o[i] += w0 * v0[i] + w1 * v1[i] + w2 * v2[i] + w3 * v3[i];
+}
+
+void
+softmax(float *d, std::size_t n)
+{
+    float mx4[4] = {d[0], d[0], d[0], d[0]};
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4)
+        for (std::size_t u = 0; u < 4; ++u)
+            mx4[u] = std::max(mx4[u], d[i + u]);
+    float mx = std::max(std::max(mx4[0], mx4[1]),
+                        std::max(mx4[2], mx4[3]));
+    for (; i < n; ++i)
+        mx = std::max(mx, d[i]);
+
+    float sum4[4] = {};
+    i = 0;
+    for (; i + 4 <= n; i += 4) {
+        for (std::size_t u = 0; u < 4; ++u) {
+            float e = fastExpf(d[i + u] - mx);
+            d[i + u] = e;
+            sum4[u] += e;
+        }
+    }
+    float sum = (sum4[0] + sum4[1]) + (sum4[2] + sum4[3]);
+    for (; i < n; ++i) {
+        float e = fastExpf(d[i] - mx);
+        d[i] = e;
+        sum += e;
+    }
+
+    float inv = 1.0f / sum;
+    for (std::size_t j = 0; j < n; ++j)
+        d[j] *= inv;
+}
+
+void
+matmulTransposedB(const float *a, const float *w, float *c,
+                  std::size_t m, std::size_t k, std::size_t n)
+{
+    detail::matmulTransposedBT<KPortable>(a, w, c, m, k, n);
+}
+
+void
+dequantGroupI8(const std::uint8_t *src, float scale, float *dst,
+               std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = scale * static_cast<float>(
+                             static_cast<std::int8_t>(src[i]));
+}
+
+/** Sign-extend a 4-bit two's-complement nibble (branchless). */
+inline int
+nibbleToInt(std::uint8_t nib)
+{
+    return ((nib & 0xF) ^ 8) - 8;
+}
+
+void
+dequantGroupI4(const std::uint8_t *src, float scale, float *dst,
+               std::size_t n)
+{
+    for (std::size_t i = 0; i < n; i += 2) {
+        std::uint8_t byte = src[i / 2];
+        dst[i] = scale * static_cast<float>(nibbleToInt(byte));
+        dst[i + 1] = scale * static_cast<float>(nibbleToInt(
+                                 static_cast<std::uint8_t>(byte >> 4)));
+    }
+}
+
+} // namespace
+
+namespace detail {
+
+const VecOps kOpsPortable = {
+    Isa::Portable,   "portable",        KPortable::dot,
+    KPortable::dot4, axpy,              foldV4,
+    softmax,         matmulTransposedB, dequantGroupI8,
+    dequantGroupI4,
+};
+
+} // namespace detail
+} // namespace simd
+} // namespace moelight

@@ -136,8 +136,6 @@ PipelinedEngine::PipelinedEngine(const ModelWeights &weights,
             c, cfg_.maxConcurrency, cfg_.kvPageTokens,
             cfg_.kvCapacityTokens);
 
-    gpuNorm_.assign(h1_, 0.0f);
-    gpuLogits_.assign(vocab_, 0.0f);
     std::size_t mb = cfg_.microBatch;
     gpuNormB_.assign(mb * h1_, 0.0f);
     gpuProjB_.assign(mb * h1_, 0.0f);
@@ -146,6 +144,7 @@ PipelinedEngine::PipelinedEngine(const ModelWeights &weights,
     gpuQB_.assign(mb * qDim_, 0.0f);
     gpuKB_.assign(mb * kvDim_, 0.0f);
     gpuVB_.assign(mb * kvDim_, 0.0f);
+    gpuLogitsB_.assign(mb * vocab_, 0.0f);
 
     st_ = std::make_unique<StepState>();
     exec_ = std::make_unique<StreamExecutor>();
@@ -349,10 +348,14 @@ PipelinedEngine::prefillSlots(const std::vector<std::size_t> &slots)
     ensureAttnScratch(max_prompt + 1);
     if (qkv_ && max_prompt > prefillScratchLen_) {
         prefillScratchLen_ = max_prompt;
+        // One slot per attention-pool worker: the fused prefill
+        // kernel fans KV heads across the pool.
+        std::size_t worker_slots =
+            attnPool_ ? attnPool_->maxParallelism() : 1;
         cpuPrefillScratch_.assign(
-            gqaQuantPrefillAttnScratchFloats(cfg.nq, cfg.nkv,
-                                             max_prompt, cfg.headDim,
-                                             cfg_.kvPageTokens),
+            worker_slots * gqaQuantPrefillAttnScratchFloats(
+                               cfg.nq, cfg.nkv, max_prompt,
+                               cfg.headDim, cfg_.kvPageTokens),
             0.0f);
     }
     // Reserve the per-layer working buffers once to the longest
@@ -452,11 +455,15 @@ PipelinedEngine::prefillSlots(const std::vector<std::size_t> &slots)
                             qkv_->append(slot, li,
                                          k_all.data() + t * kvDim_,
                                          v_all.data() + t * kvDim_);
+                        // KV heads fan across the attention pool —
+                        // it idles during prefill otherwise (the CPU
+                        // queue has no work yet) — preserving the
+                        // per-position bit-exact walk.
                         gqaPrefillAttentionQuantFused(
                             q_all.data(), k_all.data(), v_all.data(),
                             len, c.nq, qkv_->makeQuantView(slot, li),
                             attn_all.data(), scale_,
-                            cpuPrefillScratch_);
+                            cpuPrefillScratch_, pool);
                     } else {
                         for (std::size_t t = 0; t < len; ++t) {
                             kv_->append(slot, li,
@@ -515,20 +522,29 @@ PipelinedEngine::prefillSlots(const std::vector<std::size_t> &slots)
     }
 
     // Bootstrap: sample each admitted request's first generated token
-    // from its prompt's last hidden state.
+    // from its prompt's last hidden state. The normed rows pool into
+    // ONE lmHead GEMM (bit-identical per row to the m=1 GEMVs this
+    // replaces; the attention pool is idle between prefill layers, so
+    // the vocab-wide GEMM borrows it).
     exec_->submit(
         ResourceKind::Gpu, {compute_done[cfg.l - 1]},
         [this, admitted] {
-            for (std::size_t a = 0; a < admitted.size(); ++a) {
+            std::size_t n = admitted.size();
+            bootNorm_.resize(n * h1_);
+            bootLogits_.resize(n * vocab_);
+            for (std::size_t a = 0; a < n; ++a) {
                 std::size_t len = prefillHidden_[a].size() / h1_;
-                const float *hidden = prefillHidden_[a].data() +
-                                      (len - 1) * h1_;
-                rmsNorm(hidden, w_.finalNorm.data(),
-                        gpuNorm_.data(), h1_);
-                matmulTransposedB(gpuNorm_.data(), w_.lmHead.data(),
-                                  gpuLogits_.data(), 1, h1_, vocab_);
-                int next = static_cast<int>(argmax(
-                    {gpuLogits_.data(), gpuLogits_.size()}));
+                rmsNorm(prefillHidden_[a].data() + (len - 1) * h1_,
+                        w_.finalNorm.data(),
+                        bootNorm_.data() + a * h1_, h1_);
+            }
+            matmulTransposedB(bootNorm_.data(), w_.lmHead.data(),
+                              bootLogits_.data(), n, h1_, vocab_,
+                              attnPool_.get());
+            for (std::size_t a = 0; a < n; ++a) {
+                int next = static_cast<int>(
+                    argmax({bootLogits_.data() + a * vocab_,
+                            vocab_}));
                 ActiveSeq &as = *slots_[admitted[a]];
                 as.tokens.push_back(next);
                 as.next = next;
@@ -815,22 +831,32 @@ PipelinedEngine::runDecodeChains(StepState &st)
                 moeFfnForward(gpuNormB_.data(), routing,
                               store_.resolver(i), n, h1_, c.h2,
                               gpuFfnB_.data());
-                for (std::size_t r = 0; r < n; ++r) {
-                    float *x = st.xGpu[j].data() + r * h1_;
-                    accumulate(x, gpuFfnB_.data() + r * h1_, h1_);
-
-                    if (last_layer) {
+                for (std::size_t r = 0; r < n; ++r)
+                    accumulate(st.xGpu[j].data() + r * h1_,
+                               gpuFfnB_.data() + r * h1_, h1_);
+                if (last_layer) {
+                    // Batched lmHead sampling: one micro-batch-wide
+                    // GEMM instead of per-row m=1 GEMVs — the GEMM's
+                    // per-row arithmetic is m-independent, so every
+                    // row's logits (and its argmax token) are
+                    // bit-identical to the per-row calls this
+                    // replaces. No pool: the GPU queue may run
+                    // concurrently with CPU attention, which owns
+                    // attnPool_.
+                    for (std::size_t r = 0; r < n; ++r)
+                        rmsNorm(st.xGpu[j].data() + r * h1_,
+                                w_.finalNorm.data(),
+                                gpuNormB_.data() + r * h1_, h1_);
+                    matmulTransposedB(gpuNormB_.data(),
+                                      w_.lmHead.data(),
+                                      gpuLogitsB_.data(), n, h1_,
+                                      vocab_);
+                    for (std::size_t r = 0; r < n; ++r) {
                         std::size_t slot =
                             st.rowSlot[st.ubStart[j] + r];
-                        rmsNorm(x, w_.finalNorm.data(),
-                                gpuNorm_.data(), h1_);
-                        matmulTransposedB(gpuNorm_.data(),
-                                          w_.lmHead.data(),
-                                          gpuLogits_.data(), 1,
-                                          h1_, vocab_);
-                        int next = static_cast<int>(
-                            argmax({gpuLogits_.data(),
-                                    gpuLogits_.size()}));
+                        int next = static_cast<int>(argmax(
+                            {gpuLogitsB_.data() + r * vocab_,
+                             vocab_}));
                         ActiveSeq &a = *slots_[slot];
                         a.tokens.push_back(next);
                         a.next = next;

@@ -163,9 +163,15 @@ class PipelinedEngine : public Engine
     std::size_t kvPeakPages_ = 0;
 
     // Persistent scratch (grow-only; see ensureAttnScratch).
-    std::vector<float> gpuNorm_, gpuLogits_;
     std::vector<float> gpuNormB_, gpuProjB_, gpuRlB_, gpuFfnB_;
     std::vector<float> gpuQB_, gpuKB_, gpuVB_;
+    /** Micro-batch lmHead logits: the last layer samples every row
+     *  of the micro-batch from ONE pooled GEMM instead of per-row
+     *  m=1 GEMVs (bit-identical per row — see linalg.hh). */
+    std::vector<float> gpuLogitsB_;
+    /** Prefill-bootstrap pooled lmHead buffers (admitted-batch-
+     *  sized, which may exceed microBatch). */
+    std::vector<float> bootNorm_, bootLogits_;
     std::vector<float> cpuAttnScratch_, cpuBatchScratch_;
     std::vector<float> cpuPrefillScratch_;
     std::size_t scratchCtx_ = 0;

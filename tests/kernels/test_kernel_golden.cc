@@ -20,6 +20,7 @@
 #include "kernels/naive_kernels.hh"
 #include "kernels/ops.hh"
 #include "kernels/paged_kv_fixture.hh"
+#include "kernels/simd/simd.hh"
 
 namespace moelight {
 namespace {
@@ -248,6 +249,165 @@ INSTANTIATE_TEST_SUITE_P(
                       AttnShape{16, 4, 7, 49, 16},   // odd headDim
                       AttnShape{8, 2, 32, 64, 16},   // exact pages
                       AttnShape{12, 3, 8, 10, 3}));  // odd everything
+
+// ---------------------------------------------- SIMD backend matrix
+//
+// The suites above run under whatever backend CPUID dispatched (and
+// CI re-runs the whole binary under MOELIGHT_SIMD=avx2/portable).
+// These tests force every *runnable* backend in-process via
+// simd::ScopedIsa so the full within-backend contract — dot4 == 4x
+// dot, pooled == serial, page-layout independence — is pinned on any
+// single host, plus the cross-backend tolerance that FMA/width
+// reassociation is allowed to (and does) consume.
+
+class SimdBackendMatrix
+    : public ::testing::TestWithParam<simd::Isa>
+{
+};
+
+TEST_P(SimdBackendMatrix, Dot4BitIdenticalToDot)
+{
+    simd::ScopedIsa backend(GetParam());
+    for (std::size_t n :
+         {1u, 3u, 7u, 8u, 9u, 15u, 16u, 17u, 31u, 32u, 33u, 100u}) {
+        auto x = randomVec(n, n);
+        auto y = randomVec(4 * n, n + 1);
+        float out[4];
+        dot4(x.data(), y.data(), y.data() + n, y.data() + 2 * n,
+             y.data() + 3 * n, n, out);
+        for (std::size_t i = 0; i < 4; ++i)
+            EXPECT_EQ(out[i], dot(x.data(), y.data() + i * n, n))
+                << "n=" << n << " lane " << i;
+    }
+}
+
+TEST_P(SimdBackendMatrix, DotMatchesNaive)
+{
+    simd::ScopedIsa backend(GetParam());
+    for (std::size_t n : {1u, 7u, 16u, 33u, 63u, 64u, 257u}) {
+        auto x = randomVec(n, n * 5 + 1);
+        auto y = randomVec(n, n * 7 + 2);
+        EXPECT_NEAR(dot(x.data(), y.data(), n),
+                    naive::dot(x.data(), y.data(), n),
+                    1e-4f * static_cast<float>(n))
+            << "n=" << n;
+    }
+}
+
+TEST_P(SimdBackendMatrix, GemmMatchesNaiveAndPooledIsBitIdentical)
+{
+    simd::ScopedIsa backend(GetParam());
+    for (GemmDims d : {GemmDims{1, 1, 1}, GemmDims{9, 17, 13},
+                       GemmDims{17, 64, 65}, GemmDims{33, 9, 3}}) {
+        auto a = randomVec(d.m * d.k, d.m * 3 + d.k);
+        auto w = randomVec(d.n * d.k, d.n + d.k * 2);
+        std::vector<float> c(d.m * d.n), ref(d.m * d.n),
+            pooled(d.m * d.n);
+        matmulTransposedB(a.data(), w.data(), c.data(), d.m, d.k,
+                          d.n);
+        naive::matmulTransposedB(a.data(), w.data(), ref.data(), d.m,
+                                 d.k, d.n);
+        for (std::size_t i = 0; i < c.size(); ++i)
+            EXPECT_NEAR(c[i], ref[i], 1e-3f) << "at " << i;
+        ThreadPool pool(3);
+        matmulTransposedB(a.data(), w.data(), pooled.data(), d.m,
+                          d.k, d.n, &pool);
+        for (std::size_t i = 0; i < c.size(); ++i)
+            EXPECT_EQ(c[i], pooled[i]) << "at " << i;
+    }
+}
+
+TEST_P(SimdBackendMatrix, AttentionMatchesNaive)
+{
+    simd::ScopedIsa backend(GetParam());
+    for (AttnShape s : {AttnShape{8, 2, 32, 33, 16},
+                        AttnShape{16, 4, 7, 49, 16},
+                        AttnShape{12, 3, 8, 10, 3}}) {
+        Rng kv_rng(s.ctx * 100 + s.nq);
+        PagedKvFixture kv(s.ctx, s.nkv, s.hd, s.pageTokens, kv_rng);
+        auto q = randomVec(s.nq * s.hd, s.ctx + 7);
+        float scale = 1.0f / std::sqrt(static_cast<float>(s.hd));
+        std::vector<float> out(s.nq * s.hd), ref(s.nq * s.hd);
+        std::vector<float> naive_scratch(s.ctx);
+        gqaDecodeAttention(q.data(), s.nq, kv.view, out.data(),
+                           scale);
+        naive::gqaDecodeAttention(q.data(), s.nq, kv.view, ref.data(),
+                                  scale, naive_scratch);
+        for (std::size_t i = 0; i < out.size(); ++i)
+            EXPECT_NEAR(out[i], ref[i], 1e-4f) << "at " << i;
+    }
+}
+
+TEST_P(SimdBackendMatrix, AttentionBitIndependentOfPageLayout)
+{
+    simd::ScopedIsa backend(GetParam());
+    AttnShape s{8, 2, 12, 10, 8};
+    auto kdata = randomVec(s.ctx * s.nkv * s.hd, 71);
+    auto vdata = randomVec(s.ctx * s.nkv * s.hd, 72);
+    auto q = randomVec(s.nq * s.hd, 73);
+    std::vector<float> ref;
+    for (std::size_t page_tokens :
+         {s.ctx, std::size_t{1}, std::size_t{3}, std::size_t{7}}) {
+        PagedKvFixture kv(s.ctx, s.nkv, s.hd, page_tokens,
+                          kdata.data(), vdata.data());
+        std::vector<float> out(s.nq * s.hd);
+        gqaDecodeAttention(q.data(), s.nq, kv.view, out.data(), 0.3f);
+        if (ref.empty()) {
+            ref = out;
+            continue;
+        }
+        for (std::size_t i = 0; i < out.size(); ++i)
+            EXPECT_EQ(out[i], ref[i])
+                << "pageTokens=" << page_tokens << " at " << i;
+    }
+}
+
+TEST_P(SimdBackendMatrix, FastSoftmaxMatchesExactSoftmax)
+{
+    simd::ScopedIsa backend(GetParam());
+    for (std::size_t n : {1u, 5u, 7u, 8u, 16u, 64u, 257u}) {
+        auto a = randomVec(n, n * 3);
+        for (auto &v : a)
+            v *= 10.0f;  // spread the logits
+        auto b = a;
+        softmaxInPlace(a);
+        softmaxInPlaceFast(b);
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_NEAR(a[i], b[i], 1e-5f) << "n=" << n << " i=" << i;
+    }
+}
+
+TEST_P(SimdBackendMatrix, AttentionWithinToleranceOfPortable)
+{
+    // Cross-backend: FMA/width reassociation may move low-order
+    // bits, but the result must stay numerically equivalent to the
+    // portable backend (the documented tolerance gate).
+    AttnShape s{8, 2, 32, 33, 16};
+    Rng kv_rng(91);
+    PagedKvFixture kv(s.ctx, s.nkv, s.hd, s.pageTokens, kv_rng);
+    auto q = randomVec(s.nq * s.hd, 92);
+    float scale = 1.0f / std::sqrt(static_cast<float>(s.hd));
+    std::vector<float> portable(s.nq * s.hd), out(s.nq * s.hd);
+    {
+        simd::ScopedIsa base(simd::Isa::Portable);
+        gqaDecodeAttention(q.data(), s.nq, kv.view, portable.data(),
+                           scale);
+    }
+    {
+        simd::ScopedIsa backend(GetParam());
+        gqaDecodeAttention(q.data(), s.nq, kv.view, out.data(),
+                           scale);
+    }
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_NEAR(out[i], portable[i], 1e-4f) << "at " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RunnableBackends, SimdBackendMatrix,
+    ::testing::ValuesIn(simd::runnableIsas()),
+    [](const ::testing::TestParamInfo<simd::Isa> &info) {
+        return simd::isaName(info.param);
+    });
 
 } // namespace
 } // namespace moelight

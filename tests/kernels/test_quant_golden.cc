@@ -17,6 +17,7 @@
 #include "common/rng.hh"
 #include "common/thread_pool.hh"
 #include "kernels/quant.hh"
+#include "kernels/simd/simd.hh"
 
 namespace moelight {
 namespace {
@@ -421,6 +422,32 @@ TEST_P(QuantPrefillGolden, FusedWithinQuantErrorOfFloatPrefill)
         EXPECT_NEAR(fused[i], ref[i], tol) << "at " << i;
 }
 
+TEST_P(QuantPrefillGolden, PooledBitIdenticalToSerial)
+{
+    // KV heads fan across the attention pool inside the fused
+    // prefill kernel (the engine's pool idles during prefill
+    // otherwise); per-head arithmetic is untouched, so the pooled
+    // walk must be bit-identical to the serial one.
+    auto [kind, s] = GetParam();
+    QuantKvFixture fx(walkShape(s), kind, s.seq * 53 + 7,
+                      s.pageTokens);
+    auto q = randomVec(s.seq * s.nq * s.hd, s.hd + 17);
+    float scale = 1.0f / std::sqrt(static_cast<float>(s.hd));
+
+    std::vector<float> serial(s.seq * s.nq * s.hd),
+        pooled(s.seq * s.nq * s.hd);
+    gqaPrefillAttentionQuantFused(q.data(), fx.kSrc.data(),
+                                  fx.vSrc.data(), s.seq, s.nq,
+                                  fx.view, serial.data(), scale);
+    ThreadPool pool(3);
+    gqaPrefillAttentionQuantFused(q.data(), fx.kSrc.data(),
+                                  fx.vSrc.data(), s.seq, s.nq,
+                                  fx.view, pooled.data(), scale, {},
+                                  &pool);
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        EXPECT_EQ(serial[i], pooled[i]) << "at " << i;
+}
+
 // Prompt lengths that straddle page boundaries (one token past, one
 // short of), exactly fill pages, fit inside one page, and land mid-
 // page, across GQA groups 1/4/8. headDims even so int4 runs too.
@@ -462,6 +489,92 @@ TEST(QuantPrefillFused, RejectsNonWalkViews)
                      s2.nq, fx2.view, out2.data(), 1.0f),
                  PanicError);
 }
+
+// ---------------------------------------------- SIMD backend matrix
+//
+// The quant kernels' EXPECT_EQ guarantees are within-backend; force
+// each runnable backend in-process and re-pin them, plus the one
+// property that holds across ALL backends: dequantization computes
+// scale * float(q) per element (one exact conversion, one multiply),
+// so its output is bit-identical whatever the vector width.
+
+class QuantSimdBackendMatrix
+    : public ::testing::TestWithParam<simd::Isa>
+{
+};
+
+TEST_P(QuantSimdBackendMatrix, FusedBitIdenticalToMaterialized)
+{
+    simd::ScopedIsa backend(GetParam());
+    for (QuantKind kind : {QuantKind::Int8, QuantKind::Int4}) {
+        QuantAttnShape s{8, 2, 32, 16, 33, 0};
+        QuantKvFixture fx(s, kind, 111, s.pageTokens);
+        auto q = randomVec(s.nq * s.hd, 112);
+        std::vector<float> fused(s.nq * s.hd);
+        gqaDecodeAttentionQuantFused(q.data(), s.nq, fx.view,
+                                     fused.data(), 0.25f);
+        auto golden = materializedAttention(q.data(), s.nq, fx, 0.25f);
+        for (std::size_t i = 0; i < fused.size(); ++i)
+            EXPECT_EQ(fused[i], golden[i]) << "at " << i;
+    }
+}
+
+TEST_P(QuantSimdBackendMatrix, PrefillBitIdenticalToDecodeWalk)
+{
+    simd::ScopedIsa backend(GetParam());
+    for (QuantKind kind : {QuantKind::Int8, QuantKind::Int4}) {
+        std::size_t seq = 21, page_tokens = 8;
+        QuantAttnShape s{8, 2, 16, page_tokens,
+                         (seq / page_tokens) * page_tokens,
+                         seq % page_tokens};
+        QuantKvFixture fx(s, kind, 121, page_tokens);
+        auto q = randomVec(seq * s.nq * s.hd, 122);
+        std::vector<float> fused(seq * s.nq * s.hd);
+        gqaPrefillAttentionQuantFused(q.data(), fx.kSrc.data(),
+                                      fx.vSrc.data(), seq, s.nq,
+                                      fx.view, fused.data(), 0.25f);
+        auto walk = perTokenDecodeWalk(q.data(), s.nq, fx, seq,
+                                       0.25f);
+        for (std::size_t i = 0; i < fused.size(); ++i)
+            EXPECT_EQ(fused[i], walk[i]) << "at " << i;
+    }
+}
+
+TEST_P(QuantSimdBackendMatrix, DequantBitIdenticalAcrossBackends)
+{
+    // dequantizeRows / dequantizeRange under this backend vs the
+    // portable baseline: EXPECT_EQ, not EXPECT_NEAR — dequant has no
+    // reassociation to hide behind.
+    for (QuantKind kind : {QuantKind::Int8, QuantKind::Int4}) {
+        std::size_t tokens = 7, nkv = 3, hd = 16;
+        std::size_t row = nkv * hd;
+        auto src = randomVec(tokens * row, 131);
+        QuantizedBuffer buf(src, kind, hd);
+        std::vector<float> base(tokens * hd), out(tokens * hd);
+        std::vector<float> base_r(2 * hd), out_r(2 * hd);
+        {
+            simd::ScopedIsa portable(simd::Isa::Portable);
+            buf.dequantizeRows(hd, row, tokens, hd, base.data());
+            buf.dequantizeRange(row, 2 * hd, base_r);
+        }
+        {
+            simd::ScopedIsa backend(GetParam());
+            buf.dequantizeRows(hd, row, tokens, hd, out.data());
+            buf.dequantizeRange(row, 2 * hd, out_r);
+        }
+        for (std::size_t i = 0; i < out.size(); ++i)
+            EXPECT_EQ(out[i], base[i]) << "rows at " << i;
+        for (std::size_t i = 0; i < out_r.size(); ++i)
+            EXPECT_EQ(out_r[i], base_r[i]) << "range at " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RunnableBackends, QuantSimdBackendMatrix,
+    ::testing::ValuesIn(simd::runnableIsas()),
+    [](const ::testing::TestParamInfo<simd::Isa> &info) {
+        return simd::isaName(info.param);
+    });
 
 TEST(QuantAttnMaterializing, RejectsPartialNonTailPage)
 {

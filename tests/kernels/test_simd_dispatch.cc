@@ -1,0 +1,136 @@
+/**
+ * Unit tests for the SIMD backend dispatch (kernels/simd): the pure
+ * MOELIGHT_SIMD/CPUID resolution logic, the ISA name round-trip, the
+ * runnable-backend enumeration, and the ScopedIsa test hook the
+ * golden backend-matrix suites rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "kernels/simd/simd.hh"
+
+namespace moelight {
+namespace simd {
+namespace {
+
+TEST(SimdDispatch, ParseIsaRoundTrip)
+{
+    for (Isa isa : {Isa::Portable, Isa::Avx2, Isa::Avx512})
+        EXPECT_EQ(parseIsa(isaName(isa)), isa);
+    EXPECT_EQ(parseIsa("scalar"), Isa::Portable);  // alias
+    EXPECT_FALSE(parseIsa("").has_value());
+    EXPECT_FALSE(parseIsa("avx").has_value());
+    EXPECT_FALSE(parseIsa("AVX2").has_value());  // case-sensitive
+    EXPECT_FALSE(parseIsa("neon").has_value());
+}
+
+TEST(SimdDispatch, ResolveUnsetPicksBestAvailable)
+{
+    EXPECT_EQ(resolveIsa(nullptr, true, true), Isa::Avx512);
+    EXPECT_EQ(resolveIsa(nullptr, true, false), Isa::Avx2);
+    EXPECT_EQ(resolveIsa(nullptr, false, false), Isa::Portable);
+    // An AVX-512-only build (hypothetical) must still pick it.
+    EXPECT_EQ(resolveIsa(nullptr, false, true), Isa::Avx512);
+    // Empty string behaves like unset.
+    EXPECT_EQ(resolveIsa("", true, true), Isa::Avx512);
+}
+
+TEST(SimdDispatch, ResolveHonorsAvailableRequests)
+{
+    EXPECT_EQ(resolveIsa("portable", true, true), Isa::Portable);
+    EXPECT_EQ(resolveIsa("avx2", true, true), Isa::Avx2);
+    EXPECT_EQ(resolveIsa("avx512", true, true), Isa::Avx512);
+}
+
+TEST(SimdDispatch, ResolveDegradesUnavailableRequests)
+{
+    // Requests degrade to the best available ISA at or below the
+    // request — never silently upgrade past what was asked for.
+    std::string diag;
+    EXPECT_EQ(resolveIsa("avx512", true, false, &diag), Isa::Avx2);
+    EXPECT_FALSE(diag.empty());
+    diag.clear();
+    EXPECT_EQ(resolveIsa("avx512", false, false, &diag),
+              Isa::Portable);
+    EXPECT_FALSE(diag.empty());
+    diag.clear();
+    EXPECT_EQ(resolveIsa("avx2", false, true, &diag), Isa::Portable);
+    EXPECT_FALSE(diag.empty());
+    // An available request produces no diagnostic.
+    diag.clear();
+    EXPECT_EQ(resolveIsa("avx2", true, true, &diag), Isa::Avx2);
+    EXPECT_TRUE(diag.empty());
+}
+
+TEST(SimdDispatch, ResolveUnrecognizedFallsBackWithDiagnostic)
+{
+    std::string diag;
+    EXPECT_EQ(resolveIsa("sse9", true, true, &diag), Isa::Avx512);
+    EXPECT_NE(diag.find("sse9"), std::string::npos);
+    diag.clear();
+    EXPECT_EQ(resolveIsa("sse9", false, false, &diag), Isa::Portable);
+    EXPECT_FALSE(diag.empty());
+}
+
+TEST(SimdDispatch, PortableAlwaysRunnable)
+{
+    EXPECT_TRUE(isaCompiled(Isa::Portable));
+    EXPECT_TRUE(cpuSupports(Isa::Portable));
+    EXPECT_TRUE(isaRunnable(Isa::Portable));
+    auto isas = runnableIsas();
+    EXPECT_NE(std::find(isas.begin(), isas.end(), Isa::Portable),
+              isas.end());
+}
+
+TEST(SimdDispatch, TablesSelfIdentify)
+{
+    for (Isa isa : runnableIsas()) {
+        const VecOps &t = opsFor(isa);
+        EXPECT_EQ(t.isa, isa);
+        EXPECT_STREQ(t.name, isaName(isa));
+        // Every entry point must be populated.
+        EXPECT_NE(t.dot, nullptr);
+        EXPECT_NE(t.dot4, nullptr);
+        EXPECT_NE(t.axpy, nullptr);
+        EXPECT_NE(t.foldV4, nullptr);
+        EXPECT_NE(t.softmax, nullptr);
+        EXPECT_NE(t.matmulTransposedB, nullptr);
+        EXPECT_NE(t.dequantGroupI8, nullptr);
+        EXPECT_NE(t.dequantGroupI4, nullptr);
+    }
+}
+
+TEST(SimdDispatch, ActiveIsaIsRunnable)
+{
+    EXPECT_TRUE(isaRunnable(activeIsa()));
+    EXPECT_STREQ(activeIsaName(), isaName(activeIsa()));
+}
+
+TEST(SimdDispatch, ScopedIsaForcesAndRestores)
+{
+    Isa before = activeIsa();
+    for (Isa isa : runnableIsas()) {
+        ScopedIsa guard(isa);
+        EXPECT_EQ(activeIsa(), isa);
+        EXPECT_EQ(&ops(), &opsFor(isa));
+    }
+    EXPECT_EQ(activeIsa(), before);
+    // Nested guards restore in LIFO order.
+    {
+        ScopedIsa outer(Isa::Portable);
+        EXPECT_EQ(activeIsa(), Isa::Portable);
+        for (Isa isa : runnableIsas()) {
+            ScopedIsa inner(isa);
+            EXPECT_EQ(activeIsa(), isa);
+        }
+        EXPECT_EQ(activeIsa(), Isa::Portable);
+    }
+    EXPECT_EQ(activeIsa(), before);
+}
+
+} // namespace
+} // namespace simd
+} // namespace moelight
