@@ -8,6 +8,11 @@
  * convenience is shown last. (Stop tokens are exercised in
  * tests/runtime/test_serving.cc.)
  *
+ * The last section demos the fault-tolerant request lifecycle:
+ * cancellation, per-request deadlines, and an injected mid-flight
+ * fault that retires one request with FinishReason::Error while the
+ * engine keeps serving the rest (docs/error_model.md).
+ *
  *   $ ./quickstart
  */
 
@@ -17,6 +22,7 @@
 
 #include "common/rng.hh"
 #include "runtime/engine.hh"
+#include "runtime/fault_injection.hh"
 #include "runtime/reference_engine.hh"
 
 using namespace moelight;
@@ -73,9 +79,7 @@ main()
             total_tokens += out.tokens.size();
             std::cout << "round " << round << ": request " << out.id
                       << " finished ("
-                      << (out.finishReason == FinishReason::Length
-                              ? "length"
-                              : "stop")
+                      << finishReasonName(out.finishReason)
                       << ", " << out.tokens.size()
                       << " tokens, prefill " << out.prefillSeconds
                       << "s, decode " << out.decodeSeconds
@@ -135,5 +139,70 @@ main()
         batch_ok &= batch[s].tokens == batch_ref[s].tokens;
     std::cout << "legacy batch generate(): "
               << (batch_ok ? "PASS" : "FAIL") << "\n";
-    return ok && batch_ok ? 0 : 1;
+
+    // 7. Request lifecycle and fault tolerance. Three requests: one
+    //    is cancelled mid-generation, one carries a deadline that
+    //    expires, and one runs into an injected KV-allocation fault —
+    //    each retires with its own finish reason while a fourth,
+    //    plain request still completes and matches the reference.
+    std::cout << "\nfault-tolerant lifecycle demo:\n";
+    ServeRequest cancelMe, expireMe, faultMe, plain;
+    for (auto *r : {&cancelMe, &expireMe, &faultMe, &plain}) {
+        for (int t = 0; t < 6; ++t)
+            r->prompt.push_back(static_cast<int>(rng.uniformInt(
+                0, static_cast<std::int64_t>(cfg.vocab) - 1)));
+        r->maxNewTokens = 40;
+    }
+    cancelMe.id = 100;
+    expireMe.id = 101;
+    expireMe.deadlineMs = 0.01;  // expires before its first round
+    faultMe.id = 102;
+    plain.id = 103;
+    plain.maxNewTokens = 8;
+
+    engine.submit(cancelMe);
+    engine.submit(expireMe);
+    engine.submit(plain);
+    (void)engine.step();           // admit; one decode round
+    engine.cancel(cancelMe.id);    // partial tokens come back
+    // Arm a one-shot fault on the next KV page allocation (tests use
+    // the same injector via MOELIGHT_FAULT or ScopedFault).
+    FaultInjector::instance().armCount("kv.alloc", 1);
+    engine.submit(faultMe);
+    std::vector<RequestOutput> mixed = engine.drain();
+    FaultInjector::instance().disarmAll();
+
+    bool lifecycle_ok = mixed.size() == 4;
+    std::vector<int> plainSolo;
+    {
+        ReferenceEngine solo(weights);
+        solo.submit(plain);
+        plainSolo = solo.drain().at(0).tokens;
+    }
+    for (const RequestOutput &out : mixed) {
+        std::cout << "  request " << out.id << ": "
+                  << finishReasonName(out.finishReason) << ", "
+                  << out.tokens.size() << " tokens";
+        if (!out.errorMessage.empty())
+            std::cout << " — " << out.errorMessage;
+        std::cout << "\n";
+        if (out.id == cancelMe.id)
+            lifecycle_ok &=
+                out.finishReason == FinishReason::Cancelled;
+        if (out.id == expireMe.id)
+            lifecycle_ok &= out.finishReason == FinishReason::TimedOut;
+        if (out.id == faultMe.id)
+            lifecycle_ok &= out.finishReason == FinishReason::Error &&
+                            !out.errorMessage.empty();
+        if (out.id == plain.id)
+            lifecycle_ok &= out.finishReason == FinishReason::Length &&
+                            out.tokens == plainSolo;
+    }
+    lifecycle_ok &= engine.kvUsedPages() == 0;
+    std::cout << "  kv pages after drain: " << engine.kvUsedPages()
+              << "\nlifecycle check: "
+              << (lifecycle_ok ? "PASS — faults contained per request"
+                               : "FAIL")
+              << "\n";
+    return ok && batch_ok && lifecycle_ok ? 0 : 1;
 }

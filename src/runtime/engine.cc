@@ -55,6 +55,10 @@ EngineConfig::validate() const
     fatalIf(maxConcurrency == 0,
             "EngineConfig.maxConcurrency must be positive "
             "(concurrent sequence slots)");
+    fatalIf(headAgeLimit == 0,
+            "EngineConfig.headAgeLimit must be >= 1 (rounds the "
+            "admission-queue head may be passed over before younger "
+            "requests are held back / actives preempted for it)");
 }
 
 /** Per-round decode plumbing; buffers are reused across rounds. */
@@ -105,7 +109,8 @@ PipelinedEngine::PipelinedEngine(const ModelWeights &weights,
       // reserved-usage report must round identically.
       kvBudgetTokens_(std::max<std::size_t>(
           1, cfg.kvCapacityTokens / weights.cfg.l)),
-      batcher_(cfg.microBatch, kvBudgetTokens_, kvQuantum_)
+      batcher_(cfg.microBatch, kvBudgetTokens_, kvQuantum_,
+               cfg.headAgeLimit)
 {
     const ModelConfig &c = w_.cfg;
     fatalIf(c.l % store_.numSlots() != 0,
@@ -123,6 +128,7 @@ PipelinedEngine::PipelinedEngine(const ModelWeights &weights,
     scale_ = 1.0f / std::sqrt(static_cast<float>(c.headDim));
 
     slots_.resize(cfg_.maxConcurrency);
+    slotError_.resize(cfg_.maxConcurrency);
     freeSlots_.resize(cfg_.maxConcurrency);
     for (std::size_t i = 0; i < cfg_.maxConcurrency; ++i)
         freeSlots_[i] = cfg_.maxConcurrency - 1 - i;  // back = slot 0
@@ -169,7 +175,22 @@ PipelinedEngine::submit(ServeRequest req)
             ", rounded to ", kvQuantum_, "-token pages) but the "
             "engine's KV capacity is ", kvBudgetTokens_,
             " request tokens (kvCapacityTokens / layer count)");
+    servingStampSubmitted(req);
     batcher_.enqueue(std::move(req));
+}
+
+bool
+PipelinedEngine::cancel(std::int64_t id)
+{
+    bool found = batcher_.contains(id);
+    for (const auto &s : slots_)
+        found = found || (s && s->req.id == id);
+    // Found ids stay in flight until the next step() (the engine is
+    // single-threaded between steps), which retires them as
+    // Cancelled and releases their pages.
+    if (found)
+        cancelled_.insert(id);
+    return found;
 }
 
 std::size_t
@@ -225,10 +246,16 @@ PipelinedEngine::noteKvUsage()
 void
 PipelinedEngine::freeSlotKv(std::size_t slot)
 {
-    if (qkv_)
-        qkv_->freeSequence(slot);
-    else
-        kv_->freeSequence(slot);
+    // A request that faulted before its first append holds no KV
+    // state; freeing it anyway would (rightly) trip the caches'
+    // double-free detection.
+    if (qkv_) {
+        if (qkv_->sequenceLive(slot))
+            qkv_->freeSequence(slot);
+    } else {
+        if (kv_->sequenceLive(slot))
+            kv_->freeSequence(slot);
+    }
 }
 
 void
@@ -255,9 +282,28 @@ std::vector<RequestOutput>
 PipelinedEngine::step()
 {
     std::vector<RequestOutput> finished;
+    // Lifecycle first: cancellations and expired deadlines retire
+    // (and release pages) before admission, so freed capacity is
+    // available to this very round's admission decision.
+    processLifecycle(finished);
     admitPending(finished);
     decodeActive(finished);
     return finished;
+}
+
+void
+PipelinedEngine::noteSlotFault(std::size_t slot, const char *what)
+{
+    std::lock_guard<std::mutex> lk(faultMu_);
+    if (slotError_[slot].empty())
+        slotError_[slot] = what;
+}
+
+bool
+PipelinedEngine::slotFaulted(std::size_t slot) const
+{
+    std::lock_guard<std::mutex> lk(faultMu_);
+    return !slotError_[slot].empty();
 }
 
 void
@@ -267,8 +313,15 @@ PipelinedEngine::maybeRetire(std::size_t slot,
     ActiveSeq &a = *slots_[slot];
     if (!servingReachedEnd(a.req, a.tokens))
         return;
+    // The finish reason is judged against the (possibly resumed)
+    // request's own budget, but the reported tokens span the whole
+    // original request: pre-preemption tokens first.
     RequestOutput r = servingMakeOutput(
         a.req, std::move(a.tokens), a.prefillSeconds, a.decodeSeconds);
+    if (!a.saved.empty())
+        r.tokens.insert(r.tokens.begin(), a.saved.begin(),
+                        a.saved.end());
+    r.preemptions = a.preemptions;
     // Early retirement: the pages go back to the pool *now*, while
     // the co-batch keeps decoding, so a freed slot can take the next
     // queued request at the following round's admission.
@@ -282,6 +335,132 @@ PipelinedEngine::maybeRetire(std::size_t slot,
 }
 
 void
+PipelinedEngine::retireTerminal(std::size_t slot, FinishReason reason,
+                                std::string errorMessage,
+                                std::vector<RequestOutput> &finished)
+{
+    ActiveSeq &a = *slots_[slot];
+    std::vector<int> tokens = std::move(a.saved);
+    tokens.insert(tokens.end(), a.tokens.begin(), a.tokens.end());
+    RequestOutput r = servingMakeTerminalOutput(
+        a.req, std::move(tokens), reason, std::move(errorMessage),
+        a.prefillSeconds, a.decodeSeconds);
+    r.preemptions = a.preemptions;
+    freeSlotKv(slot);
+    slots_[slot].reset();
+    freeSlots_.insert(
+        std::lower_bound(freeSlots_.begin(), freeSlots_.end(), slot,
+                         std::greater<std::size_t>()),
+        slot);
+    {
+        std::lock_guard<std::mutex> lk(faultMu_);
+        slotError_[slot].clear();
+    }
+    finished.push_back(std::move(r));
+}
+
+void
+PipelinedEngine::processLifecycle(std::vector<RequestOutput> &finished)
+{
+    // Queued requests (including preempted ones awaiting
+    // re-admission): cancellation and deadlines must not wait for
+    // admission.
+    if (batcher_.pending() > 0) {
+        std::vector<ServeRequest> removed =
+            batcher_.removeIf([&](const ServeRequest &r) {
+                return cancelled_.count(r.id) != 0 ||
+                       servingDeadlineExpired(r);
+            });
+        for (ServeRequest &r : removed) {
+            FinishReason why = cancelled_.count(r.id)
+                                   ? FinishReason::Cancelled
+                                   : FinishReason::TimedOut;
+            cancelled_.erase(r.id);
+            ResumeState rs;
+            auto it = resume_.find(r.id);
+            if (it != resume_.end()) {
+                rs = std::move(it->second);
+                resume_.erase(it);
+            }
+            RequestOutput out = servingMakeTerminalOutput(
+                r, std::move(rs.saved), why, "", rs.prefillSeconds,
+                rs.decodeSeconds);
+            out.preemptions = rs.preemptions;
+            finished.push_back(std::move(out));
+        }
+    }
+    // Active sequences: retire and release pages immediately.
+    for (std::size_t slot = 0; slot < slots_.size(); ++slot) {
+        if (!slots_[slot])
+            continue;
+        const ServeRequest &req = slots_[slot]->req;
+        if (cancelled_.count(req.id)) {
+            cancelled_.erase(req.id);
+            retireTerminal(slot, FinishReason::Cancelled, "",
+                           finished);
+        } else if (servingDeadlineExpired(req)) {
+            retireTerminal(slot, FinishReason::TimedOut, "",
+                           finished);
+        }
+    }
+    // Anything left was stale by the time this round ran (the request
+    // had already finished); cancel() only admits known ids, so just
+    // drop the leftovers.
+    cancelled_.clear();
+}
+
+void
+PipelinedEngine::preemptYoungest()
+{
+    // Victim: the youngest admission (highest stamp) — it has the
+    // least decode progress to recompute.
+    std::size_t victim = slots_.size();
+    std::uint64_t best = 0;
+    for (std::size_t slot = 0; slot < slots_.size(); ++slot)
+        if (slots_[slot] &&
+            (victim == slots_.size() ||
+             slots_[slot]->admitStamp > best)) {
+            victim = slot;
+            best = slots_[slot]->admitStamp;
+        }
+    panicIf(victim == slots_.size(),
+            "preemption requested with no active sequences");
+
+    ActiveSeq &a = *slots_[victim];
+    ResumeState rs;
+    rs.saved = std::move(a.saved);
+    rs.saved.insert(rs.saved.end(), a.tokens.begin(), a.tokens.end());
+    rs.preemptions = a.preemptions + 1;
+    rs.prefillSeconds = a.prefillSeconds;
+    rs.decodeSeconds = a.decodeSeconds;
+
+    // Rebuild the request for prefill-recompute: the prompt absorbs
+    // every token generated so far and the budget shrinks by the same
+    // count, so total KV demand (and the admission accounting) is
+    // unchanged. Re-prefilling prompt+generated replays the exact
+    // per-position arithmetic of the interrupted decode — the prefill
+    // bootstrap then re-samples the next token from the same hidden
+    // state the decode round would have used, which is what makes the
+    // resumed token stream bit-identical to an uncontended run.
+    ServeRequest req = std::move(a.req);
+    req.prompt.insert(req.prompt.end(), a.tokens.begin(),
+                      a.tokens.end());
+    req.maxNewTokens -= static_cast<int>(a.tokens.size());
+    panicIf(req.maxNewTokens <= 0,
+            "preempting a request that should have retired");
+
+    freeSlotKv(victim);
+    slots_[victim].reset();
+    freeSlots_.insert(
+        std::lower_bound(freeSlots_.begin(), freeSlots_.end(), victim,
+                         std::greater<std::size_t>()),
+        victim);
+    resume_[req.id] = std::move(rs);
+    ++preemptions_;
+    batcher_.requeue(std::move(req));
+}
+
+void
 PipelinedEngine::admitPending(std::vector<RequestOutput> &finished)
 {
     if (batcher_.pending() == 0)
@@ -290,14 +469,26 @@ PipelinedEngine::admitPending(std::vector<RequestOutput> &finished)
         batcher_.admit(freeSlots_.size(), kvTokensInUse());
     if (admitted.empty()) {
         // The planner deferred everything. With sequences still
-        // generating that's back-pressure — retry next round. With
-        // the engine idle it would be starvation (a lone request
-        // bigger than the whole planner budget): force the oldest
-        // through and let the KV pool itself diagnose a true
-        // overflow.
-        if (activeRequests() > 0)
-            return;
-        admitted.push_back(batcher_.admitOne());
+        // generating that's usually back-pressure — retry next round.
+        // But once the queue head has aged past the limit, waiting on
+        // natural retirement alone can starve it indefinitely behind
+        // long-budget actives: preempt the youngest active sequences
+        // (graceful degradation — their work is recomputed, not
+        // lost) until the head fits. With the engine idle, deferral
+        // would be permanent starvation (a lone request bigger than
+        // the whole planner budget): force the oldest through and let
+        // the KV pool itself diagnose a true overflow.
+        while (admitted.empty() && batcher_.headAged() &&
+               activeRequests() > 0) {
+            preemptYoungest();
+            admitted =
+                batcher_.admit(freeSlots_.size(), kvTokensInUse());
+        }
+        if (admitted.empty()) {
+            if (activeRequests() > 0)
+                return;
+            admitted.push_back(batcher_.admitOne());
+        }
     }
     auto t0 = std::chrono::steady_clock::now();
     std::vector<std::size_t> fresh;
@@ -309,16 +500,48 @@ PipelinedEngine::admitPending(std::vector<RequestOutput> &finished)
         freeSlots_.pop_back();
         ActiveSeq a;
         a.req = std::move(req);
+        a.admitStamp = ++admitCounter_;
+        // A preempted request re-entering: restore what it had
+        // already produced and the wall time it had accumulated.
+        auto it = resume_.find(a.req.id);
+        if (it != resume_.end()) {
+            a.saved = std::move(it->second.saved);
+            a.preemptions = it->second.preemptions;
+            a.prefillSeconds = it->second.prefillSeconds;
+            a.decodeSeconds = it->second.decodeSeconds;
+            resume_.erase(it);
+        }
         slots_[slot].emplace(std::move(a));
         fresh.push_back(slot);
     }
-    prefillSlots(fresh);
-    exec_->sync();
+    // Round-scope fault capture: weight-stream or task-body faults
+    // surface at sync() via the executor's firstError_; they can only
+    // have corrupted this round's prefill state, so every fresh slot
+    // retires with Error while already-active sequences (untouched by
+    // prefill) continue.
+    std::string roundError;
+    try {
+        prefillSlots(fresh);
+        exec_->sync();
+    } catch (const std::exception &e) {
+        roundError = e.what();
+    }
     prefillHidden_.clear();
     double secs = servingSecondsSince(t0);
     noteKvUsage();
     for (std::size_t slot : fresh) {
-        slots_[slot]->prefillSeconds = secs;
+        std::string slotMsg;
+        {
+            std::lock_guard<std::mutex> lk(faultMu_);
+            slotMsg = slotError_[slot];
+        }
+        if (!slotMsg.empty() || !roundError.empty()) {
+            retireTerminal(slot, FinishReason::Error,
+                           slotMsg.empty() ? roundError : slotMsg,
+                           finished);
+            continue;
+        }
+        slots_[slot]->prefillSeconds += secs;
         maybeRetire(slot, finished);
     }
 }
@@ -414,8 +637,7 @@ PipelinedEngine::prefillSlots(const std::vector<std::size_t> &slots)
                 std::vector<float> &rl_all = pfRl_;
                 std::vector<float> &ffn_all = pfFfn_;
                 std::vector<TokenRouting> &routing = pfRouting_;
-                for (std::size_t a = 0; a < admitted.size(); ++a) {
-                    std::size_t slot = admitted[a];
+                auto runSeq = [&](std::size_t a, std::size_t slot) {
                     std::size_t len =
                         prefillHidden_[a].size() / h1_;
                     float *xs = prefillHidden_[a].data();
@@ -517,6 +739,24 @@ PipelinedEngine::prefillSlots(const std::vector<std::size_t> &slots)
                     for (std::size_t t = 0; t < len; ++t)
                         accumulate(xs + t * h1_,
                                    ffn_all.data() + t * h1_, h1_);
+                };
+                for (std::size_t a = 0; a < admitted.size(); ++a) {
+                    std::size_t slot = admitted[a];
+                    // Request-scope fault containment: a fault in
+                    // one sequence's prefill (KV append, kernel)
+                    // marks only that slot; co-admitted neighbours
+                    // are untouched because every per-sequence walk
+                    // is independent. A slot that faulted in an
+                    // earlier layer is skipped outright — its KV
+                    // stream is already short, and attention over it
+                    // would read garbage.
+                    if (slotFaulted(slot))
+                        continue;
+                    try {
+                        runSeq(a, slot);
+                    } catch (const FatalError &e) {
+                        noteSlotFault(slot, e.what());
+                    }
                 }
             });
     }
@@ -542,6 +782,11 @@ PipelinedEngine::prefillSlots(const std::vector<std::size_t> &slots)
                               bootLogits_.data(), n, h1_, vocab_,
                               attnPool_.get());
             for (std::size_t a = 0; a < n; ++a) {
+                // A faulted sequence's hidden state is garbage (its
+                // prefill was cut short); it retires with Error
+                // after sync, so don't sample a token for it.
+                if (slotFaulted(admitted[a]))
+                    continue;
                 int next = static_cast<int>(
                     argmax({bootLogits_.data() + a * vocab_,
                             vocab_}));
@@ -606,25 +851,59 @@ PipelinedEngine::decodeActive(std::vector<RequestOutput> &finished)
     st.cattn.assign(layers, std::vector<EventPtr>(st.numUbs));
 
     // Preload layers 0 and 1; the prior round (or the admission
-    // prefill) synced, so the weight slots are free.
+    // prefill) synced, so the weight slots are free. Readiness is the
+    // task's own completion event — the worker signals it on every
+    // path, error and injected-fault included, so a failed load can
+    // never leave dependents waiting (a hand-signaled event inside
+    // the body would: an exec.task fault kills the body before its
+    // first statement). The error itself surfaces at sync().
     for (std::size_t t = 0; t < std::min<std::size_t>(2, layers);
-         ++t) {
-        auto ready = std::make_shared<TaskEvent>();
-        exec_->submit(ResourceKind::HtoD, {}, [this, t, ready] {
-            store_.loadLayer(t, te_);
-            ready->signal();
-        });
-        st.weightsReady[t] = ready;
-    }
+         ++t)
+        st.weightsReady[t] = exec_->submit(
+            ResourceKind::HtoD, {},
+            [this, t] { store_.loadLayer(t, te_); });
 
-    runDecodeChains(st);
-    exec_->sync();
+    // Per-slot token counts before the round: a slot retired on a
+    // mid-round fault must not report the garbage token the round's
+    // sampler may still have pushed for it.
+    std::vector<std::size_t> tokBefore(slots_.size(), 0);
+    for (std::size_t slot : st.rowSlot)
+        tokBefore[slot] = slots_[slot]->tokens.size();
+
+    // Round-scope fault capture: weight-stream and task-body faults
+    // reach sync() via the executor's firstError_. Such a fault
+    // leaves this round's pipeline state (hidden buffers, weight
+    // slots) unreliable for every participant, so the whole round
+    // retires with Error; the engine itself stays serviceable (the
+    // next round preloads weights afresh). Per-slot KV faults caught
+    // inside the offload task stay request-scope.
+    std::string roundError;
+    try {
+        runDecodeChains(st);
+        exec_->sync();
+    } catch (const std::exception &e) {
+        roundError = e.what();
+    }
     double secs = servingSecondsSince(t0);
     noteKvUsage();
     for (std::size_t slot : st.rowSlot)
         slots_[slot]->decodeSeconds += secs;
-    for (std::size_t slot : st.rowSlot)
+    for (std::size_t slot : st.rowSlot) {
+        std::string slotMsg;
+        {
+            std::lock_guard<std::mutex> lk(faultMu_);
+            slotMsg = slotError_[slot];
+        }
+        if (!slotMsg.empty() || !roundError.empty()) {
+            ActiveSeq &a = *slots_[slot];
+            a.tokens.resize(tokBefore[slot]);
+            retireTerminal(slot, FinishReason::Error,
+                           slotMsg.empty() ? roundError : slotMsg,
+                           finished);
+            continue;
+        }
         maybeRetire(slot, finished);
+    }
 }
 
 void
@@ -692,14 +971,27 @@ PipelinedEngine::runDecodeChains(StepState &st)
                 for (std::size_t r = 0; r < n; ++r) {
                     std::size_t slot =
                         st.rowSlot[st.ubStart[j] + r];
+                    // Request-scope containment: a KV append failing
+                    // (pool exhausted, injected kv.alloc fault) dooms
+                    // only this sequence. Later layers skip the
+                    // faulted slot — its KV stream is already
+                    // inconsistent — and it retires with Error after
+                    // sync. PanicError (a bug, not a fault) still
+                    // escapes to the executor and aborts the round.
+                    if (slotFaulted(slot))
+                        continue;
                     const float *qkv =
                         st.qkvCpu[j].data() + r * qkvDim_;
-                    if (qkv_)
-                        qkv_->append(slot, i, qkv + qDim_,
-                                     qkv + qDim_ + kvDim_);
-                    else
-                        kv_->append(slot, i, qkv + qDim_,
-                                    qkv + qDim_ + kvDim_);
+                    try {
+                        if (qkv_)
+                            qkv_->append(slot, i, qkv + qDim_,
+                                         qkv + qDim_ + kvDim_);
+                        else
+                            kv_->append(slot, i, qkv + qDim_,
+                                        qkv + qDim_ + kvDim_);
+                    } catch (const FatalError &e) {
+                        noteSlotFault(slot, e.what());
+                    }
                 }
             });
 
@@ -771,11 +1063,13 @@ PipelinedEngine::runDecodeChains(StepState &st)
             std::size_t lo = pages * j / ubs;
             std::size_t hi = pages * (j + 1) / ubs;
             if (j == 0) {
-                // Fresh readiness event for the incoming layer; the
-                // slot it overwrites must have retired.
+                // Fresh readiness event for the incoming layer; it
+                // must exist NOW — the pump's lookahead can launch
+                // layer `target` chains (which depend on it) before
+                // the last chunk task below is submitted. The slot it
+                // overwrites must have retired.
                 st.weightsReady[target] = std::make_shared<TaskEvent>();
             }
-            EventPtr ready = st.weightsReady[target];
             std::vector<EventPtr> wdeps;
             std::size_t slot = target % store_.numSlots();
             // The slot-retired dependency belongs to the *first
@@ -787,15 +1081,24 @@ PipelinedEngine::runDecodeChains(StepState &st)
             // are ordered behind the first one by the HtoD FIFO.
             if (lo == 0 && hi > 0 && st.slotBusy[slot])
                 wdeps.push_back(st.slotBusy[slot]);
+            // The last chunk publishes layer readiness via the
+            // executor's alsoSignal guarantee (signaled on every
+            // path): the HtoD FIFO ensures the earlier chunks retired
+            // first, and a failed or fault-injected load surfaces at
+            // sync() instead of leaving dependents waiting forever —
+            // signaling from inside the task body would deadlock
+            // whenever the body dies before reaching the signal.
             bool last_chunk = j + 1 == ubs;
+            std::vector<EventPtr> publish;
+            if (last_chunk)
+                publish.push_back(st.weightsReady[target]);
             exec_->submit(
                 ResourceKind::HtoD, std::move(wdeps),
-                [this, target, lo, hi, last_chunk, ready] {
+                [this, target, lo, hi] {
                     for (std::size_t p = lo; p < hi; ++p)
                         store_.loadPage(target, p, te_);
-                    if (last_chunk)
-                        ready->signal();
-                });
+                },
+                std::move(publish));
         }
 
         // PostAttn(i, j): O projection + residual + router + MoE FFN;

@@ -27,8 +27,13 @@
 #ifndef MOELIGHT_RUNTIME_ENGINE_HH
 #define MOELIGHT_RUNTIME_ENGINE_HH
 
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/thread_pool.hh"
@@ -60,6 +65,13 @@ struct EngineConfig
      *  24-core MKL kernel); 0 = run attention on the CPU queue
      *  thread alone. */
     std::size_t cpuAttnThreads = 0;
+    /** Rounds the admission queue's head may be passed over before
+     *  younger requests are held back for it — and, with active
+     *  sequences pinning the KV pool, before the engine preempts the
+     *  youngest of them (recompute-on-resume) to unblock the head.
+     *  Lower = stronger FIFO fairness, more preemption recompute;
+     *  higher = more throughput-friendly reordering. Must be >= 1. */
+    std::size_t headAgeLimit = ContinuousBatcher::kHeadAgeLimit;
     /** Quantize KV pages as they close (int8/int4) and run decode
      *  attention through the fused quant kernel — the Fig. 4 lever
      *  that raises attention's operational intensity. nullopt (the
@@ -91,8 +103,14 @@ class PipelinedEngine : public Engine
     // Request-level serving API (Engine).
     void submit(ServeRequest req) override;
     std::vector<RequestOutput> step() override;
+    bool cancel(std::int64_t id) override;
     std::size_t pendingRequests() const override;
     std::size_t activeRequests() const override;
+
+    /** Times the engine preempted an active sequence under KV
+     *  pressure (freed its pages and requeued it for prefill
+     *  recompute) over the engine's life. */
+    std::size_t preemptions() const { return preemptions_; }
 
     /** Transfer byte counters since construction or the last
      *  generate() call (generate resets them). */
@@ -114,8 +132,26 @@ class PipelinedEngine : public Engine
     struct ActiveSeq
     {
         ServeRequest req;
-        std::vector<int> tokens;  ///< generated so far
+        std::vector<int> tokens;  ///< generated since (re)admission
+        /** Tokens generated before a preemption: the resumed req's
+         *  prompt carries them for KV recompute, but the output must
+         *  report them as generated (saved + tokens). */
+        std::vector<int> saved;
         int next = 0;             ///< token to embed next round
+        int preemptions = 0;      ///< times this request was preempted
+        /** Monotonic admission stamp; the preemption victim is the
+         *  slot with the highest one (youngest loses least work). */
+        std::uint64_t admitStamp = 0;
+        double prefillSeconds = 0.0;
+        double decodeSeconds = 0.0;
+    };
+
+    /** Carried-over state of a preempted request while it waits in
+     *  the batcher queue for re-admission, keyed by request id. */
+    struct ResumeState
+    {
+        std::vector<int> saved;
+        int preemptions = 0;
         double prefillSeconds = 0.0;
         double decodeSeconds = 0.0;
     };
@@ -129,6 +165,15 @@ class PipelinedEngine : public Engine
     void runDecodeChains(StepState &st);
     void maybeRetire(std::size_t slot,
                      std::vector<RequestOutput> &finished);
+    void processLifecycle(std::vector<RequestOutput> &finished);
+    void retireTerminal(std::size_t slot, FinishReason reason,
+                        std::string errorMessage,
+                        std::vector<RequestOutput> &finished);
+    void preemptYoungest();
+    /** Record a request-scope fault for @p slot (from any queue
+     *  thread); first message wins. */
+    void noteSlotFault(std::size_t slot, const char *what);
+    bool slotFaulted(std::size_t slot) const;
     void freeSlotKv(std::size_t slot);
     std::size_t kvContextLen(std::size_t slot) const;
     std::size_t kvTokensInUse() const;
@@ -161,6 +206,17 @@ class PipelinedEngine : public Engine
     std::vector<std::optional<ActiveSeq>> slots_;
     std::vector<std::size_t> freeSlots_;  ///< descending; back = min
     std::size_t kvPeakPages_ = 0;
+
+    // Request lifecycle / fault containment.
+    std::unordered_set<std::int64_t> cancelled_;  ///< ids to cancel
+    std::unordered_map<std::int64_t, ResumeState> resume_;
+    std::uint64_t admitCounter_ = 0;
+    std::size_t preemptions_ = 0;
+    /** Per-slot fault messages recorded by pipeline tasks mid-round
+     *  (empty = healthy); mutable under faultMu_ because the DtoH and
+     *  Gpu queue threads record concurrently. */
+    mutable std::mutex faultMu_;
+    std::vector<std::string> slotError_;
 
     // Persistent scratch (grow-only; see ensureAttnScratch).
     std::vector<float> gpuNormB_, gpuProjB_, gpuRlB_, gpuFfnB_;

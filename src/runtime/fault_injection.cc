@@ -1,0 +1,188 @@
+#include "runtime/fault_injection.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "runtime/status.hh"
+
+namespace moelight {
+
+namespace {
+
+/** splitmix64: tiny, seedable, and good enough for fault draws. */
+std::uint64_t
+nextRand(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+double
+unitUniform(std::uint64_t &state)
+{
+    return static_cast<double>(nextRand(state) >> 11) *
+           (1.0 / 9007199254740992.0);  // 53-bit mantissa
+}
+
+} // namespace
+
+FaultInjector &
+FaultInjector::instance()
+{
+    static FaultInjector fi;
+    static std::once_flag env_once;
+    std::call_once(env_once, [] { fi.loadEnv(); });
+    return fi;
+}
+
+void
+FaultInjector::loadEnv()
+{
+    const char *env = std::getenv("MOELIGHT_FAULT");
+    if (!env || !*env)
+        return;
+    // Entries separated by ';' or ','; each is site:spec[:s<seed>]
+    // where spec is a 1-based count, or p<rate> for rate mode.
+    std::string s(env);
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+        std::size_t end = s.find_first_of(";,", pos);
+        if (end == std::string::npos)
+            end = s.size();
+        std::string entry = s.substr(pos, end - pos);
+        pos = end + 1;
+        if (entry.empty())
+            continue;
+        std::size_t colon = entry.find(':');
+        fatalIf(colon == std::string::npos || colon == 0,
+                "MOELIGHT_FAULT entry '", entry,
+                "' is not site:count or site:p<rate>[:s<seed>]");
+        std::string site = entry.substr(0, colon);
+        std::string spec = entry.substr(colon + 1);
+        std::uint64_t seed = 1;
+        std::size_t seedSep = spec.find(':');
+        if (seedSep != std::string::npos) {
+            std::string st = spec.substr(seedSep + 1);
+            fatalIf(st.size() < 2 || st[0] != 's',
+                    "MOELIGHT_FAULT seed suffix '", st,
+                    "' must look like s<seed>");
+            seed = std::strtoull(st.c_str() + 1, nullptr, 10);
+            spec = spec.substr(0, seedSep);
+        }
+        fatalIf(spec.empty(), "MOELIGHT_FAULT entry '", entry,
+                "' has an empty spec");
+        if (spec[0] == 'p') {
+            double rate = std::strtod(spec.c_str() + 1, nullptr);
+            fatalIf(rate < 0.0 || rate > 1.0,
+                    "MOELIGHT_FAULT rate '", spec,
+                    "' out of [0, 1]");
+            armRate(site, rate, seed);
+        } else {
+            std::uint64_t nth =
+                std::strtoull(spec.c_str(), nullptr, 10);
+            fatalIf(nth == 0, "MOELIGHT_FAULT count '", spec,
+                    "' must be a positive integer");
+            armCount(site, nth);
+        }
+    }
+}
+
+void
+FaultInjector::armCount(const std::string &site, std::uint64_t nth)
+{
+    fatalIf(nth == 0, "fault count is 1-based; 0 never fires");
+    std::lock_guard<std::mutex> lk(mu_);
+    Site &st = sites_[site];
+    st.calls = 0;
+    st.nth = nth;
+    st.rateArmed = false;
+    recomputeEnabled();
+}
+
+void
+FaultInjector::armRate(const std::string &site, double rate,
+                       std::uint64_t seed)
+{
+    fatalIf(rate < 0.0 || rate > 1.0, "fault rate out of [0, 1]");
+    std::lock_guard<std::mutex> lk(mu_);
+    Site &st = sites_[site];
+    st.calls = 0;
+    st.nth = 0;
+    st.rateArmed = true;
+    st.rate = rate;
+    st.rngState = seed;
+    recomputeEnabled();
+}
+
+void
+FaultInjector::disarm(const std::string &site)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = sites_.find(site);
+    if (it != sites_.end()) {
+        it->second.nth = 0;
+        it->second.rateArmed = false;
+    }
+    recomputeEnabled();
+}
+
+void
+FaultInjector::disarmAll()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    sites_.clear();
+    enabled_.store(false, std::memory_order_relaxed);
+}
+
+std::uint64_t
+FaultInjector::hits(const std::string &site) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = sites_.find(site);
+    return it == sites_.end() ? 0 : it->second.hitCount;
+}
+
+void
+FaultInjector::recomputeEnabled()
+{
+    bool any = false;
+    for (const auto &kv : sites_)
+        any = any || kv.second.nth != 0 || kv.second.rateArmed;
+    enabled_.store(any, std::memory_order_relaxed);
+}
+
+void
+FaultInjector::checkSlow(const char *site)
+{
+    std::uint64_t call = 0;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        auto it = sites_.find(site);
+        if (it == sites_.end())
+            return;
+        Site &st = it->second;
+        if (st.nth == 0 && !st.rateArmed)
+            return;
+        call = ++st.calls;
+        bool fire = false;
+        if (st.nth != 0 && call == st.nth) {
+            fire = true;
+            st.nth = 0;  // one-shot
+            recomputeEnabled();
+        } else if (st.rateArmed && st.rate > 0.0 &&
+                   unitUniform(st.rngState) < st.rate) {
+            fire = true;
+        }
+        if (!fire)
+            return;
+        ++st.hitCount;
+    }
+    throw EngineError(ErrorCode::FaultInjected, site,
+                      "injected fault (check #" +
+                          std::to_string(call) + ")");
+}
+
+} // namespace moelight

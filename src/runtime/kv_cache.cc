@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "runtime/fault_injection.hh"
+#include "runtime/status.hh"
 
 namespace moelight {
 
@@ -45,6 +47,17 @@ KvCacheManager::append(std::size_t seq, std::size_t layer,
     SeqLayer &sl = at(seq, layer);
     std::size_t off = sl.len % pageTokens_;
     if (off == 0) {
+        FaultInjector::check("kv.alloc");
+        // Both the K and the V page must fit: checking up front keeps
+        // the failure all-or-nothing (no K page allocated that the
+        // matching V allocation then strands).
+        if (pool_.freePages() < 2)
+            throw EngineError(
+                ErrorCode::KvExhausted, "kv.alloc",
+                "KV pool out of pages appending token " +
+                    std::to_string(sl.len) + " of (seq " +
+                    std::to_string(seq) + ", layer " +
+                    std::to_string(layer) + ")");
         sl.kPages.push_back(pool_.allocate());
         sl.vPages.push_back(pool_.allocate());
     }
@@ -80,9 +93,32 @@ KvCacheManager::makeView(std::size_t seq, std::size_t layer,
     storage.view.headDim = cfg_.headDim;
 }
 
+bool
+KvCacheManager::sequenceLive(std::size_t seq) const
+{
+    if (seq >= numSeqs_)
+        return false;
+    for (std::size_t layer = 0; layer < cfg_.l; ++layer)
+        if (at(seq, layer).len != 0 ||
+            !at(seq, layer).kPages.empty())
+            return true;
+    return false;
+}
+
 void
 KvCacheManager::freeSequence(std::size_t seq)
 {
+    if (seq >= numSeqs_)
+        throw EngineError(ErrorCode::KvInvalidSequence, "kv.free",
+                          "freeSequence(" + std::to_string(seq) +
+                              ") with only " +
+                              std::to_string(numSeqs_) +
+                              " sequences");
+    if (!sequenceLive(seq))
+        throw EngineError(ErrorCode::KvDoubleFree, "kv.free",
+                          "freeSequence(" + std::to_string(seq) +
+                              ") holds no pages — double free or "
+                              "never-appended sequence");
     for (std::size_t layer = 0; layer < cfg_.l; ++layer) {
         SeqLayer &sl = at(seq, layer);
         for (PageId p : sl.kPages)

@@ -45,7 +45,10 @@ class KvCacheManager
                    std::size_t pageTokens, std::size_t capacityTokens);
 
     /** Append one token's K and V ([nkv * headDim] each) for
-     *  (@p seq, @p layer). */
+     *  (@p seq, @p layer). Throws EngineError(KvExhausted) when the
+     *  pool cannot hold another page — the typed fault the serving
+     *  engines contain at request scope. FaultInjector site:
+     *  "kv.alloc". */
     void append(std::size_t seq, std::size_t layer, const float *k,
                 const float *v);
 
@@ -57,8 +60,17 @@ class KvCacheManager
     void makeView(std::size_t seq, std::size_t layer,
                   KvViewStorage &storage) const;
 
-    /** Release all pages of @p seq (it finished generating). */
+    /** Release all pages of @p seq (it finished generating). Throws
+     *  EngineError(KvInvalidSequence) for an unknown sequence id and
+     *  EngineError(KvDoubleFree) when @p seq holds no state (already
+     *  freed, or never appended) — silently accepting either would
+     *  let an engine bug corrupt the free list unnoticed. */
     void freeSequence(std::size_t seq);
+
+    /** True when @p seq currently holds any KV state — the guard an
+     *  engine checks before freeSequence() for a request that may
+     *  have faulted before its first append. */
+    bool sequenceLive(std::size_t seq) const;
 
     /** Pool usage, in pages. */
     std::size_t usedPages() const { return pool_.usedPages(); }

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "runtime/fault_injection.hh"
+#include "runtime/status.hh"
 
 namespace moelight {
 
@@ -121,10 +123,25 @@ PagedWeightStore::loadPage(std::size_t layer, std::size_t pageIdx,
 {
     panicIf(layer >= weights_.layers.size(), "layer out of range");
     panicIf(pageIdx >= tensorCount_, "page index out of range");
+    FaultInjector::check("weights.load");
     const Tensor &src =
         cpuTensor(weights_.layers[layer], tensorNames_[pageIdx]);
     PageEntry &entry = table_[slotOf(layer)][pageIdx];
-    te.stageToGpu(src.data(), gpu_.page(entry.page), src.numel());
+    try {
+        te.stageToGpu(src.data(), gpu_.page(entry.page), src.numel());
+    } catch (const EngineError &) {
+        throw;
+    } catch (const FatalError &e) {
+        // Re-badge transfer failures (pinned-ring exhaustion and the
+        // like) as the typed weight-stream fault the engine contains
+        // at round scope, keeping the original diagnostic.
+        throw EngineError(ErrorCode::WeightStreamFailed,
+                          "weights.load",
+                          std::string("staging layer ") +
+                              std::to_string(layer) + " page " +
+                              std::to_string(pageIdx) + ": " +
+                              e.what());
+    }
     entry.residentLayer = static_cast<int>(layer);
 }
 

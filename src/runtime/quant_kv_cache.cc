@@ -1,6 +1,8 @@
 #include "runtime/quant_kv_cache.hh"
 
 #include "common/logging.hh"
+#include "runtime/fault_injection.hh"
+#include "runtime/status.hh"
 
 namespace moelight {
 
@@ -46,10 +48,19 @@ QuantizedKvCache::append(std::size_t seq, std::size_t layer,
                          const float *k, const float *v)
 {
     Stream &s = at(seq, layer);
+    FaultInjector::check("kv.alloc");
+    // Capacity is checked BEFORE any mutation so a rejected append
+    // leaves the counters consistent — the previous
+    // increment-then-check order left totalTokens_ one high after the
+    // throw, corrupting every later admission decision.
+    if (capacityTokens_ != 0 && totalTokens_ + 1 > capacityTokens_)
+        throw EngineError(ErrorCode::KvExhausted, "kv.alloc",
+                          "quantized KV cache out of capacity (" +
+                              std::to_string(capacityTokens_) +
+                              " tokens) appending to (seq " +
+                              std::to_string(seq) + ", layer " +
+                              std::to_string(layer) + ")");
     ++totalTokens_;
-    fatalIf(capacityTokens_ != 0 && totalTokens_ > capacityTokens_,
-            "quantized KV cache out of capacity (", capacityTokens_,
-            " tokens)");
     s.openK.insert(s.openK.end(), k, k + tokenFloats_);
     s.openV.insert(s.openV.end(), v, v + tokenFloats_);
     ++s.len;
@@ -129,10 +140,31 @@ QuantizedKvCache::makeView(std::size_t seq, std::size_t layer,
     storage.view.headDim = cfg_.headDim;
 }
 
+bool
+QuantizedKvCache::sequenceLive(std::size_t seq) const
+{
+    if (seq >= numSeqs_)
+        return false;
+    for (std::size_t layer = 0; layer < cfg_.l; ++layer)
+        if (at(seq, layer).len != 0)
+            return true;
+    return false;
+}
+
 void
 QuantizedKvCache::freeSequence(std::size_t seq)
 {
-    panicIf(seq >= numSeqs_, "quantized KV sequence out of range");
+    if (seq >= numSeqs_)
+        throw EngineError(ErrorCode::KvInvalidSequence, "kv.free",
+                          "freeSequence(" + std::to_string(seq) +
+                              ") with only " +
+                              std::to_string(numSeqs_) +
+                              " sequences");
+    if (!sequenceLive(seq))
+        throw EngineError(ErrorCode::KvDoubleFree, "kv.free",
+                          "freeSequence(" + std::to_string(seq) +
+                              ") holds no tokens — double free or "
+                              "never-appended sequence");
     for (std::size_t layer = 0; layer < cfg_.l; ++layer) {
         Stream &s = at(seq, layer);
         panicIf(totalTokens_ < s.len,

@@ -47,7 +47,10 @@ class QuantizedKvCache
                      std::size_t pageTokens, QuantKind kind,
                      std::size_t capacityTokens = 0);
 
-    /** Append one token's K and V ([nkv*headDim] floats each). */
+    /** Append one token's K and V ([nkv*headDim] floats each).
+     *  Throws EngineError(KvExhausted) — before any mutation, so a
+     *  rejected append leaves the accounting consistent — when the
+     *  token budget is exceeded. FaultInjector site: "kv.alloc". */
     void append(std::size_t seq, std::size_t layer, const float *k,
                 const float *v);
 
@@ -75,8 +78,14 @@ class QuantizedKvCache
 
     /** Release every stream of @p seq (it finished generating): the
      *  serving path's early-retirement hook. Closed and open pages
-     *  are dropped and the capacity budget refunded immediately. */
+     *  are dropped and the capacity budget refunded immediately.
+     *  Throws EngineError(KvInvalidSequence) for an unknown id and
+     *  EngineError(KvDoubleFree) when @p seq holds no tokens. */
     void freeSequence(std::size_t seq);
+
+    /** True when @p seq currently holds any tokens (see
+     *  KvCacheManager::sequenceLive). */
+    bool sequenceLive(std::size_t seq) const;
 
     /** Pages currently held (closed quantized K+V pages plus open
      *  float partials) — the quant analogue of

@@ -71,7 +71,21 @@ void
 ReferenceEngine::submit(ServeRequest req)
 {
     servingValidateRequest(req, w_.cfg.vocab);
+    servingStampSubmitted(req);
     pending_.push_back(std::move(req));
+}
+
+bool
+ReferenceEngine::cancel(std::int64_t id)
+{
+    bool found = false;
+    for (const ServeRequest &r : pending_)
+        found = found || r.id == id;
+    for (const ActiveRequest &a : active_)
+        found = found || a.req.id == id;
+    if (found)
+        cancelled_.insert(id);
+    return found;
 }
 
 std::size_t
@@ -111,26 +125,80 @@ ReferenceEngine::retireFinished(std::vector<RequestOutput> &out)
     active_ = std::move(still);
 }
 
+void
+ReferenceEngine::processLifecycle(std::vector<RequestOutput> &out)
+{
+    // Queued requests: cancelled or expired ones retire without ever
+    // running (no tokens, no KV).
+    std::deque<ServeRequest> keptPending;
+    for (ServeRequest &r : pending_) {
+        if (cancelled_.count(r.id)) {
+            out.push_back(servingMakeTerminalOutput(
+                r, {}, FinishReason::Cancelled, {}, 0.0, 0.0));
+        } else if (servingDeadlineExpired(r)) {
+            out.push_back(servingMakeTerminalOutput(
+                r, {}, FinishReason::TimedOut, {}, 0.0, 0.0));
+        } else {
+            keptPending.push_back(std::move(r));
+        }
+    }
+    pending_ = std::move(keptPending);
+
+    // Active requests: retire with their partial tokens and release
+    // KV immediately.
+    std::vector<ActiveRequest> keptActive;
+    keptActive.reserve(active_.size());
+    for (ActiveRequest &a : active_) {
+        FinishReason reason = FinishReason::Length;
+        if (cancelled_.count(a.req.id))
+            reason = FinishReason::Cancelled;
+        else if (servingDeadlineExpired(a.req))
+            reason = FinishReason::TimedOut;
+        else {
+            keptActive.push_back(std::move(a));
+            continue;
+        }
+        out.push_back(servingMakeTerminalOutput(
+            a.req, std::move(a.tokens), reason, {},
+            a.prefillSeconds, a.decodeSeconds));
+        freeSeq(a.seq);
+    }
+    active_ = std::move(keptActive);
+    cancelled_.clear();
+}
+
 std::vector<RequestOutput>
 ReferenceEngine::step()
 {
     std::vector<RequestOutput> finished;
+    processLifecycle(finished);
 
     // Admission: the oracle has no pipeline width or KV pool to
     // respect — every pending request is admitted and prefilled
     // immediately, which is exactly what makes it the per-request
     // oracle for any admission schedule the pipelined engine picks.
+    // A prefill fault (e.g. injected KV-allocation failure in quant
+    // mode) retires only that request with FinishReason::Error; the
+    // rest of the queue still admits.
     while (!pending_.empty()) {
         ActiveRequest a;
         a.req = std::move(pending_.front());
         pending_.pop_front();
         a.seq = allocSeq();
         auto t0 = std::chrono::steady_clock::now();
-        for (int tok : a.req.prompt)
-            a.hidden = forwardToken(a.seq, tok);
-        std::vector<float> logits = logitsOf(a.hidden);
-        a.tokens.push_back(static_cast<int>(
-            argmax({logits.data(), logits.size()})));
+        try {
+            for (int tok : a.req.prompt)
+                a.hidden = forwardToken(a.seq, tok);
+            std::vector<float> logits = logitsOf(a.hidden);
+            a.tokens.push_back(static_cast<int>(
+                argmax({logits.data(), logits.size()})));
+        } catch (const FatalError &e) {
+            freeSeq(a.seq);
+            finished.push_back(servingMakeTerminalOutput(
+                a.req, {}, FinishReason::Error, e.what(),
+                servingSecondsSince(t0), 0.0));
+            continue;
+        }
         a.prefillSeconds = servingSecondsSince(t0);
         active_.push_back(std::move(a));
     }
@@ -141,14 +209,28 @@ ReferenceEngine::step()
     // One decode round: each active request advances by one token.
     // The last sampled token is fed back through the stack, then the
     // next one is sampled — the same order generate() always used, so
-    // a request's KV stream never includes its final token.
+    // a request's KV stream never includes its final token. A decode
+    // fault retires only the faulted request (its KV freed on the
+    // spot); co-active requests keep generating unaffected.
     auto t0 = std::chrono::steady_clock::now();
+    std::vector<ActiveRequest> still;
+    still.reserve(active_.size());
     for (ActiveRequest &a : active_) {
-        a.hidden = forwardToken(a.seq, a.tokens.back());
-        std::vector<float> logits = logitsOf(a.hidden);
-        a.tokens.push_back(static_cast<int>(
-            argmax({logits.data(), logits.size()})));
+        try {
+            a.hidden = forwardToken(a.seq, a.tokens.back());
+            std::vector<float> logits = logitsOf(a.hidden);
+            a.tokens.push_back(static_cast<int>(
+                argmax({logits.data(), logits.size()})));
+        } catch (const FatalError &e) {
+            freeSeq(a.seq);
+            finished.push_back(servingMakeTerminalOutput(
+                a.req, std::move(a.tokens), FinishReason::Error,
+                e.what(), a.prefillSeconds, a.decodeSeconds));
+            continue;
+        }
+        still.push_back(std::move(a));
     }
+    active_ = std::move(still);
     double secs = servingSecondsSince(t0);
     for (ActiveRequest &a : active_)
         a.decodeSeconds += secs;

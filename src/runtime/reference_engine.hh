@@ -15,9 +15,11 @@
 #ifndef MOELIGHT_RUNTIME_REFERENCE_ENGINE_HH
 #define MOELIGHT_RUNTIME_REFERENCE_ENGINE_HH
 
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <optional>
+#include <unordered_set>
 #include <vector>
 
 #include "runtime/quant_kv_cache.hh"
@@ -48,6 +50,7 @@ class ReferenceEngine : public Engine
     // Request-level serving API (Engine).
     void submit(ServeRequest req) override;
     std::vector<RequestOutput> step() override;
+    bool cancel(std::int64_t id) override;
     std::size_t pendingRequests() const override;
     std::size_t activeRequests() const override;
 
@@ -95,6 +98,9 @@ class ReferenceEngine : public Engine
     void freeSeq(std::size_t seq);
     bool reachedEnd(const ActiveRequest &a) const;
     void retireFinished(std::vector<RequestOutput> &out);
+    /** Retire cancelled and deadline-expired requests — queued or
+     *  active — with terminal outputs, before any compute runs. */
+    void processLifecycle(std::vector<RequestOutput> &out);
 
     const ModelWeights &w_;
     std::optional<QuantKind> kvQuant_;
@@ -103,6 +109,7 @@ class ReferenceEngine : public Engine
     std::vector<std::size_t> freeSeqs_;
     std::deque<ServeRequest> pending_;
     std::vector<ActiveRequest> active_;
+    std::unordered_set<std::int64_t> cancelled_;  ///< ids to cancel
 };
 
 } // namespace moelight

@@ -51,13 +51,18 @@ Engine::generate(const std::vector<std::vector<int>> &prompts,
 
 ContinuousBatcher::ContinuousBatcher(std::size_t microBatch,
                                      std::size_t kvBudgetTokens,
-                                     std::size_t pageQuantum)
+                                     std::size_t pageQuantum,
+                                     std::size_t headAgeLimit)
     : microBatch_(microBatch),
       kvBudgetTokens_(kvBudgetTokens),
-      pageQuantum_(pageQuantum)
+      pageQuantum_(pageQuantum),
+      headAgeLimit_(headAgeLimit)
 {
     fatalIf(microBatch_ == 0, "micro-batch must be positive");
     fatalIf(pageQuantum_ == 0, "page quantum must be positive");
+    fatalIf(headAgeLimit_ == 0,
+            "head age limit must be >= 1 (rounds the queue head may "
+            "be passed over)");
 }
 
 std::size_t
@@ -96,12 +101,12 @@ ContinuousBatcher::admit(std::size_t freeSlots,
                    : 0);
     std::size_t per_partition = free_budget / n_ub;
 
-    // Aged head of line: after kHeadAgeLimit passed-over rounds,
+    // Aged head of line: after headAgeLimit passed-over rounds,
     // stop admitting younger requests and wait for capacity to drain
     // to the oldest one. Active sequences only retire from here on,
     // so free_budget grows monotonically until the head fits — or
     // the engine idles and force-admits it via admitOne().
-    if (headDeferrals_ >= kHeadAgeLimit) {
+    if (headDeferrals_ >= headAgeLimit_) {
         std::vector<ServeRequest> only;
         if (kvDemand(queue_.front()) <= free_budget) {
             headDeferrals_ = 0;
@@ -169,6 +174,45 @@ ContinuousBatcher::admit(std::size_t freeSlots,
         rest.push_back(std::move(queue_[i]));
     queue_ = std::move(rest);
     return admitted;
+}
+
+void
+ContinuousBatcher::requeue(ServeRequest req)
+{
+    if (queue_.empty())
+        queue_.push_front(std::move(req));
+    else
+        queue_.insert(queue_.begin() + 1, std::move(req));
+}
+
+std::vector<ServeRequest>
+ContinuousBatcher::removeIf(
+    const std::function<bool(const ServeRequest &)> &pred)
+{
+    std::vector<ServeRequest> removed;
+    std::deque<ServeRequest> kept;
+    bool headRemoved = !queue_.empty() && pred(queue_.front());
+    for (ServeRequest &r : queue_) {
+        if (pred(r))
+            removed.push_back(std::move(r));
+        else
+            kept.push_back(std::move(r));
+    }
+    queue_ = std::move(kept);
+    // The head's accumulated age belonged to the removed request; the
+    // new head starts earning its own.
+    if (headRemoved)
+        headDeferrals_ = 0;
+    return removed;
+}
+
+bool
+ContinuousBatcher::contains(std::int64_t id) const
+{
+    for (const ServeRequest &r : queue_)
+        if (r.id == id)
+            return true;
+    return false;
 }
 
 ServeRequest

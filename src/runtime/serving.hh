@@ -26,6 +26,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "common/logging.hh"
@@ -45,21 +47,55 @@ struct ServeRequest
     /** Optional: finish early (FinishReason::Stop) when any of these
      *  tokens is sampled. The stop token is included in the output. */
     std::vector<int> stopTokens;
+    /** Optional wall-clock deadline in milliseconds, measured from
+     *  submit(); 0 = none. An expired request — queued or mid-
+     *  generation — retires with FinishReason::TimedOut at the next
+     *  step(), its pages released immediately. */
+    double deadlineMs = 0.0;
+    /** Stamped by Engine::submit(); the deadline epoch. Callers may
+     *  pre-stamp it (e.g. when requeueing a preempted request) —
+     *  submit() only stamps when unset. */
+    std::chrono::steady_clock::time_point submittedAt{};
 };
 
 /** Why a request finished. */
 enum class FinishReason
 {
-    Length,  ///< generated maxNewTokens tokens
-    Stop,    ///< sampled one of the request's stop tokens
+    Length,     ///< generated maxNewTokens tokens
+    Stop,       ///< sampled one of the request's stop tokens
+    Cancelled,  ///< Engine::cancel(id) before completion
+    TimedOut,   ///< deadlineMs expired before completion
+    Error,      ///< a runtime fault retired this request (see
+                ///< RequestOutput::errorMessage)
 };
+
+/** Stable display name for a finish reason. */
+inline const char *
+finishReasonName(FinishReason r)
+{
+    switch (r) {
+      case FinishReason::Length:    return "length";
+      case FinishReason::Stop:      return "stop";
+      case FinishReason::Cancelled: return "cancelled";
+      case FinishReason::TimedOut:  return "timed_out";
+      case FinishReason::Error:     return "error";
+    }
+    return "unknown";
+}
 
 /** Completed request, returned by Engine::step() / drain(). */
 struct RequestOutput
 {
     std::int64_t id = 0;
-    std::vector<int> tokens;  ///< generated token ids (greedy)
+    std::vector<int> tokens;  ///< generated token ids (greedy);
+                              ///< partial for non-Length/Stop reasons
     FinishReason finishReason = FinishReason::Length;
+    /** Diagnostic for FinishReason::Error (empty otherwise). */
+    std::string errorMessage;
+    /** Times this request was preempted under KV pressure and
+     *  recomputed; its tokens are unaffected (bit-identical to an
+     *  uncontended run). */
+    int preemptions = 0;
     /** Wall seconds of the prefill round that admitted this request
      *  (shared by every request admitted in the same round). */
     double prefillSeconds = 0.0;
@@ -129,6 +165,23 @@ servingSecondsSince(std::chrono::steady_clock::time_point t0)
         .count();
 }
 
+/** Stamp submittedAt if the caller didn't (the deadline epoch). */
+inline void
+servingStampSubmitted(ServeRequest &req)
+{
+    if (req.submittedAt == std::chrono::steady_clock::time_point{})
+        req.submittedAt = std::chrono::steady_clock::now();
+}
+
+/** True when @p req carries a deadline and it has passed. */
+inline bool
+servingDeadlineExpired(const ServeRequest &req)
+{
+    return req.deadlineMs > 0.0 &&
+           servingSecondsSince(req.submittedAt) * 1000.0 >
+               req.deadlineMs;
+}
+
 /** Build the RequestOutput for a finished request — one place for
  *  both engines, so a new output field cannot be wired into one
  *  retirement path and forgotten in the other. */
@@ -140,6 +193,26 @@ servingMakeOutput(const ServeRequest &req, std::vector<int> &&tokens,
     r.id = req.id;
     r.finishReason = servingFinishReason(req, tokens);
     r.tokens = std::move(tokens);
+    r.prefillSeconds = prefillSeconds;
+    r.decodeSeconds = decodeSeconds;
+    return r;
+}
+
+/** Build the RequestOutput for a request retired on a terminal
+ *  lifecycle event (Cancelled / TimedOut / Error) with whatever
+ *  tokens it had generated so far — the single construction point
+ *  for both engines, like servingMakeOutput for natural finishes. */
+inline RequestOutput
+servingMakeTerminalOutput(const ServeRequest &req,
+                          std::vector<int> &&tokens,
+                          FinishReason reason, std::string errorMessage,
+                          double prefillSeconds, double decodeSeconds)
+{
+    RequestOutput r;
+    r.id = req.id;
+    r.finishReason = reason;
+    r.tokens = std::move(tokens);
+    r.errorMessage = std::move(errorMessage);
     r.prefillSeconds = prefillSeconds;
     r.decodeSeconds = decodeSeconds;
     return r;
@@ -183,6 +256,16 @@ class Engine
 
     /** One serving round; returns requests that finished in it. */
     virtual std::vector<RequestOutput> step() = 0;
+
+    /**
+     * Request cancellation of the in-flight request @p id (queued or
+     * generating). Returns true when the id was found; its
+     * RequestOutput (FinishReason::Cancelled, partial tokens) is
+     * returned by the next step(), which also releases its KV pages.
+     * False when the id is unknown or already finished. Like the rest
+     * of the API, call from the driving thread.
+     */
+    virtual bool cancel(std::int64_t id) = 0;
 
     /** Requests submitted but not yet admitted. */
     virtual std::size_t pendingRequests() const = 0;
@@ -235,10 +318,15 @@ class ContinuousBatcher
      *                       multiple of it, matching a page-granular
      *                       pool where a 1-token sequence still pins
      *                       whole pages. 1 = exact token accounting.
+     * @param headAgeLimit   Rounds the queue head may be passed over
+     *                       before younger requests are held back on
+     *                       its behalf (and the engine may preempt
+     *                       active sequences for it); must be >= 1.
      */
     ContinuousBatcher(std::size_t microBatch,
                       std::size_t kvBudgetTokens,
-                      std::size_t pageQuantum = 1);
+                      std::size_t pageQuantum = 1,
+                      std::size_t headAgeLimit = kHeadAgeLimit);
 
     /** Enqueue in arrival order. */
     void enqueue(ServeRequest req);
@@ -274,8 +362,33 @@ class ContinuousBatcher
         return queue_.size();
     }
 
-    /** Rounds the queue head may be passed over before younger
-     *  requests are held back on its behalf. */
+    /** True when the queue head has been passed over headAgeLimit
+     *  rounds — the engine's trigger for KV-pressure preemption:
+     *  waiting for natural retirement alone would starve the head
+     *  behind long-running active sequences. */
+    bool
+    headAged() const
+    {
+        return !queue_.empty() && headDeferrals_ >= headAgeLimit_;
+    }
+
+    /** Requeue a preempted request just behind the current head (at
+     *  the front when the queue is empty). It keeps priority over
+     *  later arrivals — it already earned admission once — but does
+     *  not displace the aged head whose starvation triggered the
+     *  preemption, which would livelock the two. */
+    void requeue(ServeRequest req);
+
+    /** Remove every queued request matching @p pred (in order) and
+     *  return them — the cancellation/deadline hook. Resets the
+     *  head's age when the head itself is removed. */
+    std::vector<ServeRequest>
+    removeIf(const std::function<bool(const ServeRequest &)> &pred);
+
+    /** True when a queued request has id @p id. */
+    bool contains(std::int64_t id) const;
+
+    /** Default for headAgeLimit (EngineConfig::headAgeLimit). */
     static constexpr std::size_t kHeadAgeLimit = 8;
 
   private:
@@ -284,6 +397,7 @@ class ContinuousBatcher
     std::size_t microBatch_;
     std::size_t kvBudgetTokens_;
     std::size_t pageQuantum_;
+    std::size_t headAgeLimit_;
     std::size_t headDeferrals_ = 0;
     std::deque<ServeRequest> queue_;
 };

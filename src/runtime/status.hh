@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Typed runtime error contract for the serving stack. Faults that a
+ * serving engine can attribute to one request (or one serving round)
+ * and survive — KV pool exhaustion mid-append, a weight-page transfer
+ * failing, an executor task body throwing, an injected fault — are
+ * raised as EngineError, which carries a machine-readable ErrorCode
+ * and the fault site name (the FaultInjector's addressing scheme, see
+ * docs/error_model.md). EngineError derives from FatalError so legacy
+ * call sites that treat these as unrecoverable configuration faults
+ * keep working; the engines catch EngineError/FatalError at request
+ * scope and retire only the affected request(s) with
+ * FinishReason::Error. PanicError (internal invariant violations)
+ * deliberately stays outside this hierarchy: a bug should crash the
+ * test, not be laundered into a request error.
+ */
+
+#ifndef MOELIGHT_RUNTIME_STATUS_HH
+#define MOELIGHT_RUNTIME_STATUS_HH
+
+#include <string>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace moelight {
+
+/** Machine-readable classification of a recoverable runtime fault. */
+enum class ErrorCode
+{
+    KvExhausted,         ///< KV pool/budget ran out mid-append
+    KvInvalidSequence,   ///< freeSequence() of an unknown sequence id
+    KvDoubleFree,        ///< freeSequence() of an already-freed sequence
+    WeightStreamFailed,  ///< weight-page staging/transfer failed
+    ExecutorTaskFailed,  ///< a stream-executor task body failed
+    FaultInjected,       ///< deterministic FaultInjector trip
+};
+
+/** Stable name for logs and error messages. */
+inline const char *
+errorCodeName(ErrorCode c)
+{
+    switch (c) {
+      case ErrorCode::KvExhausted:        return "KvExhausted";
+      case ErrorCode::KvInvalidSequence:  return "KvInvalidSequence";
+      case ErrorCode::KvDoubleFree:       return "KvDoubleFree";
+      case ErrorCode::WeightStreamFailed: return "WeightStreamFailed";
+      case ErrorCode::ExecutorTaskFailed: return "ExecutorTaskFailed";
+      case ErrorCode::FaultInjected:      return "FaultInjected";
+    }
+    return "UnknownError";
+}
+
+/**
+ * A recoverable, attributable runtime fault. @p site uses the
+ * FaultInjector naming scheme ("kv.alloc", "weights.load",
+ * "exec.task") so an error message always says *where* in the
+ * pipeline the fault originated, whether it was injected or real.
+ */
+class EngineError : public FatalError
+{
+  public:
+    EngineError(ErrorCode code, std::string site,
+                const std::string &msg)
+        : FatalError("[" + std::string(errorCodeName(code)) + " @ " +
+                     site + "] " + msg),
+          code_(code),
+          site_(std::move(site))
+    {
+    }
+
+    ErrorCode code() const { return code_; }
+    const std::string &site() const { return site_; }
+
+  private:
+    ErrorCode code_;
+    std::string site_;
+};
+
+} // namespace moelight
+
+#endif // MOELIGHT_RUNTIME_STATUS_HH

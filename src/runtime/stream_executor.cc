@@ -1,6 +1,7 @@
 #include "runtime/stream_executor.hh"
 
 #include "common/logging.hh"
+#include "runtime/fault_injection.hh"
 
 namespace moelight {
 
@@ -53,14 +54,16 @@ StreamExecutor::~StreamExecutor()
 
 EventPtr
 StreamExecutor::submit(ResourceKind kind, std::vector<EventPtr> deps,
-                       std::function<void()> fn)
+                       std::function<void()> fn,
+                       std::vector<EventPtr> alsoSignal)
 {
     Queue &q = *queues_[static_cast<std::size_t>(kind)];
     auto done = std::make_shared<TaskEvent>();
     {
         std::lock_guard<std::mutex> lk(q.mu);
         fatalIf(q.stopping, "submit to a stopping executor");
-        q.tasks.push_back({std::move(deps), std::move(fn), done});
+        q.tasks.push_back({std::move(deps), std::move(fn), done,
+                           std::move(alsoSignal)});
     }
     q.cv.notify_all();
     return done;
@@ -85,6 +88,11 @@ StreamExecutor::workerLoop(Queue &q)
         for (auto &d : task.deps)
             d->wait();
         try {
+            // Injection site "exec.task": models a task body dying
+            // for any reason (OOM, kernel fault). Inside the try so
+            // the trip flows through the same firstError_ capture a
+            // real task exception takes.
+            FaultInjector::check("exec.task");
             task.fn();
         } catch (...) {
             std::lock_guard<std::mutex> lk(errMu_);
@@ -92,8 +100,11 @@ StreamExecutor::workerLoop(Queue &q)
                 firstError_ = std::current_exception();
         }
         // Signal even on error so dependents don't deadlock; the
-        // error surfaces at sync().
+        // error surfaces at sync(). Caller-owned readiness events
+        // ride the same guarantee.
         task.done->signal();
+        for (auto &ev : task.alsoSignal)
+            ev->signal();
         {
             std::lock_guard<std::mutex> lk(q.mu);
             q.idle = q.tasks.empty();

@@ -63,9 +63,19 @@ class StreamExecutor
     /**
      * Enqueue @p fn on queue @p q after @p deps. Returns the task's
      * completion event.
+     *
+     * @p alsoSignal: extra caller-owned events the worker signals
+     * right after the task's own completion event, on EVERY path —
+     * success, thrown exception, injected fault. This is the only
+     * safe way to publish a shared readiness event from a task:
+     * signaling from inside @p fn deadlocks dependents whenever the
+     * body dies before reaching the signal (task faults are injected
+     * before the body even starts). The failure itself still
+     * surfaces at sync().
      */
     EventPtr submit(ResourceKind q, std::vector<EventPtr> deps,
-                    std::function<void()> fn);
+                    std::function<void()> fn,
+                    std::vector<EventPtr> alsoSignal = {});
 
     /** Wait until every queue is empty and idle; rethrows the first
      *  task exception, if any. */
@@ -77,6 +87,7 @@ class StreamExecutor
         std::vector<EventPtr> deps;
         std::function<void()> fn;
         EventPtr done;
+        std::vector<EventPtr> alsoSignal;
     };
 
     struct Queue

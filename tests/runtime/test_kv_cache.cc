@@ -5,6 +5,7 @@
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "runtime/kv_cache.hh"
+#include "runtime/status.hh"
 
 namespace moelight {
 namespace {
@@ -101,6 +102,55 @@ TEST(KvCache, OutOfRangePanics)
     std::vector<float> k(16), v(16);
     EXPECT_THROW(kv.append(1, 0, k.data(), v.data()), PanicError);
     EXPECT_THROW(kv.append(0, 9, k.data(), v.data()), PanicError);
+}
+
+TEST(KvCache, ExhaustionIsTypedAndLeavesStateConsistent)
+{
+    KvCacheManager kv(cfg(), 1, 2, 4);  // tiny pool
+    std::vector<float> k(16), v(16);
+    try {
+        for (int t = 0; t < 64; ++t)
+            kv.append(0, 0, k.data(), v.data());
+        FAIL() << "pool should have run dry";
+    } catch (const EngineError &e) {
+        EXPECT_EQ(e.code(), ErrorCode::KvExhausted);
+        EXPECT_EQ(e.site(), "kv.alloc");
+    }
+    // All-or-nothing: the failed append left no half-written token,
+    // so the sequence still frees cleanly.
+    std::size_t len = kv.contextLen(0, 0);
+    kv.freeSequence(0);
+    EXPECT_EQ(kv.usedPages(), 0u);
+    EXPECT_GT(len, 0u);
+}
+
+TEST(KvCache, FreeSequenceErrorsAreTyped)
+{
+    KvCacheManager kv(cfg(), 2, 2, 64);
+    std::vector<float> k(16), v(16);
+    kv.append(0, 0, k.data(), v.data());
+
+    // Unknown sequence index.
+    try {
+        kv.freeSequence(7);
+        FAIL() << "out-of-range seq should throw";
+    } catch (const EngineError &e) {
+        EXPECT_EQ(e.code(), ErrorCode::KvInvalidSequence);
+        EXPECT_EQ(e.site(), "kv.free");
+    }
+
+    // Double free.
+    kv.freeSequence(0);
+    EXPECT_EQ(kv.usedPages(), 0u);
+    try {
+        kv.freeSequence(0);
+        FAIL() << "second free should throw";
+    } catch (const EngineError &e) {
+        EXPECT_EQ(e.code(), ErrorCode::KvDoubleFree);
+        EXPECT_EQ(e.site(), "kv.free");
+    }
+    // Freeing a never-used sequence is a double free too.
+    EXPECT_THROW(kv.freeSequence(1), EngineError);
 }
 
 } // namespace

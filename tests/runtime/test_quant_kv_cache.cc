@@ -6,6 +6,7 @@
 #include "common/rng.hh"
 #include "runtime/kv_cache.hh"
 #include "runtime/quant_kv_cache.hh"
+#include "runtime/status.hh"
 
 namespace moelight {
 namespace {
@@ -207,6 +208,55 @@ TEST(QuantKvCache, OutOfRangePanics)
     std::vector<float> k(16), v(16);
     EXPECT_THROW(kv.append(1, 0, k.data(), v.data()), PanicError);
     EXPECT_THROW(kv.append(0, 4, k.data(), v.data()), PanicError);
+}
+
+TEST(QuantKvCache, ExhaustionIsTypedAndLeavesCounterConsistent)
+{
+    QuantizedKvCache kv(cfg(), 1, 4, QuantKind::Int8, 5);
+    std::vector<float> k(16, 0.5f), v(16, 0.5f);
+    for (int t = 0; t < 5; ++t)
+        kv.append(0, t % 2, k.data(), v.data());
+    try {
+        kv.append(0, 0, k.data(), v.data());
+        FAIL() << "over budget";
+    } catch (const EngineError &e) {
+        EXPECT_EQ(e.code(), ErrorCode::KvExhausted);
+        EXPECT_EQ(e.site(), "kv.alloc");
+    }
+    // The capacity check runs before any mutation, so the rejected
+    // append did not bump the token counter: freeing the sequence
+    // returns the cache to exactly empty and the next append at the
+    // budget boundary still succeeds.
+    kv.freeSequence(0);
+    EXPECT_EQ(kv.usedTokens(), 0u);
+    for (int t = 0; t < 5; ++t)
+        kv.append(0, 0, k.data(), v.data());
+    EXPECT_EQ(kv.usedTokens(), 5u);
+}
+
+TEST(QuantKvCache, FreeSequenceErrorsAreTyped)
+{
+    QuantizedKvCache kv(cfg(), 2, 4, QuantKind::Int4);
+    std::vector<float> k(16, 0.25f), v(16, 0.25f);
+    kv.append(0, 0, k.data(), v.data());
+
+    try {
+        kv.freeSequence(9);
+        FAIL() << "out-of-range seq should throw";
+    } catch (const EngineError &e) {
+        EXPECT_EQ(e.code(), ErrorCode::KvInvalidSequence);
+        EXPECT_EQ(e.site(), "kv.free");
+    }
+
+    kv.freeSequence(0);
+    try {
+        kv.freeSequence(0);
+        FAIL() << "second free should throw";
+    } catch (const EngineError &e) {
+        EXPECT_EQ(e.code(), ErrorCode::KvDoubleFree);
+        EXPECT_EQ(e.site(), "kv.free");
+    }
+    EXPECT_THROW(kv.freeSequence(1), EngineError);
 }
 
 } // namespace

@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <string>
 #include <vector>
 
 #include "common/logging.hh"
+#include "runtime/fault_injection.hh"
+#include "runtime/status.hh"
 #include "runtime/stream_executor.hh"
 
 namespace moelight {
@@ -95,6 +98,119 @@ TEST(StreamExecutor, EventReadyNonBlocking)
     gate->signal();
     ev->wait();
     EXPECT_TRUE(ev->ready());
+}
+
+TEST(StreamExecutor, FirstOfSeveralErrorsWins)
+{
+    StreamExecutor ex;
+    // Same queue, so the failure order is the FIFO order: sync()
+    // must report the first task's error, not the latest.
+    auto first = ex.submit(ResourceKind::Cpu, {}, [] { fatal("first"); });
+    ex.submit(ResourceKind::Cpu, {first}, [] { fatal("second"); });
+    try {
+        ex.sync();
+        FAIL() << "sync should rethrow";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("first"),
+                  std::string::npos);
+    }
+    EXPECT_NO_THROW(ex.sync());  // cleared
+}
+
+TEST(StreamExecutor, ErrorOnOneQueueSurfacesAtSharedSync)
+{
+    StreamExecutor ex;
+    std::atomic<int> ok{0};
+    ex.submit(ResourceKind::DtoH, {}, [] { fatal("dtoh died"); });
+    for (int i = 0; i < 8; ++i)
+        ex.submit(ResourceKind::Gpu, {}, [&] { ++ok; });
+    try {
+        ex.sync();
+        FAIL() << "sync should rethrow the DtoH failure";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("dtoh died"),
+                  std::string::npos);
+    }
+    // Healthy tasks on the other queues still ran to completion.
+    EXPECT_EQ(ok.load(), 8);
+}
+
+TEST(StreamExecutor, InjectedTaskFaultFlowsThroughSync)
+{
+    StreamExecutor ex;
+    std::atomic<int> ran{0};
+    {
+        // Third executor task dies via the exec.task site — the same
+        // capture path a real task exception takes.
+        ScopedFault fault("exec.task", 3);
+        for (int i = 0; i < 6; ++i)
+            ex.submit(ResourceKind::Gpu, {}, [&] { ++ran; });
+        try {
+            ex.sync();
+            FAIL() << "injected fault should surface at sync";
+        } catch (const EngineError &e) {
+            EXPECT_EQ(e.code(), ErrorCode::FaultInjected);
+            EXPECT_EQ(e.site(), "exec.task");
+        }
+        EXPECT_EQ(fault.hits(), 1u);
+    }
+    // The faulted task's body never ran; the other five did (sync's
+    // own fence tasks also pass the check site, but the injector had
+    // already disarmed).
+    EXPECT_EQ(ran.load(), 5);
+    std::atomic<bool> again{false};
+    ex.submit(ResourceKind::Cpu, {}, [&] { again = true; });
+    EXPECT_NO_THROW(ex.sync());
+    EXPECT_TRUE(again.load());
+}
+
+TEST(StreamExecutor, AlsoSignalFiresOnSuccessAndError)
+{
+    // The engine shares TaskEvents between producer and consumer
+    // tasks (weight readiness). Publishing them from inside the task
+    // body is unsafe — a body that dies before its signal (any
+    // throw, or an exec.task fault injected before the body starts)
+    // would leave dependents waiting forever. The alsoSignal
+    // parameter is the executor-backed alternative: signaled by the
+    // worker on every path, error included, while the error itself
+    // still reaches sync().
+    StreamExecutor ex;
+    auto okReady = std::make_shared<TaskEvent>();
+    ex.submit(ResourceKind::HtoD, {}, [] {}, {okReady});
+    okReady->wait();
+
+    auto badReady = std::make_shared<TaskEvent>();
+    ex.submit(ResourceKind::HtoD, {}, [] { fatal("load failed"); },
+              {badReady});
+    std::atomic<bool> ran{false};
+    auto dep =
+        ex.submit(ResourceKind::Gpu, {badReady}, [&] { ran = true; });
+    dep->wait();  // must not deadlock
+    EXPECT_TRUE(ran.load());
+    EXPECT_THROW(ex.sync(), FatalError);
+}
+
+TEST(StreamExecutor, AlsoSignalFiresWhenTaskBodyNeverRuns)
+{
+    // An injected exec.task fault kills the task before its first
+    // statement — the hard case that makes in-body signaling a
+    // deadlock. alsoSignal must still fire.
+    StreamExecutor ex;
+    auto ready = std::make_shared<TaskEvent>();
+    std::atomic<bool> bodyRan{false};
+    {
+        ScopedFault fault("exec.task", 1);
+        ex.submit(ResourceKind::HtoD, {}, [&] { bodyRan = true; },
+                  {ready});
+        std::atomic<bool> depRan{false};
+        auto dep = ex.submit(ResourceKind::Gpu, {ready},
+                             [&] { depRan = true; });
+        dep->wait();  // must not deadlock
+        EXPECT_TRUE(depRan.load());
+        EXPECT_FALSE(bodyRan.load());
+        EXPECT_THROW(ex.sync(), EngineError);
+        EXPECT_EQ(fault.hits(), 1u);
+    }
 }
 
 TEST(StreamExecutor, ManyTasksDrainOnDestruction)
