@@ -164,8 +164,8 @@ namespace {
  * Returns the total token count stored in the pages.
  */
 std::size_t
-checkQuantPages(std::span<const QuantizedBuffer> kPages,
-                std::span<const QuantizedBuffer> vPages,
+checkQuantPages(std::span<const QuantizedBuffer *const> kPages,
+                std::span<const QuantizedBuffer *const> vPages,
                 std::size_t pageTokens, std::size_t nKv,
                 std::size_t headDim)
 {
@@ -174,17 +174,19 @@ checkQuantPages(std::span<const QuantizedBuffer> kPages,
     std::size_t row_floats = nKv * headDim;
     std::size_t tokens = 0;
     for (std::size_t p = 0; p < kPages.size(); ++p) {
-        panicIf(kPages[p].size() != vPages[p].size(),
+        panicIf(kPages[p] == nullptr || vPages[p] == nullptr,
+                "null quantized KV page");
+        panicIf(kPages[p]->size() != vPages[p]->size(),
                 "mismatched quantized K/V page sizes");
-        panicIf(kPages[p].size() % row_floats != 0,
+        panicIf(kPages[p]->size() % row_floats != 0,
                 "quantized KV page must hold whole tokens");
-        std::size_t page_tokens = kPages[p].size() / row_floats;
+        std::size_t page_tokens = kPages[p]->size() / row_floats;
         panicIf(page_tokens == 0 || page_tokens > pageTokens,
                 "quantized KV page has wrong geometry");
         panicIf(p + 1 < kPages.size() && page_tokens != pageTokens,
                 "only the tail quantized KV page may be partial");
-        panicIf(headDim % kPages[p].groupSize() != 0 ||
-                    headDim % vPages[p].groupSize() != 0,
+        panicIf(headDim % kPages[p]->groupSize() != 0 ||
+                    headDim % vPages[p]->groupSize() != 0,
                 "quant group size must divide headDim");
         tokens += page_tokens;
     }
@@ -228,15 +230,16 @@ gqaDecodeAttentionQuantFused(const float *q, std::size_t nQ,
     // float open page in place. The stash is reused per page, so the
     // core's V carry stash preserves a straddling block's pending
     // rows across refills.
-    auto quant_runs = [&](std::span<const QuantizedBuffer> pages,
+    auto quant_runs = [&](std::span<const QuantizedBuffer *const>
+                              pages,
                           const float *open, float *stash,
                           std::size_t kvh) {
         return [&kv, pages, open, stash, kvh, hd,
                 row_floats](auto &&emit) {
-            for (const QuantizedBuffer &p : pages) {
-                std::size_t run = p.size() / row_floats;
-                p.dequantizeRows(kvh * hd, row_floats, run, hd,
-                                 stash);
+            for (const QuantizedBuffer *p : pages) {
+                std::size_t run = p->size() / row_floats;
+                p->dequantizeRows(kvh * hd, row_floats, run, hd,
+                                  stash);
                 emit(stash, hd, run);
             }
             if (kv.openTokens > 0)
@@ -337,11 +340,11 @@ gqaPrefillAttentionQuantFused(const float *q, const float *k,
         // position, O(seq) redundant passes over the same bytes.
         std::size_t t = 0;
         for (std::size_t p = 0; p < kv.kPages.size(); ++p) {
-            std::size_t run = kv.kPages[p].size() / row_floats;
-            kv.kPages[p].dequantizeRows(kvh * hd, row_floats, run, hd,
-                                        kstash + t * hd);
-            kv.vPages[p].dequantizeRows(kvh * hd, row_floats, run, hd,
-                                        vstash + t * hd);
+            std::size_t run = kv.kPages[p]->size() / row_floats;
+            kv.kPages[p]->dequantizeRows(kvh * hd, row_floats, run,
+                                         hd, kstash + t * hd);
+            kv.vPages[p]->dequantizeRows(kvh * hd, row_floats, run,
+                                         hd, vstash + t * hd);
             t += run;
         }
 
@@ -426,8 +429,8 @@ gqaPrefillAttentionQuantFused(const float *q, const float *k,
 
 void
 gqaDecodeAttentionQuant(const float *q, std::size_t nQ,
-                        std::span<const QuantizedBuffer> kPages,
-                        std::span<const QuantizedBuffer> vPages,
+                        std::span<const QuantizedBuffer *const> kPages,
+                        std::span<const QuantizedBuffer *const> vPages,
                         std::size_t pageTokens, std::size_t contextLen,
                         std::size_t nKv, std::size_t headDim,
                         float *out, float scale)
@@ -444,9 +447,9 @@ gqaDecodeAttentionQuant(const float *q, std::size_t nQ,
     std::vector<const float *> kp(kPages.size()), vp(vPages.size());
     std::size_t off = 0;
     for (std::size_t p = 0; p < kPages.size(); ++p) {
-        std::size_t page_floats = kPages[p].size();
-        kPages[p].dequantize({kbuf.data() + off, page_floats});
-        vPages[p].dequantize({vbuf.data() + off, page_floats});
+        std::size_t page_floats = kPages[p]->size();
+        kPages[p]->dequantize({kbuf.data() + off, page_floats});
+        vPages[p]->dequantize({vbuf.data() + off, page_floats});
         kp[p] = kbuf.data() + off;
         vp[p] = vbuf.data() + off;
         off += page_floats;

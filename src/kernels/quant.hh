@@ -105,14 +105,17 @@ class QuantizedBuffer
  * except possibly the last, plus an optional trailing float "open"
  * page for tokens appended since the last page closed — exactly the
  * steady state QuantizedKvCache holds, referenced without copying.
+ * Pages are referenced by pointer (like KvView's float pages) because
+ * a sequence sharing a cached prefix holds scattered, not contiguous,
+ * buffers.
  */
 struct QuantKvView
 {
     /** Closed quantized K pages; all hold pageTokens tokens except
      *  possibly the last (partial tail). */
-    std::span<const QuantizedBuffer> kPages;
+    std::span<const QuantizedBuffer *const> kPages;
     /** Closed quantized V pages, same geometry as kPages. */
-    std::span<const QuantizedBuffer> vPages;
+    std::span<const QuantizedBuffer *const> vPages;
     /** Optional float tail page, [openTokens, nKv, headDim]; null
      *  when openTokens == 0. */
     const float *openK = nullptr;
@@ -303,13 +306,12 @@ QuantKvView quantPrefillWalkView(const QuantKvView &kv,
  * @param out      [nQ, headDim] output.
  * @param scale    logit scale.
  */
-void gqaDecodeAttentionQuant(const float *q, std::size_t nQ,
-                             std::span<const QuantizedBuffer> kPages,
-                             std::span<const QuantizedBuffer> vPages,
-                             std::size_t pageTokens,
-                             std::size_t contextLen, std::size_t nKv,
-                             std::size_t headDim, float *out,
-                             float scale);
+void gqaDecodeAttentionQuant(
+    const float *q, std::size_t nQ,
+    std::span<const QuantizedBuffer *const> kPages,
+    std::span<const QuantizedBuffer *const> vPages,
+    std::size_t pageTokens, std::size_t contextLen, std::size_t nKv,
+    std::size_t headDim, float *out, float scale);
 
 } // namespace moelight
 

@@ -142,6 +142,26 @@ PipelinedEngine::PipelinedEngine(const ModelWeights &weights,
             c, cfg_.maxConcurrency, cfg_.kvPageTokens,
             cfg_.kvCapacityTokens);
 
+    if (cfg_.prefixCache) {
+        PageTable &table =
+            qkv_ ? qkv_->pageTable() : kv_->pageTable();
+        // Stats report float-equivalent bytes: K+V rows for one token
+        // across every layer.
+        prefix_ = std::make_unique<PrefixCache>(
+            table, c.l * 2 * kvDim_ * sizeof(float));
+        // Under pool pressure an append first evicts LRU unreferenced
+        // cached pages; only when nothing is evictable does it throw
+        // KvExhausted.
+        table.setReclaimHook([this] { return prefix_->evictOne(); });
+        // Admission budgets only the novel tail of a cached prompt
+        // (the shared pages are budgeted once, globally, via
+        // pinnedTokens in kvTokensInUse()).
+        batcher_.setDemandOracle([this](const ServeRequest &r) {
+            return servingKvDemandNet(r, prefix_->peekMatch(r.prompt),
+                                      kvQuantum_);
+        });
+    }
+
     std::size_t mb = cfg_.microBatch;
     gpuNormB_.assign(mb * h1_, 0.0f);
     gpuProjB_.assign(mb * h1_, 0.0f);
@@ -230,11 +250,32 @@ PipelinedEngine::kvTokensInUse() const
     // later appends would overflow the pool mid-flight, killing
     // every in-flight request. Early (stop-token) retirement just
     // hands reserved capacity back sooner.
+    //
+    // With the prefix cache on, each slot reserves only its private
+    // (novel-tail) demand and the shared cached pages are charged
+    // once, globally: pinnedTokens counts every prefix page exactly
+    // once however many sequences attach to it. Together they bound
+    // physical residency — private streams never outgrow their net
+    // reservation, so sum(net) + pinned covers the pool. Counting the
+    // pinned-but-unreferenced pages too is deliberately conservative:
+    // admission defers instead of relying on eviction, and the
+    // reclaim hook frees them if an append does hit the wall.
     std::size_t reserved = 0;
     for (const auto &s : slots_)
         if (s)
-            reserved += servingKvDemand(s->req, kvQuantum_);
+            reserved += s->reservedTokens;
+    if (prefix_) {
+        const PageTable &t =
+            qkv_ ? qkv_->pageTable() : kv_->pageTable();
+        reserved += t.pinnedTokens() / w_.cfg.l;
+    }
     return reserved;
+}
+
+std::size_t
+PipelinedEngine::kvCachedPages() const
+{
+    return qkv_ ? qkv_->cachedPages() : kv_->cachedPages();
 }
 
 void
@@ -512,6 +553,16 @@ PipelinedEngine::admitPending(std::vector<RequestOutput> &finished)
             resume_.erase(it);
         }
         slots_[slot].emplace(std::move(a));
+        ActiveSeq &as = *slots_[slot];
+        // Prefix-cache hit: attach the cached pages read-only (one
+        // refcount bump per page per layer) so prefill starts at the
+        // matched position. The reservation freezes the private
+        // (novel-tail) demand now — a preempted or retired sharer
+        // later releases exactly this, never the shared pages.
+        if (prefix_)
+            as.prefixLen = prefix_->attach(slot, as.req.prompt);
+        as.reservedTokens =
+            servingKvDemandNet(as.req, as.prefixLen, kvQuantum_);
         fresh.push_back(slot);
     }
     // Round-scope fault capture: weight-stream or task-body faults
@@ -542,6 +593,11 @@ PipelinedEngine::admitPending(std::vector<RequestOutput> &finished)
             continue;
         }
         slots_[slot]->prefillSeconds += secs;
+        // Cache the prompt's closed pages (pin; idempotent for pages
+        // already in the tree) before maybeRetire can free the slot —
+        // pinned pages survive their inserting sequence.
+        if (prefix_)
+            prefix_->insert(slot, slots_[slot]->req.prompt);
         maybeRetire(slot, finished);
     }
 }
@@ -552,20 +608,28 @@ PipelinedEngine::prefillSlots(const std::vector<std::size_t> &slots)
     const ModelConfig &cfg = w_.cfg;
     std::size_t n = slots.size();
 
-    // Initialize per-sequence hidden states with embeddings.
+    // Initialize per-sequence hidden states with embeddings — only
+    // the novel tail beyond any attached prefix: the cached pages
+    // already hold those positions' K/V, and no later position's
+    // output depends on a prefix position's hidden state except
+    // through them. The tail is never empty (the prefix cache matches
+    // at most prompt-1 tokens), so the bootstrap below always has the
+    // last prompt position's hidden state to sample from.
     prefillHidden_.assign(n, {});
     std::size_t max_prompt = 0;
     for (std::size_t a = 0; a < n; ++a) {
-        const std::vector<int> &prompt =
-            slots_[slots[a]]->req.prompt;
-        std::size_t len = prompt.size();
-        max_prompt = std::max(max_prompt, len);
-        prefillHidden_[a].resize(len * h1_);
-        for (std::size_t t = 0; t < len; ++t)
+        const ActiveSeq &as = *slots_[slots[a]];
+        const std::vector<int> &prompt = as.req.prompt;
+        // Scratch must still cover the full context: attention at
+        // tail position p spans prefix + p + 1 positions.
+        max_prompt = std::max(max_prompt, prompt.size());
+        std::size_t tail = prompt.size() - as.prefixLen;
+        prefillHidden_[a].resize(tail * h1_);
+        for (std::size_t t = 0; t < tail; ++t)
             std::memcpy(
                 prefillHidden_[a].data() + t * h1_,
-                w_.embedding.row(
-                    static_cast<std::size_t>(prompt[t])),
+                w_.embedding.row(static_cast<std::size_t>(
+                    prompt[as.prefixLen + t])),
                 h1_ * sizeof(float));
     }
     ensureAttnScratch(max_prompt + 1);
@@ -638,8 +702,12 @@ PipelinedEngine::prefillSlots(const std::vector<std::size_t> &slots)
                 std::vector<float> &ffn_all = pfFfn_;
                 std::vector<TokenRouting> &routing = pfRouting_;
                 auto runSeq = [&](std::size_t a, std::size_t slot) {
+                    // len counts only the novel tail; an attached
+                    // prefix (prefixLen > 0) already sits in the KV
+                    // cache, so this walk starts mid-context.
                     std::size_t len =
                         prefillHidden_[a].size() / h1_;
+                    std::size_t prefix = slots_[slot]->prefixLen;
                     float *xs = prefillHidden_[a].data();
                     norm_all.resize(len * h1_);
                     q_all.resize(len * qDim_);
@@ -665,7 +733,7 @@ PipelinedEngine::prefillSlots(const std::vector<std::size_t> &slots)
                                       store_.tensor(li, "wv"),
                                       v_all.data(), len, h1_,
                                       kvDim_, pool);
-                    if (qkv_) {
+                    if (qkv_ && prefix == 0) {
                         // Append the whole prompt, then run the fused
                         // causal prefill kernel once: each closed
                         // page dequantizes once per KV head instead
@@ -686,6 +754,25 @@ PipelinedEngine::prefillSlots(const std::vector<std::size_t> &slots)
                             len, c.nq, qkv_->makeQuantView(slot, li),
                             attn_all.data(), scale_,
                             cpuPrefillScratch_, pool);
+                    } else if (qkv_) {
+                        // Prefix hit: the fused prefill kernel's walk
+                        // assumes it replays the cache from empty, so
+                        // a mid-context prefill runs the per-token
+                        // fused decode walk instead — append one
+                        // position, attend over the grown view. This
+                        // is the exact walk the fused kernel is
+                        // bit-identical to, just starting at
+                        // `prefix`, so hot tokens match cold ones.
+                        for (std::size_t t = 0; t < len; ++t) {
+                            qkv_->append(slot, li,
+                                         k_all.data() + t * kvDim_,
+                                         v_all.data() + t * kvDim_);
+                            gqaDecodeAttentionQuantFused(
+                                q_all.data() + t * qDim_, c.nq,
+                                qkv_->makeQuantView(slot, li),
+                                attn_all.data() + t * qDim_,
+                                scale_, cpuAttnScratch_);
+                        }
                     } else {
                         for (std::size_t t = 0; t < len; ++t) {
                             kv_->append(slot, li,

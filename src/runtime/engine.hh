@@ -41,6 +41,7 @@
 #include "kernels/router.hh"  // TokenRouting (prefill scratch)
 #include "runtime/kv_cache.hh"
 #include "runtime/paged_weights.hh"
+#include "runtime/prefix_cache.hh"
 #include "runtime/quant_kv_cache.hh"
 #include "runtime/serving.hh"
 #include "runtime/stream_executor.hh"
@@ -80,6 +81,16 @@ struct EngineConfig
      *  ReferenceEngine constructed with the same kvQuant and
      *  kvPageTokens. */
     std::optional<QuantKind> kvQuant{};
+    /** Share closed KV pages across requests with a common prompt
+     *  prefix (radix-tree prefix cache over the page table): a hit
+     *  attaches the cached pages read-only and prefills only the
+     *  novel tail, admission budgets only that tail, and refcount-0
+     *  cached pages are LRU-evicted under pool pressure. Greedy
+     *  tokens stay bit-identical to a cold cache (and to
+     *  ReferenceEngine) — the cached pages hold exactly the floats
+     *  (or deterministically quantized pages) a cold prefill would
+     *  recompute. */
+    bool prefixCache = false;
 
     /** Fatal with a field-by-field diagnosis on an unusable config
      *  (zero micro-batch, zero-token KV pages, ...); called by the
@@ -124,6 +135,18 @@ class PipelinedEngine : public Engine
     /** High-water mark of kvUsedPages() over the engine's life. */
     std::size_t kvPeakPages() const { return kvPeakPages_; }
 
+    /** Resident pages held only by the prefix cache (pinned, no live
+     *  sequence): reusable capacity, evicted under pressure. 0 with
+     *  the prefix cache off. */
+    std::size_t kvCachedPages() const;
+
+    /** Prefix-cache effectiveness counters over the engine's life
+     *  (all zero when cfg.prefixCache is off). */
+    PrefixCacheStats prefixCacheStats() const
+    {
+        return prefix_ ? prefix_->stats() : PrefixCacheStats{};
+    }
+
   protected:
     void resetBatchStats() override { te_.resetStats(); }
 
@@ -144,6 +167,14 @@ class PipelinedEngine : public Engine
         std::uint64_t admitStamp = 0;
         double prefillSeconds = 0.0;
         double decodeSeconds = 0.0;
+        /** Prompt tokens attached from the prefix cache at admission
+         *  (0 = cold): prefill starts at this position. */
+        std::size_t prefixLen = 0;
+        /** This request's private KV reservation (net of the shared
+         *  prefix) — what kvTokensInUse() reports per slot, frozen at
+         *  admission so later cache eviction can't skew the
+         *  accounting. */
+        std::size_t reservedTokens = 0;
     };
 
     /** Carried-over state of a preempted request while it waits in
@@ -188,6 +219,9 @@ class PipelinedEngine : public Engine
     std::unique_ptr<ThreadPool> attnPool_;
     std::unique_ptr<KvCacheManager> kv_;
     std::unique_ptr<QuantizedKvCache> qkv_;  ///< when cfg_.kvQuant
+    /** Prefix tree over the active cache's page table (when
+     *  cfg_.prefixCache); declared after the caches it borrows. */
+    std::unique_ptr<PrefixCache> prefix_;
     /** KV allocation granularity for admission accounting (page size
      *  in float mode, 1 in quant mode). Declared before batcher_ so
      *  the batcher is constructed from the same value. */

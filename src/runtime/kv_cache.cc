@@ -3,8 +3,6 @@
 #include <cstring>
 
 #include "common/logging.hh"
-#include "runtime/fault_injection.hh"
-#include "runtime/status.hh"
 
 namespace moelight {
 
@@ -20,75 +18,84 @@ KvCacheManager::KvCacheManager(const ModelConfig &cfg,
             // K and V pools share one arena: 2 pages per page-worth
             // of tokens, rounded up, per (seq, layer) lazily.
             2 * ((capacityTokens + pageTokens - 1) / pageTokens) + 2),
-      slots_(numSeqs * cfg.l)
+      table_(numSeqs, cfg.l, pageTokens, PageCapacityModel::Blocks,
+             // One block = one K + one V page, so the block budget is
+             // half the arena — the same boundary the legacy
+             // freePages() < 2 pre-check enforced.
+             pool_.numPages() / 2,
+             PageTableHooks{
+                 [this] {
+                     BlockId id;
+                     if (!freeIds_.empty()) {
+                         id = freeIds_.back();
+                         freeIds_.pop_back();
+                     } else {
+                         id = static_cast<BlockId>(pairs_.size());
+                         pairs_.emplace_back();
+                     }
+                     // Allocate K and V together so a block is
+                     // all-or-nothing (the table checked capacity, so
+                     // the arena cannot be exhausted here).
+                     pairs_[id].k = pool_.allocate();
+                     pairs_[id].v = pool_.allocate();
+                     return id;
+                 },
+                 [this](BlockId dst, BlockId src,
+                        std::size_t tokens) {
+                     std::memcpy(pool_.page(pairs_[dst].k),
+                                 pool_.page(pairs_[src].k),
+                                 tokens * tokenFloats_ *
+                                     sizeof(float));
+                     std::memcpy(pool_.page(pairs_[dst].v),
+                                 pool_.page(pairs_[src].v),
+                                 tokens * tokenFloats_ *
+                                     sizeof(float));
+                 },
+                 [this](BlockId id) {
+                     pool_.release(pairs_[id].k);
+                     pool_.release(pairs_[id].v);
+                     pairs_[id] = PagePair{};
+                     freeIds_.push_back(id);
+                 },
+             })
 {
     fatalIf(numSeqs == 0, "KV cache for zero sequences");
     fatalIf(pageTokens == 0, "KV page must hold at least one token");
-}
-
-KvCacheManager::SeqLayer &
-KvCacheManager::at(std::size_t seq, std::size_t layer)
-{
-    panicIf(seq >= numSeqs_ || layer >= cfg_.l,
-            "KV slot (", seq, ",", layer, ") out of range");
-    return slots_[seq * cfg_.l + layer];
-}
-
-const KvCacheManager::SeqLayer &
-KvCacheManager::at(std::size_t seq, std::size_t layer) const
-{
-    return const_cast<KvCacheManager *>(this)->at(seq, layer);
 }
 
 void
 KvCacheManager::append(std::size_t seq, std::size_t layer,
                        const float *k, const float *v)
 {
-    SeqLayer &sl = at(seq, layer);
-    std::size_t off = sl.len % pageTokens_;
-    if (off == 0) {
-        FaultInjector::check("kv.alloc");
-        // Both the K and the V page must fit: checking up front keeps
-        // the failure all-or-nothing (no K page allocated that the
-        // matching V allocation then strands).
-        if (pool_.freePages() < 2)
-            throw EngineError(
-                ErrorCode::KvExhausted, "kv.alloc",
-                "KV pool out of pages appending token " +
-                    std::to_string(sl.len) + " of (seq " +
-                    std::to_string(seq) + ", layer " +
-                    std::to_string(layer) + ")");
-        sl.kPages.push_back(pool_.allocate());
-        sl.vPages.push_back(pool_.allocate());
-    }
-    float *kp = pool_.page(sl.kPages.back()) + off * tokenFloats_;
-    float *vp = pool_.page(sl.vPages.back()) + off * tokenFloats_;
+    AppendSlot slot = table_.appendToken(seq, layer);
+    float *kp = pool_.page(pairs_[slot.block].k) +
+                slot.offset * tokenFloats_;
+    float *vp = pool_.page(pairs_[slot.block].v) +
+                slot.offset * tokenFloats_;
     std::memcpy(kp, k, tokenFloats_ * sizeof(float));
     std::memcpy(vp, v, tokenFloats_ * sizeof(float));
-    ++sl.len;
 }
 
 std::size_t
 KvCacheManager::contextLen(std::size_t seq, std::size_t layer) const
 {
-    return at(seq, layer).len;
+    return table_.streamLen(seq, layer);
 }
 
 void
 KvCacheManager::makeView(std::size_t seq, std::size_t layer,
                          KvViewStorage &storage) const
 {
-    const SeqLayer &sl = at(seq, layer);
     storage.k.clear();
     storage.v.clear();
-    for (PageId p : sl.kPages)
-        storage.k.push_back(pool_.page(p));
-    for (PageId p : sl.vPages)
-        storage.v.push_back(pool_.page(p));
+    for (BlockId b : table_.streamBlocks(seq, layer)) {
+        storage.k.push_back(pool_.page(pairs_[b].k));
+        storage.v.push_back(pool_.page(pairs_[b].v));
+    }
     storage.view.kPages = storage.k;
     storage.view.vPages = storage.v;
     storage.view.pageTokens = pageTokens_;
-    storage.view.contextLen = sl.len;
+    storage.view.contextLen = table_.streamLen(seq, layer);
     storage.view.nKv = cfg_.nkv;
     storage.view.headDim = cfg_.headDim;
 }
@@ -96,39 +103,13 @@ KvCacheManager::makeView(std::size_t seq, std::size_t layer,
 bool
 KvCacheManager::sequenceLive(std::size_t seq) const
 {
-    if (seq >= numSeqs_)
-        return false;
-    for (std::size_t layer = 0; layer < cfg_.l; ++layer)
-        if (at(seq, layer).len != 0 ||
-            !at(seq, layer).kPages.empty())
-            return true;
-    return false;
+    return table_.sequenceLive(seq);
 }
 
 void
 KvCacheManager::freeSequence(std::size_t seq)
 {
-    if (seq >= numSeqs_)
-        throw EngineError(ErrorCode::KvInvalidSequence, "kv.free",
-                          "freeSequence(" + std::to_string(seq) +
-                              ") with only " +
-                              std::to_string(numSeqs_) +
-                              " sequences");
-    if (!sequenceLive(seq))
-        throw EngineError(ErrorCode::KvDoubleFree, "kv.free",
-                          "freeSequence(" + std::to_string(seq) +
-                              ") holds no pages — double free or "
-                              "never-appended sequence");
-    for (std::size_t layer = 0; layer < cfg_.l; ++layer) {
-        SeqLayer &sl = at(seq, layer);
-        for (PageId p : sl.kPages)
-            pool_.release(p);
-        for (PageId p : sl.vPages)
-            pool_.release(p);
-        sl.kPages.clear();
-        sl.vPages.clear();
-        sl.len = 0;
-    }
+    table_.freeSequence(seq);
 }
 
 } // namespace moelight

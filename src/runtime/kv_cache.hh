@@ -5,6 +5,11 @@
  * tokens per page) so memory is allocated lazily and freed per
  * sequence — the same structure vLLM-style paged attention uses, kept
  * host-side because MoE-Lightning performs attention on the CPU.
+ *
+ * Ownership (refcounts, sharing, capacity, typed errors) lives in the
+ * shared PageTable (page_table.hh); this class is the float *storage*
+ * view over it: one table block = one K arena page + one V arena
+ * page, allocated and freed together.
  */
 
 #ifndef MOELIGHT_RUNTIME_KV_CACHE_HH
@@ -15,6 +20,7 @@
 #include "kernels/attention.hh"
 #include "model/model_config.hh"
 #include "runtime/arena.hh"
+#include "runtime/page_table.hh"
 
 namespace moelight {
 
@@ -60,11 +66,14 @@ class KvCacheManager
     void makeView(std::size_t seq, std::size_t layer,
                   KvViewStorage &storage) const;
 
-    /** Release all pages of @p seq (it finished generating). Throws
-     *  EngineError(KvInvalidSequence) for an unknown sequence id and
-     *  EngineError(KvDoubleFree) when @p seq holds no state (already
-     *  freed, or never appended) — silently accepting either would
-     *  let an engine bug corrupt the free list unnoticed. */
+    /** Release all pages of @p seq (it finished generating): a
+     *  refcount drop per block, so pages shared with other sequences
+     *  or pinned by the prefix cache survive — only the private tail
+     *  frees physically. Throws EngineError(KvInvalidSequence) for an
+     *  unknown sequence id and EngineError(KvDoubleFree) when @p seq
+     *  holds no state (already freed, or never appended) — silently
+     *  accepting either would let an engine bug corrupt the free list
+     *  unnoticed. */
     void freeSequence(std::size_t seq);
 
     /** True when @p seq currently holds any KV state — the guard an
@@ -72,27 +81,44 @@ class KvCacheManager
      *  have faulted before its first append. */
     bool sequenceLive(std::size_t seq) const;
 
-    /** Pool usage, in pages. */
-    std::size_t usedPages() const { return pool_.usedPages(); }
+    /** Pages referenced by live sequences (shared pages counted
+     *  once): 2 arena pages (K + V) per referenced table block.
+     *  Returns to 0 when every sequence frees, even while the prefix
+     *  cache keeps pages pinned. */
+    std::size_t usedPages() const
+    {
+        return 2 * table_.referencedBlocks();
+    }
     std::size_t freePages() const { return pool_.freePages(); }
 
-  private:
-    struct SeqLayer
+    /** Arena pages held by pinned-but-unreferenced prefix-cache
+     *  blocks (resident beyond live-sequence usage). */
+    std::size_t cachedPages() const
     {
-        std::vector<PageId> kPages;
-        std::vector<PageId> vPages;
-        std::size_t len = 0;
-    };
+        return 2 * (table_.residentBlocks() -
+                    table_.referencedBlocks());
+    }
 
-    SeqLayer &at(std::size_t seq, std::size_t layer);
-    const SeqLayer &at(std::size_t seq, std::size_t layer) const;
+    /** The shared ownership layer (prefix-cache attach/pin surface). */
+    PageTable &pageTable() { return table_; }
+    const PageTable &pageTable() const { return table_; }
+
+  private:
+    /** One table block's backing storage: the K and V arena pages. */
+    struct PagePair
+    {
+        PageId k = kInvalidPage;
+        PageId v = kInvalidPage;
+    };
 
     ModelConfig cfg_;
     std::size_t numSeqs_;
     std::size_t pageTokens_;
     std::size_t tokenFloats_;  ///< nkv * headDim
     PageArena pool_;
-    std::vector<SeqLayer> slots_;  ///< [seq * l + layer]
+    std::vector<PagePair> pairs_;    ///< indexed by BlockId
+    std::vector<BlockId> freeIds_;   ///< recycled block ids
+    PageTable table_;  ///< last: its hooks capture this
 };
 
 } // namespace moelight

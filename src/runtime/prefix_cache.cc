@@ -1,0 +1,171 @@
+#include "runtime/prefix_cache.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace moelight {
+
+PrefixCache::PrefixCache(PageTable &table, std::size_t bytesPerToken)
+    : table_(table), bytesPerToken_(bytesPerToken)
+{
+    fatalIf(bytesPerToken == 0,
+            "prefix cache needs a per-token byte size");
+}
+
+std::uint64_t
+PrefixCache::hashPage(std::span<const int> page)
+{
+    // FNV-1a over the token ids; collisions are verified against the
+    // stored ids, so a collision is a miss, never a wrong prefix.
+    std::uint64_t h = 14695981039346656037ull;
+    for (int t : page) {
+        h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(t));
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+std::vector<PrefixCache::Node *>
+PrefixCache::matchChain(std::span<const int> prompt) const
+{
+    std::vector<Node *> chain;
+    if (prompt.size() < 2)
+        return chain;  // a 1-token prompt has no cacheable prefix
+    std::size_t pt = table_.pageTokens();
+    // Cap one token short of the prompt: the engine always prefills
+    // at least one novel token (it needs that position's logits to
+    // bootstrap decode).
+    std::size_t max_pages = (prompt.size() - 1) / pt;
+    const Node *cur = &root_;
+    for (std::size_t p = 0; p < max_pages; ++p) {
+        std::span<const int> page = prompt.subspan(p * pt, pt);
+        auto it = cur->children.find(hashPage(page));
+        if (it == cur->children.end() ||
+            !std::equal(page.begin(), page.end(),
+                        it->second->tokens.begin(),
+                        it->second->tokens.end()))
+            break;
+        chain.push_back(it->second.get());
+        cur = it->second.get();
+    }
+    return chain;
+}
+
+std::size_t
+PrefixCache::peekMatch(std::span<const int> prompt) const
+{
+    return matchChain(prompt).size() * table_.pageTokens();
+}
+
+std::size_t
+PrefixCache::attach(std::size_t seq, std::span<const int> prompt)
+{
+    ++stats_.lookups;
+    std::vector<Node *> chain = matchChain(prompt);
+    if (chain.empty())
+        return 0;
+    ++tick_;
+    for (Node *n : chain)
+        n->lastUse = tick_;
+    std::size_t layers = table_.layers();
+    std::vector<BlockId> blocks(chain.size());
+    for (std::size_t l = 0; l < layers; ++l) {
+        for (std::size_t p = 0; p < chain.size(); ++p)
+            blocks[p] = chain[p]->blocks[l];
+        table_.attachShared(seq, l, blocks);
+    }
+    std::size_t matched = chain.size() * table_.pageTokens();
+    ++stats_.hits;
+    stats_.pagesReused += chain.size() * layers;
+    stats_.bytesPrefillSkipped += matched * bytesPerToken_;
+    return matched;
+}
+
+void
+PrefixCache::insert(std::size_t seq, std::span<const int> prompt)
+{
+    std::size_t pt = table_.pageTokens();
+    std::size_t pages = prompt.size() / pt;
+    if (pages == 0)
+        return;
+    panicIf(table_.streamLen(seq, 0) < pages * pt,
+            "prefix insert before the sequence prefilled its prompt");
+    std::size_t layers = table_.layers();
+    ++tick_;
+    Node *cur = &root_;
+    for (std::size_t p = 0; p < pages; ++p) {
+        std::span<const int> page = prompt.subspan(p * pt, pt);
+        std::uint64_t key = hashPage(page);
+        auto it = cur->children.find(key);
+        if (it != cur->children.end()) {
+            if (!std::equal(page.begin(), page.end(),
+                            it->second->tokens.begin(),
+                            it->second->tokens.end()))
+                return;  // hash collision: leave the incumbent alone
+            it->second->lastUse = tick_;
+            cur = it->second.get();
+            continue;
+        }
+        auto node = std::make_unique<Node>();
+        node->parent = cur;
+        node->key = key;
+        node->tokens.assign(page.begin(), page.end());
+        node->blocks.resize(layers);
+        node->lastUse = tick_;
+        for (std::size_t l = 0; l < layers; ++l) {
+            BlockId b = table_.streamBlocks(seq, l)[p];
+            panicIf(table_.blockTokens(b) != pt,
+                    "prefix insert over a partial page");
+            node->blocks[l] = b;
+            table_.pin(b);
+        }
+        Node *raw = node.get();
+        cur->children.emplace(key, std::move(node));
+        ++nodeCount_;
+        cur = raw;
+    }
+}
+
+bool
+PrefixCache::unreferenced(const Node &n) const
+{
+    for (BlockId b : n.blocks)
+        if (table_.blockStreamRefs(b) != 0)
+            return false;
+    return true;
+}
+
+bool
+PrefixCache::evictOne()
+{
+    // LRU over evictable leaves: childless nodes (interior pages must
+    // outlive their extensions) whose blocks no live sequence
+    // references. The tree is small (distinct cached pages), so a
+    // full scan per eviction is fine.
+    Node *victim = nullptr;
+    std::vector<Node *> stack;
+    for (auto &kv : root_.children)
+        stack.push_back(kv.second.get());
+    while (!stack.empty()) {
+        Node *n = stack.back();
+        stack.pop_back();
+        for (auto &kv : n->children)
+            stack.push_back(kv.second.get());
+        if (!n->children.empty() || !unreferenced(*n))
+            continue;
+        if (victim == nullptr || n->lastUse < victim->lastUse)
+            victim = n;
+    }
+    if (victim == nullptr)
+        return false;
+    for (BlockId b : victim->blocks)
+        table_.unpin(b);  // refs are 0, so this frees physically
+    stats_.pagesEvicted += victim->blocks.size();
+    Node *parent = victim->parent;
+    parent->children.erase(victim->key);
+    --nodeCount_;
+    return true;
+}
+
+} // namespace moelight

@@ -1,8 +1,6 @@
 #include "runtime/quant_kv_cache.hh"
 
 #include "common/logging.hh"
-#include "runtime/fault_injection.hh"
-#include "runtime/status.hh"
 
 namespace moelight {
 
@@ -17,7 +15,45 @@ QuantizedKvCache::QuantizedKvCache(const ModelConfig &cfg,
       tokenFloats_(cfg.nkv * cfg.headDim),
       kind_(kind),
       capacityTokens_(capacityTokens),
-      streams_(numSeqs * cfg.l)
+      viewK_(numSeqs * cfg.l),
+      viewV_(numSeqs * cfg.l),
+      table_(numSeqs, cfg.l, pageTokens, PageCapacityModel::Tokens,
+             capacityTokens,
+             PageTableHooks{
+                 [this] {
+                     BlockId id;
+                     if (!freeIds_.empty()) {
+                         id = freeIds_.back();
+                         freeIds_.pop_back();
+                     } else {
+                         id = static_cast<BlockId>(blocks_.size());
+                         blocks_.emplace_back();
+                     }
+                     return id;
+                 },
+                 [this](BlockId dst, BlockId src,
+                        std::size_t tokens) {
+                     // Copy-on-write fires only on open (partial)
+                     // blocks, whose tokens still sit in float.
+                     const QBlock &s = blocks_[src];
+                     QBlock &d = blocks_[dst];
+                     panicIf(s.qk.has_value(),
+                             "copy-on-write of a closed quant block");
+                     std::size_t n = tokens * tokenFloats_;
+                     d.fk.assign(s.fk.begin(), s.fk.begin() + n);
+                     d.fv.assign(s.fv.begin(), s.fv.begin() + n);
+                 },
+                 [this](BlockId id) {
+                     QBlock &b = blocks_[id];
+                     b.qk.reset();
+                     b.qv.reset();
+                     b.fk.clear();
+                     b.fk.shrink_to_fit();
+                     b.fv.clear();
+                     b.fv.shrink_to_fit();
+                     freeIds_.push_back(id);
+                 },
+             })
 {
     fatalIf(numSeqs == 0, "quantized KV cache for zero sequences");
     fatalIf(pageTokens == 0, "KV page must hold at least one token");
@@ -29,72 +65,70 @@ QuantizedKvCache::QuantizedKvCache(const ModelConfig &cfg,
             "headDim must be even for int4 packing");
 }
 
-QuantizedKvCache::Stream &
-QuantizedKvCache::at(std::size_t seq, std::size_t layer)
+const QuantizedKvCache::QBlock &
+QuantizedKvCache::blockAt(BlockId b) const
 {
-    panicIf(seq >= numSeqs_ || layer >= cfg_.l,
-            "quantized KV slot out of range");
-    return streams_[seq * cfg_.l + layer];
-}
-
-const QuantizedKvCache::Stream &
-QuantizedKvCache::at(std::size_t seq, std::size_t layer) const
-{
-    return const_cast<QuantizedKvCache *>(this)->at(seq, layer);
+    panicIf(static_cast<std::size_t>(b) >= blocks_.size(),
+            "unknown quantized KV block ", b);
+    return blocks_[b];
 }
 
 void
 QuantizedKvCache::append(std::size_t seq, std::size_t layer,
                          const float *k, const float *v)
 {
-    Stream &s = at(seq, layer);
-    FaultInjector::check("kv.alloc");
-    // Capacity is checked BEFORE any mutation so a rejected append
-    // leaves the counters consistent — the previous
-    // increment-then-check order left totalTokens_ one high after the
-    // throw, corrupting every later admission decision.
-    if (capacityTokens_ != 0 && totalTokens_ + 1 > capacityTokens_)
-        throw EngineError(ErrorCode::KvExhausted, "kv.alloc",
-                          "quantized KV cache out of capacity (" +
-                              std::to_string(capacityTokens_) +
-                              " tokens) appending to (seq " +
-                              std::to_string(seq) + ", layer " +
-                              std::to_string(layer) + ")");
-    ++totalTokens_;
-    s.openK.insert(s.openK.end(), k, k + tokenFloats_);
-    s.openV.insert(s.openV.end(), v, v + tokenFloats_);
-    ++s.len;
-    if (s.openK.size() == pageTokens_ * tokenFloats_) {
-        // Page full: quantize (group = one head vector) and reset.
-        s.closedK.emplace_back(
-            std::span<const float>(s.openK), kind_, cfg_.headDim);
-        s.closedV.emplace_back(
-            std::span<const float>(s.openV), kind_, cfg_.headDim);
-        s.openK.clear();
-        s.openV.clear();
+    // The table throws typed KvExhausted before any mutation, so a
+    // rejected append leaves the accounting consistent.
+    AppendSlot slot = table_.appendToken(seq, layer);
+    QBlock &b = blocks_[slot.block];
+    b.fk.insert(b.fk.end(), k, k + tokenFloats_);
+    b.fv.insert(b.fv.end(), v, v + tokenFloats_);
+    if (b.fk.size() == pageTokens_ * tokenFloats_) {
+        // Page full: quantize (group = one head vector) and drop the
+        // floats. The block is closed — and from here on shareable.
+        b.qk.emplace(std::span<const float>(b.fk), kind_,
+                     cfg_.headDim);
+        b.qv.emplace(std::span<const float>(b.fv), kind_,
+                     cfg_.headDim);
+        b.fk.clear();
+        b.fk.shrink_to_fit();
+        b.fv.clear();
+        b.fv.shrink_to_fit();
     }
 }
 
 std::size_t
 QuantizedKvCache::contextLen(std::size_t seq, std::size_t layer) const
 {
-    return at(seq, layer).len;
+    return table_.streamLen(seq, layer);
 }
 
 QuantKvView
-QuantizedKvCache::makeQuantView(std::size_t seq, std::size_t layer) const
+QuantizedKvCache::makeQuantView(std::size_t seq,
+                                std::size_t layer) const
 {
-    const Stream &s = at(seq, layer);
+    std::span<const BlockId> blocks = table_.streamBlocks(seq, layer);
+    auto &kp = viewK_[seq * cfg_.l + layer];
+    auto &vp = viewV_[seq * cfg_.l + layer];
+    kp.clear();
+    vp.clear();
     QuantKvView v;
-    v.kPages = s.closedK;
-    v.vPages = s.closedV;
-    if (!s.openK.empty()) {
-        v.openK = s.openK.data();
-        v.openV = s.openV.data();
-        v.openTokens = s.openK.size() / tokenFloats_;
+    for (BlockId id : blocks) {
+        const QBlock &b = blockAt(id);
+        if (b.qk.has_value()) {
+            kp.push_back(&*b.qk);
+            vp.push_back(&*b.qv);
+        } else {
+            // Only the tail block may be open (float).
+            v.openK = b.fk.data();
+            v.openV = b.fv.data();
+            v.openTokens = b.fk.size() / tokenFloats_;
+        }
     }
+    v.kPages = kp;
+    v.vPages = vp;
     v.pageTokens = pageTokens_;
-    v.contextLen = s.len;
+    v.contextLen = table_.streamLen(seq, layer);
     v.nKv = cfg_.nkv;
     v.headDim = cfg_.headDim;
     return v;
@@ -104,29 +138,30 @@ void
 QuantizedKvCache::makeView(std::size_t seq, std::size_t layer,
                            QuantKvViewStorage &storage) const
 {
-    const Stream &s = at(seq, layer);
+    std::span<const BlockId> blocks = table_.streamBlocks(seq, layer);
     std::size_t page_floats = pageTokens_ * tokenFloats_;
-    std::size_t n_pages =
-        s.closedK.size() + (s.openK.empty() ? 0 : 1);
+    std::size_t n_pages = blocks.size();
 
     storage.kPages.assign(n_pages, {});
     storage.vPages.assign(n_pages, {});
     storage.k.clear();
     storage.v.clear();
-    for (std::size_t p = 0; p < s.closedK.size(); ++p) {
-        storage.kPages[p].resize(page_floats);
-        storage.vPages[p].resize(page_floats);
-        s.closedK[p].dequantize(storage.kPages[p]);
-        s.closedV[p].dequantize(storage.vPages[p]);
-    }
-    if (!s.openK.empty()) {
-        // Open page: copy floats, pad to page size (unread tail).
-        auto &kp = storage.kPages[n_pages - 1];
-        auto &vp = storage.vPages[n_pages - 1];
-        kp.assign(page_floats, 0.0f);
-        vp.assign(page_floats, 0.0f);
-        std::copy(s.openK.begin(), s.openK.end(), kp.begin());
-        std::copy(s.openV.begin(), s.openV.end(), vp.begin());
+    for (std::size_t p = 0; p < n_pages; ++p) {
+        const QBlock &b = blockAt(blocks[p]);
+        if (b.qk.has_value()) {
+            storage.kPages[p].resize(page_floats);
+            storage.vPages[p].resize(page_floats);
+            b.qk->dequantize(storage.kPages[p]);
+            b.qv->dequantize(storage.vPages[p]);
+        } else {
+            // Open page: copy floats, pad to page size (unread tail).
+            storage.kPages[p].assign(page_floats, 0.0f);
+            storage.vPages[p].assign(page_floats, 0.0f);
+            std::copy(b.fk.begin(), b.fk.end(),
+                      storage.kPages[p].begin());
+            std::copy(b.fv.begin(), b.fv.end(),
+                      storage.vPages[p].begin());
+        }
     }
     for (std::size_t p = 0; p < n_pages; ++p) {
         storage.k.push_back(storage.kPages[p].data());
@@ -135,7 +170,7 @@ QuantizedKvCache::makeView(std::size_t seq, std::size_t layer,
     storage.view.kPages = storage.k;
     storage.view.vPages = storage.v;
     storage.view.pageTokens = pageTokens_;
-    storage.view.contextLen = s.len;
+    storage.view.contextLen = table_.streamLen(seq, layer);
     storage.view.nKv = cfg_.nkv;
     storage.view.headDim = cfg_.headDim;
 }
@@ -143,64 +178,25 @@ QuantizedKvCache::makeView(std::size_t seq, std::size_t layer,
 bool
 QuantizedKvCache::sequenceLive(std::size_t seq) const
 {
-    if (seq >= numSeqs_)
-        return false;
-    for (std::size_t layer = 0; layer < cfg_.l; ++layer)
-        if (at(seq, layer).len != 0)
-            return true;
-    return false;
+    return table_.sequenceLive(seq);
 }
 
 void
 QuantizedKvCache::freeSequence(std::size_t seq)
 {
-    if (seq >= numSeqs_)
-        throw EngineError(ErrorCode::KvInvalidSequence, "kv.free",
-                          "freeSequence(" + std::to_string(seq) +
-                              ") with only " +
-                              std::to_string(numSeqs_) +
-                              " sequences");
-    if (!sequenceLive(seq))
-        throw EngineError(ErrorCode::KvDoubleFree, "kv.free",
-                          "freeSequence(" + std::to_string(seq) +
-                              ") holds no tokens — double free or "
-                              "never-appended sequence");
-    for (std::size_t layer = 0; layer < cfg_.l; ++layer) {
-        Stream &s = at(seq, layer);
-        panicIf(totalTokens_ < s.len,
-                "quantized KV token accounting underflow");
-        totalTokens_ -= s.len;
-        s.closedK.clear();
-        s.closedV.clear();
-        s.openK.clear();
-        s.openK.shrink_to_fit();
-        s.openV.clear();
-        s.openV.shrink_to_fit();
-        s.len = 0;
-    }
-}
-
-std::size_t
-QuantizedKvCache::usedPages() const
-{
-    std::size_t pages = 0;
-    for (const auto &s : streams_) {
-        pages += s.closedK.size() + s.closedV.size();
-        pages += (s.openK.empty() ? 0 : 1) + (s.openV.empty() ? 0 : 1);
-    }
-    return pages;
+    table_.freeSequence(seq);
 }
 
 std::size_t
 QuantizedKvCache::storedBytes() const
 {
+    // Freed blocks hold no buffers, so summing the whole store counts
+    // exactly the resident blocks, shared ones once.
     std::size_t bytes = 0;
-    for (const auto &s : streams_) {
-        for (const auto &q : s.closedK)
-            bytes += q.storageBytes();
-        for (const auto &q : s.closedV)
-            bytes += q.storageBytes();
-        bytes += (s.openK.size() + s.openV.size()) * sizeof(float);
+    for (const QBlock &b : blocks_) {
+        if (b.qk.has_value())
+            bytes += b.qk->storageBytes() + b.qv->storageBytes();
+        bytes += (b.fk.size() + b.fv.size()) * sizeof(float);
     }
     return bytes;
 }
@@ -209,8 +205,9 @@ std::size_t
 QuantizedKvCache::equivalentFloatBytes() const
 {
     std::size_t tokens = 0;
-    for (const auto &s : streams_)
-        tokens += s.len;
+    for (std::size_t s = 0; s < numSeqs_; ++s)
+        for (std::size_t l = 0; l < cfg_.l; ++l)
+            tokens += table_.streamLen(s, l);
     return tokens * 2 * tokenFloats_ * sizeof(float);
 }
 

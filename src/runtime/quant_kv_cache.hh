@@ -6,17 +6,25 @@
  * float; each page is quantized when it fills, so steady-state
  * storage is (pages-1) quantized + 1 open float page per
  * (sequence, layer) stream.
+ *
+ * Ownership (refcounts, sharing, capacity, typed errors) lives in the
+ * shared PageTable (page_table.hh); this class is the quantized
+ * *storage* view over it: one table block = one K + one V page, float
+ * while open, quantized in place when the block fills.
  */
 
 #ifndef MOELIGHT_RUNTIME_QUANT_KV_CACHE_HH
 #define MOELIGHT_RUNTIME_QUANT_KV_CACHE_HH
 
+#include <deque>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "kernels/attention.hh"
 #include "kernels/quant.hh"
 #include "model/model_config.hh"
+#include "runtime/page_table.hh"
 
 namespace moelight {
 
@@ -60,8 +68,8 @@ class QuantizedKvCache
      * Zero-copy quantized view over (@p seq, @p layer) for the fused
      * attention kernel (gqaDecodeAttentionQuantFused): references the
      * closed QuantizedBuffers and the open float page in place — no
-     * dequantization, no allocation. The view is invalidated by the
-     * next append() to the same (seq, layer).
+     * dequantization, no float copying. The view is invalidated by
+     * the next append() to the same (seq, layer).
      */
     QuantKvView makeQuantView(std::size_t seq, std::size_t layer) const;
 
@@ -76,10 +84,11 @@ class QuantizedKvCache
     void makeView(std::size_t seq, std::size_t layer,
                   QuantKvViewStorage &storage) const;
 
-    /** Release every stream of @p seq (it finished generating): the
-     *  serving path's early-retirement hook. Closed and open pages
-     *  are dropped and the capacity budget refunded immediately.
-     *  Throws EngineError(KvInvalidSequence) for an unknown id and
+    /** Release every stream of @p seq (it finished generating): a
+     *  refcount drop per block, so pages shared with other sequences
+     *  or pinned by the prefix cache survive — only the private tail
+     *  frees physically and refunds the budget. Throws
+     *  EngineError(KvInvalidSequence) for an unknown id and
      *  EngineError(KvDoubleFree) when @p seq holds no tokens. */
     void freeSequence(std::size_t seq);
 
@@ -87,36 +96,55 @@ class QuantizedKvCache
      *  KvCacheManager::sequenceLive). */
     bool sequenceLive(std::size_t seq) const;
 
-    /** Pages currently held (closed quantized K+V pages plus open
-     *  float partials) — the quant analogue of
-     *  KvCacheManager::usedPages() so serving tests can assert pages
-     *  are returned when a sequence retires early. */
-    std::size_t usedPages() const;
+    /** Pages referenced by live sequences, shared pages counted once
+     *  (closed quantized K+V pages plus open float partials) — the
+     *  quant analogue of KvCacheManager::usedPages() so serving tests
+     *  can assert pages are returned when a sequence retires early.
+     *  Returns to 0 when every sequence frees, even while the prefix
+     *  cache keeps pages pinned. */
+    std::size_t usedPages() const
+    {
+        return 2 * table_.referencedBlocks();
+    }
 
-    /** Token-layer entries currently stored (append granularity). */
-    std::size_t usedTokens() const { return totalTokens_; }
+    /** K+V pages held by pinned-but-unreferenced prefix-cache blocks
+     *  (resident beyond live-sequence usage). */
+    std::size_t cachedPages() const
+    {
+        return 2 * (table_.residentBlocks() -
+                    table_.referencedBlocks());
+    }
+
+    /** Token-layer entries physically stored (append granularity;
+     *  shared blocks count once — what the capacity budget meters). */
+    std::size_t usedTokens() const { return table_.residentTokens(); }
 
     /** Configured token-layer capacity; 0 = unlimited. */
     std::size_t capacityTokens() const { return capacityTokens_; }
 
     /** Bytes currently stored (quantized payload + scales + open
-     *  float pages). */
+     *  float pages; shared blocks count once). */
     std::size_t storedBytes() const;
-    /** Bytes an all-float cache of the same contents would use. */
+    /** Bytes an all-float cache of the same *logical* contents would
+     *  use (shared prefixes counted per referencing stream). */
     std::size_t equivalentFloatBytes() const;
 
+    /** The shared ownership layer (prefix-cache attach/pin surface). */
+    PageTable &pageTable() { return table_; }
+    const PageTable &pageTable() const { return table_; }
+
   private:
-    struct Stream
+    /** One table block's backing storage: float while open, one
+     *  quantized K + V buffer once closed. */
+    struct QBlock
     {
-        std::vector<QuantizedBuffer> closedK;
-        std::vector<QuantizedBuffer> closedV;
-        std::vector<float> openK;  ///< partial page, float
-        std::vector<float> openV;
-        std::size_t len = 0;
+        std::optional<QuantizedBuffer> qk;
+        std::optional<QuantizedBuffer> qv;
+        std::vector<float> fk;  ///< open floats (empty once closed)
+        std::vector<float> fv;
     };
 
-    Stream &at(std::size_t seq, std::size_t layer);
-    const Stream &at(std::size_t seq, std::size_t layer) const;
+    const QBlock &blockAt(BlockId b) const;
 
     ModelConfig cfg_;
     std::size_t numSeqs_;
@@ -124,8 +152,16 @@ class QuantizedKvCache
     std::size_t tokenFloats_;
     QuantKind kind_;
     std::size_t capacityTokens_;
-    std::size_t totalTokens_ = 0;
-    std::vector<Stream> streams_;
+    /** deque: stable addresses — zero-copy views hold pointers into
+     *  blocks while new blocks are allocated. */
+    std::deque<QBlock> blocks_;      ///< indexed by BlockId
+    std::vector<BlockId> freeIds_;   ///< recycled block ids
+    /** Per-stream page-pointer lists backing makeQuantView()'s spans,
+     *  rebuilt per call (the view is documented as invalidated by the
+     *  next append to the same stream). */
+    mutable std::vector<std::vector<const QuantizedBuffer *>> viewK_;
+    mutable std::vector<std::vector<const QuantizedBuffer *>> viewV_;
+    PageTable table_;  ///< last: its hooks capture this
 };
 
 } // namespace moelight

@@ -68,7 +68,8 @@ ContinuousBatcher::ContinuousBatcher(std::size_t microBatch,
 std::size_t
 ContinuousBatcher::kvDemand(const ServeRequest &req) const
 {
-    return servingKvDemand(req, pageQuantum_);
+    return demandOracle_ ? demandOracle_(req)
+                         : servingKvDemand(req, pageQuantum_);
 }
 
 void
@@ -81,6 +82,13 @@ std::vector<ServeRequest>
 ContinuousBatcher::admit(std::size_t freeSlots,
                          std::size_t kvTokensInUse)
 {
+    // Rounds that never consider the head — nothing queued, or no
+    // free sequence slot for anyone — must not advance its age: the
+    // deferral count measures rounds that looked at the head and
+    // admitted past (or instead of) it, because it gates starvation
+    // control (held-back younger arrivals, engine preemption). Aging
+    // it on no-capacity rounds would trigger preemption storms while
+    // the engine is merely full of slots, not starving the head.
     if (queue_.empty() || freeSlots == 0)
         return {};
 
@@ -131,12 +139,16 @@ ContinuousBatcher::admit(std::size_t freeSlots,
         std::max<std::size_t>(4 * freeSlots, 4 * microBatch_));
     std::vector<Request> descr;
     descr.reserve(window);
-    for (std::size_t i = 0; i < window; ++i)
-        descr.push_back(
-            {static_cast<int>(i),
-             static_cast<int>(queue_[i].prompt.size()),
-             static_cast<int>(kvDemand(queue_[i]) -
-                              queue_[i].prompt.size())});
+    for (std::size_t i = 0; i < window; ++i) {
+        // With a prefix-aware oracle the demand can be smaller than
+        // the full prompt (the cached prefix is not private demand);
+        // clamp the prompt term so promptLen + genLen always equals
+        // the true demand without underflowing the slack.
+        std::size_t demand = kvDemand(queue_[i]);
+        std::size_t pl = std::min(queue_[i].prompt.size(), demand);
+        descr.push_back({static_cast<int>(i), static_cast<int>(pl),
+                         static_cast<int>(demand - pl)});
+    }
     BatchPlan plan =
         batchRequests(std::move(descr), n_ub, ubs, per_partition);
 
@@ -148,6 +160,7 @@ ContinuousBatcher::admit(std::size_t freeSlots,
             taken[qi] = true;
             admitted.push_back(std::move(queue_[qi]));
         }
+    bool headAdmitted = !admitted.empty() && taken[0];
     if (admitted.empty()) {
         // The per-partition split deferred everything. If the oldest
         // request alone fits the *whole* remaining budget, send it
@@ -155,24 +168,27 @@ ContinuousBatcher::admit(std::size_t freeSlots,
         // could wait forever behind the split while smaller later
         // arrivals keep the engine busy.
         if (kvDemand(queue_.front()) <= free_budget) {
-            headDeferrals_ = 0;
+            headAdmitted = true;
             admitted.push_back(std::move(queue_.front()));
             queue_.pop_front();
-        } else {
-            ++headDeferrals_;
         }
-        return admitted;
-    }
-    headDeferrals_ = taken[0] ? 0 : headDeferrals_ + 1;
-    // Deferred requests keep their arrival order; the tail beyond
-    // the planning window was never touched.
-    std::deque<ServeRequest> rest;
-    for (std::size_t i = 0; i < window; ++i)
-        if (!taken[i])
+    } else {
+        // Deferred requests keep their arrival order; the tail beyond
+        // the planning window was never touched.
+        std::deque<ServeRequest> rest;
+        for (std::size_t i = 0; i < window; ++i)
+            if (!taken[i])
+                rest.push_back(std::move(queue_[i]));
+        for (std::size_t i = window; i < queue_.size(); ++i)
             rest.push_back(std::move(queue_[i]));
-    for (std::size_t i = window; i < queue_.size(); ++i)
-        rest.push_back(std::move(queue_[i]));
-    queue_ = std::move(rest);
+        queue_ = std::move(rest);
+    }
+    // The single aging site: every path through here planned over a
+    // window containing the head, so by now it was either admitted
+    // (age resets for the next head) or considered and passed over
+    // (age advances). The early returns above — empty queue, no free
+    // slots, the aged-head hold — deliberately bypass this.
+    headDeferrals_ = headAdmitted ? 0 : headDeferrals_ + 1;
     return admitted;
 }
 

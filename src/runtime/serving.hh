@@ -235,6 +235,27 @@ servingKvDemand(const ServeRequest &req, std::size_t quantum)
 }
 
 /**
+ * A request's KV reservation *net of a shared prefix*: only the novel
+ * prompt tail plus the generation budget is private demand — the
+ * @p cachedTokens the prefix cache will attach read-only are already
+ * resident and budgeted once, globally (PageTable::pinnedTokens).
+ * With cachedTokens == 0 this is exactly servingKvDemand(). Both
+ * halves of admission control (the batcher's oracle and the engine's
+ * reserved-usage report) must use the same matched length or
+ * admission over-commits the pool.
+ */
+inline std::size_t
+servingKvDemandNet(const ServeRequest &req, std::size_t cachedTokens,
+                   std::size_t quantum)
+{
+    panicIf(cachedTokens >= req.prompt.size() && !req.prompt.empty(),
+            "prefix match must leave at least one novel prompt token");
+    std::size_t tokens = req.prompt.size() - cachedTokens +
+                         static_cast<std::size_t>(req.maxNewTokens);
+    return (tokens + quantum - 1) / quantum * quantum;
+}
+
+/**
  * Abstract serving engine: the request-level interface both the
  * reference and the pipelined engine implement.
  *
@@ -388,6 +409,20 @@ class ContinuousBatcher
     /** True when a queued request has id @p id. */
     bool contains(std::int64_t id) const;
 
+    /**
+     * Install a per-request demand oracle consulted instead of the
+     * default prompt+budget rounding — the engine's hook for prefix-
+     * aware admission, where a request whose prompt prefix is cached
+     * only demands its novel tail (servingKvDemandNet against the
+     * current cache contents). Pass an empty function to restore the
+     * default.
+     */
+    void setDemandOracle(
+        std::function<std::size_t(const ServeRequest &)> oracle)
+    {
+        demandOracle_ = std::move(oracle);
+    }
+
     /** Default for headAgeLimit (EngineConfig::headAgeLimit). */
     static constexpr std::size_t kHeadAgeLimit = 8;
 
@@ -399,6 +434,7 @@ class ContinuousBatcher
     std::size_t pageQuantum_;
     std::size_t headAgeLimit_;
     std::size_t headDeferrals_ = 0;
+    std::function<std::size_t(const ServeRequest &)> demandOracle_;
     std::deque<ServeRequest> queue_;
 };
 

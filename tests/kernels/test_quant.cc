@@ -150,12 +150,17 @@ TEST(QuantAttention, PartialTailPageMatchesFloat)
         t += run;
     }
     ASSERT_LT(kq.back().size(), page_tokens * row);
+    std::vector<const QuantizedBuffer *> kqp, vqp;
+    for (const QuantizedBuffer &b : kq)
+        kqp.push_back(&b);
+    for (const QuantizedBuffer &b : vq)
+        vqp.push_back(&b);
 
     std::vector<float> q(nq * hd);
     for (auto &x : q)
         x = static_cast<float>(rng.uniform(-1, 1));
     std::vector<float> quant_out(nq * hd), ref(nq * hd);
-    gqaDecodeAttentionQuant(q.data(), nq, kq, vq, page_tokens, ctx,
+    gqaDecodeAttentionQuant(q.data(), nq, kqp, vqp, page_tokens, ctx,
                             nkv, hd, quant_out.data(), 0.25f);
 
     const float *kp = ksrc.data();
@@ -207,9 +212,14 @@ TEST(QuantAttention, MatchesFloatWithinQuantError)
     view.contextLen = ctx;
     view.nKv = nkv;
     view.headDim = hd;
+    std::vector<const QuantizedBuffer *> kqp, vqp;
+    for (const QuantizedBuffer &b : kq)
+        kqp.push_back(&b);
+    for (const QuantizedBuffer &b : vq)
+        vqp.push_back(&b);
     std::vector<float> ref(nq * hd), quant_out(nq * hd);
     gqaDecodeAttention(q.data(), nq, view, ref.data(), 0.35f);
-    gqaDecodeAttentionQuant(q.data(), nq, kq, vq, page_tokens, ctx,
+    gqaDecodeAttentionQuant(q.data(), nq, kqp, vqp, page_tokens, ctx,
                             nkv, hd, quant_out.data(), 0.35f);
     for (std::size_t i = 0; i < ref.size(); ++i)
         EXPECT_NEAR(quant_out[i], ref[i], 0.05f) << i;

@@ -52,6 +52,7 @@ struct QuantKvFixture
 {
     std::vector<float> kSrc, vSrc;
     std::vector<QuantizedBuffer> kq, vq;
+    std::vector<const QuantizedBuffer *> kqp, vqp;
     QuantKvView view;
 
     QuantKvFixture(const QuantAttnShape &s, QuantKind kind,
@@ -73,8 +74,15 @@ struct QuantKvFixture
                 kind, s.hd);
             t += run;
         }
-        view.kPages = kq;
-        view.vPages = vq;
+        // Pointer lists after the buffers stop growing (the view
+        // references pages by pointer, as the paged cache hands them
+        // out).
+        for (const QuantizedBuffer &b : kq)
+            kqp.push_back(&b);
+        for (const QuantizedBuffer &b : vq)
+            vqp.push_back(&b);
+        view.kPages = kqp;
+        view.vPages = vqp;
         if (s.openTokens > 0) {
             view.openK = kSrc.data() + s.quantTokens * row;
             view.openV = vSrc.data() + s.quantTokens * row;
@@ -101,13 +109,13 @@ materializedAttention(const float *q, std::size_t nQ,
     pages.reserve(v.kPages.size() + v.vPages.size());
     std::vector<const float *> kp, vp;
     for (std::size_t p = 0; p < v.kPages.size(); ++p) {
-        auto &kbuf = pages.emplace_back(v.kPages[p].size());
-        v.kPages[p].dequantize(kbuf);
+        auto &kbuf = pages.emplace_back(v.kPages[p]->size());
+        v.kPages[p]->dequantize(kbuf);
         kp.push_back(kbuf.data());
     }
     for (std::size_t p = 0; p < v.vPages.size(); ++p) {
-        auto &vbuf = pages.emplace_back(v.vPages[p].size());
-        v.vPages[p].dequantize(vbuf);
+        auto &vbuf = pages.emplace_back(v.vPages[p]->size());
+        v.vPages[p]->dequantize(vbuf);
         vp.push_back(vbuf.data());
     }
     if (v.openTokens > 0) {
@@ -163,7 +171,7 @@ TEST_P(QuantAttnGolden, FusedMatchesMaterializingKernel)
     std::vector<float> fused(s.nq * s.hd), mat(s.nq * s.hd);
     gqaDecodeAttentionQuantFused(q.data(), s.nq, fx.view,
                                  fused.data(), scale);
-    gqaDecodeAttentionQuant(q.data(), s.nq, fx.kq, fx.vq,
+    gqaDecodeAttentionQuant(q.data(), s.nq, fx.kqp, fx.vqp,
                             s.pageTokens, fx.view.contextLen, s.nkv,
                             s.hd, mat.data(), scale);
     for (std::size_t i = 0; i < fused.size(); ++i)
@@ -587,10 +595,11 @@ TEST(QuantAttnMaterializing, RejectsPartialNonTailPage)
                        QuantKind::Int8, hd);  // 1 token: partial
     pages.emplace_back(std::span<const float>(src.data(), 2 * row),
                        QuantKind::Int8, hd);  // 2 tokens: full
+    std::vector<const QuantizedBuffer *> pp{&pages[0], &pages[1]};
     auto q = randomVec(4 * hd, 32);
     std::vector<float> out(4 * hd);
-    EXPECT_THROW(gqaDecodeAttentionQuant(q.data(), 4, pages, pages, 2,
-                                         3, nkv, hd, out.data(), 1.0f),
+    EXPECT_THROW(gqaDecodeAttentionQuant(q.data(), 4, pp, pp, 2, 3,
+                                         nkv, hd, out.data(), 1.0f),
                  PanicError);
 }
 

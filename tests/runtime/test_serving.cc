@@ -471,6 +471,109 @@ TEST(ContinuousBatcher, AgedHeadHoldsBackYoungerArrivals)
     EXPECT_EQ(b.pending(), 0u);
 }
 
+TEST(ContinuousBatcher, HeadAgeAdvancesOnlyWhenHeadWasConsidered)
+{
+    // The deferral count gates starvation control (held-back younger
+    // arrivals, engine preemption), so it must measure rounds that
+    // considered the head and admitted past it — never rounds that
+    // could not admit anyone for lack of a sequence slot.
+    ContinuousBatcher b(/*microBatch=*/2, /*kvBudgetTokens=*/20,
+                        /*pageQuantum=*/1, /*headAgeLimit=*/2);
+    ServeRequest big;
+    big.id = 1;
+    big.prompt.assign(20, 1);
+    big.maxNewTokens = 10;  // demand 30 > 20: never admits
+    b.enqueue(std::move(big));
+
+    // Zero free slots, any number of times: the head was never in
+    // play, so it earns no age.
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(b.admit(/*freeSlots=*/0, 0).empty());
+    EXPECT_FALSE(b.headAged());
+
+    // Rounds with slots that plan over the head and pass it by DO
+    // age it — including zero-free-budget rounds, where that aging is
+    // what eventually drives the engine to preempt for the head.
+    EXPECT_TRUE(b.admit(/*freeSlots=*/2, /*kvTokensInUse=*/20).empty());
+    EXPECT_FALSE(b.headAged()) << "one deferral of limit 2";
+    EXPECT_TRUE(b.admit(2, 20).empty());
+    EXPECT_TRUE(b.headAged());
+    // More slotless rounds still age nothing further: the aged flag
+    // simply holds until capacity appears.
+    EXPECT_TRUE(b.admit(0, 0).empty());
+    EXPECT_TRUE(b.headAged());
+}
+
+TEST(ContinuousBatcher, HeadAgeResetsOnAdmissionAndRemoval)
+{
+    ContinuousBatcher b(/*microBatch=*/2, /*kvBudgetTokens=*/20,
+                        /*pageQuantum=*/1, /*headAgeLimit=*/2);
+    ServeRequest big;
+    big.id = 1;
+    big.prompt.assign(20, 1);
+    big.maxNewTokens = 10;  // demand 30: over budget, never admits
+    b.enqueue(std::move(big));
+    for (int i = 0; i < 2; ++i)
+        EXPECT_TRUE(b.admit(2, 0).empty());
+    EXPECT_TRUE(b.headAged());
+
+    // Removing the starved head (cancel/timeout) hands the front to
+    // a request that has earned no age of its own.
+    std::vector<ServeRequest> gone = b.removeIf(
+        [](const ServeRequest &r) { return r.id == 1; });
+    ASSERT_EQ(gone.size(), 1u);
+    EXPECT_FALSE(b.headAged());
+
+    ServeRequest ok;
+    ok.id = 2;
+    ok.prompt.assign(4, 1);
+    ok.maxNewTokens = 4;  // demand 8: fits
+    b.enqueue(ok);
+    for (int i = 0; i < 2; ++i)
+        EXPECT_TRUE(b.admit(2, /*kvTokensInUse=*/20).empty());
+    EXPECT_TRUE(b.headAged());
+    // Admission resets the age for the next head.
+    ASSERT_EQ(b.admit(2, 0).size(), 1u);
+    EXPECT_FALSE(b.headAged());
+}
+
+TEST(ContinuousBatcher, DemandOracleOverridesPageRoundedDemand)
+{
+    // A prefix-aware oracle reports net demand (novel tail only);
+    // the batcher must budget on it instead of the full prompt, or
+    // prefix hits would be deferred as if they were cold.
+    ContinuousBatcher b(/*microBatch=*/2, /*kvBudgetTokens=*/16,
+                        /*pageQuantum=*/4);
+    ServeRequest r;
+    r.id = 7;
+    r.prompt.assign(20, 1);
+    r.maxNewTokens = 4;  // cold demand 24 > 16: deferred
+    b.enqueue(r);
+    EXPECT_TRUE(b.admit(2, 0).empty());
+    // 16 of the prompt cached: net demand (4 + 4 -> 8) fits.
+    b.setDemandOracle([](const ServeRequest &req) {
+        return servingKvDemandNet(req, /*cachedTokens=*/16,
+                                  /*quantum=*/4);
+    });
+    std::vector<ServeRequest> got = b.admit(2, 0);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].id, 7);
+}
+
+TEST(Serving, KvDemandNetRoundsNovelTailToQuantum)
+{
+    ServeRequest r;
+    r.prompt.assign(10, 1);
+    r.maxNewTokens = 4;
+    EXPECT_EQ(servingKvDemandNet(r, 0, 4), 16u) << "cold = full";
+    EXPECT_EQ(servingKvDemandNet(r, 0, 4), servingKvDemand(r, 4));
+    EXPECT_EQ(servingKvDemandNet(r, 8, 4), 8u) << "2 novel + 4 gen";
+    EXPECT_EQ(servingKvDemandNet(r, 8, 1), 6u) << "unrounded";
+    // A "match" covering the whole prompt is a contract violation:
+    // the cache caps matches one token short of the prompt.
+    EXPECT_THROW(servingKvDemandNet(r, 10, 4), PanicError);
+}
+
 TEST(ContinuousBatcher, HeadOfLineAdmittedWhenItFitsTotalBudget)
 {
     // microBatch=1 with 8 free slots splits the budget 8 ways, which
