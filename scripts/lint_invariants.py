@@ -1,0 +1,246 @@
+#!/usr/bin/env python3
+"""Repo-invariant linter: machine-checks the conventions the codebase
+relies on but a compiler cannot see. Stdlib only; runs as a ctest
+entry and a CI gate (and fails fast locally: scripts/lint_invariants.py).
+
+Invariants enforced:
+
+1. naked-sync     No `std::mutex` / `std::condition_variable` tokens in
+                  src/ outside src/common/sync.hh — every lock goes
+                  through the Clang-thread-safety-annotated wrappers,
+                  so the locking discipline is compiler-checked.
+2. simd-confined  AVX intrinsics (`immintrin.h`, `_mm256*`/`_mm512*`,
+                  `__m256*`/`__m512*`) appear only in the per-ISA
+                  translation units src/kernels/simd/simd_avx*.cc,
+                  which carry their own -m flags. Anywhere else they
+                  would silently tie the portable build to the build
+                  host's ISA.
+3. error-sites    Every literal EngineError site string thrown in src/
+                  is documented in docs/error_model.md — the typed
+                  error contract stays in sync with its registry.
+                  (Pass-through sites thrown from a variable, e.g. the
+                  fault injector's, are out of scope by construction.)
+4. bench-keys     Every check_bench.py rule key in .github/workflows/
+                  ci.yml names a record and field some bench source
+                  actually emits, so a renamed bench record cannot
+                  leave a CI gate silently vacuous. Record names built
+                  as `prefix + tag` match when both halves appear as
+                  string literals in the same bench file.
+5. include-cc     No `#include` of a .cc file — a classic ODR trap.
+
+Exit 0 when the tree is clean; 1 with one line per violation
+(`invariant:file:line: message`) otherwise.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+CXX_SUFFIXES = {".cc", ".hh", ".h", ".cpp", ".hpp"}
+
+SYNC_ALLOWED = "src/common/sync.hh"
+SYNC_TOKEN_RE = re.compile(r"std::(?:mutex|condition_variable)\b")
+
+AVX_ALLOWED_RE = re.compile(r"src/kernels/simd/simd_avx[^/]*\.cc$")
+AVX_TOKEN_RE = re.compile(
+    r"immintrin\.h|\b_mm(?:256|512)_|\b__m(?:256|512)")
+
+ENGINE_ERROR_RE = re.compile(
+    r"EngineError\(\s*ErrorCode::\w+\s*,\s*\"([^\"]+)\"")
+
+INCLUDE_CC_RE = re.compile(r"^\s*#\s*include\s*[<\"][^<\">]*\.cc[>\"]",
+                           re.MULTILINE)
+
+BENCH_RULE_RE = re.compile(
+    r"\"(?:[\w-]+:)?([\w-]+)\.([\w-]+)>=[-\d.eE]+\"")
+
+STRING_LITERAL_RE = re.compile(r"\"((?:[^\"\\]|\\.)*)\"")
+FIELD_CALL_RE = re.compile(r"\.field\(\s*\"([^\"]+)\"")
+RECORD_CALL_RE = re.compile(r"\.record\(")
+
+
+def strip_comments(text):
+    """Remove // and /* */ comments (string literals survive intact,
+    which is fine: the invariants below only ever *search for* literal
+    tokens, never inside them)."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == '"':
+            j = i + 1
+            while j < n and text[j] != '"':
+                j += 2 if text[j] == "\\" else 1
+            out.append(text[i:j + 1])
+            i = j + 1
+        elif text.startswith("//", i):
+            j = text.find("\n", i)
+            i = n if j < 0 else j  # keep the newline for line counts
+        elif text.startswith("/*", i):
+            j = text.find("*/", i)
+            # Preserve newlines so violation line numbers stay true.
+            chunk = text[i:] if j < 0 else text[i:j + 2]
+            out.append("\n" * chunk.count("\n"))
+            i = n if j < 0 else j + 2
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text, pos):
+    return text.count("\n", 0, pos) + 1
+
+
+def cxx_files(root, subdir):
+    base = root / subdir
+    if not base.is_dir():
+        return []
+    return sorted(p for p in base.rglob("*")
+                  if p.suffix in CXX_SUFFIXES and p.is_file())
+
+
+def check_naked_sync(root):
+    violations = []
+    for path in cxx_files(root, "src"):
+        rel = path.relative_to(root).as_posix()
+        if rel == SYNC_ALLOWED:
+            continue
+        code = strip_comments(path.read_text())
+        for m in SYNC_TOKEN_RE.finditer(code):
+            violations.append(
+                ("naked-sync", rel, line_of(code, m.start()),
+                 f"{m.group(0)} outside {SYNC_ALLOWED}; use the "
+                 f"annotated Mutex/CondVar wrappers"))
+    return violations
+
+
+def check_simd_confined(root):
+    violations = []
+    for path in cxx_files(root, "src"):
+        rel = path.relative_to(root).as_posix()
+        if AVX_ALLOWED_RE.search(rel):
+            continue
+        code = strip_comments(path.read_text())
+        for m in AVX_TOKEN_RE.finditer(code):
+            violations.append(
+                ("simd-confined", rel, line_of(code, m.start()),
+                 f"AVX token '{m.group(0)}' outside "
+                 f"src/kernels/simd/simd_avx*.cc ties the build to "
+                 f"the host ISA"))
+    return violations
+
+
+def check_error_sites(root):
+    doc_path = root / "docs" / "error_model.md"
+    doc = doc_path.read_text() if doc_path.is_file() else ""
+    violations = []
+    for path in cxx_files(root, "src"):
+        rel = path.relative_to(root).as_posix()
+        code = strip_comments(path.read_text())
+        for m in ENGINE_ERROR_RE.finditer(code):
+            site = m.group(1)
+            if site not in doc:
+                violations.append(
+                    ("error-sites", rel, line_of(code, m.start()),
+                     f"EngineError site \"{site}\" is not documented "
+                     f"in docs/error_model.md"))
+    return violations
+
+
+def bench_emissions(root):
+    """Per bench source: (record names constructible from its string
+    literals, field names it emits). The 'simd' record comes from
+    bench_util.hh's recordSimdBackend, included in the scan."""
+    per_file = []
+    for path in cxx_files(root, "bench"):
+        text = strip_comments(path.read_text())
+        if not RECORD_CALL_RE.search(text):
+            continue
+        literals = [m.group(1) for m in
+                    STRING_LITERAL_RE.finditer(text)]
+        fields = set(FIELD_CALL_RE.findall(text))
+        per_file.append((set(literals), fields))
+    return per_file
+
+
+def record_constructible(name, literals):
+    if name in literals:
+        return True
+    # Dynamic names are built as one literal prefix + one literal tag
+    # in the same file (e.g. "quant_attn_" + "int8").
+    return any(name.startswith(p) and name[len(p):] in literals
+               for p in literals if p and name.startswith(p))
+
+
+def check_bench_keys(root):
+    ci_path = root / ".github" / "workflows" / "ci.yml"
+    if not ci_path.is_file():
+        return []
+    ci = ci_path.read_text()
+    emissions = bench_emissions(root)
+    violations = []
+    for m in BENCH_RULE_RE.finditer(ci):
+        record, field = m.group(1), m.group(2)
+        ok = any(record_constructible(record, lits) and field in fields
+                 for lits, fields in emissions)
+        if not ok:
+            violations.append(
+                ("bench-keys", ci_path.relative_to(root).as_posix(),
+                 line_of(ci, m.start()),
+                 f"rule key {record}.{field} matches no record/field "
+                 f"emitted by any bench source"))
+    return violations
+
+
+def check_include_cc(root):
+    violations = []
+    for subdir in ("src", "tests", "bench", "examples"):
+        for path in cxx_files(root, subdir):
+            rel = path.relative_to(root).as_posix()
+            code = strip_comments(path.read_text())
+            for m in INCLUDE_CC_RE.finditer(code):
+                violations.append(
+                    ("include-cc", rel, line_of(code, m.start()),
+                     "#include of a .cc file (ODR trap); include the "
+                     "header or add the TU to the build"))
+    return violations
+
+
+CHECKS = [
+    check_naked_sync,
+    check_simd_confined,
+    check_error_sites,
+    check_bench_keys,
+    check_include_cc,
+]
+
+
+def lint(root):
+    violations = []
+    for check in CHECKS:
+        violations.extend(check(root))
+    return violations
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="moelight repo-invariant linter")
+    parser.add_argument(
+        "--repo", type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="repository root (default: this script's repo)")
+    args = parser.parse_args(argv)
+    violations = lint(args.repo.resolve())
+    for inv, rel, line, msg in violations:
+        print(f"{inv}:{rel}:{line}: {msg}")
+    if violations:
+        print(f"FAIL  {len(violations)} invariant violation(s)")
+        return 1
+    print(f"ok    all {len(CHECKS)} invariants hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

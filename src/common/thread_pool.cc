@@ -23,9 +23,9 @@ struct ThreadPool::Batch
      *  this drains, or a straggler that claimed no chunk would
      *  touch freed stack memory. */
     std::atomic<std::size_t> workersIn{0};
-    std::mutex mu;
-    std::condition_variable cv;
-    std::exception_ptr error;
+    Mutex mu;
+    CondVar cv;
+    std::exception_ptr error GUARDED_BY(mu);
 
     /** Claim and run chunks until exhausted. */
     void
@@ -40,13 +40,13 @@ struct ThreadPool::Batch
             try {
                 (*body)(begin, end, worker);
             } catch (...) {
-                std::lock_guard<std::mutex> lk(mu);
+                MutexLock lk(mu);
                 if (!error)
                     error = std::current_exception();
             }
             if (doneChunks.fetch_add(1) + 1 == nChunks) {
-                std::lock_guard<std::mutex> lk(mu);
-                cv.notify_all();
+                MutexLock lk(mu);
+                cv.notifyAll();
             }
         }
     }
@@ -65,10 +65,10 @@ ThreadPool::ThreadPool(std::size_t threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        MutexLock lk(mu_);
         stopping_ = true;
     }
-    cv_.notify_all();
+    cv_.notifyAll();
     for (auto &w : workers_)
         if (w.joinable())
             w.join();
@@ -81,8 +81,9 @@ ThreadPool::workerLoop(std::size_t slot)
         Batch *batch = nullptr;
         std::uint64_t gen = 0;
         {
-            std::unique_lock<std::mutex> lk(mu_);
-            cv_.wait(lk, [&] { return stopping_ || current_; });
+            MutexLock lk(mu_);
+            while (!stopping_ && current_ == nullptr)
+                cv_.wait(lk);
             if (stopping_)
                 return;
             batch = current_;
@@ -91,18 +92,17 @@ ThreadPool::workerLoop(std::size_t slot)
         }
         batch->run(slot);
         {
-            std::lock_guard<std::mutex> lk(batch->mu);
+            MutexLock lk(batch->mu);
             batch->workersIn.fetch_sub(1);
-            batch->cv.notify_all();
+            batch->cv.notifyAll();
         }
         {
             // Wait for this batch to be retired before re-arming, so
             // a worker doesn't re-enter a finished batch. Compare
             // generations, not (possibly reused) addresses.
-            std::unique_lock<std::mutex> lk(mu_);
-            cv_.wait(lk, [&] {
-                return stopping_ || generation_ != gen;
-            });
+            MutexLock lk(mu_);
+            while (!stopping_ && generation_ == gen)
+                cv_.wait(lk);
             if (stopping_)
                 return;
         }
@@ -121,13 +121,13 @@ ThreadPool::parallelForChunked(std::size_t n, std::size_t grain,
     batch.nChunks = (n + batch.grain - 1) / batch.grain;
     batch.body = &body;
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        MutexLock lk(mu_);
         panicIf(current_ != nullptr,
                 "nested/concurrent pool dispatch is not supported");
         current_ = &batch;
         ++generation_;
     }
-    cv_.notify_all();
+    cv_.notifyAll();
     batch.run(0);  // caller participates as slot 0
     // batch.run returning means every chunk has been *claimed*, so
     // unpublishing now strands no work — and no further worker can
@@ -136,20 +136,21 @@ ThreadPool::parallelForChunked(std::size_t n, std::size_t grain,
     // straggler that entered but claimed nothing must be out before
     // the stack-allocated batch is destroyed.
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        MutexLock lk(mu_);
         current_ = nullptr;
         ++generation_;
     }
-    cv_.notify_all();
+    cv_.notifyAll();
+    std::exception_ptr error;
     {
-        std::unique_lock<std::mutex> lk(batch.mu);
-        batch.cv.wait(lk, [&] {
-            return batch.doneChunks.load() >= batch.nChunks &&
-                   batch.workersIn.load() == 0;
-        });
+        MutexLock lk(batch.mu);
+        while (batch.doneChunks.load() < batch.nChunks ||
+               batch.workersIn.load() != 0)
+            batch.cv.wait(lk);
+        error = batch.error;
     }
-    if (batch.error)
-        std::rethrow_exception(batch.error);
+    if (error)
+        std::rethrow_exception(error);
 }
 
 void

@@ -19,14 +19,14 @@
 #ifndef MOELIGHT_COMMON_THREAD_POOL_HH
 #define MOELIGHT_COMMON_THREAD_POOL_HH
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <span>
 #include <thread>
 #include <vector>
+
+#include "common/sync.hh"
 
 namespace moelight {
 
@@ -119,12 +119,13 @@ class ThreadPool
     struct Batch;
     void workerLoop(std::size_t slot);
 
-    std::mutex mu_;
-    std::condition_variable cv_;
-    bool stopping_ = false;
-    Batch *current_ = nullptr;
-    std::uint64_t generation_ = 0;  ///< bumps when current_ changes
-    std::vector<std::thread> workers_;
+    Mutex mu_;
+    CondVar cv_;
+    bool stopping_ GUARDED_BY(mu_) = false;
+    Batch *current_ GUARDED_BY(mu_) = nullptr;
+    /** Bumps when current_ changes (publish and retire). */
+    std::uint64_t generation_ GUARDED_BY(mu_) = 0;
+    std::vector<std::thread> workers_;  ///< set once in the ctor
 };
 
 } // namespace moelight

@@ -19,7 +19,12 @@ namespace simd {
 
 namespace {
 
-/** Test-only override; null in production (see ScopedIsa). */
+/** Test-only override; null in production (see ScopedIsa).
+ *  Concurrency contract: an atomic (not a mutex) because ops() reads
+ *  it on every kernel call from any worker thread; ScopedIsa's
+ *  set/restore pairs are expected to run while no kernels are in
+ *  flight (tests are serial), so torn *usage* cannot occur — the
+ *  atomic only guarantees the pointer load/store itself is clean. */
 std::atomic<const VecOps *> g_forced{nullptr};
 
 } // namespace

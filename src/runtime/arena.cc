@@ -23,6 +23,7 @@ PageArena::PageArena(std::string name, std::size_t pageFloats,
 PageId
 PageArena::allocate()
 {
+    MutexLock lk(mu_);
     fatalIf(freeList_.empty(), "arena '", name_,
             "' out of pages (capacity ", numPages_, ")");
     PageId id = freeList_.back();
@@ -36,6 +37,7 @@ PageArena::release(PageId id)
 {
     panicIf(id < 0 || static_cast<std::size_t>(id) >= numPages_,
             "arena '", name_, "': bad page id ", id);
+    MutexLock lk(mu_);
     panicIf(!inUse_[static_cast<std::size_t>(id)], "arena '", name_,
             "': double free of page ", id);
     inUse_[static_cast<std::size_t>(id)] = false;
@@ -47,8 +49,14 @@ PageArena::page(PageId id)
 {
     panicIf(id < 0 || static_cast<std::size_t>(id) >= numPages_,
             "arena '", name_, "': bad page id ", id);
-    panicIf(!inUse_[static_cast<std::size_t>(id)], "arena '", name_,
-            "': access to unallocated page ", id);
+    {
+        // Lock only for the liveness check; the returned storage is
+        // untouched by allocate/release, and each live page has one
+        // writer by construction.
+        MutexLock lk(mu_);
+        panicIf(!inUse_[static_cast<std::size_t>(id)], "arena '",
+                name_, "': access to unallocated page ", id);
+    }
     return storage_.data() + static_cast<std::size_t>(id) * pageFloats_;
 }
 
@@ -56,6 +64,20 @@ const float *
 PageArena::page(PageId id) const
 {
     return const_cast<PageArena *>(this)->page(id);
+}
+
+std::size_t
+PageArena::freePages() const
+{
+    MutexLock lk(mu_);
+    return freeList_.size();
+}
+
+std::size_t
+PageArena::usedPages() const
+{
+    MutexLock lk(mu_);
+    return numPages_ - freeList_.size();
 }
 
 } // namespace moelight

@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "common/sync.hh"
+
 namespace moelight {
 
 /** Index of a page inside a PageArena. */
@@ -24,6 +26,14 @@ constexpr PageId kInvalidPage = -1;
  * A pool of equal-sized float pages with a free list. Allocation
  * fails loudly (FatalError) when the pool is exhausted — mirroring a
  * real device OOM rather than silently growing.
+ *
+ * Thread-safe bookkeeping: allocate/release/page may be called from
+ * different executor workers concurrently (KV appends on the DtoH/Gpu
+ * queues allocate while the Cpu attention worker materializes views),
+ * so the free list and in-use bitmap are guarded by an internal
+ * mutex. Page *contents* are not: each page has exactly one writer by
+ * construction (pages belong to one sequence), so data access stays
+ * lock-free.
  */
 class PageArena
 {
@@ -48,8 +58,8 @@ class PageArena
     std::size_t pageFloats() const { return pageFloats_; }
     std::size_t pageBytes() const { return pageFloats_ * sizeof(float); }
     std::size_t numPages() const { return numPages_; }
-    std::size_t freePages() const { return freeList_.size(); }
-    std::size_t usedPages() const { return numPages_ - freeList_.size(); }
+    std::size_t freePages() const;
+    std::size_t usedPages() const;
     const std::string &name() const { return name_; }
 
   private:
@@ -57,8 +67,11 @@ class PageArena
     std::size_t pageFloats_;
     std::size_t numPages_;
     std::vector<float> storage_;
-    std::vector<PageId> freeList_;
-    std::vector<bool> inUse_;
+    /** Guards the allocation bookkeeping only (see class doc).
+     *  Lock-ordering leaf: no callee takes another lock. */
+    mutable Mutex mu_;
+    std::vector<PageId> freeList_ GUARDED_BY(mu_);
+    std::vector<bool> inUse_ GUARDED_BY(mu_);
 };
 
 } // namespace moelight

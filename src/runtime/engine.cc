@@ -156,6 +156,7 @@ PipelinedEngine::PipelinedEngine(const ModelWeights &weights,
         // Admission budgets only the novel tail of a cached prompt
         // (the shared pages are budgeted once, globally, via
         // pinnedTokens in kvTokensInUse()).
+        MutexLock lk(frontMu_);  // object not yet shared; analysis
         batcher_.setDemandOracle([this](const ServeRequest &r) {
             return servingKvDemandNet(r, prefix_->peekMatch(r.prompt),
                                       kvQuantum_);
@@ -196,18 +197,19 @@ PipelinedEngine::submit(ServeRequest req)
             "engine's KV capacity is ", kvBudgetTokens_,
             " request tokens (kvCapacityTokens / layer count)");
     servingStampSubmitted(req);
+    MutexLock lk(frontMu_);
     batcher_.enqueue(std::move(req));
 }
 
 bool
 PipelinedEngine::cancel(std::int64_t id)
 {
-    bool found = batcher_.contains(id);
-    for (const auto &s : slots_)
-        found = found || (s && s->req.id == id);
-    // Found ids stay in flight until the next step() (the engine is
-    // single-threaded between steps), which retires them as
-    // Cancelled and releases their pages.
+    MutexLock lk(frontMu_);
+    // activeIds_ mirrors the driver-owned slots_ so this probe never
+    // races the pipeline. Found ids stay in flight until the next
+    // step(), which retires them as Cancelled and releases their
+    // pages.
+    bool found = batcher_.contains(id) || activeIds_.count(id) != 0;
     if (found)
         cancelled_.insert(id);
     return found;
@@ -216,16 +218,15 @@ PipelinedEngine::cancel(std::int64_t id)
 std::size_t
 PipelinedEngine::pendingRequests() const
 {
+    MutexLock lk(frontMu_);
     return batcher_.pending();
 }
 
 std::size_t
 PipelinedEngine::activeRequests() const
 {
-    std::size_t n = 0;
-    for (const auto &s : slots_)
-        n += s.has_value();
-    return n;
+    MutexLock lk(frontMu_);
+    return activeIds_.size();
 }
 
 std::size_t
@@ -335,7 +336,7 @@ PipelinedEngine::step()
 void
 PipelinedEngine::noteSlotFault(std::size_t slot, const char *what)
 {
-    std::lock_guard<std::mutex> lk(faultMu_);
+    MutexLock lk(faultMu_);
     if (slotError_[slot].empty())
         slotError_[slot] = what;
 }
@@ -343,7 +344,7 @@ PipelinedEngine::noteSlotFault(std::size_t slot, const char *what)
 bool
 PipelinedEngine::slotFaulted(std::size_t slot) const
 {
-    std::lock_guard<std::mutex> lk(faultMu_);
+    MutexLock lk(faultMu_);
     return !slotError_[slot].empty();
 }
 
@@ -367,6 +368,10 @@ PipelinedEngine::maybeRetire(std::size_t slot,
     // the co-batch keeps decoding, so a freed slot can take the next
     // queued request at the following round's admission.
     freeSlotKv(slot);
+    {
+        MutexLock lk(frontMu_);
+        activeIds_.erase(a.req.id);
+    }
     slots_[slot].reset();
     freeSlots_.insert(
         std::lower_bound(freeSlots_.begin(), freeSlots_.end(), slot,
@@ -388,13 +393,17 @@ PipelinedEngine::retireTerminal(std::size_t slot, FinishReason reason,
         a.prefillSeconds, a.decodeSeconds);
     r.preemptions = a.preemptions;
     freeSlotKv(slot);
+    {
+        MutexLock lk(frontMu_);
+        activeIds_.erase(a.req.id);
+    }
     slots_[slot].reset();
     freeSlots_.insert(
         std::lower_bound(freeSlots_.begin(), freeSlots_.end(), slot,
                          std::greater<std::size_t>()),
         slot);
     {
-        std::lock_guard<std::mutex> lk(faultMu_);
+        MutexLock lk(faultMu_);
         slotError_[slot].clear();
     }
     finished.push_back(std::move(r));
@@ -403,40 +412,52 @@ PipelinedEngine::retireTerminal(std::size_t slot, FinishReason reason,
 void
 PipelinedEngine::processLifecycle(std::vector<RequestOutput> &finished)
 {
+    // Snapshot the cancellation set: ids cancelled after this point
+    // are simply handled by the next round, and operating on a local
+    // copy keeps the driver lock-free below (retire sites take their
+    // own brief front-end locks; holding frontMu_ across them would
+    // self-deadlock).
+    std::unordered_set<std::int64_t> cancelled;
+    {
+        MutexLock lk(frontMu_);
+        cancelled.swap(cancelled_);
+    }
     // Queued requests (including preempted ones awaiting
     // re-admission): cancellation and deadlines must not wait for
     // admission.
-    if (batcher_.pending() > 0) {
-        std::vector<ServeRequest> removed =
-            batcher_.removeIf([&](const ServeRequest &r) {
-                return cancelled_.count(r.id) != 0 ||
+    std::vector<ServeRequest> removed;
+    {
+        MutexLock lk(frontMu_);
+        if (batcher_.pending() > 0)
+            removed = batcher_.removeIf([&](const ServeRequest &r) {
+                return cancelled.count(r.id) != 0 ||
                        servingDeadlineExpired(r);
             });
-        for (ServeRequest &r : removed) {
-            FinishReason why = cancelled_.count(r.id)
-                                   ? FinishReason::Cancelled
-                                   : FinishReason::TimedOut;
-            cancelled_.erase(r.id);
-            ResumeState rs;
-            auto it = resume_.find(r.id);
-            if (it != resume_.end()) {
-                rs = std::move(it->second);
-                resume_.erase(it);
-            }
-            RequestOutput out = servingMakeTerminalOutput(
-                r, std::move(rs.saved), why, "", rs.prefillSeconds,
-                rs.decodeSeconds);
-            out.preemptions = rs.preemptions;
-            finished.push_back(std::move(out));
+    }
+    for (ServeRequest &r : removed) {
+        FinishReason why = cancelled.count(r.id)
+                               ? FinishReason::Cancelled
+                               : FinishReason::TimedOut;
+        cancelled.erase(r.id);
+        ResumeState rs;
+        auto it = resume_.find(r.id);
+        if (it != resume_.end()) {
+            rs = std::move(it->second);
+            resume_.erase(it);
         }
+        RequestOutput out = servingMakeTerminalOutput(
+            r, std::move(rs.saved), why, "", rs.prefillSeconds,
+            rs.decodeSeconds);
+        out.preemptions = rs.preemptions;
+        finished.push_back(std::move(out));
     }
     // Active sequences: retire and release pages immediately.
     for (std::size_t slot = 0; slot < slots_.size(); ++slot) {
         if (!slots_[slot])
             continue;
         const ServeRequest &req = slots_[slot]->req;
-        if (cancelled_.count(req.id)) {
-            cancelled_.erase(req.id);
+        if (cancelled.count(req.id)) {
+            cancelled.erase(req.id);
             retireTerminal(slot, FinishReason::Cancelled, "",
                            finished);
         } else if (servingDeadlineExpired(req)) {
@@ -444,10 +465,9 @@ PipelinedEngine::processLifecycle(std::vector<RequestOutput> &finished)
                            finished);
         }
     }
-    // Anything left was stale by the time this round ran (the request
-    // had already finished); cancel() only admits known ids, so just
-    // drop the leftovers.
-    cancelled_.clear();
+    // Anything left in the snapshot was stale by the time this round
+    // ran (the request had already finished); cancel() only admits
+    // known ids, so the leftovers just drop with the local set.
 }
 
 void
@@ -498,16 +518,25 @@ PipelinedEngine::preemptYoungest()
         victim);
     resume_[req.id] = std::move(rs);
     ++preemptions_;
-    batcher_.requeue(std::move(req));
+    {
+        // One critical section for the active→queued hand-off, so a
+        // concurrent cancel() finds the id on one side or the other.
+        MutexLock lk(frontMu_);
+        activeIds_.erase(req.id);
+        batcher_.requeue(std::move(req));
+    }
 }
 
 void
 PipelinedEngine::admitPending(std::vector<RequestOutput> &finished)
 {
-    if (batcher_.pending() == 0)
-        return;
-    std::vector<ServeRequest> admitted =
-        batcher_.admit(freeSlots_.size(), kvTokensInUse());
+    std::vector<ServeRequest> admitted;
+    {
+        MutexLock lk(frontMu_);
+        if (batcher_.pending() == 0)
+            return;
+        admitted = batcher_.admit(freeSlots_.size(), kvTokensInUse());
+    }
     if (admitted.empty()) {
         // The planner deferred everything. With sequences still
         // generating that's usually back-pressure — retry next round.
@@ -519,15 +548,25 @@ PipelinedEngine::admitPending(std::vector<RequestOutput> &finished)
         // would be permanent starvation (a lone request bigger than
         // the whole planner budget): force the oldest through and let
         // the KV pool itself diagnose a true overflow.
-        while (admitted.empty() && batcher_.headAged() &&
-               activeRequests() > 0) {
+        for (;;) {
+            bool headAged;
+            {
+                MutexLock lk(frontMu_);
+                headAged = batcher_.headAged();
+            }
+            if (!headAged || activeRequests() == 0)
+                break;
             preemptYoungest();
+            MutexLock lk(frontMu_);
             admitted =
                 batcher_.admit(freeSlots_.size(), kvTokensInUse());
+            if (!admitted.empty())
+                break;
         }
         if (admitted.empty()) {
             if (activeRequests() > 0)
                 return;
+            MutexLock lk(frontMu_);
             admitted.push_back(batcher_.admitOne());
         }
     }
@@ -565,6 +604,13 @@ PipelinedEngine::admitPending(std::vector<RequestOutput> &finished)
             servingKvDemandNet(as.req, as.prefixLen, kvQuantum_);
         fresh.push_back(slot);
     }
+    {
+        // Register before prefill so a cancel() racing the admission
+        // round still finds the id (it retires next lifecycle pass).
+        MutexLock lk(frontMu_);
+        for (std::size_t slot : fresh)
+            activeIds_.insert(slots_[slot]->req.id);
+    }
     // Round-scope fault capture: weight-stream or task-body faults
     // surface at sync() via the executor's firstError_; they can only
     // have corrupted this round's prefill state, so every fresh slot
@@ -583,7 +629,7 @@ PipelinedEngine::admitPending(std::vector<RequestOutput> &finished)
     for (std::size_t slot : fresh) {
         std::string slotMsg;
         {
-            std::lock_guard<std::mutex> lk(faultMu_);
+            MutexLock lk(faultMu_);
             slotMsg = slotError_[slot];
         }
         if (!slotMsg.empty() || !roundError.empty()) {
@@ -978,7 +1024,7 @@ PipelinedEngine::decodeActive(std::vector<RequestOutput> &finished)
     for (std::size_t slot : st.rowSlot) {
         std::string slotMsg;
         {
-            std::lock_guard<std::mutex> lk(faultMu_);
+            MutexLock lk(faultMu_);
             slotMsg = slotError_[slot];
         }
         if (!slotMsg.empty() || !roundError.empty()) {

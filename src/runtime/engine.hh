@@ -29,13 +29,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/sync.hh"
 #include "common/thread_pool.hh"
 #include "common/units.hh"
 #include "kernels/router.hh"  // TokenRouting (prefill scratch)
@@ -230,7 +230,14 @@ class PipelinedEngine : public Engine
      *  layers); submit() rejects requests that can never fit it.
      *  Declared before batcher_ for the same reason. */
     std::size_t kvBudgetTokens_ = 0;
-    ContinuousBatcher batcher_;
+    /** Front-end lock: submit(), cancel(), pendingRequests() and
+     *  activeRequests() are callable from any thread while one driver
+     *  thread runs step() (see the Engine contract in serving.hh).
+     *  Guards the admission queue, the cancellation set and the id
+     *  index of occupied slots; every other member is driver-owned.
+     *  Lock-ordering leaf: never held while taking another lock. */
+    mutable Mutex frontMu_;
+    ContinuousBatcher batcher_ GUARDED_BY(frontMu_);
 
     // Model shapes hoisted from cfg (set once in the constructor).
     std::size_t h1_, qDim_, kvDim_, qkvDim_, vocab_;
@@ -242,15 +249,20 @@ class PipelinedEngine : public Engine
     std::size_t kvPeakPages_ = 0;
 
     // Request lifecycle / fault containment.
-    std::unordered_set<std::int64_t> cancelled_;  ///< ids to cancel
+    std::unordered_set<std::int64_t> cancelled_
+        GUARDED_BY(frontMu_);  ///< ids to cancel at the next step()
+    /** Ids currently occupying slots_, maintained at admission and
+     *  retirement so cancel() can probe active requests without
+     *  touching the driver-owned slots_. */
+    std::unordered_set<std::int64_t> activeIds_ GUARDED_BY(frontMu_);
     std::unordered_map<std::int64_t, ResumeState> resume_;
     std::uint64_t admitCounter_ = 0;
     std::size_t preemptions_ = 0;
     /** Per-slot fault messages recorded by pipeline tasks mid-round
-     *  (empty = healthy); mutable under faultMu_ because the DtoH and
-     *  Gpu queue threads record concurrently. */
-    mutable std::mutex faultMu_;
-    std::vector<std::string> slotError_;
+     *  (empty = healthy); guarded because the DtoH and Gpu queue
+     *  threads record concurrently. Lock-ordering leaf. */
+    mutable Mutex faultMu_;
+    std::vector<std::string> slotError_ GUARDED_BY(faultMu_);
 
     // Persistent scratch (grow-only; see ensureAttnScratch).
     std::vector<float> gpuNormB_, gpuProjB_, gpuRlB_, gpuFfnB_;

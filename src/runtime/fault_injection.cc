@@ -94,7 +94,7 @@ void
 FaultInjector::armCount(const std::string &site, std::uint64_t nth)
 {
     fatalIf(nth == 0, "fault count is 1-based; 0 never fires");
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     Site &st = sites_[site];
     st.calls = 0;
     st.nth = nth;
@@ -107,7 +107,7 @@ FaultInjector::armRate(const std::string &site, double rate,
                        std::uint64_t seed)
 {
     fatalIf(rate < 0.0 || rate > 1.0, "fault rate out of [0, 1]");
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     Site &st = sites_[site];
     st.calls = 0;
     st.nth = 0;
@@ -120,7 +120,7 @@ FaultInjector::armRate(const std::string &site, double rate,
 void
 FaultInjector::disarm(const std::string &site)
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     auto it = sites_.find(site);
     if (it != sites_.end()) {
         it->second.nth = 0;
@@ -132,7 +132,7 @@ FaultInjector::disarm(const std::string &site)
 void
 FaultInjector::disarmAll()
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     sites_.clear();
     enabled_.store(false, std::memory_order_relaxed);
 }
@@ -140,7 +140,7 @@ FaultInjector::disarmAll()
 std::uint64_t
 FaultInjector::hits(const std::string &site) const
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     auto it = sites_.find(site);
     return it == sites_.end() ? 0 : it->second.hitCount;
 }
@@ -159,7 +159,7 @@ FaultInjector::checkSlow(const char *site)
 {
     std::uint64_t call = 0;
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        MutexLock lk(mu_);
         auto it = sites_.find(site);
         if (it == sites_.end())
             return;

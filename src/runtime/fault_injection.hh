@@ -30,8 +30,9 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
+
+#include "common/sync.hh"
 
 namespace moelight {
 
@@ -74,7 +75,7 @@ class FaultInjector
 
     void checkSlow(const char *site);
     void loadEnv();
-    void recomputeEnabled();  // callers hold mu_
+    void recomputeEnabled() REQUIRES(mu_);
 
     struct Site
     {
@@ -88,8 +89,11 @@ class FaultInjector
         std::uint64_t rngState = 0;
     };
 
-    mutable std::mutex mu_;
-    std::map<std::string, Site> sites_;
+    mutable Mutex mu_;
+    std::map<std::string, Site> sites_ GUARDED_BY(mu_);
+    /** Fast-path flag mirroring "any site armed"; written under mu_,
+     *  read lock-free in check(). A stale read only costs one extra
+     *  checkSlow() round-trip or skips a check that raced disarm. */
     std::atomic<bool> enabled_{false};
 };
 

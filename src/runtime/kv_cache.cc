@@ -25,6 +25,13 @@ KvCacheManager::KvCacheManager(const ModelConfig &cfg,
              pool_.numPages() / 2,
              PageTableHooks{
                  [this] {
+                     // Append-side workers allocate while the
+                     // attention worker views other sequences; mu_
+                     // covers the (reallocating!) pairs_ vector. It
+                     // is held across the arena calls — arena's lock
+                     // is a leaf, so the order mu_ → pool_.mu_ is
+                     // safe and fixed.
+                     MutexLock lk(mu_);
                      BlockId id;
                      if (!freeIds_.empty()) {
                          id = freeIds_.back();
@@ -42,16 +49,23 @@ KvCacheManager::KvCacheManager(const ModelConfig &cfg,
                  },
                  [this](BlockId dst, BlockId src,
                         std::size_t tokens) {
-                     std::memcpy(pool_.page(pairs_[dst].k),
-                                 pool_.page(pairs_[src].k),
+                     PagePair d, s;
+                     {
+                         MutexLock lk(mu_);
+                         d = pairs_[dst];
+                         s = pairs_[src];
+                     }
+                     // Copy outside mu_: the pages themselves belong
+                     // to the two streams involved in the CoW.
+                     std::memcpy(pool_.page(d.k), pool_.page(s.k),
                                  tokens * tokenFloats_ *
                                      sizeof(float));
-                     std::memcpy(pool_.page(pairs_[dst].v),
-                                 pool_.page(pairs_[src].v),
+                     std::memcpy(pool_.page(d.v), pool_.page(s.v),
                                  tokens * tokenFloats_ *
                                      sizeof(float));
                  },
                  [this](BlockId id) {
+                     MutexLock lk(mu_);
                      pool_.release(pairs_[id].k);
                      pool_.release(pairs_[id].v);
                      pairs_[id] = PagePair{};
@@ -68,10 +82,13 @@ KvCacheManager::append(std::size_t seq, std::size_t layer,
                        const float *k, const float *v)
 {
     AppendSlot slot = table_.appendToken(seq, layer);
-    float *kp = pool_.page(pairs_[slot.block].k) +
-                slot.offset * tokenFloats_;
-    float *vp = pool_.page(pairs_[slot.block].v) +
-                slot.offset * tokenFloats_;
+    PagePair pair;
+    {
+        MutexLock lk(mu_);
+        pair = pairs_[slot.block];
+    }
+    float *kp = pool_.page(pair.k) + slot.offset * tokenFloats_;
+    float *vp = pool_.page(pair.v) + slot.offset * tokenFloats_;
     std::memcpy(kp, k, tokenFloats_ * sizeof(float));
     std::memcpy(vp, v, tokenFloats_ * sizeof(float));
 }
@@ -89,8 +106,13 @@ KvCacheManager::makeView(std::size_t seq, std::size_t layer,
     storage.k.clear();
     storage.v.clear();
     for (BlockId b : table_.streamBlocks(seq, layer)) {
-        storage.k.push_back(pool_.page(pairs_[b].k));
-        storage.v.push_back(pool_.page(pairs_[b].v));
+        PagePair pair;
+        {
+            MutexLock lk(mu_);
+            pair = pairs_[b];
+        }
+        storage.k.push_back(pool_.page(pair.k));
+        storage.v.push_back(pool_.page(pair.v));
     }
     storage.view.kPages = storage.k;
     storage.view.vPages = storage.v;

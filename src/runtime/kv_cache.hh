@@ -17,6 +17,7 @@
 
 #include <vector>
 
+#include "common/sync.hh"
 #include "kernels/attention.hh"
 #include "model/model_config.hh"
 #include "runtime/arena.hh"
@@ -116,8 +117,16 @@ class KvCacheManager
     std::size_t pageTokens_;
     std::size_t tokenFloats_;  ///< nkv * headDim
     PageArena pool_;
-    std::vector<PagePair> pairs_;    ///< indexed by BlockId
-    std::vector<BlockId> freeIds_;   ///< recycled block ids
+    /** Guards the block→page mapping (pairs_ may REALLOCATE when a
+     *  KV append on one executor worker allocates a block while the
+     *  attention worker materializes views) and the freeIds_ recycle
+     *  list. Page *contents* are unguarded: one writer per sequence
+     *  stream, ordered before readers by the engine's chain events.
+     *  Lock order: mu_ may be held while taking PageArena's internal
+     *  lock (a leaf); never the reverse. */
+    mutable Mutex mu_;
+    std::vector<PagePair> pairs_ GUARDED_BY(mu_);  ///< by BlockId
+    std::vector<BlockId> freeIds_ GUARDED_BY(mu_);  ///< recycled ids
     PageTable table_;  ///< last: its hooks capture this
 };
 

@@ -130,6 +130,7 @@ PageTable::deref(BlockId b)
 AppendSlot
 PageTable::appendToken(std::size_t seq, std::size_t layer)
 {
+    MOELIGHT_ASSERT_SERIAL(gate_);
     Stream &st = at(seq, layer);
     std::size_t off = st.len % pageTokens_;
     // Injection cadence matches what each cache historically did:
@@ -182,6 +183,7 @@ void
 PageTable::attachShared(std::size_t seq, std::size_t layer,
                         std::span<const BlockId> blocks)
 {
+    MOELIGHT_ASSERT_SERIAL(gate_);
     Stream &st = at(seq, layer);
     panicIf(!st.blocks.empty() || st.len != 0,
             "attachShared to a non-empty stream (seq ", seq,
@@ -202,6 +204,7 @@ PageTable::attachShared(std::size_t seq, std::size_t layer,
 void
 PageTable::pin(BlockId block)
 {
+    MOELIGHT_ASSERT_SERIAL(gate_);
     BlockMeta &m = meta(block);
     panicIf(!m.resident, "pin of non-resident KV block ", block);
     // A pinned block's token count cannot change (appends into it
@@ -214,6 +217,7 @@ PageTable::pin(BlockId block)
 void
 PageTable::unpin(BlockId block)
 {
+    MOELIGHT_ASSERT_SERIAL(gate_);
     BlockMeta &m = meta(block);
     if (!m.resident || m.pins == 0)
         throw EngineError(ErrorCode::KvDoubleFree, "kv.free",
@@ -244,6 +248,7 @@ PageTable::sequenceLive(std::size_t seq) const
 void
 PageTable::freeSequence(std::size_t seq)
 {
+    MOELIGHT_ASSERT_SERIAL(gate_);
     if (seq >= numSeqs_)
         throw EngineError(ErrorCode::KvInvalidSequence, "kv.free",
                           "freeSequence(" + std::to_string(seq) +

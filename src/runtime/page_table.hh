@@ -28,9 +28,14 @@
  * the typed EngineError(KvExhausted) the engines contain at request
  * scope.
  *
- * Not thread-safe; the engines' phase structure serializes all cache
- * access (appends on the DtoH queue, admission/retirement between
- * synced rounds).
+ * Single-threaded-by-contract: no internal locking. The table IS
+ * reached from several threads — decode appends run on the DtoH
+ * queue worker, prefill appends on the Gpu queue worker, admission /
+ * retirement / prefix attach on the driver thread — but the engines'
+ * phase structure (task events within a round, exec_->sync() between
+ * phases) serializes every access. Debug builds assert that
+ * serialization on each mutating call (see DebugSerialGate in
+ * common/sync.hh and docs/concurrency.md).
  */
 
 #ifndef MOELIGHT_RUNTIME_PAGE_TABLE_HH
@@ -40,6 +45,8 @@
 #include <functional>
 #include <span>
 #include <vector>
+
+#include "common/sync.hh"
 
 namespace moelight {
 
@@ -235,6 +242,7 @@ class PageTable
     std::size_t referencedBlocks_ = 0;
     std::size_t residentTokens_ = 0;
     std::size_t pinnedTokens_ = 0;
+    mutable DebugSerialGate gate_;  ///< caller-serialization check
 };
 
 } // namespace moelight

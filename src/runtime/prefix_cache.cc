@@ -61,6 +61,7 @@ PrefixCache::peekMatch(std::span<const int> prompt) const
 std::size_t
 PrefixCache::attach(std::size_t seq, std::span<const int> prompt)
 {
+    MOELIGHT_ASSERT_SERIAL(gate_);
     ++stats_.lookups;
     std::vector<Node *> chain = matchChain(prompt);
     if (chain.empty())
@@ -85,6 +86,7 @@ PrefixCache::attach(std::size_t seq, std::span<const int> prompt)
 void
 PrefixCache::insert(std::size_t seq, std::span<const int> prompt)
 {
+    MOELIGHT_ASSERT_SERIAL(gate_);
     std::size_t pt = table_.pageTokens();
     std::size_t pages = prompt.size() / pt;
     if (pages == 0)
@@ -139,6 +141,7 @@ PrefixCache::unreferenced(const Node &n) const
 bool
 PrefixCache::evictOne()
 {
+    MOELIGHT_ASSERT_SERIAL(gate_);
     // LRU over evictable leaves: childless nodes (interior pages must
     // outlive their extensions) whose blocks no live sequence
     // references. The tree is small (distinct cached pages), so a

@@ -45,7 +45,13 @@ struct PrefixCacheStats
  * lookup, so a hash collision degrades to a miss, never a false hit)
  * plus the backing block per layer, pinned in the table.
  *
- * Not thread-safe; shares the engines' phase serialization.
+ * Single-threaded-by-contract: no internal locking. Like the
+ * PageTable it sits on, it is reached from several threads taking
+ * turns — attach()/insert() on the driver, evictOne() from the
+ * table's reclaim hook inside appends running on queue workers — but
+ * the engines' phase serialization guarantees the turns never
+ * overlap, and debug builds assert that on each mutating call (see
+ * docs/concurrency.md).
  */
 class PrefixCache
 {
@@ -116,6 +122,7 @@ class PrefixCache
     std::size_t nodeCount_ = 0;
     std::uint64_t tick_ = 0;
     PrefixCacheStats stats_;
+    mutable DebugSerialGate gate_;  ///< caller-serialization check
 };
 
 } // namespace moelight

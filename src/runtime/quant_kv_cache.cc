@@ -21,6 +21,10 @@ QuantizedKvCache::QuantizedKvCache(const ModelConfig &cfg,
              capacityTokens,
              PageTableHooks{
                  [this] {
+                     // Runs on whichever executor worker appends KV,
+                     // concurrently with view materialization — the
+                     // container lock covers deque growth.
+                     MutexLock lk(mu_);
                      BlockId id;
                      if (!freeIds_.empty()) {
                          id = freeIds_.back();
@@ -35,6 +39,7 @@ QuantizedKvCache::QuantizedKvCache(const ModelConfig &cfg,
                         std::size_t tokens) {
                      // Copy-on-write fires only on open (partial)
                      // blocks, whose tokens still sit in float.
+                     MutexLock lk(mu_);
                      const QBlock &s = blocks_[src];
                      QBlock &d = blocks_[dst];
                      panicIf(s.qk.has_value(),
@@ -44,6 +49,7 @@ QuantizedKvCache::QuantizedKvCache(const ModelConfig &cfg,
                      d.fv.assign(s.fv.begin(), s.fv.begin() + n);
                  },
                  [this](BlockId id) {
+                     MutexLock lk(mu_);
                      QBlock &b = blocks_[id];
                      b.qk.reset();
                      b.qv.reset();
@@ -68,6 +74,10 @@ QuantizedKvCache::QuantizedKvCache(const ModelConfig &cfg,
 const QuantizedKvCache::QBlock &
 QuantizedKvCache::blockAt(BlockId b) const
 {
+    // Index under the container lock; the returned reference stays
+    // valid after it (deque, stable addresses) and the block's
+    // contents have one writer — the owning sequence's stream.
+    MutexLock lk(mu_);
     panicIf(static_cast<std::size_t>(b) >= blocks_.size(),
             "unknown quantized KV block ", b);
     return blocks_[b];
@@ -80,7 +90,12 @@ QuantizedKvCache::append(std::size_t seq, std::size_t layer,
     // The table throws typed KvExhausted before any mutation, so a
     // rejected append leaves the accounting consistent.
     AppendSlot slot = table_.appendToken(seq, layer);
-    QBlock &b = blocks_[slot.block];
+    QBlock *bp;
+    {
+        MutexLock lk(mu_);
+        bp = &blocks_[slot.block];
+    }
+    QBlock &b = *bp;  // contents are this stream's alone
     b.fk.insert(b.fk.end(), k, k + tokenFloats_);
     b.fv.insert(b.fv.end(), v, v + tokenFloats_);
     if (b.fk.size() == pageTokens_ * tokenFloats_) {
@@ -192,6 +207,7 @@ QuantizedKvCache::storedBytes() const
 {
     // Freed blocks hold no buffers, so summing the whole store counts
     // exactly the resident blocks, shared ones once.
+    MutexLock lk(mu_);
     std::size_t bytes = 0;
     for (const QBlock &b : blocks_) {
         if (b.qk.has_value())

@@ -21,6 +21,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/sync.hh"
 #include "kernels/attention.hh"
 #include "kernels/quant.hh"
 #include "model/model_config.hh"
@@ -152,10 +153,20 @@ class QuantizedKvCache
     std::size_t tokenFloats_;
     QuantKind kind_;
     std::size_t capacityTokens_;
+    /** Guards the CONTAINER structure of blocks_ (deque growth /
+     *  indexing) and the freeIds_ recycle list: block allocation runs
+     *  on whichever executor worker appends KV while the attention
+     *  worker materializes views of other sequences' blocks. Block
+     *  *contents* are not guarded — each block belongs to exactly one
+     *  sequence stream (one writer), and the engine's chain events
+     *  order append-before-view within a micro-batch. Lock-ordering
+     *  leaf. */
+    mutable Mutex mu_;
     /** deque: stable addresses — zero-copy views hold pointers into
-     *  blocks while new blocks are allocated. */
-    std::deque<QBlock> blocks_;      ///< indexed by BlockId
-    std::vector<BlockId> freeIds_;   ///< recycled block ids
+     *  blocks while new blocks are allocated (and references stay
+     *  valid after mu_ is dropped). */
+    std::deque<QBlock> blocks_ GUARDED_BY(mu_);  ///< indexed by BlockId
+    std::vector<BlockId> freeIds_ GUARDED_BY(mu_);  ///< recycled ids
     /** Per-stream page-pointer lists backing makeQuantView()'s spans,
      *  rebuilt per call (the view is documented as invalidated by the
      *  next append to the same stream). */

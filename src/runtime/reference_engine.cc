@@ -26,8 +26,11 @@ ReferenceEngine::ReferenceEngine(const ModelWeights &weights,
 void
 ReferenceEngine::reset()
 {
-    fatalIf(!pending_.empty() || !active_.empty(),
-            "reset() with requests in flight");
+    {
+        MutexLock lk(frontMu_);
+        fatalIf(!pending_.empty() || !active_.empty(),
+                "reset() with requests in flight");
+    }
     seqs_.clear();
     freeSeqs_.clear();
 }
@@ -72,17 +75,17 @@ ReferenceEngine::submit(ServeRequest req)
 {
     servingValidateRequest(req, w_.cfg.vocab);
     servingStampSubmitted(req);
+    MutexLock lk(frontMu_);
     pending_.push_back(std::move(req));
 }
 
 bool
 ReferenceEngine::cancel(std::int64_t id)
 {
-    bool found = false;
+    MutexLock lk(frontMu_);
+    bool found = activeIds_.count(id) != 0;
     for (const ServeRequest &r : pending_)
         found = found || r.id == id;
-    for (const ActiveRequest &a : active_)
-        found = found || a.req.id == id;
     if (found)
         cancelled_.insert(id);
     return found;
@@ -91,13 +94,15 @@ ReferenceEngine::cancel(std::int64_t id)
 std::size_t
 ReferenceEngine::pendingRequests() const
 {
+    MutexLock lk(frontMu_);
     return pending_.size();
 }
 
 std::size_t
 ReferenceEngine::activeRequests() const
 {
-    return active_.size();
+    MutexLock lk(frontMu_);
+    return activeIds_.size();
 }
 
 bool
@@ -120,6 +125,10 @@ ReferenceEngine::retireFinished(std::vector<RequestOutput> &out)
             servingMakeOutput(a.req, std::move(a.tokens),
                               a.prefillSeconds, a.decodeSeconds);
         freeSeq(a.seq);
+        {
+            MutexLock lk(frontMu_);
+            activeIds_.erase(a.req.id);
+        }
         out.push_back(std::move(r));
     }
     active_ = std::move(still);
@@ -128,21 +137,33 @@ ReferenceEngine::retireFinished(std::vector<RequestOutput> &out)
 void
 ReferenceEngine::processLifecycle(std::vector<RequestOutput> &out)
 {
+    // Snapshot the cancellation set (ids cancelled from here on are
+    // handled next round) so the driver works on a local copy — the
+    // same discipline as PipelinedEngine::processLifecycle.
+    std::unordered_set<std::int64_t> cancelled;
+    {
+        MutexLock lk(frontMu_);
+        cancelled.swap(cancelled_);
+    }
+
     // Queued requests: cancelled or expired ones retire without ever
     // running (no tokens, no KV).
-    std::deque<ServeRequest> keptPending;
-    for (ServeRequest &r : pending_) {
-        if (cancelled_.count(r.id)) {
-            out.push_back(servingMakeTerminalOutput(
-                r, {}, FinishReason::Cancelled, {}, 0.0, 0.0));
-        } else if (servingDeadlineExpired(r)) {
-            out.push_back(servingMakeTerminalOutput(
-                r, {}, FinishReason::TimedOut, {}, 0.0, 0.0));
-        } else {
-            keptPending.push_back(std::move(r));
+    {
+        MutexLock lk(frontMu_);
+        std::deque<ServeRequest> keptPending;
+        for (ServeRequest &r : pending_) {
+            if (cancelled.count(r.id)) {
+                out.push_back(servingMakeTerminalOutput(
+                    r, {}, FinishReason::Cancelled, {}, 0.0, 0.0));
+            } else if (servingDeadlineExpired(r)) {
+                out.push_back(servingMakeTerminalOutput(
+                    r, {}, FinishReason::TimedOut, {}, 0.0, 0.0));
+            } else {
+                keptPending.push_back(std::move(r));
+            }
         }
+        pending_ = std::move(keptPending);
     }
-    pending_ = std::move(keptPending);
 
     // Active requests: retire with their partial tokens and release
     // KV immediately.
@@ -150,7 +171,7 @@ ReferenceEngine::processLifecycle(std::vector<RequestOutput> &out)
     keptActive.reserve(active_.size());
     for (ActiveRequest &a : active_) {
         FinishReason reason = FinishReason::Length;
-        if (cancelled_.count(a.req.id))
+        if (cancelled.count(a.req.id))
             reason = FinishReason::Cancelled;
         else if (servingDeadlineExpired(a.req))
             reason = FinishReason::TimedOut;
@@ -158,13 +179,18 @@ ReferenceEngine::processLifecycle(std::vector<RequestOutput> &out)
             keptActive.push_back(std::move(a));
             continue;
         }
+        {
+            MutexLock lk(frontMu_);
+            activeIds_.erase(a.req.id);
+        }
         out.push_back(servingMakeTerminalOutput(
             a.req, std::move(a.tokens), reason, {},
             a.prefillSeconds, a.decodeSeconds));
         freeSeq(a.seq);
     }
     active_ = std::move(keptActive);
-    cancelled_.clear();
+    // Stale cancelled ids (request already finished) drop with the
+    // local snapshot.
 }
 
 std::vector<RequestOutput>
@@ -180,10 +206,20 @@ ReferenceEngine::step()
     // A prefill fault (e.g. injected KV-allocation failure in quant
     // mode) retires only that request with FinishReason::Error; the
     // rest of the queue still admits.
-    while (!pending_.empty()) {
+    std::deque<ServeRequest> admitted;
+    {
+        // One critical section for the queued→active hand-off: the
+        // ids register as active in the same swap that empties the
+        // queue, so a concurrent cancel() always finds them.
+        MutexLock lk(frontMu_);
+        admitted.swap(pending_);
+        for (const ServeRequest &r : admitted)
+            activeIds_.insert(r.id);
+    }
+    while (!admitted.empty()) {
         ActiveRequest a;
-        a.req = std::move(pending_.front());
-        pending_.pop_front();
+        a.req = std::move(admitted.front());
+        admitted.pop_front();
         a.seq = allocSeq();
         auto t0 = std::chrono::steady_clock::now();
         try {
@@ -194,6 +230,10 @@ ReferenceEngine::step()
                 argmax({logits.data(), logits.size()})));
         } catch (const FatalError &e) {
             freeSeq(a.seq);
+            {
+                MutexLock lk(frontMu_);
+                activeIds_.erase(a.req.id);
+            }
             finished.push_back(servingMakeTerminalOutput(
                 a.req, {}, FinishReason::Error, e.what(),
                 servingSecondsSince(t0), 0.0));
@@ -223,6 +263,10 @@ ReferenceEngine::step()
                 argmax({logits.data(), logits.size()})));
         } catch (const FatalError &e) {
             freeSeq(a.seq);
+            {
+                MutexLock lk(frontMu_);
+                activeIds_.erase(a.req.id);
+            }
             finished.push_back(servingMakeTerminalOutput(
                 a.req, std::move(a.tokens), FinishReason::Error,
                 e.what(), a.prefillSeconds, a.decodeSeconds));

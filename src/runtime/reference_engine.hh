@@ -22,6 +22,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/sync.hh"
 #include "runtime/quant_kv_cache.hh"
 #include "runtime/serving.hh"
 #include "runtime/weights.hh"
@@ -30,7 +31,11 @@ namespace moelight {
 
 /**
  * Single-threaded oracle. Not performance-oriented: prefill is
- * processed token by token through all layers.
+ * processed token by token through all layers. The compute itself is
+ * sequential, but the Engine front-end contract still holds: submit /
+ * cancel / pendingRequests / activeRequests are callable from any
+ * thread concurrently with one driver's step() (same locking split
+ * as PipelinedEngine, so front-end tests exercise both engines).
  */
 class ReferenceEngine : public Engine
 {
@@ -107,9 +112,17 @@ class ReferenceEngine : public Engine
     std::size_t kvPageTokens_;
     std::vector<SeqCache> seqs_;
     std::vector<std::size_t> freeSeqs_;
-    std::deque<ServeRequest> pending_;
-    std::vector<ActiveRequest> active_;
-    std::unordered_set<std::int64_t> cancelled_;  ///< ids to cancel
+    std::vector<ActiveRequest> active_;  ///< driver-owned
+    /** Front-end lock (same split as PipelinedEngine::frontMu_):
+     *  guards the submission queue, the cancellation set and the id
+     *  mirror of active_. Lock-ordering leaf. */
+    mutable Mutex frontMu_;
+    std::deque<ServeRequest> pending_ GUARDED_BY(frontMu_);
+    std::unordered_set<std::int64_t> cancelled_
+        GUARDED_BY(frontMu_);  ///< ids to cancel at the next step()
+    /** Ids of requests in active_, so cancel() needn't touch the
+     *  driver-owned vector. */
+    std::unordered_set<std::int64_t> activeIds_ GUARDED_BY(frontMu_);
 };
 
 } // namespace moelight

@@ -75,6 +75,7 @@ ContinuousBatcher::kvDemand(const ServeRequest &req) const
 void
 ContinuousBatcher::enqueue(ServeRequest req)
 {
+    MOELIGHT_ASSERT_SERIAL(gate_);
     queue_.push_back(std::move(req));
 }
 
@@ -82,6 +83,7 @@ std::vector<ServeRequest>
 ContinuousBatcher::admit(std::size_t freeSlots,
                          std::size_t kvTokensInUse)
 {
+    MOELIGHT_ASSERT_SERIAL(gate_);
     // Rounds that never consider the head — nothing queued, or no
     // free sequence slot for anyone — must not advance its age: the
     // deferral count measures rounds that looked at the head and
@@ -195,6 +197,7 @@ ContinuousBatcher::admit(std::size_t freeSlots,
 void
 ContinuousBatcher::requeue(ServeRequest req)
 {
+    MOELIGHT_ASSERT_SERIAL(gate_);
     if (queue_.empty())
         queue_.push_front(std::move(req));
     else
@@ -205,6 +208,7 @@ std::vector<ServeRequest>
 ContinuousBatcher::removeIf(
     const std::function<bool(const ServeRequest &)> &pred)
 {
+    MOELIGHT_ASSERT_SERIAL(gate_);
     std::vector<ServeRequest> removed;
     std::deque<ServeRequest> kept;
     bool headRemoved = !queue_.empty() && pred(queue_.front());
@@ -234,6 +238,7 @@ ContinuousBatcher::contains(std::int64_t id) const
 ServeRequest
 ContinuousBatcher::admitOne()
 {
+    MOELIGHT_ASSERT_SERIAL(gate_);
     panicIf(queue_.empty(), "admitOne() on an empty queue");
     headDeferrals_ = 0;
     ServeRequest req = std::move(queue_.front());

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/sync.hh"
 
 namespace moelight {
 
@@ -263,8 +264,14 @@ servingKvDemandNet(const ServeRequest &req, std::size_t cachedTokens,
  * serving round — admit pending requests (capacity permitting), run
  * one decode iteration for every active sequence, retire finished
  * ones (releasing their KV immediately) — and returns the requests
- * that finished in that round. Engines are not thread-safe; drive
- * them from one thread.
+ * that finished in that round.
+ *
+ * Threading: submit(), cancel(), pendingRequests(), activeRequests()
+ * and idle() may be called from any thread, concurrently with a
+ * step() in flight. step() / drain() / generate() belong to exactly
+ * one driver thread at a time — two concurrent step() calls are a
+ * contract violation (detected in debug builds). See
+ * docs/concurrency.md for the locking model behind this split.
  */
 class Engine
 {
@@ -283,8 +290,8 @@ class Engine
      * generating). Returns true when the id was found; its
      * RequestOutput (FinishReason::Cancelled, partial tokens) is
      * returned by the next step(), which also releases its KV pages.
-     * False when the id is unknown or already finished. Like the rest
-     * of the API, call from the driving thread.
+     * False when the id is unknown or already finished. Callable from
+     * any thread, including concurrently with step().
      */
     virtual bool cancel(std::int64_t id) = 0;
 
@@ -326,6 +333,12 @@ class Engine
  * slots and KV budget. Balanced placement and budget-driven deferral
  * come from batchRequests(); deferred requests keep their arrival
  * order and are retried every round, so nothing is dropped.
+ *
+ * Single-threaded-by-contract: the batcher has no internal locking.
+ * It IS touched from several threads — the engine's front-end calls
+ * enqueue() from submitters while the driver admits — but every
+ * access is serialized externally (PipelinedEngine::frontMu_).
+ * Debug builds assert the serialization on every mutating call.
  */
 class ContinuousBatcher
 {
@@ -420,6 +433,7 @@ class ContinuousBatcher
     void setDemandOracle(
         std::function<std::size_t(const ServeRequest &)> oracle)
     {
+        MOELIGHT_ASSERT_SERIAL(gate_);
         demandOracle_ = std::move(oracle);
     }
 
@@ -436,6 +450,7 @@ class ContinuousBatcher
     std::size_t headDeferrals_ = 0;
     std::function<std::size_t(const ServeRequest &)> demandOracle_;
     std::deque<ServeRequest> queue_;
+    mutable DebugSerialGate gate_;  ///< caller-serialization check
 };
 
 } // namespace moelight

@@ -8,14 +8,15 @@ namespace moelight {
 void
 TaskEvent::wait()
 {
-    std::unique_lock<std::mutex> lk(mu_);
-    cv_.wait(lk, [&] { return done_; });
+    MutexLock lk(mu_);
+    while (!done_)
+        cv_.wait(lk);
 }
 
 bool
 TaskEvent::ready() const
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     return done_;
 }
 
@@ -23,10 +24,10 @@ void
 TaskEvent::signal()
 {
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        MutexLock lk(mu_);
         done_ = true;
     }
-    cv_.notify_all();
+    cv_.notifyAll();
 }
 
 StreamExecutor::StreamExecutor()
@@ -42,10 +43,10 @@ StreamExecutor::~StreamExecutor()
 {
     for (auto &qp : queues_) {
         {
-            std::lock_guard<std::mutex> lk(qp->mu);
+            MutexLock lk(qp->mu);
             qp->stopping = true;
         }
-        qp->cv.notify_all();
+        qp->cv.notifyAll();
     }
     for (auto &qp : queues_)
         if (qp->worker.joinable())
@@ -60,12 +61,12 @@ StreamExecutor::submit(ResourceKind kind, std::vector<EventPtr> deps,
     Queue &q = *queues_[static_cast<std::size_t>(kind)];
     auto done = std::make_shared<TaskEvent>();
     {
-        std::lock_guard<std::mutex> lk(q.mu);
+        MutexLock lk(q.mu);
         fatalIf(q.stopping, "submit to a stopping executor");
         q.tasks.push_back({std::move(deps), std::move(fn), done,
                            std::move(alsoSignal)});
     }
-    q.cv.notify_all();
+    q.cv.notifyAll();
     return done;
 }
 
@@ -75,8 +76,9 @@ StreamExecutor::workerLoop(Queue &q)
     for (;;) {
         QueueTask task;
         {
-            std::unique_lock<std::mutex> lk(q.mu);
-            q.cv.wait(lk, [&] { return q.stopping || !q.tasks.empty(); });
+            MutexLock lk(q.mu);
+            while (!q.stopping && q.tasks.empty())
+                q.cv.wait(lk);
             if (q.tasks.empty())
                 return;  // stopping and drained
             task = std::move(q.tasks.front());
@@ -95,7 +97,7 @@ StreamExecutor::workerLoop(Queue &q)
             FaultInjector::check("exec.task");
             task.fn();
         } catch (...) {
-            std::lock_guard<std::mutex> lk(errMu_);
+            MutexLock lk(errMu_);
             if (!firstError_)
                 firstError_ = std::current_exception();
         }
@@ -106,10 +108,10 @@ StreamExecutor::workerLoop(Queue &q)
         for (auto &ev : task.alsoSignal)
             ev->signal();
         {
-            std::lock_guard<std::mutex> lk(q.mu);
+            MutexLock lk(q.mu);
             q.idle = q.tasks.empty();
         }
-        q.cv.notify_all();
+        q.cv.notifyAll();
     }
 }
 
@@ -124,7 +126,7 @@ StreamExecutor::sync()
             submit(static_cast<ResourceKind>(i), {}, [] {}));
     for (auto &f : fences)
         f->wait();
-    std::lock_guard<std::mutex> lk(errMu_);
+    MutexLock lk(errMu_);
     if (firstError_) {
         auto err = firstError_;
         firstError_ = nullptr;

@@ -12,20 +12,21 @@
 #ifndef MOELIGHT_RUNTIME_STREAM_EXECUTOR_HH
 #define MOELIGHT_RUNTIME_STREAM_EXECUTOR_HH
 
-#include <condition_variable>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/sync.hh"
 #include "sim/task_graph.hh"  // ResourceKind
 
 namespace moelight {
 
-/** Completion event, shareable across queues. */
+/** Completion event, shareable across queues and threads: signal()
+ *  and wait() synchronize through the event's own mutex, so a task's
+ *  writes happen-before every dependent that waited on its event. */
 class TaskEvent
 {
   public:
@@ -37,9 +38,9 @@ class TaskEvent
     void signal();
 
   private:
-    mutable std::mutex mu_;
-    std::condition_variable cv_;
-    bool done_ = false;
+    mutable Mutex mu_;
+    CondVar cv_;
+    bool done_ GUARDED_BY(mu_) = false;
 };
 
 using EventPtr = std::shared_ptr<TaskEvent>;
@@ -92,19 +93,20 @@ class StreamExecutor
 
     struct Queue
     {
-        std::mutex mu;
-        std::condition_variable cv;
-        std::deque<QueueTask> tasks;
-        bool stopping = false;
-        bool idle = true;
-        std::thread worker;
+        Mutex mu;
+        CondVar cv;
+        std::deque<QueueTask> tasks GUARDED_BY(mu);
+        bool stopping GUARDED_BY(mu) = false;
+        bool idle GUARDED_BY(mu) = true;
+        std::thread worker;  ///< set once at construction
     };
 
     void workerLoop(Queue &q);
 
-    std::vector<std::unique_ptr<Queue>> queues_;
-    std::mutex errMu_;
-    std::exception_ptr firstError_;
+    std::vector<std::unique_ptr<Queue>> queues_;  ///< fixed after ctor
+    /** Lock-ordering leaf: errMu_ is taken with no other lock held. */
+    Mutex errMu_;
+    std::exception_ptr firstError_ GUARDED_BY(errMu_);
 };
 
 } // namespace moelight

@@ -32,6 +32,12 @@ struct TransferStats
  * Copies float buffers between the arenas. All copies are
  * synchronous memcpys; asynchrony comes from running them on the
  * StreamExecutor's transfer queues.
+ *
+ * Thread-safe by construction: the only mutable state is the byte
+ * counters, which are atomics — the HtoD and DtoH queue workers
+ * account concurrently, and stats()/resetStats() may race them (a
+ * snapshot is approximate while transfers are in flight, exact once
+ * the executor has synced). No mutex, no lock ordering to respect.
  */
 class TransferEngine
 {

@@ -1,0 +1,153 @@
+"""Unit tests for scripts/check_bench.py — the CI bench gate. Covers
+the rule grammar, ISA-keyed rules against matching / mismatching /
+absent simd records, and the malformed-input paths that must fail the
+gate rather than traceback. Run via `ctest -R test_check_bench`.
+"""
+
+import contextlib
+import io
+import json
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+sys.path.insert(
+    0, str(Path(__file__).resolve().parents[2] / "scripts"))
+
+import check_bench  # noqa: E402
+
+
+def run(path, *rules):
+    """Invoke check_bench.main the way CI does; returns (code, out)."""
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        code = check_bench.main(["check_bench.py", str(path)]
+                                + list(rules))
+    return code, out.getvalue()
+
+
+class BenchDoc:
+    """Context manager writing a BENCH json document to a tempfile."""
+
+    def __init__(self, records):
+        self._records = records
+
+    def __enter__(self):
+        self._tmp = tempfile.NamedTemporaryFile(
+            "w", suffix=".json", delete=False)
+        json.dump({"records": self._records}, self._tmp)
+        self._tmp.close()
+        return self._tmp.name
+
+    def __exit__(self, *exc):
+        Path(self._tmp.name).unlink()
+
+
+class UsageTest(unittest.TestCase):
+    def test_too_few_args_returns_2(self):
+        err = io.StringIO()
+        with contextlib.redirect_stderr(err):
+            self.assertEqual(check_bench.main(["check_bench.py"]), 2)
+            self.assertEqual(
+                check_bench.main(["check_bench.py", "x.json"]), 2)
+
+
+class PlainRuleTest(unittest.TestCase):
+    def test_value_at_or_above_bound_passes(self):
+        with BenchDoc([{"name": "gqa", "speedup": 2.0}]) as p:
+            code, out = run(p, "gqa.speedup>=2.0")
+            self.assertEqual(code, 0)
+            self.assertIn("ok", out)
+
+    def test_value_below_bound_fails(self):
+        with BenchDoc([{"name": "gqa", "speedup": 0.9}]) as p:
+            code, out = run(p, "gqa.speedup>=1.0")
+            self.assertEqual(code, 1)
+            self.assertIn("FAIL", out)
+
+    def test_missing_record_fails(self):
+        with BenchDoc([{"name": "gqa", "speedup": 2.0}]) as p:
+            code, out = run(p, "ghost.speedup>=1.0")
+            self.assertEqual(code, 1)
+            self.assertIn("not found", out)
+
+    def test_missing_field_fails(self):
+        with BenchDoc([{"name": "gqa", "speedup": 2.0}]) as p:
+            code, out = run(p, "gqa.latency>=1.0")
+            self.assertEqual(code, 1)
+            self.assertIn("not found", out)
+
+    def test_non_numeric_value_fails(self):
+        with BenchDoc([{"name": "gqa", "speedup": "fast"}]) as p:
+            code, out = run(p, "gqa.speedup>=1.0")
+            self.assertEqual(code, 1)
+            self.assertIn("non-numeric", out)
+
+    def test_malformed_rule_fails(self):
+        with BenchDoc([{"name": "gqa", "speedup": 2.0}]) as p:
+            code, out = run(p, "gqa.speedup>2.0")
+            self.assertEqual(code, 1)
+            self.assertIn("malformed rule", out)
+
+    def test_one_failure_fails_whole_run(self):
+        with BenchDoc([{"name": "gqa", "speedup": 2.0}]) as p:
+            code, _ = run(p, "gqa.speedup>=1.0", "gqa.speedup>=99.0")
+            self.assertEqual(code, 1)
+
+
+class IsaKeyedRuleTest(unittest.TestCase):
+    RECORDS = [{"name": "simd", "isa": "avx2"},
+               {"name": "gqa", "speedup": 1.5}]
+
+    def test_matching_isa_enforced(self):
+        with BenchDoc(self.RECORDS) as p:
+            self.assertEqual(run(p, "avx2:gqa.speedup>=1.0")[0], 0)
+            self.assertEqual(run(p, "avx2:gqa.speedup>=9.0")[0], 1)
+
+    def test_mismatching_isa_skipped(self):
+        with BenchDoc(self.RECORDS) as p:
+            # A floor the document can't satisfy — but it keys a
+            # different ISA than the one measured, so it's skipped.
+            code, out = run(p, "avx512:gqa.speedup>=99.0")
+            self.assertEqual(code, 0)
+            self.assertIn("skip", out)
+
+    def test_isa_rule_without_simd_record_fails(self):
+        with BenchDoc([{"name": "gqa", "speedup": 1.5}]) as p:
+            code, out = run(p, "avx2:gqa.speedup>=1.0")
+            self.assertEqual(code, 1)
+            self.assertIn("no simd record", out)
+
+
+class MalformedInputTest(unittest.TestCase):
+    def test_missing_file_fails(self):
+        code, out = run("/nonexistent/BENCH.json", "a.b>=1.0")
+        self.assertEqual(code, 1)
+        self.assertIn("cannot read", out)
+
+    def test_invalid_json_fails(self):
+        with tempfile.NamedTemporaryFile("w", suffix=".json",
+                                         delete=False) as f:
+            f.write("{not json")
+        try:
+            code, out = run(f.name, "a.b>=1.0")
+            self.assertEqual(code, 1)
+            self.assertIn("malformed", out)
+        finally:
+            Path(f.name).unlink()
+
+    def test_records_without_name_fails(self):
+        with tempfile.NamedTemporaryFile("w", suffix=".json",
+                                         delete=False) as f:
+            json.dump({"records": [{"speedup": 2.0}]}, f)
+        try:
+            code, out = run(f.name, "a.b>=1.0")
+            self.assertEqual(code, 1)
+            self.assertIn("malformed", out)
+        finally:
+            Path(f.name).unlink()
+
+
+if __name__ == "__main__":
+    unittest.main()

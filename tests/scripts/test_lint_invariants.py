@@ -1,0 +1,205 @@
+"""Unit tests for scripts/lint_invariants.py: each invariant gets a
+fixture tree that violates it (the linter must fail with the right
+invariant tag) plus the matching allowed placement (the linter must
+stay silent). Run via `ctest -R test_lint_invariants` or
+`python3 -m unittest discover -s tests/scripts -p test_lint_invariants.py`.
+"""
+
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+sys.path.insert(
+    0, str(Path(__file__).resolve().parents[2] / "scripts"))
+
+import lint_invariants  # noqa: E402
+
+
+class FixtureTree:
+    """Context manager: a throwaway repo root you add files to."""
+
+    def __enter__(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.root = Path(self._tmp.name)
+        return self
+
+    def __exit__(self, *exc):
+        self._tmp.cleanup()
+
+    def write(self, rel, text):
+        path = self.root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        return path
+
+
+def tags(violations):
+    return [v[0] for v in violations]
+
+
+class NakedSyncTest(unittest.TestCase):
+    def test_mutex_outside_sync_hh_flagged(self):
+        with FixtureTree() as t:
+            t.write("src/runtime/foo.cc",
+                    "#include <mutex>\nstd::mutex mu;\n")
+            v = lint_invariants.check_naked_sync(t.root)
+            self.assertEqual(tags(v), ["naked-sync"])
+            self.assertEqual(v[0][1], "src/runtime/foo.cc")
+            self.assertEqual(v[0][2], 2)
+
+    def test_condition_variable_flagged(self):
+        with FixtureTree() as t:
+            t.write("src/a.hh", "std::condition_variable cv;\n")
+            self.assertEqual(
+                tags(lint_invariants.check_naked_sync(t.root)),
+                ["naked-sync"])
+
+    def test_sync_hh_itself_allowed(self):
+        with FixtureTree() as t:
+            t.write("src/common/sync.hh",
+                    "std::mutex mu_;\nstd::condition_variable cv_;\n")
+            self.assertEqual(
+                lint_invariants.check_naked_sync(t.root), [])
+
+    def test_commented_out_mutex_ignored(self):
+        with FixtureTree() as t:
+            t.write("src/b.cc",
+                    "// std::mutex old;\n/* std::mutex gone */\n")
+            self.assertEqual(
+                lint_invariants.check_naked_sync(t.root), [])
+
+
+class SimdConfinedTest(unittest.TestCase):
+    def test_intrinsic_outside_simd_tu_flagged(self):
+        with FixtureTree() as t:
+            t.write("src/runtime/hot.cc",
+                    "#include <immintrin.h>\n"
+                    "__m256 v = _mm256_setzero_ps();\n")
+            v = lint_invariants.check_simd_confined(t.root)
+            self.assertTrue(v)
+            self.assertTrue(all(tag == "simd-confined"
+                                for tag in tags(v)))
+
+    def test_avx_tu_allowed(self):
+        with FixtureTree() as t:
+            t.write("src/kernels/simd/simd_avx512.cc",
+                    "#include <immintrin.h>\n"
+                    "__m512 v = _mm512_setzero_ps();\n")
+            self.assertEqual(
+                lint_invariants.check_simd_confined(t.root), [])
+
+
+class ErrorSitesTest(unittest.TestCase):
+    def test_undocumented_site_flagged(self):
+        with FixtureTree() as t:
+            t.write("src/runtime/x.cc",
+                    'throw EngineError(ErrorCode::KvExhausted,'
+                    ' "kv.mystery", "boom");\n')
+            t.write("docs/error_model.md", "# sites\nkv.alloc\n")
+            v = lint_invariants.check_error_sites(t.root)
+            self.assertEqual(tags(v), ["error-sites"])
+            self.assertIn("kv.mystery", v[0][3])
+
+    def test_documented_site_clean_even_multiline(self):
+        with FixtureTree() as t:
+            # Real throw sites wrap after EngineError( — the regex
+            # must tolerate the newline before ErrorCode.
+            t.write("src/runtime/x.cc",
+                    "throw EngineError(\n"
+                    '    ErrorCode::KvExhausted, "kv.alloc",\n'
+                    '    "out of pages");\n')
+            t.write("docs/error_model.md", "`kv.alloc` — kv pool\n")
+            self.assertEqual(
+                lint_invariants.check_error_sites(t.root), [])
+
+    def test_variable_site_skipped(self):
+        with FixtureTree() as t:
+            t.write("src/runtime/inject.cc",
+                    "throw EngineError(code, site, msg);\n")
+            t.write("docs/error_model.md", "")
+            self.assertEqual(
+                lint_invariants.check_error_sites(t.root), [])
+
+
+class BenchKeysTest(unittest.TestCase):
+    CI_HEADER = "jobs:\n  bench:\n    run: |\n      check_bench.py x "
+
+    def test_unknown_record_flagged(self):
+        with FixtureTree() as t:
+            t.write(".github/workflows/ci.yml",
+                    self.CI_HEADER + '"ghost.speedup>=1.0"\n')
+            t.write("bench/fig.cc",
+                    'json.record("real").field("speedup", s);\n')
+            v = lint_invariants.check_bench_keys(t.root)
+            self.assertEqual(tags(v), ["bench-keys"])
+            self.assertIn("ghost.speedup", v[0][3])
+
+    def test_literal_record_and_field_clean(self):
+        with FixtureTree() as t:
+            t.write(".github/workflows/ci.yml",
+                    self.CI_HEADER + '"real.speedup>=1.0" '
+                    '"avx2:real.speedup>=2.0"\n')
+            t.write("bench/fig.cc",
+                    'json.record("real").field("speedup", s);\n')
+            self.assertEqual(
+                lint_invariants.check_bench_keys(t.root), [])
+
+    def test_concatenated_record_name_clean(self):
+        with FixtureTree() as t:
+            # Mirrors bench/fig4: record(std::string("quant_") + tag)
+            # with tag literals elsewhere in the same file.
+            t.write(".github/workflows/ci.yml",
+                    self.CI_HEADER + '"quant_int8.ratio>=1.0"\n')
+            t.write("bench/fig.cc",
+                    'for (const char *tag : {"int8", "int4"})\n'
+                    '  json.record(std::string("quant_") + tag)\n'
+                    '      .field("ratio", r);\n')
+            self.assertEqual(
+                lint_invariants.check_bench_keys(t.root), [])
+
+    def test_field_must_be_in_same_file_as_record(self):
+        with FixtureTree() as t:
+            t.write(".github/workflows/ci.yml",
+                    self.CI_HEADER + '"real.latency>=1.0"\n')
+            t.write("bench/a.cc",
+                    'json.record("real").field("speedup", s);\n')
+            t.write("bench/b.cc",
+                    'json.record("other").field("latency", s);\n')
+            self.assertEqual(
+                tags(lint_invariants.check_bench_keys(t.root)),
+                ["bench-keys"])
+
+
+class IncludeCcTest(unittest.TestCase):
+    def test_include_cc_flagged(self):
+        with FixtureTree() as t:
+            t.write("tests/test_x.cc",
+                    '#include "runtime/engine.cc"\n')
+            v = lint_invariants.check_include_cc(t.root)
+            self.assertEqual(tags(v), ["include-cc"])
+
+    def test_include_header_clean(self):
+        with FixtureTree() as t:
+            t.write("src/a.cc", '#include "runtime/engine.hh"\n')
+            self.assertEqual(
+                lint_invariants.check_include_cc(t.root), [])
+
+
+class CliTest(unittest.TestCase):
+    def test_exit_codes(self):
+        with FixtureTree() as t:
+            t.write("src/ok.cc", "int x = 0;\n")
+            self.assertEqual(
+                lint_invariants.main(["--repo", str(t.root)]), 0)
+            t.write("src/bad.cc", "std::mutex mu;\n")
+            self.assertEqual(
+                lint_invariants.main(["--repo", str(t.root)]), 1)
+
+    def test_real_repo_is_clean(self):
+        repo = Path(__file__).resolve().parents[2]
+        self.assertEqual(lint_invariants.lint(repo), [])
+
+
+if __name__ == "__main__":
+    unittest.main()
