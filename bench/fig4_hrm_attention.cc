@@ -58,9 +58,9 @@ measureQuantAttention(bench::BenchJson &json, Table &t, QuantKind kind,
     for (std::size_t i = 0; i < ctx; ++i) {
         for (auto &x : tok)
             x = static_cast<float>(rng.uniform(-1, 1));
-        cache.append(0, 0, tok.data(), tok.data());
+        cache.append(SeqId(0), LayerIdx(0), tok.data(), tok.data());
     }
-    QuantKvView view = cache.makeQuantView(0, 0);
+    QuantKvView view = cache.makeQuantView(SeqId(0), LayerIdx(0));
 
     std::vector<float> q(mu * nq * hd), out_f(nq * hd), out_m(nq * hd);
     for (auto &x : q)
@@ -144,8 +144,8 @@ measureQuantPrefill(bench::BenchJson &json, Table &t, QuantKind kind,
             x = static_cast<float>(rng.uniform(-1, 1));
     QuantizedKvCache cache(mc, 1, page_tokens, kind);
     for (std::size_t i = 0; i < len; ++i)
-        cache.append(0, 0, k.data() + i * row, v.data() + i * row);
-    QuantKvView view = cache.makeQuantView(0, 0);
+        cache.append(SeqId(0), LayerIdx(0), k.data() + i * row, v.data() + i * row);
+    QuantKvView view = cache.makeQuantView(SeqId(0), LayerIdx(0));
 
     std::vector<float> out_f(len * nq * hd), out_w(len * nq * hd);
     std::vector<float> prefill_scratch(gqaQuantPrefillAttnScratchFloats(

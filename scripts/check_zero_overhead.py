@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Zero-cost assertion for src/common/strong_types.hh, run as a ctest
+entry and in the CI lint job.
+
+Two checks:
+
+1. header-only: strong_types has no translation unit anywhere under
+   src/ — every member must stay a constexpr inline one-liner, so
+   adding a .cc (and with it the temptation of out-of-line, possibly
+   stateful members) fails here.
+
+2. codegen parity: a fixture TU with two identical loops — one
+   indexing with raw std::size_t, one with a StrongIndex — is compiled
+   with `$CXX -O2 -S`, and the two functions' instruction streams must
+   match after label renaming. If the wrapper ever grows a runtime
+   cost (a call, a range check, a missed vectorization), the streams
+   diverge and this check fails with a side-by-side diff.
+
+Stdlib only. Exit 0 on success, 1 with a diagnostic otherwise.
+"""
+
+import argparse
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+FIXTURE = r"""
+#include "common/strong_types.hh"
+
+using moelight::SeqId;
+
+extern "C" std::size_t
+raw_sum(const std::size_t *a, std::size_t n)
+{
+    std::size_t sum = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        sum += a[i] * i;
+    return sum;
+}
+
+extern "C" std::size_t
+strong_sum(const std::size_t *a, std::size_t n)
+{
+    std::size_t sum = 0;
+    for (SeqId i(0); i.value() < n; ++i)
+        sum += a[i.value()] * i.value();
+    return sum;
+}
+"""
+
+LOCAL_LABEL_RE = re.compile(r"\.L\w+")
+
+
+def check_header_only(repo):
+    offenders = [p.relative_to(repo).as_posix()
+                 for p in (repo / "src").rglob("strong_types*")
+                 if p.suffix in {".cc", ".cpp", ".cxx"}]
+    if offenders:
+        print("strong_types must stay header-only; found translation "
+              "unit(s): " + ", ".join(offenders))
+        return False
+    return True
+
+
+def extract_function(asm, name):
+    """Instructions of one function, with local labels renamed to a
+    position-independent L0, L1, ... so streams compare across
+    functions."""
+    lines = asm.splitlines()
+    body = []
+    inside = False
+    for line in lines:
+        if re.match(rf"^{re.escape(name)}:", line):
+            inside = True
+            continue
+        if inside:
+            if re.match(r"^\s*\.(cfi_endproc|size)\b", line):
+                break
+            stripped = line.strip()
+            # Keep instructions and local-label definitions; drop
+            # directives (.cfi_*, .p2align, ...) — pure noise here.
+            if not stripped or (stripped.startswith(".")
+                                and not stripped.startswith(".L")):
+                continue
+            body.append(stripped)
+    renames = {}
+
+    def rename(m):
+        return renames.setdefault(m.group(0), f".L{len(renames)}")
+
+    return [LOCAL_LABEL_RE.sub(rename, line) for line in body]
+
+
+def check_codegen_parity(repo, cxx):
+    with tempfile.TemporaryDirectory() as tmp:
+        src = Path(tmp) / "fixture.cc"
+        src.write_text(FIXTURE)
+        cmd = [cxx, "-std=c++20", "-O2", "-S", "-o", "-",
+               f"-I{repo / 'src'}", str(src)]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        print(f"fixture failed to compile: {' '.join(cmd)}")
+        print(proc.stderr)
+        return False
+    raw = extract_function(proc.stdout, "raw_sum")
+    strong = extract_function(proc.stdout, "strong_sum")
+    if not raw or not strong:
+        print("could not locate fixture functions in assembly output")
+        return False
+    if raw == strong:
+        return True
+    print("strong_sum compiled differently from raw_sum — the "
+          "StrongIndex wrapper is no longer zero-cost:")
+    width = max((len(l) for l in raw), default=0) + 2
+    for i in range(max(len(raw), len(strong))):
+        left = raw[i] if i < len(raw) else ""
+        right = strong[i] if i < len(strong) else ""
+        marker = " " if left == right else "!"
+        print(f"  {marker} {left:<{width}} | {right}")
+    return False
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="assert strong_types.hh is header-only and "
+                    "zero-cost")
+    parser.add_argument(
+        "--repo", type=Path,
+        default=Path(__file__).resolve().parent.parent)
+    parser.add_argument(
+        "--cxx", default="g++",
+        help="C++ compiler to spot-check codegen with (default: g++)")
+    args = parser.parse_args(argv)
+    repo = args.repo.resolve()
+    ok = check_header_only(repo)
+    ok = check_codegen_parity(repo, args.cxx) and ok
+    if ok:
+        print("ok    strong_types.hh is header-only and zero-cost")
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

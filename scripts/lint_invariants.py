@@ -27,6 +27,16 @@ Invariants enforced:
                   as `prefix + tag` match when both halves appear as
                   string literals in the same bench file.
 5. include-cc     No `#include` of a .cc file — a classic ODR trap.
+6. raw-index-params
+                  No raw-integer parameter named after an index domain
+                  (`seq`, `layer`, `head`, `block`, `page`, `slot`) in
+                  src/runtime/ or src/kernels/ headers — those domains
+                  are strong types (common/strong_types.hh), and a raw
+                  `std::size_t seq` reopens the transposed-argument
+                  hole the types closed. Count/extent names (seqLen,
+                  layers, pageTokens, nQ...) are distinct names and
+                  pass untouched; kernels take raw extents by contract
+                  but never raw *index* names.
 
 Exit 0 when the tree is clean; 1 with one line per violation
 (`invariant:file:line: message`) otherwise.
@@ -194,6 +204,33 @@ def check_bench_keys(root):
     return violations
 
 
+RAW_INDEX_PARAM_RE = re.compile(
+    r"\b(?:std::)?(?:size_t|u?int(?:8|16|32|64)_t|unsigned(?:\s+"
+    r"(?:int|long(?:\s+long)?))?|(?<!unsigned )int|long(?:\s+long)?)"
+    r"\s+(seq|layer|head|block|page|slot)\b")
+
+RAW_INDEX_SCOPES = ("src/runtime", "src/kernels")
+
+
+def check_raw_index_params(root):
+    violations = []
+    for scope in RAW_INDEX_SCOPES:
+        for path in cxx_files(root, scope):
+            if path.suffix not in {".hh", ".h", ".hpp"}:
+                continue
+            rel = path.relative_to(root).as_posix()
+            code = strip_comments(path.read_text())
+            for m in RAW_INDEX_PARAM_RE.finditer(code):
+                name = m.group(1)
+                violations.append(
+                    ("raw-index-params", rel, line_of(code, m.start()),
+                     f"raw integer parameter '{name}' names an index "
+                     f"domain; use the strong type from "
+                     f"common/strong_types.hh (SeqId, LayerIdx, ...) "
+                     f"or rename if it is a count, not an index"))
+    return violations
+
+
 def check_include_cc(root):
     violations = []
     for subdir in ("src", "tests", "bench", "examples"):
@@ -214,6 +251,7 @@ CHECKS = [
     check_error_sites,
     check_bench_keys,
     check_include_cc,
+    check_raw_index_params,
 ]
 
 

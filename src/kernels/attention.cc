@@ -12,6 +12,24 @@
 
 namespace moelight {
 
+void
+ShapeContract::validate(const char *kernel) const
+{
+    panicIf(nKv == 0 || nQ % nKv != 0, kernel,
+            ": query heads must be a multiple of KV heads");
+    panicIf(headDim == 0, kernel, ": zero headDim");
+    panicIf(contextLen == 0, kernel, ": attention over empty context");
+    if (paged) {
+        panicIf(pageTokens == 0, kernel, ": KV view has zero pageTokens");
+        std::size_t need = (contextLen + pageTokens - 1) / pageTokens;
+        panicIf(need > numKPages || need > numVPages, kernel,
+                ": KV page index out of range");
+    }
+    if (scratchNeeded != 0)
+        panicIf(scratchFloats < scratchNeeded, kernel,
+                ": attention scratch too small");
+}
+
 const float *
 KvView::kAt(std::size_t t, std::size_t h) const
 {
@@ -36,19 +54,24 @@ void
 gqaDecodeAttention(const float *q, std::size_t nQ, const KvView &kv,
                    float *out, float scale, std::span<float> scratch)
 {
-    panicIf(kv.nKv == 0 || nQ % kv.nKv != 0,
-            "query heads must be a multiple of KV heads");
-    panicIf(kv.contextLen == 0, "attention over empty context");
-    panicIf(kv.pageTokens == 0, "KV view has zero pageTokens");
-    std::size_t group = nQ / kv.nKv;
-    std::size_t ctx = kv.contextLen;
-    std::size_t hd = kv.headDim;
-    panicIf(scratch.size() < group * ctx, "attention scratch too small");
     // All bounds checked once here; the loops below touch pages
     // [0, nPages) and tokens [0, ctx) only.
-    std::size_t n_pages = (ctx + kv.pageTokens - 1) / kv.pageTokens;
-    panicIf(n_pages > kv.kPages.size() || n_pages > kv.vPages.size(),
-            "KV page index out of range");
+    ShapeContract contract;
+    contract.nQ = nQ;
+    contract.nKv = kv.nKv;
+    contract.headDim = kv.headDim;
+    contract.contextLen = kv.contextLen;
+    contract.paged = true;
+    contract.pageTokens = kv.pageTokens;
+    contract.numKPages = kv.kPages.size();
+    contract.numVPages = kv.vPages.size();
+    contract.scratchFloats = scratch.size();
+    contract.scratchNeeded =
+        gqaAttnScratchFloats(nQ, kv.nKv, kv.contextLen);
+    contract.validate("gqaDecodeAttention");
+    std::size_t group = contract.group();
+    std::size_t ctx = kv.contextLen;
+    std::size_t hd = kv.headDim;
     std::size_t row_stride = kv.nKv * hd;
 
     // One run per page, page base hoisted; rows live in the pages for
@@ -110,24 +133,33 @@ gqaDecodeAttentionBatch(const float *qBatch, std::size_t qStride,
 
 void
 gqaPrefillAttention(const float *q, const float *k, const float *v,
-                    std::size_t seq, std::size_t nQ, std::size_t nKv,
+                    std::size_t seqLen, std::size_t nQ, std::size_t nKv,
                     std::size_t headDim, float *out, float scale)
 {
-    panicIf(nKv == 0 || nQ % nKv != 0,
-            "query heads must be a multiple of KV heads");
+    // Non-paged kernel: validate head/dim consistency with contextLen
+    // pinned to 1 so that a zero-length prompt stays a no-op (the
+    // historical behavior) while malformed head counts still panic.
+    ShapeContract contract;
+    contract.nQ = nQ;
+    contract.nKv = nKv;
+    contract.headDim = headDim;
+    contract.contextLen = seqLen == 0 ? 1 : seqLen;
+    contract.validate("gqaPrefillAttention");
+    if (seqLen == 0)
+        return;
     // Causal attention position i == a decode step over context i+1.
     // Running every position through the decode core keeps the two
     // paths bit-identical and shares the group-fused optimization.
-    std::vector<float> scratch(gqaAttnScratchFloats(nQ, nKv, seq));
+    std::vector<float> scratch(gqaAttnScratchFloats(nQ, nKv, seqLen));
     const float *kp = k;
     const float *vp = v;
     KvView view;
     view.kPages = {&kp, 1};
     view.vPages = {&vp, 1};
-    view.pageTokens = seq;
+    view.pageTokens = seqLen;
     view.nKv = nKv;
     view.headDim = headDim;
-    for (std::size_t i = 0; i < seq; ++i) {
+    for (std::size_t i = 0; i < seqLen; ++i) {
         view.contextLen = i + 1;
         gqaDecodeAttention(q + i * nQ * headDim, nQ, view,
                            out + i * nQ * headDim, scale, scratch);

@@ -32,6 +32,42 @@
 
 namespace moelight {
 
+/**
+ * Kernel-boundary shape contract: the consistency conditions every
+ * attention kernel needs, checked ONCE per call by validate() instead
+ * of scattered ad-hoc asserts at each entry point. This is also where
+ * the strong-index world ends — kernels receive raw pointers and raw
+ * extents plus a validated contract, never strong indices (see
+ * src/kernels/simd/README.md), so the hot loops stay plain integer
+ * arithmetic.
+ */
+struct ShapeContract
+{
+    std::size_t nQ = 0;          ///< query heads
+    std::size_t nKv = 0;         ///< KV heads; must divide nQ
+    std::size_t headDim = 0;     ///< per-head dimension
+    std::size_t contextLen = 0;  ///< tokens attended over
+    /** True for kernels reading a paged KV view; enables the
+     *  pageTokens / page-count checks below. */
+    bool paged = false;
+    std::size_t pageTokens = 0;  ///< tokens per page (paged only)
+    /** Provided page counts (paged only). */
+    std::size_t numKPages = 0;
+    std::size_t numVPages = 0;
+    /** Provided / required scratch floats (skipped when required
+     *  is 0 — convenience overloads size their own). */
+    std::size_t scratchFloats = 0;
+    std::size_t scratchNeeded = 0;
+
+    /** Query heads per KV head (valid after validate()). */
+    std::size_t group() const { return nQ / nKv; }
+
+    /** Panic (with @p kernel in the message) unless the shapes are
+     *  consistent: nKv divides nQ, non-zero headDim and context, the
+     *  pages cover the context, and the scratch suffices. */
+    void validate(const char *kernel) const;
+};
+
 /** A read-only view over one sequence's paged K and V. */
 struct KvView
 {
@@ -109,15 +145,16 @@ void gqaDecodeAttentionBatch(const float *qBatch, std::size_t qStride,
 
 /**
  * Full (non-paged) causal prefill attention for one sequence:
- * q,k,v are [seq, nHeads(*)*headDim]; q has nQ heads, k/v have nKv.
- * Output is [seq, nQ*headDim]. Used by the reference engine and the
- * prefill stage of the pipelined engine. Each position runs through
- * the same group-fused core as the decode kernel, so position i's
- * output is bit-identical to a decode step over a context of i+1.
+ * q,k,v are [seqLen, nHeads(*)*headDim]; q has nQ heads, k/v have
+ * nKv. Output is [seqLen, nQ*headDim]. Used by the reference engine
+ * and the prefill stage of the pipelined engine. Each position runs
+ * through the same group-fused core as the decode kernel, so position
+ * i's output is bit-identical to a decode step over a context of i+1.
  */
 void gqaPrefillAttention(const float *q, const float *k, const float *v,
-                         std::size_t seq, std::size_t nQ, std::size_t nKv,
-                         std::size_t headDim, float *out, float scale);
+                         std::size_t seqLen, std::size_t nQ,
+                         std::size_t nKv, std::size_t headDim,
+                         float *out, float scale);
 
 } // namespace moelight
 

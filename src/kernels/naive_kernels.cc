@@ -90,15 +90,15 @@ gqaDecodeAttention(const float *q, std::size_t nQ, const KvView &kv,
 
 void
 gqaPrefillAttention(const float *q, const float *k, const float *v,
-                    std::size_t seq, std::size_t nQ, std::size_t nKv,
+                    std::size_t seqLen, std::size_t nQ, std::size_t nKv,
                     std::size_t headDim, float *out, float scale)
 {
     panicIf(nKv == 0 || nQ % nKv != 0,
             "query heads must be a multiple of KV heads");
     std::size_t group = nQ / nKv;
-    std::vector<float> scores(seq);
+    std::vector<float> scores(seqLen);
 
-    for (std::size_t i = 0; i < seq; ++i) {
+    for (std::size_t i = 0; i < seqLen; ++i) {
         for (std::size_t h = 0; h < nQ; ++h) {
             std::size_t kvh = h / group;
             const float *qh = q + (i * nQ + h) * headDim;

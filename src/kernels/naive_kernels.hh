@@ -39,7 +39,7 @@ void gqaDecodeAttention(const float *q, std::size_t nQ, const KvView &kv,
 
 /** Per-position, per-head causal prefill attention. */
 void gqaPrefillAttention(const float *q, const float *k, const float *v,
-                         std::size_t seq, std::size_t nQ, std::size_t nKv,
+                         std::size_t seqLen, std::size_t nQ, std::size_t nKv,
                          std::size_t headDim, float *out, float scale);
 
 } // namespace naive

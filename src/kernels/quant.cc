@@ -200,9 +200,18 @@ gqaDecodeAttentionQuantFused(const float *q, std::size_t nQ,
                              const QuantKvView &kv, float *out,
                              float scale, std::span<float> scratch)
 {
-    panicIf(kv.nKv == 0 || nQ % kv.nKv != 0,
-            "query heads must be a multiple of KV heads");
-    panicIf(kv.contextLen == 0, "attention over empty context");
+    // Shared shape contract once per call; the paged leg is off
+    // because quant pages carry their own sizes — checkQuantPages
+    // below is the quant-specific equivalent.
+    ShapeContract contract;
+    contract.nQ = nQ;
+    contract.nKv = kv.nKv;
+    contract.headDim = kv.headDim;
+    contract.contextLen = kv.contextLen;
+    contract.scratchFloats = scratch.size();
+    contract.scratchNeeded = gqaQuantAttnScratchFloats(
+        nQ, kv.nKv, kv.contextLen, kv.headDim, kv.pageTokens);
+    contract.validate("gqaDecodeAttentionQuantFused");
     panicIf(kv.pageTokens == 0, "quant KV view has zero pageTokens");
     panicIf(kv.openTokens > 0 &&
                 (kv.openK == nullptr || kv.openV == nullptr),
@@ -212,12 +221,9 @@ gqaDecodeAttentionQuantFused(const float *q, std::size_t nQ,
     panicIf(quant_tokens + kv.openTokens != kv.contextLen,
             "quant KV view context length does not match its pages");
 
-    std::size_t group = nQ / kv.nKv;
+    std::size_t group = contract.group();
     std::size_t ctx = kv.contextLen;
     std::size_t hd = kv.headDim;
-    panicIf(scratch.size() < gqaQuantAttnScratchFloats(
-                                 nQ, kv.nKv, ctx, hd, kv.pageTokens),
-            "quant attention scratch too small");
     std::size_t stash_rows = std::min(kv.pageTokens, ctx);
     float *scores = scratch.data();
     float *kstash = scores + group * ctx;       // [stash_rows, hd]
@@ -294,34 +300,41 @@ gqaDecodeAttentionQuantBatch(const float *qBatch, std::size_t qStride,
 
 void
 gqaPrefillAttentionQuantFused(const float *q, const float *k,
-                              const float *v, std::size_t seq,
+                              const float *v, std::size_t seqLen,
                               std::size_t nQ, const QuantKvView &kv,
                               float *out, float scale,
                               std::span<float> scratch,
                               ThreadPool *pool)
 {
-    panicIf(kv.nKv == 0 || nQ % kv.nKv != 0,
-            "query heads must be a multiple of KV heads");
-    panicIf(seq == 0, "prefill over empty sequence");
+    // Shared shape contract once per call (contextLen == seqLen here,
+    // enforced just below); scratch is not part of the contract since
+    // forEachWithScratch falls back to allocating when the caller's
+    // span is too small.
+    ShapeContract contract;
+    contract.nQ = nQ;
+    contract.nKv = kv.nKv;
+    contract.headDim = kv.headDim;
+    contract.contextLen = seqLen;
+    contract.validate("gqaPrefillAttentionQuantFused");
     panicIf(kv.pageTokens == 0, "quant KV view has zero pageTokens");
-    panicIf(seq != kv.contextLen,
+    panicIf(seqLen != kv.contextLen,
             "prefill view must cover exactly the sequence");
     std::size_t quant_tokens = checkQuantPages(
         kv.kPages, kv.vPages, kv.pageTokens, kv.nKv, kv.headDim);
     panicIf(quant_tokens + kv.openTokens != kv.contextLen,
             "quant KV view context length does not match its pages");
     // The kernel replays the causal append walk, so the view must be
-    // in the exact state the cache reaches after appending seq
+    // in the exact state the cache reaches after appending seqLen
     // tokens: every closed page full, the remainder open (float).
-    panicIf(quant_tokens != kv.pageTokens * (seq / kv.pageTokens),
+    panicIf(quant_tokens != kv.pageTokens * (seqLen / kv.pageTokens),
             "prefill quant view must hold exactly the closed full "
             "pages of a causal append walk");
 
-    std::size_t group = nQ / kv.nKv;
+    std::size_t group = contract.group();
     std::size_t hd = kv.headDim;
     std::size_t row_floats = kv.nKv * hd;
     std::size_t per_worker = gqaQuantPrefillAttnScratchFloats(
-        nQ, kv.nKv, seq, hd, kv.pageTokens);
+        nQ, kv.nKv, seqLen, hd, kv.pageTokens);
 
     // One KV head's whole prefill — dequant stash fill plus every
     // causal position through the shared core — is independent of
@@ -331,13 +344,13 @@ gqaPrefillAttentionQuantFused(const float *q, const float *k,
     // bit-identical to the serial one.
     auto head_prefill = [&](std::size_t kvh, float *buf) {
         float *scores = buf;
-        float *kstash = scores + group * seq;  // [quant_tokens, hd]
+        float *kstash = scores + group * seqLen;  // [quant_tokens, hd]
         float *vstash = kstash + quant_tokens * hd;
 
         // Dequantize this KV head's rows of every closed page ONCE —
         // the whole point of the prefill variant: the per-token
         // decode walk re-dequantizes each closed page at every later
-        // position, O(seq) redundant passes over the same bytes.
+        // position, O(seqLen) redundant passes over the same bytes.
         std::size_t t = 0;
         for (std::size_t p = 0; p < kv.kPages.size(); ++p) {
             std::size_t run = kv.kPages[p]->size() / row_floats;
@@ -355,7 +368,7 @@ gqaPrefillAttentionQuantFused(const float *q, const float *k,
         // pages, the rest of tokens [0, i] sat in the float open
         // page — exactly rows [qt, i] of the caller's k/v. Rows
         // persist across emits, so no V carry stash is needed.
-        for (std::size_t i = 0; i < seq; ++i) {
+        for (std::size_t i = 0; i < seqLen; ++i) {
             std::size_t qt =
                 kv.pageTokens * ((i + 1) / kv.pageTokens);
             auto runs = [&](const float *stash, const float *open) {
@@ -417,14 +430,14 @@ quantPrefillWalkView(const QuantKvView &kv, const float *k,
 
 void
 gqaPrefillAttentionQuantFused(const float *q, const float *k,
-                              const float *v, std::size_t seq,
+                              const float *v, std::size_t seqLen,
                               std::size_t nQ, const QuantKvView &kv,
                               float *out, float scale)
 {
     std::vector<float> scratch(gqaQuantPrefillAttnScratchFloats(
-        nQ, kv.nKv, seq, kv.headDim, kv.pageTokens));
-    gqaPrefillAttentionQuantFused(q, k, v, seq, nQ, kv, out, scale,
-                                  scratch);
+        nQ, kv.nKv, seqLen, kv.headDim, kv.pageTokens));
+    gqaPrefillAttentionQuantFused(q, k, v, seqLen, nQ, kv, out,
+                                  scale, scratch);
 }
 
 void

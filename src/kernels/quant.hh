@@ -197,20 +197,21 @@ void gqaDecodeAttentionQuantBatch(const float *qBatch,
 
 /**
  * Scratch floats gqaPrefillAttentionQuantFused needs: score rows for
- * the longest position (group * seq) plus whole-context K and V
+ * the longest position (group * seqLen) plus whole-context K and V
  * dequant stashes covering every closed page — the pages a causal
- * append walk over seq tokens has closed, (seq / pageTokens) *
+ * append walk over seqLen tokens has closed, (seqLen / pageTokens) *
  * pageTokens rows each.
  */
 inline std::size_t
 gqaQuantPrefillAttnScratchFloats(std::size_t nQ, std::size_t nKv,
-                                 std::size_t seq, std::size_t headDim,
+                                 std::size_t seqLen,
+                                 std::size_t headDim,
                                  std::size_t pageTokens)
 {
     if (nKv == 0 || pageTokens == 0)
         return 0;
-    std::size_t quant_rows = (seq / pageTokens) * pageTokens;
-    return (nQ / nKv) * seq + 2 * quant_rows * headDim;
+    std::size_t quant_rows = (seqLen / pageTokens) * pageTokens;
+    return (nQ / nKv) * seqLen + 2 * quant_rows * headDim;
 }
 
 /**
@@ -221,7 +222,7 @@ gqaQuantPrefillAttnScratchFloats(std::size_t nQ, std::size_t nKv,
  * engine's prefill used to do) — but each closed page's rows are
  * gather-dequantized ONCE per KV head into a persistent stash
  * instead of once per later position, cutting the walk's
- * O(seq^2 / pageTokens) redundant dequant work to O(seq).
+ * O(seqLen^2 / pageTokens) redundant dequant work to O(seqLen).
  *
  * Walk semantics: at position i the cache had closed exactly
  * floor((i+1)/pageTokens) pages; tokens from there to i were still
@@ -238,20 +239,20 @@ gqaQuantPrefillAttnScratchFloats(std::size_t nQ, std::size_t nKv,
  * kernel stays bit-identical to the serial one (and to the per-token
  * walk).
  *
- * @param q       [seq, nQ * headDim] queries, one row per position.
- * @param k,v     [seq, nKv * headDim] float K/V for the whole
+ * @param q       [seqLen, nQ * headDim] queries, one row per position.
+ * @param k,v     [seqLen, nKv * headDim] float K/V for the whole
  *                sequence (the projections the cache was fed).
- * @param seq     Sequence length; must equal kv.contextLen.
+ * @param seqLen  Sequence length; must equal kv.contextLen.
  * @param nQ      Query heads; must be a multiple of kv.nKv.
- * @param kv      Quantized view of the cache AFTER all seq appends:
- *                every closed page full (seq / pageTokens of them),
- *                the remaining seq % pageTokens tokens open. The
- *                open page is not read (the float tail comes from
- *                @p k / @p v).
- * @param out     [seq, nQ * headDim] output; overwritten.
+ * @param kv      Quantized view of the cache AFTER all seqLen
+ *                appends: every closed page full (seqLen / pageTokens
+ *                of them), the remaining seqLen % pageTokens tokens
+ *                open. The open page is not read (the float tail
+ *                comes from @p k / @p v).
+ * @param out     [seqLen, nQ * headDim] output; overwritten.
  * @param scale   Logit scale.
  * @param scratch Optional caller-owned scratch:
- *                gqaQuantPrefillAttnScratchFloats(nQ, kv.nKv, seq,
+ *                gqaQuantPrefillAttnScratchFloats(nQ, kv.nKv, seqLen,
  *                kv.headDim, kv.pageTokens) floats per worker slot
  *                (pool->maxParallelism() slots with a pool, 1
  *                without). Too-small spans fall back to a per-call
@@ -259,7 +260,7 @@ gqaQuantPrefillAttnScratchFloats(std::size_t nQ, std::size_t nKv,
  * @param pool    Optional thread pool to fan KV heads across.
  */
 void gqaPrefillAttentionQuantFused(const float *q, const float *k,
-                                   const float *v, std::size_t seq,
+                                   const float *v, std::size_t seqLen,
                                    std::size_t nQ,
                                    const QuantKvView &kv, float *out,
                                    float scale,
@@ -268,7 +269,7 @@ void gqaPrefillAttentionQuantFused(const float *q, const float *k,
 
 /** Convenience overload that allocates its own scratch. */
 void gqaPrefillAttentionQuantFused(const float *q, const float *k,
-                                   const float *v, std::size_t seq,
+                                   const float *v, std::size_t seqLen,
                                    std::size_t nQ,
                                    const QuantKvView &kv, float *out,
                                    float scale);

@@ -4,6 +4,18 @@
 
 namespace moelight {
 
+namespace {
+
+/** Bounds-checked raw offset of @p id (callers verified id is in
+ *  [0, numPages), so the cast cannot lose value). */
+inline std::size_t
+pageIndex(PageId id)
+{
+    return static_cast<std::size_t>(id.value());
+}
+
+} // namespace
+
 PageArena::PageArena(std::string name, std::size_t pageFloats,
                      std::size_t numPages)
     : name_(std::move(name)),
@@ -15,9 +27,11 @@ PageArena::PageArena(std::string name, std::size_t pageFloats,
     fatalIf(pageFloats == 0 || numPages == 0,
             "arena '", name_, "' must have non-zero geometry");
     freeList_.reserve(numPages);
-    // LIFO free list, lowest ids allocated first.
+    // LIFO free list, lowest ids allocated first. narrowIndex keeps
+    // a pool larger than PageId's 31-bit positive range from wrapping
+    // ids silently (the old static_cast would).
     for (std::size_t i = numPages; i-- > 0;)
-        freeList_.push_back(static_cast<PageId>(i));
+        freeList_.push_back(narrowIndex<PageId>(i));
 }
 
 PageId
@@ -28,36 +42,36 @@ PageArena::allocate()
             "' out of pages (capacity ", numPages_, ")");
     PageId id = freeList_.back();
     freeList_.pop_back();
-    inUse_[static_cast<std::size_t>(id)] = true;
+    inUse_[pageIndex(id)] = true;
     return id;
 }
 
 void
 PageArena::release(PageId id)
 {
-    panicIf(id < 0 || static_cast<std::size_t>(id) >= numPages_,
+    panicIf(id.value() < 0 || pageIndex(id) >= numPages_,
             "arena '", name_, "': bad page id ", id);
     MutexLock lk(mu_);
-    panicIf(!inUse_[static_cast<std::size_t>(id)], "arena '", name_,
+    panicIf(!inUse_[pageIndex(id)], "arena '", name_,
             "': double free of page ", id);
-    inUse_[static_cast<std::size_t>(id)] = false;
+    inUse_[pageIndex(id)] = false;
     freeList_.push_back(id);
 }
 
 float *
 PageArena::page(PageId id)
 {
-    panicIf(id < 0 || static_cast<std::size_t>(id) >= numPages_,
+    panicIf(id.value() < 0 || pageIndex(id) >= numPages_,
             "arena '", name_, "': bad page id ", id);
     {
         // Lock only for the liveness check; the returned storage is
         // untouched by allocate/release, and each live page has one
         // writer by construction.
         MutexLock lk(mu_);
-        panicIf(!inUse_[static_cast<std::size_t>(id)], "arena '",
+        panicIf(!inUse_[pageIndex(id)], "arena '",
                 name_, "': access to unallocated page ", id);
     }
-    return storage_.data() + static_cast<std::size_t>(id) * pageFloats_;
+    return storage_.data() + pageIndex(id) * pageFloats_;
 }
 
 const float *

@@ -14,13 +14,17 @@
 #include <string>
 #include <vector>
 
+#include "common/strong_types.hh"
 #include "common/sync.hh"
 
 namespace moelight {
 
-/** Index of a page inside a PageArena. */
-using PageId = std::int32_t;
-constexpr PageId kInvalidPage = -1;
+/** Index of a page inside a PageArena. A strong index domain: not
+ *  interchangeable with BlockId or any other index space (see
+ *  docs/index_domains.md). Negative values are invalid; -1 is the
+ *  not-a-page sentinel. */
+using PageId = StrongIndex<struct PageIdTag, std::int32_t>;
+inline constexpr PageId kInvalidPage{-1};
 
 /**
  * A pool of equal-sized float pages with a free list. Allocation
@@ -43,8 +47,12 @@ class PageArena
      * @param pageFloats Floats per page.
      * @param numPages   Pool capacity in pages.
      */
+    // NOLINTBEGIN(bugprone-easily-swappable-parameters): size tuple
+    // (floats per page, pool pages), not indices; test_arena pins the
+    // argument order.
     PageArena(std::string name, std::size_t pageFloats,
               std::size_t numPages);
+    // NOLINTEND(bugprone-easily-swappable-parameters)
 
     /** Allocate one page; throws FatalError when exhausted. */
     PageId allocate();

@@ -47,8 +47,12 @@ struct BatchPlan
  * @param cacheSize Max KV tokens a micro-batch may consume
  *                  (prompt + generated, summed over its requests).
  */
+// NOLINTBEGIN(bugprone-easily-swappable-parameters): count tuple, not
+// indices — (micro-batch count, micro-batch size, cache tokens) are
+// all sizes by nature; test_batcher pins the argument order.
 BatchPlan batchRequests(std::vector<Request> &&queue, std::size_t nUb,
                         std::size_t ubs, std::size_t cacheSize);
+// NOLINTEND(bugprone-easily-swappable-parameters)
 
 } // namespace moelight
 

@@ -66,7 +66,7 @@ struct PipelinedEngine::StepState
 {
     /** Active slots this round, flattened micro-batch-major; the
      *  micro-batch partition is [ubStart[j], ubStart[j+1]). */
-    std::vector<std::size_t> rowSlot;
+    std::vector<SlotIdx> rowSlot;
     std::vector<std::size_t> ubStart;
     std::size_t numUbs = 0;
 
@@ -236,9 +236,11 @@ PipelinedEngine::kvUsedPages() const
 }
 
 std::size_t
-PipelinedEngine::kvContextLen(std::size_t slot) const
+PipelinedEngine::kvContextLen(SlotIdx slot) const
 {
-    return qkv_ ? qkv_->contextLen(slot, 0) : kv_->contextLen(slot, 0);
+    SeqId seq = seqOf(slot);
+    return qkv_ ? qkv_->contextLen(seq, LayerIdx(0))
+                : kv_->contextLen(seq, LayerIdx(0));
 }
 
 std::size_t
@@ -286,17 +288,18 @@ PipelinedEngine::noteKvUsage()
 }
 
 void
-PipelinedEngine::freeSlotKv(std::size_t slot)
+PipelinedEngine::freeSlotKv(SlotIdx slot)
 {
     // A request that faulted before its first append holds no KV
     // state; freeing it anyway would (rightly) trip the caches'
     // double-free detection.
+    SeqId seq = seqOf(slot);
     if (qkv_) {
-        if (qkv_->sequenceLive(slot))
-            qkv_->freeSequence(slot);
+        if (qkv_->sequenceLive(seq))
+            qkv_->freeSequence(seq);
     } else {
-        if (kv_->sequenceLive(slot))
-            kv_->freeSequence(slot);
+        if (kv_->sequenceLive(seq))
+            kv_->freeSequence(seq);
     }
 }
 
@@ -334,25 +337,25 @@ PipelinedEngine::step()
 }
 
 void
-PipelinedEngine::noteSlotFault(std::size_t slot, const char *what)
+PipelinedEngine::noteSlotFault(SlotIdx slot, const char *what)
 {
     MutexLock lk(faultMu_);
-    if (slotError_[slot].empty())
-        slotError_[slot] = what;
+    if (slotError_[slot.value()].empty())
+        slotError_[slot.value()] = what;
 }
 
 bool
-PipelinedEngine::slotFaulted(std::size_t slot) const
+PipelinedEngine::slotFaulted(SlotIdx slot) const
 {
     MutexLock lk(faultMu_);
-    return !slotError_[slot].empty();
+    return !slotError_[slot.value()].empty();
 }
 
 void
-PipelinedEngine::maybeRetire(std::size_t slot,
+PipelinedEngine::maybeRetire(SlotIdx slot,
                              std::vector<RequestOutput> &finished)
 {
-    ActiveSeq &a = *slots_[slot];
+    ActiveSeq &a = *slots_[slot.value()];
     if (!servingReachedEnd(a.req, a.tokens))
         return;
     // The finish reason is judged against the (possibly resumed)
@@ -372,20 +375,21 @@ PipelinedEngine::maybeRetire(std::size_t slot,
         MutexLock lk(frontMu_);
         activeIds_.erase(a.req.id);
     }
-    slots_[slot].reset();
+    slots_[slot.value()].reset();
     freeSlots_.insert(
-        std::lower_bound(freeSlots_.begin(), freeSlots_.end(), slot,
+        std::lower_bound(freeSlots_.begin(), freeSlots_.end(),
+                         slot.value(),
                          std::greater<std::size_t>()),
-        slot);
+        slot.value());
     finished.push_back(std::move(r));
 }
 
 void
-PipelinedEngine::retireTerminal(std::size_t slot, FinishReason reason,
+PipelinedEngine::retireTerminal(SlotIdx slot, FinishReason reason,
                                 std::string errorMessage,
                                 std::vector<RequestOutput> &finished)
 {
-    ActiveSeq &a = *slots_[slot];
+    ActiveSeq &a = *slots_[slot.value()];
     std::vector<int> tokens = std::move(a.saved);
     tokens.insert(tokens.end(), a.tokens.begin(), a.tokens.end());
     RequestOutput r = servingMakeTerminalOutput(
@@ -397,14 +401,15 @@ PipelinedEngine::retireTerminal(std::size_t slot, FinishReason reason,
         MutexLock lk(frontMu_);
         activeIds_.erase(a.req.id);
     }
-    slots_[slot].reset();
+    slots_[slot.value()].reset();
     freeSlots_.insert(
-        std::lower_bound(freeSlots_.begin(), freeSlots_.end(), slot,
+        std::lower_bound(freeSlots_.begin(), freeSlots_.end(),
+                         slot.value(),
                          std::greater<std::size_t>()),
-        slot);
+        slot.value());
     {
         MutexLock lk(faultMu_);
-        slotError_[slot].clear();
+        slotError_[slot.value()].clear();
     }
     finished.push_back(std::move(r));
 }
@@ -458,11 +463,11 @@ PipelinedEngine::processLifecycle(std::vector<RequestOutput> &finished)
         const ServeRequest &req = slots_[slot]->req;
         if (cancelled.count(req.id)) {
             cancelled.erase(req.id);
-            retireTerminal(slot, FinishReason::Cancelled, "",
-                           finished);
+            retireTerminal(SlotIdx(slot), FinishReason::Cancelled,
+                           "", finished);
         } else if (servingDeadlineExpired(req)) {
-            retireTerminal(slot, FinishReason::TimedOut, "",
-                           finished);
+            retireTerminal(SlotIdx(slot), FinishReason::TimedOut,
+                           "", finished);
         }
     }
     // Anything left in the snapshot was stale by the time this round
@@ -510,7 +515,7 @@ PipelinedEngine::preemptYoungest()
     panicIf(req.maxNewTokens <= 0,
             "preempting a request that should have retired");
 
-    freeSlotKv(victim);
+    freeSlotKv(SlotIdx(victim));
     slots_[victim].reset();
     freeSlots_.insert(
         std::lower_bound(freeSlots_.begin(), freeSlots_.end(), victim,
@@ -571,7 +576,7 @@ PipelinedEngine::admitPending(std::vector<RequestOutput> &finished)
         }
     }
     auto t0 = std::chrono::steady_clock::now();
-    std::vector<std::size_t> fresh;
+    std::vector<SlotIdx> fresh;
     fresh.reserve(admitted.size());
     for (ServeRequest &req : admitted) {
         panicIf(freeSlots_.empty(),
@@ -599,17 +604,18 @@ PipelinedEngine::admitPending(std::vector<RequestOutput> &finished)
         // (novel-tail) demand now — a preempted or retired sharer
         // later releases exactly this, never the shared pages.
         if (prefix_)
-            as.prefixLen = prefix_->attach(slot, as.req.prompt);
+            as.prefixLen = prefix_->attach(seqOf(SlotIdx(slot)),
+                                           as.req.prompt);
         as.reservedTokens =
             servingKvDemandNet(as.req, as.prefixLen, kvQuantum_);
-        fresh.push_back(slot);
+        fresh.push_back(SlotIdx(slot));
     }
     {
         // Register before prefill so a cancel() racing the admission
         // round still finds the id (it retires next lifecycle pass).
         MutexLock lk(frontMu_);
-        for (std::size_t slot : fresh)
-            activeIds_.insert(slots_[slot]->req.id);
+        for (SlotIdx slot : fresh)
+            activeIds_.insert(slots_[slot.value()]->req.id);
     }
     // Round-scope fault capture: weight-stream or task-body faults
     // surface at sync() via the executor's firstError_; they can only
@@ -626,11 +632,11 @@ PipelinedEngine::admitPending(std::vector<RequestOutput> &finished)
     prefillHidden_.clear();
     double secs = servingSecondsSince(t0);
     noteKvUsage();
-    for (std::size_t slot : fresh) {
+    for (SlotIdx slot : fresh) {
         std::string slotMsg;
         {
             MutexLock lk(faultMu_);
-            slotMsg = slotError_[slot];
+            slotMsg = slotError_[slot.value()];
         }
         if (!slotMsg.empty() || !roundError.empty()) {
             retireTerminal(slot, FinishReason::Error,
@@ -638,18 +644,19 @@ PipelinedEngine::admitPending(std::vector<RequestOutput> &finished)
                            finished);
             continue;
         }
-        slots_[slot]->prefillSeconds += secs;
+        slots_[slot.value()]->prefillSeconds += secs;
         // Cache the prompt's closed pages (pin; idempotent for pages
         // already in the tree) before maybeRetire can free the slot —
         // pinned pages survive their inserting sequence.
         if (prefix_)
-            prefix_->insert(slot, slots_[slot]->req.prompt);
+            prefix_->insert(seqOf(slot),
+                            slots_[slot.value()]->req.prompt);
         maybeRetire(slot, finished);
     }
 }
 
 void
-PipelinedEngine::prefillSlots(const std::vector<std::size_t> &slots)
+PipelinedEngine::prefillSlots(const std::vector<SlotIdx> &slots)
 {
     const ModelConfig &cfg = w_.cfg;
     std::size_t n = slots.size();
@@ -664,7 +671,7 @@ PipelinedEngine::prefillSlots(const std::vector<std::size_t> &slots)
     prefillHidden_.assign(n, {});
     std::size_t max_prompt = 0;
     for (std::size_t a = 0; a < n; ++a) {
-        const ActiveSeq &as = *slots_[slots[a]];
+        const ActiveSeq &as = *slots_[slots[a].value()];
         const std::vector<int> &prompt = as.req.prompt;
         // Scratch must still cover the full context: attention at
         // tail position p spans prefix + p + 1 positions.
@@ -708,7 +715,7 @@ PipelinedEngine::prefillSlots(const std::vector<std::size_t> &slots)
     // every admitted sequence's tokens through that layer on the GPU
     // queue, appending KV as we go. Weight loads for layer i+2 wait on
     // layer i's compute (slot reuse).
-    std::vector<std::size_t> admitted(slots);  // outlives the tasks
+    std::vector<SlotIdx> admitted(slots);  // outlives the tasks
     std::vector<EventPtr> compute_done(cfg.l);
     for (std::size_t li = 0; li < cfg.l; ++li) {
         std::vector<EventPtr> load_deps;
@@ -716,7 +723,7 @@ PipelinedEngine::prefillSlots(const std::vector<std::size_t> &slots)
             load_deps.push_back(compute_done[li - 2]);
         EventPtr loaded = exec_->submit(
             ResourceKind::HtoD, std::move(load_deps),
-            [this, li] { store_.loadLayer(li, te_); });
+            [this, li] { store_.loadLayer(LayerIdx(li), te_); });
 
         std::vector<EventPtr> deps{loaded};
         if (li > 0)
@@ -747,13 +754,14 @@ PipelinedEngine::prefillSlots(const std::vector<std::size_t> &slots)
                 std::vector<float> &rl_all = pfRl_;
                 std::vector<float> &ffn_all = pfFfn_;
                 std::vector<TokenRouting> &routing = pfRouting_;
-                auto runSeq = [&](std::size_t a, std::size_t slot) {
+                auto runSeq = [&](std::size_t a, SlotIdx slot) {
                     // len counts only the novel tail; an attached
                     // prefix (prefixLen > 0) already sits in the KV
                     // cache, so this walk starts mid-context.
                     std::size_t len =
                         prefillHidden_[a].size() / h1_;
-                    std::size_t prefix = slots_[slot]->prefixLen;
+                    std::size_t prefix =
+                        slots_[slot.value()]->prefixLen;
                     float *xs = prefillHidden_[a].data();
                     norm_all.resize(len * h1_);
                     q_all.resize(len * qDim_);
@@ -765,18 +773,18 @@ PipelinedEngine::prefillSlots(const std::vector<std::size_t> &slots)
                     ffn_all.resize(len * h1_);
                     for (std::size_t t = 0; t < len; ++t)
                         rmsNorm(xs + t * h1_,
-                                store_.tensor(li, "attn_norm"),
+                                store_.tensor(LayerIdx(li), "attn_norm"),
                                 norm_all.data() + t * h1_, h1_);
                     matmulTransposedB(norm_all.data(),
-                                      store_.tensor(li, "wq"),
+                                      store_.tensor(LayerIdx(li), "wq"),
                                       q_all.data(), len, h1_,
                                       qDim_, pool);
                     matmulTransposedB(norm_all.data(),
-                                      store_.tensor(li, "wk"),
+                                      store_.tensor(LayerIdx(li), "wk"),
                                       k_all.data(), len, h1_,
                                       kvDim_, pool);
                     matmulTransposedB(norm_all.data(),
-                                      store_.tensor(li, "wv"),
+                                      store_.tensor(LayerIdx(li), "wv"),
                                       v_all.data(), len, h1_,
                                       kvDim_, pool);
                     if (qkv_ && prefix == 0) {
@@ -788,7 +796,7 @@ PipelinedEngine::prefillSlots(const std::vector<std::size_t> &slots)
                         // bit (the reference engine's per-token fused
                         // decode stays the oracle for this).
                         for (std::size_t t = 0; t < len; ++t)
-                            qkv_->append(slot, li,
+                            qkv_->append(seqOf(slot), LayerIdx(li),
                                          k_all.data() + t * kvDim_,
                                          v_all.data() + t * kvDim_);
                         // KV heads fan across the attention pool —
@@ -797,7 +805,9 @@ PipelinedEngine::prefillSlots(const std::vector<std::size_t> &slots)
                         // per-position bit-exact walk.
                         gqaPrefillAttentionQuantFused(
                             q_all.data(), k_all.data(), v_all.data(),
-                            len, c.nq, qkv_->makeQuantView(slot, li),
+                            len, c.nq,
+                            qkv_->makeQuantView(seqOf(slot),
+                                                LayerIdx(li)),
                             attn_all.data(), scale_,
                             cpuPrefillScratch_, pool);
                     } else if (qkv_) {
@@ -810,18 +820,19 @@ PipelinedEngine::prefillSlots(const std::vector<std::size_t> &slots)
                         // bit-identical to, just starting at
                         // `prefix`, so hot tokens match cold ones.
                         for (std::size_t t = 0; t < len; ++t) {
-                            qkv_->append(slot, li,
+                            qkv_->append(seqOf(slot), LayerIdx(li),
                                          k_all.data() + t * kvDim_,
                                          v_all.data() + t * kvDim_);
                             gqaDecodeAttentionQuantFused(
                                 q_all.data() + t * qDim_, c.nq,
-                                qkv_->makeQuantView(slot, li),
+                                qkv_->makeQuantView(seqOf(slot),
+                                                    LayerIdx(li)),
                                 attn_all.data() + t * qDim_,
                                 scale_, cpuAttnScratch_);
                         }
                     } else {
                         for (std::size_t t = 0; t < len; ++t) {
-                            kv_->append(slot, li,
+                            kv_->append(seqOf(slot), LayerIdx(li),
                                         k_all.data() + t * kvDim_,
                                         v_all.data() + t * kvDim_);
                             // The page-pointer list only changes when
@@ -833,11 +844,12 @@ PipelinedEngine::prefillSlots(const std::vector<std::size_t> &slots)
                             // cache — prefix reuse, say — stays
                             // correct; t == 0 still always builds
                             // this (slot, layer)'s first view.
-                            std::size_t ctx_len =
-                                kv_->contextLen(slot, li);
+                            std::size_t ctx_len = kv_->contextLen(
+                                seqOf(slot), LayerIdx(li));
                             if (t == 0 ||
                                 (ctx_len - 1) % cfg_.kvPageTokens == 0)
-                                kv_->makeView(slot, li, view);
+                                kv_->makeView(seqOf(slot),
+                                              LayerIdx(li), view);
                             else
                                 view.view.contextLen = ctx_len;
                             gqaDecodeAttention(
@@ -848,18 +860,18 @@ PipelinedEngine::prefillSlots(const std::vector<std::size_t> &slots)
                         }
                     }
                     matmulTransposedB(attn_all.data(),
-                                      store_.tensor(li, "wo"),
+                                      store_.tensor(LayerIdx(li), "wo"),
                                       proj_all.data(), len, qDim_,
                                       h1_, pool);
                     for (std::size_t t = 0; t < len; ++t) {
                         accumulate(xs + t * h1_,
                                    proj_all.data() + t * h1_, h1_);
                         rmsNorm(xs + t * h1_,
-                                store_.tensor(li, "ffn_norm"),
+                                store_.tensor(LayerIdx(li), "ffn_norm"),
                                 norm_all.data() + t * h1_, h1_);
                     }
                     matmulTransposedB(norm_all.data(),
-                                      store_.tensor(li, "router"),
+                                      store_.tensor(LayerIdx(li), "router"),
                                       rl_all.data(), len, h1_, c.ne,
                                       pool);
                     routing.resize(len);
@@ -867,14 +879,14 @@ PipelinedEngine::prefillSlots(const std::vector<std::size_t> &slots)
                         routing[t] = routeTopK(
                             {rl_all.data() + t * c.ne, c.ne}, c.k);
                     moeFfnForward(norm_all.data(), routing,
-                                  store_.resolver(li), len, h1_,
+                                  store_.resolver(LayerIdx(li)), len, h1_,
                                   c.h2, ffn_all.data(), pool);
                     for (std::size_t t = 0; t < len; ++t)
                         accumulate(xs + t * h1_,
                                    ffn_all.data() + t * h1_, h1_);
                 };
                 for (std::size_t a = 0; a < admitted.size(); ++a) {
-                    std::size_t slot = admitted[a];
+                    SlotIdx slot = admitted[a];
                     // Request-scope fault containment: a fault in
                     // one sequence's prefill (KV append, kernel)
                     // marks only that slot; co-admitted neighbours
@@ -923,7 +935,7 @@ PipelinedEngine::prefillSlots(const std::vector<std::size_t> &slots)
                 int next = static_cast<int>(
                     argmax({bootLogits_.data() + a * vocab_,
                             vocab_}));
-                ActiveSeq &as = *slots_[admitted[a]];
+                ActiveSeq &as = *slots_[admitted[a].value()];
                 as.tokens.push_back(next);
                 as.next = next;
             }
@@ -937,7 +949,7 @@ PipelinedEngine::decodeActive(std::vector<RequestOutput> &finished)
     st.rowSlot.clear();
     for (std::size_t slot = 0; slot < slots_.size(); ++slot)
         if (slots_[slot])
-            st.rowSlot.push_back(slot);
+            st.rowSlot.push_back(SlotIdx(slot));
     if (st.rowSlot.empty())
         return;
 
@@ -964,16 +976,16 @@ PipelinedEngine::decodeActive(std::vector<RequestOutput> &finished)
         // sampled token — the same bytes the legacy lockstep loop
         // carried forward in place.
         for (std::size_t r = 0; r < nj; ++r) {
-            std::size_t slot = st.rowSlot[st.ubStart[j] + r];
+            SlotIdx slot = st.rowSlot[st.ubStart[j] + r];
             std::memcpy(st.xGpu[j].data() + r * h1_,
                         w_.embedding.row(static_cast<std::size_t>(
-                            slots_[slot]->next)),
+                            slots_[slot.value()]->next)),
                         h1_ * sizeof(float));
         }
     }
 
     std::size_t max_ctx = 1;
-    for (std::size_t slot : st.rowSlot)
+    for (SlotIdx slot : st.rowSlot)
         max_ctx = std::max(max_ctx, kvContextLen(slot) + 1);
     ensureAttnScratch(max_ctx);
 
@@ -994,14 +1006,14 @@ PipelinedEngine::decodeActive(std::vector<RequestOutput> &finished)
          ++t)
         st.weightsReady[t] = exec_->submit(
             ResourceKind::HtoD, {},
-            [this, t] { store_.loadLayer(t, te_); });
+            [this, t] { store_.loadLayer(LayerIdx(t), te_); });
 
     // Per-slot token counts before the round: a slot retired on a
     // mid-round fault must not report the garbage token the round's
     // sampler may still have pushed for it.
     std::vector<std::size_t> tokBefore(slots_.size(), 0);
-    for (std::size_t slot : st.rowSlot)
-        tokBefore[slot] = slots_[slot]->tokens.size();
+    for (SlotIdx slot : st.rowSlot)
+        tokBefore[slot.value()] = slots_[slot.value()]->tokens.size();
 
     // Round-scope fault capture: weight-stream and task-body faults
     // reach sync() via the executor's firstError_. Such a fault
@@ -1019,17 +1031,17 @@ PipelinedEngine::decodeActive(std::vector<RequestOutput> &finished)
     }
     double secs = servingSecondsSince(t0);
     noteKvUsage();
-    for (std::size_t slot : st.rowSlot)
-        slots_[slot]->decodeSeconds += secs;
-    for (std::size_t slot : st.rowSlot) {
+    for (SlotIdx slot : st.rowSlot)
+        slots_[slot.value()]->decodeSeconds += secs;
+    for (SlotIdx slot : st.rowSlot) {
         std::string slotMsg;
         {
             MutexLock lk(faultMu_);
-            slotMsg = slotError_[slot];
+            slotMsg = slotError_[slot.value()];
         }
         if (!slotMsg.empty() || !roundError.empty()) {
-            ActiveSeq &a = *slots_[slot];
-            a.tokens.resize(tokBefore[slot]);
+            ActiveSeq &a = *slots_[slot.value()];
+            a.tokens.resize(tokBefore[slot.value()]);
             retireTerminal(slot, FinishReason::Error,
                            slotMsg.empty() ? roundError : slotMsg,
                            finished);
@@ -1072,16 +1084,16 @@ PipelinedEngine::runDecodeChains(StepState &st)
                 // owns attnPool_.
                 for (std::size_t r = 0; r < n; ++r)
                     rmsNorm(st.xGpu[j].data() + r * h1_,
-                            store_.tensor(i, "attn_norm"),
+                            store_.tensor(LayerIdx(i), "attn_norm"),
                             gpuNormB_.data() + r * h1_, h1_);
                 matmulTransposedB(gpuNormB_.data(),
-                                  store_.tensor(i, "wq"),
+                                  store_.tensor(LayerIdx(i), "wq"),
                                   gpuQB_.data(), n, h1_, qDim_);
                 matmulTransposedB(gpuNormB_.data(),
-                                  store_.tensor(i, "wk"),
+                                  store_.tensor(LayerIdx(i), "wk"),
                                   gpuKB_.data(), n, h1_, kvDim_);
                 matmulTransposedB(gpuNormB_.data(),
-                                  store_.tensor(i, "wv"),
+                                  store_.tensor(LayerIdx(i), "wv"),
                                   gpuVB_.data(), n, h1_, kvDim_);
                 for (std::size_t r = 0; r < n; ++r) {
                     float *qkv = st.qkvGpu[j].data() + r * qkvDim_;
@@ -1102,7 +1114,7 @@ PipelinedEngine::runDecodeChains(StepState &st)
                 te_.copyToHost(st.qkvGpu[j].data(),
                                st.qkvCpu[j].data(), n * qkvDim_);
                 for (std::size_t r = 0; r < n; ++r) {
-                    std::size_t slot =
+                    SlotIdx slot =
                         st.rowSlot[st.ubStart[j] + r];
                     // Request-scope containment: a KV append failing
                     // (pool exhausted, injected kv.alloc fault) dooms
@@ -1117,10 +1129,12 @@ PipelinedEngine::runDecodeChains(StepState &st)
                         st.qkvCpu[j].data() + r * qkvDim_;
                     try {
                         if (qkv_)
-                            qkv_->append(slot, i, qkv + qDim_,
+                            qkv_->append(seqOf(slot), LayerIdx(i),
+                                         qkv + qDim_,
                                          qkv + qDim_ + kvDim_);
                         else
-                            kv_->append(slot, i, qkv + qDim_,
+                            kv_->append(seqOf(slot), LayerIdx(i),
+                                        qkv + qDim_,
                                         qkv + qDim_ + kvDim_);
                     } catch (const FatalError &e) {
                         noteSlotFault(slot, e.what());
@@ -1139,7 +1153,8 @@ PipelinedEngine::runDecodeChains(StepState &st)
                     std::vector<QuantKvView> qviews(n);
                     for (std::size_t r = 0; r < n; ++r)
                         qviews[r] = qkv_->makeQuantView(
-                            st.rowSlot[st.ubStart[j] + r], i);
+                            seqOf(st.rowSlot[st.ubStart[j] + r]),
+                            LayerIdx(i));
                     gqaDecodeAttentionQuantBatch(
                         st.qkvCpu[j].data(), qkvDim_, c.nq, qviews,
                         st.attnCpu[j].data(), qDim_, scale_,
@@ -1151,8 +1166,9 @@ PipelinedEngine::runDecodeChains(StepState &st)
                 std::vector<KvViewStorage> views(n);
                 std::vector<KvView> kvs(n);
                 for (std::size_t r = 0; r < n; ++r) {
-                    kv_->makeView(st.rowSlot[st.ubStart[j] + r], i,
-                                  views[r]);
+                    kv_->makeView(
+                        seqOf(st.rowSlot[st.ubStart[j] + r]),
+                        LayerIdx(i), views[r]);
                     kvs[r] = views[r].view;
                 }
                 gqaDecodeAttentionBatch(
@@ -1229,7 +1245,7 @@ PipelinedEngine::runDecodeChains(StepState &st)
                 ResourceKind::HtoD, std::move(wdeps),
                 [this, target, lo, hi] {
                     for (std::size_t p = lo; p < hi; ++p)
-                        store_.loadPage(target, p, te_);
+                        store_.loadPage(LayerIdx(target), p, te_);
                 },
                 std::move(publish));
         }
@@ -1249,23 +1265,23 @@ PipelinedEngine::runDecodeChains(StepState &st)
                 // micro-batch; per-token arithmetic matches the
                 // reference engine's m=1 calls bit-for-bit.
                 matmulTransposedB(st.attnGpu[j].data(),
-                                  store_.tensor(i, "wo"),
+                                  store_.tensor(LayerIdx(i), "wo"),
                                   gpuProjB_.data(), n, qDim_, h1_);
                 for (std::size_t r = 0; r < n; ++r) {
                     float *x = st.xGpu[j].data() + r * h1_;
                     accumulate(x, gpuProjB_.data() + r * h1_, h1_);
-                    rmsNorm(x, store_.tensor(i, "ffn_norm"),
+                    rmsNorm(x, store_.tensor(LayerIdx(i), "ffn_norm"),
                             gpuNormB_.data() + r * h1_, h1_);
                 }
                 matmulTransposedB(gpuNormB_.data(),
-                                  store_.tensor(i, "router"),
+                                  store_.tensor(LayerIdx(i), "router"),
                                   gpuRlB_.data(), n, h1_, c.ne);
                 std::vector<TokenRouting> routing(n);
                 for (std::size_t r = 0; r < n; ++r)
                     routing[r] = routeTopK(
                         {gpuRlB_.data() + r * c.ne, c.ne}, c.k);
                 moeFfnForward(gpuNormB_.data(), routing,
-                              store_.resolver(i), n, h1_, c.h2,
+                              store_.resolver(LayerIdx(i)), n, h1_, c.h2,
                               gpuFfnB_.data());
                 for (std::size_t r = 0; r < n; ++r)
                     accumulate(st.xGpu[j].data() + r * h1_,
@@ -1288,12 +1304,12 @@ PipelinedEngine::runDecodeChains(StepState &st)
                                       gpuLogitsB_.data(), n, h1_,
                                       vocab_);
                     for (std::size_t r = 0; r < n; ++r) {
-                        std::size_t slot =
+                        SlotIdx slot =
                             st.rowSlot[st.ubStart[j] + r];
                         int next = static_cast<int>(argmax(
                             {gpuLogitsB_.data() + r * vocab_,
                              vocab_}));
-                        ActiveSeq &a = *slots_[slot];
+                        ActiveSeq &a = *slots_[slot.value()];
                         a.tokens.push_back(next);
                         a.next = next;
                     }

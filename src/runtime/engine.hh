@@ -35,6 +35,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/strong_types.hh"
 #include "common/sync.hh"
 #include "common/thread_pool.hh"
 #include "common/units.hh"
@@ -191,22 +192,26 @@ class PipelinedEngine : public Engine
     struct StepState;
 
     void admitPending(std::vector<RequestOutput> &finished);
-    void prefillSlots(const std::vector<std::size_t> &slots);
+    void prefillSlots(const std::vector<SlotIdx> &slots);
     void decodeActive(std::vector<RequestOutput> &finished);
     void runDecodeChains(StepState &st);
-    void maybeRetire(std::size_t slot,
+    void maybeRetire(SlotIdx slot,
                      std::vector<RequestOutput> &finished);
     void processLifecycle(std::vector<RequestOutput> &finished);
-    void retireTerminal(std::size_t slot, FinishReason reason,
+    void retireTerminal(SlotIdx slot, FinishReason reason,
                         std::string errorMessage,
                         std::vector<RequestOutput> &finished);
     void preemptYoungest();
+    /** The slot->sequence identity map: slot i owns KV sequence i in
+     *  whichever cache is active. The ONLY place a SlotIdx becomes a
+     *  SeqId (see docs/index_domains.md). */
+    static SeqId seqOf(SlotIdx slot) { return SeqId(slot.value()); }
     /** Record a request-scope fault for @p slot (from any queue
      *  thread); first message wins. */
-    void noteSlotFault(std::size_t slot, const char *what);
-    bool slotFaulted(std::size_t slot) const;
-    void freeSlotKv(std::size_t slot);
-    std::size_t kvContextLen(std::size_t slot) const;
+    void noteSlotFault(SlotIdx slot, const char *what);
+    bool slotFaulted(SlotIdx slot) const;
+    void freeSlotKv(SlotIdx slot);
+    std::size_t kvContextLen(SlotIdx slot) const;
     std::size_t kvTokensInUse() const;
     void ensureAttnScratch(std::size_t ctx);
     void noteKvUsage();

@@ -37,14 +37,14 @@ KvCacheManager::KvCacheManager(const ModelConfig &cfg,
                          id = freeIds_.back();
                          freeIds_.pop_back();
                      } else {
-                         id = static_cast<BlockId>(pairs_.size());
+                         id = narrowIndex<BlockId>(pairs_.size());
                          pairs_.emplace_back();
                      }
                      // Allocate K and V together so a block is
                      // all-or-nothing (the table checked capacity, so
                      // the arena cannot be exhausted here).
-                     pairs_[id].k = pool_.allocate();
-                     pairs_[id].v = pool_.allocate();
+                     pairs_[id.value()].k = pool_.allocate();
+                     pairs_[id.value()].v = pool_.allocate();
                      return id;
                  },
                  [this](BlockId dst, BlockId src,
@@ -52,8 +52,8 @@ KvCacheManager::KvCacheManager(const ModelConfig &cfg,
                      PagePair d, s;
                      {
                          MutexLock lk(mu_);
-                         d = pairs_[dst];
-                         s = pairs_[src];
+                         d = pairs_[dst.value()];
+                         s = pairs_[src.value()];
                      }
                      // Copy outside mu_: the pages themselves belong
                      // to the two streams involved in the CoW.
@@ -66,9 +66,9 @@ KvCacheManager::KvCacheManager(const ModelConfig &cfg,
                  },
                  [this](BlockId id) {
                      MutexLock lk(mu_);
-                     pool_.release(pairs_[id].k);
-                     pool_.release(pairs_[id].v);
-                     pairs_[id] = PagePair{};
+                     pool_.release(pairs_[id.value()].k);
+                     pool_.release(pairs_[id.value()].v);
+                     pairs_[id.value()] = PagePair{};
                      freeIds_.push_back(id);
                  },
              })
@@ -78,14 +78,14 @@ KvCacheManager::KvCacheManager(const ModelConfig &cfg,
 }
 
 void
-KvCacheManager::append(std::size_t seq, std::size_t layer,
+KvCacheManager::append(SeqId seq, LayerIdx layer,
                        const float *k, const float *v)
 {
     AppendSlot slot = table_.appendToken(seq, layer);
     PagePair pair;
     {
         MutexLock lk(mu_);
-        pair = pairs_[slot.block];
+        pair = pairs_[slot.block.value()];
     }
     float *kp = pool_.page(pair.k) + slot.offset * tokenFloats_;
     float *vp = pool_.page(pair.v) + slot.offset * tokenFloats_;
@@ -94,13 +94,13 @@ KvCacheManager::append(std::size_t seq, std::size_t layer,
 }
 
 std::size_t
-KvCacheManager::contextLen(std::size_t seq, std::size_t layer) const
+KvCacheManager::contextLen(SeqId seq, LayerIdx layer) const
 {
     return table_.streamLen(seq, layer);
 }
 
 void
-KvCacheManager::makeView(std::size_t seq, std::size_t layer,
+KvCacheManager::makeView(SeqId seq, LayerIdx layer,
                          KvViewStorage &storage) const
 {
     storage.k.clear();
@@ -109,7 +109,7 @@ KvCacheManager::makeView(std::size_t seq, std::size_t layer,
         PagePair pair;
         {
             MutexLock lk(mu_);
-            pair = pairs_[b];
+            pair = pairs_[b.value()];
         }
         storage.k.push_back(pool_.page(pair.k));
         storage.v.push_back(pool_.page(pair.v));
@@ -123,13 +123,13 @@ KvCacheManager::makeView(std::size_t seq, std::size_t layer,
 }
 
 bool
-KvCacheManager::sequenceLive(std::size_t seq) const
+KvCacheManager::sequenceLive(SeqId seq) const
 {
     return table_.sequenceLive(seq);
 }
 
 void
-KvCacheManager::freeSequence(std::size_t seq)
+KvCacheManager::freeSequence(SeqId seq)
 {
     table_.freeSequence(seq);
 }

@@ -48,23 +48,26 @@ class KvCacheManager
      * @param capacityTokens Total token capacity across sequences and
      *                   layers (pool size); exhausting it is fatal.
      */
+    // NOLINTBEGIN(bugprone-easily-swappable-parameters): capacity
+    // tuple, not indices; test_kv_cache pins the argument order.
     KvCacheManager(const ModelConfig &cfg, std::size_t numSeqs,
                    std::size_t pageTokens, std::size_t capacityTokens);
+    // NOLINTEND(bugprone-easily-swappable-parameters)
 
     /** Append one token's K and V ([nkv * headDim] each) for
      *  (@p seq, @p layer). Throws EngineError(KvExhausted) when the
      *  pool cannot hold another page — the typed fault the serving
      *  engines contain at request scope. FaultInjector site:
      *  "kv.alloc". */
-    void append(std::size_t seq, std::size_t layer, const float *k,
+    void append(SeqId seq, LayerIdx layer, const float *k,
                 const float *v);
 
     /** Current context length of (@p seq, @p layer). */
-    std::size_t contextLen(std::size_t seq, std::size_t layer) const;
+    std::size_t contextLen(SeqId seq, LayerIdx layer) const;
 
     /** Build an attention view over (@p seq, @p layer); @p storage
      *  owns the page-pointer arrays and must outlive the use. */
-    void makeView(std::size_t seq, std::size_t layer,
+    void makeView(SeqId seq, LayerIdx layer,
                   KvViewStorage &storage) const;
 
     /** Release all pages of @p seq (it finished generating): a
@@ -75,12 +78,12 @@ class KvCacheManager
      *  holds no state (already freed, or never appended) — silently
      *  accepting either would let an engine bug corrupt the free list
      *  unnoticed. */
-    void freeSequence(std::size_t seq);
+    void freeSequence(SeqId seq);
 
     /** True when @p seq currently holds any KV state — the guard an
      *  engine checks before freeSequence() for a request that may
      *  have faulted before its first append. */
-    bool sequenceLive(std::size_t seq) const;
+    bool sequenceLive(SeqId seq) const;
 
     /** Pages referenced by live sequences (shared pages counted
      *  once): 2 arena pages (K + V) per referenced table block.

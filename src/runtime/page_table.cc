@@ -30,15 +30,15 @@ PageTable::PageTable(std::size_t numSeqs, std::size_t layers,
 }
 
 PageTable::Stream &
-PageTable::at(std::size_t seq, std::size_t layer)
+PageTable::at(SeqId seq, LayerIdx layer)
 {
-    panicIf(seq >= numSeqs_ || layer >= layers_,
+    panicIf(seq.value() >= numSeqs_ || layer.value() >= layers_,
             "KV slot (", seq, ",", layer, ") out of range");
-    return streams_[seq * layers_ + layer];
+    return streams_[seq.value() * layers_ + layer.value()];
 }
 
 const PageTable::Stream &
-PageTable::at(std::size_t seq, std::size_t layer) const
+PageTable::at(SeqId seq, LayerIdx layer) const
 {
     return const_cast<PageTable *>(this)->at(seq, layer);
 }
@@ -46,21 +46,21 @@ PageTable::at(std::size_t seq, std::size_t layer) const
 PageTable::BlockMeta &
 PageTable::meta(BlockId b)
 {
-    if (static_cast<std::size_t>(b) >= meta_.size())
-        meta_.resize(static_cast<std::size_t>(b) + 1);
-    return meta_[b];
+    if (static_cast<std::size_t>(b.value()) >= meta_.size())
+        meta_.resize(static_cast<std::size_t>(b.value()) + 1);
+    return meta_[b.value()];
 }
 
 const PageTable::BlockMeta &
 PageTable::meta(BlockId b) const
 {
-    panicIf(static_cast<std::size_t>(b) >= meta_.size(),
+    panicIf(static_cast<std::size_t>(b.value()) >= meta_.size(),
             "unknown KV block ", b);
-    return meta_[b];
+    return meta_[b.value()];
 }
 
 void
-PageTable::ensureCapacity(std::size_t seq, std::size_t layer,
+PageTable::ensureCapacity(SeqId seq, LayerIdx layer,
                           std::size_t len, std::size_t needTokens)
 {
     auto fits = [&] {
@@ -77,8 +77,8 @@ PageTable::ensureCapacity(std::size_t seq, std::size_t layer,
                                 ? "KV pool out of pages"
                                 : "KV cache out of token capacity") +
                     " appending token " + std::to_string(len) +
-                    " of (seq " + std::to_string(seq) + ", layer " +
-                    std::to_string(layer) + ")");
+                    " of (seq " + std::to_string(seq.value()) +
+                    ", layer " + std::to_string(layer.value()) + ")");
 }
 
 BlockId
@@ -128,7 +128,7 @@ PageTable::deref(BlockId b)
 }
 
 AppendSlot
-PageTable::appendToken(std::size_t seq, std::size_t layer)
+PageTable::appendToken(SeqId seq, LayerIdx layer)
 {
     MOELIGHT_ASSERT_SERIAL(gate_);
     Stream &st = at(seq, layer);
@@ -180,7 +180,7 @@ PageTable::appendToken(std::size_t seq, std::size_t layer)
 }
 
 void
-PageTable::attachShared(std::size_t seq, std::size_t layer,
+PageTable::attachShared(SeqId seq, LayerIdx layer,
                         std::span<const BlockId> blocks)
 {
     MOELIGHT_ASSERT_SERIAL(gate_);
@@ -221,7 +221,8 @@ PageTable::unpin(BlockId block)
     BlockMeta &m = meta(block);
     if (!m.resident || m.pins == 0)
         throw EngineError(ErrorCode::KvDoubleFree, "kv.free",
-                          "unpin of block " + std::to_string(block) +
+                          "unpin of block " +
+                              std::to_string(block.value()) +
                               " that holds no pin — double release");
     if (--m.pins == 0) {
         panicIf(pinnedTokens_ < m.tokens,
@@ -233,11 +234,11 @@ PageTable::unpin(BlockId block)
 }
 
 bool
-PageTable::sequenceLive(std::size_t seq) const
+PageTable::sequenceLive(SeqId seq) const
 {
-    if (seq >= numSeqs_)
+    if (seq.value() >= numSeqs_)
         return false;
-    for (std::size_t layer = 0; layer < layers_; ++layer) {
+    for (LayerIdx layer : IndexRange(LayerIdx(layers_))) {
         const Stream &st = at(seq, layer);
         if (st.len != 0 || !st.blocks.empty())
             return true;
@@ -246,21 +247,23 @@ PageTable::sequenceLive(std::size_t seq) const
 }
 
 void
-PageTable::freeSequence(std::size_t seq)
+PageTable::freeSequence(SeqId seq)
 {
     MOELIGHT_ASSERT_SERIAL(gate_);
-    if (seq >= numSeqs_)
+    if (seq.value() >= numSeqs_)
         throw EngineError(ErrorCode::KvInvalidSequence, "kv.free",
-                          "freeSequence(" + std::to_string(seq) +
+                          "freeSequence(" +
+                              std::to_string(seq.value()) +
                               ") with only " +
                               std::to_string(numSeqs_) +
                               " sequences");
     if (!sequenceLive(seq))
         throw EngineError(ErrorCode::KvDoubleFree, "kv.free",
-                          "freeSequence(" + std::to_string(seq) +
+                          "freeSequence(" +
+                              std::to_string(seq.value()) +
                               ") holds no KV state — double free or "
                               "never-appended sequence");
-    for (std::size_t layer = 0; layer < layers_; ++layer) {
+    for (LayerIdx layer : IndexRange(LayerIdx(layers_))) {
         Stream &st = at(seq, layer);
         for (BlockId b : st.blocks)
             deref(b);
@@ -270,13 +273,13 @@ PageTable::freeSequence(std::size_t seq)
 }
 
 std::size_t
-PageTable::streamLen(std::size_t seq, std::size_t layer) const
+PageTable::streamLen(SeqId seq, LayerIdx layer) const
 {
     return at(seq, layer).len;
 }
 
 std::span<const BlockId>
-PageTable::streamBlocks(std::size_t seq, std::size_t layer) const
+PageTable::streamBlocks(SeqId seq, LayerIdx layer) const
 {
     return at(seq, layer).blocks;
 }

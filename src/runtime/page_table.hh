@@ -46,13 +46,16 @@
 #include <span>
 #include <vector>
 
+#include "common/strong_types.hh"
 #include "common/sync.hh"
 
 namespace moelight {
 
 /** Identifies one block; doubles as the owning cache's storage index
- *  (the hooks translate it to arena pages / quantized buffers). */
-using BlockId = std::uint32_t;
+ *  (the hooks translate it to arena pages / quantized buffers).
+ *  A strong index domain: not interchangeable with PageId, SeqId or
+ *  any other index space (see docs/index_domains.md). */
+using BlockId = StrongIndex<struct BlockIdTag, std::uint32_t>;
 
 /** Storage callbacks a cache provides to the table. */
 struct PageTableHooks
@@ -77,7 +80,7 @@ enum class PageCapacityModel
 /** Where appendToken() placed one token. */
 struct AppendSlot
 {
-    BlockId block = 0;
+    BlockId block{};
     /** Token offset within the block. */
     std::size_t offset = 0;
     /** The block's storage was freshly allocated this call (offset is
@@ -106,9 +109,12 @@ class PageTable
      *                   (Tokens model only).
      * @param hooks      Storage callbacks; all three must be set.
      */
+    // NOLINTBEGIN(bugprone-easily-swappable-parameters): capacity
+    // tuple, not indices; test_page_table pins the argument order.
     PageTable(std::size_t numSeqs, std::size_t layers,
               std::size_t pageTokens, PageCapacityModel model,
               std::size_t capacity, PageTableHooks hooks);
+    // NOLINTEND(bugprone-easily-swappable-parameters)
 
     /**
      * Reserve space for one token on (@p seq, @p layer): opens a
@@ -121,7 +127,7 @@ class PageTable
      * injection cadence. The caller writes the token's payload into
      * the returned slot via its own storage.
      */
-    AppendSlot appendToken(std::size_t seq, std::size_t layer);
+    AppendSlot appendToken(SeqId seq, LayerIdx layer);
 
     /**
      * Attach (@p seq, @p layer) read-only to @p blocks — the prefix
@@ -130,7 +136,7 @@ class PageTable
      * block's stream refcount bumps; the stream's length becomes
      * blocks.size() * pageTokens.
      */
-    void attachShared(std::size_t seq, std::size_t layer,
+    void attachShared(SeqId seq, LayerIdx layer,
                       std::span<const BlockId> blocks);
 
     /** Keep @p block resident independent of stream references (the
@@ -149,17 +155,17 @@ class PageTable
      *  EngineError(KvInvalidSequence, "kv.free") for an out-of-range
      *  id and EngineError(KvDoubleFree, "kv.free") when @p seq holds
      *  no state. */
-    void freeSequence(std::size_t seq);
+    void freeSequence(SeqId seq);
 
     /** True when @p seq references any block on any layer. */
-    bool sequenceLive(std::size_t seq) const;
+    bool sequenceLive(SeqId seq) const;
 
     /** Tokens stored in (@p seq, @p layer)'s stream. */
-    std::size_t streamLen(std::size_t seq, std::size_t layer) const;
+    std::size_t streamLen(SeqId seq, LayerIdx layer) const;
 
     /** Blocks of (@p seq, @p layer), in position order. */
-    std::span<const BlockId> streamBlocks(std::size_t seq,
-                                          std::size_t layer) const;
+    std::span<const BlockId> streamBlocks(SeqId seq,
+                                          LayerIdx layer) const;
 
     /** Tokens stored in @p block (== pageTokens once closed). */
     std::size_t blockTokens(BlockId block) const;
@@ -213,16 +219,20 @@ class PageTable
         std::size_t len = 0;
     };
 
-    Stream &at(std::size_t seq, std::size_t layer);
-    const Stream &at(std::size_t seq, std::size_t layer) const;
+    Stream &at(SeqId seq, LayerIdx layer);
+    const Stream &at(SeqId seq, LayerIdx layer) const;
     BlockMeta &meta(BlockId b);
     const BlockMeta &meta(BlockId b) const;
 
     /** Make room for one more block (Blocks model) or @p needTokens
      *  tokens (Tokens model), driving the reclaim hook; throws
      *  KvExhausted when it cannot. */
-    void ensureCapacity(std::size_t seq, std::size_t layer,
+    // NOLINTBEGIN(bugprone-easily-swappable-parameters): the two raw
+    // sizes are (current length, tokens wanted) — lengths, not
+    // indices; the seq/layer pair is already strongly typed.
+    void ensureCapacity(SeqId seq, LayerIdx layer,
                         std::size_t len, std::size_t needTokens);
+    // NOLINTEND(bugprone-easily-swappable-parameters)
     BlockId allocFresh();
     void ref(BlockId b);
     void deref(BlockId b);

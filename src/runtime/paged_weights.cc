@@ -105,27 +105,29 @@ PagedWeightStore::tensorIndex(const std::string &name) const
 }
 
 std::vector<WeightTensorId>
-PagedWeightStore::layerManifest(std::size_t layer) const
+PagedWeightStore::layerManifest(LayerIdx layer) const
 {
-    panicIf(layer >= weights_.layers.size(), "layer out of range");
+    panicIf(layer.value() >= weights_.layers.size(),
+            "layer out of range");
     std::vector<WeightTensorId> out;
     out.reserve(tensorCount_);
     for (const auto &n : tensorNames_) {
-        const Tensor &t = cpuTensor(weights_.layers[layer], n);
+        const Tensor &t = cpuTensor(weights_.layers[layer.value()], n);
         out.push_back({n, t.numel(), t.data()});
     }
     return out;
 }
 
 void
-PagedWeightStore::loadPage(std::size_t layer, std::size_t pageIdx,
+PagedWeightStore::loadPage(LayerIdx layer, std::size_t pageIdx,
                            TransferEngine &te)
 {
-    panicIf(layer >= weights_.layers.size(), "layer out of range");
+    panicIf(layer.value() >= weights_.layers.size(),
+            "layer out of range");
     panicIf(pageIdx >= tensorCount_, "page index out of range");
     FaultInjector::check("weights.load");
     const Tensor &src =
-        cpuTensor(weights_.layers[layer], tensorNames_[pageIdx]);
+        cpuTensor(weights_.layers[layer.value()], tensorNames_[pageIdx]);
     PageEntry &entry = table_[slotOf(layer)][pageIdx];
     try {
         te.stageToGpu(src.data(), gpu_.page(entry.page), src.numel());
@@ -138,25 +140,25 @@ PagedWeightStore::loadPage(std::size_t layer, std::size_t pageIdx,
         throw EngineError(ErrorCode::WeightStreamFailed,
                           "weights.load",
                           std::string("staging layer ") +
-                              std::to_string(layer) + " page " +
+                              std::to_string(layer.value()) + " page " +
                               std::to_string(pageIdx) + ": " +
                               e.what());
     }
-    entry.residentLayer = static_cast<int>(layer);
+    entry.residentLayer = static_cast<int>(layer.value());
 }
 
 void
-PagedWeightStore::loadLayer(std::size_t layer, TransferEngine &te)
+PagedWeightStore::loadLayer(LayerIdx layer, TransferEngine &te)
 {
     for (std::size_t p = 0; p < tensorCount_; ++p)
         loadPage(layer, p, te);
 }
 
 const float *
-PagedWeightStore::tensor(std::size_t layer, const std::string &name) const
+PagedWeightStore::tensor(LayerIdx layer, const std::string &name) const
 {
     const PageEntry &entry = table_[slotOf(layer)][tensorIndex(name)];
-    panicIf(entry.residentLayer != static_cast<int>(layer),
+    panicIf(entry.residentLayer != static_cast<int>(layer.value()),
             "weight page for '", name, "' of layer ", layer,
             " not resident (slot holds layer ", entry.residentLayer,
             ") — pipeline used weights before their transfer");
@@ -164,7 +166,7 @@ PagedWeightStore::tensor(std::size_t layer, const std::string &name) const
 }
 
 ExpertWeights
-PagedWeightStore::expert(std::size_t layer, int e) const
+PagedWeightStore::expert(LayerIdx layer, int e) const
 {
     std::string p = "e" + std::to_string(e) + ".";
     ExpertWeights w;
@@ -175,13 +177,13 @@ PagedWeightStore::expert(std::size_t layer, int e) const
 }
 
 ExpertResolver
-PagedWeightStore::resolver(std::size_t layer) const
+PagedWeightStore::resolver(LayerIdx layer) const
 {
     return [this, layer](int e) { return expert(layer, e); };
 }
 
 PageId
-PagedWeightStore::pageOf(std::size_t layer, const std::string &name) const
+PagedWeightStore::pageOf(LayerIdx layer, const std::string &name) const
 {
     return table_[slotOf(layer)][tensorIndex(name)].page;
 }

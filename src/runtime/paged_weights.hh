@@ -57,17 +57,17 @@ class PagedWeightStore
     std::size_t numSlots() const { return numSlots_; }
 
     /** The tensor manifest of layer @p layer, in transfer order. */
-    std::vector<WeightTensorId> layerManifest(std::size_t layer) const;
+    std::vector<WeightTensorId> layerManifest(LayerIdx layer) const;
 
     /**
      * Transfer page @p pageIdx (tensor index within the manifest) of
      * @p layer into its slot via @p te. Called from the HtoD queue.
      */
-    void loadPage(std::size_t layer, std::size_t pageIdx,
+    void loadPage(LayerIdx layer, std::size_t pageIdx,
                   TransferEngine &te);
 
     /** Convenience: transfer all pages of @p layer. */
-    void loadLayer(std::size_t layer, TransferEngine &te);
+    void loadLayer(LayerIdx layer, TransferEngine &te);
 
     /**
      * GPU-side pointer for tensor @p name of @p layer. The layer's
@@ -75,16 +75,16 @@ class PagedWeightStore
      * table entry pointing at another layer) panics — catching
      * use-before-transfer bugs in the pipeline.
      */
-    const float *tensor(std::size_t layer, const std::string &name) const;
+    const float *tensor(LayerIdx layer, const std::string &name) const;
 
     /** Page-table lookup of expert @p e 's weights for @p layer. */
-    ExpertWeights expert(std::size_t layer, int e) const;
+    ExpertWeights expert(LayerIdx layer, int e) const;
 
     /** An ExpertResolver bound to @p layer (for moeFfnForward). */
-    ExpertResolver resolver(std::size_t layer) const;
+    ExpertResolver resolver(LayerIdx layer) const;
 
     /** Page table introspection: GPU page id holding @p name. */
-    PageId pageOf(std::size_t layer, const std::string &name) const;
+    PageId pageOf(LayerIdx layer, const std::string &name) const;
 
     /** The GPU arena (for capacity assertions in tests). */
     const PageArena &gpuArena() const { return gpu_; }
@@ -96,9 +96,9 @@ class PagedWeightStore
         int residentLayer = -1;      ///< layer currently in the page
     };
 
-    std::size_t slotOf(std::size_t layer) const
+    std::size_t slotOf(LayerIdx layer) const
     {
-        return layer % numSlots_;
+        return layer.value() % numSlots_;
     }
     std::size_t tensorIndex(const std::string &name) const;
 

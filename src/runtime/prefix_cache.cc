@@ -59,7 +59,7 @@ PrefixCache::peekMatch(std::span<const int> prompt) const
 }
 
 std::size_t
-PrefixCache::attach(std::size_t seq, std::span<const int> prompt)
+PrefixCache::attach(SeqId seq, std::span<const int> prompt)
 {
     MOELIGHT_ASSERT_SERIAL(gate_);
     ++stats_.lookups;
@@ -71,9 +71,9 @@ PrefixCache::attach(std::size_t seq, std::span<const int> prompt)
         n->lastUse = tick_;
     std::size_t layers = table_.layers();
     std::vector<BlockId> blocks(chain.size());
-    for (std::size_t l = 0; l < layers; ++l) {
+    for (LayerIdx l : IndexRange(LayerIdx(layers))) {
         for (std::size_t p = 0; p < chain.size(); ++p)
-            blocks[p] = chain[p]->blocks[l];
+            blocks[p] = chain[p]->blocks[l.value()];
         table_.attachShared(seq, l, blocks);
     }
     std::size_t matched = chain.size() * table_.pageTokens();
@@ -84,14 +84,14 @@ PrefixCache::attach(std::size_t seq, std::span<const int> prompt)
 }
 
 void
-PrefixCache::insert(std::size_t seq, std::span<const int> prompt)
+PrefixCache::insert(SeqId seq, std::span<const int> prompt)
 {
     MOELIGHT_ASSERT_SERIAL(gate_);
     std::size_t pt = table_.pageTokens();
     std::size_t pages = prompt.size() / pt;
     if (pages == 0)
         return;
-    panicIf(table_.streamLen(seq, 0) < pages * pt,
+    panicIf(table_.streamLen(seq, LayerIdx(0)) < pages * pt,
             "prefix insert before the sequence prefilled its prompt");
     std::size_t layers = table_.layers();
     ++tick_;
@@ -115,11 +115,11 @@ PrefixCache::insert(std::size_t seq, std::span<const int> prompt)
         node->tokens.assign(page.begin(), page.end());
         node->blocks.resize(layers);
         node->lastUse = tick_;
-        for (std::size_t l = 0; l < layers; ++l) {
+        for (LayerIdx l : IndexRange(LayerIdx(layers))) {
             BlockId b = table_.streamBlocks(seq, l)[p];
             panicIf(table_.blockTokens(b) != pt,
                     "prefix insert over a partial page");
-            node->blocks[l] = b;
+            node->blocks[l.value()] = b;
             table_.pin(b);
         }
         Node *raw = node.get();

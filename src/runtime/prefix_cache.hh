@@ -77,7 +77,7 @@ class PrefixCache
      * The sequence's streams must be empty. Returns the matched
      * token count (0 = cold, full prefill).
      */
-    std::size_t attach(std::size_t seq, std::span<const int> prompt);
+    std::size_t attach(SeqId seq, std::span<const int> prompt);
 
     /**
      * Cache the closed pages of @p prompt from sequence @p seq's
@@ -86,7 +86,7 @@ class PrefixCache
      * nodes pin their blocks. Idempotent for an already-cached
      * prompt.
      */
-    void insert(std::size_t seq, std::span<const int> prompt);
+    void insert(SeqId seq, std::span<const int> prompt);
 
     /** Evict the least-recently-used leaf page no live sequence
      *  references: unpin its blocks on every layer (physically

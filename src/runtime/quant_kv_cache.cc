@@ -30,7 +30,7 @@ QuantizedKvCache::QuantizedKvCache(const ModelConfig &cfg,
                          id = freeIds_.back();
                          freeIds_.pop_back();
                      } else {
-                         id = static_cast<BlockId>(blocks_.size());
+                         id = narrowIndex<BlockId>(blocks_.size());
                          blocks_.emplace_back();
                      }
                      return id;
@@ -40,8 +40,8 @@ QuantizedKvCache::QuantizedKvCache(const ModelConfig &cfg,
                      // Copy-on-write fires only on open (partial)
                      // blocks, whose tokens still sit in float.
                      MutexLock lk(mu_);
-                     const QBlock &s = blocks_[src];
-                     QBlock &d = blocks_[dst];
+                     const QBlock &s = blocks_[src.value()];
+                     QBlock &d = blocks_[dst.value()];
                      panicIf(s.qk.has_value(),
                              "copy-on-write of a closed quant block");
                      std::size_t n = tokens * tokenFloats_;
@@ -50,7 +50,7 @@ QuantizedKvCache::QuantizedKvCache(const ModelConfig &cfg,
                  },
                  [this](BlockId id) {
                      MutexLock lk(mu_);
-                     QBlock &b = blocks_[id];
+                     QBlock &b = blocks_[id.value()];
                      b.qk.reset();
                      b.qv.reset();
                      b.fk.clear();
@@ -78,13 +78,13 @@ QuantizedKvCache::blockAt(BlockId b) const
     // valid after it (deque, stable addresses) and the block's
     // contents have one writer — the owning sequence's stream.
     MutexLock lk(mu_);
-    panicIf(static_cast<std::size_t>(b) >= blocks_.size(),
+    panicIf(static_cast<std::size_t>(b.value()) >= blocks_.size(),
             "unknown quantized KV block ", b);
-    return blocks_[b];
+    return blocks_[b.value()];
 }
 
 void
-QuantizedKvCache::append(std::size_t seq, std::size_t layer,
+QuantizedKvCache::append(SeqId seq, LayerIdx layer,
                          const float *k, const float *v)
 {
     // The table throws typed KvExhausted before any mutation, so a
@@ -93,7 +93,7 @@ QuantizedKvCache::append(std::size_t seq, std::size_t layer,
     QBlock *bp;
     {
         MutexLock lk(mu_);
-        bp = &blocks_[slot.block];
+        bp = &blocks_[slot.block.value()];
     }
     QBlock &b = *bp;  // contents are this stream's alone
     b.fk.insert(b.fk.end(), k, k + tokenFloats_);
@@ -113,18 +113,18 @@ QuantizedKvCache::append(std::size_t seq, std::size_t layer,
 }
 
 std::size_t
-QuantizedKvCache::contextLen(std::size_t seq, std::size_t layer) const
+QuantizedKvCache::contextLen(SeqId seq, LayerIdx layer) const
 {
     return table_.streamLen(seq, layer);
 }
 
 QuantKvView
-QuantizedKvCache::makeQuantView(std::size_t seq,
-                                std::size_t layer) const
+QuantizedKvCache::makeQuantView(SeqId seq,
+                                LayerIdx layer) const
 {
     std::span<const BlockId> blocks = table_.streamBlocks(seq, layer);
-    auto &kp = viewK_[seq * cfg_.l + layer];
-    auto &vp = viewV_[seq * cfg_.l + layer];
+    auto &kp = viewK_[seq.value() * cfg_.l + layer.value()];
+    auto &vp = viewV_[seq.value() * cfg_.l + layer.value()];
     kp.clear();
     vp.clear();
     QuantKvView v;
@@ -150,7 +150,7 @@ QuantizedKvCache::makeQuantView(std::size_t seq,
 }
 
 void
-QuantizedKvCache::makeView(std::size_t seq, std::size_t layer,
+QuantizedKvCache::makeView(SeqId seq, LayerIdx layer,
                            QuantKvViewStorage &storage) const
 {
     std::span<const BlockId> blocks = table_.streamBlocks(seq, layer);
@@ -191,13 +191,13 @@ QuantizedKvCache::makeView(std::size_t seq, std::size_t layer,
 }
 
 bool
-QuantizedKvCache::sequenceLive(std::size_t seq) const
+QuantizedKvCache::sequenceLive(SeqId seq) const
 {
     return table_.sequenceLive(seq);
 }
 
 void
-QuantizedKvCache::freeSequence(std::size_t seq)
+QuantizedKvCache::freeSequence(SeqId seq)
 {
     table_.freeSequence(seq);
 }
@@ -221,8 +221,8 @@ std::size_t
 QuantizedKvCache::equivalentFloatBytes() const
 {
     std::size_t tokens = 0;
-    for (std::size_t s = 0; s < numSeqs_; ++s)
-        for (std::size_t l = 0; l < cfg_.l; ++l)
+    for (SeqId s : IndexRange(SeqId(numSeqs_)))
+        for (LayerIdx l : IndexRange(LayerIdx(cfg_.l)))
             tokens += table_.streamLen(s, l);
     return tokens * 2 * tokenFloats_ * sizeof(float);
 }

@@ -52,18 +52,21 @@ class QuantizedKvCache
     /** @p capacityTokens Total token capacity across sequences and
      *  layers (the same budget semantics as KvCacheManager);
      *  exceeding it is fatal. 0 = unlimited. */
+    // NOLINTBEGIN(bugprone-easily-swappable-parameters): capacity
+    // tuple, not indices; test_quant_kv_cache pins the argument order.
     QuantizedKvCache(const ModelConfig &cfg, std::size_t numSeqs,
                      std::size_t pageTokens, QuantKind kind,
                      std::size_t capacityTokens = 0);
+    // NOLINTEND(bugprone-easily-swappable-parameters)
 
     /** Append one token's K and V ([nkv*headDim] floats each).
      *  Throws EngineError(KvExhausted) — before any mutation, so a
      *  rejected append leaves the accounting consistent — when the
      *  token budget is exceeded. FaultInjector site: "kv.alloc". */
-    void append(std::size_t seq, std::size_t layer, const float *k,
+    void append(SeqId seq, LayerIdx layer, const float *k,
                 const float *v);
 
-    std::size_t contextLen(std::size_t seq, std::size_t layer) const;
+    std::size_t contextLen(SeqId seq, LayerIdx layer) const;
 
     /**
      * Zero-copy quantized view over (@p seq, @p layer) for the fused
@@ -72,7 +75,7 @@ class QuantizedKvCache
      * dequantization, no float copying. The view is invalidated by
      * the next append() to the same (seq, layer).
      */
-    QuantKvView makeQuantView(std::size_t seq, std::size_t layer) const;
+    QuantKvView makeQuantView(SeqId seq, LayerIdx layer) const;
 
     /**
      * Materialize a float view (dequantizing every closed page) for
@@ -82,7 +85,7 @@ class QuantizedKvCache
      * @p storage owns the dequantized floats and must outlive the
      * view's use.
      */
-    void makeView(std::size_t seq, std::size_t layer,
+    void makeView(SeqId seq, LayerIdx layer,
                   QuantKvViewStorage &storage) const;
 
     /** Release every stream of @p seq (it finished generating): a
@@ -91,11 +94,11 @@ class QuantizedKvCache
      *  frees physically and refunds the budget. Throws
      *  EngineError(KvInvalidSequence) for an unknown id and
      *  EngineError(KvDoubleFree) when @p seq holds no tokens. */
-    void freeSequence(std::size_t seq);
+    void freeSequence(SeqId seq);
 
     /** True when @p seq currently holds any tokens (see
      *  KvCacheManager::sequenceLive). */
-    bool sequenceLive(std::size_t seq) const;
+    bool sequenceLive(SeqId seq) const;
 
     /** Pages referenced by live sequences, shared pages counted once
      *  (closed quantized K+V pages plus open float partials) — the

@@ -36,37 +36,37 @@ ReferenceEngine::reset()
 }
 
 ReferenceEngine::SeqCache &
-ReferenceEngine::cacheFor(std::size_t seq)
+ReferenceEngine::cacheFor(SeqId seq)
 {
-    while (seqs_.size() <= seq) {
+    while (seqs_.size() <= seq.value()) {
         SeqCache c;
         c.k.resize(w_.cfg.l);
         c.v.resize(w_.cfg.l);
         seqs_.push_back(std::move(c));
     }
-    return seqs_[seq];
+    return seqs_[seq.value()];
 }
 
-std::size_t
+SeqId
 ReferenceEngine::allocSeq()
 {
     if (!freeSeqs_.empty()) {
-        std::size_t seq = freeSeqs_.back();
+        SeqId seq = freeSeqs_.back();
         freeSeqs_.pop_back();
         return seq;
     }
-    std::size_t seq = seqs_.size();
+    SeqId seq(seqs_.size());
     cacheFor(seq);
     return seq;
 }
 
 void
-ReferenceEngine::freeSeq(std::size_t seq)
+ReferenceEngine::freeSeq(SeqId seq)
 {
     SeqCache fresh;
     fresh.k.resize(w_.cfg.l);
     fresh.v.resize(w_.cfg.l);
-    seqs_[seq] = std::move(fresh);
+    seqs_[seq.value()] = std::move(fresh);
     freeSeqs_.push_back(seq);
 }
 
@@ -283,7 +283,7 @@ ReferenceEngine::step()
 }
 
 std::vector<float>
-ReferenceEngine::forwardToken(std::size_t seq, int token)
+ReferenceEngine::forwardToken(SeqId seq, int token)
 {
     const ModelConfig &cfg = w_.cfg;
     fatalIf(token < 0 || static_cast<std::size_t>(token) >= cfg.vocab,
@@ -315,14 +315,16 @@ ReferenceEngine::forwardToken(std::size_t seq, int token)
             if (!cache.quant)
                 cache.quant = std::make_unique<QuantizedKvCache>(
                     cfg, 1, kvPageTokens_, *kvQuant_);
-            cache.quant->append(0, li, k.data(), v.data());
+            cache.quant->append(SeqId(0), LayerIdx(li), k.data(),
+                                v.data());
             // Deliberately the per-token fused decode walk, prompt
             // tokens included: this is the oracle semantics the
             // pipelined engine's batched prefill kernel
             // (gqaPrefillAttentionQuantFused) must replay
             // bit-for-bit.
             gqaDecodeAttentionQuantFused(
-                q.data(), cfg.nq, cache.quant->makeQuantView(0, li),
+                q.data(), cfg.nq,
+                cache.quant->makeQuantView(SeqId(0), LayerIdx(li)),
                 attn_out.data(), scale);
         } else {
             auto &ck = cache.k[li];

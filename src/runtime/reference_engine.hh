@@ -22,6 +22,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/strong_types.hh"
 #include "common/sync.hh"
 #include "runtime/quant_kv_cache.hh"
 #include "runtime/serving.hh"
@@ -67,7 +68,7 @@ class ReferenceEngine : public Engine
      * forwardToken() streams with in-flight serving requests, which
      * allocate the same indices.
      */
-    std::vector<float> forwardToken(std::size_t seq, int token);
+    std::vector<float> forwardToken(SeqId seq, int token);
 
     /** Logits from a hidden state (final norm + LM head). */
     std::vector<float> logitsOf(const std::vector<float> &hidden) const;
@@ -91,16 +92,16 @@ class ReferenceEngine : public Engine
     struct ActiveRequest
     {
         ServeRequest req;
-        std::size_t seq = 0;        ///< index into seqs_
+        SeqId seq{0};               ///< index into seqs_
         std::vector<int> tokens;    ///< generated so far
         std::vector<float> hidden;  ///< last pre-norm hidden state
         double prefillSeconds = 0.0;
         double decodeSeconds = 0.0;
     };
 
-    SeqCache &cacheFor(std::size_t seq);
-    std::size_t allocSeq();
-    void freeSeq(std::size_t seq);
+    SeqCache &cacheFor(SeqId seq);
+    SeqId allocSeq();
+    void freeSeq(SeqId seq);
     bool reachedEnd(const ActiveRequest &a) const;
     void retireFinished(std::vector<RequestOutput> &out);
     /** Retire cancelled and deadline-expired requests — queued or
@@ -111,7 +112,7 @@ class ReferenceEngine : public Engine
     std::optional<QuantKind> kvQuant_;
     std::size_t kvPageTokens_;
     std::vector<SeqCache> seqs_;
-    std::vector<std::size_t> freeSeqs_;
+    std::vector<SeqId> freeSeqs_;
     std::vector<ActiveRequest> active_;  ///< driver-owned
     /** Front-end lock (same split as PipelinedEngine::frontMu_):
      *  guards the submission queue, the cancellation set and the id

@@ -186,9 +186,13 @@ servingDeadlineExpired(const ServeRequest &req)
 /** Build the RequestOutput for a finished request — one place for
  *  both engines, so a new output field cannot be wired into one
  *  retirement path and forgotten in the other. */
+// NOLINTBEGIN(bugprone-easily-swappable-parameters): the two
+// durations are phase timings in a fixed (prefill, decode) order that
+// mirrors the RequestOutput fields they fill one line later.
 inline RequestOutput
 servingMakeOutput(const ServeRequest &req, std::vector<int> &&tokens,
                   double prefillSeconds, double decodeSeconds)
+// NOLINTEND(bugprone-easily-swappable-parameters)
 {
     RequestOutput r;
     r.id = req.id;
@@ -203,11 +207,14 @@ servingMakeOutput(const ServeRequest &req, std::vector<int> &&tokens,
  *  lifecycle event (Cancelled / TimedOut / Error) with whatever
  *  tokens it had generated so far — the single construction point
  *  for both engines, like servingMakeOutput for natural finishes. */
+// NOLINTBEGIN(bugprone-easily-swappable-parameters): same (prefill,
+// decode) timing pair as servingMakeOutput above.
 inline RequestOutput
 servingMakeTerminalOutput(const ServeRequest &req,
                           std::vector<int> &&tokens,
                           FinishReason reason, std::string errorMessage,
                           double prefillSeconds, double decodeSeconds)
+// NOLINTEND(bugprone-easily-swappable-parameters)
 {
     RequestOutput r;
     r.id = req.id;
@@ -245,9 +252,13 @@ servingKvDemand(const ServeRequest &req, std::size_t quantum)
  * reserved-usage report) must use the same matched length or
  * admission over-commits the pool.
  */
+// NOLINTBEGIN(bugprone-easily-swappable-parameters): (tokens already
+// cached, rounding quantum) are both counts; transposing them fails
+// the admission tests immediately.
 inline std::size_t
 servingKvDemandNet(const ServeRequest &req, std::size_t cachedTokens,
                    std::size_t quantum)
+// NOLINTEND(bugprone-easily-swappable-parameters)
 {
     panicIf(cachedTokens >= req.prompt.size() && !req.prompt.empty(),
             "prefix match must leave at least one novel prompt token");
@@ -357,10 +368,14 @@ class ContinuousBatcher
      *                       its behalf (and the engine may preempt
      *                       active sequences for it); must be >= 1.
      */
+    // NOLINTBEGIN(bugprone-easily-swappable-parameters): budget tuple
+    // (batch size, token budget, quantum, age limit) — all counts;
+    // test_serving pins the argument order.
     ContinuousBatcher(std::size_t microBatch,
                       std::size_t kvBudgetTokens,
                       std::size_t pageQuantum = 1,
                       std::size_t headAgeLimit = kHeadAgeLimit);
+    // NOLINTEND(bugprone-easily-swappable-parameters)
 
     /** Enqueue in arrival order. */
     void enqueue(ServeRequest req);
@@ -381,8 +396,12 @@ class ContinuousBatcher
      * budget, until the engine idles and force-admits it via
      * admitOne()).
      */
+    // NOLINTBEGIN(bugprone-easily-swappable-parameters): (slots free,
+    // KV tokens in use) are counts in different units; the admission
+    // tests fail on any transposition.
     std::vector<ServeRequest> admit(std::size_t freeSlots,
                                     std::size_t kvTokensInUse);
+    // NOLINTEND(bugprone-easily-swappable-parameters)
 
     /** Force-admit the oldest request (caller checked pending() > 0):
      *  the escape hatch when the planner defers everything while the

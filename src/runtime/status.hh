@@ -34,6 +34,7 @@ enum class ErrorCode
     WeightStreamFailed,  ///< weight-page staging/transfer failed
     ExecutorTaskFailed,  ///< a stream-executor task body failed
     FaultInjected,       ///< deterministic FaultInjector trip
+    IndexOverflow,       ///< checked index narrowing overflowed
 };
 
 /** Stable name for logs and error messages. */
@@ -47,6 +48,7 @@ errorCodeName(ErrorCode c)
       case ErrorCode::WeightStreamFailed: return "WeightStreamFailed";
       case ErrorCode::ExecutorTaskFailed: return "ExecutorTaskFailed";
       case ErrorCode::FaultInjected:      return "FaultInjected";
+      case ErrorCode::IndexOverflow:      return "IndexOverflow";
     }
     return "UnknownError";
 }

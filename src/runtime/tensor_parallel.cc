@@ -93,14 +93,15 @@ shardModel(const ModelWeights &full, std::size_t tp)
 }
 
 std::vector<float>
-shardAttention(const TpShard &shard, std::size_t layer,
+shardAttention(const TpShard &shard, LayerIdx layer,
                const std::vector<float> &x, std::vector<float> &kHist,
                std::vector<float> &vHist)
 {
     const ModelConfig &c = shard.cfg;
-    panicIf(layer >= shard.layers.size(), "layer out of range");
+    panicIf(layer.value() >= shard.layers.size(),
+            "layer out of range");
     panicIf(x.size() != c.h1, "bad hidden size");
-    const LayerWeights &lw = shard.layers[layer];
+    const LayerWeights &lw = shard.layers[layer.value()];
 
     std::size_t q_dim = c.nq * c.headDim;
     std::size_t kv_dim = c.nkv * c.headDim;
@@ -136,13 +137,14 @@ shardAttention(const TpShard &shard, std::size_t layer,
 }
 
 std::vector<float>
-shardMoeFfn(const TpShard &shard, std::size_t layer,
+shardMoeFfn(const TpShard &shard, LayerIdx layer,
             const std::vector<float> &xNorm, const TokenRouting &routing)
 {
     const ModelConfig &c = shard.cfg;
-    panicIf(layer >= shard.layers.size(), "layer out of range");
+    panicIf(layer.value() >= shard.layers.size(),
+            "layer out of range");
     panicIf(xNorm.size() != c.h1, "bad hidden size");
-    const LayerWeights &lw = shard.layers[layer];
+    const LayerWeights &lw = shard.layers[layer.value()];
 
     auto resolve = [&](int e) {
         ExpertWeights w;

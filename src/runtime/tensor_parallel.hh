@@ -24,6 +24,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/strong_types.hh"
 #include "kernels/router.hh"
 #include "runtime/weights.hh"
 
@@ -55,7 +56,7 @@ std::vector<TpShard> shardModel(const ModelWeights &full,
  * attention block output (pre-residual).
  */
 std::vector<float> shardAttention(const TpShard &shard,
-                                  std::size_t layer,
+                                  LayerIdx layer,
                                   const std::vector<float> &x,
                                   std::vector<float> &kHist,
                                   std::vector<float> &vHist);
@@ -66,7 +67,7 @@ std::vector<float> shardAttention(const TpShard &shard,
  * return value is the shard's partial output ([h1]); summing across
  * shards yields the full MoE FFN output.
  */
-std::vector<float> shardMoeFfn(const TpShard &shard, std::size_t layer,
+std::vector<float> shardMoeFfn(const TpShard &shard, LayerIdx layer,
                                const std::vector<float> &xNorm,
                                const TokenRouting &routing);
 

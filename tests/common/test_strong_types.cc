@@ -1,0 +1,174 @@
+// Positive-path unit tests for the strong index types: arithmetic,
+// ordering, range iteration, hashing as map keys, formatting, and the
+// checked narrowing helper. The negative half of the contract — what
+// must NOT compile — lives in tests/compile_fail/.
+#include "common/strong_types.hh"
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/arena.hh"
+#include "runtime/page_table.hh"
+#include "runtime/status.hh"
+
+namespace moelight {
+namespace {
+
+TEST(StrongIndex, ConstructionAndValue)
+{
+    SeqId s(42);
+    EXPECT_EQ(s.value(), 42u);
+    SeqId zero;
+    EXPECT_EQ(zero.value(), 0u);
+    // Widths cast silently at the explicit constructor.
+    LayerIdx l(std::uint8_t{7});
+    EXPECT_EQ(l.value(), 7u);
+}
+
+TEST(StrongIndex, SameDomainArithmetic)
+{
+    SeqId s(10);
+    EXPECT_EQ((s + 5).value(), 15u);
+    EXPECT_EQ((s - 3).value(), 7u);
+    EXPECT_EQ((s + 5) - s, 5u); // index - index = raw distance
+
+    SeqId t = s;
+    EXPECT_EQ((++t).value(), 11u);
+    EXPECT_EQ((t++).value(), 11u);
+    EXPECT_EQ(t.value(), 12u);
+    EXPECT_EQ((--t).value(), 11u);
+    EXPECT_EQ((t--).value(), 11u);
+    EXPECT_EQ(t.value(), 10u);
+
+    t += 4;
+    EXPECT_EQ(t.value(), 14u);
+    t -= 2;
+    EXPECT_EQ(t.value(), 12u);
+}
+
+TEST(StrongIndex, Ordering)
+{
+    SeqId a(1), b(2), c(2);
+    EXPECT_LT(a, b);
+    EXPECT_GT(b, a);
+    EXPECT_EQ(b, c);
+    EXPECT_NE(a, b);
+    EXPECT_LE(b, c);
+    EXPECT_GE(c, a);
+
+    // Ordered containers work out of the box via operator<=>.
+    std::map<LayerIdx, int> byLayer;
+    byLayer[LayerIdx(3)] = 30;
+    byLayer[LayerIdx(1)] = 10;
+    byLayer[LayerIdx(2)] = 20;
+    EXPECT_EQ(byLayer.begin()->first, LayerIdx(1));
+    EXPECT_EQ(byLayer.rbegin()->first, LayerIdx(3));
+}
+
+TEST(StrongIndex, RangeIteration)
+{
+    std::vector<LayerIdx> seen;
+    for (LayerIdx l : IndexRange(LayerIdx(4)))
+        seen.push_back(l);
+    ASSERT_EQ(seen.size(), 4u);
+    EXPECT_EQ(seen.front(), LayerIdx(0));
+    EXPECT_EQ(seen.back(), LayerIdx(3));
+
+    IndexRange half(SeqId(2), SeqId(5));
+    EXPECT_EQ(half.size(), 3u);
+    EXPECT_FALSE(half.empty());
+    std::size_t sum = 0;
+    for (SeqId s : half)
+        sum += s.value();
+    EXPECT_EQ(sum, 2u + 3u + 4u);
+
+    IndexRange empty(SeqId(7), SeqId(7));
+    EXPECT_TRUE(empty.empty());
+    EXPECT_EQ(empty.size(), 0u);
+    EXPECT_EQ(empty.begin(), empty.end());
+}
+
+TEST(StrongIndex, HashingAsMapKey)
+{
+    std::unordered_map<SeqId, int> refs;
+    refs[SeqId(0)] = 1;
+    refs[SeqId(17)] = 2;
+    refs[SeqId(17)] += 10;
+    EXPECT_EQ(refs.size(), 2u);
+    EXPECT_EQ(refs.at(SeqId(17)), 12);
+    EXPECT_EQ(refs.count(SeqId(3)), 0u);
+
+    // The hash delegates to the raw representation.
+    EXPECT_EQ(std::hash<SeqId>{}(SeqId(99)),
+              std::hash<std::size_t>{}(99u));
+}
+
+TEST(StrongIndex, FormatsAsBareNumber)
+{
+    std::ostringstream os;
+    os << "seq " << SeqId(12) << " layer " << LayerIdx(3);
+    EXPECT_EQ(os.str(), "seq 12 layer 3");
+
+    // Narrow reps print numerically, not as characters.
+    using TinyIdx = StrongIndex<struct TinyTag, std::int8_t>;
+    std::ostringstream tiny;
+    tiny << TinyIdx(65);
+    EXPECT_EQ(tiny.str(), "65");
+}
+
+TEST(StrongIndex, DomainSpecificReps)
+{
+    // BlockId stores uint32_t, PageId int32_t with a -1 sentinel.
+    static_assert(std::is_same_v<BlockId::rep_type, std::uint32_t>);
+    static_assert(std::is_same_v<PageId::rep_type, std::int32_t>);
+    EXPECT_EQ(kInvalidPage.value(), -1);
+    EXPECT_NE(PageId(0), kInvalidPage);
+}
+
+TEST(StrongIndex, IsZeroCostLayout)
+{
+    static_assert(sizeof(SeqId) == sizeof(std::size_t));
+    static_assert(sizeof(BlockId) == sizeof(std::uint32_t));
+    static_assert(std::is_trivially_copyable_v<SeqId>);
+    static_assert(std::is_trivially_destructible_v<SeqId>);
+}
+
+TEST(NarrowIndex, FittingValuesPass)
+{
+    EXPECT_EQ(narrowIndex<BlockId>(std::size_t{7}).value(), 7u);
+    EXPECT_EQ(narrowIndex<BlockId>(
+                  std::size_t{std::numeric_limits<std::uint32_t>::max()})
+                  .value(),
+              std::numeric_limits<std::uint32_t>::max());
+    EXPECT_EQ(narrowIndex<PageId>(std::size_t{0}).value(), 0);
+}
+
+TEST(NarrowIndex, OverflowThrowsTypedError)
+{
+    // The static_cast these calls replaced would have wrapped to 0.
+    std::size_t tooBig =
+        std::size_t{std::numeric_limits<std::uint32_t>::max()} + 1;
+    try {
+        (void)narrowIndex<BlockId>(tooBig);
+        FAIL() << "narrowIndex accepted an overflowing value";
+    } catch (const EngineError &e) {
+        EXPECT_EQ(e.code(), ErrorCode::IndexOverflow);
+        EXPECT_EQ(e.site(), "index.narrow");
+    }
+}
+
+TEST(NarrowIndex, NegativeIntoUnsignedThrows)
+{
+    EXPECT_THROW((void)narrowIndex<BlockId>(-1), EngineError);
+    // ...but a negative fits PageId's signed storage.
+    EXPECT_EQ(narrowIndex<PageId>(-1), kInvalidPage);
+}
+
+} // namespace
+} // namespace moelight

@@ -1,0 +1,19 @@
+// Same-domain arithmetic is the pointer-like subset (index + raw
+// offset, index - index); adding indices of two different domains has
+// no meaning and must not compile.
+#include "common/strong_types.hh"
+
+int
+main()
+{
+    moelight::SeqId seq(4);
+    moelight::LayerIdx layer(2);
+    moelight::SeqId next = seq + 1;     // index + raw offset: fine
+    std::size_t dist = next - seq;      // same-domain distance: fine
+#ifdef MOELIGHT_EXPECT_FAIL
+    auto bad = seq + layer; // cross-domain addition must not compile
+    (void)bad;
+#endif
+    (void)layer;
+    return static_cast<int>(dist) - 1;
+}

@@ -1,0 +1,18 @@
+// Assignment across domains must not compile, including between
+// domains with different storage widths (uint32_t BlockId vs size_t
+// TokenPos) — width compatibility is not domain compatibility.
+#include "common/strong_types.hh"
+#include "runtime/page_table.hh"
+
+int
+main()
+{
+    moelight::BlockId block(7);
+    moelight::TokenPos pos(7);
+    moelight::BlockId copy = block; // same domain: fine
+#ifdef MOELIGHT_EXPECT_FAIL
+    copy = pos; // cross-domain assignment must not compile
+#endif
+    (void)pos;
+    return static_cast<int>(copy.value()) - 7;
+}

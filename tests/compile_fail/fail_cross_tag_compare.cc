@@ -1,0 +1,16 @@
+// Comparing indices of different domains is meaningless and must not
+// compile; same-domain comparison stays available.
+#include "common/strong_types.hh"
+
+int
+main()
+{
+    moelight::SeqId a(1), b(2);
+    moelight::LayerIdx layer(1);
+    bool ok = a < b && a != b; // same domain: fine
+#ifdef MOELIGHT_EXPECT_FAIL
+    ok = ok && (a == layer); // cross-domain equality must not compile
+#endif
+    (void)layer;
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,27 @@
+// A LayerIdx must not be accepted where a SeqId parameter is
+// declared: this is the transposed-(seq, layer) bug the strong types
+// exist to catch.
+#include "common/strong_types.hh"
+
+namespace {
+
+std::size_t
+contextLenOf(moelight::SeqId seq)
+{
+    return seq.value();
+}
+
+} // namespace
+
+int
+main()
+{
+    moelight::SeqId seq(3);
+    moelight::LayerIdx layer(7);
+    std::size_t n = contextLenOf(seq);
+#ifdef MOELIGHT_EXPECT_FAIL
+    n += contextLenOf(layer); // wrong domain: LayerIdx is not a SeqId
+#endif
+    (void)layer;
+    return static_cast<int>(n);
+}

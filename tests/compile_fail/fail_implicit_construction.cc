@@ -1,0 +1,15 @@
+// Construction from a raw integer is explicit: `SeqId(3)` is the
+// visible, greppable point where a value enters the domain; copy
+// initialization from a bare literal must not compile.
+#include "common/strong_types.hh"
+
+int
+main()
+{
+    moelight::SeqId ok(3); // explicit: fine
+#ifdef MOELIGHT_EXPECT_FAIL
+    moelight::SeqId bad = 3; // implicit construction must not compile
+    (void)bad;
+#endif
+    return static_cast<int>(ok.value()) - 3;
+}

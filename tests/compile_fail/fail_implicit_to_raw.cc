@@ -1,0 +1,25 @@
+// `value()` is the only exit back to a raw integer; an implicit
+// conversion would let a strong index silently feed any size_t
+// parameter and defeat the whole scheme.
+#include "common/strong_types.hh"
+
+namespace {
+
+std::size_t
+rawSink(std::size_t n)
+{
+    return n;
+}
+
+} // namespace
+
+int
+main()
+{
+    moelight::SeqId seq(5);
+    std::size_t n = rawSink(seq.value()); // explicit exit: fine
+#ifdef MOELIGHT_EXPECT_FAIL
+    n += rawSink(seq); // implicit conversion to raw must not compile
+#endif
+    return static_cast<int>(n) - 5;
+}

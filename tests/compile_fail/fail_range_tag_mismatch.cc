@@ -1,0 +1,18 @@
+// IndexRange yields its own domain's index and nothing else: a
+// range-for over layers cannot bind the element as a SeqId.
+#include "common/strong_types.hh"
+
+int
+main()
+{
+    std::size_t sum = 0;
+    for (moelight::LayerIdx l :
+         moelight::IndexRange(moelight::LayerIdx(4)))
+        sum += l.value(); // same domain: fine
+#ifdef MOELIGHT_EXPECT_FAIL
+    for (moelight::SeqId s :
+         moelight::IndexRange(moelight::LayerIdx(4))) // wrong element
+        sum += s.value();
+#endif
+    return static_cast<int>(sum) - 6;
+}

@@ -1,0 +1,32 @@
+// The retrofitted runtime API itself must reject raw integers:
+// PageTable::appendToken takes (SeqId, LayerIdx), and the historical
+// call shape appendToken(seq, layer) with two size_t locals — the
+// exact shape that allowed transposition — must no longer compile.
+#include <cstddef>
+
+#include "common/strong_types.hh"
+#include "runtime/page_table.hh"
+
+namespace {
+
+moelight::AppendSlot
+appendOne(moelight::PageTable &table, std::size_t seq, std::size_t layer)
+{
+    moelight::AppendSlot ok =
+        table.appendToken(moelight::SeqId(seq),
+                          moelight::LayerIdx(layer)); // explicit: fine
+#ifdef MOELIGHT_EXPECT_FAIL
+    ok = table.appendToken(seq, layer); // raw integers must not compile
+#endif
+    return ok;
+}
+
+} // namespace
+
+int
+main()
+{
+    // Scaffolding only: never executed, the suite is -fsyntax-only.
+    (void)&appendOne;
+    return 0;
+}

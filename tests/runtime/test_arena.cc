@@ -12,9 +12,9 @@ TEST(PageArena, AllocateReleaseCycle)
     EXPECT_EQ(a.freePages(), 4u);
     PageId p = a.allocate();
     EXPECT_EQ(a.usedPages(), 1u);
-    a.page(p)[0] = 42.0f;
-    EXPECT_EQ(a.page(p)[0], 42.0f);
-    a.release(p);
+    a.page(PageId(p))[0] = 42.0f;
+    EXPECT_EQ(a.page(PageId(p))[0], 42.0f);
+    a.release(PageId(p));
     EXPECT_EQ(a.freePages(), 4u);
 }
 
@@ -30,16 +30,16 @@ TEST(PageArena, DoubleFreePanics)
 {
     PageArena a("t", 8, 2);
     PageId p = a.allocate();
-    a.release(p);
-    EXPECT_THROW(a.release(p), PanicError);
+    a.release(PageId(p));
+    EXPECT_THROW(a.release(PageId(p)), PanicError);
 }
 
 TEST(PageArena, AccessUnallocatedPanics)
 {
     PageArena a("t", 8, 2);
-    EXPECT_THROW(a.page(0), PanicError);
-    EXPECT_THROW(a.page(-1), PanicError);
-    EXPECT_THROW(a.page(5), PanicError);
+    EXPECT_THROW(a.page(PageId(0)), PanicError);
+    EXPECT_THROW(a.page(PageId(-1)), PanicError);
+    EXPECT_THROW(a.page(PageId(5)), PanicError);
 }
 
 TEST(PageArena, PagesAreDistinctStorage)
@@ -47,10 +47,10 @@ TEST(PageArena, PagesAreDistinctStorage)
     PageArena a("t", 4, 3);
     PageId p1 = a.allocate();
     PageId p2 = a.allocate();
-    a.page(p1)[0] = 1.0f;
-    a.page(p2)[0] = 2.0f;
-    EXPECT_EQ(a.page(p1)[0], 1.0f);
-    EXPECT_EQ(a.page(p2)[0], 2.0f);
+    a.page(PageId(p1))[0] = 1.0f;
+    a.page(PageId(p2))[0] = 2.0f;
+    EXPECT_EQ(a.page(PageId(p1))[0], 1.0f);
+    EXPECT_EQ(a.page(PageId(p2))[0], 2.0f);
 }
 
 TEST(PageArena, GeometryChecks)

@@ -20,12 +20,12 @@ TEST(KvCache, AppendGrowsContext)
 {
     KvCacheManager kv(cfg(), 2, 4, 256);
     std::vector<float> k(16, 1.0f), v(16, 2.0f);
-    EXPECT_EQ(kv.contextLen(0, 0), 0u);
-    kv.append(0, 0, k.data(), v.data());
-    kv.append(0, 0, k.data(), v.data());
-    EXPECT_EQ(kv.contextLen(0, 0), 2u);
-    EXPECT_EQ(kv.contextLen(0, 1), 0u);
-    EXPECT_EQ(kv.contextLen(1, 0), 0u);
+    EXPECT_EQ(kv.contextLen(SeqId(0), LayerIdx(0)), 0u);
+    kv.append(SeqId(0), LayerIdx(0), k.data(), v.data());
+    kv.append(SeqId(0), LayerIdx(0), k.data(), v.data());
+    EXPECT_EQ(kv.contextLen(SeqId(0), LayerIdx(0)), 2u);
+    EXPECT_EQ(kv.contextLen(SeqId(0), LayerIdx(1)), 0u);
+    EXPECT_EQ(kv.contextLen(SeqId(1), LayerIdx(0)), 0u);
 }
 
 TEST(KvCache, ViewReturnsAppendedValues)
@@ -41,10 +41,10 @@ TEST(KvCache, ViewReturnsAppendedValues)
         }
         ks.push_back(k);
         vs.push_back(v);
-        kv.append(0, 2, k.data(), v.data());
+        kv.append(SeqId(0), LayerIdx(2), k.data(), v.data());
     }
     KvViewStorage storage;
-    kv.makeView(0, 2, storage);
+    kv.makeView(SeqId(0), LayerIdx(2), storage);
     EXPECT_EQ(storage.view.contextLen, 5u);
     for (std::size_t t = 0; t < 5; ++t)
         for (std::size_t h = 0; h < 2; ++h)
@@ -61,13 +61,13 @@ TEST(KvCache, PagesAllocatedLazily)
     KvCacheManager kv(cfg(), 4, 4, 256);
     EXPECT_EQ(kv.usedPages(), 0u);
     std::vector<float> k(16), v(16);
-    kv.append(0, 0, k.data(), v.data());
+    kv.append(SeqId(0), LayerIdx(0), k.data(), v.data());
     EXPECT_EQ(kv.usedPages(), 2u);  // one K page + one V page
     // 3 more tokens fit the same page.
     for (int t = 0; t < 3; ++t)
-        kv.append(0, 0, k.data(), v.data());
+        kv.append(SeqId(0), LayerIdx(0), k.data(), v.data());
     EXPECT_EQ(kv.usedPages(), 2u);
-    kv.append(0, 0, k.data(), v.data());
+    kv.append(SeqId(0), LayerIdx(0), k.data(), v.data());
     EXPECT_EQ(kv.usedPages(), 4u);
 }
 
@@ -77,11 +77,11 @@ TEST(KvCache, FreeSequenceReturnsPages)
     std::vector<float> k(16), v(16);
     for (std::size_t layer = 0; layer < 4; ++layer)
         for (int t = 0; t < 3; ++t)
-            kv.append(1, layer, k.data(), v.data());
+            kv.append(SeqId(1), LayerIdx(layer), k.data(), v.data());
     EXPECT_GT(kv.usedPages(), 0u);
-    kv.freeSequence(1);
+    kv.freeSequence(SeqId(1));
     EXPECT_EQ(kv.usedPages(), 0u);
-    EXPECT_EQ(kv.contextLen(1, 0), 0u);
+    EXPECT_EQ(kv.contextLen(SeqId(1), LayerIdx(0)), 0u);
 }
 
 TEST(KvCache, CapacityExhaustionIsFatal)
@@ -91,7 +91,7 @@ TEST(KvCache, CapacityExhaustionIsFatal)
     EXPECT_THROW(
         {
             for (int t = 0; t < 64; ++t)
-                kv.append(0, 0, k.data(), v.data());
+                kv.append(SeqId(0), LayerIdx(0), k.data(), v.data());
         },
         FatalError);
 }
@@ -100,8 +100,8 @@ TEST(KvCache, OutOfRangePanics)
 {
     KvCacheManager kv(cfg(), 1, 2, 16);
     std::vector<float> k(16), v(16);
-    EXPECT_THROW(kv.append(1, 0, k.data(), v.data()), PanicError);
-    EXPECT_THROW(kv.append(0, 9, k.data(), v.data()), PanicError);
+    EXPECT_THROW(kv.append(SeqId(1), LayerIdx(0), k.data(), v.data()), PanicError);
+    EXPECT_THROW(kv.append(SeqId(0), LayerIdx(9), k.data(), v.data()), PanicError);
 }
 
 TEST(KvCache, ExhaustionIsTypedAndLeavesStateConsistent)
@@ -110,7 +110,7 @@ TEST(KvCache, ExhaustionIsTypedAndLeavesStateConsistent)
     std::vector<float> k(16), v(16);
     try {
         for (int t = 0; t < 64; ++t)
-            kv.append(0, 0, k.data(), v.data());
+            kv.append(SeqId(0), LayerIdx(0), k.data(), v.data());
         FAIL() << "pool should have run dry";
     } catch (const EngineError &e) {
         EXPECT_EQ(e.code(), ErrorCode::KvExhausted);
@@ -118,8 +118,8 @@ TEST(KvCache, ExhaustionIsTypedAndLeavesStateConsistent)
     }
     // All-or-nothing: the failed append left no half-written token,
     // so the sequence still frees cleanly.
-    std::size_t len = kv.contextLen(0, 0);
-    kv.freeSequence(0);
+    std::size_t len = kv.contextLen(SeqId(0), LayerIdx(0));
+    kv.freeSequence(SeqId(0));
     EXPECT_EQ(kv.usedPages(), 0u);
     EXPECT_GT(len, 0u);
 }
@@ -128,11 +128,11 @@ TEST(KvCache, FreeSequenceErrorsAreTyped)
 {
     KvCacheManager kv(cfg(), 2, 2, 64);
     std::vector<float> k(16), v(16);
-    kv.append(0, 0, k.data(), v.data());
+    kv.append(SeqId(0), LayerIdx(0), k.data(), v.data());
 
     // Unknown sequence index.
     try {
-        kv.freeSequence(7);
+        kv.freeSequence(SeqId(7));
         FAIL() << "out-of-range seq should throw";
     } catch (const EngineError &e) {
         EXPECT_EQ(e.code(), ErrorCode::KvInvalidSequence);
@@ -140,17 +140,17 @@ TEST(KvCache, FreeSequenceErrorsAreTyped)
     }
 
     // Double free.
-    kv.freeSequence(0);
+    kv.freeSequence(SeqId(0));
     EXPECT_EQ(kv.usedPages(), 0u);
     try {
-        kv.freeSequence(0);
+        kv.freeSequence(SeqId(0));
         FAIL() << "second free should throw";
     } catch (const EngineError &e) {
         EXPECT_EQ(e.code(), ErrorCode::KvDoubleFree);
         EXPECT_EQ(e.site(), "kv.free");
     }
     // Freeing a never-used sequence is a double free too.
-    EXPECT_THROW(kv.freeSequence(1), EngineError);
+    EXPECT_THROW(kv.freeSequence(SeqId(1)), EngineError);
 }
 
 } // namespace

@@ -25,7 +25,7 @@ struct FakeStore
     std::vector<bool> live;
     std::vector<BlockId> freeIds;
     int allocs = 0, copies = 0, frees = 0;
-    BlockId lastCopyDst = 0, lastCopySrc = 0;
+    BlockId lastCopyDst{0}, lastCopySrc{0};
     std::size_t lastCopyTokens = 0;
 
     PageTableHooks
@@ -37,11 +37,11 @@ struct FakeStore
                 if (!freeIds.empty()) {
                     BlockId id = freeIds.back();
                     freeIds.pop_back();
-                    live[id] = true;
+                    live[id.value()] = true;
                     return id;
                 }
                 live.push_back(true);
-                return static_cast<BlockId>(live.size() - 1);
+                return BlockId(live.size() - 1);
             },
             [this](BlockId dst, BlockId src, std::size_t tokens) {
                 ++copies;
@@ -51,7 +51,7 @@ struct FakeStore
             },
             [this](BlockId id) {
                 ++frees;
-                live[id] = false;
+                live[id.value()] = false;
                 freeIds.push_back(id);
             },
         };
@@ -63,22 +63,22 @@ TEST(PageTable, AppendOpensPagesAndTracksCounters)
     FakeStore store;
     PageTable t(2, 1, 4, PageCapacityModel::Blocks, 16, store.hooks());
     for (int i = 0; i < 6; ++i) {
-        AppendSlot s = t.appendToken(0, 0);
+        AppendSlot s = t.appendToken(SeqId(0), LayerIdx(0));
         EXPECT_EQ(s.fresh, i % 4 == 0) << i;
         EXPECT_EQ(s.offset, static_cast<std::size_t>(i % 4)) << i;
         EXPECT_FALSE(s.copied);
     }
-    EXPECT_EQ(t.streamLen(0, 0), 6u);
+    EXPECT_EQ(t.streamLen(SeqId(0), LayerIdx(0)), 6u);
     EXPECT_EQ(t.residentBlocks(), 2u);
     EXPECT_EQ(t.referencedBlocks(), 2u);
     EXPECT_EQ(t.residentTokens(), 6u);
     EXPECT_EQ(store.allocs, 2);
 
-    t.freeSequence(0);
+    t.freeSequence(SeqId(0));
     EXPECT_EQ(t.residentBlocks(), 0u);
     EXPECT_EQ(t.residentTokens(), 0u);
     EXPECT_EQ(store.frees, 2);
-    EXPECT_FALSE(t.sequenceLive(0));
+    EXPECT_FALSE(t.sequenceLive(SeqId(0)));
 }
 
 TEST(PageTable, AttachSharedBumpsRefcountsAndFreesOnlyOnce)
@@ -86,24 +86,24 @@ TEST(PageTable, AttachSharedBumpsRefcountsAndFreesOnlyOnce)
     FakeStore store;
     PageTable t(3, 1, 4, PageCapacityModel::Blocks, 16, store.hooks());
     for (int i = 0; i < 8; ++i)
-        t.appendToken(0, 0);
-    std::vector<BlockId> blocks(t.streamBlocks(0, 0).begin(),
-                                t.streamBlocks(0, 0).end());
+        t.appendToken(SeqId(0), LayerIdx(0));
+    std::vector<BlockId> blocks(t.streamBlocks(SeqId(0), LayerIdx(0)).begin(),
+                                t.streamBlocks(SeqId(0), LayerIdx(0)).end());
     ASSERT_EQ(blocks.size(), 2u);
 
-    t.attachShared(1, 0, blocks);
-    t.attachShared(2, 0, blocks);
-    EXPECT_EQ(t.streamLen(1, 0), 8u);
+    t.attachShared(SeqId(1), LayerIdx(0), blocks);
+    t.attachShared(SeqId(2), LayerIdx(0), blocks);
+    EXPECT_EQ(t.streamLen(SeqId(1), LayerIdx(0)), 8u);
     EXPECT_EQ(t.blockStreamRefs(blocks[0]), 3u);
     // Shared blocks count once in every physical counter.
     EXPECT_EQ(t.residentBlocks(), 2u);
     EXPECT_EQ(t.residentTokens(), 8u);
 
-    t.freeSequence(0);
-    t.freeSequence(1);
+    t.freeSequence(SeqId(0));
+    t.freeSequence(SeqId(1));
     EXPECT_EQ(store.frees, 0) << "a still-shared block must survive";
     EXPECT_EQ(t.blockStreamRefs(blocks[0]), 1u);
-    t.freeSequence(2);
+    t.freeSequence(SeqId(2));
     EXPECT_EQ(store.frees, 2);
     EXPECT_EQ(t.residentBlocks(), 0u);
 }
@@ -113,15 +113,15 @@ TEST(PageTable, AttachSharedRejectsPartialAndNonEmptyStreams)
     FakeStore store;
     PageTable t(2, 1, 4, PageCapacityModel::Blocks, 16, store.hooks());
     for (int i = 0; i < 6; ++i)  // 1 closed page + 2-token open tail
-        t.appendToken(0, 0);
-    std::vector<BlockId> blocks(t.streamBlocks(0, 0).begin(),
-                                t.streamBlocks(0, 0).end());
+        t.appendToken(SeqId(0), LayerIdx(0));
+    std::vector<BlockId> blocks(t.streamBlocks(SeqId(0), LayerIdx(0)).begin(),
+                                t.streamBlocks(SeqId(0), LayerIdx(0)).end());
     // The open tail is not shareable.
-    EXPECT_THROW(t.attachShared(1, 0, blocks), PanicError);
+    EXPECT_THROW(t.attachShared(SeqId(1), LayerIdx(0), blocks), PanicError);
     // A closed page is — but only into an empty stream.
     std::vector<BlockId> closed{blocks[0]};
-    t.attachShared(1, 0, closed);
-    EXPECT_THROW(t.attachShared(1, 0, closed), PanicError);
+    t.attachShared(SeqId(1), LayerIdx(0), closed);
+    EXPECT_THROW(t.attachShared(SeqId(1), LayerIdx(0), closed), PanicError);
 }
 
 TEST(PageTable, CopyOnWriteFiresOnSharedOpenTail)
@@ -132,10 +132,10 @@ TEST(PageTable, CopyOnWriteFiresOnSharedOpenTail)
     // via a pin (the "another holder can see it" case without a
     // second stream, since streams can only share closed pages).
     for (int i = 0; i < 6; ++i)
-        t.appendToken(0, 0);
-    BlockId open = t.streamBlocks(0, 0)[1];
+        t.appendToken(SeqId(0), LayerIdx(0));
+    BlockId open = t.streamBlocks(SeqId(0), LayerIdx(0))[1];
     t.pin(open);
-    AppendSlot s = t.appendToken(0, 0);
+    AppendSlot s = t.appendToken(SeqId(0), LayerIdx(0));
     EXPECT_TRUE(s.copied);
     EXPECT_TRUE(s.fresh);
     EXPECT_NE(s.block, open);
@@ -146,7 +146,7 @@ TEST(PageTable, CopyOnWriteFiresOnSharedOpenTail)
     // the appended one.
     EXPECT_EQ(t.blockTokens(open), 2u);
     EXPECT_EQ(t.blockTokens(s.block), 3u);
-    EXPECT_EQ(t.streamLen(0, 0), 7u);
+    EXPECT_EQ(t.streamLen(SeqId(0), LayerIdx(0)), 7u);
     EXPECT_EQ(t.blockStreamRefs(open), 0u);
     EXPECT_EQ(t.blockPins(open), 1u);
 }
@@ -156,12 +156,12 @@ TEST(PageTable, PinSurvivesSequenceAndUnpinIsTypedOnDoubleRelease)
     FakeStore store;
     PageTable t(2, 1, 4, PageCapacityModel::Blocks, 16, store.hooks());
     for (int i = 0; i < 4; ++i)
-        t.appendToken(0, 0);
-    BlockId b = t.streamBlocks(0, 0)[0];
+        t.appendToken(SeqId(0), LayerIdx(0));
+    BlockId b = t.streamBlocks(SeqId(0), LayerIdx(0))[0];
     t.pin(b);
     EXPECT_EQ(t.pinnedTokens(), 4u);
 
-    t.freeSequence(0);
+    t.freeSequence(SeqId(0));
     EXPECT_EQ(store.frees, 0) << "pinned page outlives its sequence";
     EXPECT_EQ(t.residentBlocks(), 1u);
     EXPECT_EQ(t.referencedBlocks(), 0u)
@@ -184,16 +184,16 @@ TEST(PageTable, FreeSequenceErrorsAreTyped)
     FakeStore store;
     PageTable t(2, 1, 4, PageCapacityModel::Blocks, 16, store.hooks());
     try {
-        t.freeSequence(9);
+        t.freeSequence(SeqId(9));
         FAIL() << "out-of-range freeSequence must throw";
     } catch (const EngineError &e) {
         EXPECT_EQ(e.code(), ErrorCode::KvInvalidSequence);
         EXPECT_EQ(e.site(), "kv.free");
     }
-    t.appendToken(0, 0);
-    t.freeSequence(0);
+    t.appendToken(SeqId(0), LayerIdx(0));
+    t.freeSequence(SeqId(0));
     try {
-        t.freeSequence(0);
+        t.freeSequence(SeqId(0));
         FAIL() << "double freeSequence must throw";
     } catch (const EngineError &e) {
         EXPECT_EQ(e.code(), ErrorCode::KvDoubleFree);
@@ -206,17 +206,17 @@ TEST(PageTable, ReleaseWhileSharedKeepsOtherStreamIntact)
     FakeStore store;
     PageTable t(2, 1, 4, PageCapacityModel::Blocks, 16, store.hooks());
     for (int i = 0; i < 4; ++i)
-        t.appendToken(0, 0);
-    std::vector<BlockId> blocks(t.streamBlocks(0, 0).begin(),
-                                t.streamBlocks(0, 0).end());
-    t.attachShared(1, 0, blocks);
-    t.freeSequence(0);
+        t.appendToken(SeqId(0), LayerIdx(0));
+    std::vector<BlockId> blocks(t.streamBlocks(SeqId(0), LayerIdx(0)).begin(),
+                                t.streamBlocks(SeqId(0), LayerIdx(0)).end());
+    t.attachShared(SeqId(1), LayerIdx(0), blocks);
+    t.freeSequence(SeqId(0));
     // Releasing seq 0 again is a typed double free; seq 1's view of
     // the shared block is untouched by either call.
-    EXPECT_THROW(t.freeSequence(0), EngineError);
-    EXPECT_EQ(t.streamLen(1, 0), 4u);
+    EXPECT_THROW(t.freeSequence(SeqId(0)), EngineError);
+    EXPECT_EQ(t.streamLen(SeqId(1), LayerIdx(0)), 4u);
     EXPECT_EQ(t.blockTokens(blocks[0]), 4u);
-    t.freeSequence(1);
+    t.freeSequence(SeqId(1));
     EXPECT_EQ(t.residentBlocks(), 0u);
 }
 
@@ -225,7 +225,7 @@ TEST(PageTable, CapacityPressureDrivesReclaimThenThrowsTyped)
     FakeStore store;
     PageTable t(2, 1, 4, PageCapacityModel::Blocks, 2, store.hooks());
     for (int i = 0; i < 8; ++i)
-        t.appendToken(0, 0);  // exactly the 2-block budget
+        t.appendToken(SeqId(0), LayerIdx(0));  // exactly the 2-block budget
     bool reclaimed = false;
     std::vector<BlockId> cached;
     t.setReclaimHook([&] {
@@ -237,25 +237,25 @@ TEST(PageTable, CapacityPressureDrivesReclaimThenThrowsTyped)
         return true;
     });
     try {
-        t.appendToken(0, 0);
+        t.appendToken(SeqId(0), LayerIdx(0));
         FAIL() << "over-budget append must throw";
     } catch (const EngineError &e) {
         EXPECT_EQ(e.code(), ErrorCode::KvExhausted);
         EXPECT_EQ(e.site(), "kv.alloc");
     }
-    EXPECT_EQ(t.streamLen(0, 0), 8u) << "failed append mutates nothing";
+    EXPECT_EQ(t.streamLen(SeqId(0), LayerIdx(0)), 8u) << "failed append mutates nothing";
 
     // Park a cached (pinned, unreferenced) page the hook can evict:
     // now the same append succeeds by reclaiming it.
-    BlockId b = t.streamBlocks(0, 0)[0];
+    BlockId b = t.streamBlocks(SeqId(0), LayerIdx(0))[0];
     t.pin(b);
     cached.push_back(b);
-    t.freeSequence(0);
+    t.freeSequence(SeqId(0));
     EXPECT_EQ(t.residentBlocks(), 1u);  // the cached page
     for (int i = 0; i < 8; ++i)
-        t.appendToken(1, 0);
+        t.appendToken(SeqId(1), LayerIdx(0));
     EXPECT_TRUE(reclaimed);
-    EXPECT_EQ(t.streamLen(1, 0), 8u);
+    EXPECT_EQ(t.streamLen(SeqId(1), LayerIdx(0)), 8u);
     EXPECT_EQ(t.residentBlocks(), 2u);
 }
 
@@ -264,10 +264,10 @@ TEST(PageTable, TokenModelMetersExactTokens)
     FakeStore store;
     PageTable t(1, 1, 4, PageCapacityModel::Tokens, 5, store.hooks());
     for (int i = 0; i < 5; ++i)
-        t.appendToken(0, 0);
-    EXPECT_THROW(t.appendToken(0, 0), EngineError);
+        t.appendToken(SeqId(0), LayerIdx(0));
+    EXPECT_THROW(t.appendToken(SeqId(0), LayerIdx(0)), EngineError);
     EXPECT_EQ(t.residentTokens(), 5u);
-    t.freeSequence(0);
+    t.freeSequence(SeqId(0));
     EXPECT_EQ(t.residentTokens(), 0u);
 }
 
@@ -276,21 +276,21 @@ TEST(PageTable, AllocFaultInjectionFiresPerBlockInBlocksModel)
     FakeStore store;
     PageTable t(1, 1, 4, PageCapacityModel::Blocks, 8, store.hooks());
     ScopedFault fault("kv.alloc", 2);  // second check fires
-    t.appendToken(0, 0);  // opens page 1: check #1 passes
-    t.appendToken(0, 0);  // within page: no check in Blocks model
-    t.appendToken(0, 0);
-    t.appendToken(0, 0);
+    t.appendToken(SeqId(0), LayerIdx(0));  // opens page 1: check #1 passes
+    t.appendToken(SeqId(0), LayerIdx(0));  // within page: no check in Blocks model
+    t.appendToken(SeqId(0), LayerIdx(0));
+    t.appendToken(SeqId(0), LayerIdx(0));
     try {
-        t.appendToken(0, 0);  // opens page 2: check #2 fires
+        t.appendToken(SeqId(0), LayerIdx(0));  // opens page 2: check #2 fires
         FAIL() << "armed kv.alloc fault must throw";
     } catch (const EngineError &e) {
         EXPECT_EQ(e.code(), ErrorCode::FaultInjected);
         EXPECT_EQ(e.site(), "kv.alloc");
     }
     EXPECT_EQ(fault.hits(), 1u);
-    EXPECT_EQ(t.streamLen(0, 0), 4u);
-    t.appendToken(0, 0);  // one-shot: recovers after firing
-    EXPECT_EQ(t.streamLen(0, 0), 5u);
+    EXPECT_EQ(t.streamLen(SeqId(0), LayerIdx(0)), 4u);
+    t.appendToken(SeqId(0), LayerIdx(0));  // one-shot: recovers after firing
+    EXPECT_EQ(t.streamLen(SeqId(0), LayerIdx(0)), 5u);
 }
 
 } // namespace

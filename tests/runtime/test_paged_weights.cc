@@ -19,7 +19,7 @@ struct Fixture
 TEST(PagedWeights, ManifestCoversAllTensors)
 {
     Fixture f;
-    auto manifest = f.store.layerManifest(0);
+    auto manifest = f.store.layerManifest(LayerIdx(0));
     // 7 shared tensors + 3 per expert (ne=4).
     EXPECT_EQ(manifest.size(), 7u + 3u * 4u);
     EXPECT_EQ(f.store.pagesPerLayer(), manifest.size());
@@ -28,8 +28,8 @@ TEST(PagedWeights, ManifestCoversAllTensors)
 TEST(PagedWeights, LoadedTensorMatchesCpuSource)
 {
     Fixture f;
-    f.store.loadLayer(1, f.te);
-    const float *wq = f.store.tensor(1, "wq");
+    f.store.loadLayer(LayerIdx(1), f.te);
+    const float *wq = f.store.tensor(LayerIdx(1), "wq");
     const Tensor &src = f.weights.layers[1].wq;
     EXPECT_EQ(std::memcmp(wq, src.data(), src.numel() * sizeof(float)),
               0);
@@ -38,32 +38,32 @@ TEST(PagedWeights, LoadedTensorMatchesCpuSource)
 TEST(PagedWeights, UseBeforeTransferPanics)
 {
     Fixture f;
-    EXPECT_THROW(f.store.tensor(0, "wq"), PanicError);
-    f.store.loadLayer(0, f.te);
-    EXPECT_NO_THROW(f.store.tensor(0, "wq"));
+    EXPECT_THROW(f.store.tensor(LayerIdx(0), "wq"), PanicError);
+    f.store.loadLayer(LayerIdx(0), f.te);
+    EXPECT_NO_THROW(f.store.tensor(LayerIdx(0), "wq"));
     // Layer 2 shares layer 0's slot; after loading layer 2, layer 0
     // accesses must fail again (stale slot detection).
-    f.store.loadLayer(2, f.te);
-    EXPECT_THROW(f.store.tensor(0, "wq"), PanicError);
-    EXPECT_NO_THROW(f.store.tensor(2, "wq"));
+    f.store.loadLayer(LayerIdx(2), f.te);
+    EXPECT_THROW(f.store.tensor(LayerIdx(0), "wq"), PanicError);
+    EXPECT_NO_THROW(f.store.tensor(LayerIdx(2), "wq"));
 }
 
 TEST(PagedWeights, DoubleBufferSlotsAreIndependent)
 {
     Fixture f;
-    f.store.loadLayer(0, f.te);
-    f.store.loadLayer(1, f.te);
+    f.store.loadLayer(LayerIdx(0), f.te);
+    f.store.loadLayer(LayerIdx(1), f.te);
     // Both resident at once (adjacent layers use different slots).
-    EXPECT_NO_THROW(f.store.tensor(0, "e0.w1"));
-    EXPECT_NO_THROW(f.store.tensor(1, "e0.w1"));
-    EXPECT_NE(f.store.pageOf(0, "e0.w1"), f.store.pageOf(1, "e0.w1"));
+    EXPECT_NO_THROW(f.store.tensor(LayerIdx(0), "e0.w1"));
+    EXPECT_NO_THROW(f.store.tensor(LayerIdx(1), "e0.w1"));
+    EXPECT_NE(f.store.pageOf(LayerIdx(0), "e0.w1"), f.store.pageOf(LayerIdx(1), "e0.w1"));
 }
 
 TEST(PagedWeights, ExpertResolverReadsPageTable)
 {
     Fixture f;
-    f.store.loadLayer(0, f.te);
-    ExpertResolver resolve = f.store.resolver(0);
+    f.store.loadLayer(LayerIdx(0), f.te);
+    ExpertResolver resolve = f.store.resolver(LayerIdx(0));
     for (int e = 0; e < 4; ++e) {
         ExpertWeights w = resolve(e);
         const auto &lw = f.weights.layers[0];
@@ -80,9 +80,9 @@ TEST(PagedWeights, ExpertResolverReadsPageTable)
 TEST(PagedWeights, PartialPageLoadOnlyMarksThatPage)
 {
     Fixture f;
-    f.store.loadPage(0, 0, f.te);  // attn_norm only
-    EXPECT_NO_THROW(f.store.tensor(0, "attn_norm"));
-    EXPECT_THROW(f.store.tensor(0, "wq"), PanicError);
+    f.store.loadPage(LayerIdx(0), 0, f.te);  // attn_norm only
+    EXPECT_NO_THROW(f.store.tensor(LayerIdx(0), "attn_norm"));
+    EXPECT_THROW(f.store.tensor(LayerIdx(0), "wq"), PanicError);
 }
 
 TEST(PagedWeights, GpuArenaSizedForTwoSlots)
@@ -96,8 +96,8 @@ TEST(PagedWeights, GpuArenaSizedForTwoSlots)
 TEST(PagedWeights, UnknownTensorPanics)
 {
     Fixture f;
-    f.store.loadLayer(0, f.te);
-    EXPECT_THROW(f.store.tensor(0, "nope"), PanicError);
+    f.store.loadLayer(LayerIdx(0), f.te);
+    EXPECT_THROW(f.store.tensor(LayerIdx(0), "nope"), PanicError);
 }
 
 TEST(PagedWeights, RequiresTwoSlots)

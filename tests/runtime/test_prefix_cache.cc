@@ -53,16 +53,16 @@ struct FakeStore
                 if (!freeIds.empty()) {
                     BlockId id = freeIds.back();
                     freeIds.pop_back();
-                    live[id] = true;
+                    live[id.value()] = true;
                     return id;
                 }
                 live.push_back(true);
-                return static_cast<BlockId>(live.size() - 1);
+                return BlockId(live.size() - 1);
             },
             [](BlockId, BlockId, std::size_t) {},
             [this](BlockId id) {
                 ++frees;
-                live[id] = false;
+                live[id.value()] = false;
                 freeIds.push_back(id);
             },
         };
@@ -83,7 +83,7 @@ void
 fakePrefill(PageTable &t, std::size_t seq, std::size_t len)
 {
     for (std::size_t i = 0; i < len; ++i)
-        t.appendToken(seq, 0);
+        t.appendToken(SeqId(seq), LayerIdx(0));
 }
 
 TEST(PrefixCache, MatchIsPageGranularCappedAndVerified)
@@ -94,7 +94,7 @@ TEST(PrefixCache, MatchIsPageGranularCappedAndVerified)
 
     std::vector<int> prompt = iotaPrompt(0, 10);
     fakePrefill(t, 0, prompt.size());
-    pc.insert(0, prompt);
+    pc.insert(SeqId(0), prompt);
     EXPECT_EQ(pc.cachedNodes(), 2u) << "two closed pages of 10 tokens";
 
     // peekMatch: page-granular, capped one token short of the prompt,
@@ -115,20 +115,20 @@ TEST(PrefixCache, MatchIsPageGranularCappedAndVerified)
     EXPECT_EQ(pc.stats().lookups, 0u);
 
     // attach bumps refcounts layer-wide and records the hit.
-    EXPECT_EQ(pc.attach(1, prompt), 8u);
-    EXPECT_EQ(t.streamLen(1, 0), 8u);
+    EXPECT_EQ(pc.attach(SeqId(1), prompt), 8u);
+    EXPECT_EQ(t.streamLen(SeqId(1), LayerIdx(0)), 8u);
     EXPECT_EQ(pc.stats().lookups, 1u);
     EXPECT_EQ(pc.stats().hits, 1u);
     EXPECT_EQ(pc.stats().pagesReused, 2u);
     EXPECT_EQ(pc.stats().bytesPrefillSkipped, 8u * 8u);
-    EXPECT_EQ(pc.attach(2, divergent), 0u);
+    EXPECT_EQ(pc.attach(SeqId(2), divergent), 0u);
     EXPECT_EQ(pc.stats().lookups, 2u);
     EXPECT_EQ(pc.stats().hits, 1u);
 
     // Cached pages outlive the inserting sequence.
-    t.freeSequence(0);
-    EXPECT_EQ(t.streamLen(1, 0), 8u);
-    EXPECT_EQ(t.blockTokens(t.streamBlocks(1, 0)[0]), 4u);
+    t.freeSequence(SeqId(0));
+    EXPECT_EQ(t.streamLen(SeqId(1), LayerIdx(0)), 8u);
+    EXPECT_EQ(t.blockTokens(t.streamBlocks(SeqId(1), LayerIdx(0))[0]), 4u);
 }
 
 TEST(PrefixCache, InsertIsIdempotentAndKeepsIncumbentPages)
@@ -139,10 +139,10 @@ TEST(PrefixCache, InsertIsIdempotentAndKeepsIncumbentPages)
 
     std::vector<int> prompt = iotaPrompt(0, 9);
     fakePrefill(t, 0, prompt.size());
-    pc.insert(0, prompt);
+    pc.insert(SeqId(0), prompt);
     EXPECT_EQ(pc.cachedNodes(), 2u);
     EXPECT_EQ(t.pinnedTokens(), 8u);
-    pc.insert(0, prompt);
+    pc.insert(SeqId(0), prompt);
     EXPECT_EQ(pc.cachedNodes(), 2u) << "re-insert must not duplicate";
     EXPECT_EQ(t.pinnedTokens(), 8u);
 
@@ -150,11 +150,11 @@ TEST(PrefixCache, InsertIsIdempotentAndKeepsIncumbentPages)
     // private blocks inserts onto the existing nodes: the incumbent
     // blocks stay cached, the newcomer's stay private and die with it.
     fakePrefill(t, 1, prompt.size());
-    pc.insert(1, prompt);
+    pc.insert(SeqId(1), prompt);
     EXPECT_EQ(pc.cachedNodes(), 2u);
     EXPECT_EQ(t.pinnedTokens(), 8u);
-    t.freeSequence(0);
-    t.freeSequence(1);
+    t.freeSequence(SeqId(0));
+    t.freeSequence(SeqId(1));
     EXPECT_EQ(t.residentBlocks(), 2u) << "only the pinned incumbents";
 }
 
@@ -166,18 +166,18 @@ TEST(PrefixCache, LruEvictsColdestUnreferencedLeafFirst)
 
     std::vector<int> a = iotaPrompt(0, 9), b = iotaPrompt(100, 9);
     fakePrefill(t, 0, a.size());
-    pc.insert(0, a);
+    pc.insert(SeqId(0), a);
     fakePrefill(t, 1, b.size());
-    pc.insert(1, b);
-    t.freeSequence(0);
-    t.freeSequence(1);
+    pc.insert(SeqId(1), b);
+    t.freeSequence(SeqId(0));
+    t.freeSequence(SeqId(1));
     ASSERT_EQ(pc.cachedNodes(), 4u);
     ASSERT_EQ(t.residentBlocks(), 4u);
 
     // Touch chain A (attach is an LRU touch; peekMatch is not), so B
     // is now the coldest.
-    EXPECT_EQ(pc.attach(2, a), 8u);
-    t.freeSequence(2);
+    EXPECT_EQ(pc.attach(SeqId(2), a), 8u);
+    t.freeSequence(SeqId(2));
     EXPECT_EQ(pc.peekMatch(b), 8u);  // no touch
 
     // Eviction order: B's leaf (deepest cold), B's root, A's leaf,
@@ -193,9 +193,9 @@ TEST(PrefixCache, LruEvictsColdestUnreferencedLeafFirst)
 
     // A page referenced by a live stream is not evictable: with both
     // of A's pages attached, nothing can go.
-    EXPECT_EQ(pc.attach(3, a), 8u);
+    EXPECT_EQ(pc.attach(SeqId(3), a), 8u);
     EXPECT_FALSE(pc.evictOne());
-    t.freeSequence(3);
+    t.freeSequence(SeqId(3));
     EXPECT_TRUE(pc.evictOne());
     EXPECT_TRUE(pc.evictOne());
     EXPECT_FALSE(pc.evictOne()) << "empty tree has nothing to evict";

@@ -32,10 +32,10 @@ TEST(QuantKvCache, ContextAccounting)
     Rng rng(1);
     auto k = randTokenKv(rng), v = randTokenKv(rng);
     for (int t = 0; t < 9; ++t)
-        kv.append(0, 1, k.data(), v.data());
-    EXPECT_EQ(kv.contextLen(0, 1), 9u);
-    EXPECT_EQ(kv.contextLen(0, 0), 0u);
-    EXPECT_EQ(kv.contextLen(1, 1), 0u);
+        kv.append(SeqId(0), LayerIdx(1), k.data(), v.data());
+    EXPECT_EQ(kv.contextLen(SeqId(0), LayerIdx(1)), 9u);
+    EXPECT_EQ(kv.contextLen(SeqId(0), LayerIdx(0)), 0u);
+    EXPECT_EQ(kv.contextLen(SeqId(1), LayerIdx(1)), 0u);
 }
 
 class QuantKvKind : public ::testing::TestWithParam<QuantKind>
@@ -52,8 +52,8 @@ TEST_P(QuantKvKind, AttentionCloseToFloatCache)
     for (int t = 0; t < 11; ++t) {  // 2 closed pages + open page
         auto k = randTokenKv(rng);
         auto v = randTokenKv(rng);
-        qkv.append(0, 2, k.data(), v.data());
-        fkv.append(0, 2, k.data(), v.data());
+        qkv.append(SeqId(0), LayerIdx(2), k.data(), v.data());
+        fkv.append(SeqId(0), LayerIdx(2), k.data(), v.data());
     }
     std::vector<float> q(c.nq * c.headDim);
     for (auto &x : q)
@@ -61,8 +61,8 @@ TEST_P(QuantKvKind, AttentionCloseToFloatCache)
 
     QuantKvViewStorage qs;
     KvViewStorage fs;
-    qkv.makeView(0, 2, qs);
-    fkv.makeView(0, 2, fs);
+    qkv.makeView(SeqId(0), LayerIdx(2), qs);
+    fkv.makeView(SeqId(0), LayerIdx(2), fs);
     ASSERT_EQ(qs.view.contextLen, fs.view.contextLen);
 
     std::vector<float> out_q(q.size()), out_f(q.size());
@@ -87,8 +87,8 @@ TEST(QuantKvCache, CompressionApproachesNominalRatio)
     for (int t = 0; t < 64; ++t) {  // all pages closed
         auto k = randTokenKv(rng);
         auto v = randTokenKv(rng);
-        kv8.append(0, 0, k.data(), v.data());
-        kv4.append(0, 0, k.data(), v.data());
+        kv8.append(SeqId(0), LayerIdx(0), k.data(), v.data());
+        kv4.append(SeqId(0), LayerIdx(0), k.data(), v.data());
     }
     double r8 = static_cast<double>(kv8.storedBytes()) /
                 static_cast<double>(kv8.equivalentFloatBytes());
@@ -111,9 +111,9 @@ TEST(QuantKvCache, OpenPageExactUntilClosed)
     Rng rng(11);
     auto k = randTokenKv(rng);
     auto v = randTokenKv(rng);
-    kv.append(0, 0, k.data(), v.data());
+    kv.append(SeqId(0), LayerIdx(0), k.data(), v.data());
     QuantKvViewStorage s;
-    kv.makeView(0, 0, s);
+    kv.makeView(SeqId(0), LayerIdx(0), s);
     for (std::size_t h = 0; h < c.nkv; ++h)
         for (std::size_t d = 0; d < c.headDim; ++d) {
             EXPECT_EQ(s.view.kAt(0, h)[d], k[h * c.headDim + d]);
@@ -136,19 +136,19 @@ TEST(QuantKvCache, OddHeadDimInt8Constructs)
             x = static_cast<float>(rng.uniform(-1, 1));
         for (auto &x : v)
             x = static_cast<float>(rng.uniform(-1, 1));
-        kv.append(0, 0, k.data(), v.data());
+        kv.append(SeqId(0), LayerIdx(0), k.data(), v.data());
     }
-    EXPECT_EQ(kv.contextLen(0, 0), 6u);
+    EXPECT_EQ(kv.contextLen(SeqId(0), LayerIdx(0)), 6u);
 
     std::vector<float> q(c.nq * c.headDim);
     for (auto &x : q)
         x = static_cast<float>(rng.uniform(-1, 1));
     std::vector<float> out_fused(q.size()), out_mat(q.size());
     gqaDecodeAttentionQuantFused(q.data(), c.nq,
-                                 kv.makeQuantView(0, 0),
+                                 kv.makeQuantView(SeqId(0), LayerIdx(0)),
                                  out_fused.data(), 0.35f);
     QuantKvViewStorage s;
-    kv.makeView(0, 0, s);
+    kv.makeView(SeqId(0), LayerIdx(0), s);
     gqaDecodeAttention(q.data(), c.nq, s.view, out_mat.data(), 0.35f);
     for (std::size_t i = 0; i < out_fused.size(); ++i)
         EXPECT_EQ(out_fused[i], out_mat[i]) << i;
@@ -169,9 +169,9 @@ TEST_P(QuantKvKind, FusedOverQuantViewMatchesMaterializedView)
     for (int t = 0; t < 11; ++t) {  // 2 closed pages + 3 open tokens
         auto k = randTokenKv(rng);
         auto v = randTokenKv(rng);
-        kv.append(0, 1, k.data(), v.data());
+        kv.append(SeqId(0), LayerIdx(1), k.data(), v.data());
     }
-    QuantKvView qv = kv.makeQuantView(0, 1);
+    QuantKvView qv = kv.makeQuantView(SeqId(0), LayerIdx(1));
     EXPECT_EQ(qv.kPages.size(), 2u);
     EXPECT_EQ(qv.openTokens, 3u);
     EXPECT_EQ(qv.contextLen, 11u);
@@ -184,7 +184,7 @@ TEST_P(QuantKvKind, FusedOverQuantViewMatchesMaterializedView)
     gqaDecodeAttentionQuantFused(q.data(), c.nq, qv, out_fused.data(),
                                  scale);
     QuantKvViewStorage s;
-    kv.makeView(0, 1, s);
+    kv.makeView(SeqId(0), LayerIdx(1), s);
     gqaDecodeAttention(q.data(), c.nq, s.view, out_mat.data(), scale);
     for (std::size_t i = 0; i < out_fused.size(); ++i)
         EXPECT_EQ(out_fused[i], out_mat[i]) << i;
@@ -198,16 +198,16 @@ TEST(QuantKvCache, EnforcesTokenCapacity)
     QuantizedKvCache kv(cfg(), 1, 4, QuantKind::Int8, 5);
     std::vector<float> k(16, 0.5f), v(16, 0.5f);
     for (int t = 0; t < 5; ++t)
-        kv.append(0, t % 2, k.data(), v.data());
-    EXPECT_THROW(kv.append(0, 0, k.data(), v.data()), FatalError);
+        kv.append(SeqId(0), LayerIdx(t % 2), k.data(), v.data());
+    EXPECT_THROW(kv.append(SeqId(0), LayerIdx(0), k.data(), v.data()), FatalError);
 }
 
 TEST(QuantKvCache, OutOfRangePanics)
 {
     QuantizedKvCache kv(cfg(), 1, 4, QuantKind::Int8);
     std::vector<float> k(16), v(16);
-    EXPECT_THROW(kv.append(1, 0, k.data(), v.data()), PanicError);
-    EXPECT_THROW(kv.append(0, 4, k.data(), v.data()), PanicError);
+    EXPECT_THROW(kv.append(SeqId(1), LayerIdx(0), k.data(), v.data()), PanicError);
+    EXPECT_THROW(kv.append(SeqId(0), LayerIdx(4), k.data(), v.data()), PanicError);
 }
 
 TEST(QuantKvCache, ExhaustionIsTypedAndLeavesCounterConsistent)
@@ -215,9 +215,9 @@ TEST(QuantKvCache, ExhaustionIsTypedAndLeavesCounterConsistent)
     QuantizedKvCache kv(cfg(), 1, 4, QuantKind::Int8, 5);
     std::vector<float> k(16, 0.5f), v(16, 0.5f);
     for (int t = 0; t < 5; ++t)
-        kv.append(0, t % 2, k.data(), v.data());
+        kv.append(SeqId(0), LayerIdx(t % 2), k.data(), v.data());
     try {
-        kv.append(0, 0, k.data(), v.data());
+        kv.append(SeqId(0), LayerIdx(0), k.data(), v.data());
         FAIL() << "over budget";
     } catch (const EngineError &e) {
         EXPECT_EQ(e.code(), ErrorCode::KvExhausted);
@@ -227,10 +227,10 @@ TEST(QuantKvCache, ExhaustionIsTypedAndLeavesCounterConsistent)
     // append did not bump the token counter: freeing the sequence
     // returns the cache to exactly empty and the next append at the
     // budget boundary still succeeds.
-    kv.freeSequence(0);
+    kv.freeSequence(SeqId(0));
     EXPECT_EQ(kv.usedTokens(), 0u);
     for (int t = 0; t < 5; ++t)
-        kv.append(0, 0, k.data(), v.data());
+        kv.append(SeqId(0), LayerIdx(0), k.data(), v.data());
     EXPECT_EQ(kv.usedTokens(), 5u);
 }
 
@@ -238,25 +238,25 @@ TEST(QuantKvCache, FreeSequenceErrorsAreTyped)
 {
     QuantizedKvCache kv(cfg(), 2, 4, QuantKind::Int4);
     std::vector<float> k(16, 0.25f), v(16, 0.25f);
-    kv.append(0, 0, k.data(), v.data());
+    kv.append(SeqId(0), LayerIdx(0), k.data(), v.data());
 
     try {
-        kv.freeSequence(9);
+        kv.freeSequence(SeqId(9));
         FAIL() << "out-of-range seq should throw";
     } catch (const EngineError &e) {
         EXPECT_EQ(e.code(), ErrorCode::KvInvalidSequence);
         EXPECT_EQ(e.site(), "kv.free");
     }
 
-    kv.freeSequence(0);
+    kv.freeSequence(SeqId(0));
     try {
-        kv.freeSequence(0);
+        kv.freeSequence(SeqId(0));
         FAIL() << "second free should throw";
     } catch (const EngineError &e) {
         EXPECT_EQ(e.code(), ErrorCode::KvDoubleFree);
         EXPECT_EQ(e.site(), "kv.free");
     }
-    EXPECT_THROW(kv.freeSequence(1), EngineError);
+    EXPECT_THROW(kv.freeSequence(SeqId(1)), EngineError);
 }
 
 } // namespace

@@ -112,7 +112,7 @@ TEST_P(TpEquivalence, AttentionPartialsSumToFull)
         // Sharded: sum of partials.
         std::vector<float> sum(cfg.h1, 0.0f);
         for (std::size_t r = 0; r < tp; ++r) {
-            auto partial = shardAttention(shards[r], layer, x,
+            auto partial = shardAttention(shards[r], LayerIdx(layer), x,
                                           shard_k[r], shard_v[r]);
             accumulate(sum.data(), partial.data(), cfg.h1);
         }
@@ -154,7 +154,7 @@ TEST_P(TpEquivalence, MoeFfnPartialsSumToFull)
 
         std::vector<float> sum(cfg.h1, 0.0f);
         for (std::size_t r = 0; r < tp; ++r) {
-            auto partial = shardMoeFfn(shards[r], layer, x_norm,
+            auto partial = shardMoeFfn(shards[r], LayerIdx(layer), x_norm,
                                        routing);
             accumulate(sum.data(), partial.data(), cfg.h1);
         }

@@ -186,6 +186,58 @@ class IncludeCcTest(unittest.TestCase):
                 lint_invariants.check_include_cc(t.root), [])
 
 
+class RawIndexParamsTest(unittest.TestCase):
+    def test_raw_seq_param_in_runtime_header_flagged(self):
+        with FixtureTree() as t:
+            t.write("src/runtime/cache.hh",
+                    "void append(std::size_t seq, float v);\n")
+            v = lint_invariants.check_raw_index_params(t.root)
+            self.assertEqual(tags(v), ["raw-index-params"])
+            self.assertIn("'seq'", v[0][3])
+
+    def test_all_domain_names_and_int_widths_flagged(self):
+        with FixtureTree() as t:
+            t.write("src/kernels/k.hh",
+                    "void a(uint32_t layer);\n"
+                    "void b(unsigned head);\n"
+                    "void c(int block);\n"
+                    "void d(std::int64_t page);\n"
+                    "void e(size_t slot);\n")
+            v = lint_invariants.check_raw_index_params(t.root)
+            self.assertEqual(tags(v), ["raw-index-params"] * 5)
+
+    def test_count_and_strong_type_params_clean(self):
+        with FixtureTree() as t:
+            # Count/extent names are not index names; strong types are
+            # the fix, not a violation.
+            t.write("src/runtime/cache.hh",
+                    "void append(SeqId seq, LayerIdx layer);\n"
+                    "void resize(std::size_t seqLen, "
+                    "std::size_t pageTokens);\n"
+                    "void shape(std::size_t nQ, std::size_t layers);\n")
+            self.assertEqual(
+                lint_invariants.check_raw_index_params(t.root), [])
+
+    def test_scope_is_runtime_and_kernels_headers_only(self):
+        with FixtureTree() as t:
+            # .cc internals and src/common are out of scope: locals
+            # and loop counters there may stay raw.
+            t.write("src/runtime/cache.cc",
+                    "static void step(std::size_t slot) {}\n")
+            t.write("src/common/thread_pool.hh",
+                    "void workerLoop(std::size_t slot);\n")
+            self.assertEqual(
+                lint_invariants.check_raw_index_params(t.root), [])
+
+    def test_commented_out_param_ignored(self):
+        with FixtureTree() as t:
+            t.write("src/runtime/cache.hh",
+                    "// void old(std::size_t seq);\n"
+                    "void fresh(SeqId seq);\n")
+            self.assertEqual(
+                lint_invariants.check_raw_index_params(t.root), [])
+
+
 class CliTest(unittest.TestCase):
     def test_exit_codes(self):
         with FixtureTree() as t:
